@@ -1,0 +1,59 @@
+#pragma once
+
+// Shared setup for the reproduction harnesses. Every bench binary fixes the
+// same world seed so all experiments run against the same simulated
+// "reality", mirroring the paper's single physical testbed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "anb/anb/pipeline.hpp"
+
+namespace anb::bench {
+
+inline constexpr std::uint64_t kWorldSeed = 42;
+
+/// Honors ANB_FAST=1 for quick smoke runs of the harnesses.
+inline bool fast_mode() {
+  const char* env = std::getenv("ANB_FAST");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// Paper-scale dataset size (~5.2k architectures) unless fast mode.
+inline int collection_size() { return fast_mode() ? 1000 : 5200; }
+
+inline TrainingSimulator make_simulator() {
+  return TrainingSimulator(kWorldSeed);
+}
+
+/// Collect the paper's datasets once (accuracy + all device metrics).
+inline CollectedData collect_datasets(bool with_perf = true) {
+  TrainingSimulator sim = make_simulator();
+  DataCollector collector(sim, device_catalog());
+  CollectionConfig config;
+  config.n_archs = collection_size();
+  config.seed = hash_combine(kWorldSeed, 0xC011EC7);
+  config.scheme = canonical_p_star();
+  config.collect_perf = with_perf;
+  return collector.collect(config);
+}
+
+/// The paper's 0.8/0.1/0.1 split with a fixed seed.
+inline DatasetSplits split_paper_style(const Dataset& data,
+                                       std::uint64_t salt = 0) {
+  Rng rng(hash_combine(13, salt));
+  return data.split(0.8, 0.1, rng);
+}
+
+inline void print_header(const char* experiment, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("Accel-NASBench reproduction — %s\n", experiment);
+  std::printf("Paper artifact: %s\n", paper_ref);
+  std::printf("world_seed=%llu  scale=%s\n",
+              static_cast<unsigned long long>(kWorldSeed),
+              fast_mode() ? "fast (ANB_FAST=1)" : "paper (~5.2k archs)");
+  std::printf("================================================================\n");
+}
+
+}  // namespace anb::bench

@@ -1,0 +1,100 @@
+// E6 — Fig. 4: bi-objective search using REINFORCE over the surrogates.
+//
+// (a) accuracy-latency search on the ZCU102 FPGA, and (b)-(f)
+// accuracy-throughput searches on ZCU102, VCK190, TPUv3, A100, RTX 3090.
+// For each target the harness prints the Pareto-optimal set found by the
+// zero-cost (surrogate-backed) search plus the hand-picked "star" models.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "anb/anb/harness.hpp"
+#include "anb/util/csv.hpp"
+#include "anb/util/table.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace anb;
+  bench::print_header("E6: bi-objective REINFORCE search", "Figure 4");
+
+  PipelineOptions options;
+  options.world_seed = bench::kWorldSeed;
+  options.n_archs = bench::collection_size();
+  const PipelineResult pipe = construct_benchmark(options);
+  std::printf("Benchmark constructed (9 surrogates).\n");
+
+  struct Panel {
+    const char* label;
+    DeviceKind device;
+    PerfMetric metric;
+  };
+  const Panel panels[] = {
+      {"(a) ZCU102 acc-latency", DeviceKind::kZcu102, PerfMetric::kLatency},
+      {"(b) ZCU102 acc-throughput", DeviceKind::kZcu102,
+       PerfMetric::kThroughput},
+      {"(c) VCK190 acc-throughput", DeviceKind::kVck190,
+       PerfMetric::kThroughput},
+      {"(d) TPUv3 acc-throughput", DeviceKind::kTpuV3,
+       PerfMetric::kThroughput},
+      {"(e) A100 acc-throughput", DeviceKind::kA100, PerfMetric::kThroughput},
+      {"(f) RTX 3090 acc-throughput", DeviceKind::kRtx3090,
+       PerfMetric::kThroughput},
+  };
+
+  CsvWriter csv({"panel", "arch", "acc_pred", "perf_pred", "on_front",
+                 "picked"});
+
+  for (const auto& panel : panels) {
+    ParetoSearchConfig config;
+    config.device = panel.device;
+    config.metric = panel.metric;
+    config.n_targets = bench::fast_mode() ? 3 : 7;
+    config.n_evals_per_target = bench::fast_mode() ? 100 : 250;
+    config.n_picks = 3;
+    config.seed = hash_combine(5, static_cast<std::uint64_t>(panel.device) * 2 +
+                                      static_cast<std::uint64_t>(panel.metric));
+
+    const ParetoOutcome outcome = pareto_search(pipe.bench, config);
+    const char* unit =
+        panel.metric == PerfMetric::kThroughput ? "img/s" : "ms";
+
+    std::printf("\n%s — %d evaluations, %zu-point Pareto front\n",
+                panel.label,
+                config.n_targets * config.n_evals_per_target,
+                outcome.front.size());
+    TextTable table({"front#", "architecture", "acc (pred)",
+                     std::string("perf (pred, ") + unit + ")", "star"});
+    for (std::size_t k = 0; k < outcome.front.size(); ++k) {
+      const std::size_t idx = outcome.front[k];
+      const bool picked = std::find(outcome.picks.begin(), outcome.picks.end(),
+                                    idx) != outcome.picks.end();
+      if (outcome.front.size() > 12 && !picked && k % 3 != 0)
+        continue;  // compact printout for long fronts; CSV has everything
+      table.add_row({std::to_string(k), outcome.archs[idx].to_string(),
+                     TextTable::num(outcome.accuracy[idx], 4),
+                     TextTable::num(outcome.perf[idx],
+                                    panel.metric == PerfMetric::kLatency ? 2
+                                                                         : 0),
+                     picked ? "*" : ""});
+    }
+    table.print(std::cout);
+
+    for (std::size_t i = 0; i < outcome.archs.size(); ++i) {
+      const bool on_front = std::find(outcome.front.begin(),
+                                      outcome.front.end(),
+                                      i) != outcome.front.end();
+      const bool picked = std::find(outcome.picks.begin(), outcome.picks.end(),
+                                    i) != outcome.picks.end();
+      if (!on_front) continue;  // keep the CSV at front-level granularity
+      csv.add_row({panel.label, outcome.archs[i].to_string(),
+                   std::to_string(outcome.accuracy[i]),
+                   std::to_string(outcome.perf[i]), on_front ? "1" : "0",
+                   picked ? "1" : "0"});
+    }
+  }
+
+  csv.save("fig4_biobjective.csv");
+  std::printf("\nFronts written to fig4_biobjective.csv\n");
+  return 0;
+}

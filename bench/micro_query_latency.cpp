@@ -1,0 +1,96 @@
+// E8 — microbenchmark: zero-cost query latency.
+//
+// §2.1 claims surrogate benchmarks answer accuracy/performance queries
+// "within a few milliseconds without model training and on-device
+// measurements". This google-benchmark binary measures the actual cost of
+// AccelNASBench::query_* per surrogate family, plus the encoding and
+// sampling primitives a NAS optimizer calls in its inner loop.
+
+#include <benchmark/benchmark.h>
+
+#include "anb/anb/benchmark.hpp"
+#include "anb/anb/tuning.hpp"
+#include "anb/searchspace/space.hpp"
+#include "anb/trainsim/simulator.hpp"
+#include "anb/anb/pipeline.hpp"
+
+namespace {
+
+using namespace anb;
+
+Dataset small_training_set() {
+  TrainingSimulator sim(42);
+  Rng rng(1);
+  Dataset ds(static_cast<std::size_t>(SearchSpace::feature_dim()));
+  for (int i = 0; i < 800; ++i) {
+    const Architecture a = SearchSpace::sample(rng);
+    ds.add(SearchSpace::features(a),
+           sim.train(a, canonical_p_star(), 0).top1);
+  }
+  return ds;
+}
+
+std::unique_ptr<Surrogate> fitted(SurrogateKind kind) {
+  static const Dataset train = small_training_set();
+  auto model = make_default_surrogate(kind);
+  Rng rng(2);
+  model->fit(train, rng);
+  return model;
+}
+
+void BM_SampleArchitecture(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SearchSpace::sample(rng));
+  }
+}
+BENCHMARK(BM_SampleArchitecture);
+
+void BM_EncodeFeatures(benchmark::State& state) {
+  Rng rng(4);
+  const Architecture a = SearchSpace::sample(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SearchSpace::features(a));
+  }
+}
+BENCHMARK(BM_EncodeFeatures);
+
+void BM_QuerySurrogate(benchmark::State& state) {
+  const auto kind = static_cast<SurrogateKind>(state.range(0));
+  const auto model = fitted(kind);
+  Rng rng(5);
+  const auto x = SearchSpace::features(SearchSpace::sample(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->predict(x));
+  }
+  state.SetLabel(surrogate_kind_label(kind));
+}
+BENCHMARK(BM_QuerySurrogate)
+    ->Arg(static_cast<int>(SurrogateKind::kXgb))
+    ->Arg(static_cast<int>(SurrogateKind::kLgb))
+    ->Arg(static_cast<int>(SurrogateKind::kRf))
+    ->Arg(static_cast<int>(SurrogateKind::kEpsSvr));
+
+void BM_BenchmarkEndToEndQuery(benchmark::State& state) {
+  AccelNASBench bench;
+  bench.set_accuracy_surrogate(fitted(SurrogateKind::kXgb));
+  Rng rng(6);
+  for (auto _ : state) {
+    // Full zero-cost evaluation path: sample -> encode -> predict.
+    benchmark::DoNotOptimize(bench.query_accuracy(SearchSpace::sample(rng)));
+  }
+}
+BENCHMARK(BM_BenchmarkEndToEndQuery);
+
+// Contrast: the cost this zero-cost path replaces (simulated training run).
+void BM_SimulatedTrainingEvaluation(benchmark::State& state) {
+  TrainingSimulator sim(42);
+  Rng rng(7);
+  const TrainingScheme p = canonical_p_star();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.train(SearchSpace::sample(rng), p, 0));
+  }
+}
+BENCHMARK(BM_SimulatedTrainingEvaluation);
+
+}  // namespace

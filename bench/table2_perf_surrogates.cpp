@@ -1,0 +1,74 @@
+// E4 — Table 2: XGB test performance on the eight on-device datasets
+// ANB-{ZCU,VCK}-{Thr,Lat}, ANB-{TPUv2,TPUv3,A100,RTX}-Thr.
+//
+// Same protocol as Table 1 but fitting the winning family (XGB) per device
+// dataset. Paper reference values printed alongside.
+
+#include <cstdio>
+#include <iostream>
+
+#include "anb/anb/tuning.hpp"
+#include "anb/util/csv.hpp"
+#include "anb/util/table.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace anb;
+  bench::print_header("E4: device-performance surrogates (XGB)", "Table 2");
+
+  const CollectedData data = bench::collect_datasets(/*with_perf=*/true);
+  std::printf("Collected %zu architectures x 8 device datasets\n\n",
+              data.archs.size());
+
+  struct PaperRow {
+    DeviceKind device;
+    PerfMetric metric;
+    double r2, tau, mae;
+  };
+  const PaperRow paper[] = {
+      {DeviceKind::kZcu102, PerfMetric::kThroughput, 0.990, 0.955, 13.2},
+      {DeviceKind::kZcu102, PerfMetric::kLatency, 1.000, 0.987, 5.2e-2},
+      {DeviceKind::kVck190, PerfMetric::kThroughput, 0.991, 0.949, 69.5},
+      {DeviceKind::kVck190, PerfMetric::kLatency, 0.999, 0.980, 4.0e-2},
+      {DeviceKind::kTpuV3, PerfMetric::kThroughput, 0.975, 0.905, 29.1},
+      {DeviceKind::kTpuV2, PerfMetric::kThroughput, 0.994, 0.962, 14.4},
+      {DeviceKind::kA100, PerfMetric::kThroughput, 0.995, 0.975, 159.7},
+      {DeviceKind::kRtx3090, PerfMetric::kThroughput, 0.996, 0.968, 116.1},
+  };
+
+  TextTable table({"Dataset", "R2", "KT tau", "MAE", "R2 (paper)",
+                   "tau (paper)", "MAE (paper)"});
+  CsvWriter csv({"dataset", "r2", "tau", "mae", "rmse"});
+
+  TuneOptions options;
+  options.n_trials = bench::fast_mode() ? 4 : 6;
+  options.tuning_subsample = 800;
+
+  for (const auto& row : paper) {
+    const std::string name = dataset_name(row.device, row.metric);
+    const DatasetSplits splits = bench::split_paper_style(
+        data.perf_dataset(row.device, row.metric), name.size());
+    options.seed = hash_combine(23, name.size() * 7);
+    const TunedSurrogate tuned =
+        tune_surrogate(SurrogateKind::kXgb, splits.train, splits.val, options);
+    const FitMetrics m = tuned.model->evaluate(splits.test);
+    table.add_row({name, TextTable::num(m.r2, 3),
+                   TextTable::num(m.kendall_tau, 3),
+                   m.mae < 1.0 ? TextTable::sci(m.mae, 2)
+                               : TextTable::num(m.mae, 1),
+                   TextTable::num(row.r2, 3), TextTable::num(row.tau, 3),
+                   row.mae < 1.0 ? TextTable::sci(row.mae, 2)
+                                 : TextTable::num(row.mae, 1)});
+    csv.add_row({name, std::to_string(m.r2), std::to_string(m.kendall_tau),
+                 std::to_string(m.mae), std::to_string(m.rmse)});
+  }
+
+  std::printf("\n");
+  table.print(std::cout);
+  std::printf("\nExpected shape: device performance is highly learnable from "
+              "architecture encodings\n(tau >= 0.9 everywhere; latency "
+              "easier than batched throughput).\n");
+  csv.save("table2_perf_surrogates.csv");
+  std::printf("Rows written to table2_perf_surrogates.csv\n");
+  return 0;
+}

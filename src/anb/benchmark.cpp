@@ -1,0 +1,144 @@
+#include "anb/anb/benchmark.hpp"
+
+#include "anb/surrogate/ensemble.hpp"
+#include "anb/util/error.hpp"
+
+namespace anb {
+
+const char* perf_metric_name(PerfMetric metric) {
+  switch (metric) {
+    case PerfMetric::kThroughput: return "Thr";
+    case PerfMetric::kLatency: return "Lat";
+    case PerfMetric::kEnergy: return "Enr";
+  }
+  return "unknown";
+}
+
+PerfMetric perf_metric_from_name(const std::string& name) {
+  if (name == "Thr") return PerfMetric::kThroughput;
+  if (name == "Lat") return PerfMetric::kLatency;
+  if (name == "Enr") return PerfMetric::kEnergy;
+  throw Error("perf_metric_from_name: unknown metric '" + name + "'");
+}
+
+std::string device_short_name(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kTpuV2: return "TPUv2";
+    case DeviceKind::kTpuV3: return "TPUv3";
+    case DeviceKind::kA100: return "A100";
+    case DeviceKind::kRtx3090: return "RTX";
+    case DeviceKind::kZcu102: return "ZCU";
+    case DeviceKind::kVck190: return "VCK";
+  }
+  return "unknown";
+}
+
+std::string dataset_name(DeviceKind kind, PerfMetric metric) {
+  return "ANB-" + device_short_name(kind) + "-" + perf_metric_name(metric);
+}
+
+std::string AccelNASBench::perf_key(DeviceKind kind, PerfMetric metric) {
+  return std::string(device_kind_name(kind)) + "/" + perf_metric_name(metric);
+}
+
+void AccelNASBench::set_accuracy_surrogate(
+    std::unique_ptr<Surrogate> surrogate) {
+  ANB_CHECK(surrogate != nullptr, "AccelNASBench: null accuracy surrogate");
+  accuracy_ = std::move(surrogate);
+}
+
+void AccelNASBench::set_perf_surrogate(DeviceKind kind, PerfMetric metric,
+                                       std::unique_ptr<Surrogate> surrogate) {
+  ANB_CHECK(surrogate != nullptr, "AccelNASBench: null perf surrogate");
+  ANB_CHECK(metric != PerfMetric::kLatency || device_supports_latency(kind),
+            "AccelNASBench: latency is only offered for FPGA platforms");
+  perf_[perf_key(kind, metric)] = std::move(surrogate);
+}
+
+bool AccelNASBench::has_perf(DeviceKind kind, PerfMetric metric) const {
+  return perf_.count(perf_key(kind, metric)) > 0;
+}
+
+double AccelNASBench::query_accuracy(const Architecture& arch) const {
+  ANB_CHECK(accuracy_ != nullptr,
+            "AccelNASBench: accuracy surrogate not installed");
+  return accuracy_->predict(SearchSpace::features(arch));
+}
+
+namespace {
+const EnsembleSurrogate* as_ensemble(const Surrogate* surrogate) {
+  return dynamic_cast<const EnsembleSurrogate*>(surrogate);
+}
+}  // namespace
+
+bool AccelNASBench::has_noisy_accuracy() const {
+  return as_ensemble(accuracy_.get()) != nullptr;
+}
+
+double AccelNASBench::query_accuracy_noisy(const Architecture& arch,
+                                           Rng& rng) const {
+  const auto* ensemble = as_ensemble(accuracy_.get());
+  ANB_CHECK(ensemble != nullptr,
+            "AccelNASBench: noisy queries need an ensemble accuracy "
+            "surrogate (PipelineOptions::ensemble_accuracy)");
+  return ensemble->sample(SearchSpace::features(arch), rng);
+}
+
+std::pair<double, double> AccelNASBench::query_accuracy_dist(
+    const Architecture& arch) const {
+  const auto* ensemble = as_ensemble(accuracy_.get());
+  ANB_CHECK(ensemble != nullptr,
+            "AccelNASBench: predictive distributions need an ensemble "
+            "accuracy surrogate (PipelineOptions::ensemble_accuracy)");
+  return ensemble->predict_dist(SearchSpace::features(arch));
+}
+
+double AccelNASBench::query_perf(const Architecture& arch, DeviceKind kind,
+                                 PerfMetric metric) const {
+  const auto it = perf_.find(perf_key(kind, metric));
+  ANB_CHECK(it != perf_.end(),
+            "AccelNASBench: no surrogate for " + dataset_name(kind, metric));
+  return it->second->predict(SearchSpace::features(arch));
+}
+
+std::vector<std::pair<DeviceKind, PerfMetric>> AccelNASBench::perf_targets()
+    const {
+  std::vector<std::pair<DeviceKind, PerfMetric>> out;
+  for (const auto& [key, surrogate] : perf_) {
+    const auto slash = key.find('/');
+    out.emplace_back(device_kind_from_name(key.substr(0, slash)),
+                     perf_metric_from_name(key.substr(slash + 1)));
+  }
+  return out;
+}
+
+Json AccelNASBench::to_json() const {
+  Json j = Json::object();
+  j["format"] = "accel-nasbench-v1";
+  if (accuracy_ != nullptr) j["accuracy"] = accuracy_->to_json();
+  Json perf = Json::object();
+  for (const auto& [key, surrogate] : perf_) perf[key] = surrogate->to_json();
+  j["perf"] = std::move(perf);
+  return j;
+}
+
+AccelNASBench AccelNASBench::from_json(const Json& j) {
+  ANB_CHECK(j.at("format").as_string() == "accel-nasbench-v1",
+            "AccelNASBench: unsupported format tag");
+  AccelNASBench bench;
+  if (j.contains("accuracy"))
+    bench.accuracy_ = surrogate_from_json(j.at("accuracy"));
+  for (const auto& [key, payload] : j.at("perf").as_object())
+    bench.perf_[key] = surrogate_from_json(payload);
+  return bench;
+}
+
+void AccelNASBench::save(const std::string& path) const {
+  write_text_file(path, to_json().dump());
+}
+
+AccelNASBench AccelNASBench::load(const std::string& path) {
+  return from_json(Json::parse(read_text_file(path)));
+}
+
+}  // namespace anb

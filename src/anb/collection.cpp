@@ -1,0 +1,88 @@
+#include "anb/anb/collection.hpp"
+
+#include <set>
+
+#include "anb/ir/model_ir.hpp"
+#include "anb/util/error.hpp"
+#include "anb/util/parallel.hpp"
+
+namespace anb {
+
+Dataset CollectedData::make_dataset(std::span<const double> labels) const {
+  ANB_CHECK(labels.size() == archs.size(),
+            "CollectedData::make_dataset: label/arch count mismatch");
+  Dataset out(static_cast<std::size_t>(SearchSpace::feature_dim()));
+  for (std::size_t i = 0; i < archs.size(); ++i)
+    out.add(SearchSpace::features(archs[i]), labels[i]);
+  return out;
+}
+
+Dataset CollectedData::perf_dataset(DeviceKind kind, PerfMetric metric) const {
+  const auto it = perf.find(dataset_name(kind, metric));
+  ANB_CHECK(it != perf.end(), "CollectedData: no labels for " +
+                                  dataset_name(kind, metric));
+  return make_dataset(it->second);
+}
+
+DataCollector::DataCollector(const TrainingSimulator& simulator,
+                             std::vector<Device> devices)
+    : sim_(simulator), devices_(std::move(devices)) {}
+
+CollectedData DataCollector::collect(const CollectionConfig& config) const {
+  ANB_CHECK(config.n_archs >= 1, "DataCollector: n_archs must be >= 1");
+  config.scheme.validate();
+
+  CollectedData data;
+  Rng rng(config.seed);
+  std::set<std::uint64_t> seen;
+  data.archs.reserve(static_cast<std::size_t>(config.n_archs));
+  while (static_cast<int>(data.archs.size()) < config.n_archs) {
+    Architecture arch = SearchSpace::sample(rng);
+    if (!seen.insert(SearchSpace::to_index(arch)).second) continue;
+    data.archs.push_back(arch);
+  }
+
+  // Accuracy labels: one proxified training run per architecture. Each
+  // run's randomness is keyed by its index, so the loop parallelizes with
+  // bit-identical results (the paper used a 24-GPU cluster here).
+  data.accuracy.resize(data.archs.size());
+  std::vector<double> gpu_hours(data.archs.size(), 0.0);
+  parallel_for(data.archs.size(), [&](std::size_t i) {
+    const TrainResult run =
+        sim_.train(data.archs[i], config.scheme, /*run_seed=*/i);
+    data.accuracy[i] = run.top1;
+    gpu_hours[i] = run.gpu_hours;
+  });
+  for (double h : gpu_hours) data.total_gpu_hours += h;
+
+  // Performance labels: warm-up-and-average measurement per device.
+  if (config.collect_perf) {
+    for (const auto& device : devices_) {
+      auto& thr =
+          data.perf[dataset_name(device.kind(), PerfMetric::kThroughput)];
+      thr.reserve(data.archs.size());
+      std::vector<double>* lat = nullptr;
+      if (device.supports_latency()) {
+        lat = &data.perf[dataset_name(device.kind(), PerfMetric::kLatency)];
+        lat->reserve(data.archs.size());
+      }
+      std::vector<double>* enr = nullptr;
+      if (config.collect_energy) {
+        enr = &data.perf[dataset_name(device.kind(), PerfMetric::kEnergy)];
+        enr->resize(data.archs.size());
+      }
+      thr.resize(data.archs.size());
+      if (lat != nullptr) lat->resize(data.archs.size());
+      parallel_for(data.archs.size(), [&](std::size_t i) {
+        const ModelIR ir = build_ir(data.archs[i], 224);
+        const std::uint64_t seed = hash_combine(config.seed, i);
+        thr[i] = device.measure_throughput(ir, seed);
+        if (lat != nullptr) (*lat)[i] = device.measure_latency(ir, seed);
+        if (enr != nullptr) (*enr)[i] = device.measure_energy(ir, seed);
+      });
+    }
+  }
+  return data;
+}
+
+}  // namespace anb

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "anb/hwsim/device.hpp"
+#include "anb/searchspace/space.hpp"
+#include "anb/surrogate/surrogate.hpp"
+
+namespace anb {
+
+/// On-device performance metrics offered by the benchmark (§3.3.2):
+/// throughput on every platform, latency on the FPGA DPUs. Energy is an
+/// extension beyond the paper's dataset matrix (HW-NAS-Bench offers it;
+/// Accel-NASBench does not) — see DESIGN.md E12.
+enum class PerfMetric { kThroughput, kLatency, kEnergy };
+
+const char* perf_metric_name(PerfMetric metric);  // "Thr" / "Lat" / "Enr"
+PerfMetric perf_metric_from_name(const std::string& name);
+
+/// Paper-style short device tag used in dataset names (ANB-ZCU-Thr, ...).
+std::string device_short_name(DeviceKind kind);
+
+/// Paper-style dataset id, e.g. "ANB-Acc", "ANB-ZCU-Thr".
+std::string dataset_name(DeviceKind kind, PerfMetric metric);
+
+/// The Accel-NASBench product: zero-cost queries for accuracy and on-device
+/// performance of any architecture in the MnasNet search space, backed by
+/// fitted surrogates. Query cost is microseconds instead of GPU-hours —
+/// this is the object a NAS researcher downloads and runs optimizers
+/// against (Fig. 1).
+class AccelNASBench {
+ public:
+  AccelNASBench() = default;
+
+  /// Install the accuracy surrogate (predicts proxified top-1 under p*).
+  void set_accuracy_surrogate(std::unique_ptr<Surrogate> surrogate);
+
+  /// Install a performance surrogate for one (device, metric) pair.
+  void set_perf_surrogate(DeviceKind kind, PerfMetric metric,
+                          std::unique_ptr<Surrogate> surrogate);
+
+  bool has_accuracy() const { return accuracy_ != nullptr; }
+  bool has_perf(DeviceKind kind, PerfMetric metric) const;
+
+  /// Predicted top-1 accuracy in [0, 1] (under the proxy training scheme,
+  /// as in the paper — rankings, not absolute values, are the contract).
+  double query_accuracy(const Architecture& arch) const;
+
+  /// Whether the accuracy surrogate is an ensemble (supports noisy queries).
+  bool has_noisy_accuracy() const;
+
+  /// NB301-style noisy query: a draw from the ensemble's predictive
+  /// distribution, emulating the seed-to-seed variance of a real training
+  /// run. Requires an EnsembleSurrogate accuracy model (see
+  /// PipelineOptions::ensemble_accuracy); throws otherwise.
+  double query_accuracy_noisy(const Architecture& arch, Rng& rng) const;
+
+  /// Ensemble mean + std of the accuracy prediction (ensemble only).
+  std::pair<double, double> query_accuracy_dist(const Architecture& arch) const;
+
+  /// Predicted throughput (img/s) or latency (ms) on a device.
+  double query_perf(const Architecture& arch, DeviceKind kind,
+                    PerfMetric metric) const;
+
+  /// All (device, metric) pairs with an installed surrogate.
+  std::vector<std::pair<DeviceKind, PerfMetric>> perf_targets() const;
+
+  /// Serialization of the whole benchmark (all surrogates) to one JSON file.
+  void save(const std::string& path) const;
+  static AccelNASBench load(const std::string& path);
+
+  Json to_json() const;
+  static AccelNASBench from_json(const Json& j);
+
+ private:
+  static std::string perf_key(DeviceKind kind, PerfMetric metric);
+
+  std::unique_ptr<Surrogate> accuracy_;
+  std::map<std::string, std::unique_ptr<Surrogate>> perf_;
+};
+
+}  // namespace anb

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "anb/anb/benchmark.hpp"
+#include "anb/hwsim/device.hpp"
+#include "anb/surrogate/dataset.hpp"
+#include "anb/trainsim/scheme.hpp"
+#include "anb/trainsim/simulator.hpp"
+
+namespace anb {
+
+/// Configuration of the benchmark-construction data collection (§3.3).
+struct CollectionConfig {
+  int n_archs = 5200;        ///< paper: ~5.2k random architectures
+  std::uint64_t seed = 7;
+  TrainingScheme scheme;     ///< the proxy scheme p* used for training
+  bool collect_perf = true;  ///< also run the 6-device measurement pipeline
+  /// Also collect per-device energy (extension beyond the paper, E12).
+  bool collect_energy = false;
+};
+
+/// The raw collected data: architectures plus their measured labels.
+struct CollectedData {
+  std::vector<Architecture> archs;
+  std::vector<double> accuracy;  ///< ANB-Acc labels (proxified top-1)
+  /// ANB-{device}-{metric} labels, keyed by dataset_name().
+  std::map<std::string, std::vector<double>> perf;
+  double total_gpu_hours = 0.0;  ///< simulated training cost of collection
+
+  /// Feature-encoded dataset for a label vector.
+  Dataset make_dataset(std::span<const double> labels) const;
+  Dataset accuracy_dataset() const { return make_dataset(accuracy); }
+  Dataset perf_dataset(DeviceKind kind, PerfMetric metric) const;
+};
+
+/// Runs the Fig. 2 (bottom) pipeline: sample unique random architectures,
+/// train each with the proxy scheme, and measure throughput/latency on the
+/// accelerator fleet (int8-quantized DPU runs on the FPGAs are modelled by
+/// the device specs). Deterministic given the config seed.
+class DataCollector {
+ public:
+  DataCollector(const TrainingSimulator& simulator,
+                std::vector<Device> devices);
+
+  CollectedData collect(const CollectionConfig& config) const;
+
+ private:
+  const TrainingSimulator& sim_;
+  std::vector<Device> devices_;
+};
+
+}  // namespace anb

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <map>
+
+#include "anb/anb/benchmark.hpp"
+#include "anb/anb/collection.hpp"
+#include "anb/anb/proxy_search.hpp"
+#include "anb/anb/tuning.hpp"
+
+namespace anb {
+
+/// End-to-end benchmark-construction options (Fig. 2's full pipeline).
+struct PipelineOptions {
+  std::uint64_t world_seed = 42;
+  int n_archs = 5200;           ///< architectures to collect (paper: ~5.2k)
+  bool run_proxy_search = false;  ///< search for p* vs use the canonical one
+  ProxySearchConfig proxy;      ///< used when run_proxy_search is true
+  bool tune = false;            ///< SMAC-tune surrogates vs use defaults
+  TuneOptions tuning;
+  bool collect_perf = true;     ///< include the 6-device measurement pipeline
+  bool collect_energy = false;  ///< also build energy surrogates (E12 ext.)
+  /// Fit the accuracy surrogate as a bootstrap ensemble of XGBs, enabling
+  /// NB301-style noisy queries (AccelNASBench::query_accuracy_noisy).
+  bool ensemble_accuracy = false;
+  int ensemble_size = 5;
+  double train_frac = 0.8;      ///< paper's 0.8/0.1/0.1 split
+  double val_frac = 0.1;
+  std::uint64_t split_seed = 13;
+};
+
+/// Everything the construction produces, including held-out test metrics
+/// for each dataset (the numbers behind Tables 1 and 2).
+struct PipelineResult {
+  TrainingScheme p_star;
+  ProxySearchOutcome proxy;  ///< populated when the proxy search ran
+  CollectedData data;
+  AccelNASBench bench;
+  std::map<std::string, FitMetrics> test_metrics;  ///< per dataset id
+};
+
+/// A fixed, known-good proxy scheme close to what the grid search finds;
+/// lets benches/examples skip the (slow) proxy search step.
+TrainingScheme canonical_p_star();
+
+/// Run the full construction: (optional) proxy search -> dataset collection
+/// -> per-dataset surrogate fit (XGB; optionally SMAC-tuned) -> assembled
+/// AccelNASBench + held-out test metrics.
+PipelineResult construct_benchmark(const PipelineOptions& options);
+
+}  // namespace anb

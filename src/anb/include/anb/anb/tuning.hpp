@@ -1,0 +1,51 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "anb/hpo/configspace.hpp"
+#include "anb/surrogate/surrogate.hpp"
+
+namespace anb {
+
+/// The candidate surrogate families compared in Table 1.
+enum class SurrogateKind { kXgb, kLgb, kRf, kEpsSvr, kNuSvr };
+
+const char* surrogate_kind_name(SurrogateKind kind);
+/// Paper-style display label ("XGB", "LGB", "RF", "eps-SVR", "nu-SVR").
+const char* surrogate_kind_label(SurrogateKind kind);
+std::vector<SurrogateKind> all_surrogate_kinds();
+
+/// Hyperparameter space of one family (represented as a ConfigSpace, the
+/// paper uses the ConfigSpace library + SMAC3, §3.3.3).
+ConfigSpace surrogate_config_space(SurrogateKind kind);
+
+/// Instantiate an unfitted surrogate from a configuration of its space.
+std::unique_ptr<Surrogate> make_surrogate(SurrogateKind kind,
+                                          const Configuration& config);
+
+/// Sensible defaults (the space's center-ish point) for quick construction.
+std::unique_ptr<Surrogate> make_default_surrogate(SurrogateKind kind);
+
+/// Result of tune_surrogate.
+struct TunedSurrogate {
+  std::unique_ptr<Surrogate> model;  ///< fitted on `train`
+  Configuration config;
+  FitMetrics val_metrics;  ///< of the winning config
+};
+
+/// Options for the tuning loop.
+struct TuneOptions {
+  int n_trials = 24;          ///< SMAC objective evaluations
+  std::uint64_t seed = 11;
+  /// Cap on training rows used *during tuning* (kernel methods are O(n²));
+  /// the final refit always uses the full training split. <= 0 disables.
+  int tuning_subsample = 1600;
+};
+
+/// SMAC-tune hyperparameters on (train -> val RMSE), then refit the winner
+/// on the full training split. Mirrors the paper's §3.3.3 pipeline.
+TunedSurrogate tune_surrogate(SurrogateKind kind, const Dataset& train,
+                              const Dataset& val, const TuneOptions& options);
+
+}  // namespace anb

@@ -1,0 +1,223 @@
+#include "anb/fbnet/fbnet_space.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "anb/ir/builder.hpp"
+#include "anb/util/error.hpp"
+
+namespace anb {
+
+const char* fbnet_op_name(FbnetOp op) {
+  switch (op) {
+    case FbnetOp::kE1K3: return "e1k3";
+    case FbnetOp::kE1K5: return "e1k5";
+    case FbnetOp::kE3K3: return "e3k3";
+    case FbnetOp::kE3K5: return "e3k5";
+    case FbnetOp::kE6K3: return "e6k3";
+    case FbnetOp::kE6K5: return "e6k5";
+    case FbnetOp::kSkip: return "skip";
+  }
+  return "unknown";
+}
+
+int fbnet_op_expansion(FbnetOp op) {
+  switch (op) {
+    case FbnetOp::kE1K3:
+    case FbnetOp::kE1K5: return 1;
+    case FbnetOp::kE3K3:
+    case FbnetOp::kE3K5: return 3;
+    case FbnetOp::kE6K3:
+    case FbnetOp::kE6K5: return 6;
+    case FbnetOp::kSkip: break;
+  }
+  throw Error("fbnet_op_expansion: skip has no expansion");
+}
+
+int fbnet_op_kernel(FbnetOp op) {
+  switch (op) {
+    case FbnetOp::kE1K3:
+    case FbnetOp::kE3K3:
+    case FbnetOp::kE6K3: return 3;
+    case FbnetOp::kE1K5:
+    case FbnetOp::kE3K5:
+    case FbnetOp::kE6K5: return 5;
+    case FbnetOp::kSkip: break;
+  }
+  throw Error("fbnet_op_kernel: skip has no kernel");
+}
+
+std::string FbnetArchitecture::to_string() const {
+  std::string out;
+  for (int i = 0; i < kFbnetNumLayers; ++i) {
+    if (i) out += '-';
+    out += fbnet_op_name(ops[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+FbnetArchitecture FbnetArchitecture::from_string(const std::string& s) {
+  FbnetArchitecture arch;
+  std::istringstream in(s);
+  std::string token;
+  int i = 0;
+  while (std::getline(in, token, '-')) {
+    ANB_CHECK(i < kFbnetNumLayers,
+              "FbnetArchitecture::from_string: too many layers");
+    bool found = false;
+    for (int o = 0; o < kFbnetNumOps; ++o) {
+      if (token == fbnet_op_name(static_cast<FbnetOp>(o))) {
+        arch.ops[static_cast<std::size_t>(i)] = static_cast<FbnetOp>(o);
+        found = true;
+        break;
+      }
+    }
+    ANB_CHECK(found, "FbnetArchitecture::from_string: unknown op '" + token +
+                         "'");
+    ++i;
+  }
+  ANB_CHECK(i == kFbnetNumLayers,
+            "FbnetArchitecture::from_string: expected " +
+                std::to_string(kFbnetNumLayers) + " layers, got " +
+                std::to_string(i));
+  return arch;
+}
+
+std::uint64_t FbnetArchitecture::hash() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (FbnetOp op : ops) {
+    h ^= static_cast<std::uint64_t>(op) + 1;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+const std::array<FbnetSpace::LayerSlot, kFbnetNumLayers>& FbnetSpace::slots() {
+  // FBNet macro: per-stage (layers, channels, stride of the first layer):
+  // (1,16,1) (4,24,2) (4,32,2) (4,64,2) (4,112,1) (4,184,2) (1,352,1).
+  static const std::array<LayerSlot, kFbnetNumLayers> table = [] {
+    std::array<LayerSlot, kFbnetNumLayers> slots{};
+    struct Stage {
+      int layers, channels, stride;
+    };
+    const Stage stages[] = {{1, 16, 1},  {4, 24, 2}, {4, 32, 2}, {4, 64, 2},
+                            {4, 112, 1}, {4, 184, 2}, {1, 352, 1}};
+    int i = 0;
+    int in_c = kStemChannels;
+    for (const auto& stage : stages) {
+      for (int l = 0; l < stage.layers; ++l) {
+        LayerSlot slot;
+        slot.out_c = stage.channels;
+        slot.stride = l == 0 ? stage.stride : 1;
+        slot.skip_allowed = slot.stride == 1 && in_c == stage.channels;
+        slots[static_cast<std::size_t>(i++)] = slot;
+        in_c = stage.channels;
+      }
+    }
+    ANB_ASSERT(i == kFbnetNumLayers, "FBNet slot table size mismatch");
+    return slots;
+  }();
+  return table;
+}
+
+int FbnetSpace::num_ops(int layer) {
+  ANB_CHECK(layer >= 0 && layer < kFbnetNumLayers,
+            "FbnetSpace::num_ops: layer out of range");
+  return slots()[static_cast<std::size_t>(layer)].skip_allowed
+             ? kFbnetNumOps
+             : kFbnetNumOps - 1;
+}
+
+double FbnetSpace::log10_cardinality() {
+  double log10 = 0.0;
+  for (int i = 0; i < kFbnetNumLayers; ++i) log10 += std::log10(num_ops(i));
+  return log10;
+}
+
+void FbnetSpace::validate(const FbnetArchitecture& arch) {
+  for (int i = 0; i < kFbnetNumLayers; ++i) {
+    const FbnetOp op = arch.ops[static_cast<std::size_t>(i)];
+    const auto raw = static_cast<int>(op);
+    ANB_CHECK(raw >= 0 && raw < kFbnetNumOps,
+              "FbnetSpace: invalid op at layer " + std::to_string(i));
+    if (op == FbnetOp::kSkip) {
+      ANB_CHECK(slots()[static_cast<std::size_t>(i)].skip_allowed,
+                "FbnetSpace: skip is illegal at layer " + std::to_string(i) +
+                    " (shape-changing position)");
+    }
+  }
+}
+
+bool FbnetSpace::is_valid(const FbnetArchitecture& arch) {
+  try {
+    validate(arch);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+FbnetArchitecture FbnetSpace::sample(Rng& rng) {
+  FbnetArchitecture arch;
+  for (int i = 0; i < kFbnetNumLayers; ++i) {
+    arch.ops[static_cast<std::size_t>(i)] = static_cast<FbnetOp>(
+        rng.uniform_index(static_cast<std::uint64_t>(num_ops(i))));
+  }
+  return arch;
+}
+
+FbnetArchitecture FbnetSpace::mutate(const FbnetArchitecture& arch, Rng& rng) {
+  validate(arch);
+  FbnetArchitecture out = arch;
+  const int layer = static_cast<int>(rng.uniform_index(kFbnetNumLayers));
+  const int options = num_ops(layer);
+  const int current = static_cast<int>(out.ops[static_cast<std::size_t>(layer)]);
+  const int offset =
+      1 + static_cast<int>(rng.uniform_index(
+              static_cast<std::uint64_t>(options - 1)));
+  out.ops[static_cast<std::size_t>(layer)] =
+      static_cast<FbnetOp>((current + offset) % options);
+  ANB_ASSERT(!(out == arch), "FbnetSpace::mutate produced identical arch");
+  return out;
+}
+
+int FbnetSpace::feature_dim() { return kFbnetNumLayers * kFbnetNumOps; }
+
+std::vector<double> FbnetSpace::features(const FbnetArchitecture& arch) {
+  validate(arch);
+  std::vector<double> f(static_cast<std::size_t>(feature_dim()), 0.0);
+  for (int i = 0; i < kFbnetNumLayers; ++i) {
+    f[static_cast<std::size_t>(i * kFbnetNumOps +
+                               static_cast<int>(arch.ops[static_cast<std::size_t>(i)]))] =
+        1.0;
+  }
+  return f;
+}
+
+ModelIR build_fbnet_ir(const FbnetArchitecture& arch, int resolution) {
+  FbnetSpace::validate(arch);
+  ANB_CHECK(resolution >= 32 && resolution <= 1024,
+            "build_fbnet_ir: resolution must be in [32, 1024]");
+
+  ModelIR ir;
+  ir.resolution = resolution;
+
+  IrBuilder b(resolution);
+  b.conv("stem.conv", FbnetSpace::kStemChannels, 3, 2);
+  const auto& slots = FbnetSpace::slots();
+  for (int i = 0; i < kFbnetNumLayers; ++i) {
+    const FbnetOp op = arch.ops[static_cast<std::size_t>(i)];
+    if (op == FbnetOp::kSkip) continue;  // identity
+    const auto& slot = slots[static_cast<std::size_t>(i)];
+    b.mbconv("l" + std::to_string(i + 1), slot.out_c, fbnet_op_expansion(op),
+             fbnet_op_kernel(op), slot.stride, /*se=*/false);
+  }
+  b.conv("head.conv", FbnetSpace::kHeadChannels, 1, 1);
+  b.global_avg_pool("head.pool");
+  b.fully_connected("head.fc", MacroSkeleton::kNumClasses);
+
+  ir.layers = b.take();
+  return ir;
+}
+
+}  // namespace anb

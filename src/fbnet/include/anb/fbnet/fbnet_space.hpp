@@ -1,0 +1,84 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "anb/ir/model_ir.hpp"
+#include "anb/util/rng.hpp"
+
+namespace anb {
+
+/// Candidate operator of one FBNet-style searchable layer: a mobile
+/// inverted bottleneck with the given expansion/kernel, or identity skip.
+enum class FbnetOp {
+  kE1K3,  ///< MBConv e=1 k=3
+  kE1K5,
+  kE3K3,
+  kE3K5,
+  kE6K3,
+  kE6K5,
+  kSkip,  ///< identity (only legal where shape is preserved)
+};
+
+inline constexpr int kFbnetNumOps = 7;
+inline constexpr int kFbnetNumLayers = 22;
+
+const char* fbnet_op_name(FbnetOp op);
+int fbnet_op_expansion(FbnetOp op);  ///< throws for kSkip
+int fbnet_op_kernel(FbnetOp op);     ///< throws for kSkip
+
+/// A point in the FBNet-style space: one op per searchable layer.
+struct FbnetArchitecture {
+  std::array<FbnetOp, kFbnetNumLayers> ops{};
+
+  bool operator==(const FbnetArchitecture&) const = default;
+  std::string to_string() const;  ///< dash-separated op names
+  static FbnetArchitecture from_string(const std::string& s);
+  std::uint64_t hash() const;
+};
+
+/// The layer-wise generalizability search space (paper §3.1: "for
+/// experiments with additional search spaces ... see our GitHub"; FBNet [17]
+/// is the space HW-NAS-Bench also covers).
+///
+/// Macro-skeleton (fixed): stem 16ch s2, then 22 searchable TBS layers over
+/// stages with channels (16,24,32,64,112,184,352) and per-stage layer counts
+/// (1,4,4,4,4,4,1); head 1504ch, 1000 classes. Identity skip is legal only
+/// on layers whose input and output shapes match (never the first layer of
+/// a strided or channel-changing stage). Cardinality ~ 6^7 * 7^15 ~ 1e18.
+class FbnetSpace {
+ public:
+  struct LayerSlot {
+    int out_c = 16;
+    int stride = 1;
+    bool skip_allowed = false;
+  };
+
+  static const std::array<LayerSlot, kFbnetNumLayers>& slots();
+  static constexpr int kStemChannels = 16;
+  static constexpr int kHeadChannels = 1504;
+
+  /// Option count of layer `i` (7 where skip is legal, else 6).
+  static int num_ops(int layer);
+  static double log10_cardinality();
+
+  static void validate(const FbnetArchitecture& arch);
+  static bool is_valid(const FbnetArchitecture& arch);
+
+  static FbnetArchitecture sample(Rng& rng);
+  /// Change exactly one layer's op to a different legal one.
+  static FbnetArchitecture mutate(const FbnetArchitecture& arch, Rng& rng);
+
+  /// One-hot encoding, kFbnetNumLayers x kFbnetNumOps = 154 dims (illegal
+  /// skip positions simply never activate their last column).
+  static int feature_dim();
+  static std::vector<double> features(const FbnetArchitecture& arch);
+};
+
+/// Lower to the same ModelIR the device models consume. Skip ops contribute
+/// no layers. `ModelIR::arch` is left default (this is not a MnasNet arch).
+ModelIR build_fbnet_ir(const FbnetArchitecture& arch, int resolution = 224);
+
+}  // namespace anb

@@ -1,0 +1,266 @@
+#include "anb/hpo/configspace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+
+double Configuration::get(const std::string& name) const {
+  auto it = values_.find(name);
+  ANB_CHECK(it != values_.end(),
+            "Configuration: missing parameter '" + name + "'");
+  return it->second;
+}
+
+int Configuration::get_int(const std::string& name) const {
+  const double v = get(name);
+  const double r = std::round(v);
+  ANB_CHECK(std::abs(v - r) < 1e-9,
+            "Configuration: parameter '" + name + "' is not integral");
+  return static_cast<int>(r);
+}
+
+std::string Configuration::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : values_) {
+    if (!first) os << ", ";
+    first = false;
+    os << k << "=" << v;
+  }
+  os << "}";
+  return os.str();
+}
+
+void ConfigSpace::add_param(Param param) {
+  for (const auto& existing : params_) {
+    ANB_CHECK(existing.name != param.name,
+              "ConfigSpace: duplicate parameter '" + param.name + "'");
+  }
+  names_.push_back(param.name);
+  params_.push_back(std::move(param));
+}
+
+void ConfigSpace::add_categorical(const std::string& name,
+                                  std::vector<double> choices) {
+  ANB_CHECK(!choices.empty(), "ConfigSpace: categorical needs >= 1 choice");
+  Param p;
+  p.name = name;
+  p.kind = Kind::kCategorical;
+  p.choices = std::move(choices);
+  add_param(std::move(p));
+}
+
+void ConfigSpace::add_int(const std::string& name, int lo, int hi) {
+  ANB_CHECK(lo <= hi, "ConfigSpace: int range lo must be <= hi");
+  Param p;
+  p.name = name;
+  p.kind = Kind::kInt;
+  p.lo = lo;
+  p.hi = hi;
+  add_param(std::move(p));
+}
+
+void ConfigSpace::add_float(const std::string& name, double lo, double hi,
+                            bool log_scale) {
+  ANB_CHECK(lo < hi, "ConfigSpace: float range lo must be < hi");
+  if (log_scale) ANB_CHECK(lo > 0.0, "ConfigSpace: log range needs lo > 0");
+  Param p;
+  p.name = name;
+  p.kind = log_scale ? Kind::kLogFloat : Kind::kFloat;
+  p.lo = lo;
+  p.hi = hi;
+  add_param(std::move(p));
+}
+
+const ConfigSpace::Param& ConfigSpace::find(const std::string& name) const {
+  for (const auto& p : params_) {
+    if (p.name == name) return p;
+  }
+  throw Error("ConfigSpace: unknown parameter '" + name + "'");
+}
+
+Configuration ConfigSpace::sample(Rng& rng) const {
+  ANB_CHECK(!params_.empty(), "ConfigSpace::sample: empty space");
+  Configuration c;
+  for (const auto& p : params_) {
+    switch (p.kind) {
+      case Kind::kCategorical:
+        c.set(p.name, rng.pick(p.choices));
+        break;
+      case Kind::kInt:
+        c.set(p.name, static_cast<double>(rng.uniform_int(
+                          static_cast<std::int64_t>(p.lo),
+                          static_cast<std::int64_t>(p.hi))));
+        break;
+      case Kind::kFloat:
+        c.set(p.name, rng.uniform(p.lo, p.hi));
+        break;
+      case Kind::kLogFloat:
+        // Clamp: exp(log(hi)) can overshoot hi by one ulp.
+        c.set(p.name,
+              std::clamp(std::exp(rng.uniform(std::log(p.lo), std::log(p.hi))),
+                         p.lo, p.hi));
+        break;
+    }
+  }
+  return c;
+}
+
+std::vector<Configuration> ConfigSpace::grid(int points_per_range,
+                                             std::size_t max_size) const {
+  ANB_CHECK(points_per_range >= 2, "ConfigSpace::grid: need >= 2 points");
+  ANB_CHECK(!params_.empty(), "ConfigSpace::grid: empty space");
+
+  std::vector<std::vector<double>> axes;
+  std::size_t total = 1;
+  for (const auto& p : params_) {
+    std::vector<double> axis;
+    switch (p.kind) {
+      case Kind::kCategorical:
+        axis = p.choices;
+        break;
+      case Kind::kInt: {
+        const auto span = static_cast<int>(p.hi - p.lo);
+        const int pts = std::min(points_per_range, span + 1);
+        for (int k = 0; k < pts; ++k) {
+          axis.push_back(std::round(
+              p.lo + (pts > 1 ? span * static_cast<double>(k) / (pts - 1)
+                              : 0.0)));
+        }
+        axis.erase(std::unique(axis.begin(), axis.end()), axis.end());
+        break;
+      }
+      case Kind::kFloat:
+        for (int k = 0; k < points_per_range; ++k)
+          axis.push_back(p.lo + (p.hi - p.lo) * k / (points_per_range - 1));
+        break;
+      case Kind::kLogFloat:
+        for (int k = 0; k < points_per_range; ++k)
+          axis.push_back(std::exp(std::log(p.lo) +
+                                  (std::log(p.hi) - std::log(p.lo)) * k /
+                                      (points_per_range - 1)));
+        break;
+    }
+    total *= axis.size();
+    ANB_CHECK(total <= max_size, "ConfigSpace::grid: grid too large");
+    axes.push_back(std::move(axis));
+  }
+
+  std::vector<Configuration> out;
+  out.reserve(total);
+  std::vector<std::size_t> idx(params_.size(), 0);
+  while (true) {
+    Configuration c;
+    for (std::size_t d = 0; d < params_.size(); ++d)
+      c.set(params_[d].name, axes[d][idx[d]]);
+    out.push_back(std::move(c));
+    // Odometer increment.
+    std::size_t d = 0;
+    while (d < params_.size()) {
+      if (++idx[d] < axes[d].size()) break;
+      idx[d] = 0;
+      ++d;
+    }
+    if (d == params_.size()) break;
+  }
+  return out;
+}
+
+std::vector<double> ConfigSpace::to_unit_vector(
+    const Configuration& config) const {
+  validate(config);
+  std::vector<double> v;
+  v.reserve(params_.size());
+  for (const auto& p : params_) {
+    const double x = config.get(p.name);
+    switch (p.kind) {
+      case Kind::kCategorical: {
+        const auto it = std::find(p.choices.begin(), p.choices.end(), x);
+        const auto pos = static_cast<double>(it - p.choices.begin());
+        v.push_back(p.choices.size() > 1
+                        ? pos / static_cast<double>(p.choices.size() - 1)
+                        : 0.0);
+        break;
+      }
+      case Kind::kInt:
+      case Kind::kFloat:
+        v.push_back(p.hi > p.lo ? (x - p.lo) / (p.hi - p.lo) : 0.0);
+        break;
+      case Kind::kLogFloat:
+        v.push_back((std::log(x) - std::log(p.lo)) /
+                    (std::log(p.hi) - std::log(p.lo)));
+        break;
+    }
+  }
+  return v;
+}
+
+Configuration ConfigSpace::neighbor(const Configuration& config,
+                                    Rng& rng) const {
+  validate(config);
+  Configuration out = config;
+  const auto& p = params_[rng.uniform_index(params_.size())];
+  const double cur = config.get(p.name);
+  switch (p.kind) {
+    case Kind::kCategorical: {
+      if (p.choices.size() < 2) break;
+      double next = cur;
+      while (next == cur) next = rng.pick(p.choices);
+      out.set(p.name, next);
+      break;
+    }
+    case Kind::kInt: {
+      if (p.hi <= p.lo) break;
+      const int step = rng.bernoulli(0.5) ? 1 : -1;
+      double next = std::clamp(cur + step, p.lo, p.hi);
+      if (next == cur) next = std::clamp(cur - step, p.lo, p.hi);
+      out.set(p.name, next);
+      break;
+    }
+    case Kind::kFloat: {
+      const double sigma = 0.2 * (p.hi - p.lo);
+      out.set(p.name, std::clamp(cur + sigma * rng.normal(), p.lo, p.hi));
+      break;
+    }
+    case Kind::kLogFloat: {
+      const double log_sigma = 0.2 * (std::log(p.hi) - std::log(p.lo));
+      const double next = std::exp(std::clamp(
+          std::log(cur) + log_sigma * rng.normal(), std::log(p.lo),
+          std::log(p.hi)));
+      out.set(p.name, std::clamp(next, p.lo, p.hi));
+      break;
+    }
+  }
+  return out;
+}
+
+void ConfigSpace::validate(const Configuration& config) const {
+  ANB_CHECK(config.size() == params_.size(),
+            "ConfigSpace::validate: wrong parameter count");
+  for (const auto& p : params_) {
+    const double x = config.get(p.name);
+    switch (p.kind) {
+      case Kind::kCategorical:
+        ANB_CHECK(std::find(p.choices.begin(), p.choices.end(), x) !=
+                      p.choices.end(),
+                  "ConfigSpace: '" + p.name + "' has invalid choice");
+        break;
+      case Kind::kInt:
+        ANB_CHECK(x == std::round(x) && x >= p.lo && x <= p.hi,
+                  "ConfigSpace: '" + p.name + "' out of int range");
+        break;
+      case Kind::kFloat:
+      case Kind::kLogFloat:
+        ANB_CHECK(x >= p.lo && x <= p.hi,
+                  "ConfigSpace: '" + p.name + "' out of range");
+        break;
+    }
+  }
+}
+
+}  // namespace anb

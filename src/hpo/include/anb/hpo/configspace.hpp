@@ -1,0 +1,85 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "anb/util/rng.hpp"
+
+namespace anb {
+
+/// A concrete assignment of values to every hyperparameter of a ConfigSpace.
+/// Values are stored as doubles; integer/categorical parameters hold exact
+/// integral values.
+class Configuration {
+ public:
+  Configuration() = default;
+
+  void set(const std::string& name, double value) { values_[name] = value; }
+  double get(const std::string& name) const;
+  int get_int(const std::string& name) const;
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+  std::size_t size() const { return values_.size(); }
+  const std::map<std::string, double>& values() const { return values_; }
+
+  std::string to_string() const;
+  bool operator==(const Configuration&) const = default;
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// A mixed hyperparameter space in the style of the ConfigSpace library
+/// (used by the paper for surrogate hyperparameter representation, §3.3.3).
+///
+/// Supports categorical (explicit numeric choices), integer ranges, and
+/// float ranges with optional log-scaling. Provides uniform sampling,
+/// exhaustive grid enumeration, unit-cube encoding (the input representation
+/// for SMAC's random-forest model), and neighborhood moves for local search.
+class ConfigSpace {
+ public:
+  void add_categorical(const std::string& name, std::vector<double> choices);
+  void add_int(const std::string& name, int lo, int hi);
+  void add_float(const std::string& name, double lo, double hi,
+                 bool log_scale = false);
+
+  std::size_t num_params() const { return params_.size(); }
+  const std::vector<std::string>& param_names() const { return names_; }
+
+  /// Uniform random configuration (log-uniform for log-scale floats).
+  Configuration sample(Rng& rng) const;
+
+  /// Cartesian-product grid. Float/int ranges contribute
+  /// `points_per_range` evenly spaced values; categoricals all choices.
+  /// Throws if the grid would exceed `max_size`.
+  std::vector<Configuration> grid(int points_per_range = 5,
+                                  std::size_t max_size = 2'000'000) const;
+
+  /// Map a configuration into [0,1]^d in a fixed parameter order
+  /// (categoricals by choice index, log floats by log position).
+  std::vector<double> to_unit_vector(const Configuration& config) const;
+
+  /// Mutate one randomly chosen parameter to a different value
+  /// (neighboring grid point for ranges, different choice for categoricals).
+  Configuration neighbor(const Configuration& config, Rng& rng) const;
+
+  /// Throws anb::Error unless every parameter is present and within range.
+  void validate(const Configuration& config) const;
+
+ private:
+  enum class Kind { kCategorical, kInt, kFloat, kLogFloat };
+  struct Param {
+    std::string name;
+    Kind kind = Kind::kCategorical;
+    std::vector<double> choices;  // categorical
+    double lo = 0.0, hi = 1.0;    // ranges
+  };
+
+  const Param& find(const std::string& name) const;
+  void add_param(Param param);
+
+  std::vector<Param> params_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace anb

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "anb/hpo/configspace.hpp"
+
+namespace anb {
+
+/// Objective to *minimize*. (Negate for maximization problems such as the
+/// paper's rank-correlation objective.)
+using HpoObjective = std::function<double(const Configuration&)>;
+
+/// One evaluated configuration.
+struct HpoTrial {
+  Configuration config;
+  double value = 0.0;
+};
+
+/// Outcome of an HPO run.
+struct HpoResult {
+  Configuration best;
+  double best_value = 0.0;
+  std::vector<HpoTrial> history;
+};
+
+/// Exhaustive grid search — the optimizer the paper uses for its
+/// training-proxy search (§3.2: trivially parallel, low-dimensional space).
+/// `filter` (optional) skips invalid grid points (e.g. e_s > e_f);
+/// `early_stop` (optional) aborts once a good-enough value is found.
+class GridSearch {
+ public:
+  struct Options {
+    int points_per_range = 5;
+    std::function<bool(const Configuration&)> filter;
+    std::function<bool(double best_so_far)> early_stop;
+  };
+
+  static HpoResult run(const ConfigSpace& space, const HpoObjective& objective,
+                       const Options& options);
+  static HpoResult run(const ConfigSpace& space,
+                       const HpoObjective& objective) {
+    return run(space, objective, Options{});
+  }
+};
+
+/// Pure random search baseline.
+class RandomSearchHpo {
+ public:
+  static HpoResult run(const ConfigSpace& space, const HpoObjective& objective,
+                       int n_trials, Rng& rng);
+};
+
+/// SMAC-style Bayesian optimization: random-forest surrogate over the
+/// unit-cube encoding + expected-improvement acquisition, with interleaved
+/// random configurations (the paper tunes its benchmark surrogates with
+/// SMAC3, §3.3.3).
+class SmacLite {
+ public:
+  struct Options {
+    int n_trials = 50;
+    int n_init = 8;            ///< initial random design
+    int n_candidates = 500;    ///< EI candidate pool per iteration
+    int random_interleave = 4; ///< every k-th trial is random
+    std::function<bool(const Configuration&)> filter;
+  };
+
+  static HpoResult run(const ConfigSpace& space, const HpoObjective& objective,
+                       const Options& options, Rng& rng);
+};
+
+}  // namespace anb

@@ -1,0 +1,139 @@
+#include "anb/hpo/optimizers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "anb/surrogate/random_forest.hpp"
+#include "anb/util/error.hpp"
+
+namespace anb {
+
+namespace {
+
+void record(HpoResult& result, Configuration config, double value) {
+  if (result.history.empty() || value < result.best_value) {
+    result.best = config;
+    result.best_value = value;
+  }
+  result.history.push_back({std::move(config), value});
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * 3.141592653589793);
+}
+
+/// Expected improvement for minimization.
+double expected_improvement(double mean, double std, double f_best) {
+  if (std < 1e-12) return std::max(0.0, f_best - mean);
+  const double z = (f_best - mean) / std;
+  return (f_best - mean) * normal_cdf(z) + std * normal_pdf(z);
+}
+
+}  // namespace
+
+HpoResult GridSearch::run(const ConfigSpace& space,
+                          const HpoObjective& objective,
+                          const Options& options) {
+  ANB_CHECK(static_cast<bool>(objective), "GridSearch: missing objective");
+  HpoResult result;
+  result.best_value = std::numeric_limits<double>::infinity();
+  for (auto& config : space.grid(options.points_per_range)) {
+    if (options.filter && !options.filter(config)) continue;
+    const double value = objective(config);
+    record(result, std::move(config), value);
+    if (options.early_stop && options.early_stop(result.best_value)) break;
+  }
+  ANB_CHECK(!result.history.empty(),
+            "GridSearch: filter rejected every grid point");
+  return result;
+}
+
+HpoResult RandomSearchHpo::run(const ConfigSpace& space,
+                               const HpoObjective& objective, int n_trials,
+                               Rng& rng) {
+  ANB_CHECK(static_cast<bool>(objective), "RandomSearchHpo: missing objective");
+  ANB_CHECK(n_trials >= 1, "RandomSearchHpo: n_trials must be >= 1");
+  HpoResult result;
+  result.best_value = std::numeric_limits<double>::infinity();
+  for (int t = 0; t < n_trials; ++t) {
+    Configuration config = space.sample(rng);
+    const double value = objective(config);
+    record(result, std::move(config), value);
+  }
+  return result;
+}
+
+HpoResult SmacLite::run(const ConfigSpace& space,
+                        const HpoObjective& objective, const Options& options,
+                        Rng& rng) {
+  ANB_CHECK(static_cast<bool>(objective), "SmacLite: missing objective");
+  ANB_CHECK(options.n_trials >= 1, "SmacLite: n_trials must be >= 1");
+  ANB_CHECK(options.n_init >= 2, "SmacLite: n_init must be >= 2");
+
+  HpoResult result;
+  result.best_value = std::numeric_limits<double>::infinity();
+
+  auto sample_valid = [&]() {
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      Configuration c = space.sample(rng);
+      if (!options.filter || options.filter(c)) return c;
+    }
+    throw Error("SmacLite: filter rejected 1000 consecutive samples");
+  };
+
+  // Initial random design.
+  const int n_init = std::min(options.n_init, options.n_trials);
+  for (int t = 0; t < n_init; ++t) {
+    Configuration config = sample_valid();
+    const double value = objective(config);
+    record(result, std::move(config), value);
+  }
+
+  RandomForestParams rf_params;
+  rf_params.n_trees = 60;
+  rf_params.max_depth = 12;
+  rf_params.min_samples_leaf = 1.0;
+  rf_params.max_features_frac = 0.8;
+
+  for (int t = n_init; t < options.n_trials; ++t) {
+    Configuration next;
+    const bool interleave_random =
+        options.random_interleave > 0 && t % options.random_interleave == 0;
+    if (interleave_random) {
+      next = sample_valid();
+    } else {
+      // Fit the RF model on all observations so far.
+      Dataset obs(space.num_params());
+      for (const auto& trial : result.history)
+        obs.add(space.to_unit_vector(trial.config), trial.value);
+      RandomForest model(rf_params);
+      Rng fit_rng = rng.fork();
+      model.fit(obs, fit_rng);
+
+      // Candidate pool: random configs plus neighbors of the incumbent.
+      double best_ei = -1.0;
+      for (int c = 0; c < options.n_candidates; ++c) {
+        Configuration cand = c % 4 == 0
+                                 ? space.neighbor(result.best, rng)
+                                 : space.sample(rng);
+        if (options.filter && !options.filter(cand)) continue;
+        const auto [mean, std] =
+            model.predict_mean_std(space.to_unit_vector(cand));
+        const double ei = expected_improvement(mean, std, result.best_value);
+        if (ei > best_ei) {
+          best_ei = ei;
+          next = std::move(cand);
+        }
+      }
+      if (next.size() == 0) next = sample_valid();
+    }
+    const double value = objective(next);
+    record(result, std::move(next), value);
+  }
+  return result;
+}
+
+}  // namespace anb

@@ -1,0 +1,305 @@
+#include "anb/hwsim/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "anb/util/error.hpp"
+#include "anb/util/rng.hpp"
+
+namespace anb {
+
+const char* device_kind_name(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kTpuV2: return "tpuv2";
+    case DeviceKind::kTpuV3: return "tpuv3";
+    case DeviceKind::kA100: return "a100";
+    case DeviceKind::kRtx3090: return "rtx3090";
+    case DeviceKind::kZcu102: return "zcu102";
+    case DeviceKind::kVck190: return "vck190";
+  }
+  return "unknown";
+}
+
+DeviceKind device_kind_from_name(const std::string& name) {
+  for (DeviceKind kind :
+       {DeviceKind::kTpuV2, DeviceKind::kTpuV3, DeviceKind::kA100,
+        DeviceKind::kRtx3090, DeviceKind::kZcu102, DeviceKind::kVck190}) {
+    if (name == device_kind_name(kind)) return kind;
+  }
+  throw Error("device_kind_from_name: unknown device '" + name + "'");
+}
+
+bool device_supports_latency(DeviceKind kind) {
+  return kind == DeviceKind::kZcu102 || kind == DeviceKind::kVck190;
+}
+
+Device::Device(DeviceSpec spec) : spec_(std::move(spec)) {
+  ANB_CHECK(spec_.peak_flops > 0 && spec_.mem_bandwidth > 0,
+            "Device: peak_flops and mem_bandwidth must be positive");
+  ANB_CHECK(spec_.measure_batch >= 1, "Device: measure_batch must be >= 1");
+  ANB_CHECK(spec_.compute_cores >= 1, "Device: compute_cores must be >= 1");
+  ANB_CHECK(spec_.timed_runs >= 1, "Device: timed_runs must be >= 1");
+}
+
+double Device::layer_time_s(const Layer& layer, int batch) const {
+  const double b = batch;
+
+  // --- compute roof ---
+  double eff = spec_.conv_eff;
+  bool slow_path = false;
+  switch (layer.kind) {
+    case OpKind::kConv2d: {
+      // Thin channel dims underutilize the matrix engine (e.g. the 3-channel
+      // stem); saturates at the device's alignment width.
+      const double util =
+          std::min(1.0, std::sqrt(static_cast<double>(layer.in_c) *
+                                  static_cast<double>(layer.out_c)) /
+                            spec_.channel_align);
+      eff = spec_.conv_eff * util;
+      break;
+    }
+    case OpKind::kDepthwiseConv2d:
+      eff = spec_.dwconv_eff;
+      break;
+    case OpKind::kFullyConnected:
+      eff = spec_.fc_eff;
+      slow_path = spec_.fallback_overhead_s > 0 && layer.out_h == 1 &&
+                  layer.in_c != 0 && layer.name.find(".se.") != std::string::npos;
+      break;
+    case OpKind::kGlobalAvgPool:
+    case OpKind::kScale:
+    case OpKind::kAdd:
+      eff = spec_.elementwise_eff;
+      slow_path = spec_.fallback_overhead_s > 0 &&
+                  layer.kind != OpKind::kAdd;  // pool/scale leave the pipeline
+      break;
+  }
+  eff = std::max(eff, 1e-3);
+  const double compute_s =
+      b * 2.0 * static_cast<double>(layer.macs) / (spec_.peak_flops * eff);
+
+  // --- memory roof: activations move per image, weights once per batch ---
+  const double act_bytes =
+      b * spec_.bytes_per_elem *
+      static_cast<double>(layer.input_elems + layer.output_elems);
+  const double weight_bytes =
+      spec_.bytes_per_elem * static_cast<double>(layer.weight_elems);
+  double bw = spec_.mem_bandwidth;
+  if (layer.kind != OpKind::kConv2d && layer.kind != OpKind::kDepthwiseConv2d &&
+      layer.kind != OpKind::kFullyConnected) {
+    bw *= std::max(spec_.elementwise_eff, 1e-3);
+  }
+  const double memory_s = (act_bytes + weight_bytes) / bw;
+
+  double t = std::max(compute_s, memory_s) + spec_.layer_overhead_s;
+  if (slow_path) t += spec_.fallback_overhead_s;
+  return t;
+}
+
+double Device::batch_time_s(const ModelIR& ir, int batch) const {
+  ANB_CHECK(batch >= 1, "Device::batch_time_s: batch must be >= 1");
+  ANB_CHECK(!ir.layers.empty(), "Device::batch_time_s: empty model");
+  double t = spec_.base_overhead_s;
+  for (const auto& layer : ir.layers) t += layer_time_s(layer, batch);
+  return t;
+}
+
+double Device::throughput_fps(const ModelIR& ir) const {
+  const double t = batch_time_s(ir, spec_.measure_batch);
+  return spec_.compute_cores * static_cast<double>(spec_.measure_batch) / t;
+}
+
+double Device::latency_ms(const ModelIR& ir) const {
+  return batch_time_s(ir, 1) * 1e3;
+}
+
+double Device::measure(double expected, std::uint64_t seed) const {
+  // Warm-up runs (XLA graph compilation on TPUs, cudnn autotune on GPUs) are
+  // discarded per the paper's protocol, so only steady-state noise remains.
+  Rng rng(hash_combine(seed, static_cast<std::uint64_t>(spec_.kind) + 1));
+  double acc = 0.0;
+  for (int run = 0; run < spec_.timed_runs; ++run) {
+    acc += expected * (1.0 + spec_.measurement_noise * rng.normal());
+  }
+  return std::max(acc / spec_.timed_runs, expected * 0.5);
+}
+
+double Device::measure_throughput(const ModelIR& ir, std::uint64_t seed) const {
+  return measure(throughput_fps(ir), hash_combine(seed, 0xA11CE));
+}
+
+double Device::measure_latency(const ModelIR& ir, std::uint64_t seed) const {
+  ANB_CHECK(supports_latency(),
+            "measure_latency: only FPGA DPU platforms report latency");
+  return measure(latency_ms(ir), hash_combine(seed, 0x1A7E2C));
+}
+
+double Device::energy_mj_per_image(const ModelIR& ir) const {
+  const int batch = spec_.measure_batch;
+  const double time_per_image =
+      batch_time_s(ir, batch) / (spec_.compute_cores * batch);
+  double switching_j = 0.0;
+  for (const auto& layer : ir.layers) {
+    switching_j += spec_.energy_per_flop_j * 2.0 *
+                   static_cast<double>(layer.macs);
+    // Activations stream per image; weights amortize over the batch.
+    switching_j += spec_.energy_per_byte_j * spec_.bytes_per_elem *
+                   (static_cast<double>(layer.input_elems + layer.output_elems) +
+                    static_cast<double>(layer.weight_elems) / batch);
+  }
+  const double static_j = spec_.idle_power_w * time_per_image;
+  return (static_j + switching_j) * 1e3;
+}
+
+double Device::measure_energy(const ModelIR& ir, std::uint64_t seed) const {
+  return measure(energy_mj_per_image(ir), hash_combine(seed, 0xE4E26F));
+}
+
+Device make_device(DeviceKind kind) {
+  DeviceSpec s;
+  s.kind = kind;
+  s.name = device_kind_name(kind);
+  switch (kind) {
+    case DeviceKind::kTpuV2:
+      // One TPUv2 chip via Torch/XLA. Values are *effective deployed*
+      // numbers (nameplate x framework derate ~0.12): the systolic array
+      // wants wide aligned channels and depthwise convs run at a tiny
+      // fraction of peak under XLA. 4 timed runs after warm-up (paper).
+      s.peak_flops = 5.6e12;
+      s.mem_bandwidth = 0.087e12;
+      s.bytes_per_elem = 2.0;
+      s.measure_batch = 256;
+      s.conv_eff = 0.50;
+      s.dwconv_eff = 0.040;
+      s.fc_eff = 0.45;
+      s.elementwise_eff = 0.50;
+      s.channel_align = 128.0;
+      s.layer_overhead_s = 8e-6;
+      s.base_overhead_s = 1.5e-4;
+      s.measurement_noise = 0.015;
+      s.timed_runs = 4;
+      s.idle_power_w = 150.0;
+      s.energy_per_flop_j = 0.8e-12;
+      s.energy_per_byte_j = 25e-12;
+      break;
+    case DeviceKind::kTpuV3:
+      // Effective deployed values (nameplate 123 TFLOPS bf16 x ~0.17).
+      s.peak_flops = 20.5e12;
+      s.mem_bandwidth = 0.15e12;
+      s.bytes_per_elem = 2.0;
+      s.measure_batch = 256;
+      s.conv_eff = 0.55;
+      s.dwconv_eff = 0.040;
+      s.fc_eff = 0.50;
+      s.elementwise_eff = 0.50;
+      s.channel_align = 128.0;
+      s.layer_overhead_s = 8e-6;
+      s.base_overhead_s = 1.5e-4;
+      s.measurement_noise = 0.015;
+      s.timed_runs = 4;
+      s.idle_power_w = 200.0;
+      s.energy_per_flop_j = 0.6e-12;
+      s.energy_per_byte_j = 25e-12;
+      break;
+    case DeviceKind::kA100:
+      // fp16 tensor cores, effective deployed values (nameplate 312 TFLOPS /
+      // 2.0 TB/s x framework derate ~0.15 for eager-mode convnets);
+      // 2 timed runs after warm-up (paper).
+      s.peak_flops = 45e12;
+      s.mem_bandwidth = 0.30e12;
+      s.bytes_per_elem = 2.0;
+      s.measure_batch = 128;
+      s.conv_eff = 0.55;
+      s.dwconv_eff = 0.080;
+      s.fc_eff = 0.50;
+      s.elementwise_eff = 0.70;
+      s.channel_align = 96.0;
+      s.layer_overhead_s = 3e-6;
+      s.base_overhead_s = 3e-5;
+      s.measurement_noise = 0.010;
+      s.timed_runs = 2;
+      s.idle_power_w = 100.0;
+      s.energy_per_flop_j = 0.5e-12;
+      s.energy_per_byte_j = 20e-12;
+      break;
+    case DeviceKind::kRtx3090:
+      // Effective deployed values (nameplate 142 TFLOPS fp16 x ~0.17).
+      s.peak_flops = 24e12;
+      s.mem_bandwidth = 0.158e12;
+      s.bytes_per_elem = 2.0;
+      s.measure_batch = 128;
+      s.conv_eff = 0.50;
+      s.dwconv_eff = 0.090;
+      s.fc_eff = 0.45;
+      s.elementwise_eff = 0.65;
+      s.channel_align = 80.0;
+      s.layer_overhead_s = 4e-6;
+      s.base_overhead_s = 3e-5;
+      s.measurement_noise = 0.010;
+      s.timed_runs = 2;
+      s.idle_power_w = 120.0;
+      s.energy_per_flop_j = 0.9e-12;
+      s.energy_per_byte_j = 25e-12;
+      break;
+    case DeviceKind::kZcu102:
+      // Vitis-AI DPU (3x B4096 @ 287 MHz): ~3.5 TOPS int8 aggregate (we model
+      // per-core peak and multiply throughput by cores). Depthwise is handled
+      // natively but at reduced rate; SE's global-pool/FC/scale leave the
+      // systolic pipeline (CPU round-trip) — the EdgeTPU-paper effect.
+      s.peak_flops = 1.2e12;
+      s.mem_bandwidth = 12e9;
+      s.bytes_per_elem = 1.0;
+      s.measure_batch = 1;   // DPU cores process one image each
+      s.compute_cores = 3;
+      s.conv_eff = 0.60;
+      s.dwconv_eff = 0.25;
+      s.fc_eff = 0.40;
+      s.elementwise_eff = 0.50;
+      s.channel_align = 16.0;
+      s.layer_overhead_s = 2e-6;
+      s.fallback_overhead_s = 5e-5;
+      s.base_overhead_s = 2e-4;
+      s.measurement_noise = 0.003;
+      s.timed_runs = 3;
+      s.idle_power_w = 20.0;
+      s.energy_per_flop_j = 0.25e-12;
+      s.energy_per_byte_j = 30e-12;
+      break;
+    case DeviceKind::kVck190:
+      // Versal AI Core DPUCVDX8G: AIE array, ~20x the ZCU102 peak, on-chip
+      // memory hierarchy gives much higher effective bandwidth; the DPU
+      // runs batch-pipelined compute units (modelled as 4 cores).
+      s.peak_flops = 28e12;
+      s.mem_bandwidth = 120e9;
+      s.bytes_per_elem = 1.0;
+      s.measure_batch = 1;
+      s.compute_cores = 4;
+      s.conv_eff = 0.65;
+      s.dwconv_eff = 0.30;
+      s.fc_eff = 0.45;
+      s.elementwise_eff = 0.55;
+      s.channel_align = 32.0;
+      s.layer_overhead_s = 1.5e-6;
+      s.fallback_overhead_s = 1.5e-5;
+      s.base_overhead_s = 1e-4;
+      s.measurement_noise = 0.003;
+      s.timed_runs = 3;
+      s.idle_power_w = 35.0;
+      s.energy_per_flop_j = 0.2e-12;
+      s.energy_per_byte_j = 25e-12;
+      break;
+  }
+  return Device(std::move(s));
+}
+
+std::vector<Device> device_catalog() {
+  std::vector<Device> devices;
+  for (DeviceKind kind :
+       {DeviceKind::kTpuV2, DeviceKind::kTpuV3, DeviceKind::kA100,
+        DeviceKind::kRtx3090, DeviceKind::kZcu102, DeviceKind::kVck190}) {
+    devices.push_back(make_device(kind));
+  }
+  return devices;
+}
+
+}  // namespace anb

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anb/ir/model_ir.hpp"
+
+namespace anb {
+
+/// The six accelerator platforms benchmarked in the paper (§3.3.2).
+enum class DeviceKind {
+  kTpuV2,    ///< Google Cloud TPUv2 (bf16, Torch/XLA)
+  kTpuV3,    ///< Google Cloud TPUv3
+  kA100,     ///< NVIDIA A100 (fp16 tensor cores)
+  kRtx3090,  ///< NVIDIA RTX 3090
+  kZcu102,   ///< Xilinx Zynq UltraScale+ ZCU102, Vitis-AI DPU (int8)
+  kVck190,   ///< Xilinx Versal AI Core VCK190, Vitis-AI DPU (int8)
+};
+
+const char* device_kind_name(DeviceKind kind);
+DeviceKind device_kind_from_name(const std::string& name);
+
+/// Which on-device metrics a platform supports. Throughput is available on
+/// every device; end-to-end latency is only published for the FPGA DPUs,
+/// matching the paper's ANB-{device}-{metric} dataset matrix.
+bool device_supports_latency(DeviceKind kind);
+
+/// Numeric description of one accelerator for the per-layer roofline model.
+///
+/// Per-layer time = max(compute, memory) + fixed issue overhead, where
+/// compute uses an op-kind- and shape-dependent fraction of peak, and memory
+/// moves activations (per image) plus weights (amortized over the batch).
+struct DeviceSpec {
+  std::string name;
+  DeviceKind kind = DeviceKind::kA100;
+
+  double peak_flops = 1e12;        ///< ops/s at native precision (2 per MAC)
+  double mem_bandwidth = 1e11;     ///< bytes/s
+  double bytes_per_elem = 2.0;     ///< fp16/bf16 = 2, int8 = 1
+  int measure_batch = 128;         ///< batch used for throughput runs
+  int compute_cores = 1;           ///< parallel DPU cores (FPGAs)
+
+  /// Fraction of peak reached by each op class when well-shaped.
+  double conv_eff = 0.5;       ///< regular conv (stem / 1x1 / head)
+  double dwconv_eff = 0.1;     ///< depthwise conv — poor on matrix engines
+  double fc_eff = 0.4;
+  double elementwise_eff = 0.5;  ///< pool / scale / add bandwidth fraction
+
+  /// Channel alignment of the matrix engine: convs with fewer channels than
+  /// this underutilize the array (sqrt(in_c*out_c)/align, capped at 1).
+  double channel_align = 64.0;
+
+  /// Per-layer issue overhead (kernel launch / instruction fetch), seconds.
+  double layer_overhead_s = 3e-6;
+
+  /// Extra overhead for ops the accelerator cannot pipeline natively and
+  /// bounces to a slow path (DPUs: global pooling + FC + scale of SE blocks
+  /// run outside the systolic pipeline). Seconds per affected layer.
+  double fallback_overhead_s = 0.0;
+
+  /// Fixed per-inference cost (DMA setup, host sync), seconds.
+  double base_overhead_s = 1e-5;
+
+  /// Relative stddev of one timing measurement.
+  double measurement_noise = 0.01;
+  /// Number of timed runs averaged after warm-up discarding (paper: 4 on
+  /// TPUs, 2 on GPUs; we use 3 on FPGAs).
+  int timed_runs = 2;
+
+  // --- energy model (extension beyond the paper; HW-NAS-Bench offers
+  // energy, Accel-NASBench does not — see DESIGN.md E12) -------------------
+  double idle_power_w = 50.0;     ///< board/baseline power while busy
+  double energy_per_flop_j = 1e-12;   ///< switching energy per op
+  double energy_per_byte_j = 20e-12;  ///< DRAM access energy per byte
+};
+
+/// Per-layer roofline accelerator model.
+///
+/// `throughput_fps` / `latency_ms` are the deterministic expected values;
+/// `measure_*` add per-run measurement noise and apply the paper's
+/// warm-up-and-average protocol, seeded so measurements are reproducible.
+class Device {
+ public:
+  explicit Device(DeviceSpec spec);
+
+  const DeviceSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+  DeviceKind kind() const { return spec_.kind; }
+  bool supports_latency() const { return device_supports_latency(spec_.kind); }
+
+  /// Expected end-to-end time for one batch of `batch` images, seconds.
+  double batch_time_s(const ModelIR& ir, int batch) const;
+
+  /// Expected steady-state throughput at the device's measurement batch,
+  /// images/second (all compute cores engaged).
+  double throughput_fps(const ModelIR& ir) const;
+
+  /// Expected single-image latency, milliseconds (one core, batch 1).
+  double latency_ms(const ModelIR& ir) const;
+
+  /// Noisy measured throughput following the device protocol.
+  double measure_throughput(const ModelIR& ir, std::uint64_t seed) const;
+
+  /// Noisy measured latency (FPGAs only; throws otherwise).
+  double measure_latency(const ModelIR& ir, std::uint64_t seed) const;
+
+  /// Expected inference energy per image in millijoules at the measurement
+  /// batch: static power x time + per-op switching + DRAM traffic. This is
+  /// the E12 extension metric (not part of the paper's dataset matrix).
+  double energy_mj_per_image(const ModelIR& ir) const;
+
+  /// Noisy measured energy following the same protocol as throughput.
+  double measure_energy(const ModelIR& ir, std::uint64_t seed) const;
+
+ private:
+  double layer_time_s(const Layer& layer, int batch) const;
+  double measure(double expected, std::uint64_t seed) const;
+
+  DeviceSpec spec_;
+};
+
+/// Factory for the paper's six platforms with calibrated spec numbers.
+Device make_device(DeviceKind kind);
+
+/// All six devices in the paper's order (TPUv2, TPUv3, A100, RTX, ZCU, VCK).
+std::vector<Device> device_catalog();
+
+}  // namespace anb

@@ -1,0 +1,57 @@
+#include "anb/nas/evolution.hpp"
+
+#include <deque>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+
+RegularizedEvolution::RegularizedEvolution(RegularizedEvolutionParams params)
+    : params_(params) {
+  ANB_CHECK(params_.population_size >= 2,
+            "RegularizedEvolution: population_size must be >= 2");
+  ANB_CHECK(params_.sample_size >= 1 &&
+                params_.sample_size <= params_.population_size,
+            "RegularizedEvolution: sample_size must be in "
+            "[1, population_size]");
+}
+
+SearchTrajectory RegularizedEvolution::run(const EvalOracle& oracle,
+                                           int n_evals, Rng& rng) {
+  ANB_CHECK(static_cast<bool>(oracle), "RegularizedEvolution: missing oracle");
+  ANB_CHECK(n_evals >= 1, "RegularizedEvolution: n_evals must be >= 1");
+
+  struct Member {
+    Architecture arch;
+    double value;
+  };
+  std::deque<Member> population;
+  SearchTrajectory traj;
+
+  // Seed with random architectures (up to the evaluation budget).
+  const int n_seed = std::min(params_.population_size, n_evals);
+  for (int t = 0; t < n_seed; ++t) {
+    const Architecture arch = SearchSpace::sample(rng);
+    const double value = oracle(arch);
+    traj.add(arch, value);
+    population.push_back({arch, value});
+  }
+
+  for (int t = n_seed; t < n_evals; ++t) {
+    // Tournament: best of `sample_size` random members becomes the parent.
+    const Member* parent = nullptr;
+    for (int s = 0; s < params_.sample_size; ++s) {
+      const Member& candidate = population[rng.uniform_index(population.size())];
+      if (parent == nullptr || candidate.value > parent->value)
+        parent = &candidate;
+    }
+    const Architecture child = SearchSpace::mutate(parent->arch, rng);
+    const double value = oracle(child);
+    traj.add(child, value);
+    population.push_back({child, value});
+    population.pop_front();  // aging: retire the oldest member
+  }
+  return traj;
+}
+
+}  // namespace anb

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "anb/nas/optimizer.hpp"
+
+namespace anb {
+
+/// Regularized (aging) evolution, Real et al. [13]: maintain a FIFO
+/// population; each step tournament-samples `sample_size` members, mutates
+/// the fittest by one decision, evaluates the child, and retires the oldest
+/// member. Aging regularizes toward architectures that stay good when
+/// re-discovered rather than one-off lucky evaluations.
+struct RegularizedEvolutionParams {
+  int population_size = 50;
+  int sample_size = 10;  ///< tournament size
+};
+
+class RegularizedEvolution final : public NasOptimizer {
+ public:
+  explicit RegularizedEvolution(RegularizedEvolutionParams params = {});
+
+  std::string name() const override { return "RE"; }
+  SearchTrajectory run(const EvalOracle& oracle, int n_evals,
+                       Rng& rng) override;
+
+ private:
+  RegularizedEvolutionParams params_;
+};
+
+}  // namespace anb

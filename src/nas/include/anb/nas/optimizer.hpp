@@ -1,0 +1,40 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "anb/searchspace/space.hpp"
+
+namespace anb {
+
+/// Scalar evaluation oracle: architecture -> objective (higher is better).
+/// Backed either by the real training simulator ("true search") or by the
+/// benchmark surrogates ("simulated search") — the comparison between those
+/// two is the paper's Fig. 5.
+using EvalOracle = std::function<double(const Architecture&)>;
+
+/// Full record of one search run, in evaluation order.
+struct SearchTrajectory {
+  std::vector<Architecture> archs;
+  std::vector<double> values;
+  std::vector<double> incumbent;  ///< running best value
+
+  Architecture best_arch() const;
+  double best_value() const;
+  void add(const Architecture& arch, double value);
+  std::size_t size() const { return values.size(); }
+};
+
+/// Common interface of the discrete NAS optimizers evaluated in the paper
+/// (§4.1): Random Search, Regularized Evolution, REINFORCE.
+class NasOptimizer {
+ public:
+  virtual ~NasOptimizer() = default;
+  virtual std::string name() const = 0;
+  /// Run for exactly `n_evals` oracle calls.
+  virtual SearchTrajectory run(const EvalOracle& oracle, int n_evals,
+                               Rng& rng) = 0;
+};
+
+}  // namespace anb

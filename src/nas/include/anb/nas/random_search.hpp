@@ -1,0 +1,18 @@
+#pragma once
+
+#include "anb/nas/optimizer.hpp"
+
+namespace anb {
+
+/// Uniform random architecture sampling (Li & Talwalkar's reproducibility
+/// baseline [10]). On the MnasNet space the paper observes it stagnating
+/// early relative to RE/REINFORCE (Fig. 5) — high variance of model quality
+/// makes exploration without exploitation inefficient.
+class RandomSearchNas final : public NasOptimizer {
+ public:
+  std::string name() const override { return "RS"; }
+  SearchTrajectory run(const EvalOracle& oracle, int n_evals,
+                       Rng& rng) override;
+};
+
+}  // namespace anb

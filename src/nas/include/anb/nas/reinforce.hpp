@@ -1,0 +1,44 @@
+#pragma once
+
+#include "anb/nas/optimizer.hpp"
+
+namespace anb {
+
+/// REINFORCE policy-gradient search (Zoph & Le [19]) over the factorized
+/// MnasNet decision space: an independent categorical softmax per decision
+/// (7 blocks × {expansion, kernel, layers, se} = 28 heads). Updates use the
+/// score-function estimator with an exponential-moving-average baseline and
+/// an entropy bonus that decays exploration over time.
+struct ReinforceParams {
+  double learning_rate = 0.12;
+  double baseline_decay = 0.9;   ///< EMA factor for the reward baseline
+  double entropy_coef = 0.02;    ///< exploration bonus on policy entropy
+};
+
+class Reinforce final : public NasOptimizer {
+ public:
+  explicit Reinforce(ReinforceParams params = {});
+
+  std::string name() const override { return "REINFORCE"; }
+  SearchTrajectory run(const EvalOracle& oracle, int n_evals,
+                       Rng& rng) override;
+
+  /// Decision-probability snapshot after the last run (for inspection);
+  /// probs[d][k] is the policy probability of option k at decision d.
+  const std::vector<std::vector<double>>& last_policy() const {
+    return last_policy_;
+  }
+
+ private:
+  ReinforceParams params_;
+  std::vector<std::vector<double>> last_policy_;
+};
+
+/// The MnasNet-style scalarization used for bi-objective search (§4.2):
+/// reward = accuracy × (perf / target)^w. With perf = throughput (higher
+/// better) use w > 0; sweeping `target` traces out the accuracy-performance
+/// Pareto front. For latency (lower better) pass w < 0.
+double mnasnet_reward(double accuracy, double performance, double target,
+                      double weight);
+
+}  // namespace anb

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <functional>
+
+#include "anb/nas/optimizer.hpp"
+
+namespace anb {
+
+/// Budget-aware evaluation oracle: train `arch` for `epochs` and return
+/// {observed accuracy, cost in GPU-hours}. Successive halving probes many
+/// architectures cheaply and spends real budget only on survivors.
+struct BudgetedEval {
+  double accuracy = 0.0;
+  double cost_hours = 0.0;
+};
+using BudgetedOracle =
+    std::function<BudgetedEval(const Architecture&, int epochs)>;
+
+/// Successive halving (the classic *training-proxy* method the paper cites
+/// in §3.2: "successive halving and hyperband ... use the model's
+/// early-stage performance as a proxy for true performance").
+///
+/// Round 0 trains `initial_population` random architectures for `min_epochs`
+/// each; every subsequent round keeps the top 1/eta fraction and multiplies
+/// the per-model epoch budget by eta, until `max_epochs` is reached or one
+/// survivor remains.
+struct SuccessiveHalvingParams {
+  int initial_population = 27;
+  int eta = 3;
+  int min_epochs = 5;
+  int max_epochs = 45;
+};
+
+struct SuccessiveHalvingResult {
+  Architecture best;
+  double best_accuracy = 0.0;   ///< at the final (largest) budget
+  double total_cost_hours = 0.0;
+  int rounds = 0;
+  /// All (arch, accuracy, epochs) evaluations in order.
+  struct Eval {
+    Architecture arch;
+    double accuracy;
+    int epochs;
+  };
+  std::vector<Eval> evals;
+};
+
+class SuccessiveHalving {
+ public:
+  explicit SuccessiveHalving(SuccessiveHalvingParams params = {});
+
+  SuccessiveHalvingResult run(const BudgetedOracle& oracle, Rng& rng) const;
+
+ private:
+  SuccessiveHalvingParams params_;
+};
+
+}  // namespace anb

@@ -1,0 +1,31 @@
+#include "anb/nas/optimizer.hpp"
+
+#include <limits>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+
+void SearchTrajectory::add(const Architecture& arch, double value) {
+  archs.push_back(arch);
+  values.push_back(value);
+  const double prev =
+      incumbent.empty() ? -std::numeric_limits<double>::infinity()
+                        : incumbent.back();
+  incumbent.push_back(std::max(prev, value));
+}
+
+Architecture SearchTrajectory::best_arch() const {
+  ANB_CHECK(!values.empty(), "SearchTrajectory: empty trajectory");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values.size(); ++i)
+    if (values[i] > values[best]) best = i;
+  return archs[best];
+}
+
+double SearchTrajectory::best_value() const {
+  ANB_CHECK(!incumbent.empty(), "SearchTrajectory: empty trajectory");
+  return incumbent.back();
+}
+
+}  // namespace anb

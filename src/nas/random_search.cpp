@@ -1,0 +1,19 @@
+#include "anb/nas/random_search.hpp"
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+
+SearchTrajectory RandomSearchNas::run(const EvalOracle& oracle, int n_evals,
+                                      Rng& rng) {
+  ANB_CHECK(static_cast<bool>(oracle), "RandomSearchNas: missing oracle");
+  ANB_CHECK(n_evals >= 1, "RandomSearchNas: n_evals must be >= 1");
+  SearchTrajectory traj;
+  for (int t = 0; t < n_evals; ++t) {
+    const Architecture arch = SearchSpace::sample(rng);
+    traj.add(arch, oracle(arch));
+  }
+  return traj;
+}
+
+}  // namespace anb

@@ -1,0 +1,61 @@
+#include "anb/nas/successive_halving.hpp"
+
+#include <algorithm>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+
+SuccessiveHalving::SuccessiveHalving(SuccessiveHalvingParams params)
+    : params_(params) {
+  ANB_CHECK(params_.initial_population >= 2,
+            "SuccessiveHalving: initial_population must be >= 2");
+  ANB_CHECK(params_.eta >= 2, "SuccessiveHalving: eta must be >= 2");
+  ANB_CHECK(params_.min_epochs >= 1 &&
+                params_.min_epochs <= params_.max_epochs,
+            "SuccessiveHalving: require 1 <= min_epochs <= max_epochs");
+}
+
+SuccessiveHalvingResult SuccessiveHalving::run(const BudgetedOracle& oracle,
+                                               Rng& rng) const {
+  ANB_CHECK(static_cast<bool>(oracle), "SuccessiveHalving: missing oracle");
+
+  struct Member {
+    Architecture arch;
+    double accuracy = 0.0;
+  };
+  std::vector<Member> population;
+  population.reserve(static_cast<std::size_t>(params_.initial_population));
+  for (int i = 0; i < params_.initial_population; ++i)
+    population.push_back({SearchSpace::sample(rng), 0.0});
+
+  SuccessiveHalvingResult result;
+  int epochs = params_.min_epochs;
+  while (true) {
+    ++result.rounds;
+    for (auto& member : population) {
+      const BudgetedEval eval = oracle(member.arch, epochs);
+      member.accuracy = eval.accuracy;
+      result.total_cost_hours += eval.cost_hours;
+      result.evals.push_back({member.arch, eval.accuracy, epochs});
+    }
+    std::sort(population.begin(), population.end(),
+              [](const Member& a, const Member& b) {
+                return a.accuracy > b.accuracy;
+              });
+
+    const bool at_max_budget = epochs >= params_.max_epochs;
+    if (population.size() == 1 || at_max_budget) break;
+
+    const std::size_t keep = std::max<std::size_t>(
+        1, population.size() / static_cast<std::size_t>(params_.eta));
+    population.resize(keep);
+    epochs = std::min(params_.max_epochs, epochs * params_.eta);
+  }
+
+  result.best = population.front().arch;
+  result.best_accuracy = population.front().accuracy;
+  return result;
+}
+
+}  // namespace anb

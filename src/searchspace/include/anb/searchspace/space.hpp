@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "anb/searchspace/architecture.hpp"
+#include "anb/util/rng.hpp"
+
+namespace anb {
+
+/// The MnasNet hierarchical block-based search space (paper §3.1).
+///
+/// Seven sequential blocks, each with four categorical decisions:
+/// expansion ∈ {1,4,6}, kernel ∈ {3,5}, layers ∈ {1,2,3}, se ∈ {no,yes}.
+/// Cardinality (3·2·3·2)^7 = 36^7 ≈ 7.8×10^10 ≈ 10^11 unique models,
+/// matching the paper's figure.
+///
+/// The class provides every space-level operation the rest of the system
+/// needs: validation, uniform sampling, mutation (for regularized
+/// evolution), canonical integer index <-> architecture bijection, the
+/// flat decision view used by the REINFORCE policy, and the one-hot
+/// feature encoding consumed by the surrogates.
+class SearchSpace {
+ public:
+  /// Allowed option values, in canonical order.
+  static const std::vector<int>& expansion_options();
+  static const std::vector<int>& kernel_options();
+  static const std::vector<int>& layer_options();
+  // SE options are {false, true}.
+
+  /// Number of flat categorical decisions (7 blocks × 4 = 28).
+  static constexpr int kNumDecisions = kNumBlocks * 4;
+
+  /// Option count for each flat decision, in block-major order
+  /// (block0: e,k,L,se, block1: e,k,L,se, ...). Sizes are {3,2,3,2} repeated.
+  static std::vector<int> decision_sizes();
+
+  /// Total number of unique architectures (36^7).
+  static std::uint64_t cardinality();
+
+  /// Dimensionality of the one-hot feature encoding (7 × (3+2+3+1) = 63).
+  static int feature_dim();
+
+  /// Throws anb::Error if any block option is outside the space.
+  static void validate(const Architecture& arch);
+  static bool is_valid(const Architecture& arch);
+
+  /// Uniform random architecture.
+  static Architecture sample(Rng& rng);
+
+  /// Mutate exactly one decision to a different allowed value (the RE
+  /// mutation operator). The result always differs from the input.
+  static Architecture mutate(const Architecture& arch, Rng& rng);
+
+  /// All architectures at Hamming distance 1 (one decision changed).
+  static std::vector<Architecture> neighbors(const Architecture& arch);
+
+  /// Canonical bijection with [0, cardinality()). Mixed-radix in
+  /// block-major, decision-major order.
+  static std::uint64_t to_index(const Architecture& arch);
+  static Architecture from_index(std::uint64_t index);
+
+  /// Flat categorical decision vector (28 option indices) and its inverse.
+  /// This is the genotype the REINFORCE policy samples.
+  static std::vector<int> to_decisions(const Architecture& arch);
+  static Architecture from_decisions(const std::vector<int>& decisions);
+
+  /// One-hot feature vector (63 dims: e 3 + k 2 + L 3 + se 1 per block).
+  /// This is the surrogate input representation: pure architectural
+  /// properties, no FLOPs/params leakage (paper §2.1).
+  static std::vector<double> features(const Architecture& arch);
+};
+
+}  // namespace anb

@@ -1,0 +1,195 @@
+#include "anb/searchspace/space.hpp"
+
+#include <algorithm>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+
+namespace {
+
+template <typename T>
+int option_index(const std::vector<T>& options, T value, const char* what) {
+  auto it = std::find(options.begin(), options.end(), value);
+  ANB_CHECK(it != options.end(),
+            std::string("SearchSpace: invalid ") + what + " value");
+  return static_cast<int>(it - options.begin());
+}
+
+}  // namespace
+
+const std::vector<int>& SearchSpace::expansion_options() {
+  static const std::vector<int> opts{1, 4, 6};
+  return opts;
+}
+
+const std::vector<int>& SearchSpace::kernel_options() {
+  static const std::vector<int> opts{3, 5};
+  return opts;
+}
+
+const std::vector<int>& SearchSpace::layer_options() {
+  static const std::vector<int> opts{1, 2, 3};
+  return opts;
+}
+
+std::vector<int> SearchSpace::decision_sizes() {
+  std::vector<int> sizes;
+  sizes.reserve(kNumDecisions);
+  for (int b = 0; b < kNumBlocks; ++b) {
+    sizes.push_back(static_cast<int>(expansion_options().size()));
+    sizes.push_back(static_cast<int>(kernel_options().size()));
+    sizes.push_back(static_cast<int>(layer_options().size()));
+    sizes.push_back(2);  // se
+  }
+  return sizes;
+}
+
+std::uint64_t SearchSpace::cardinality() {
+  std::uint64_t card = 1;
+  for (int s : decision_sizes()) card *= static_cast<std::uint64_t>(s);
+  return card;
+}
+
+int SearchSpace::feature_dim() {
+  // One-hot per block: expansion 3 + kernel 2 + layers 3 + se 1 (binary).
+  return kNumBlocks * (3 + 2 + 3 + 1);
+}
+
+void SearchSpace::validate(const Architecture& arch) {
+  for (const auto& blk : arch.blocks) {
+    option_index(expansion_options(), blk.expansion, "expansion");
+    option_index(kernel_options(), blk.kernel, "kernel");
+    option_index(layer_options(), blk.layers, "layers");
+  }
+}
+
+bool SearchSpace::is_valid(const Architecture& arch) {
+  try {
+    validate(arch);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+Architecture SearchSpace::sample(Rng& rng) {
+  Architecture arch;
+  for (auto& blk : arch.blocks) {
+    blk.expansion = rng.pick(expansion_options());
+    blk.kernel = rng.pick(kernel_options());
+    blk.layers = rng.pick(layer_options());
+    blk.se = rng.bernoulli(0.5);
+  }
+  return arch;
+}
+
+Architecture SearchSpace::mutate(const Architecture& arch, Rng& rng) {
+  validate(arch);
+  Architecture out = arch;
+  const auto sizes = decision_sizes();
+  // Pick a decision whose domain has >1 option (all do here) and move it to
+  // a different value.
+  const int d = static_cast<int>(rng.uniform_index(kNumDecisions));
+  auto decisions = to_decisions(arch);
+  const int size = sizes[static_cast<std::size_t>(d)];
+  int offset = 1 + static_cast<int>(rng.uniform_index(
+                       static_cast<std::uint64_t>(size - 1)));
+  decisions[static_cast<std::size_t>(d)] =
+      (decisions[static_cast<std::size_t>(d)] + offset) % size;
+  out = from_decisions(decisions);
+  ANB_ASSERT(!(out == arch), "mutate produced an identical architecture");
+  return out;
+}
+
+std::vector<Architecture> SearchSpace::neighbors(const Architecture& arch) {
+  validate(arch);
+  const auto sizes = decision_sizes();
+  const auto base = to_decisions(arch);
+  std::vector<Architecture> out;
+  for (int d = 0; d < kNumDecisions; ++d) {
+    for (int v = 0; v < sizes[static_cast<std::size_t>(d)]; ++v) {
+      if (v == base[static_cast<std::size_t>(d)]) continue;
+      auto decisions = base;
+      decisions[static_cast<std::size_t>(d)] = v;
+      out.push_back(from_decisions(decisions));
+    }
+  }
+  return out;
+}
+
+std::uint64_t SearchSpace::to_index(const Architecture& arch) {
+  validate(arch);
+  const auto sizes = decision_sizes();
+  const auto decisions = to_decisions(arch);
+  std::uint64_t index = 0;
+  for (int d = 0; d < kNumDecisions; ++d) {
+    index = index * static_cast<std::uint64_t>(sizes[static_cast<std::size_t>(d)]) +
+            static_cast<std::uint64_t>(decisions[static_cast<std::size_t>(d)]);
+  }
+  return index;
+}
+
+Architecture SearchSpace::from_index(std::uint64_t index) {
+  ANB_CHECK(index < cardinality(), "SearchSpace::from_index: out of range");
+  const auto sizes = decision_sizes();
+  std::vector<int> decisions(kNumDecisions, 0);
+  for (int d = kNumDecisions - 1; d >= 0; --d) {
+    const auto size = static_cast<std::uint64_t>(sizes[static_cast<std::size_t>(d)]);
+    decisions[static_cast<std::size_t>(d)] = static_cast<int>(index % size);
+    index /= size;
+  }
+  return from_decisions(decisions);
+}
+
+std::vector<int> SearchSpace::to_decisions(const Architecture& arch) {
+  std::vector<int> decisions;
+  decisions.reserve(kNumDecisions);
+  for (const auto& blk : arch.blocks) {
+    decisions.push_back(option_index(expansion_options(), blk.expansion,
+                                     "expansion"));
+    decisions.push_back(option_index(kernel_options(), blk.kernel, "kernel"));
+    decisions.push_back(option_index(layer_options(), blk.layers, "layers"));
+    decisions.push_back(blk.se ? 1 : 0);
+  }
+  return decisions;
+}
+
+Architecture SearchSpace::from_decisions(const std::vector<int>& decisions) {
+  ANB_CHECK(decisions.size() == static_cast<std::size_t>(kNumDecisions),
+            "SearchSpace::from_decisions: wrong length");
+  const auto sizes = decision_sizes();
+  for (int d = 0; d < kNumDecisions; ++d) {
+    ANB_CHECK(decisions[static_cast<std::size_t>(d)] >= 0 &&
+                  decisions[static_cast<std::size_t>(d)] <
+                      sizes[static_cast<std::size_t>(d)],
+              "SearchSpace::from_decisions: option index out of range");
+  }
+  Architecture arch;
+  std::size_t i = 0;
+  for (auto& blk : arch.blocks) {
+    blk.expansion =
+        expansion_options()[static_cast<std::size_t>(decisions[i++])];
+    blk.kernel = kernel_options()[static_cast<std::size_t>(decisions[i++])];
+    blk.layers = layer_options()[static_cast<std::size_t>(decisions[i++])];
+    blk.se = decisions[i++] == 1;
+  }
+  return arch;
+}
+
+std::vector<double> SearchSpace::features(const Architecture& arch) {
+  validate(arch);
+  std::vector<double> f;
+  f.reserve(static_cast<std::size_t>(feature_dim()));
+  for (const auto& blk : arch.blocks) {
+    for (int opt : expansion_options()) f.push_back(blk.expansion == opt);
+    for (int opt : kernel_options()) f.push_back(blk.kernel == opt);
+    for (int opt : layer_options()) f.push_back(blk.layers == opt);
+    f.push_back(blk.se ? 1.0 : 0.0);
+  }
+  ANB_ASSERT(f.size() == static_cast<std::size_t>(feature_dim()),
+             "feature vector size mismatch");
+  return f;
+}
+
+}  // namespace anb

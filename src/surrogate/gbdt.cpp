@@ -1,0 +1,105 @@
+#include "anb/surrogate/gbdt.hpp"
+
+#include <cmath>
+
+#include "anb/util/error.hpp"
+#include "anb/util/stats.hpp"
+
+namespace anb {
+
+Gbdt::Gbdt(GbdtParams params) : params_(std::move(params)) {
+  ANB_CHECK(params_.n_estimators >= 1, "Gbdt: n_estimators must be >= 1");
+  ANB_CHECK(params_.learning_rate > 0.0 && params_.learning_rate <= 1.0,
+            "Gbdt: learning_rate must be in (0, 1]");
+  ANB_CHECK(params_.max_depth >= 1, "Gbdt: max_depth must be >= 1");
+  ANB_CHECK(params_.subsample > 0.0 && params_.subsample <= 1.0,
+            "Gbdt: subsample must be in (0, 1]");
+  ANB_CHECK(params_.colsample > 0.0 && params_.colsample <= 1.0,
+            "Gbdt: colsample must be in (0, 1]");
+}
+
+void Gbdt::fit(const Dataset& train, Rng& rng) {
+  ANB_CHECK(train.size() >= 2, "Gbdt::fit: need at least 2 rows");
+  trees_.clear();
+  const std::size_t n = train.size();
+  const std::size_t d = train.num_features();
+  const ColumnIndex columns(train);
+
+  base_score_ = mean(train.targets());
+
+  TreeParams tp;
+  tp.max_depth = params_.max_depth;
+  tp.lambda = params_.lambda;
+  tp.gamma = params_.gamma;
+  tp.min_child_weight = params_.min_child_weight;
+  tp.min_samples_leaf = 1.0;
+  tp.features_per_node =
+      params_.colsample < 1.0
+          ? std::max(1, static_cast<int>(std::lround(
+                            params_.colsample * static_cast<double>(d))))
+          : -1;
+
+  std::vector<double> pred(n, base_score_);
+  std::vector<double> g(n), h(n, 1.0), weight(n, 1.0);
+  for (int t = 0; t < params_.n_estimators; ++t) {
+    // Squared loss: g = prediction residual, constant hessian.
+    for (std::size_t i = 0; i < n; ++i) g[i] = pred[i] - train.target(i);
+    if (params_.subsample < 1.0) {
+      for (std::size_t i = 0; i < n; ++i)
+        weight[i] = rng.bernoulli(params_.subsample) ? 1.0 : 0.0;
+    }
+    RegressionTree tree = build_tree(train, columns, g, h, weight, tp, rng);
+    for (std::size_t i = 0; i < n; ++i)
+      pred[i] += params_.learning_rate * tree.predict(train.row(i));
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double Gbdt::predict(std::span<const double> x) const {
+  ANB_CHECK(!trees_.empty(), "Gbdt::predict: model not fitted");
+  double acc = base_score_;
+  for (const auto& tree : trees_) acc += params_.learning_rate * tree.predict(x);
+  return acc;
+}
+
+Json Gbdt::to_json() const {
+  Json j = Json::object();
+  j["type"] = name();
+  j["base_score"] = base_score_;
+  Json params = Json::object();
+  params["n_estimators"] = params_.n_estimators;
+  params["learning_rate"] = params_.learning_rate;
+  params["max_depth"] = params_.max_depth;
+  params["lambda"] = params_.lambda;
+  params["gamma"] = params_.gamma;
+  params["min_child_weight"] = params_.min_child_weight;
+  params["subsample"] = params_.subsample;
+  params["colsample"] = params_.colsample;
+  j["params"] = std::move(params);
+  Json trees = Json::array();
+  for (const auto& tree : trees_) trees.push_back(tree.to_json());
+  j["trees"] = std::move(trees);
+  return j;
+}
+
+std::unique_ptr<Gbdt> Gbdt::from_json(const Json& j) {
+  ANB_CHECK(j.at("type").as_string() == "xgb",
+            "Gbdt::from_json: wrong type tag");
+  const Json& p = j.at("params");
+  GbdtParams params;
+  params.n_estimators = p.at("n_estimators").as_int();
+  params.learning_rate = p.at("learning_rate").as_number();
+  params.max_depth = p.at("max_depth").as_int();
+  params.lambda = p.at("lambda").as_number();
+  params.gamma = p.at("gamma").as_number();
+  params.min_child_weight = p.at("min_child_weight").as_number();
+  params.subsample = p.at("subsample").as_number();
+  params.colsample = p.at("colsample").as_number();
+  auto model = std::make_unique<Gbdt>(params);
+  model->base_score_ = j.at("base_score").as_number();
+  for (const auto& jt : j.at("trees").as_array())
+    model->trees_.push_back(RegressionTree::from_json(jt));
+  return model;
+}
+
+}  // namespace anb

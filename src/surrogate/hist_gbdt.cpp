@@ -1,0 +1,317 @@
+#include "anb/surrogate/hist_gbdt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "anb/util/error.hpp"
+#include "anb/util/stats.hpp"
+
+namespace anb {
+
+namespace {
+
+/// Quantile binning of one feature column. `edges[k]` separates bin k from
+/// bin k+1 (x goes to bin k iff x < edges[k] and x >= edges[k-1]).
+struct FeatureBins {
+  std::vector<double> edges;
+  int num_bins() const { return static_cast<int>(edges.size()) + 1; }
+  int bin_of(double x) const {
+    return static_cast<int>(
+        std::upper_bound(edges.begin(), edges.end(), x) - edges.begin());
+  }
+};
+
+FeatureBins make_bins(const Dataset& data, std::size_t f, int max_bins) {
+  std::vector<double> values(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) values[i] = data.feature(i, f);
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+
+  FeatureBins bins;
+  if (static_cast<int>(values.size()) <= max_bins) {
+    for (std::size_t k = 0; k + 1 < values.size(); ++k)
+      bins.edges.push_back(0.5 * (values[k] + values[k + 1]));
+  } else {
+    // Quantile edges over distinct values.
+    for (int b = 1; b < max_bins; ++b) {
+      const auto pos = static_cast<std::size_t>(
+          static_cast<double>(b) * static_cast<double>(values.size()) /
+          max_bins);
+      const std::size_t at = std::min(pos, values.size() - 1);
+      const double edge =
+          at > 0 ? 0.5 * (values[at - 1] + values[at]) : values[0];
+      if (bins.edges.empty() || edge > bins.edges.back())
+        bins.edges.push_back(edge);
+    }
+  }
+  return bins;
+}
+
+struct HistCell {
+  double g = 0.0, h = 0.0, w = 0.0;
+};
+
+struct SplitCandidate {
+  double gain = -std::numeric_limits<double>::infinity();
+  int feature = -1;
+  int bin = -1;  ///< rows with bin <= `bin` go left
+};
+
+double leaf_gain(double g, double h, double lambda) {
+  return g * g / (h + lambda);
+}
+
+/// A growable leaf during best-first construction.
+struct Leaf {
+  int node_id = 0;
+  std::vector<std::uint32_t> rows;
+  double g = 0.0, h = 0.0, w = 0.0;
+  std::vector<HistCell> hist;  // [feature * max_hist_bins + bin]
+  SplitCandidate best;
+};
+
+}  // namespace
+
+HistGbdt::HistGbdt(HistGbdtParams params) : params_(std::move(params)) {
+  ANB_CHECK(params_.n_estimators >= 1, "HistGbdt: n_estimators must be >= 1");
+  ANB_CHECK(params_.learning_rate > 0.0 && params_.learning_rate <= 1.0,
+            "HistGbdt: learning_rate must be in (0, 1]");
+  ANB_CHECK(params_.max_leaves >= 2, "HistGbdt: max_leaves must be >= 2");
+  ANB_CHECK(params_.max_bins >= 2 && params_.max_bins <= 256,
+            "HistGbdt: max_bins must be in [2, 256]");
+  ANB_CHECK(params_.subsample > 0.0 && params_.subsample <= 1.0,
+            "HistGbdt: subsample must be in (0, 1]");
+  ANB_CHECK(params_.colsample > 0.0 && params_.colsample <= 1.0,
+            "HistGbdt: colsample must be in (0, 1]");
+}
+
+void HistGbdt::fit(const Dataset& train, Rng& rng) {
+  ANB_CHECK(train.size() >= 2, "HistGbdt::fit: need at least 2 rows");
+  trees_.clear();
+  const std::size_t n = train.size();
+  const std::size_t d = train.num_features();
+
+  // --- one-time binning ---
+  std::vector<FeatureBins> bins;
+  bins.reserve(d);
+  int max_hist_bins = 1;
+  for (std::size_t f = 0; f < d; ++f) {
+    bins.push_back(make_bins(train, f, params_.max_bins));
+    max_hist_bins = std::max(max_hist_bins, bins.back().num_bins());
+  }
+  // Binned matrix, row-major.
+  std::vector<std::uint8_t> binned(n * d);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t f = 0; f < d; ++f)
+      binned[i * d + f] =
+          static_cast<std::uint8_t>(bins[f].bin_of(train.feature(i, f)));
+
+  base_score_ = mean(train.targets());
+  std::vector<double> pred(n, base_score_);
+  std::vector<double> g(n), h(n, 1.0);
+
+  const auto hist_size = d * static_cast<std::size_t>(max_hist_bins);
+
+  auto build_hist = [&](Leaf& leaf, const std::vector<char>& feat_ok) {
+    leaf.hist.assign(hist_size, HistCell{});
+    for (std::uint32_t row : leaf.rows) {
+      const std::uint8_t* rb = &binned[row * d];
+      for (std::size_t f = 0; f < d; ++f) {
+        if (!feat_ok[f]) continue;
+        auto& cell = leaf.hist[f * static_cast<std::size_t>(max_hist_bins) + rb[f]];
+        cell.g += g[row];
+        cell.h += h[row];
+        cell.w += 1.0;
+      }
+    }
+  };
+
+  auto find_best = [&](Leaf& leaf, const std::vector<char>& feat_ok) {
+    leaf.best = SplitCandidate{};
+    const double parent = leaf_gain(leaf.g, leaf.h, params_.lambda);
+    for (std::size_t f = 0; f < d; ++f) {
+      if (!feat_ok[f]) continue;
+      const int nb = bins[f].num_bins();
+      double gl = 0.0, hl = 0.0, wl = 0.0;
+      for (int b = 0; b + 1 < nb; ++b) {
+        const auto& cell =
+            leaf.hist[f * static_cast<std::size_t>(max_hist_bins) +
+                      static_cast<std::size_t>(b)];
+        gl += cell.g;
+        hl += cell.h;
+        wl += cell.w;
+        const double gr = leaf.g - gl;
+        const double hr = leaf.h - hl;
+        if (hl < params_.min_child_weight || hr < params_.min_child_weight)
+          continue;
+        if (wl < 1.0 || leaf.w - wl < 1.0) continue;
+        const double gain = leaf_gain(gl, hl, params_.lambda) +
+                            leaf_gain(gr, hr, params_.lambda) - parent;
+        if (gain > leaf.best.gain) leaf.best = {gain, static_cast<int>(f), b};
+      }
+    }
+  };
+
+  for (int t = 0; t < params_.n_estimators; ++t) {
+    for (std::size_t i = 0; i < n; ++i) g[i] = pred[i] - train.target(i);
+
+    // Per-tree row bagging and feature sampling.
+    std::vector<std::uint32_t> root_rows;
+    root_rows.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (params_.subsample >= 1.0 || rng.bernoulli(params_.subsample))
+        root_rows.push_back(static_cast<std::uint32_t>(i));
+    }
+    if (root_rows.empty()) root_rows.push_back(0);
+    std::vector<char> feat_ok(d, 1);
+    if (params_.colsample < 1.0) {
+      std::fill(feat_ok.begin(), feat_ok.end(), 0);
+      const auto k = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::lround(params_.colsample * static_cast<double>(d))));
+      for (std::size_t f : rng.sample_indices(d, k)) feat_ok[f] = 1;
+    }
+
+    std::vector<TreeNode> nodes(1);
+    std::vector<Leaf> leaves;  // indexed by heap payload
+    auto make_leaf = [&](int node_id, std::vector<std::uint32_t> rows) {
+      Leaf leaf;
+      leaf.node_id = node_id;
+      leaf.rows = std::move(rows);
+      for (std::uint32_t row : leaf.rows) {
+        leaf.g += g[row];
+        leaf.h += h[row];
+        leaf.w += 1.0;
+      }
+      return leaf;
+    };
+
+    {
+      Leaf root = make_leaf(0, std::move(root_rows));
+      build_hist(root, feat_ok);
+      find_best(root, feat_ok);
+      leaves.push_back(std::move(root));
+    }
+
+    // Max-heap of splittable leaves by gain.
+    using HeapItem = std::pair<double, std::size_t>;
+    std::priority_queue<HeapItem> heap;
+    heap.emplace(leaves[0].best.gain, 0);
+
+    int leaf_count = 1;
+    while (leaf_count < params_.max_leaves && !heap.empty()) {
+      const auto [gain, li] = heap.top();
+      heap.pop();
+      if (gain <= params_.min_split_gain) break;
+      Leaf& leaf = leaves[li];
+      const SplitCandidate split = leaf.best;
+
+      // Partition rows on the binned feature.
+      std::vector<std::uint32_t> left_rows, right_rows;
+      for (std::uint32_t row : leaf.rows) {
+        const int b = binned[row * d + static_cast<std::size_t>(split.feature)];
+        (b <= split.bin ? left_rows : right_rows).push_back(row);
+      }
+      ANB_ASSERT(!left_rows.empty() && !right_rows.empty(),
+                 "HistGbdt: degenerate split");
+
+      TreeNode& parent = nodes[static_cast<std::size_t>(leaf.node_id)];
+      parent.feature = split.feature;
+      parent.threshold =
+          bins[static_cast<std::size_t>(split.feature)]
+              .edges[static_cast<std::size_t>(split.bin)];
+      parent.left = static_cast<int>(nodes.size());
+      parent.right = static_cast<int>(nodes.size() + 1);
+      nodes.emplace_back();
+      nodes.emplace_back();
+
+      Leaf small = make_leaf(parent.left, std::move(left_rows));
+      Leaf big = make_leaf(parent.right, std::move(right_rows));
+      if (small.rows.size() > big.rows.size()) std::swap(small, big);
+
+      // Histogram subtraction: build the smaller child, derive the sibling.
+      build_hist(small, feat_ok);
+      big.hist.resize(hist_size);
+      for (std::size_t c = 0; c < hist_size; ++c) {
+        big.hist[c].g = leaf.hist[c].g - small.hist[c].g;
+        big.hist[c].h = leaf.hist[c].h - small.hist[c].h;
+        big.hist[c].w = leaf.hist[c].w - small.hist[c].w;
+      }
+      leaf.hist.clear();
+      leaf.hist.shrink_to_fit();
+      find_best(small, feat_ok);
+      find_best(big, feat_ok);
+
+      const std::size_t small_idx = li;  // reuse the parent's slot
+      leaves[small_idx] = std::move(small);
+      leaves.push_back(std::move(big));
+      heap.emplace(leaves[small_idx].best.gain, small_idx);
+      heap.emplace(leaves.back().best.gain, leaves.size() - 1);
+      ++leaf_count;
+    }
+
+    // Finalize leaf values and update predictions.
+    for (const Leaf& leaf : leaves) {
+      TreeNode& node = nodes[static_cast<std::size_t>(leaf.node_id)];
+      if (node.feature >= 0) continue;  // became an internal node
+      node.value = leaf.w > 0.0 ? -leaf.g / (leaf.h + params_.lambda) : 0.0;
+    }
+    RegressionTree tree(std::move(nodes));
+    for (std::size_t i = 0; i < n; ++i)
+      pred[i] += params_.learning_rate * tree.predict(train.row(i));
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double HistGbdt::predict(std::span<const double> x) const {
+  ANB_CHECK(!trees_.empty(), "HistGbdt::predict: model not fitted");
+  double acc = base_score_;
+  for (const auto& tree : trees_) acc += params_.learning_rate * tree.predict(x);
+  return acc;
+}
+
+Json HistGbdt::to_json() const {
+  Json j = Json::object();
+  j["type"] = name();
+  j["base_score"] = base_score_;
+  Json params = Json::object();
+  params["n_estimators"] = params_.n_estimators;
+  params["learning_rate"] = params_.learning_rate;
+  params["max_leaves"] = params_.max_leaves;
+  params["max_bins"] = params_.max_bins;
+  params["lambda"] = params_.lambda;
+  params["min_child_weight"] = params_.min_child_weight;
+  params["min_split_gain"] = params_.min_split_gain;
+  params["subsample"] = params_.subsample;
+  params["colsample"] = params_.colsample;
+  j["params"] = std::move(params);
+  Json trees = Json::array();
+  for (const auto& tree : trees_) trees.push_back(tree.to_json());
+  j["trees"] = std::move(trees);
+  return j;
+}
+
+std::unique_ptr<HistGbdt> HistGbdt::from_json(const Json& j) {
+  ANB_CHECK(j.at("type").as_string() == "lgb",
+            "HistGbdt::from_json: wrong type tag");
+  const Json& p = j.at("params");
+  HistGbdtParams params;
+  params.n_estimators = p.at("n_estimators").as_int();
+  params.learning_rate = p.at("learning_rate").as_number();
+  params.max_leaves = p.at("max_leaves").as_int();
+  params.max_bins = p.at("max_bins").as_int();
+  params.lambda = p.at("lambda").as_number();
+  params.min_child_weight = p.at("min_child_weight").as_number();
+  params.min_split_gain = p.at("min_split_gain").as_number();
+  params.subsample = p.at("subsample").as_number();
+  params.colsample = p.at("colsample").as_number();
+  auto model = std::make_unique<HistGbdt>(params);
+  model->base_score_ = j.at("base_score").as_number();
+  for (const auto& jt : j.at("trees").as_array())
+    model->trees_.push_back(RegressionTree::from_json(jt));
+  return model;
+}
+
+}  // namespace anb

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+#include "anb/surrogate/surrogate.hpp"
+#include "anb/surrogate/tree.hpp"
+
+namespace anb {
+
+/// LightGBM-style hyperparameters: histogram split finding with *leaf-wise*
+/// (best-first) growth bounded by a leaf count rather than a depth.
+struct HistGbdtParams {
+  // Like GbdtParams, defaults favor many small trees (8 leaves ~ depth 3).
+  int n_estimators = 1500;
+  double learning_rate = 0.05;
+  int max_leaves = 8;
+  int max_bins = 64;
+  double lambda = 1.0;
+  double min_child_weight = 1.0;
+  double min_split_gain = 1e-12;
+  double subsample = 1.0;  ///< per-tree row bagging fraction
+  double colsample = 1.0;  ///< per-tree feature fraction
+};
+
+/// Histogram-based gradient boosting with leaf-wise growth (the paper's
+/// "LGB" surrogate). Structurally different from Gbdt: feature values are
+/// bucketed into at most `max_bins` quantile bins once per fit, split search
+/// scans bin histograms (with the sibling-subtraction trick), and trees grow
+/// best-first until `max_leaves`.
+class HistGbdt final : public Surrogate {
+ public:
+  explicit HistGbdt(HistGbdtParams params = {});
+
+  void fit(const Dataset& train, Rng& rng) override;
+  double predict(std::span<const double> x) const override;
+  std::string name() const override { return "lgb"; }
+  Json to_json() const override;
+  static std::unique_ptr<HistGbdt> from_json(const Json& j);
+
+  const HistGbdtParams& params() const { return params_; }
+  std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  HistGbdtParams params_;
+  double base_score_ = 0.0;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace anb

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "anb/surrogate/surrogate.hpp"
+#include "anb/surrogate/tree.hpp"
+
+namespace anb {
+
+/// Random-forest regression hyperparameters.
+struct RandomForestParams {
+  int n_trees = 200;
+  int max_depth = 14;
+  double min_samples_leaf = 2.0;
+  /// Features considered per split as a fraction of the total; <= 0 uses the
+  /// sqrt(d) heuristic.
+  double max_features_frac = -1.0;
+  /// Bootstrap sample size as a fraction of the training set.
+  double bootstrap_frac = 1.0;
+};
+
+/// Bagged variance-reduction trees (one of the paper's candidate surrogates;
+/// Table 1 shows it trailing the boosting methods on ANB-Acc, a gap this
+/// implementation reproduces).
+class RandomForest final : public Surrogate {
+ public:
+  explicit RandomForest(RandomForestParams params = {});
+
+  void fit(const Dataset& train, Rng& rng) override;
+  double predict(std::span<const double> x) const override;
+
+  /// Ensemble mean and standard deviation across trees — the predictive
+  /// uncertainty SMAC-style Bayesian optimization needs for its acquisition
+  /// function.
+  std::pair<double, double> predict_mean_std(std::span<const double> x) const;
+  std::string name() const override { return "rf"; }
+  Json to_json() const override;
+  static std::unique_ptr<RandomForest> from_json(const Json& j);
+
+  const RandomForestParams& params() const { return params_; }
+  std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  RandomForestParams params_;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace anb

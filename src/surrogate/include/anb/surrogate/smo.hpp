@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace anb {
+
+/// Generic SMO solver for the canonical dual QP (libsvm formulation):
+///
+///   min_a  0.5 aᵀQa + pᵀa    s.t.  yᵀa = 0,  0 <= a_i <= C_i,
+///
+/// with y_i ∈ {+1, −1}. ε-SVR maps onto this with 2n variables
+/// (α and α*), Q_st = y_s y_t K(s mod n, t mod n).
+///
+/// Working-set selection is the maximal-violating-pair rule; the
+/// two-variable subproblem is solved analytically with box clipping.
+class SmoSolver {
+ public:
+  struct Problem {
+    int n = 0;                     ///< number of dual variables
+    std::vector<double> p;         ///< linear term
+    std::vector<signed char> y;    ///< ±1 per variable
+    std::vector<double> c;         ///< upper box bound per variable
+    /// Column accessor: q(i, out) fills out[0..n) with column i of Q.
+    std::function<void(int, std::vector<double>&)> q_column;
+    double tolerance = 1e-3;
+    std::int64_t max_iterations = 2'000'000;
+  };
+
+  struct Result {
+    std::vector<double> alpha;
+    double rho = 0.0;  ///< KKT offset; decision value = Σ y_i a_i K − rho
+    std::int64_t iterations = 0;
+    bool converged = false;
+  };
+
+  static Result solve(const Problem& problem);
+};
+
+}  // namespace anb

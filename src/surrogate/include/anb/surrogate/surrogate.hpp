@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "anb/surrogate/dataset.hpp"
+#include "anb/util/json.hpp"
+
+namespace anb {
+
+/// Fit-quality metrics used throughout the paper (Tables 1 & 2).
+struct FitMetrics {
+  double r2 = 0.0;
+  double kendall_tau = 0.0;
+  double mae = 0.0;
+  double rmse = 0.0;
+};
+
+/// Common interface of all predictive models used to build the benchmark
+/// (XGB-style boosting, LGB-style histogram boosting, random forests,
+/// ε-SVR, ν-SVR). A surrogate maps an architecture feature vector to a
+/// scalar (accuracy, throughput, or latency) in microseconds — this is what
+/// makes benchmark queries "zero-cost".
+class Surrogate {
+ public:
+  virtual ~Surrogate() = default;
+
+  /// Fit on a training set. May be called again to refit from scratch.
+  virtual void fit(const Dataset& train, Rng& rng) = 0;
+
+  /// Predict one example; requires fit() to have been called.
+  virtual double predict(std::span<const double> x) const = 0;
+
+  /// Short identifier ("xgb", "lgb", "rf", "esvr", "nusvr").
+  virtual std::string name() const = 0;
+
+  /// Serialize the fitted model (including hyperparameters).
+  virtual Json to_json() const = 0;
+
+  /// Predict every row of a dataset.
+  std::vector<double> predict_all(const Dataset& data) const;
+
+  /// Evaluate on a labelled dataset.
+  FitMetrics evaluate(const Dataset& data) const;
+};
+
+/// Reconstruct a fitted surrogate from to_json() output. Dispatches on the
+/// "type" tag. Throws anb::Error for unknown types or malformed payloads.
+std::unique_ptr<Surrogate> surrogate_from_json(const Json& j);
+
+}  // namespace anb

@@ -1,0 +1,106 @@
+#include "anb/surrogate/random_forest.hpp"
+
+#include <cmath>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+
+RandomForest::RandomForest(RandomForestParams params)
+    : params_(std::move(params)) {
+  ANB_CHECK(params_.n_trees >= 1, "RandomForest: n_trees must be >= 1");
+  ANB_CHECK(params_.max_depth >= 1, "RandomForest: max_depth must be >= 1");
+  ANB_CHECK(params_.bootstrap_frac > 0.0 && params_.bootstrap_frac <= 2.0,
+            "RandomForest: bootstrap_frac must be in (0, 2]");
+}
+
+void RandomForest::fit(const Dataset& train, Rng& rng) {
+  ANB_CHECK(train.size() >= 2, "RandomForest::fit: need at least 2 rows");
+  trees_.clear();
+  const std::size_t n = train.size();
+  const std::size_t d = train.num_features();
+  const ColumnIndex columns(train);
+
+  // Variance-reduction splits: g = -y, h = 1, lambda = 0 reduces the
+  // XGBoost gain to classic sum-of-squares reduction with mean-value leaves.
+  std::vector<double> g(n), h(n, 1.0), weight(n);
+  for (std::size_t i = 0; i < n; ++i) g[i] = -train.target(i);
+
+  TreeParams tp;
+  tp.max_depth = params_.max_depth;
+  tp.lambda = 0.0;
+  tp.gamma = 1e-12;  // require strictly positive variance reduction
+  tp.min_child_weight = 0.0;
+  tp.min_samples_leaf = params_.min_samples_leaf;
+  const double frac = params_.max_features_frac;
+  tp.features_per_node =
+      frac > 0.0
+          ? std::max(1, static_cast<int>(std::lround(frac * static_cast<double>(d))))
+          : std::max(1, static_cast<int>(std::lround(std::sqrt(static_cast<double>(d)))));
+
+  const auto n_bootstrap = static_cast<std::size_t>(
+      std::max(1.0, params_.bootstrap_frac * static_cast<double>(n)));
+  for (int t = 0; t < params_.n_trees; ++t) {
+    // Bootstrap with replacement expressed as per-row multiplicities.
+    std::fill(weight.begin(), weight.end(), 0.0);
+    for (std::size_t s = 0; s < n_bootstrap; ++s)
+      weight[rng.uniform_index(n)] += 1.0;
+    trees_.push_back(build_tree(train, columns, g, h, weight, tp, rng));
+  }
+}
+
+double RandomForest::predict(std::span<const double> x) const {
+  ANB_CHECK(!trees_.empty(), "RandomForest::predict: model not fitted");
+  double acc = 0.0;
+  for (const auto& tree : trees_) acc += tree.predict(x);
+  return acc / static_cast<double>(trees_.size());
+}
+
+std::pair<double, double> RandomForest::predict_mean_std(
+    std::span<const double> x) const {
+  ANB_CHECK(!trees_.empty(), "RandomForest::predict_mean_std: not fitted");
+  double sum = 0.0, sum_sq = 0.0;
+  for (const auto& tree : trees_) {
+    const double v = tree.predict(x);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double n = static_cast<double>(trees_.size());
+  const double m = sum / n;
+  const double var = std::max(0.0, sum_sq / n - m * m);
+  return {m, std::sqrt(var)};
+}
+
+Json RandomForest::to_json() const {
+  Json j = Json::object();
+  j["type"] = name();
+  Json params = Json::object();
+  params["n_trees"] = params_.n_trees;
+  params["max_depth"] = params_.max_depth;
+  params["min_samples_leaf"] = params_.min_samples_leaf;
+  params["max_features_frac"] = params_.max_features_frac;
+  params["bootstrap_frac"] = params_.bootstrap_frac;
+  j["params"] = std::move(params);
+  Json trees = Json::array();
+  for (const auto& tree : trees_) trees.push_back(tree.to_json());
+  j["trees"] = std::move(trees);
+  return j;
+}
+
+std::unique_ptr<RandomForest> RandomForest::from_json(const Json& j) {
+  ANB_CHECK(j.at("type").as_string() == "rf",
+            "RandomForest::from_json: wrong type tag");
+  const Json& p = j.at("params");
+  RandomForestParams params;
+  params.n_trees = p.at("n_trees").as_int();
+  params.max_depth = p.at("max_depth").as_int();
+  params.min_samples_leaf = p.at("min_samples_leaf").as_number();
+  params.max_features_frac = p.at("max_features_frac").as_number();
+  params.bootstrap_frac = p.at("bootstrap_frac").as_number();
+  auto model = std::make_unique<RandomForest>(params);
+  for (const auto& jt : j.at("trees").as_array())
+    model->trees_.push_back(RegressionTree::from_json(jt));
+  return model;
+}
+
+}  // namespace anb

@@ -1,0 +1,181 @@
+#include "anb/surrogate/smo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+
+namespace {
+constexpr double kTau = 1e-12;
+}
+
+SmoSolver::Result SmoSolver::solve(const Problem& prob) {
+  const int n = prob.n;
+  ANB_CHECK(n > 0, "SmoSolver: empty problem");
+  ANB_CHECK(prob.p.size() == static_cast<std::size_t>(n) &&
+                prob.y.size() == static_cast<std::size_t>(n) &&
+                prob.c.size() == static_cast<std::size_t>(n),
+            "SmoSolver: inconsistent problem arrays");
+  ANB_CHECK(static_cast<bool>(prob.q_column), "SmoSolver: missing Q accessor");
+
+  Result res;
+  res.alpha.assign(static_cast<std::size_t>(n), 0.0);
+  std::vector<double>& a = res.alpha;
+  // alpha = 0 -> gradient is just the linear term.
+  std::vector<double> grad(prob.p);
+  std::vector<double> q_i(static_cast<std::size_t>(n));
+  std::vector<double> q_j(static_cast<std::size_t>(n));
+
+  auto in_up = [&](int t) {
+    return (prob.y[static_cast<std::size_t>(t)] > 0 &&
+            a[static_cast<std::size_t>(t)] < prob.c[static_cast<std::size_t>(t)]) ||
+           (prob.y[static_cast<std::size_t>(t)] < 0 &&
+            a[static_cast<std::size_t>(t)] > 0);
+  };
+  auto in_low = [&](int t) {
+    return (prob.y[static_cast<std::size_t>(t)] > 0 &&
+            a[static_cast<std::size_t>(t)] > 0) ||
+           (prob.y[static_cast<std::size_t>(t)] < 0 &&
+            a[static_cast<std::size_t>(t)] < prob.c[static_cast<std::size_t>(t)]);
+  };
+
+  for (res.iterations = 0; res.iterations < prob.max_iterations;
+       ++res.iterations) {
+    // Maximal violating pair.
+    int i = -1, j = -1;
+    double m_up = -std::numeric_limits<double>::infinity();
+    double m_low = std::numeric_limits<double>::infinity();
+    for (int t = 0; t < n; ++t) {
+      const double v = -prob.y[static_cast<std::size_t>(t)] *
+                       grad[static_cast<std::size_t>(t)];
+      if (in_up(t) && v > m_up) {
+        m_up = v;
+        i = t;
+      }
+      if (in_low(t) && v < m_low) {
+        m_low = v;
+        j = t;
+      }
+    }
+    if (i < 0 || j < 0 || m_up - m_low < prob.tolerance) {
+      res.converged = true;
+      break;
+    }
+
+    prob.q_column(i, q_i);
+    prob.q_column(j, q_j);
+
+    const auto si = static_cast<std::size_t>(i);
+    const auto sj = static_cast<std::size_t>(j);
+    const double ci = prob.c[si];
+    const double cj = prob.c[sj];
+    const double old_ai = a[si];
+    const double old_aj = a[sj];
+
+    if (prob.y[si] != prob.y[sj]) {
+      double quad = q_i[si] + q_j[sj] + 2.0 * q_i[sj];
+      if (quad <= 0) quad = kTau;
+      const double delta = (-grad[si] - grad[sj]) / quad;
+      const double diff = a[si] - a[sj];
+      a[si] += delta;
+      a[sj] += delta;
+      if (diff > 0) {
+        if (a[sj] < 0) {
+          a[sj] = 0;
+          a[si] = diff;
+        }
+      } else {
+        if (a[si] < 0) {
+          a[si] = 0;
+          a[sj] = -diff;
+        }
+      }
+      if (diff > ci - cj) {
+        if (a[si] > ci) {
+          a[si] = ci;
+          a[sj] = ci - diff;
+        }
+      } else {
+        if (a[sj] > cj) {
+          a[sj] = cj;
+          a[si] = cj + diff;
+        }
+      }
+    } else {
+      double quad = q_i[si] + q_j[sj] - 2.0 * q_i[sj];
+      if (quad <= 0) quad = kTau;
+      const double delta = (grad[si] - grad[sj]) / quad;
+      const double sum = a[si] + a[sj];
+      a[si] -= delta;
+      a[sj] += delta;
+      if (sum > ci) {
+        if (a[si] > ci) {
+          a[si] = ci;
+          a[sj] = sum - ci;
+        }
+      } else {
+        if (a[sj] < 0) {
+          a[sj] = 0;
+          a[si] = sum;
+        }
+      }
+      if (sum > cj) {
+        if (a[sj] > cj) {
+          a[sj] = cj;
+          a[si] = sum - cj;
+        }
+      } else {
+        if (a[si] < 0) {
+          a[si] = 0;
+          a[sj] = sum;
+        }
+      }
+    }
+
+    const double dai = a[si] - old_ai;
+    const double daj = a[sj] - old_aj;
+    if (dai == 0.0 && daj == 0.0) {
+      // Numerically stuck pair; treat as converged to avoid spinning.
+      res.converged = true;
+      break;
+    }
+    for (int t = 0; t < n; ++t) {
+      grad[static_cast<std::size_t>(t)] +=
+          q_i[static_cast<std::size_t>(t)] * dai +
+          q_j[static_cast<std::size_t>(t)] * daj;
+    }
+  }
+
+  // KKT offset (libsvm's calculate_rho).
+  double ub = std::numeric_limits<double>::infinity();
+  double lb = -std::numeric_limits<double>::infinity();
+  double sum_free = 0.0;
+  int n_free = 0;
+  for (int t = 0; t < n; ++t) {
+    const auto st = static_cast<std::size_t>(t);
+    const double yg = prob.y[st] * grad[st];
+    if (a[st] >= prob.c[st]) {
+      if (prob.y[st] < 0) {
+        ub = std::min(ub, yg);
+      } else {
+        lb = std::max(lb, yg);
+      }
+    } else if (a[st] <= 0.0) {
+      if (prob.y[st] > 0) {
+        ub = std::min(ub, yg);
+      } else {
+        lb = std::max(lb, yg);
+      }
+    } else {
+      ++n_free;
+      sum_free += yg;
+    }
+  }
+  res.rho = n_free > 0 ? sum_free / n_free : (ub + lb) / 2.0;
+  return res;
+}
+
+}  // namespace anb

@@ -1,0 +1,41 @@
+#include "anb/surrogate/surrogate.hpp"
+
+#include "anb/surrogate/ensemble.hpp"
+#include "anb/surrogate/gbdt.hpp"
+#include "anb/surrogate/hist_gbdt.hpp"
+#include "anb/surrogate/random_forest.hpp"
+#include "anb/surrogate/svr.hpp"
+#include "anb/util/error.hpp"
+#include "anb/util/metrics.hpp"
+
+namespace anb {
+
+std::vector<double> Surrogate::predict_all(const Dataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) out.push_back(predict(data.row(i)));
+  return out;
+}
+
+FitMetrics Surrogate::evaluate(const Dataset& data) const {
+  ANB_CHECK(data.size() >= 2, "Surrogate::evaluate: need at least 2 rows");
+  const auto preds = predict_all(data);
+  FitMetrics m;
+  m.r2 = r2_score(data.targets(), preds);
+  m.kendall_tau = kendall_tau(data.targets(), preds);
+  m.mae = mae(data.targets(), preds);
+  m.rmse = rmse(data.targets(), preds);
+  return m;
+}
+
+std::unique_ptr<Surrogate> surrogate_from_json(const Json& j) {
+  const std::string& type = j.at("type").as_string();
+  if (type == "xgb") return Gbdt::from_json(j);
+  if (type == "lgb") return HistGbdt::from_json(j);
+  if (type == "rf") return RandomForest::from_json(j);
+  if (type == "esvr" || type == "nusvr") return Svr::from_json(j);
+  if (type == "ensemble") return EnsembleSurrogate::from_json(j);
+  throw Error("surrogate_from_json: unknown surrogate type '" + type + "'");
+}
+
+}  // namespace anb

@@ -1,0 +1,243 @@
+#include "anb/surrogate/svr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "anb/surrogate/smo.hpp"
+#include "anb/util/error.hpp"
+#include "anb/util/stats.hpp"
+
+namespace anb {
+
+Svr::Svr(SvrParams params) : params_(std::move(params)) {
+  ANB_CHECK(params_.c > 0.0, "Svr: C must be > 0");
+  ANB_CHECK(params_.epsilon >= 0.0, "Svr: epsilon must be >= 0");
+  ANB_CHECK(params_.nu > 0.0 && params_.nu < 1.0, "Svr: nu must be in (0, 1)");
+  ANB_CHECK(params_.tolerance > 0.0, "Svr: tolerance must be > 0");
+}
+
+double Svr::gamma_value(std::size_t num_features) const {
+  return params_.gamma > 0.0
+             ? params_.gamma
+             : 1.0 / static_cast<double>(num_features);
+}
+
+Svr::FitOutput Svr::solve_epsilon(const std::vector<std::vector<float>>& kernel,
+                                  std::span<const double> y,
+                                  double epsilon) const {
+  const int n = static_cast<int>(y.size());
+  // libsvm's ε-SVR mapping: 2n dual variables, the first n are α (+1 sign),
+  // the last n are α* (−1 sign); Q̃_st = sign_s sign_t K(s%n, t%n).
+  SmoSolver::Problem prob;
+  prob.n = 2 * n;
+  prob.p.resize(static_cast<std::size_t>(2 * n));
+  prob.y.resize(static_cast<std::size_t>(2 * n));
+  prob.c.assign(static_cast<std::size_t>(2 * n), params_.c);
+  for (int i = 0; i < n; ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    prob.p[si] = epsilon - y[si];
+    prob.y[si] = +1;
+    prob.p[si + static_cast<std::size_t>(n)] = epsilon + y[si];
+    prob.y[si + static_cast<std::size_t>(n)] = -1;
+  }
+  prob.tolerance = params_.tolerance;
+  prob.q_column = [&kernel, n](int col, std::vector<double>& out) {
+    const int real_col = col % n;
+    const double sign_col = col < n ? 1.0 : -1.0;
+    const auto& krow = kernel[static_cast<std::size_t>(real_col)];
+    for (int t = 0; t < n; ++t) {
+      const double q = sign_col * krow[static_cast<std::size_t>(t)];
+      out[static_cast<std::size_t>(t)] = q;
+      out[static_cast<std::size_t>(t + n)] = -q;
+    }
+  };
+
+  const auto result = SmoSolver::solve(prob);
+  FitOutput fit;
+  fit.coef.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    fit.coef[static_cast<std::size_t>(i)] =
+        result.alpha[static_cast<std::size_t>(i)] -
+        result.alpha[static_cast<std::size_t>(i + n)];
+  }
+  fit.bias = -result.rho;
+  return fit;
+}
+
+void Svr::fit(const Dataset& train, Rng& /*rng*/) {
+  const std::size_t n = train.size();
+  const std::size_t d = train.num_features();
+  ANB_CHECK(n >= 2, "Svr::fit: need at least 2 rows");
+  ANB_CHECK(n <= 8000,
+            "Svr::fit: dense kernel solver supports at most 8000 rows");
+
+  // --- standardize features and targets ---
+  feat_mean_.assign(d, 0.0);
+  feat_scale_.assign(d, 1.0);
+  for (std::size_t f = 0; f < d; ++f) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < n; ++i) m += train.feature(i, f);
+    m /= static_cast<double>(n);
+    double ss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double c = train.feature(i, f) - m;
+      ss += c * c;
+    }
+    const double sd = std::sqrt(ss / static_cast<double>(n));
+    feat_mean_[f] = m;
+    feat_scale_[f] = sd > 1e-12 ? sd : 1.0;
+  }
+  target_mean_ = mean(train.targets());
+  {
+    double ss = 0.0;
+    for (double t : train.targets()) ss += (t - target_mean_) * (t - target_mean_);
+    const double sd = std::sqrt(ss / static_cast<double>(n));
+    target_scale_ = sd > 1e-12 ? sd : 1.0;
+  }
+
+  std::vector<std::vector<double>> x(n, std::vector<double>(d));
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < d; ++f)
+      x[i][f] = (train.feature(i, f) - feat_mean_[f]) / feat_scale_[f];
+    y[i] = (train.target(i) - target_mean_) / target_scale_;
+  }
+
+  // --- dense RBF kernel matrix ---
+  const double gamma = gamma_value(d);
+  std::vector<std::vector<float>> kernel(n, std::vector<float>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    kernel[i][i] = 1.0f;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double dist2 = 0.0;
+      for (std::size_t f = 0; f < d; ++f) {
+        const double diff = x[i][f] - x[j][f];
+        dist2 += diff * diff;
+      }
+      const auto k = static_cast<float>(std::exp(-gamma * dist2));
+      kernel[i][j] = k;
+      kernel[j][i] = k;
+    }
+  }
+
+  FitOutput fit_out;
+  if (params_.kind == SvrKind::kEpsilon) {
+    effective_epsilon_ = params_.epsilon;
+    fit_out = solve_epsilon(kernel, y, params_.epsilon);
+  } else {
+    // ν-SVR by bisection on ε: the out-of-tube fraction is decreasing in ε,
+    // and ν-SVR's optimal tube satisfies fraction ≈ ν (Schölkopf et al.).
+    double lo = 0.0;
+    double hi = 2.0;  // standardized targets: 2σ tube already excludes ~0
+    double best_eps = params_.epsilon;
+    for (int iter = 0; iter < 12; ++iter) {
+      const double eps = 0.5 * (lo + hi);
+      fit_out = solve_epsilon(kernel, y, eps);
+      // Out-of-tube fraction of the training residuals.
+      int outside = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        double f = fit_out.bias;
+        for (std::size_t j = 0; j < n; ++j)
+          f += fit_out.coef[j] * kernel[j][i];
+        if (std::abs(y[i] - f) > eps) ++outside;
+      }
+      const double frac = static_cast<double>(outside) / static_cast<double>(n);
+      best_eps = eps;
+      if (frac > params_.nu) {
+        lo = eps;  // tube too narrow
+      } else {
+        hi = eps;
+      }
+      if (hi - lo < 1e-3) break;
+    }
+    effective_epsilon_ = best_eps;
+    fit_out = solve_epsilon(kernel, y, best_eps);
+  }
+
+  // Keep only support vectors (nonzero dual coefficients).
+  support_vectors_.clear();
+  sv_coef_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::abs(fit_out.coef[i]) > 1e-12) {
+      support_vectors_.push_back(x[i]);
+      sv_coef_.push_back(fit_out.coef[i]);
+    }
+  }
+  bias_ = fit_out.bias;
+  ANB_CHECK(!sv_coef_.empty(),
+            "Svr::fit: no support vectors (epsilon tube too wide?)");
+}
+
+double Svr::predict(std::span<const double> x) const {
+  ANB_CHECK(!sv_coef_.empty(), "Svr::predict: model not fitted");
+  ANB_CHECK(x.size() == feat_mean_.size(),
+            "Svr::predict: feature dimension mismatch");
+  const std::size_t d = x.size();
+  std::vector<double> xs(d);
+  for (std::size_t f = 0; f < d; ++f)
+    xs[f] = (x[f] - feat_mean_[f]) / feat_scale_[f];
+
+  const double gamma = gamma_value(d);
+  double f_val = bias_;
+  for (std::size_t s = 0; s < support_vectors_.size(); ++s) {
+    double dist2 = 0.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      const double diff = xs[k] - support_vectors_[s][k];
+      dist2 += diff * diff;
+    }
+    f_val += sv_coef_[s] * std::exp(-gamma * dist2);
+  }
+  return f_val * target_scale_ + target_mean_;
+}
+
+Json Svr::to_json() const {
+  Json j = Json::object();
+  j["type"] = name();
+  Json params = Json::object();
+  params["c"] = params_.c;
+  params["epsilon"] = params_.epsilon;
+  params["nu"] = params_.nu;
+  params["gamma"] = params_.gamma;
+  params["tolerance"] = params_.tolerance;
+  j["params"] = std::move(params);
+  j["effective_epsilon"] = effective_epsilon_;
+  j["feat_mean"] = Json::array_of(feat_mean_);
+  j["feat_scale"] = Json::array_of(feat_scale_);
+  j["target_mean"] = target_mean_;
+  j["target_scale"] = target_scale_;
+  j["bias"] = bias_;
+  j["sv_coef"] = Json::array_of(sv_coef_);
+  Json svs = Json::array();
+  for (const auto& sv : support_vectors_) svs.push_back(Json::array_of(sv));
+  j["support_vectors"] = std::move(svs);
+  return j;
+}
+
+std::unique_ptr<Svr> Svr::from_json(const Json& j) {
+  const std::string& type = j.at("type").as_string();
+  ANB_CHECK(type == "esvr" || type == "nusvr",
+            "Svr::from_json: wrong type tag");
+  const Json& p = j.at("params");
+  SvrParams params;
+  params.kind = type == "esvr" ? SvrKind::kEpsilon : SvrKind::kNu;
+  params.c = p.at("c").as_number();
+  params.epsilon = p.at("epsilon").as_number();
+  params.nu = p.at("nu").as_number();
+  params.gamma = p.at("gamma").as_number();
+  params.tolerance = p.at("tolerance").as_number();
+  auto model = std::make_unique<Svr>(params);
+  model->effective_epsilon_ = j.at("effective_epsilon").as_number();
+  model->feat_mean_ = j.at("feat_mean").as_double_vector();
+  model->feat_scale_ = j.at("feat_scale").as_double_vector();
+  model->target_mean_ = j.at("target_mean").as_number();
+  model->target_scale_ = j.at("target_scale").as_number();
+  model->bias_ = j.at("bias").as_number();
+  model->sv_coef_ = j.at("sv_coef").as_double_vector();
+  for (const auto& jsv : j.at("support_vectors").as_array())
+    model->support_vectors_.push_back(jsv.as_double_vector());
+  ANB_CHECK(model->support_vectors_.size() == model->sv_coef_.size(),
+            "Svr::from_json: coef/support-vector count mismatch");
+  return model;
+}
+
+}  // namespace anb

@@ -1,0 +1,281 @@
+#include "anb/surrogate/tree.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+
+RegressionTree::RegressionTree(std::vector<TreeNode> nodes)
+    : nodes_(std::move(nodes)) {
+  ANB_CHECK(!nodes_.empty(), "RegressionTree: empty node list");
+}
+
+double RegressionTree::predict(std::span<const double> x) const {
+  ANB_CHECK(!nodes_.empty(), "RegressionTree::predict: tree not fitted");
+  int i = 0;
+  while (nodes_[static_cast<std::size_t>(i)].feature >= 0) {
+    const auto& n = nodes_[static_cast<std::size_t>(i)];
+    ANB_CHECK(static_cast<std::size_t>(n.feature) < x.size(),
+              "RegressionTree::predict: feature index out of range");
+    i = x[static_cast<std::size_t>(n.feature)] < n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(i)].value;
+}
+
+int RegressionTree::num_leaves() const {
+  int leaves = 0;
+  for (const auto& n : nodes_)
+    if (n.feature < 0) ++leaves;
+  return leaves;
+}
+
+Json RegressionTree::to_json() const {
+  Json arr = Json::array();
+  for (const auto& n : nodes_) {
+    Json jn = Json::object();
+    jn["f"] = n.feature;
+    jn["t"] = n.threshold;
+    jn["l"] = n.left;
+    jn["r"] = n.right;
+    jn["v"] = n.value;
+    arr.push_back(std::move(jn));
+  }
+  return arr;
+}
+
+RegressionTree RegressionTree::from_json(const Json& j) {
+  std::vector<TreeNode> nodes;
+  for (const auto& jn : j.as_array()) {
+    TreeNode n;
+    n.feature = jn.at("f").as_int();
+    n.threshold = jn.at("t").as_number();
+    n.left = jn.at("l").as_int();
+    n.right = jn.at("r").as_int();
+    n.value = jn.at("v").as_number();
+    const int count = static_cast<int>(j.size());
+    ANB_CHECK(n.feature < 0 || (n.left >= 0 && n.left < count && n.right >= 0 &&
+                                n.right < count),
+              "RegressionTree::from_json: dangling child index");
+    nodes.push_back(n);
+  }
+  return RegressionTree(std::move(nodes));
+}
+
+ColumnIndex::ColumnIndex(const Dataset& data)
+    : num_features_(data.num_features()), num_rows_(data.size()) {
+  ANB_CHECK(num_rows_ > 0, "ColumnIndex: empty dataset");
+  order_.resize(num_features_ * num_rows_);
+  values_.resize(num_features_ * num_rows_);
+  for (std::size_t f = 0; f < num_features_; ++f) {
+    auto* begin = order_.data() + f * num_rows_;
+    for (std::size_t i = 0; i < num_rows_; ++i)
+      begin[i] = static_cast<std::uint32_t>(i);
+    std::stable_sort(begin, begin + num_rows_,
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return data.feature(a, f) < data.feature(b, f);
+                     });
+    auto* vals = values_.data() + f * num_rows_;
+    for (std::size_t i = 0; i < num_rows_; ++i)
+      vals[i] = data.feature(begin[i], f);
+  }
+}
+
+std::span<const double> ColumnIndex::sorted_values(std::size_t f) const {
+  ANB_CHECK(f < num_features_, "ColumnIndex: feature out of range");
+  return {values_.data() + f * num_rows_, num_rows_};
+}
+
+std::span<const std::uint32_t> ColumnIndex::sorted_rows(std::size_t f) const {
+  ANB_CHECK(f < num_features_, "ColumnIndex: feature out of range");
+  return {order_.data() + f * num_rows_, num_rows_};
+}
+
+namespace {
+
+struct NodeStats {
+  double g = 0.0, h = 0.0, w = 0.0;
+};
+
+struct BestSplit {
+  double gain = -std::numeric_limits<double>::infinity();
+  int feature = -1;
+  double threshold = 0.0;
+};
+
+double leaf_gain(double g, double h, double lambda) {
+  return g * g / (h + lambda);
+}
+
+}  // namespace
+
+RegressionTree build_tree(const Dataset& data, const ColumnIndex& columns,
+                          std::span<const double> g, std::span<const double> h,
+                          std::span<const double> row_weight,
+                          const TreeParams& params, Rng& rng) {
+  const std::size_t n = data.size();
+  const std::size_t d = data.num_features();
+  ANB_CHECK(g.size() == n && h.size() == n && row_weight.size() == n,
+            "build_tree: gradient/weight arrays must match dataset size");
+  ANB_CHECK(columns.num_features() == d,
+            "build_tree: column index feature count mismatch");
+  ANB_CHECK(params.max_depth >= 1, "build_tree: max_depth must be >= 1");
+  ANB_CHECK(params.lambda >= 0.0, "build_tree: lambda must be >= 0");
+
+  std::vector<TreeNode> nodes(1);
+  // position[i]: index into `active` of the node row i currently sits in.
+  std::vector<int> position(n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    if (row_weight[i] == 0.0) position[i] = -1;
+
+  std::vector<int> active{0};  // node ids at the current level
+
+  for (int depth = 0; depth < params.max_depth && !active.empty(); ++depth) {
+    const std::size_t na = active.size();
+
+    // Totals per active node.
+    std::vector<NodeStats> total(na);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int p = position[i];
+      if (p < 0) continue;
+      const double w = row_weight[i];
+      total[static_cast<std::size_t>(p)].g += w * g[i];
+      total[static_cast<std::size_t>(p)].h += w * h[i];
+      total[static_cast<std::size_t>(p)].w += w;
+    }
+
+    // Optional per-node feature subsampling (random-forest style).
+    std::vector<char> allowed;
+    const bool subsample_features =
+        params.features_per_node > 0 &&
+        static_cast<std::size_t>(params.features_per_node) < d;
+    if (subsample_features) {
+      allowed.assign(na * d, 0);
+      for (std::size_t a = 0; a < na; ++a) {
+        for (std::size_t f : rng.sample_indices(
+                 d, static_cast<std::size_t>(params.features_per_node))) {
+          allowed[a * d + f] = 1;
+        }
+      }
+    }
+
+    std::vector<BestSplit> best(na);
+    // Left-accumulator state per node, reset for each feature scan.
+    std::vector<NodeStats> left(na);
+    std::vector<double> last_value(na, 0.0);
+    std::vector<char> has_prev(na, 0);
+
+    for (std::size_t f = 0; f < d; ++f) {
+      std::fill(left.begin(), left.end(), NodeStats{});
+      std::fill(has_prev.begin(), has_prev.end(), 0);
+
+      const auto rows_sorted = columns.sorted_rows(f);
+      const auto vals_sorted = columns.sorted_values(f);
+      for (std::size_t s = 0; s < rows_sorted.size(); ++s) {
+        const std::uint32_t row = rows_sorted[s];
+        const int p = position[row];
+        if (p < 0) continue;
+        const auto a = static_cast<std::size_t>(p);
+        if (subsample_features && !allowed[a * d + f]) continue;
+        const double v = vals_sorted[s];
+
+        if (has_prev[a] && v > last_value[a]) {
+          // Candidate split between last_value and v.
+          const NodeStats& tot = total[a];
+          const NodeStats& l = left[a];
+          const double rg = tot.g - l.g;
+          const double rh = tot.h - l.h;
+          const double rw = tot.w - l.w;
+          if (l.h >= params.min_child_weight &&
+              rh >= params.min_child_weight &&
+              l.w >= params.min_samples_leaf &&
+              rw >= params.min_samples_leaf) {
+            const double gain = leaf_gain(l.g, l.h, params.lambda) +
+                                leaf_gain(rg, rh, params.lambda) -
+                                leaf_gain(tot.g, tot.h, params.lambda);
+            if (gain > best[a].gain) {
+              best[a] = {gain, static_cast<int>(f),
+                         0.5 * (last_value[a] + v)};
+            }
+          }
+        }
+        const double w = row_weight[row];
+        left[a].g += w * g[row];
+        left[a].h += w * h[row];
+        left[a].w += w;
+        last_value[a] = v;
+        has_prev[a] = 1;
+      }
+    }
+
+    // Materialize splits / leaves and the next level.
+    std::vector<int> next_active;
+    // child_base[a] = index of node a's left child in next_active, or -1.
+    std::vector<int> child_base(na, -1);
+    for (std::size_t a = 0; a < na; ++a) {
+      TreeNode& node = nodes[static_cast<std::size_t>(active[a])];
+      // Depth is bounded by the loop itself: splitting at level
+      // max_depth-1 creates children that the post-loop pass turns into
+      // leaves, so a max_depth=1 tree is a single stump.
+      const bool do_split = best[a].feature >= 0 && best[a].gain > params.gamma;
+      if (do_split) {
+        node.feature = best[a].feature;
+        node.threshold = best[a].threshold;
+        node.left = static_cast<int>(nodes.size());
+        node.right = static_cast<int>(nodes.size() + 1);
+        nodes.emplace_back();
+        nodes.emplace_back();
+        child_base[a] = static_cast<int>(next_active.size());
+        next_active.push_back(node.left);
+        next_active.push_back(node.right);
+      } else {
+        node.feature = -1;
+        node.value = total[a].w > 0.0
+                         ? -total[a].g / (total[a].h + params.lambda)
+                         : 0.0;
+      }
+    }
+
+    // Route rows to children (or retire them in finished leaves).
+    for (std::size_t i = 0; i < n; ++i) {
+      const int p = position[i];
+      if (p < 0) continue;
+      const auto a = static_cast<std::size_t>(p);
+      if (child_base[a] < 0) {
+        position[i] = -1;
+        continue;
+      }
+      const TreeNode& node = nodes[static_cast<std::size_t>(active[a])];
+      const bool goes_left =
+          data.feature(i, static_cast<std::size_t>(node.feature)) <
+          node.threshold;
+      position[i] = child_base[a] + (goes_left ? 0 : 1);
+    }
+    active = std::move(next_active);
+  }
+
+  // Any nodes still active at max depth become leaves.
+  if (!active.empty()) {
+    std::vector<NodeStats> total(active.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const int p = position[i];
+      if (p < 0) continue;
+      const double w = row_weight[i];
+      total[static_cast<std::size_t>(p)].g += w * g[i];
+      total[static_cast<std::size_t>(p)].h += w * h[i];
+      total[static_cast<std::size_t>(p)].w += w;
+    }
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      TreeNode& node = nodes[static_cast<std::size_t>(active[a])];
+      node.feature = -1;
+      node.value = total[a].w > 0.0
+                       ? -total[a].g / (total[a].h + params.lambda)
+                       : 0.0;
+    }
+  }
+
+  return RegressionTree(std::move(nodes));
+}
+
+}  // namespace anb

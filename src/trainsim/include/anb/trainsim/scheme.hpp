@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "anb/util/json.hpp"
+
+namespace anb {
+
+/// A training scheme: the six hyperparameters the paper's proxy search
+/// optimizes over (§3.2): batch size b, total epochs e_t, progressive-
+/// resizing start/finish epochs e_s/e_f [7], and start/finish input
+/// resolutions res_s/res_f.
+///
+/// The *reference* scheme `r` is a fixed high-fidelity recipe (the paper
+/// uses a timm recipe); *proxified* schemes `p` trade accuracy for speed
+/// while — ideally — preserving architecture rankings.
+struct TrainingScheme {
+  int batch_size = 512;
+  int total_epochs = 200;
+  int resize_start_epoch = 0;   ///< e_s: epoch where the resolution ramp starts
+  int resize_finish_epoch = 0;  ///< e_f: epoch where res reaches res_finish
+  int res_start = 224;
+  int res_finish = 224;
+
+  bool operator==(const TrainingScheme&) const = default;
+
+  /// Input resolution used during 0-indexed epoch `epoch`: res_start before
+  /// e_s, res_finish from e_f on, linear ramp in between.
+  int resolution_at_epoch(int epoch) const;
+
+  /// Throws anb::Error unless 0 <= e_s <= e_f <= e_t, resolutions in
+  /// [32, 1024] with res_s <= res_f, batch in [1, 8192], e_t >= 1.
+  void validate() const;
+
+  /// Stable hash for seeding per-(arch, scheme) noise streams.
+  std::uint64_t hash() const;
+
+  std::string to_string() const;
+  Json to_json() const;
+  static TrainingScheme from_json(const Json& j);
+};
+
+/// The fixed high-fidelity reference scheme `r` (cannot be used for
+/// benchmark construction at scale — that is the point of the paper).
+TrainingScheme reference_scheme();
+
+/// The categorical domains of the proxy-search space, in the order
+/// {b, e_t, e_s, e_f, res_s, res_f} (paper §3.2: "categorical
+/// hyperparameters with pre-specified values").
+struct ProxyDomains {
+  std::vector<int> batch_size{128, 256, 512, 1024};
+  std::vector<int> total_epochs{10, 15, 20, 30, 50};
+  std::vector<int> resize_start_epoch{0, 3, 5};
+  std::vector<int> resize_finish_epoch{5, 10, 15, 20};
+  std::vector<int> res_start{96, 128, 160, 192};
+  std::vector<int> res_finish{160, 192, 224};
+
+  /// All combinations with valid epoch/resolution ordering (e_s <= e_f <= e_t,
+  /// res_s <= res_f). This is the grid the paper's grid search walks.
+  std::vector<TrainingScheme> enumerate_valid() const;
+};
+
+}  // namespace anb

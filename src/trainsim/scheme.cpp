@@ -1,0 +1,109 @@
+#include "anb/trainsim/scheme.hpp"
+
+#include <sstream>
+
+#include "anb/util/error.hpp"
+#include "anb/util/rng.hpp"
+
+namespace anb {
+
+int TrainingScheme::resolution_at_epoch(int epoch) const {
+  ANB_CHECK(epoch >= 0 && epoch < total_epochs,
+            "resolution_at_epoch: epoch out of range");
+  if (epoch < resize_start_epoch) return res_start;
+  if (epoch >= resize_finish_epoch) return res_finish;
+  // Linear ramp over [e_s, e_f).
+  const double t = static_cast<double>(epoch - resize_start_epoch) /
+                   static_cast<double>(resize_finish_epoch - resize_start_epoch);
+  return res_start + static_cast<int>(t * (res_finish - res_start));
+}
+
+void TrainingScheme::validate() const {
+  ANB_CHECK(total_epochs >= 1, "TrainingScheme: total_epochs must be >= 1");
+  ANB_CHECK(batch_size >= 1 && batch_size <= 8192,
+            "TrainingScheme: batch_size must be in [1, 8192]");
+  ANB_CHECK(resize_start_epoch >= 0,
+            "TrainingScheme: resize_start_epoch must be >= 0");
+  ANB_CHECK(resize_start_epoch <= resize_finish_epoch,
+            "TrainingScheme: require e_s <= e_f");
+  ANB_CHECK(resize_finish_epoch <= total_epochs,
+            "TrainingScheme: require e_f <= e_t");
+  ANB_CHECK(res_start >= 32 && res_finish <= 1024,
+            "TrainingScheme: resolutions must be in [32, 1024]");
+  ANB_CHECK(res_start <= res_finish, "TrainingScheme: require res_s <= res_f");
+}
+
+std::uint64_t TrainingScheme::hash() const {
+  std::uint64_t h = 0x243F6A8885A308D3ULL;
+  for (int v : {batch_size, total_epochs, resize_start_epoch,
+                resize_finish_epoch, res_start, res_finish}) {
+    h = hash_combine(h, static_cast<std::uint64_t>(v));
+  }
+  return h;
+}
+
+std::string TrainingScheme::to_string() const {
+  std::ostringstream os;
+  os << "b" << batch_size << "_e" << total_epochs << "_es" << resize_start_epoch
+     << "_ef" << resize_finish_epoch << "_r" << res_start << "-" << res_finish;
+  return os.str();
+}
+
+Json TrainingScheme::to_json() const {
+  Json j = Json::object();
+  j["batch_size"] = batch_size;
+  j["total_epochs"] = total_epochs;
+  j["resize_start_epoch"] = resize_start_epoch;
+  j["resize_finish_epoch"] = resize_finish_epoch;
+  j["res_start"] = res_start;
+  j["res_finish"] = res_finish;
+  return j;
+}
+
+TrainingScheme TrainingScheme::from_json(const Json& j) {
+  TrainingScheme s;
+  s.batch_size = j.at("batch_size").as_int();
+  s.total_epochs = j.at("total_epochs").as_int();
+  s.resize_start_epoch = j.at("resize_start_epoch").as_int();
+  s.resize_finish_epoch = j.at("resize_finish_epoch").as_int();
+  s.res_start = j.at("res_start").as_int();
+  s.res_finish = j.at("res_finish").as_int();
+  s.validate();
+  return s;
+}
+
+TrainingScheme reference_scheme() {
+  TrainingScheme r;
+  r.batch_size = 512;
+  r.total_epochs = 200;
+  r.resize_start_epoch = 0;
+  r.resize_finish_epoch = 0;
+  r.res_start = 224;
+  r.res_finish = 224;
+  r.validate();
+  return r;
+}
+
+std::vector<TrainingScheme> ProxyDomains::enumerate_valid() const {
+  std::vector<TrainingScheme> out;
+  for (int b : batch_size)
+    for (int et : total_epochs)
+      for (int es : resize_start_epoch)
+        for (int ef : resize_finish_epoch)
+          for (int rs : res_start)
+            for (int rf : res_finish) {
+              if (es > ef || ef > et || rs > rf) continue;
+              TrainingScheme s;
+              s.batch_size = b;
+              s.total_epochs = et;
+              s.resize_start_epoch = es;
+              s.resize_finish_epoch = ef;
+              s.res_start = rs;
+              s.res_finish = rf;
+              s.validate();
+              out.push_back(s);
+            }
+  return out;
+}
+
+}  // namespace anb

@@ -1,0 +1,212 @@
+#include "anb/trainsim/simulator.hpp"
+
+#include "anb/trainsim/curve.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "anb/ir/model_ir.hpp"
+#include "anb/searchspace/space.hpp"
+#include "anb/util/error.hpp"
+#include "anb/util/rng.hpp"
+
+namespace anb {
+
+namespace {
+
+// ---- Latent-quality shape constants -------------------------------------
+// Stage importance: later stages carry more semantic capacity.
+constexpr std::array<double, kNumBlocks> kStageWeight{0.35, 0.50, 0.70, 1.00,
+                                                      1.10, 1.30, 0.90};
+// SE usefulness grows towards late stages (EfficientNet ablations).
+constexpr std::array<double, kNumBlocks> kSeStageWeight{0.30, 0.50, 0.80, 1.00,
+                                                        1.20, 1.20, 1.00};
+
+double expansion_gain(int e) {
+  switch (e) {
+    case 1: return 0.0;
+    case 4: return 0.55;
+    case 6: return 0.75;
+    default: ANB_CHECK(false, "expansion_gain: invalid expansion"); return 0;
+  }
+}
+
+double depth_gain(int layers) {
+  switch (layers) {
+    case 1: return 0.0;
+    case 2: return 0.30;
+    case 3: return 0.45;
+    default: ANB_CHECK(false, "depth_gain: invalid layers"); return 0;
+  }
+}
+
+// Kernel-5 benefit by stage: helps most at mid-network receptive-field
+// growth, slightly hurts in the earliest high-resolution stages.
+constexpr std::array<double, kNumBlocks> kKernel5Gain{-0.02, 0.02, 0.10, 0.10,
+                                                      0.08,  0.04, 0.02};
+
+// ---- Learning-curve / cost constants -------------------------------------
+constexpr double kAccFloor = 0.50;   // accuracy of the weakest archs under r
+constexpr double kAccRange = 0.50;   // saturating headroom above the floor
+constexpr double kQualityScale = 9.0;
+constexpr double kLatentWiggleSigma = 0.07;  // idiosyncratic, in q units
+
+// log-MAC normalization bounds of the space at 224 (min/max archs).
+constexpr double kLogMacsMin = 17.76;  // ~5.2e7 (all-minimal architecture)
+constexpr double kLogMacsMax = 20.59;  // ~8.8e8 (all-maximal architecture)
+
+}  // namespace
+
+namespace {
+constexpr int kNumMotifs = 40;
+constexpr double kMotifWeightSigma = 0.16;  // q units
+}  // namespace
+
+TrainingSimulator::TrainingSimulator(std::uint64_t world_seed)
+    : world_seed_(world_seed) {
+  // Deterministic motif table: sparse conjunctions over the 28 decisions.
+  Rng rng(hash_combine(world_seed_, 0x307F1F5ULL));
+  const auto sizes = SearchSpace::decision_sizes();
+  motifs_.reserve(kNumMotifs);
+  for (int m = 0; m < kNumMotifs; ++m) {
+    Motif motif;
+    motif.arity = rng.bernoulli(1.0 / 3.0) ? 3 : 2;
+    const auto picks = rng.sample_indices(sizes.size(),
+                                          static_cast<std::size_t>(motif.arity));
+    for (int a = 0; a < motif.arity; ++a) {
+      motif.decision[static_cast<std::size_t>(a)] = static_cast<int>(picks[static_cast<std::size_t>(a)]);
+      motif.option[static_cast<std::size_t>(a)] = static_cast<int>(
+          rng.uniform_index(static_cast<std::uint64_t>(sizes[picks[static_cast<std::size_t>(a)]])));
+    }
+    motif.weight = rng.normal(0.0, kMotifWeightSigma);
+    motifs_.push_back(motif);
+  }
+}
+
+double TrainingSimulator::arch_noise_unit(const Architecture& arch,
+                                          std::uint64_t stream) const {
+  Rng rng(hash_combine(hash_combine(world_seed_, arch.hash()), stream));
+  return rng.normal();
+}
+
+double TrainingSimulator::latent_quality(const Architecture& arch) const {
+  SearchSpace::validate(arch);
+  double q = 0.0;
+  for (int s = 0; s < kNumBlocks; ++s) {
+    const auto& blk = arch.blocks[static_cast<std::size_t>(s)];
+    const double fe = expansion_gain(blk.expansion);
+    const double fl = depth_gain(blk.layers);
+    double contrib = fe + fl;
+    // Depth and width reinforce each other; depth with e=1 is mostly wasted.
+    contrib += 0.12 * (fl / 0.45) * (fe / 0.75);
+    if (blk.kernel == 5) contrib += kKernel5Gain[static_cast<std::size_t>(s)];
+    if (blk.se) {
+      // SE helps more on wide blocks (it gates more channels usefully).
+      contrib += 0.14 * kSeStageWeight[static_cast<std::size_t>(s)] *
+                 (0.7 + 0.3 * fe / 0.75);
+    }
+    q += kStageWeight[static_cast<std::size_t>(s)] * contrib;
+  }
+
+  // Global shape terms: very shallow networks underfit ImageNet...
+  int total_depth = 0;
+  for (const auto& blk : arch.blocks) total_depth += blk.layers;
+  if (total_depth < 9) q -= 0.05 * (9 - total_depth);
+  // ...and some mid-network 5x5 coverage is needed for receptive field.
+  int mid_k5 = 0;
+  for (int s = 2; s <= 5; ++s)
+    if (arch.blocks[static_cast<std::size_t>(s)].kernel == 5) ++mid_k5;
+  if (mid_k5 >= 2) q += 0.08;
+
+  // Motif effects: sparse conjunctions of specific option choices. These
+  // carry real (learnable) signal with discrete interaction structure.
+  const auto decisions = SearchSpace::to_decisions(arch);
+  for (const auto& motif : motifs_) {
+    bool active = true;
+    for (int a = 0; a < motif.arity && active; ++a) {
+      active = decisions[static_cast<std::size_t>(
+                   motif.decision[static_cast<std::size_t>(a)])] ==
+               motif.option[static_cast<std::size_t>(a)];
+    }
+    if (active) q += motif.weight;
+  }
+
+  // Idiosyncratic component: the part of model quality no simple analytic
+  // form captures; this is what bounds surrogate fidelity below 1.0.
+  q += kLatentWiggleSigma * arch_noise_unit(arch, /*stream=*/1);
+  return q;
+}
+
+double TrainingSimulator::reference_accuracy(const Architecture& arch) const {
+  return expected_accuracy(arch, reference_scheme());
+}
+
+double TrainingSimulator::int8_accuracy_drop(const Architecture& arch) const {
+  SearchSpace::validate(arch);
+  const ModelIR ir = build_ir(arch, 224);
+  const double log_macs = std::log(static_cast<double>(ir.total_macs()));
+  const double size_factor = std::clamp(
+      (log_macs - kLogMacsMin) / (kLogMacsMax - kLogMacsMin), 0.0, 1.0);
+  double se_fraction = 0.0;
+  for (const auto& blk : arch.blocks) se_fraction += blk.se ? 1.0 : 0.0;
+  se_fraction /= kNumBlocks;
+  // Base ~0.2%, up to ~0.9% for small SE-heavy models; small seeded wiggle.
+  const double drop = 0.002 + 0.003 * se_fraction +
+                      0.003 * (1.0 - size_factor) +
+                      0.0005 * std::abs(arch_noise_unit(arch, 4));
+  return std::clamp(drop, 0.0, 0.02);
+}
+
+double TrainingSimulator::expected_accuracy(
+    const Architecture& arch, const TrainingScheme& scheme) const {
+  return scheme_expected_accuracy(traits(arch), scheme);
+}
+
+ArchTraits TrainingSimulator::traits(const Architecture& arch) const {
+  const double q = latent_quality(arch);
+  ArchTraits traits;
+  traits.reference_accuracy =
+      kAccFloor + kAccRange * (1.0 - std::exp(-q / kQualityScale));
+
+  const ModelIR ir = build_ir(arch, 224);
+  traits.macs_224 = static_cast<double>(ir.total_macs());
+  const double log_macs = std::log(traits.macs_224);
+  traits.size_factor = std::clamp(
+      (log_macs - kLogMacsMin) / (kLogMacsMax - kLogMacsMin), 0.0, 1.0);
+
+  int total_depth = 0;
+  double mean_expansion = 0.0;
+  for (const auto& blk : arch.blocks) {
+    total_depth += blk.layers;
+    mean_expansion += blk.expansion;
+  }
+  mean_expansion /= kNumBlocks;
+  traits.depth_norm =
+      (total_depth - kNumBlocks) / static_cast<double>(2 * kNumBlocks);
+  traits.expand_norm = (mean_expansion - 1.0) / 5.0;
+  traits.res_wiggle = arch_noise_unit(arch, 2);
+  traits.epoch_wiggle = arch_noise_unit(arch, 3);
+  return traits;
+}
+
+double TrainingSimulator::training_cost_hours(
+    const Architecture& arch, const TrainingScheme& scheme) const {
+  return scheme_training_cost_hours(traits(arch), scheme);
+}
+
+TrainResult TrainingSimulator::train(const Architecture& arch,
+                                     const TrainingScheme& scheme,
+                                     std::uint64_t run_seed) const {
+  TrainResult result;
+  const double mean_acc = expected_accuracy(arch, scheme);
+  const double sigma = scheme_seed_noise_sigma(scheme);
+  Rng rng(hash_combine(
+      hash_combine(hash_combine(world_seed_, arch.hash()), scheme.hash()),
+      run_seed));
+  result.top1 = std::clamp(mean_acc + sigma * rng.normal(), 0.001, 0.999);
+  result.gpu_hours = training_cost_hours(arch, scheme);
+  return result;
+}
+
+}  // namespace anb

@@ -1,0 +1,121 @@
+#include "anb/util/csv.hpp"
+
+#include <sstream>
+
+#include "anb/util/error.hpp"
+#include "anb/util/json.hpp"
+
+namespace anb {
+
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void append_cell(std::string& out, const std::string& cell) {
+  if (!needs_quoting(cell)) {
+    out += cell;
+    return;
+  }
+  out += '"';
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  ANB_CHECK(!header_.empty(), "CsvWriter: header must be non-empty");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  ANB_CHECK(row.size() == header_.size(),
+            "CsvWriter::add_row: cell count must match header");
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::add_row(const std::vector<double>& row) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) {
+    std::ostringstream os;
+    os << v;
+    cells.push_back(os.str());
+  }
+  add_row(std::move(cells));
+}
+
+std::string CsvWriter::to_string() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ',';
+      append_cell(out, row[i]);
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+void CsvWriter::save(const std::string& path) const {
+  write_text_file(path, to_string());
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_started = false;
+  };
+  auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"' && cell.empty() && !cell_started) {
+      in_quotes = true;
+      cell_started = true;
+    } else if (c == ',') {
+      end_cell();
+    } else if (c == '\n') {
+      end_row();
+    } else if (c == '\r') {
+      // swallow; \r\n handled by the \n branch
+    } else {
+      cell += c;
+      cell_started = true;
+    }
+  }
+  ANB_CHECK(!in_quotes, "parse_csv: unterminated quoted cell");
+  if (cell_started || !cell.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace anb

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace anb {
+
+/// Simple CSV writer: quotes cells containing separators/quotes/newlines.
+/// Used by the bench harnesses to emit the series behind each figure so they
+/// can be re-plotted externally.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  void add_row(const std::vector<double>& row);
+
+  std::string to_string() const;
+  void save(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parse CSV text (handles quoted cells, embedded quotes, CRLF).
+/// Returns rows including the header row.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+}  // namespace anb

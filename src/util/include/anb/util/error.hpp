@@ -1,0 +1,52 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace anb {
+
+/// Base exception for all Accel-NASBench errors.
+///
+/// Thrown on API misuse (bad arguments, out-of-range queries), I/O failures,
+/// and malformed serialized data. Internal invariant violations use
+/// ANB_ASSERT instead, which also throws Error but indicates a library bug.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " (" << file << ":" << line << ")";
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace anb
+
+/// Validate a user-facing precondition; throws anb::Error with `msg` on
+/// failure. Use for argument checking at public API boundaries.
+#define ANB_CHECK(cond, msg)                                 \
+  do {                                                       \
+    if (!(cond)) {                                           \
+      ::anb::detail::throw_error(__FILE__, __LINE__, (msg)); \
+    }                                                        \
+  } while (0)
+
+/// Internal invariant check. Failure indicates a bug in this library rather
+/// than caller error; kept enabled in release builds because the checked
+/// conditions are cheap relative to the surrounding computation.
+#define ANB_ASSERT(cond, msg)                                                  \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      ::anb::detail::throw_error(__FILE__, __LINE__,                           \
+                                 std::string("internal invariant violated: ") \
+                                     + (msg));                                 \
+    }                                                                          \
+  } while (0)

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+
+/// Minimal JSON document model used for benchmark and surrogate
+/// serialization. Supports the full JSON grammar except surrogate-pair
+/// \uXXXX escapes (non-BMP characters), which this library never emits.
+///
+/// Objects preserve a deterministic (sorted) key order so serialized
+/// artifacts are stable across runs.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::size_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  /// Convenience: build an array of doubles.
+  static Json array_of(const std::vector<double>& xs);
+  /// Convenience: build an array of ints.
+  static Json array_of(const std::vector<int>& xs);
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  /// Typed accessors; throw anb::Error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  int as_int() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& as_array();
+  Object& as_object();
+
+  /// Object member access. The const overload throws on a missing key;
+  /// the non-const overload inserts null (like std::map).
+  const Json& at(const std::string& key) const;
+  Json& operator[](const std::string& key);
+  bool contains(const std::string& key) const;
+
+  /// Array element access with bounds checking.
+  const Json& at(std::size_t i) const;
+  std::size_t size() const;
+
+  /// Extract a std::vector<double> from a numeric array.
+  std::vector<double> as_double_vector() const;
+  std::vector<int> as_int_vector() const;
+
+  void push_back(Json v);
+
+  /// Serialize. `indent` < 0 produces compact output.
+  std::string dump(int indent = -1) const;
+
+  /// Parse from text; throws anb::Error with position info on failure.
+  static Json parse(const std::string& text);
+
+  bool operator==(const Json& other) const { return value_ == other.value_; }
+
+ private:
+  void dump_impl(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+/// Read/write a whole file; throw anb::Error on I/O failure.
+std::string read_text_file(const std::string& path);
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace anb

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <span>
+
+namespace anb {
+
+/// Kendall's tau-b rank correlation between two equal-length vectors.
+///
+/// This is the paper's headline fidelity metric for both the training-proxy
+/// search (Eq. 1) and the surrogate evaluation (Tables 1 & 2). Implemented
+/// with the Knight O(n log n) merge-sort algorithm and tie corrections
+/// (tau-b), matching scipy.stats.kendalltau.
+///
+/// Requires both inputs non-empty and of equal size; returns a value in
+/// [-1, 1]. Throws if all values in either vector are tied (undefined tau).
+double kendall_tau(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (Pearson of the tie-averaged ranks).
+double spearman_rho(std::span<const double> x, std::span<const double> y);
+
+/// Pearson linear correlation.
+double pearson_r(std::span<const double> x, std::span<const double> y);
+
+/// Coefficient of determination of predictions vs ground truth.
+/// r2 = 1 - SS_res / SS_tot. Requires y_true to have nonzero variance.
+double r2_score(std::span<const double> y_true, std::span<const double> y_pred);
+
+/// Mean absolute error.
+double mae(std::span<const double> y_true, std::span<const double> y_pred);
+
+/// Root mean squared error.
+double rmse(std::span<const double> y_true, std::span<const double> y_pred);
+
+}  // namespace anb

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace anb {
+
+/// Run `body(i)` for every i in [0, n) across up to `num_threads` worker
+/// threads (0 = hardware concurrency). Blocks until all iterations finish.
+///
+/// The body must be safe to run concurrently for distinct i and must not
+/// throw across the call boundary — exceptions are captured and the first
+/// one is rethrown on the calling thread after all workers join.
+///
+/// Every simulator in this library derives its randomness from per-item
+/// seeds rather than shared-stream order, so parallelizing loops like the
+/// dataset collection changes nothing about the results — only wall-clock.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  unsigned num_threads = 0);
+
+}  // namespace anb

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace anb {
+
+/// A point in a bi-objective trade-off. Both objectives are expressed so that
+/// larger is better (negate latencies before use, or use the `maximize_*`
+/// flags on the helpers below).
+struct ParetoPoint {
+  double obj1 = 0.0;  ///< e.g. top-1 accuracy
+  double obj2 = 0.0;  ///< e.g. throughput (or -latency)
+  std::size_t index = 0;  ///< caller-side identity of the point
+};
+
+/// Indices of the non-dominated subset of (obj1, obj2) pairs.
+///
+/// `maximize1` / `maximize2` select the direction of each objective
+/// (false = smaller is better). A point is dominated if another point is at
+/// least as good in both objectives and strictly better in one. Result is
+/// sorted by obj1 in the *improving* direction. Duplicate points are all kept.
+std::vector<std::size_t> pareto_front(std::span<const double> obj1,
+                                      std::span<const double> obj2,
+                                      bool maximize1 = true,
+                                      bool maximize2 = true);
+
+/// Hypervolume of a bi-objective maximization front w.r.t. a reference point
+/// (ref1, ref2) that is dominated by every front point. Useful for comparing
+/// the quality of search runs (Fig. 4-style experiments).
+double hypervolume_2d(std::span<const ParetoPoint> front, double ref1,
+                      double ref2);
+
+}  // namespace anb

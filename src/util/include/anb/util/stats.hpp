@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace anb {
+
+/// Arithmetic mean. Requires a non-empty input.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator). Requires size >= 2.
+double variance(std::span<const double> xs);
+
+/// Unbiased sample standard deviation. Requires size >= 2.
+double stddev(std::span<const double> xs);
+
+/// Population variance (n denominator). Requires non-empty input.
+double population_variance(std::span<const double> xs);
+
+/// Median (average of middle two for even sizes). Requires non-empty input.
+double median(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. Requires non-empty input.
+double quantile(std::span<const double> xs, double q);
+
+/// Minimum / maximum. Require non-empty input.
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// Ranks of the values (0-based, averaged over ties), e.g. for Spearman.
+std::vector<double> ranks_with_ties(std::span<const double> xs);
+
+/// Indices that would sort `xs` ascending (stable).
+std::vector<std::size_t> argsort(std::span<const double> xs);
+
+/// Cumulative running maximum (incumbent curve for search trajectories).
+std::vector<double> running_max(std::span<const double> xs);
+
+}  // namespace anb

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace anb {
+
+/// Console table formatter used by the bench harnesses to print paper-style
+/// tables (e.g. Table 1 / Table 2 rows). Columns are auto-sized; cells are
+/// stored as pre-formatted strings.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Scientific notation, e.g. 3.06e-3 as in the paper's MAE columns.
+  static std::string sci(double v, int precision = 2);
+
+  /// Render with unicode-free ASCII borders.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace anb

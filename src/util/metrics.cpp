@@ -1,0 +1,175 @@
+#include "anb/util/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "anb/util/error.hpp"
+#include "anb/util/stats.hpp"
+
+namespace anb {
+
+namespace {
+
+/// Sum over tie groups of t*(t-1)/2 in a sorted vector.
+std::uint64_t tie_pair_count(const std::vector<double>& sorted) {
+  std::uint64_t ties = 0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+    const std::uint64_t t = j - i + 1;
+    ties += t * (t - 1) / 2;
+    i = j + 1;
+  }
+  return ties;
+}
+
+/// Count inversions (number of exchanges bubble sort would perform) while
+/// merge-sorting `v` in place. O(n log n).
+std::uint64_t count_inversions(std::vector<double>& v) {
+  const std::size_t n = v.size();
+  std::vector<double> buf(n);
+  std::uint64_t inversions = 0;
+  for (std::size_t width = 1; width < n; width *= 2) {
+    for (std::size_t lo = 0; lo + width < n; lo += 2 * width) {
+      const std::size_t mid = lo + width;
+      const std::size_t hi = std::min(lo + 2 * width, n);
+      std::size_t i = lo, j = mid, k = lo;
+      while (i < mid && j < hi) {
+        if (v[j] < v[i]) {
+          inversions += mid - i;  // v[j] jumps over the rest of the left run
+          buf[k++] = v[j++];
+        } else {
+          buf[k++] = v[i++];
+        }
+      }
+      while (i < mid) buf[k++] = v[i++];
+      while (j < hi) buf[k++] = v[j++];
+      std::copy(buf.begin() + static_cast<std::ptrdiff_t>(lo),
+                buf.begin() + static_cast<std::ptrdiff_t>(hi),
+                v.begin() + static_cast<std::ptrdiff_t>(lo));
+    }
+  }
+  return inversions;
+}
+
+void check_paired(std::span<const double> x, std::span<const double> y,
+                  const char* fn) {
+  ANB_CHECK(!x.empty(), std::string(fn) + ": empty input");
+  ANB_CHECK(x.size() == y.size(), std::string(fn) + ": size mismatch");
+}
+
+}  // namespace
+
+double kendall_tau(std::span<const double> x, std::span<const double> y) {
+  check_paired(x, y, "kendall_tau");
+  const std::size_t n = x.size();
+  ANB_CHECK(n >= 2, "kendall_tau: need at least 2 samples");
+
+  // Knight's algorithm with tie corrections (tau-b), as in scipy.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (x[a] != x[b]) return x[a] < x[b];
+    return y[a] < y[b];
+  });
+
+  // Pairs tied in x, and tied in both x and y.
+  std::uint64_t xtie = 0, xytie = 0;
+  {
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i;
+      while (j + 1 < n && x[order[j + 1]] == x[order[i]]) ++j;
+      const std::uint64_t t = j - i + 1;
+      xtie += t * (t - 1) / 2;
+      // Within the x-tie group, count y ties too.
+      std::size_t a = i;
+      while (a <= j) {
+        std::size_t b = a;
+        while (b + 1 <= j && y[order[b + 1]] == y[order[a]]) ++b;
+        const std::uint64_t u = b - a + 1;
+        xytie += u * (u - 1) / 2;
+        a = b + 1;
+      }
+      i = j + 1;
+    }
+  }
+
+  std::vector<double> y_by_x(n);
+  for (std::size_t i = 0; i < n; ++i) y_by_x[i] = y[order[i]];
+  const std::uint64_t discordant = count_inversions(y_by_x);
+
+  std::vector<double> y_sorted(y.begin(), y.end());
+  std::sort(y_sorted.begin(), y_sorted.end());
+  const std::uint64_t ytie = tie_pair_count(y_sorted);
+
+  const std::uint64_t tot = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  ANB_CHECK(xtie < tot, "kendall_tau: all x values tied; tau undefined");
+  ANB_CHECK(ytie < tot, "kendall_tau: all y values tied; tau undefined");
+
+  const double num = static_cast<double>(tot) - static_cast<double>(xtie) -
+                     static_cast<double>(ytie) + static_cast<double>(xytie) -
+                     2.0 * static_cast<double>(discordant);
+  const double den =
+      std::sqrt((static_cast<double>(tot) - static_cast<double>(xtie)) *
+                (static_cast<double>(tot) - static_cast<double>(ytie)));
+  return num / den;
+}
+
+double pearson_r(std::span<const double> x, std::span<const double> y) {
+  check_paired(x, y, "pearson_r");
+  ANB_CHECK(x.size() >= 2, "pearson_r: need at least 2 samples");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  ANB_CHECK(sxx > 0.0 && syy > 0.0, "pearson_r: zero variance input");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double spearman_rho(std::span<const double> x, std::span<const double> y) {
+  check_paired(x, y, "spearman_rho");
+  const auto rx = ranks_with_ties(x);
+  const auto ry = ranks_with_ties(y);
+  return pearson_r(rx, ry);
+}
+
+double r2_score(std::span<const double> y_true,
+                std::span<const double> y_pred) {
+  check_paired(y_true, y_pred, "r2_score");
+  const double m = mean(y_true);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    ss_res += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+    ss_tot += (y_true[i] - m) * (y_true[i] - m);
+  }
+  ANB_CHECK(ss_tot > 0.0, "r2_score: y_true has zero variance");
+  return 1.0 - ss_res / ss_tot;
+}
+
+double mae(std::span<const double> y_true, std::span<const double> y_pred) {
+  check_paired(y_true, y_pred, "mae");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i)
+    acc += std::abs(y_true[i] - y_pred[i]);
+  return acc / static_cast<double>(y_true.size());
+}
+
+double rmse(std::span<const double> y_true, std::span<const double> y_pred) {
+  check_paired(y_true, y_pred, "rmse");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i)
+    acc += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+  return std::sqrt(acc / static_cast<double>(y_true.size()));
+}
+
+}  // namespace anb

@@ -1,0 +1,71 @@
+#include "anb/util/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+
+std::vector<std::size_t> pareto_front(std::span<const double> obj1,
+                                      std::span<const double> obj2,
+                                      bool maximize1, bool maximize2) {
+  ANB_CHECK(obj1.size() == obj2.size(), "pareto_front: size mismatch");
+  const std::size_t n = obj1.size();
+  if (n == 0) return {};
+
+  // Normalize to maximization of both objectives.
+  auto o1 = [&](std::size_t i) { return maximize1 ? obj1[i] : -obj1[i]; };
+  auto o2 = [&](std::size_t i) { return maximize2 ? obj2[i] : -obj2[i]; };
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  // Sort by obj1 descending, obj2 descending as tiebreak.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (o1(a) != o1(b)) return o1(a) > o1(b);
+    return o2(a) > o2(b);
+  });
+
+  // Sweep: a point survives iff its obj2 strictly exceeds the best obj2 seen
+  // among points with >= obj1 — except exact duplicates of a survivor, which
+  // are also kept (they represent distinct architectures with equal metrics).
+  std::vector<std::size_t> front;
+  double best_o2 = -std::numeric_limits<double>::infinity();
+  double survivor_o1 = 0.0;
+  for (std::size_t idx : order) {
+    if (o2(idx) > best_o2) {
+      best_o2 = o2(idx);
+      survivor_o1 = o1(idx);
+      front.push_back(idx);
+    } else if (o2(idx) == best_o2 && o1(idx) == survivor_o1) {
+      front.push_back(idx);  // exact duplicate of the last survivor
+    }
+  }
+  // `front` is in descending obj1 order; return ascending-improvement order.
+  std::reverse(front.begin(), front.end());
+  return front;
+}
+
+double hypervolume_2d(std::span<const ParetoPoint> front, double ref1,
+                      double ref2) {
+  if (front.empty()) return 0.0;
+  std::vector<ParetoPoint> pts(front.begin(), front.end());
+  std::sort(pts.begin(), pts.end(), [](const ParetoPoint& a,
+                                       const ParetoPoint& b) {
+    if (a.obj1 != b.obj1) return a.obj1 > b.obj1;
+    return a.obj2 > b.obj2;
+  });
+  double volume = 0.0;
+  double prev_o2 = ref2;
+  for (const auto& p : pts) {
+    ANB_CHECK(p.obj1 >= ref1 && p.obj2 >= ref2,
+              "hypervolume_2d: reference point must be dominated by the front");
+    if (p.obj2 > prev_o2) {
+      volume += (p.obj1 - ref1) * (p.obj2 - prev_o2);
+      prev_o2 = p.obj2;
+    }
+  }
+  return volume;
+}
+
+}  // namespace anb

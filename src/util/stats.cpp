@@ -1,0 +1,93 @@
+#include "anb/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+
+double mean(std::span<const double> xs) {
+  ANB_CHECK(!xs.empty(), "mean: empty input");
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  ANB_CHECK(xs.size() >= 2, "variance: need at least 2 samples");
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double population_variance(std::span<const double> xs) {
+  ANB_CHECK(!xs.empty(), "population_variance: empty input");
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size());
+}
+
+double quantile(std::span<const double> xs, double q) {
+  ANB_CHECK(!xs.empty(), "quantile: empty input");
+  ANB_CHECK(q >= 0.0 && q <= 1.0, "quantile: q must be in [0, 1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double min_value(std::span<const double> xs) {
+  ANB_CHECK(!xs.empty(), "min_value: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  ANB_CHECK(!xs.empty(), "max_value: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+std::vector<std::size_t> argsort(std::span<const double> xs) {
+  std::vector<std::size_t> idx(xs.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  return idx;
+}
+
+std::vector<double> ranks_with_ties(std::span<const double> xs) {
+  const auto order = argsort(xs);
+  std::vector<double> ranks(xs.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average rank over the tie group [i, j].
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+std::vector<double> running_max(std::span<const double> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  double best = -std::numeric_limits<double>::infinity();
+  for (double x : xs) {
+    best = std::max(best, x);
+    out.push_back(best);
+  }
+  return out;
+}
+
+}  // namespace anb

@@ -1,0 +1,149 @@
+#include "anb/hpo/configspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+namespace {
+
+ConfigSpace mixed_space() {
+  ConfigSpace space;
+  space.add_categorical("cat", {1.0, 4.0, 6.0});
+  space.add_int("depth", 2, 8);
+  space.add_float("frac", 0.1, 0.9);
+  space.add_float("lr", 0.001, 1.0, /*log_scale=*/true);
+  return space;
+}
+
+TEST(ConfigurationTest, GettersAndErrors) {
+  Configuration c;
+  c.set("a", 2.0);
+  EXPECT_DOUBLE_EQ(c.get("a"), 2.0);
+  EXPECT_EQ(c.get_int("a"), 2);
+  EXPECT_TRUE(c.has("a"));
+  EXPECT_FALSE(c.has("b"));
+  EXPECT_THROW(c.get("b"), Error);
+  c.set("frac", 0.5);
+  EXPECT_THROW(c.get_int("frac"), Error);
+}
+
+TEST(ConfigSpaceTest, SampleWithinDomains) {
+  const ConfigSpace space = mixed_space();
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Configuration c = space.sample(rng);
+    EXPECT_NO_THROW(space.validate(c));
+    const double cat = c.get("cat");
+    EXPECT_TRUE(cat == 1.0 || cat == 4.0 || cat == 6.0);
+    EXPECT_GE(c.get_int("depth"), 2);
+    EXPECT_LE(c.get_int("depth"), 8);
+    EXPECT_GE(c.get("lr"), 0.001);
+    EXPECT_LE(c.get("lr"), 1.0);
+  }
+}
+
+TEST(ConfigSpaceTest, LogSamplingCoversDecades) {
+  ConfigSpace space;
+  space.add_float("lr", 1e-4, 1.0, /*log_scale=*/true);
+  Rng rng(2);
+  int tiny = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (space.sample(rng).get("lr") < 1e-2) ++tiny;
+  }
+  // Log-uniform: P(lr < 1e-2) = 0.5; linear-uniform would give ~0.01.
+  EXPECT_GT(tiny, 800);
+  EXPECT_LT(tiny, 1200);
+}
+
+TEST(ConfigSpaceTest, GridEnumerates) {
+  ConfigSpace space;
+  space.add_categorical("a", {0.0, 1.0});
+  space.add_int("b", 1, 3);
+  const auto grid = space.grid(5);
+  EXPECT_EQ(grid.size(), 6u);  // 2 * 3
+  std::set<std::pair<double, double>> seen;
+  for (const auto& c : grid) seen.insert({c.get("a"), c.get("b")});
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(ConfigSpaceTest, GridPointsPerRange) {
+  ConfigSpace space;
+  space.add_float("x", 0.0, 1.0);
+  const auto grid = space.grid(5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front().get("x"), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back().get("x"), 1.0);
+}
+
+TEST(ConfigSpaceTest, GridSizeGuard) {
+  ConfigSpace space;
+  for (int i = 0; i < 10; ++i)
+    space.add_categorical("c" + std::to_string(i),
+                          {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0});
+  EXPECT_THROW(space.grid(2), Error);  // 8^10 combos
+}
+
+TEST(ConfigSpaceTest, UnitVectorEncoding) {
+  const ConfigSpace space = mixed_space();
+  Configuration c;
+  c.set("cat", 6.0);
+  c.set("depth", 8);
+  c.set("frac", 0.9);
+  c.set("lr", 1.0);
+  const auto v = space.to_unit_vector(c);
+  ASSERT_EQ(v.size(), 4u);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 1.0);
+
+  Configuration lo;
+  lo.set("cat", 1.0);
+  lo.set("depth", 2);
+  lo.set("frac", 0.1);
+  lo.set("lr", 0.001);
+  for (double x : space.to_unit_vector(lo)) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(ConfigSpaceTest, NeighborChangesOneParam) {
+  const ConfigSpace space = mixed_space();
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Configuration c = space.sample(rng);
+    const Configuration n = space.neighbor(c, rng);
+    EXPECT_NO_THROW(space.validate(n));
+    int diffs = 0;
+    for (const auto& [key, value] : c.values())
+      diffs += n.get(key) != value;
+    EXPECT_LE(diffs, 1);
+  }
+}
+
+TEST(ConfigSpaceTest, ValidateCatchesViolations) {
+  const ConfigSpace space = mixed_space();
+  Rng rng(4);
+  Configuration c = space.sample(rng);
+  c.set("depth", 99);
+  EXPECT_THROW(space.validate(c), Error);
+  c.set("depth", 3);
+  c.set("cat", 2.0);  // not a choice
+  EXPECT_THROW(space.validate(c), Error);
+}
+
+TEST(ConfigSpaceTest, DuplicateParamRejected) {
+  ConfigSpace space;
+  space.add_int("x", 0, 1);
+  EXPECT_THROW(space.add_float("x", 0.0, 1.0), Error);
+}
+
+TEST(ConfigSpaceTest, BadDomainsRejected) {
+  ConfigSpace space;
+  EXPECT_THROW(space.add_categorical("empty", {}), Error);
+  EXPECT_THROW(space.add_int("bad", 5, 2), Error);
+  EXPECT_THROW(space.add_float("bad2", 1.0, 1.0), Error);
+  EXPECT_THROW(space.add_float("bad3", -1.0, 1.0, /*log_scale=*/true), Error);
+}
+
+}  // namespace
+}  // namespace anb

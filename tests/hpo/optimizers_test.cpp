@@ -1,0 +1,126 @@
+#include "anb/hpo/optimizers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+namespace {
+
+/// Smooth 2-d bowl with minimum at (0.3, 0.7).
+double bowl(const Configuration& c) {
+  const double dx = c.get("x") - 0.3;
+  const double dy = c.get("y") - 0.7;
+  return dx * dx + dy * dy;
+}
+
+ConfigSpace bowl_space() {
+  ConfigSpace space;
+  space.add_float("x", 0.0, 1.0);
+  space.add_float("y", 0.0, 1.0);
+  return space;
+}
+
+TEST(GridSearchTest, FindsGridOptimum) {
+  GridSearch::Options options;
+  options.points_per_range = 11;  // grid includes (0.3, 0.7) exactly
+  const HpoResult result = GridSearch::run(bowl_space(), bowl, options);
+  EXPECT_NEAR(result.best_value, 0.0, 1e-12);
+  EXPECT_NEAR(result.best.get("x"), 0.3, 1e-12);
+  EXPECT_EQ(result.history.size(), 121u);
+}
+
+TEST(GridSearchTest, FilterSkipsPoints) {
+  GridSearch::Options options;
+  options.points_per_range = 5;
+  options.filter = [](const Configuration& c) { return c.get("x") > 0.4; };
+  const HpoResult result = GridSearch::run(bowl_space(), bowl, options);
+  for (const auto& trial : result.history) EXPECT_GT(trial.config.get("x"), 0.4);
+  EXPECT_EQ(result.history.size(), 15u);  // 3 of 5 x-values pass
+}
+
+TEST(GridSearchTest, EarlyStopAbortsScan) {
+  GridSearch::Options options;
+  options.points_per_range = 11;
+  options.early_stop = [](double best) { return best < 0.05; };
+  const HpoResult result = GridSearch::run(bowl_space(), bowl, options);
+  EXPECT_LT(result.history.size(), 121u);
+  EXPECT_LT(result.best_value, 0.05);
+}
+
+TEST(GridSearchTest, AllFilteredThrows) {
+  GridSearch::Options options;
+  options.filter = [](const Configuration&) { return false; };
+  EXPECT_THROW(GridSearch::run(bowl_space(), bowl, options), Error);
+}
+
+TEST(RandomSearchHpoTest, ImprovesWithBudget) {
+  Rng r1(1), r2(2);
+  const HpoResult small = RandomSearchHpo::run(bowl_space(), bowl, 5, r1);
+  const HpoResult large = RandomSearchHpo::run(bowl_space(), bowl, 400, r2);
+  EXPECT_LT(large.best_value, small.best_value);
+  EXPECT_EQ(large.history.size(), 400u);
+  EXPECT_LT(large.best_value, 0.02);
+}
+
+TEST(RandomSearchHpoTest, HistoryTracksBest) {
+  Rng rng(3);
+  const HpoResult result = RandomSearchHpo::run(bowl_space(), bowl, 50, rng);
+  double best = 1e9;
+  for (const auto& trial : result.history) best = std::min(best, trial.value);
+  EXPECT_DOUBLE_EQ(best, result.best_value);
+  EXPECT_DOUBLE_EQ(bowl(result.best), result.best_value);
+}
+
+TEST(SmacLiteTest, BeatsRandomOnSameBudget) {
+  // Averaged over seeds, model-based search should do at least as well.
+  double smac_total = 0.0, random_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    SmacLite::Options options;
+    options.n_trials = 40;
+    Rng rs(seed * 2 + 1);
+    smac_total += SmacLite::run(bowl_space(), bowl, options, rs).best_value;
+    Rng rr(seed * 2 + 2);
+    random_total += RandomSearchHpo::run(bowl_space(), bowl, 40, rr).best_value;
+  }
+  EXPECT_LE(smac_total, random_total * 1.1);
+  EXPECT_LT(smac_total / 5.0, 0.01);
+}
+
+TEST(SmacLiteTest, RespectsFilter) {
+  SmacLite::Options options;
+  options.n_trials = 25;
+  options.filter = [](const Configuration& c) { return c.get("x") < 0.5; };
+  Rng rng(9);
+  const HpoResult result = SmacLite::run(bowl_space(), bowl, options, rng);
+  for (const auto& trial : result.history)
+    EXPECT_LT(trial.config.get("x"), 0.5);
+}
+
+TEST(SmacLiteTest, WorksOnCategoricalSpaces) {
+  ConfigSpace space;
+  space.add_categorical("a", {0.0, 1.0, 2.0, 3.0});
+  space.add_categorical("b", {0.0, 1.0, 2.0, 3.0});
+  auto objective = [](const Configuration& c) {
+    return std::abs(c.get("a") - 2.0) + std::abs(c.get("b") - 1.0);
+  };
+  SmacLite::Options options;
+  options.n_trials = 30;
+  Rng rng(10);
+  const HpoResult result = SmacLite::run(space, objective, options, rng);
+  EXPECT_DOUBLE_EQ(result.best_value, 0.0);
+}
+
+TEST(SmacLiteTest, ValidatesArguments) {
+  SmacLite::Options options;
+  options.n_trials = 0;
+  Rng rng(11);
+  EXPECT_THROW(SmacLite::run(bowl_space(), bowl, options, rng), Error);
+  options.n_trials = 10;
+  EXPECT_THROW(SmacLite::run(bowl_space(), nullptr, options, rng), Error);
+}
+
+}  // namespace
+}  // namespace anb

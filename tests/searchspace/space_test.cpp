@@ -1,0 +1,179 @@
+#include "anb/searchspace/space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+namespace {
+
+TEST(SearchSpaceTest, CardinalityMatchesPaper) {
+  // (3 * 2 * 3 * 2)^7 = 36^7 ~ 7.8e10 ~ "roughly 10^11 unique models".
+  EXPECT_EQ(SearchSpace::cardinality(), 78364164096ULL);
+}
+
+TEST(SearchSpaceTest, DecisionSizes) {
+  const auto sizes = SearchSpace::decision_sizes();
+  ASSERT_EQ(sizes.size(), 28u);
+  for (int b = 0; b < kNumBlocks; ++b) {
+    EXPECT_EQ(sizes[static_cast<std::size_t>(4 * b)], 3);      // expansion
+    EXPECT_EQ(sizes[static_cast<std::size_t>(4 * b + 1)], 2);  // kernel
+    EXPECT_EQ(sizes[static_cast<std::size_t>(4 * b + 2)], 3);  // layers
+    EXPECT_EQ(sizes[static_cast<std::size_t>(4 * b + 3)], 2);  // se
+  }
+}
+
+TEST(SearchSpaceTest, ValidationAcceptsAllOptionCombos) {
+  for (int e : SearchSpace::expansion_options())
+    for (int k : SearchSpace::kernel_options())
+      for (int L : SearchSpace::layer_options())
+        for (bool se : {false, true}) {
+          Architecture a;
+          for (auto& b : a.blocks) b = BlockConfig{e, k, L, se};
+          EXPECT_TRUE(SearchSpace::is_valid(a));
+        }
+}
+
+TEST(SearchSpaceTest, ValidationRejectsBadOptions) {
+  Architecture a;  // default valid
+  a.blocks[0].expansion = 3;
+  EXPECT_FALSE(SearchSpace::is_valid(a));
+  a.blocks[0].expansion = 1;
+  a.blocks[2].kernel = 7;
+  EXPECT_FALSE(SearchSpace::is_valid(a));
+  a.blocks[2].kernel = 3;
+  a.blocks[6].layers = 4;
+  EXPECT_FALSE(SearchSpace::is_valid(a));
+}
+
+TEST(SearchSpaceTest, SampleIsValidAndVaried) {
+  Rng rng(1);
+  std::set<std::uint64_t> unique;
+  for (int i = 0; i < 200; ++i) {
+    const Architecture a = SearchSpace::sample(rng);
+    SearchSpace::validate(a);
+    unique.insert(SearchSpace::to_index(a));
+  }
+  EXPECT_GT(unique.size(), 195u);  // collisions in 7.8e10 are ~impossible
+}
+
+TEST(SearchSpaceTest, SampleMarginalsRoughlyUniform) {
+  Rng rng(2);
+  int e_counts[3] = {0, 0, 0};
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const Architecture a = SearchSpace::sample(rng);
+    for (const auto& b : a.blocks) {
+      if (b.expansion == 1) ++e_counts[0];
+      if (b.expansion == 4) ++e_counts[1];
+      if (b.expansion == 6) ++e_counts[2];
+    }
+  }
+  const double total = n * kNumBlocks;
+  for (int c : e_counts) EXPECT_NEAR(c / total, 1.0 / 3.0, 0.01);
+}
+
+TEST(SearchSpaceTest, MutateChangesExactlyOneDecision) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Architecture a = SearchSpace::sample(rng);
+    const Architecture m = SearchSpace::mutate(a, rng);
+    EXPECT_NE(a, m);
+    const auto da = SearchSpace::to_decisions(a);
+    const auto dm = SearchSpace::to_decisions(m);
+    int diffs = 0;
+    for (std::size_t d = 0; d < da.size(); ++d) diffs += da[d] != dm[d];
+    EXPECT_EQ(diffs, 1);
+    SearchSpace::validate(m);
+  }
+}
+
+TEST(SearchSpaceTest, NeighborsCountAndDistance) {
+  Rng rng(4);
+  const Architecture a = SearchSpace::sample(rng);
+  const auto neighbors = SearchSpace::neighbors(a);
+  // Sum over decisions of (options - 1) = 7 * (2 + 1 + 2 + 1) = 42.
+  EXPECT_EQ(neighbors.size(), 42u);
+  std::set<std::uint64_t> unique;
+  for (const auto& n : neighbors) {
+    EXPECT_NE(n, a);
+    unique.insert(SearchSpace::to_index(n));
+  }
+  EXPECT_EQ(unique.size(), neighbors.size());
+}
+
+TEST(SearchSpaceTest, IndexRoundTripSamples) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const Architecture a = SearchSpace::sample(rng);
+    EXPECT_EQ(SearchSpace::from_index(SearchSpace::to_index(a)), a);
+  }
+}
+
+TEST(SearchSpaceTest, IndexBoundsChecked) {
+  EXPECT_NO_THROW(SearchSpace::from_index(0));
+  EXPECT_NO_THROW(SearchSpace::from_index(SearchSpace::cardinality() - 1));
+  EXPECT_THROW(SearchSpace::from_index(SearchSpace::cardinality()), Error);
+}
+
+TEST(SearchSpaceTest, DecisionsRoundTrip) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const Architecture a = SearchSpace::sample(rng);
+    EXPECT_EQ(SearchSpace::from_decisions(SearchSpace::to_decisions(a)), a);
+  }
+}
+
+TEST(SearchSpaceTest, FromDecisionsValidatesShape) {
+  EXPECT_THROW(SearchSpace::from_decisions({0, 1, 2}), Error);
+  std::vector<int> decisions(28, 0);
+  decisions[0] = 5;  // expansion index out of range
+  EXPECT_THROW(SearchSpace::from_decisions(decisions), Error);
+  decisions[0] = -1;
+  EXPECT_THROW(SearchSpace::from_decisions(decisions), Error);
+}
+
+TEST(SearchSpaceTest, FeaturesOneHotStructure) {
+  EXPECT_EQ(SearchSpace::feature_dim(), 63);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const Architecture a = SearchSpace::sample(rng);
+    const auto f = SearchSpace::features(a);
+    ASSERT_EQ(f.size(), 63u);
+    for (int b = 0; b < kNumBlocks; ++b) {
+      const std::size_t base = static_cast<std::size_t>(b) * 9;
+      // Expansion one-hot sums to 1, kernel to 1, layers to 1.
+      EXPECT_DOUBLE_EQ(f[base] + f[base + 1] + f[base + 2], 1.0);
+      EXPECT_DOUBLE_EQ(f[base + 3] + f[base + 4], 1.0);
+      EXPECT_DOUBLE_EQ(f[base + 5] + f[base + 6] + f[base + 7], 1.0);
+      EXPECT_TRUE(f[base + 8] == 0.0 || f[base + 8] == 1.0);
+    }
+  }
+}
+
+TEST(SearchSpaceTest, FeaturesInjective) {
+  Rng rng(8);
+  const Architecture a = SearchSpace::sample(rng);
+  const Architecture b = SearchSpace::mutate(a, rng);
+  EXPECT_NE(SearchSpace::features(a), SearchSpace::features(b));
+}
+
+// Index bijection property over random raw indices (not just sampled archs).
+class IndexBijection : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IndexBijection, RoundTripsFromRawIndex) {
+  // Map the parameter into the index range deterministically.
+  std::uint64_t state = GetParam() + 12345;
+  const std::uint64_t index = splitmix64(state) % SearchSpace::cardinality();
+  const Architecture a = SearchSpace::from_index(index);
+  SearchSpace::validate(a);
+  EXPECT_EQ(SearchSpace::to_index(a), index);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomIndices, IndexBijection,
+                         ::testing::Range<std::uint64_t>(0, 50));
+
+}  // namespace
+}  // namespace anb

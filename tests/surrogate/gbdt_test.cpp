@@ -1,0 +1,127 @@
+#include "anb/surrogate/gbdt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "anb/util/error.hpp"
+#include "anb/util/metrics.hpp"
+#include "anb/util/stats.hpp"
+
+namespace anb {
+namespace {
+
+Dataset friedman_like(int n, std::uint64_t seed, double noise = 0.0) {
+  // Additive + pairwise interaction target on 5 features.
+  Dataset ds(5);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> x(5);
+    for (auto& v : x) v = rng.uniform();
+    const double y = 10.0 * x[0] * x[1] + 5.0 * x[2] - 3.0 * x[3] +
+                     noise * rng.normal();
+    ds.add(x, y);
+  }
+  return ds;
+}
+
+TEST(GbdtTest, FitsInteractionsWell) {
+  const Dataset train = friedman_like(1500, 1);
+  const Dataset test = friedman_like(300, 2);
+  GbdtParams params;
+  params.n_estimators = 400;
+  params.max_depth = 4;
+  params.learning_rate = 0.1;
+  Gbdt model(params);
+  Rng rng(3);
+  model.fit(train, rng);
+  const FitMetrics m = model.evaluate(test);
+  EXPECT_GT(m.r2, 0.97);
+  EXPECT_GT(m.kendall_tau, 0.9);
+}
+
+TEST(GbdtTest, BoostingDrivesTrainErrorDown) {
+  const Dataset train = friedman_like(300, 4);
+  auto train_rmse = [&](int n_estimators) {
+    GbdtParams params;
+    params.n_estimators = n_estimators;
+    params.max_depth = 3;
+    params.learning_rate = 0.2;
+    Gbdt model(params);
+    Rng rng(5);
+    model.fit(train, rng);
+    return model.evaluate(train).rmse;
+  };
+  const double e10 = train_rmse(10);
+  const double e100 = train_rmse(100);
+  const double e500 = train_rmse(500);
+  EXPECT_LT(e100, e10);
+  EXPECT_LT(e500, e100);
+  EXPECT_LT(e500, 0.05);
+}
+
+TEST(GbdtTest, SingleTreePredictsNearBaseScore) {
+  const Dataset train = friedman_like(300, 6);
+  GbdtParams params;
+  params.n_estimators = 1;
+  params.learning_rate = 0.1;
+  Gbdt model(params);
+  Rng rng(7);
+  model.fit(train, rng);
+  // With one small-step tree, predictions stay near the target mean.
+  const double base = mean(train.targets());
+  const double pred = model.predict(train.row(0));
+  EXPECT_NEAR(pred, base, 2.0);
+}
+
+TEST(GbdtTest, PredictBeforeFitThrows) {
+  Gbdt model;
+  EXPECT_THROW(model.predict(std::vector<double>{1.0}), Error);
+}
+
+TEST(GbdtTest, DeterministicWithoutSubsampling) {
+  const Dataset train = friedman_like(200, 8);
+  GbdtParams params;
+  params.n_estimators = 30;
+  Gbdt a(params), b(params);
+  Rng ra(1), rb(2);  // different rngs: no stochastic paths used
+  a.fit(train, ra);
+  b.fit(train, rb);
+  EXPECT_DOUBLE_EQ(a.predict(train.row(5)), b.predict(train.row(5)));
+}
+
+TEST(GbdtTest, SubsamplingStillLearns) {
+  const Dataset train = friedman_like(800, 9);
+  const Dataset test = friedman_like(200, 10);
+  GbdtParams params;
+  params.n_estimators = 300;
+  params.subsample = 0.7;
+  params.colsample = 0.8;
+  Gbdt model(params);
+  Rng rng(11);
+  model.fit(train, rng);
+  EXPECT_GT(model.evaluate(test).r2, 0.9);
+}
+
+TEST(GbdtTest, ParamValidation) {
+  GbdtParams params;
+  params.learning_rate = 0.0;
+  EXPECT_THROW(Gbdt{params}, Error);
+  params.learning_rate = 0.1;
+  params.subsample = 1.5;
+  EXPECT_THROW(Gbdt{params}, Error);
+  params.subsample = 1.0;
+  params.n_estimators = 0;
+  EXPECT_THROW(Gbdt{params}, Error);
+}
+
+TEST(GbdtTest, HandlesConstantTarget) {
+  Dataset train(2);
+  for (int i = 0; i < 20; ++i)
+    train.add(std::vector<double>{static_cast<double>(i), 0.0}, 7.0);
+  Gbdt model;
+  Rng rng(12);
+  model.fit(train, rng);
+  EXPECT_NEAR(model.predict(std::vector<double>{5.0, 0.0}), 7.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace anb

@@ -1,0 +1,126 @@
+#include "anb/surrogate/hist_gbdt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "anb/surrogate/gbdt.hpp"
+#include "anb/util/error.hpp"
+#include "anb/util/metrics.hpp"
+
+namespace anb {
+namespace {
+
+Dataset friedman_like(int n, std::uint64_t seed, double noise = 0.0) {
+  Dataset ds(5);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> x(5);
+    for (auto& v : x) v = rng.uniform();
+    const double y = 10.0 * x[0] * x[1] + 5.0 * x[2] - 3.0 * x[3] +
+                     noise * rng.normal();
+    ds.add(x, y);
+  }
+  return ds;
+}
+
+TEST(HistGbdtTest, FitsInteractionsWell) {
+  const Dataset train = friedman_like(1500, 1);
+  const Dataset test = friedman_like(300, 2);
+  HistGbdtParams params;
+  params.n_estimators = 400;
+  params.max_leaves = 31;
+  params.learning_rate = 0.1;
+  HistGbdt model(params);
+  Rng rng(3);
+  model.fit(train, rng);
+  const FitMetrics m = model.evaluate(test);
+  EXPECT_GT(m.r2, 0.96);
+  EXPECT_GT(m.kendall_tau, 0.88);
+}
+
+TEST(HistGbdtTest, LeafBudgetRespected) {
+  const Dataset train = friedman_like(500, 4);
+  for (int max_leaves : {2, 4, 8}) {
+    HistGbdtParams params;
+    params.n_estimators = 5;
+    params.max_leaves = max_leaves;
+    HistGbdt model(params);
+    Rng rng(5);
+    model.fit(train, rng);
+    EXPECT_EQ(model.num_trees(), 5u);
+  }
+}
+
+TEST(HistGbdtTest, CoarseBinsStillLearn) {
+  const Dataset train = friedman_like(800, 6);
+  const Dataset test = friedman_like(200, 7);
+  HistGbdtParams params;
+  params.max_bins = 8;
+  params.n_estimators = 300;
+  HistGbdt model(params);
+  Rng rng(8);
+  model.fit(train, rng);
+  EXPECT_GT(model.evaluate(test).r2, 0.85);
+}
+
+TEST(HistGbdtTest, BinaryFeaturesExactlyRepresentable) {
+  // One-hot style inputs: binning must be lossless, so LGB ~ XGB here.
+  Dataset train(4), test(4);
+  Rng rng(9);
+  auto target = [](const std::vector<double>& x) {
+    return 2.0 * x[0] + x[1] - 3.0 * x[2] * x[3];
+  };
+  for (int i = 0; i < 600; ++i) {
+    std::vector<double> x{static_cast<double>(rng.bernoulli(0.5)),
+                          static_cast<double>(rng.bernoulli(0.5)),
+                          static_cast<double>(rng.bernoulli(0.5)),
+                          static_cast<double>(rng.bernoulli(0.5))};
+    (i < 500 ? train : test).add(x, target(x));
+  }
+  HistGbdtParams params;
+  params.n_estimators = 300;
+  HistGbdt model(params);
+  Rng fit_rng(10);
+  model.fit(train, fit_rng);
+  EXPECT_LT(model.evaluate(test).rmse, 0.05);
+}
+
+TEST(HistGbdtTest, PredictBeforeFitThrows) {
+  HistGbdt model;
+  EXPECT_THROW(model.predict(std::vector<double>{1.0}), Error);
+}
+
+TEST(HistGbdtTest, ParamValidation) {
+  HistGbdtParams params;
+  params.max_leaves = 1;
+  EXPECT_THROW(HistGbdt{params}, Error);
+  params.max_leaves = 31;
+  params.max_bins = 1;
+  EXPECT_THROW(HistGbdt{params}, Error);
+  params.max_bins = 300;
+  EXPECT_THROW(HistGbdt{params}, Error);
+}
+
+TEST(HistGbdtTest, ComparableToExactGbdtOnBinaryData) {
+  Dataset train(6), test(6);
+  Rng rng(11);
+  auto target = [](const std::vector<double>& x) {
+    return x[0] + 2.0 * x[1] * x[2] - x[3] + 0.5 * x[4] * x[5];
+  };
+  for (int i = 0; i < 1200; ++i) {
+    std::vector<double> x(6);
+    for (auto& v : x) v = static_cast<double>(rng.bernoulli(0.5));
+    (i < 1000 ? train : test).add(x, target(x));
+  }
+  HistGbdt lgb;
+  Gbdt xgb;
+  Rng r1(12), r2(13);
+  lgb.fit(train, r1);
+  xgb.fit(train, r2);
+  const double lgb_rmse = lgb.evaluate(test).rmse;
+  const double xgb_rmse = xgb.evaluate(test).rmse;
+  EXPECT_LT(lgb_rmse, 0.12);
+  EXPECT_LT(std::abs(lgb_rmse - xgb_rmse), 0.1);
+}
+
+}  // namespace
+}  // namespace anb

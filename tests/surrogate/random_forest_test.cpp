@@ -1,0 +1,112 @@
+#include "anb/surrogate/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "anb/util/error.hpp"
+#include "anb/util/metrics.hpp"
+
+namespace anb {
+namespace {
+
+Dataset linear_dataset(int n, std::uint64_t seed, double noise = 0.0) {
+  Dataset ds(3);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform()};
+    const double y =
+        3.0 * x[0] - 2.0 * x[1] + 0.5 * x[2] + noise * rng.normal();
+    ds.add(x, y);
+  }
+  return ds;
+}
+
+TEST(RandomForestTest, FitsSmoothFunction) {
+  const Dataset train = linear_dataset(800, 1);
+  const Dataset test = linear_dataset(200, 2);
+  RandomForestParams params;
+  params.n_trees = 100;
+  RandomForest model(params);
+  Rng rng(3);
+  model.fit(train, rng);
+  const FitMetrics m = model.evaluate(test);
+  EXPECT_GT(m.r2, 0.85);
+  EXPECT_GT(m.kendall_tau, 0.8);
+}
+
+TEST(RandomForestTest, PredictBeforeFitThrows) {
+  RandomForest model;
+  EXPECT_THROW(model.predict(std::vector<double>{1.0, 2.0, 3.0}), Error);
+}
+
+TEST(RandomForestTest, DeterministicGivenRngSeed) {
+  const Dataset train = linear_dataset(200, 4);
+  RandomForestParams params;
+  params.n_trees = 20;
+  RandomForest a(params), b(params);
+  Rng ra(5), rb(5);
+  a.fit(train, ra);
+  b.fit(train, rb);
+  const std::vector<double> x{0.3, 0.6, 0.9};
+  EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+}
+
+TEST(RandomForestTest, MoreTreesReduceVariance) {
+  const Dataset train = linear_dataset(400, 6, /*noise=*/0.3);
+  const Dataset test = linear_dataset(200, 7, /*noise=*/0.0);
+  auto rmse_with = [&](int n_trees) {
+    RandomForestParams params;
+    params.n_trees = n_trees;
+    RandomForest model(params);
+    Rng rng(8);
+    model.fit(train, rng);
+    return model.evaluate(test).rmse;
+  };
+  EXPECT_LT(rmse_with(150), rmse_with(2) * 1.05);
+}
+
+TEST(RandomForestTest, MeanStdConsistentWithPredict) {
+  const Dataset train = linear_dataset(300, 9, /*noise=*/0.2);
+  RandomForestParams params;
+  params.n_trees = 50;
+  RandomForest model(params);
+  Rng rng(10);
+  model.fit(train, rng);
+  const std::vector<double> x{0.5, 0.5, 0.5};
+  const auto [m, s] = model.predict_mean_std(x);
+  EXPECT_DOUBLE_EQ(m, model.predict(x));
+  EXPECT_GE(s, 0.0);
+}
+
+TEST(RandomForestTest, ParamValidation) {
+  RandomForestParams params;
+  params.n_trees = 0;
+  EXPECT_THROW(RandomForest{params}, Error);
+  params.n_trees = 10;
+  params.max_depth = 0;
+  EXPECT_THROW(RandomForest{params}, Error);
+  params.max_depth = 5;
+  params.bootstrap_frac = 0.0;
+  EXPECT_THROW(RandomForest{params}, Error);
+}
+
+TEST(RandomForestTest, NumTreesMatchesParams) {
+  const Dataset train = linear_dataset(100, 11);
+  RandomForestParams params;
+  params.n_trees = 17;
+  RandomForest model(params);
+  Rng rng(12);
+  model.fit(train, rng);
+  EXPECT_EQ(model.num_trees(), 17u);
+}
+
+TEST(RandomForestTest, EvaluateRequiresRows) {
+  const Dataset train = linear_dataset(100, 13);
+  RandomForest model;
+  Rng rng(14);
+  model.fit(train, rng);
+  Dataset empty(3);
+  EXPECT_THROW(model.evaluate(empty), Error);
+}
+
+}  // namespace
+}  // namespace anb

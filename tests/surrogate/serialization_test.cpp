@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "anb/surrogate/gbdt.hpp"
+#include "anb/surrogate/hist_gbdt.hpp"
+#include "anb/surrogate/random_forest.hpp"
+#include "anb/surrogate/surrogate.hpp"
+#include "anb/surrogate/svr.hpp"
+#include "anb/util/error.hpp"
+
+namespace anb {
+namespace {
+
+Dataset make_dataset(int n, std::uint64_t seed) {
+  Dataset ds(4);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform(),
+                          static_cast<double>(rng.bernoulli(0.5))};
+    ds.add(x, 2.0 * x[0] - x[1] + 0.5 * x[2] * x[3]);
+  }
+  return ds;
+}
+
+class SerializationTest : public ::testing::Test {
+ protected:
+  void round_trip_and_compare(Surrogate& model) {
+    const Dataset train = make_dataset(300, 1);
+    Rng rng(2);
+    model.fit(train, rng);
+    const Json payload = model.to_json();
+    const auto restored = surrogate_from_json(payload);
+    EXPECT_EQ(restored->name(), model.name());
+    Rng probe(3);
+    for (int i = 0; i < 50; ++i) {
+      const std::vector<double> x{probe.uniform(), probe.uniform(),
+                                  probe.uniform(),
+                                  static_cast<double>(probe.bernoulli(0.5))};
+      EXPECT_DOUBLE_EQ(restored->predict(x), model.predict(x))
+          << model.name();
+    }
+    // Text round trip too (what save/load does).
+    const auto reparsed = surrogate_from_json(Json::parse(payload.dump()));
+    const std::vector<double> x{0.1, 0.2, 0.3, 1.0};
+    EXPECT_NEAR(reparsed->predict(x), model.predict(x), 1e-12);
+  }
+};
+
+TEST_F(SerializationTest, GbdtRoundTrips) {
+  GbdtParams p;
+  p.n_estimators = 40;
+  Gbdt model(p);
+  round_trip_and_compare(model);
+}
+
+TEST_F(SerializationTest, HistGbdtRoundTrips) {
+  HistGbdtParams p;
+  p.n_estimators = 40;
+  HistGbdt model(p);
+  round_trip_and_compare(model);
+}
+
+TEST_F(SerializationTest, RandomForestRoundTrips) {
+  RandomForestParams p;
+  p.n_trees = 25;
+  RandomForest model(p);
+  round_trip_and_compare(model);
+}
+
+TEST_F(SerializationTest, EpsilonSvrRoundTrips) {
+  SvrParams p;
+  p.kind = SvrKind::kEpsilon;
+  p.gamma = 0.5;
+  Svr model(p);
+  round_trip_and_compare(model);
+}
+
+TEST_F(SerializationTest, NuSvrRoundTrips) {
+  SvrParams p;
+  p.kind = SvrKind::kNu;
+  p.nu = 0.4;
+  p.gamma = 0.5;
+  Svr model(p);
+  round_trip_and_compare(model);
+}
+
+TEST_F(SerializationTest, UnknownTypeRejected) {
+  Json j = Json::object();
+  j["type"] = "gaussian-process";
+  EXPECT_THROW(surrogate_from_json(j), Error);
+  EXPECT_THROW(surrogate_from_json(Json::object()), Error);
+}
+
+TEST_F(SerializationTest, WrongTagRejectedByConcreteLoaders) {
+  GbdtParams p;
+  p.n_estimators = 5;
+  Gbdt model(p);
+  const Dataset train = make_dataset(50, 4);
+  Rng rng(5);
+  model.fit(train, rng);
+  Json j = model.to_json();
+  j["type"] = "rf";
+  EXPECT_THROW(Gbdt::from_json(j), Error);
+}
+
+}  // namespace
+}  // namespace anb

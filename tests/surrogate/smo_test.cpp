@@ -1,0 +1,115 @@
+#include "anb/surrogate/smo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anb/util/error.hpp"
+#include "anb/util/rng.hpp"
+
+namespace anb {
+namespace {
+
+/// Tiny hard-margin-style SVC problem solved by hand:
+/// two points x=-1 (class -1) and x=+1 (class +1), linear kernel.
+/// Dual: max 2a - a^2 with a1=a2=a -> a*=1 (if C >= 1).
+TEST(SmoTest, TwoPointSvcAnalytic) {
+  SmoSolver::Problem prob;
+  prob.n = 2;
+  prob.p = {-1.0, -1.0};
+  prob.y = {+1, -1};
+  prob.c = {10.0, 10.0};
+  // Q_ij = y_i y_j x_i x_j with x = {+1, -1}.
+  const double x[2] = {1.0, -1.0};
+  prob.q_column = [&x, &prob](int i, std::vector<double>& out) {
+    for (int j = 0; j < 2; ++j)
+      out[static_cast<std::size_t>(j)] =
+          prob.y[static_cast<std::size_t>(i)] *
+          prob.y[static_cast<std::size_t>(j)] * x[i] * x[j];
+  };
+  const auto res = SmoSolver::solve(prob);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.alpha[0], 0.5, 1e-6);
+  EXPECT_NEAR(res.alpha[1], 0.5, 1e-6);
+  EXPECT_NEAR(res.rho, 0.0, 1e-6);
+}
+
+TEST(SmoTest, BoxConstraintsRespected) {
+  // Separable data but tiny C forces both alphas to the bound.
+  SmoSolver::Problem prob;
+  prob.n = 2;
+  prob.p = {-1.0, -1.0};
+  prob.y = {+1, -1};
+  prob.c = {0.1, 0.1};
+  const double x[2] = {1.0, -1.0};
+  prob.q_column = [&x, &prob](int i, std::vector<double>& out) {
+    for (int j = 0; j < 2; ++j)
+      out[static_cast<std::size_t>(j)] =
+          prob.y[static_cast<std::size_t>(i)] *
+          prob.y[static_cast<std::size_t>(j)] * x[i] * x[j];
+  };
+  const auto res = SmoSolver::solve(prob);
+  for (double a : res.alpha) {
+    EXPECT_GE(a, -1e-12);
+    EXPECT_LE(a, 0.1 + 1e-12);
+  }
+  // Equality constraint y^T alpha = 0.
+  EXPECT_NEAR(res.alpha[0] - res.alpha[1], 0.0, 1e-9);
+}
+
+TEST(SmoTest, EqualityConstraintMaintained) {
+  // Random PSD problem; check sum y_i a_i == 0 after solving.
+  const int n = 20;
+  std::vector<std::vector<double>> k(n, std::vector<double>(n));
+  Rng rng(3);
+  std::vector<double> feat(n);
+  for (auto& f : feat) f = rng.normal();
+  SmoSolver::Problem prob;
+  prob.n = n;
+  prob.p.resize(n);
+  prob.y.resize(n);
+  prob.c.assign(n, 1.0);
+  for (int i = 0; i < n; ++i) {
+    prob.p[static_cast<std::size_t>(i)] = rng.uniform(-1.0, 0.0);
+    prob.y[static_cast<std::size_t>(i)] = rng.bernoulli(0.5) ? 1 : -1;
+  }
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      k[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          std::exp(-(feat[static_cast<std::size_t>(i)] -
+                     feat[static_cast<std::size_t>(j)]) *
+                   (feat[static_cast<std::size_t>(i)] -
+                    feat[static_cast<std::size_t>(j)]));
+  prob.q_column = [&](int i, std::vector<double>& out) {
+    for (int j = 0; j < n; ++j)
+      out[static_cast<std::size_t>(j)] =
+          prob.y[static_cast<std::size_t>(i)] *
+          prob.y[static_cast<std::size_t>(j)] *
+          k[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+  };
+  const auto res = SmoSolver::solve(prob);
+  double balance = 0.0;
+  for (int i = 0; i < n; ++i)
+    balance += prob.y[static_cast<std::size_t>(i)] *
+               res.alpha[static_cast<std::size_t>(i)];
+  EXPECT_NEAR(balance, 0.0, 1e-9);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(SmoTest, RejectsMalformedProblems) {
+  SmoSolver::Problem prob;
+  prob.n = 0;
+  EXPECT_THROW(SmoSolver::solve(prob), Error);
+  prob.n = 2;
+  prob.p = {0.0};
+  prob.y = {1, -1};
+  prob.c = {1.0, 1.0};
+  prob.q_column = [](int, std::vector<double>&) {};
+  EXPECT_THROW(SmoSolver::solve(prob), Error);
+  prob.p = {0.0, 0.0};
+  prob.q_column = nullptr;
+  EXPECT_THROW(SmoSolver::solve(prob), Error);
+}
+
+}  // namespace
+}  // namespace anb

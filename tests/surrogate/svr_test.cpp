@@ -1,0 +1,150 @@
+#include "anb/surrogate/svr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anb/util/error.hpp"
+#include "anb/util/metrics.hpp"
+
+namespace anb {
+namespace {
+
+Dataset smooth_dataset(int n, std::uint64_t seed, double noise = 0.0) {
+  Dataset ds(2);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> x{rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)};
+    const double y = std::sin(x[0]) + 0.5 * x[1] + noise * rng.normal();
+    ds.add(x, y);
+  }
+  return ds;
+}
+
+SvrParams eps_params(double c = 10.0, double epsilon = 0.02,
+                     double gamma = 0.5) {
+  SvrParams p;
+  p.kind = SvrKind::kEpsilon;
+  p.c = c;
+  p.epsilon = epsilon;
+  p.gamma = gamma;
+  return p;
+}
+
+TEST(SvrTest, FitsSmoothFunction) {
+  const Dataset train = smooth_dataset(400, 1);
+  const Dataset test = smooth_dataset(100, 2);
+  Svr model(eps_params());
+  Rng rng(3);
+  model.fit(train, rng);
+  const FitMetrics m = model.evaluate(test);
+  EXPECT_GT(m.r2, 0.98);
+  EXPECT_GT(m.kendall_tau, 0.93);
+}
+
+TEST(SvrTest, WideTubeSparsifiesSupportVectors) {
+  const Dataset train = smooth_dataset(300, 4, /*noise=*/0.02);
+  Svr narrow(eps_params(10.0, 0.005));
+  Svr wide(eps_params(10.0, 0.3));
+  Rng r1(5), r2(6);
+  narrow.fit(train, r1);
+  wide.fit(train, r2);
+  EXPECT_LT(wide.num_support_vectors(), narrow.num_support_vectors());
+}
+
+TEST(SvrTest, LargerNuMeansMoreSupportVectors) {
+  // nu lower-bounds the support-vector fraction (Schölkopf): a larger nu
+  // narrows the tube and recruits more SVs.
+  const Dataset train = smooth_dataset(250, 7, /*noise=*/0.1);
+  auto sv_count = [&](double nu) {
+    SvrParams p;
+    p.kind = SvrKind::kNu;
+    p.c = 10.0;
+    p.nu = nu;
+    p.gamma = 0.5;
+    Svr model(p);
+    Rng rng(8);
+    model.fit(train, rng);
+    return model.num_support_vectors();
+  };
+  EXPECT_LT(sv_count(0.15), sv_count(0.7));
+}
+
+TEST(SvrTest, NuSvrTubeNarrowsWithLargerNu) {
+  const Dataset train = smooth_dataset(250, 9, /*noise=*/0.1);
+  auto eps_for = [&](double nu) {
+    SvrParams p;
+    p.kind = SvrKind::kNu;
+    p.c = 10.0;
+    p.nu = nu;
+    p.gamma = 0.5;
+    Svr model(p);
+    Rng rng(10);
+    model.fit(train, rng);
+    return model.effective_epsilon();
+  };
+  EXPECT_GT(eps_for(0.1), eps_for(0.7));
+}
+
+TEST(SvrTest, TargetScalingHandlesLargeMagnitudes) {
+  // Throughput-style targets in the thousands.
+  Dataset train(2), test(2);
+  Rng rng(11);
+  for (int i = 0; i < 400; ++i) {
+    std::vector<double> x{rng.uniform(), rng.uniform()};
+    const double y = 3000.0 + 2000.0 * x[0] - 1000.0 * x[1] * x[1];
+    (i < 300 ? train : test).add(x, y);
+  }
+  Svr model(eps_params(10.0, 0.02, 1.0));
+  Rng fit_rng(12);
+  model.fit(train, fit_rng);
+  EXPECT_GT(model.evaluate(test).r2, 0.97);
+}
+
+TEST(SvrTest, PredictBeforeFitThrows) {
+  Svr model(eps_params());
+  EXPECT_THROW(model.predict(std::vector<double>{0.0, 0.0}), Error);
+}
+
+TEST(SvrTest, PredictChecksDimension) {
+  const Dataset train = smooth_dataset(100, 13);
+  Svr model(eps_params());
+  Rng rng(14);
+  model.fit(train, rng);
+  EXPECT_THROW(model.predict(std::vector<double>{0.0}), Error);
+}
+
+TEST(SvrTest, ParamValidation) {
+  SvrParams p;
+  p.c = 0.0;
+  EXPECT_THROW(Svr{p}, Error);
+  p.c = 1.0;
+  p.epsilon = -0.1;
+  EXPECT_THROW(Svr{p}, Error);
+  p.epsilon = 0.1;
+  p.nu = 1.5;
+  EXPECT_THROW(Svr{p}, Error);
+}
+
+TEST(SvrTest, ConstantFeatureDoesNotCrash) {
+  Dataset train(2);
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> x{rng.uniform(), 1.0};  // second feature constant
+    train.add(x, x[0]);
+  }
+  Svr model(eps_params());
+  Rng fit_rng(16);
+  EXPECT_NO_THROW(model.fit(train, fit_rng));
+  EXPECT_TRUE(std::isfinite(model.predict(std::vector<double>{0.5, 1.0})));
+}
+
+TEST(SvrTest, NamesReflectKind) {
+  EXPECT_EQ(Svr(eps_params()).name(), "esvr");
+  SvrParams p;
+  p.kind = SvrKind::kNu;
+  EXPECT_EQ(Svr(p).name(), "nusvr");
+}
+
+}  // namespace
+}  // namespace anb

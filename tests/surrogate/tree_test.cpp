@@ -1,0 +1,199 @@
+#include "anb/surrogate/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+namespace {
+
+/// Fit a plain variance-reduction tree (g = -y, h = 1).
+RegressionTree fit_variance_tree(const Dataset& data, TreeParams params,
+                                 std::uint64_t seed = 1) {
+  const std::size_t n = data.size();
+  std::vector<double> g(n), h(n, 1.0), w(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) g[i] = -data.target(i);
+  params.lambda = 0.0;
+  const ColumnIndex columns(data);
+  Rng rng(seed);
+  return build_tree(data, columns, g, h, w, params, rng);
+}
+
+Dataset and_dataset() {
+  // y = AND(x0, x1): needs depth 2 for an exact fit, and unlike XOR the
+  // first greedy split already has positive gain.
+  Dataset ds(2);
+  for (int rep = 0; rep < 4; ++rep) {
+    ds.add(std::vector<double>{0, 0}, 0.0);
+    ds.add(std::vector<double>{0, 1}, 0.0);
+    ds.add(std::vector<double>{1, 0}, 0.0);
+    ds.add(std::vector<double>{1, 1}, 1.0);
+  }
+  return ds;
+}
+
+TEST(TreeTest, StumpSplitsOnInformativeFeature) {
+  Dataset ds(2);
+  // Feature 1 is pure noise; feature 0 perfectly separates targets.
+  ds.add(std::vector<double>{0.0, 1.0}, -1.0);
+  ds.add(std::vector<double>{0.0, 0.0}, -1.0);
+  ds.add(std::vector<double>{1.0, 1.0}, 1.0);
+  ds.add(std::vector<double>{1.0, 0.0}, 1.0);
+  TreeParams params;
+  params.max_depth = 1;
+  const RegressionTree tree = fit_variance_tree(ds, params);
+  EXPECT_EQ(tree.nodes()[0].feature, 0);
+  EXPECT_EQ(tree.num_leaves(), 2);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.0, 0.5}), -1.0);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{1.0, 0.5}), 1.0);
+}
+
+TEST(TreeTest, DepthTwoSolvesAnd) {
+  TreeParams params;
+  params.max_depth = 2;
+  const RegressionTree tree = fit_variance_tree(and_dataset(), params);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{1, 1}), 1.0);
+}
+
+TEST(TreeTest, DepthOneCannotSolveAnd) {
+  TreeParams params;
+  params.max_depth = 1;
+  const RegressionTree tree = fit_variance_tree(and_dataset(), params);
+  // One split can only separate a mean-0 side from a mean-0.5 side.
+  EXPECT_NEAR(tree.predict(std::vector<double>{1, 1}), 0.5, 1e-9);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0, 0}), 0.0, 1e-9);
+}
+
+TEST(TreeTest, ConstantTargetGivesSingleLeaf) {
+  Dataset ds(2);
+  for (int i = 0; i < 10; ++i)
+    ds.add(std::vector<double>{static_cast<double>(i), 1.0}, 5.0);
+  TreeParams params;
+  params.max_depth = 4;
+  const RegressionTree tree = fit_variance_tree(ds, params);
+  EXPECT_EQ(tree.num_leaves(), 1);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{3.0, 1.0}), 5.0);
+}
+
+TEST(TreeTest, MinSamplesLeafRespected) {
+  Dataset ds(1);
+  // 9 points at x=0 (y=0), 1 point at x=1 (y=10): split would isolate 1 row.
+  for (int i = 0; i < 9; ++i) ds.add(std::vector<double>{0.0}, 0.0);
+  ds.add(std::vector<double>{1.0}, 10.0);
+  TreeParams params;
+  params.max_depth = 3;
+  params.min_samples_leaf = 2.0;
+  const RegressionTree tree = fit_variance_tree(ds, params);
+  EXPECT_EQ(tree.num_leaves(), 1);
+}
+
+TEST(TreeTest, RowWeightsExcludeRows) {
+  Dataset ds(1);
+  ds.add(std::vector<double>{0.0}, 0.0);
+  ds.add(std::vector<double>{1.0}, 100.0);  // excluded below
+  ds.add(std::vector<double>{0.2}, 0.0);
+  std::vector<double> g{0.0, -100.0, 0.0};
+  std::vector<double> h(3, 1.0);
+  std::vector<double> w{1.0, 0.0, 1.0};
+  TreeParams params;
+  params.max_depth = 2;
+  params.lambda = 0.0;
+  const ColumnIndex columns(ds);
+  Rng rng(1);
+  const RegressionTree tree = build_tree(ds, columns, g, h, w, params, rng);
+  // The excluded outlier must not influence any leaf.
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(TreeTest, LambdaShrinksLeafValues) {
+  Dataset ds(1);
+  ds.add(std::vector<double>{0.0}, 0.0);
+  ds.add(std::vector<double>{1.0}, 4.0);
+  const std::size_t n = ds.size();
+  std::vector<double> g(n), h(n, 1.0), w(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) g[i] = -ds.target(i);
+  TreeParams params;
+  params.max_depth = 1;
+  params.lambda = 1.0;  // leaf = sum(y) / (count + lambda)
+  const ColumnIndex columns(ds);
+  Rng rng(1);
+  const RegressionTree tree = build_tree(ds, columns, g, h, w, params, rng);
+  // Leaf value = sum(y) / (count + lambda): 0/2 and 4/2.
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.0}), 0.0, 1e-9);
+  EXPECT_NEAR(tree.predict(std::vector<double>{1.0}), 2.0, 1e-9);
+}
+
+TEST(TreeTest, GammaBlocksWeakSplits) {
+  Dataset ds(1);
+  ds.add(std::vector<double>{0.0}, 0.0);
+  ds.add(std::vector<double>{1.0}, 0.1);  // tiny gain
+  TreeParams params;
+  params.max_depth = 2;
+  params.gamma = 1.0;
+  const RegressionTree tree = fit_variance_tree(ds, params);
+  EXPECT_EQ(tree.num_leaves(), 1);
+}
+
+TEST(TreeTest, PredictValidatesDimensions) {
+  TreeParams params;
+  params.max_depth = 2;
+  const RegressionTree tree = fit_variance_tree(and_dataset(), params);
+  EXPECT_THROW(tree.predict(std::vector<double>{1.0}), Error);
+}
+
+TEST(TreeTest, JsonRoundTripPreservesPredictions) {
+  TreeParams params;
+  params.max_depth = 3;
+  Dataset ds(3);
+  Rng rng(5);
+  for (int i = 0; i < 64; ++i) {
+    std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform()};
+    const double y = 2.0 * x[0] - x[1] * x[2];
+    ds.add(x, y);
+  }
+  const RegressionTree tree = fit_variance_tree(ds, params);
+  const RegressionTree back = RegressionTree::from_json(tree.to_json());
+  Rng probe(6);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x{probe.uniform(), probe.uniform(),
+                                probe.uniform()};
+    EXPECT_DOUBLE_EQ(back.predict(x), tree.predict(x));
+  }
+}
+
+TEST(TreeTest, ColumnIndexSortsColumns) {
+  Dataset ds(2);
+  ds.add(std::vector<double>{3.0, 0.0}, 0.0);
+  ds.add(std::vector<double>{1.0, 2.0}, 0.0);
+  ds.add(std::vector<double>{2.0, 1.0}, 0.0);
+  const ColumnIndex columns(ds);
+  const auto col0 = columns.sorted_rows(0);
+  EXPECT_EQ(col0[0], 1u);
+  EXPECT_EQ(col0[1], 2u);
+  EXPECT_EQ(col0[2], 0u);
+  EXPECT_THROW(columns.sorted_rows(2), Error);
+}
+
+TEST(TreeTest, MaxDepthBoundsLeafCount) {
+  Dataset ds(4);
+  Rng rng(5);
+  for (int i = 0; i < 256; ++i) {
+    std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform(),
+                          rng.uniform()};
+    ds.add(x, rng.normal());
+  }
+  for (int depth : {1, 2, 3, 4}) {
+    TreeParams params;
+    params.max_depth = depth;
+    const RegressionTree tree = fit_variance_tree(ds, params);
+    EXPECT_LE(tree.num_leaves(), 1 << depth) << "depth=" << depth;
+  }
+}
+
+}  // namespace
+}  // namespace anb

@@ -1,0 +1,113 @@
+#include "anb/trainsim/scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+namespace {
+
+TrainingScheme make_scheme(int b, int et, int es, int ef, int rs, int rf) {
+  TrainingScheme s;
+  s.batch_size = b;
+  s.total_epochs = et;
+  s.resize_start_epoch = es;
+  s.resize_finish_epoch = ef;
+  s.res_start = rs;
+  s.res_finish = rf;
+  return s;
+}
+
+TEST(SchemeTest, ReferenceSchemeIsValidAndConstantRes) {
+  const TrainingScheme r = reference_scheme();
+  EXPECT_NO_THROW(r.validate());
+  EXPECT_EQ(r.total_epochs, 200);
+  for (int e = 0; e < r.total_epochs; e += 17)
+    EXPECT_EQ(r.resolution_at_epoch(e), 224);
+}
+
+TEST(SchemeTest, ValidationCatchesOrderingErrors) {
+  EXPECT_THROW(make_scheme(512, 10, 5, 3, 160, 224).validate(), Error);  // es>ef
+  EXPECT_THROW(make_scheme(512, 10, 0, 12, 160, 224).validate(), Error); // ef>et
+  EXPECT_THROW(make_scheme(512, 10, 0, 5, 224, 160).validate(), Error);  // rs>rf
+  EXPECT_THROW(make_scheme(0, 10, 0, 5, 160, 224).validate(), Error);
+  EXPECT_THROW(make_scheme(512, 0, 0, 0, 160, 224).validate(), Error);
+  EXPECT_THROW(make_scheme(512, 10, -1, 5, 160, 224).validate(), Error);
+  EXPECT_THROW(make_scheme(512, 10, 0, 5, 16, 224).validate(), Error);
+}
+
+TEST(SchemeTest, ProgressiveResolutionRamp) {
+  const TrainingScheme s = make_scheme(512, 20, 5, 15, 128, 224);
+  EXPECT_EQ(s.resolution_at_epoch(0), 128);
+  EXPECT_EQ(s.resolution_at_epoch(4), 128);
+  EXPECT_EQ(s.resolution_at_epoch(15), 224);
+  EXPECT_EQ(s.resolution_at_epoch(19), 224);
+  // Monotone non-decreasing in between.
+  int prev = 0;
+  for (int e = 0; e < 20; ++e) {
+    const int res = s.resolution_at_epoch(e);
+    EXPECT_GE(res, prev);
+    prev = res;
+  }
+  EXPECT_THROW(s.resolution_at_epoch(20), Error);
+  EXPECT_THROW(s.resolution_at_epoch(-1), Error);
+}
+
+TEST(SchemeTest, DegenerateRampJumpsAtStart) {
+  const TrainingScheme s = make_scheme(512, 10, 3, 3, 128, 224);
+  EXPECT_EQ(s.resolution_at_epoch(2), 128);
+  EXPECT_EQ(s.resolution_at_epoch(3), 224);
+}
+
+TEST(SchemeTest, HashDistinguishesSchemes) {
+  const auto a = make_scheme(512, 20, 0, 10, 160, 224);
+  auto b = a;
+  EXPECT_EQ(a.hash(), b.hash());
+  b.res_start = 128;
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(SchemeTest, JsonRoundTrip) {
+  const auto s = make_scheme(256, 30, 5, 20, 128, 192);
+  EXPECT_EQ(TrainingScheme::from_json(s.to_json()), s);
+}
+
+TEST(SchemeTest, JsonRejectsInvalid) {
+  auto j = make_scheme(256, 30, 5, 20, 128, 192).to_json();
+  j["resize_finish_epoch"] = 40;  // > total_epochs
+  EXPECT_THROW(TrainingScheme::from_json(j), Error);
+}
+
+TEST(SchemeTest, ToStringMentionsAllFields) {
+  const std::string s = make_scheme(256, 30, 5, 20, 128, 192).to_string();
+  EXPECT_NE(s.find("b256"), std::string::npos);
+  EXPECT_NE(s.find("e30"), std::string::npos);
+  EXPECT_NE(s.find("128-192"), std::string::npos);
+}
+
+TEST(ProxyDomainsTest, EnumerationRespectsConstraints) {
+  ProxyDomains domains;
+  const auto schemes = domains.enumerate_valid();
+  EXPECT_GT(schemes.size(), 100u);
+  for (const auto& s : schemes) {
+    EXPECT_NO_THROW(s.validate());
+    EXPECT_LE(s.resize_start_epoch, s.resize_finish_epoch);
+    EXPECT_LE(s.resize_finish_epoch, s.total_epochs);
+    EXPECT_LE(s.res_start, s.res_finish);
+  }
+}
+
+TEST(ProxyDomainsTest, EnumerationCountsMatchFiltering) {
+  ProxyDomains domains;
+  domains.batch_size = {512};
+  domains.total_epochs = {10};
+  domains.resize_start_epoch = {0, 5};
+  domains.resize_finish_epoch = {5, 10, 15};
+  domains.res_start = {128};
+  domains.res_finish = {224};
+  // (es=0: ef in {5,10}; es=5: ef in {5,10}) = 4 valid combos (ef=15 > et).
+  EXPECT_EQ(domains.enumerate_valid().size(), 4u);
+}
+
+}  // namespace
+}  // namespace anb

@@ -1,0 +1,86 @@
+#include "anb/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+namespace {
+
+TEST(CsvTest, WriterBasic) {
+  CsvWriter w({"a", "b"});
+  w.add_row(std::vector<std::string>{"1", "2"});
+  EXPECT_EQ(w.to_string(), "a,b\n1,2\n");
+  EXPECT_EQ(w.rows(), 1u);
+}
+
+TEST(CsvTest, WriterQuotesSpecials) {
+  CsvWriter w({"x"});
+  w.add_row({std::string("he said \"hi\", then\nleft")});
+  EXPECT_EQ(w.to_string(), "x\n\"he said \"\"hi\"\", then\nleft\"\n");
+}
+
+TEST(CsvTest, WriterNumericRow) {
+  CsvWriter w({"a", "b"});
+  w.add_row(std::vector<double>{1.5, -2.0});
+  const auto rows = parse_csv(w.to_string());
+  EXPECT_EQ(rows[1][0], "1.5");
+  EXPECT_EQ(rows[1][1], "-2");
+}
+
+TEST(CsvTest, WriterRejectsBadRow) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row(std::vector<std::string>{"only-one"}), Error);
+  EXPECT_THROW(CsvWriter({}), Error);
+}
+
+TEST(CsvTest, ParseSimple) {
+  const auto rows = parse_csv("a,b\n1,2\n3,4\n");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvTest, ParseQuotedWithEmbeddedDelimiters) {
+  const auto rows = parse_csv("\"a,b\",\"c\"\"d\",\"e\nf\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "a,b");
+  EXPECT_EQ(rows[0][1], "c\"d");
+  EXPECT_EQ(rows[0][2], "e\nf");
+}
+
+TEST(CsvTest, ParseCrLf) {
+  const auto rows = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "2");
+}
+
+TEST(CsvTest, ParseMissingTrailingNewline) {
+  const auto rows = parse_csv("a,b\n1,2");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "2");
+}
+
+TEST(CsvTest, ParseEmptyCells) {
+  const auto rows = parse_csv("a,,c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1], "");
+}
+
+TEST(CsvTest, ParseUnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("\"abc\n"), Error);
+}
+
+TEST(CsvTest, RoundTrip) {
+  CsvWriter w({"name", "value"});
+  w.add_row(std::vector<std::string>{"plain", "1"});
+  w.add_row(std::vector<std::string>{"with,comma", "2"});
+  w.add_row(std::vector<std::string>{"with\"quote", "3"});
+  const auto rows = parse_csv(w.to_string());
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[2][0], "with,comma");
+  EXPECT_EQ(rows[3][0], "with\"quote");
+}
+
+}  // namespace
+}  // namespace anb

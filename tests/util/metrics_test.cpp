@@ -1,0 +1,186 @@
+#include "anb/util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "anb/util/error.hpp"
+#include "anb/util/rng.hpp"
+
+namespace anb {
+namespace {
+
+TEST(KendallTauTest, PerfectAgreement) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(kendall_tau(x, x), 1.0);
+}
+
+TEST(KendallTauTest, PerfectDisagreement) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{4.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(kendall_tau(x, y), -1.0);
+}
+
+TEST(KendallTauTest, KnownValue) {
+  // 7 concordant, 3 discordant pairs of 10 -> tau = 0.4
+  // (matches scipy.stats.kendalltau([1,2,3,4,5], [3,1,4,2,5])).
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{3, 1, 4, 2, 5};
+  EXPECT_NEAR(kendall_tau(x, y), 0.4, 1e-12);
+}
+
+TEST(KendallTauTest, KnownValueWithTies) {
+  // tau-b with one x-tie: (5 - 0) / sqrt((6-1)(6-0)) = 5/sqrt(30)
+  // (matches scipy.stats.kendalltau([1,2,2,3], [1,3,2,4])).
+  const std::vector<double> x{1, 2, 2, 3};
+  const std::vector<double> y{1, 3, 2, 4};
+  EXPECT_NEAR(kendall_tau(x, y), 5.0 / std::sqrt(30.0), 1e-12);
+}
+
+TEST(KendallTauTest, InvariantToMonotoneTransform) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(rng.normal());
+    y.push_back(rng.normal());
+  }
+  const double base = kendall_tau(x, y);
+  std::vector<double> x_cubed;
+  for (double v : x) x_cubed.push_back(v * v * v);  // strictly monotone
+  EXPECT_NEAR(kendall_tau(x_cubed, y), base, 1e-12);
+}
+
+TEST(KendallTauTest, SymmetricInArguments) {
+  Rng rng(4);
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(kendall_tau(x, y), kendall_tau(y, x), 1e-12);
+}
+
+TEST(KendallTauTest, AllTiedThrows) {
+  const std::vector<double> x{1.0, 1.0, 1.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_THROW(kendall_tau(x, y), Error);
+  EXPECT_THROW(kendall_tau(y, x), Error);
+}
+
+TEST(KendallTauTest, SizeMismatchThrows) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_THROW(kendall_tau(x, y), Error);
+}
+
+// Brute-force cross-check of the O(n log n) implementation.
+double kendall_tau_brute(const std::vector<double>& x,
+                         const std::vector<double>& y) {
+  const std::size_t n = x.size();
+  double concordant = 0, discordant = 0, tie_x = 0, tie_y = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx == 0 && dy == 0) {
+        ++tie_x;
+        ++tie_y;
+      } else if (dx == 0) {
+        ++tie_x;
+      } else if (dy == 0) {
+        ++tie_y;
+      } else if (dx * dy > 0) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double tot = static_cast<double>(n) * (n - 1) / 2.0;
+  return (concordant - discordant) /
+         std::sqrt((tot - tie_x) * (tot - tie_y));
+}
+
+class KendallBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(KendallBruteForce, MatchesBruteForceWithTies) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  std::vector<double> x, y;
+  const int n = 5 + static_cast<int>(rng.uniform_index(60));
+  for (int i = 0; i < n; ++i) {
+    // Coarse grid -> plenty of ties.
+    x.push_back(static_cast<double>(rng.uniform_index(6)));
+    y.push_back(static_cast<double>(rng.uniform_index(6)));
+  }
+  // Skip the degenerate all-tied draw.
+  if (*std::max_element(x.begin(), x.end()) ==
+          *std::min_element(x.begin(), x.end()) ||
+      *std::max_element(y.begin(), y.end()) ==
+          *std::min_element(y.begin(), y.end())) {
+    GTEST_SKIP();
+  }
+  EXPECT_NEAR(kendall_tau(x, y), kendall_tau_brute(x, y), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTiedInputs, KendallBruteForce,
+                         ::testing::Range(0, 30));
+
+TEST(SpearmanTest, PerfectMonotone) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{10, 100, 1000, 10000, 100000};
+  EXPECT_NEAR(spearman_rho(x, y), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, KnownValue) {
+  // scipy.stats.spearmanr([1,2,3,4,5], [5,6,7,8,7]) = 0.8207826816681233
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{5, 6, 7, 8, 7};
+  EXPECT_NEAR(spearman_rho(x, y), 0.8207826816681233, 1e-12);
+}
+
+TEST(PearsonTest, LinearExact) {
+  const std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y;
+  for (double v : x) y.push_back(3.0 * v - 2.0);
+  EXPECT_NEAR(pearson_r(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, ZeroVarianceThrows) {
+  const std::vector<double> x{1.0, 1.0, 1.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_THROW(pearson_r(x, y), Error);
+}
+
+TEST(R2Test, PerfectAndBaseline) {
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r2_score(y, y), 1.0);
+  const std::vector<double> at_mean{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r2_score(y, at_mean), 0.0);
+}
+
+TEST(R2Test, WorseThanMeanIsNegative) {
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  const std::vector<double> bad{3.0, 1.0, 2.0};
+  EXPECT_LT(r2_score(y, bad), 0.0);
+}
+
+TEST(ErrorMetricsTest, MaeRmseKnown) {
+  const std::vector<double> y{0.0, 0.0, 0.0, 0.0};
+  const std::vector<double> p{1.0, -1.0, 3.0, -3.0};
+  EXPECT_DOUBLE_EQ(mae(y, p), 2.0);
+  EXPECT_NEAR(rmse(y, p), std::sqrt(5.0), 1e-12);
+}
+
+TEST(ErrorMetricsTest, RmseAtLeastMae) {
+  Rng rng(17);
+  std::vector<double> y, p;
+  for (int i = 0; i < 100; ++i) {
+    y.push_back(rng.normal());
+    p.push_back(rng.normal());
+  }
+  EXPECT_GE(rmse(y, p) + 1e-12, mae(y, p));
+}
+
+}  // namespace
+}  // namespace anb

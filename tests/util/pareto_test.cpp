@@ -1,0 +1,122 @@
+#include "anb/util/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "anb/util/error.hpp"
+#include "anb/util/rng.hpp"
+
+namespace anb {
+namespace {
+
+TEST(ParetoTest, EmptyInput) {
+  EXPECT_TRUE(pareto_front({}, {}).empty());
+}
+
+TEST(ParetoTest, SinglePoint) {
+  const std::vector<double> a{1.0}, b{2.0};
+  EXPECT_EQ(pareto_front(a, b), (std::vector<std::size_t>{0}));
+}
+
+TEST(ParetoTest, SimpleDomination) {
+  // Point 1 dominates point 0; point 2 is incomparable with 1.
+  const std::vector<double> acc{0.5, 0.7, 0.8};
+  const std::vector<double> thr{100, 200, 150};
+  const auto front = pareto_front(acc, thr);
+  EXPECT_EQ(front.size(), 2u);
+  EXPECT_TRUE(std::find(front.begin(), front.end(), 1u) != front.end());
+  EXPECT_TRUE(std::find(front.begin(), front.end(), 2u) != front.end());
+}
+
+TEST(ParetoTest, MinimizationDirection) {
+  // Accuracy up, latency down: point 0 (high acc, low lat) dominates 1.
+  const std::vector<double> acc{0.8, 0.7};
+  const std::vector<double> lat{2.0, 3.0};
+  const auto front =
+      pareto_front(acc, lat, /*maximize1=*/true, /*maximize2=*/false);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0}));
+}
+
+TEST(ParetoTest, DuplicatesAllKept) {
+  const std::vector<double> a{1.0, 1.0, 0.5};
+  const std::vector<double> b{2.0, 2.0, 1.0};
+  const auto front = pareto_front(a, b);
+  EXPECT_EQ(front.size(), 2u);
+}
+
+TEST(ParetoTest, SizeMismatchThrows) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(pareto_front(a, b), Error);
+}
+
+TEST(ParetoTest, FrontSortedByFirstObjective) {
+  Rng rng(8);
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(rng.uniform());
+    b.push_back(rng.uniform());
+  }
+  const auto front = pareto_front(a, b);
+  for (std::size_t i = 1; i < front.size(); ++i)
+    EXPECT_LE(a[front[i - 1]], a[front[i]]);
+}
+
+// Property: no front member is dominated by any point; every non-member is
+// dominated by some front member.
+class ParetoProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParetoProperty, FrontIsExactlyTheNonDominatedSet) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 77);
+  std::vector<double> a, b;
+  const int n = 3 + static_cast<int>(rng.uniform_index(80));
+  for (int i = 0; i < n; ++i) {
+    a.push_back(static_cast<double>(rng.uniform_index(10)));
+    b.push_back(static_cast<double>(rng.uniform_index(10)));
+  }
+  const auto front = pareto_front(a, b);
+  auto dominates = [&](std::size_t i, std::size_t j) {
+    return a[i] >= a[j] && b[i] >= b[j] && (a[i] > a[j] || b[i] > b[j]);
+  };
+  std::vector<bool> in_front(a.size(), false);
+  for (auto i : front) in_front[i] = true;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < a.size(); ++j)
+      if (j != i && dominates(j, i)) dominated = true;
+    EXPECT_EQ(in_front[i], !dominated) << "point " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomClouds, ParetoProperty, ::testing::Range(0, 25));
+
+TEST(HypervolumeTest, SingleRectangle) {
+  const std::vector<ParetoPoint> front{{3.0, 4.0, 0}};
+  EXPECT_DOUBLE_EQ(hypervolume_2d(front, 1.0, 1.0), 6.0);
+}
+
+TEST(HypervolumeTest, TwoPointStaircase) {
+  const std::vector<ParetoPoint> front{{2.0, 3.0, 0}, {3.0, 1.0, 1}};
+  // (3-0)*(1-0) + (2-0)*(3-1) = 3 + 4 = 7 with ref (0,0)
+  EXPECT_DOUBLE_EQ(hypervolume_2d(front, 0.0, 0.0), 7.0);
+}
+
+TEST(HypervolumeTest, DominatedPointAddsNothing) {
+  const std::vector<ParetoPoint> with{{2.0, 3.0, 0}, {1.0, 1.0, 1}};
+  const std::vector<ParetoPoint> without{{2.0, 3.0, 0}};
+  EXPECT_DOUBLE_EQ(hypervolume_2d(with, 0.0, 0.0),
+                   hypervolume_2d(without, 0.0, 0.0));
+}
+
+TEST(HypervolumeTest, BadReferenceThrows) {
+  const std::vector<ParetoPoint> front{{1.0, 1.0, 0}};
+  EXPECT_THROW(hypervolume_2d(front, 2.0, 0.0), Error);
+}
+
+TEST(HypervolumeTest, EmptyFrontIsZero) {
+  EXPECT_DOUBLE_EQ(hypervolume_2d({}, 0.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace anb

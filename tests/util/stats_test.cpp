@@ -1,0 +1,84 @@
+#include "anb/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "anb/util/error.hpp"
+#include "anb/util/rng.hpp"
+
+namespace anb {
+namespace {
+
+TEST(StatsTest, MeanBasic) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_THROW(mean(std::vector<double>{}), Error);
+}
+
+TEST(StatsTest, VarianceUnbiased) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(variance(xs), 4.571428571, 1e-9);
+  EXPECT_NEAR(population_variance(xs), 4.0, 1e-12);
+  EXPECT_THROW(variance(std::vector<double>{1.0}), Error);
+}
+
+TEST(StatsTest, StddevIsSqrtVariance) {
+  const std::vector<double> xs{1.0, 3.0, 5.0};
+  EXPECT_NEAR(stddev(xs) * stddev(xs), variance(xs), 1e-12);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_THROW(quantile(xs, 1.5), Error);
+}
+
+TEST(StatsTest, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.0);
+}
+
+TEST(StatsTest, ArgsortStable) {
+  const std::vector<double> xs{2.0, 1.0, 2.0, 0.0};
+  const auto idx = argsort(xs);
+  EXPECT_EQ(idx, (std::vector<std::size_t>{3, 1, 0, 2}));
+}
+
+TEST(StatsTest, RanksWithTiesAveraged) {
+  const std::vector<double> xs{10.0, 20.0, 20.0, 30.0};
+  const auto r = ranks_with_ties(xs);
+  EXPECT_DOUBLE_EQ(r[0], 0.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.5);
+  EXPECT_DOUBLE_EQ(r[2], 1.5);
+  EXPECT_DOUBLE_EQ(r[3], 3.0);
+}
+
+TEST(StatsTest, RunningMaxMonotone) {
+  const std::vector<double> xs{1.0, 3.0, 2.0, 5.0, 0.0};
+  const auto rm = running_max(xs);
+  EXPECT_EQ(rm, (std::vector<double>{1.0, 3.0, 3.0, 5.0, 5.0}));
+}
+
+// Property sweep: quantile(0.5) agrees with median on random inputs.
+class QuantileProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileProperty, MedianAgreesWithQuantileHalf) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs;
+  const int n = 1 + static_cast<int>(rng.uniform_index(50));
+  for (int i = 0; i < n; ++i) xs.push_back(rng.normal());
+  EXPECT_NEAR(median(xs), quantile(xs, 0.5), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInputs, QuantileProperty,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace anb

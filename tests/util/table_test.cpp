@@ -1,0 +1,49 @@
+#include "anb/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t({"Model", "Tau"});
+  t.add_row({"XGB", "0.922"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Model"), std::string::npos);
+  EXPECT_NE(s.find("XGB"), std::string::npos);
+  EXPECT_NE(s.find("0.922"), std::string::npos);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TextTableTest, ColumnsAligned) {
+  TextTable t({"a", "bbbb"});
+  t.add_row({"xxxxxx", "y"});
+  const std::string s = t.to_string();
+  // All lines must have the same width.
+  std::size_t width = std::string::npos;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const auto end = s.find('\n', start);
+    const std::size_t len = end - start;
+    if (width == std::string::npos) width = len;
+    EXPECT_EQ(len, width);
+    start = end + 1;
+  }
+}
+
+TEST(TextTableTest, RejectsBadShapes) {
+  EXPECT_THROW(TextTable({}), Error);
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), Error);
+}
+
+TEST(TextTableTest, NumFormatting) {
+  EXPECT_EQ(TextTable::num(0.98367, 3), "0.984");
+  EXPECT_EQ(TextTable::num(1.0, 1), "1.0");
+  EXPECT_EQ(TextTable::sci(0.00306, 2), "3.06e-03");
+}
+
+}  // namespace
+}  // namespace anb
