@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_ablation_datasize.dir/e10_ablation_datasize.cpp.o"
+  "CMakeFiles/e10_ablation_datasize.dir/e10_ablation_datasize.cpp.o.d"
+  "e10_ablation_datasize"
+  "e10_ablation_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_ablation_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

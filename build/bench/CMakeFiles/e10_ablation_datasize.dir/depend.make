@@ -1,0 +1,2 @@
+# Empty dependencies file for e10_ablation_datasize.
+# This may be replaced when dependencies are built.

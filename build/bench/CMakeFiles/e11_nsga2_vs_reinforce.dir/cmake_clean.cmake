@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e11_nsga2_vs_reinforce.dir/e11_nsga2_vs_reinforce.cpp.o"
+  "CMakeFiles/e11_nsga2_vs_reinforce.dir/e11_nsga2_vs_reinforce.cpp.o.d"
+  "e11_nsga2_vs_reinforce"
+  "e11_nsga2_vs_reinforce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_nsga2_vs_reinforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e11_nsga2_vs_reinforce.
+# This may be replaced when dependencies are built.

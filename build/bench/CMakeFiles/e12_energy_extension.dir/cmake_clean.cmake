@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e12_energy_extension.dir/e12_energy_extension.cpp.o"
+  "CMakeFiles/e12_energy_extension.dir/e12_energy_extension.cpp.o.d"
+  "e12_energy_extension"
+  "e12_energy_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_energy_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e13_generalizability.dir/e13_generalizability.cpp.o"
+  "CMakeFiles/e13_generalizability.dir/e13_generalizability.cpp.o.d"
+  "e13_generalizability"
+  "e13_generalizability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e13_generalizability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

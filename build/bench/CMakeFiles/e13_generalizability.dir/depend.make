@@ -1,0 +1,2 @@
+# Empty dependencies file for e13_generalizability.
+# This may be replaced when dependencies are built.

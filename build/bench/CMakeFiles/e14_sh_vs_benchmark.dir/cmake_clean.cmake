@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e14_sh_vs_benchmark.dir/e14_sh_vs_benchmark.cpp.o"
+  "CMakeFiles/e14_sh_vs_benchmark.dir/e14_sh_vs_benchmark.cpp.o.d"
+  "e14_sh_vs_benchmark"
+  "e14_sh_vs_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e14_sh_vs_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e14_sh_vs_benchmark.
+# This may be replaced when dependencies are built.

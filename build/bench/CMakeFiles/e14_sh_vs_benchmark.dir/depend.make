@@ -1,0 +1,2 @@
+# Empty dependencies file for e14_sh_vs_benchmark.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_proxy_search.dir/e1_proxy_search.cpp.o"
+  "CMakeFiles/e1_proxy_search.dir/e1_proxy_search.cpp.o.d"
+  "e1_proxy_search"
+  "e1_proxy_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_proxy_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_ablation_tspec.dir/e9_ablation_tspec.cpp.o"
+  "CMakeFiles/e9_ablation_tspec.dir/e9_ablation_tspec.cpp.o.d"
+  "e9_ablation_tspec"
+  "e9_ablation_tspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_ablation_tspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

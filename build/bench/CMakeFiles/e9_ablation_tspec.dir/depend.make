@@ -1,0 +1,2 @@
+# Empty dependencies file for e9_ablation_tspec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_proxy_validation.dir/fig3_proxy_validation.cpp.o"
+  "CMakeFiles/fig3_proxy_validation.dir/fig3_proxy_validation.cpp.o.d"
+  "fig3_proxy_validation"
+  "fig3_proxy_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_proxy_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

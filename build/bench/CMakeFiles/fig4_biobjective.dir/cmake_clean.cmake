@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_biobjective.dir/fig4_biobjective.cpp.o"
+  "CMakeFiles/fig4_biobjective.dir/fig4_biobjective.cpp.o.d"
+  "fig4_biobjective"
+  "fig4_biobjective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_biobjective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_trajectories.dir/fig5_trajectories.cpp.o"
+  "CMakeFiles/fig5_trajectories.dir/fig5_trajectories.cpp.o.d"
+  "fig5_trajectories"
+  "fig5_trajectories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_trajectories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

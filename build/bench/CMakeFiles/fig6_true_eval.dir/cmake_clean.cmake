@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_true_eval.dir/fig6_true_eval.cpp.o"
+  "CMakeFiles/fig6_true_eval.dir/fig6_true_eval.cpp.o.d"
+  "fig6_true_eval"
+  "fig6_true_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_true_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

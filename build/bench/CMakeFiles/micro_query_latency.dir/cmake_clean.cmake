@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_query_latency.dir/micro_query_latency.cpp.o"
+  "CMakeFiles/micro_query_latency.dir/micro_query_latency.cpp.o.d"
+  "micro_query_latency"
+  "micro_query_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_query_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

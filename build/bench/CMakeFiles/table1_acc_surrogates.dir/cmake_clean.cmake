@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_acc_surrogates.dir/table1_acc_surrogates.cpp.o"
+  "CMakeFiles/table1_acc_surrogates.dir/table1_acc_surrogates.cpp.o.d"
+  "table1_acc_surrogates"
+  "table1_acc_surrogates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_acc_surrogates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_perf_surrogates.dir/table2_perf_surrogates.cpp.o"
+  "CMakeFiles/table2_perf_surrogates.dir/table2_perf_surrogates.cpp.o.d"
+  "table2_perf_surrogates"
+  "table2_perf_surrogates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_perf_surrogates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

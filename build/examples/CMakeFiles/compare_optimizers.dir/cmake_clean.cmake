@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_optimizers.dir/compare_optimizers.cpp.o"
+  "CMakeFiles/compare_optimizers.dir/compare_optimizers.cpp.o.d"
+  "compare_optimizers"
+  "compare_optimizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_optimizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

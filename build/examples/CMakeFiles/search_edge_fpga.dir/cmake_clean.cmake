@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_edge_fpga.dir/search_edge_fpga.cpp.o"
+  "CMakeFiles/search_edge_fpga.dir/search_edge_fpga.cpp.o.d"
+  "search_edge_fpga"
+  "search_edge_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_edge_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

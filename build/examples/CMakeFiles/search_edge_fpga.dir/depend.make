@@ -1,0 +1,2 @@
+# Empty dependencies file for search_edge_fpga.
+# This may be replaced when dependencies are built.

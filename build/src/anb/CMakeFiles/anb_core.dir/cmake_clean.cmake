@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anb_core.dir/benchmark.cpp.o"
+  "CMakeFiles/anb_core.dir/benchmark.cpp.o.d"
+  "CMakeFiles/anb_core.dir/collection.cpp.o"
+  "CMakeFiles/anb_core.dir/collection.cpp.o.d"
+  "CMakeFiles/anb_core.dir/harness.cpp.o"
+  "CMakeFiles/anb_core.dir/harness.cpp.o.d"
+  "CMakeFiles/anb_core.dir/pipeline.cpp.o"
+  "CMakeFiles/anb_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/anb_core.dir/proxy_search.cpp.o"
+  "CMakeFiles/anb_core.dir/proxy_search.cpp.o.d"
+  "CMakeFiles/anb_core.dir/tuning.cpp.o"
+  "CMakeFiles/anb_core.dir/tuning.cpp.o.d"
+  "libanb_core.a"
+  "libanb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

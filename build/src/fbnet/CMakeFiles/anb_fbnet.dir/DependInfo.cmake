@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fbnet/fbnet_sim.cpp" "src/fbnet/CMakeFiles/anb_fbnet.dir/fbnet_sim.cpp.o" "gcc" "src/fbnet/CMakeFiles/anb_fbnet.dir/fbnet_sim.cpp.o.d"
+  "/root/repo/src/fbnet/fbnet_space.cpp" "src/fbnet/CMakeFiles/anb_fbnet.dir/fbnet_space.cpp.o" "gcc" "src/fbnet/CMakeFiles/anb_fbnet.dir/fbnet_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trainsim/CMakeFiles/anb_trainsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/anb_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/searchspace/CMakeFiles/anb_searchspace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anb_fbnet.dir/fbnet_sim.cpp.o"
+  "CMakeFiles/anb_fbnet.dir/fbnet_sim.cpp.o.d"
+  "CMakeFiles/anb_fbnet.dir/fbnet_space.cpp.o"
+  "CMakeFiles/anb_fbnet.dir/fbnet_space.cpp.o.d"
+  "libanb_fbnet.a"
+  "libanb_fbnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anb_fbnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpo/configspace.cpp" "src/hpo/CMakeFiles/anb_hpo.dir/configspace.cpp.o" "gcc" "src/hpo/CMakeFiles/anb_hpo.dir/configspace.cpp.o.d"
+  "/root/repo/src/hpo/optimizers.cpp" "src/hpo/CMakeFiles/anb_hpo.dir/optimizers.cpp.o" "gcc" "src/hpo/CMakeFiles/anb_hpo.dir/optimizers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/surrogate/CMakeFiles/anb_surrogate.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anb_hpo.dir/configspace.cpp.o"
+  "CMakeFiles/anb_hpo.dir/configspace.cpp.o.d"
+  "CMakeFiles/anb_hpo.dir/optimizers.cpp.o"
+  "CMakeFiles/anb_hpo.dir/optimizers.cpp.o.d"
+  "libanb_hpo.a"
+  "libanb_hpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anb_hpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

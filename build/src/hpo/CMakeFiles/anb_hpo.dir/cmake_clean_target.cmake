@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libanb_hpo.a"
+)

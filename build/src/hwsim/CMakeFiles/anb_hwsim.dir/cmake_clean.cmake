@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anb_hwsim.dir/device.cpp.o"
+  "CMakeFiles/anb_hwsim.dir/device.cpp.o.d"
+  "libanb_hwsim.a"
+  "libanb_hwsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anb_hwsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anb_ir.dir/builder.cpp.o"
+  "CMakeFiles/anb_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/anb_ir.dir/model_ir.cpp.o"
+  "CMakeFiles/anb_ir.dir/model_ir.cpp.o.d"
+  "libanb_ir.a"
+  "libanb_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anb_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nas/evolution.cpp" "src/nas/CMakeFiles/anb_nas.dir/evolution.cpp.o" "gcc" "src/nas/CMakeFiles/anb_nas.dir/evolution.cpp.o.d"
+  "/root/repo/src/nas/nsga2.cpp" "src/nas/CMakeFiles/anb_nas.dir/nsga2.cpp.o" "gcc" "src/nas/CMakeFiles/anb_nas.dir/nsga2.cpp.o.d"
+  "/root/repo/src/nas/optimizer.cpp" "src/nas/CMakeFiles/anb_nas.dir/optimizer.cpp.o" "gcc" "src/nas/CMakeFiles/anb_nas.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nas/random_search.cpp" "src/nas/CMakeFiles/anb_nas.dir/random_search.cpp.o" "gcc" "src/nas/CMakeFiles/anb_nas.dir/random_search.cpp.o.d"
+  "/root/repo/src/nas/reinforce.cpp" "src/nas/CMakeFiles/anb_nas.dir/reinforce.cpp.o" "gcc" "src/nas/CMakeFiles/anb_nas.dir/reinforce.cpp.o.d"
+  "/root/repo/src/nas/successive_halving.cpp" "src/nas/CMakeFiles/anb_nas.dir/successive_halving.cpp.o" "gcc" "src/nas/CMakeFiles/anb_nas.dir/successive_halving.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/searchspace/CMakeFiles/anb_searchspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anb_nas.dir/evolution.cpp.o"
+  "CMakeFiles/anb_nas.dir/evolution.cpp.o.d"
+  "CMakeFiles/anb_nas.dir/nsga2.cpp.o"
+  "CMakeFiles/anb_nas.dir/nsga2.cpp.o.d"
+  "CMakeFiles/anb_nas.dir/optimizer.cpp.o"
+  "CMakeFiles/anb_nas.dir/optimizer.cpp.o.d"
+  "CMakeFiles/anb_nas.dir/random_search.cpp.o"
+  "CMakeFiles/anb_nas.dir/random_search.cpp.o.d"
+  "CMakeFiles/anb_nas.dir/reinforce.cpp.o"
+  "CMakeFiles/anb_nas.dir/reinforce.cpp.o.d"
+  "CMakeFiles/anb_nas.dir/successive_halving.cpp.o"
+  "CMakeFiles/anb_nas.dir/successive_halving.cpp.o.d"
+  "libanb_nas.a"
+  "libanb_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anb_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for anb_nas.
+# This may be replaced when dependencies are built.

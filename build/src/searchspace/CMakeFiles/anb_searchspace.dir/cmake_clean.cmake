@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anb_searchspace.dir/architecture.cpp.o"
+  "CMakeFiles/anb_searchspace.dir/architecture.cpp.o.d"
+  "CMakeFiles/anb_searchspace.dir/space.cpp.o"
+  "CMakeFiles/anb_searchspace.dir/space.cpp.o.d"
+  "CMakeFiles/anb_searchspace.dir/zoo.cpp.o"
+  "CMakeFiles/anb_searchspace.dir/zoo.cpp.o.d"
+  "libanb_searchspace.a"
+  "libanb_searchspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anb_searchspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

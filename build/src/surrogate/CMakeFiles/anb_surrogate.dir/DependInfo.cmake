@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/surrogate/dataset.cpp" "src/surrogate/CMakeFiles/anb_surrogate.dir/dataset.cpp.o" "gcc" "src/surrogate/CMakeFiles/anb_surrogate.dir/dataset.cpp.o.d"
+  "/root/repo/src/surrogate/ensemble.cpp" "src/surrogate/CMakeFiles/anb_surrogate.dir/ensemble.cpp.o" "gcc" "src/surrogate/CMakeFiles/anb_surrogate.dir/ensemble.cpp.o.d"
+  "/root/repo/src/surrogate/gbdt.cpp" "src/surrogate/CMakeFiles/anb_surrogate.dir/gbdt.cpp.o" "gcc" "src/surrogate/CMakeFiles/anb_surrogate.dir/gbdt.cpp.o.d"
+  "/root/repo/src/surrogate/hist_gbdt.cpp" "src/surrogate/CMakeFiles/anb_surrogate.dir/hist_gbdt.cpp.o" "gcc" "src/surrogate/CMakeFiles/anb_surrogate.dir/hist_gbdt.cpp.o.d"
+  "/root/repo/src/surrogate/random_forest.cpp" "src/surrogate/CMakeFiles/anb_surrogate.dir/random_forest.cpp.o" "gcc" "src/surrogate/CMakeFiles/anb_surrogate.dir/random_forest.cpp.o.d"
+  "/root/repo/src/surrogate/smo.cpp" "src/surrogate/CMakeFiles/anb_surrogate.dir/smo.cpp.o" "gcc" "src/surrogate/CMakeFiles/anb_surrogate.dir/smo.cpp.o.d"
+  "/root/repo/src/surrogate/surrogate.cpp" "src/surrogate/CMakeFiles/anb_surrogate.dir/surrogate.cpp.o" "gcc" "src/surrogate/CMakeFiles/anb_surrogate.dir/surrogate.cpp.o.d"
+  "/root/repo/src/surrogate/svr.cpp" "src/surrogate/CMakeFiles/anb_surrogate.dir/svr.cpp.o" "gcc" "src/surrogate/CMakeFiles/anb_surrogate.dir/svr.cpp.o.d"
+  "/root/repo/src/surrogate/tree.cpp" "src/surrogate/CMakeFiles/anb_surrogate.dir/tree.cpp.o" "gcc" "src/surrogate/CMakeFiles/anb_surrogate.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/anb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anb_surrogate.dir/dataset.cpp.o"
+  "CMakeFiles/anb_surrogate.dir/dataset.cpp.o.d"
+  "CMakeFiles/anb_surrogate.dir/ensemble.cpp.o"
+  "CMakeFiles/anb_surrogate.dir/ensemble.cpp.o.d"
+  "CMakeFiles/anb_surrogate.dir/gbdt.cpp.o"
+  "CMakeFiles/anb_surrogate.dir/gbdt.cpp.o.d"
+  "CMakeFiles/anb_surrogate.dir/hist_gbdt.cpp.o"
+  "CMakeFiles/anb_surrogate.dir/hist_gbdt.cpp.o.d"
+  "CMakeFiles/anb_surrogate.dir/random_forest.cpp.o"
+  "CMakeFiles/anb_surrogate.dir/random_forest.cpp.o.d"
+  "CMakeFiles/anb_surrogate.dir/smo.cpp.o"
+  "CMakeFiles/anb_surrogate.dir/smo.cpp.o.d"
+  "CMakeFiles/anb_surrogate.dir/surrogate.cpp.o"
+  "CMakeFiles/anb_surrogate.dir/surrogate.cpp.o.d"
+  "CMakeFiles/anb_surrogate.dir/svr.cpp.o"
+  "CMakeFiles/anb_surrogate.dir/svr.cpp.o.d"
+  "CMakeFiles/anb_surrogate.dir/tree.cpp.o"
+  "CMakeFiles/anb_surrogate.dir/tree.cpp.o.d"
+  "libanb_surrogate.a"
+  "libanb_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anb_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

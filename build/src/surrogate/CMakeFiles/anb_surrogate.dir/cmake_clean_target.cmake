@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libanb_surrogate.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anb_trainsim.dir/curve.cpp.o"
+  "CMakeFiles/anb_trainsim.dir/curve.cpp.o.d"
+  "CMakeFiles/anb_trainsim.dir/scheme.cpp.o"
+  "CMakeFiles/anb_trainsim.dir/scheme.cpp.o.d"
+  "CMakeFiles/anb_trainsim.dir/simulator.cpp.o"
+  "CMakeFiles/anb_trainsim.dir/simulator.cpp.o.d"
+  "libanb_trainsim.a"
+  "libanb_trainsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anb_trainsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

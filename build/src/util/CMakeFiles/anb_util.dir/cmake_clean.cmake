@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anb_util.dir/csv.cpp.o"
+  "CMakeFiles/anb_util.dir/csv.cpp.o.d"
+  "CMakeFiles/anb_util.dir/json.cpp.o"
+  "CMakeFiles/anb_util.dir/json.cpp.o.d"
+  "CMakeFiles/anb_util.dir/metrics.cpp.o"
+  "CMakeFiles/anb_util.dir/metrics.cpp.o.d"
+  "CMakeFiles/anb_util.dir/parallel.cpp.o"
+  "CMakeFiles/anb_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/anb_util.dir/pareto.cpp.o"
+  "CMakeFiles/anb_util.dir/pareto.cpp.o.d"
+  "CMakeFiles/anb_util.dir/rng.cpp.o"
+  "CMakeFiles/anb_util.dir/rng.cpp.o.d"
+  "CMakeFiles/anb_util.dir/stats.cpp.o"
+  "CMakeFiles/anb_util.dir/stats.cpp.o.d"
+  "CMakeFiles/anb_util.dir/table.cpp.o"
+  "CMakeFiles/anb_util.dir/table.cpp.o.d"
+  "libanb_util.a"
+  "libanb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anb_test.dir/anb/benchmark_test.cpp.o"
+  "CMakeFiles/anb_test.dir/anb/benchmark_test.cpp.o.d"
+  "CMakeFiles/anb_test.dir/anb/collection_test.cpp.o"
+  "CMakeFiles/anb_test.dir/anb/collection_test.cpp.o.d"
+  "CMakeFiles/anb_test.dir/anb/harness_test.cpp.o"
+  "CMakeFiles/anb_test.dir/anb/harness_test.cpp.o.d"
+  "CMakeFiles/anb_test.dir/anb/pipeline_test.cpp.o"
+  "CMakeFiles/anb_test.dir/anb/pipeline_test.cpp.o.d"
+  "CMakeFiles/anb_test.dir/anb/proxy_search_test.cpp.o"
+  "CMakeFiles/anb_test.dir/anb/proxy_search_test.cpp.o.d"
+  "CMakeFiles/anb_test.dir/anb/tuning_test.cpp.o"
+  "CMakeFiles/anb_test.dir/anb/tuning_test.cpp.o.d"
+  "anb_test"
+  "anb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbnet_test.dir/fbnet/fbnet_sim_test.cpp.o"
+  "CMakeFiles/fbnet_test.dir/fbnet/fbnet_sim_test.cpp.o.d"
+  "CMakeFiles/fbnet_test.dir/fbnet/fbnet_space_test.cpp.o"
+  "CMakeFiles/fbnet_test.dir/fbnet/fbnet_space_test.cpp.o.d"
+  "fbnet_test"
+  "fbnet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpo_test.dir/hpo/configspace_test.cpp.o"
+  "CMakeFiles/hpo_test.dir/hpo/configspace_test.cpp.o.d"
+  "CMakeFiles/hpo_test.dir/hpo/optimizers_test.cpp.o"
+  "CMakeFiles/hpo_test.dir/hpo/optimizers_test.cpp.o.d"
+  "hpo_test"
+  "hpo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

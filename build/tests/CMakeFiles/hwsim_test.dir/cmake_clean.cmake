@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwsim_test.dir/hwsim/device_test.cpp.o"
+  "CMakeFiles/hwsim_test.dir/hwsim/device_test.cpp.o.d"
+  "CMakeFiles/hwsim_test.dir/hwsim/energy_test.cpp.o"
+  "CMakeFiles/hwsim_test.dir/hwsim/energy_test.cpp.o.d"
+  "CMakeFiles/hwsim_test.dir/hwsim/spec_invariants_test.cpp.o"
+  "CMakeFiles/hwsim_test.dir/hwsim/spec_invariants_test.cpp.o.d"
+  "hwsim_test"
+  "hwsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

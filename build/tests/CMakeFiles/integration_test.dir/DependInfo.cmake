@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/end_to_end_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/anb/CMakeFiles/anb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/anb_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpo/CMakeFiles/anb_hpo.dir/DependInfo.cmake"
+  "/root/repo/build/src/surrogate/CMakeFiles/anb_surrogate.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwsim/CMakeFiles/anb_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trainsim/CMakeFiles/anb_trainsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fbnet/CMakeFiles/anb_fbnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/anb_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/searchspace/CMakeFiles/anb_searchspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_test.dir/nas/nsga2_test.cpp.o"
+  "CMakeFiles/nas_test.dir/nas/nsga2_test.cpp.o.d"
+  "CMakeFiles/nas_test.dir/nas/optimizers_test.cpp.o"
+  "CMakeFiles/nas_test.dir/nas/optimizers_test.cpp.o.d"
+  "CMakeFiles/nas_test.dir/nas/successive_halving_test.cpp.o"
+  "CMakeFiles/nas_test.dir/nas/successive_halving_test.cpp.o.d"
+  "nas_test"
+  "nas_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

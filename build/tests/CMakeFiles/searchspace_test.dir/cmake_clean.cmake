@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/searchspace_test.dir/searchspace/architecture_test.cpp.o"
+  "CMakeFiles/searchspace_test.dir/searchspace/architecture_test.cpp.o.d"
+  "CMakeFiles/searchspace_test.dir/searchspace/space_test.cpp.o"
+  "CMakeFiles/searchspace_test.dir/searchspace/space_test.cpp.o.d"
+  "CMakeFiles/searchspace_test.dir/searchspace/zoo_test.cpp.o"
+  "CMakeFiles/searchspace_test.dir/searchspace/zoo_test.cpp.o.d"
+  "searchspace_test"
+  "searchspace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/searchspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/surrogate/dataset_test.cpp" "tests/CMakeFiles/surrogate_test.dir/surrogate/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/surrogate_test.dir/surrogate/dataset_test.cpp.o.d"
+  "/root/repo/tests/surrogate/ensemble_test.cpp" "tests/CMakeFiles/surrogate_test.dir/surrogate/ensemble_test.cpp.o" "gcc" "tests/CMakeFiles/surrogate_test.dir/surrogate/ensemble_test.cpp.o.d"
+  "/root/repo/tests/surrogate/gbdt_test.cpp" "tests/CMakeFiles/surrogate_test.dir/surrogate/gbdt_test.cpp.o" "gcc" "tests/CMakeFiles/surrogate_test.dir/surrogate/gbdt_test.cpp.o.d"
+  "/root/repo/tests/surrogate/hist_gbdt_test.cpp" "tests/CMakeFiles/surrogate_test.dir/surrogate/hist_gbdt_test.cpp.o" "gcc" "tests/CMakeFiles/surrogate_test.dir/surrogate/hist_gbdt_test.cpp.o.d"
+  "/root/repo/tests/surrogate/random_forest_test.cpp" "tests/CMakeFiles/surrogate_test.dir/surrogate/random_forest_test.cpp.o" "gcc" "tests/CMakeFiles/surrogate_test.dir/surrogate/random_forest_test.cpp.o.d"
+  "/root/repo/tests/surrogate/serialization_test.cpp" "tests/CMakeFiles/surrogate_test.dir/surrogate/serialization_test.cpp.o" "gcc" "tests/CMakeFiles/surrogate_test.dir/surrogate/serialization_test.cpp.o.d"
+  "/root/repo/tests/surrogate/smo_test.cpp" "tests/CMakeFiles/surrogate_test.dir/surrogate/smo_test.cpp.o" "gcc" "tests/CMakeFiles/surrogate_test.dir/surrogate/smo_test.cpp.o.d"
+  "/root/repo/tests/surrogate/svr_test.cpp" "tests/CMakeFiles/surrogate_test.dir/surrogate/svr_test.cpp.o" "gcc" "tests/CMakeFiles/surrogate_test.dir/surrogate/svr_test.cpp.o.d"
+  "/root/repo/tests/surrogate/tree_test.cpp" "tests/CMakeFiles/surrogate_test.dir/surrogate/tree_test.cpp.o" "gcc" "tests/CMakeFiles/surrogate_test.dir/surrogate/tree_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/anb/CMakeFiles/anb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/anb_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpo/CMakeFiles/anb_hpo.dir/DependInfo.cmake"
+  "/root/repo/build/src/surrogate/CMakeFiles/anb_surrogate.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwsim/CMakeFiles/anb_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trainsim/CMakeFiles/anb_trainsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fbnet/CMakeFiles/anb_fbnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/anb_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/searchspace/CMakeFiles/anb_searchspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

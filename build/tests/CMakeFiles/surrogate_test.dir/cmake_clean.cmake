@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surrogate_test.dir/surrogate/dataset_test.cpp.o"
+  "CMakeFiles/surrogate_test.dir/surrogate/dataset_test.cpp.o.d"
+  "CMakeFiles/surrogate_test.dir/surrogate/ensemble_test.cpp.o"
+  "CMakeFiles/surrogate_test.dir/surrogate/ensemble_test.cpp.o.d"
+  "CMakeFiles/surrogate_test.dir/surrogate/gbdt_test.cpp.o"
+  "CMakeFiles/surrogate_test.dir/surrogate/gbdt_test.cpp.o.d"
+  "CMakeFiles/surrogate_test.dir/surrogate/hist_gbdt_test.cpp.o"
+  "CMakeFiles/surrogate_test.dir/surrogate/hist_gbdt_test.cpp.o.d"
+  "CMakeFiles/surrogate_test.dir/surrogate/random_forest_test.cpp.o"
+  "CMakeFiles/surrogate_test.dir/surrogate/random_forest_test.cpp.o.d"
+  "CMakeFiles/surrogate_test.dir/surrogate/serialization_test.cpp.o"
+  "CMakeFiles/surrogate_test.dir/surrogate/serialization_test.cpp.o.d"
+  "CMakeFiles/surrogate_test.dir/surrogate/smo_test.cpp.o"
+  "CMakeFiles/surrogate_test.dir/surrogate/smo_test.cpp.o.d"
+  "CMakeFiles/surrogate_test.dir/surrogate/svr_test.cpp.o"
+  "CMakeFiles/surrogate_test.dir/surrogate/svr_test.cpp.o.d"
+  "CMakeFiles/surrogate_test.dir/surrogate/tree_test.cpp.o"
+  "CMakeFiles/surrogate_test.dir/surrogate/tree_test.cpp.o.d"
+  "surrogate_test"
+  "surrogate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surrogate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

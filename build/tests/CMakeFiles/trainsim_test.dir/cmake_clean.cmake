@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trainsim_test.dir/trainsim/scheme_test.cpp.o"
+  "CMakeFiles/trainsim_test.dir/trainsim/scheme_test.cpp.o.d"
+  "CMakeFiles/trainsim_test.dir/trainsim/simulator_test.cpp.o"
+  "CMakeFiles/trainsim_test.dir/trainsim/simulator_test.cpp.o.d"
+  "trainsim_test"
+  "trainsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trainsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

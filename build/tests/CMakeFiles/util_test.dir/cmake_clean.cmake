@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util/csv_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/csv_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/json_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/json_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/metrics_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/metrics_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/parallel_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/parallel_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/pareto_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/pareto_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/rng_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/stats_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/stats_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/table_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/table_test.cpp.o.d"
+  "util_test"
+  "util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_test "/root/repo/build/tests/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;anb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(searchspace_test "/root/repo/build/tests/searchspace_test")
+set_tests_properties(searchspace_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;anb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ir_test "/root/repo/build/tests/ir_test")
+set_tests_properties(ir_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;25;anb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fbnet_test "/root/repo/build/tests/fbnet_test")
+set_tests_properties(fbnet_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;28;anb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(trainsim_test "/root/repo/build/tests/trainsim_test")
+set_tests_properties(trainsim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;32;anb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(hwsim_test "/root/repo/build/tests/hwsim_test")
+set_tests_properties(hwsim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;36;anb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(surrogate_test "/root/repo/build/tests/surrogate_test")
+set_tests_properties(surrogate_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;41;anb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(hpo_test "/root/repo/build/tests/hpo_test")
+set_tests_properties(hpo_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;52;anb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nas_test "/root/repo/build/tests/nas_test")
+set_tests_properties(nas_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;56;anb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(anb_test "/root/repo/build/tests/anb_test")
+set_tests_properties(anb_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;61;anb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;69;anb_add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anbench.dir/anbench.cpp.o"
+  "CMakeFiles/anbench.dir/anbench.cpp.o.d"
+  "anbench"
+  "anbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
