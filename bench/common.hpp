@@ -6,11 +6,20 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
 #include "anb/anb/pipeline.hpp"
 
 namespace anb::bench {
+
+/// Experiment artifacts are committed only under results/ (enforced by
+/// .gitignore); route every CSV through here so nothing lands in the
+/// repo root.
+inline std::string results_path(const std::string& name) {
+  std::filesystem::create_directories("results");
+  return (std::filesystem::path("results") / name).string();
+}
 
 inline constexpr std::uint64_t kWorldSeed = 42;
 

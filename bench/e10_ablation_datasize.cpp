@@ -77,7 +77,7 @@ int main() {
   std::printf("\nExpected shape: tau climbs with data and flattens by a few "
               "thousand rows —\nthe paper's ~5.2k collection sits past the "
               "knee (NB301-style 'unbiased surrogate' regime).\n");
-  csv.save("e10_ablation_datasize.csv");
-  std::printf("Series written to e10_ablation_datasize.csv\n");
+  csv.save(bench::results_path("e10_ablation_datasize.csv"));
+  std::printf("Series written to results/e10_ablation_datasize.csv\n");
   return 0;
 }

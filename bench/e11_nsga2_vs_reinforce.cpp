@@ -96,7 +96,7 @@ int main() {
   std::printf("\nExpected shape: comparable hypervolume; NSGA-II yields a "
               "denser front without\nneeding a target sweep, supporting the "
               "benchmark's use for multi-objective optimizers.\n");
-  csv.save("e11_nsga2_vs_reinforce.csv");
-  std::printf("Rows written to e11_nsga2_vs_reinforce.csv\n");
+  csv.save(bench::results_path("e11_nsga2_vs_reinforce.csv"));
+  std::printf("Rows written to results/e11_nsga2_vs_reinforce.csv\n");
   return 0;
 }

@@ -74,7 +74,7 @@ int main() {
   }
   front_table.print(std::cout);
 
-  csv.save("e12_energy_front.csv");
-  std::printf("\nFront written to e12_energy_front.csv\n");
+  csv.save(bench::results_path("e12_energy_front.csv"));
+  std::printf("\nFront written to results/e12_energy_front.csv\n");
   return 0;
 }

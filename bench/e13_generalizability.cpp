@@ -143,7 +143,7 @@ int main() {
               "MnasNet)\n",
               rs_curve.back(), re_curve.back());
 
-  csv.save("e13_generalizability.csv");
-  std::printf("\nSurrogate rows written to e13_generalizability.csv\n");
+  csv.save(bench::results_path("e13_generalizability.csv"));
+  std::printf("\nSurrogate rows written to results/e13_generalizability.csv\n");
   return 0;
 }

@@ -69,7 +69,7 @@ int main() {
                  std::to_string(trial.cost_hours),
                  trial.feasible ? "1" : "0"});
   }
-  csv.save("e1_proxy_search.csv");
-  std::printf("\nFull trial log written to e1_proxy_search.csv\n");
+  csv.save(bench::results_path("e1_proxy_search.csv"));
+  std::printf("\nFull trial log written to results/e1_proxy_search.csv\n");
   return 0;
 }

@@ -68,8 +68,8 @@ int main() {
               "exhaustive,\nSMAC reaches comparable tau with far fewer "
               "evaluations.\n");
 
-  csv1.save("e9_ablation_tspec.csv");
-  csv2.save("e9_ablation_optimizers.csv");
-  std::printf("\nSeries written to e9_ablation_{tspec,optimizers}.csv\n");
+  csv1.save(bench::results_path("e9_ablation_tspec.csv"));
+  csv2.save(bench::results_path("e9_ablation_optimizers.csv"));
+  std::printf("\nSeries written to results/e9_ablation_{tspec,optimizers}.csv\n");
   return 0;
 }

@@ -81,7 +81,7 @@ int main() {
   std::printf(" x: A_r in [%.3f, %.3f], y: A_p* in [%.3f, %.3f]\n", x_lo,
               x_hi, y_lo, y_hi);
 
-  csv.save("fig3_proxy_validation.csv");
-  std::printf("\nScatter data written to fig3_proxy_validation.csv\n");
+  csv.save(bench::results_path("fig3_proxy_validation.csv"));
+  std::printf("\nScatter data written to results/fig3_proxy_validation.csv\n");
   return 0;
 }

@@ -94,7 +94,7 @@ int main() {
     }
   }
 
-  csv.save("fig4_biobjective.csv");
-  std::printf("\nFronts written to fig4_biobjective.csv\n");
+  csv.save(bench::results_path("fig4_biobjective.csv"));
+  std::printf("\nFronts written to results/fig4_biobjective.csv\n");
   return 0;
 }

@@ -92,7 +92,7 @@ int main() {
                    std::to_string(cmp.sim_mean_incumbent[i])});
     }
   }
-  csv.save("fig5_trajectories.csv");
-  std::printf("\nCurves written to fig5_trajectories.csv\n");
+  csv.save(bench::results_path("fig5_trajectories.csv"));
+  std::printf("\nCurves written to results/fig5_trajectories.csv\n");
   return 0;
 }

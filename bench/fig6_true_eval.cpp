@@ -113,7 +113,7 @@ int main() {
 
   std::printf("\n(paper example: effnet-vck190-a = +1.8%% top-1, +55%% "
               "throughput vs effnet-b0 on VCK190)\n");
-  csv.save("fig6_true_eval.csv");
-  std::printf("Rows written to fig6_true_eval.csv\n");
+  csv.save(bench::results_path("fig6_true_eval.csv"));
+  std::printf("Rows written to results/fig6_true_eval.csv\n");
   return 0;
 }

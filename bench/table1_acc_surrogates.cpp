@@ -68,7 +68,7 @@ int main() {
   table.print(std::cout);
   std::printf("\nExpected shape: boosting (XGB/LGB) > SVR > RF in all three "
               "metrics.\n");
-  csv.save("table1_acc_surrogates.csv");
-  std::printf("Rows written to table1_acc_surrogates.csv\n");
+  csv.save(bench::results_path("table1_acc_surrogates.csv"));
+  std::printf("Rows written to results/table1_acc_surrogates.csv\n");
   return 0;
 }

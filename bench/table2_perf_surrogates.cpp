@@ -68,7 +68,7 @@ int main() {
   std::printf("\nExpected shape: device performance is highly learnable from "
               "architecture encodings\n(tau >= 0.9 everywhere; latency "
               "easier than batched throughput).\n");
-  csv.save("table2_perf_surrogates.csv");
-  std::printf("Rows written to table2_perf_surrogates.csv\n");
+  csv.save(bench::results_path("table2_perf_surrogates.csv"));
+  std::printf("Rows written to results/table2_perf_surrogates.csv\n");
   return 0;
 }

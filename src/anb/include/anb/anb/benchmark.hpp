@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "anb/hwsim/device.hpp"
 #include "anb/searchspace/space.hpp"

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "anb/anb/benchmark.hpp"

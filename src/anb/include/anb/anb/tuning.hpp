@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "anb/hpo/configspace.hpp"
 #include "anb/surrogate/surrogate.hpp"

@@ -111,6 +111,14 @@ double FbnetTrainingSimulator::latent_quality(
 }
 
 ArchTraits FbnetTrainingSimulator::traits(const FbnetArchitecture& arch) const {
+  // Every public query (train / expected_accuracy / training_cost_hours)
+  // funnels through here; reject out-of-range op codes before they index
+  // the motif tables.
+  for (const FbnetOp op : arch.ops) {
+    ANB_CHECK(static_cast<int>(op) >= 0 &&
+                  static_cast<int>(op) < kFbnetNumOps,
+              "FbnetTrainingSimulator: architecture has out-of-range op");
+  }
   const double q = latent_quality(arch);
   ArchTraits traits;
   traits.reference_accuracy =

@@ -1,5 +1,9 @@
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <vector>
+
 #include "anb/fbnet/fbnet_space.hpp"
 #include "anb/trainsim/curve.hpp"
 #include "anb/trainsim/simulator.hpp"

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "anb/hpo/configspace.hpp"
 

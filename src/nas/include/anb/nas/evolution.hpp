@@ -1,5 +1,7 @@
 #pragma once
 
+#include <string>
+
 #include "anb/nas/optimizer.hpp"
 
 namespace anb {

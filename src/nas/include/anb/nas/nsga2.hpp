@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "anb/nas/optimizer.hpp"
 

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "anb/nas/optimizer.hpp"
 
 namespace anb {

@@ -52,8 +52,9 @@ DatasetSplits Dataset::split(double train_frac, double val_frac,
   for (std::size_t i = 0; i < size(); ++i) idx[i] = i;
   rng.shuffle(idx);
 
-  const auto n_train = static_cast<std::size_t>(train_frac * size());
-  const auto n_val = static_cast<std::size_t>(val_frac * size());
+  const auto n_rows = static_cast<double>(size());
+  const auto n_train = static_cast<std::size_t>(train_frac * n_rows);
+  const auto n_val = static_cast<std::size_t>(val_frac * n_rows);
   const std::span<const std::size_t> all(idx);
   DatasetSplits splits{subset(all.subspan(0, n_train)),
                        subset(all.subspan(n_train, n_val)),

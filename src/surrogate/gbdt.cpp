@@ -5,6 +5,12 @@
 #include "anb/util/error.hpp"
 #include "anb/util/stats.hpp"
 
+// GCC 12 at -O2 mis-attributes the std::vector destructor in fit() as
+// freeing a non-heap pointer (bogus inlining artifact; ASan runs clean).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wfree-nonheap-object"
+#endif
+
 namespace anb {
 
 Gbdt::Gbdt(GbdtParams params) : params_(std::move(params)) {

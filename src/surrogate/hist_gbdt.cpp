@@ -217,18 +217,24 @@ void HistGbdt::fit(const Dataset& train, Rng& rng) {
       ANB_ASSERT(!left_rows.empty() && !right_rows.empty(),
                  "HistGbdt: degenerate split");
 
-      TreeNode& parent = nodes[static_cast<std::size_t>(leaf.node_id)];
-      parent.feature = split.feature;
-      parent.threshold =
-          bins[static_cast<std::size_t>(split.feature)]
-              .edges[static_cast<std::size_t>(split.bin)];
-      parent.left = static_cast<int>(nodes.size());
-      parent.right = static_cast<int>(nodes.size() + 1);
+      // emplace_back below may reallocate `nodes`: finish every write
+      // through the parent reference first and keep the child indices in
+      // locals (heap-use-after-free otherwise; caught by ASan).
+      const int left_child = static_cast<int>(nodes.size());
+      {
+        TreeNode& parent = nodes[static_cast<std::size_t>(leaf.node_id)];
+        parent.feature = split.feature;
+        parent.threshold =
+            bins[static_cast<std::size_t>(split.feature)]
+                .edges[static_cast<std::size_t>(split.bin)];
+        parent.left = left_child;
+        parent.right = left_child + 1;
+      }
       nodes.emplace_back();
       nodes.emplace_back();
 
-      Leaf small = make_leaf(parent.left, std::move(left_rows));
-      Leaf big = make_leaf(parent.right, std::move(right_rows));
+      Leaf small = make_leaf(left_child, std::move(left_rows));
+      Leaf big = make_leaf(left_child + 1, std::move(right_rows));
       if (small.rows.size() > big.rows.size()) std::swap(small, big);
 
       // Histogram subtraction: build the smaller child, derive the sibling.

@@ -1,7 +1,11 @@
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "anb/surrogate/surrogate.hpp"
 

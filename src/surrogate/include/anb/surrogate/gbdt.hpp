@@ -1,5 +1,11 @@
 #pragma once
 
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "anb/surrogate/surrogate.hpp"
 #include "anb/surrogate/tree.hpp"
 

@@ -214,22 +214,30 @@ RegressionTree build_tree(const Dataset& data, const ColumnIndex& columns,
     // child_base[a] = index of node a's left child in next_active, or -1.
     std::vector<int> child_base(na, -1);
     for (std::size_t a = 0; a < na; ++a) {
-      TreeNode& node = nodes[static_cast<std::size_t>(active[a])];
+      const auto node_idx = static_cast<std::size_t>(active[a]);
       // Depth is bounded by the loop itself: splitting at level
       // max_depth-1 creates children that the post-loop pass turns into
       // leaves, so a max_depth=1 tree is a single stump.
       const bool do_split = best[a].feature >= 0 && best[a].gain > params.gamma;
       if (do_split) {
-        node.feature = best[a].feature;
-        node.threshold = best[a].threshold;
-        node.left = static_cast<int>(nodes.size());
-        node.right = static_cast<int>(nodes.size() + 1);
+        // emplace_back below may reallocate `nodes`: finish every write
+        // through the node reference first and keep the child indices in
+        // locals (heap-use-after-free otherwise; caught by ASan).
+        const int left_child = static_cast<int>(nodes.size());
+        {
+          TreeNode& node = nodes[node_idx];
+          node.feature = best[a].feature;
+          node.threshold = best[a].threshold;
+          node.left = left_child;
+          node.right = left_child + 1;
+        }
         nodes.emplace_back();
         nodes.emplace_back();
         child_base[a] = static_cast<int>(next_active.size());
-        next_active.push_back(node.left);
-        next_active.push_back(node.right);
+        next_active.push_back(left_child);
+        next_active.push_back(left_child + 1);
       } else {
+        TreeNode& node = nodes[node_idx];
         node.feature = -1;
         node.value = total[a].w > 0.0
                          ? -total[a].g / (total[a].h + params.lambda)

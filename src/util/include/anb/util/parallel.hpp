@@ -10,7 +10,15 @@ namespace anb {
 ///
 /// The body must be safe to run concurrently for distinct i and must not
 /// throw across the call boundary — exceptions are captured and the first
-/// one is rethrown on the calling thread after all workers join.
+/// one is rethrown on the calling thread after all workers join. The join
+/// provides the happens-before edge: workers' writes are visible to the
+/// caller once parallel_for returns, with no extra synchronization.
+///
+/// Nested calls are supported: each invocation owns short-lived workers
+/// and joins before returning, so there is no pool to re-enter and no
+/// deadlock — the cost is thread oversubscription, which is why library
+/// call sites parallelize only the outermost loop. Audited under TSan by
+/// tests/util/parallel_stress_test.cpp.
 ///
 /// Every simulator in this library derives its randomness from per-item
 /// seeds rather than shared-stream order, so parallelizing loops like the

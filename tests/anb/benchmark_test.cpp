@@ -149,7 +149,9 @@ TEST(AccelNASBenchTest, EnsemblePipelineEnablesNoisyQueries) {
   const double d1 = result.bench.query_accuracy_noisy(a, rng);
   const double d2 = result.bench.query_accuracy_noisy(a, rng);
   EXPECT_NEAR(d1, mean, 6.0 * std + 1e-9);
-  if (std > 1e-9) EXPECT_NE(d1, d2);
+  if (std > 1e-9) {
+    EXPECT_NE(d1, d2);
+  }
   // Noisy mode survives save/load (ensemble serializes).
   const std::string path = ::testing::TempDir() + "/anb_noisy.json";
   result.bench.save(path);

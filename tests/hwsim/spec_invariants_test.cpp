@@ -17,7 +17,10 @@ class DeviceSpecInvariants : public ::testing::TestWithParam<int> {
 };
 
 TEST_P(DeviceSpecInvariants, PhysicalQuantitiesPositive) {
-  const DeviceSpec& spec = device().spec();
+  // device() returns by value; keep the Device alive while spec refers
+  // into it.
+  const Device dev = device();
+  const DeviceSpec& spec = dev.spec();
   EXPECT_GT(spec.peak_flops, 0.0);
   EXPECT_GT(spec.mem_bandwidth, 0.0);
   EXPECT_GT(spec.bytes_per_elem, 0.0);
@@ -31,7 +34,8 @@ TEST_P(DeviceSpecInvariants, PhysicalQuantitiesPositive) {
 }
 
 TEST_P(DeviceSpecInvariants, EfficienciesAreFractions) {
-  const DeviceSpec& spec = device().spec();
+  const Device dev = device();
+  const DeviceSpec& spec = dev.spec();
   for (double eff : {spec.conv_eff, spec.dwconv_eff, spec.fc_eff,
                      spec.elementwise_eff}) {
     EXPECT_GT(eff, 0.0);
@@ -42,7 +46,8 @@ TEST_P(DeviceSpecInvariants, EfficienciesAreFractions) {
 }
 
 TEST_P(DeviceSpecInvariants, MeasurementProtocolSane) {
-  const DeviceSpec& spec = device().spec();
+  const Device dev = device();
+  const DeviceSpec& spec = dev.spec();
   EXPECT_GE(spec.timed_runs, 1);
   EXPECT_LE(spec.timed_runs, 16);
   EXPECT_GT(spec.measurement_noise, 0.0);
@@ -52,7 +57,8 @@ TEST_P(DeviceSpecInvariants, MeasurementProtocolSane) {
 }
 
 TEST_P(DeviceSpecInvariants, Int8OnlyOnDpus) {
-  const DeviceSpec& spec = device().spec();
+  const Device dev = device();
+  const DeviceSpec& spec = dev.spec();
   if (device_supports_latency(spec.kind)) {
     EXPECT_DOUBLE_EQ(spec.bytes_per_elem, 1.0);  // quantized deployment
     EXPECT_GT(spec.fallback_overhead_s, 0.0);    // SE pipeline stalls
@@ -88,10 +94,10 @@ TEST_P(DeviceSpecInvariants, EnergyBudgetConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(AllDevices, DeviceSpecInvariants,
                          ::testing::Range(0, 6),
-                         [](const ::testing::TestParamInfo<int>& info) {
+                         [](const ::testing::TestParamInfo<int>& param) {
                            return std::string(device_kind_name(
                                device_catalog()[static_cast<std::size_t>(
-                                                    info.param)]
+                                                    param.param)]
                                    .kind()));
                          });
 

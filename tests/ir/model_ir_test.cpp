@@ -147,7 +147,9 @@ TEST(ModelIrTest, ParamsIndependentOfResolution) {
 TEST(ModelIrTest, DepthwiseKernelRecorded) {
   const ModelIR ir = build_ir(uniform_arch(1, 5, 1, false), 224);
   for (const auto& layer : ir.layers) {
-    if (layer.kind == OpKind::kDepthwiseConv2d) EXPECT_EQ(layer.kernel, 5);
+    if (layer.kind == OpKind::kDepthwiseConv2d) {
+      EXPECT_EQ(layer.kernel, 5);
+    }
   }
 }
 

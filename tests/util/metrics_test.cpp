@@ -97,7 +97,7 @@ double kendall_tau_brute(const std::vector<double>& x,
       }
     }
   }
-  const double tot = static_cast<double>(n) * (n - 1) / 2.0;
+  const double tot = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
   return (concordant - discordant) /
          std::sqrt((tot - tie_x) * (tot - tie_y));
 }

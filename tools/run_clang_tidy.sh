@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Run clang-tidy over all library translation units using the checked-in
+# .clang-tidy config and the compile_commands.json exported by CMake.
+#
+#   tools/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args...]
+#
+# Exit codes: 0 = clean, 1 = findings, 77 = clang-tidy unavailable (skip).
+# The 77 convention lets CI mark the step as skipped on images without
+# clang-tidy instead of failing the job.
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+shift || true
+if [ "${1:-}" = "--" ]; then shift; fi
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy: '$TIDY' not found on PATH; skipping (exit 77)" >&2
+  exit 77
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD_DIR/compile_commands.json missing." >&2
+  echo "Configure first: cmake -B '$BUILD_DIR' -S '$ROOT'" >&2
+  exit 2
+fi
+
+# Library TUs only: tests/benches get their correctness coverage from the
+# sanitizer jobs; tidy noise there mostly restates gtest idioms.
+mapfile -t SOURCES < <(find "$ROOT/src" -name '*.cpp' | sort)
+echo "run_clang_tidy: checking ${#SOURCES[@]} translation units" >&2
+
+FAILED=0
+for src in "${SOURCES[@]}"; do
+  if ! "$TIDY" -p "$BUILD_DIR" --quiet "$src" "$@"; then
+    FAILED=1
+  fi
+done
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "run_clang_tidy: findings detected" >&2
+  exit 1
+fi
+echo "run_clang_tidy: clean" >&2
