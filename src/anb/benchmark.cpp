@@ -1,9 +1,50 @@
 #include "anb/anb/benchmark.hpp"
 
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
 #include "anb/surrogate/ensemble.hpp"
 #include "anb/util/error.hpp"
 
 namespace anb {
+
+namespace {
+/// Epoch-style bound on each per-surrogate cache map: when an insert would
+/// push past this, the map is dropped wholesale and refills. The MnasNet
+/// space has ~10^13 points, so an unbounded map could grow without limit
+/// under a long random search; 2^20 entries (~24 MiB/map) is far beyond any
+/// optimizer budget in this repo, so eviction never fires in practice.
+constexpr std::size_t kMaxCacheEntries = std::size_t{1} << 20;
+
+/// Cache-map key for the accuracy surrogate. Performance surrogates are
+/// keyed by AccelNASBench::perf_key ("device/metric"), which always
+/// contains a '/', so "acc" cannot collide.
+const char kAccuracyKey[] = "acc";
+}  // namespace
+
+/// Architecture-keyed query cache. Values are keyed by
+/// SearchSpace::to_index(arch) — an exact bijection between architectures
+/// and integers, so two distinct architectures can never alias. The map is
+/// mutex-guarded; counters are atomics so hot-path hit accounting never
+/// serializes more than the lookup itself. Predictions run *outside* the
+/// lock: surrogates are deterministic, so two threads racing on the same
+/// miss compute the same value and the duplicate insert is a no-op.
+struct AccelNASBench::CacheState {
+  std::mutex mu;
+  std::atomic<bool> enabled{true};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::unordered_map<std::string, std::unordered_map<std::uint64_t, double>>
+      maps;
+};
+
+AccelNASBench::AccelNASBench() : cache_(std::make_unique<CacheState>()) {}
+AccelNASBench::~AccelNASBench() = default;
+AccelNASBench::AccelNASBench(AccelNASBench&&) noexcept = default;
+AccelNASBench& AccelNASBench::operator=(AccelNASBench&&) noexcept = default;
 
 const char* perf_metric_name(PerfMetric metric) {
   switch (metric) {
@@ -62,7 +103,14 @@ bool AccelNASBench::has_perf(DeviceKind kind, PerfMetric metric) const {
 double AccelNASBench::query_accuracy(const Architecture& arch) const {
   ANB_CHECK(accuracy_ != nullptr,
             "AccelNASBench: accuracy surrogate not installed");
-  return accuracy_->predict(SearchSpace::features(arch));
+  return cached_query(*accuracy_, kAccuracyKey, arch);
+}
+
+std::vector<double> AccelNASBench::query_accuracy_batch(
+    std::span<const Architecture> archs) const {
+  ANB_CHECK(accuracy_ != nullptr,
+            "AccelNASBench: accuracy surrogate not installed");
+  return cached_query_batch(*accuracy_, kAccuracyKey, archs);
 }
 
 namespace {
@@ -98,7 +146,150 @@ double AccelNASBench::query_perf(const Architecture& arch, DeviceKind kind,
   const auto it = perf_.find(perf_key(kind, metric));
   ANB_CHECK(it != perf_.end(),
             "AccelNASBench: no surrogate for " + dataset_name(kind, metric));
-  return it->second->predict(SearchSpace::features(arch));
+  return cached_query(*it->second, it->first, arch);
+}
+
+std::vector<double> AccelNASBench::query_perf_batch(
+    std::span<const Architecture> archs, DeviceKind kind,
+    PerfMetric metric) const {
+  const auto it = perf_.find(perf_key(kind, metric));
+  ANB_CHECK(it != perf_.end(),
+            "AccelNASBench: no surrogate for " + dataset_name(kind, metric));
+  return cached_query_batch(*it->second, it->first, archs);
+}
+
+double AccelNASBench::cached_query(const Surrogate& surrogate,
+                                   const std::string& which,
+                                   const Architecture& arch) const {
+  if (cache_ == nullptr || !cache_->enabled.load(std::memory_order_relaxed))
+    return surrogate.predict(SearchSpace::features(arch));
+  const std::uint64_t key = SearchSpace::to_index(arch);
+  {
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    const auto map_it = cache_->maps.find(which);
+    if (map_it != cache_->maps.end()) {
+      const auto hit = map_it->second.find(key);
+      if (hit != map_it->second.end()) {
+        cache_->hits.fetch_add(1, std::memory_order_relaxed);
+        return hit->second;
+      }
+    }
+  }
+  const double value = surrogate.predict(SearchSpace::features(arch));
+  {
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    auto& map = cache_->maps[which];
+    if (map.size() >= kMaxCacheEntries) map.clear();
+    map.emplace(key, value);
+  }
+  cache_->misses.fetch_add(1, std::memory_order_relaxed);
+  return value;
+}
+
+std::vector<double> AccelNASBench::cached_query_batch(
+    const Surrogate& surrogate, const std::string& which,
+    std::span<const Architecture> archs) const {
+  const std::size_t n = archs.size();
+  std::vector<double> out(n);
+  if (n == 0) return out;
+
+  // Encodes the rows listed in `rows_to_encode` into one flat feature
+  // matrix and predicts them with the surrogate's parallel batch path.
+  const auto predict_rows = [&](std::span<const std::size_t> rows_to_encode,
+                                std::span<double> pred) {
+    const std::vector<double> first =
+        SearchSpace::features(archs[rows_to_encode[0]]);
+    const std::size_t num_features = first.size();
+    std::vector<double> rows;
+    rows.reserve(rows_to_encode.size() * num_features);
+    rows.insert(rows.end(), first.begin(), first.end());
+    for (std::size_t m = 1; m < rows_to_encode.size(); ++m) {
+      const std::vector<double> f =
+          SearchSpace::features(archs[rows_to_encode[m]]);
+      rows.insert(rows.end(), f.begin(), f.end());
+    }
+    surrogate.predict_matrix(rows, num_features, pred);
+  };
+
+  if (cache_ == nullptr || !cache_->enabled.load(std::memory_order_relaxed)) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    predict_rows(all, out);
+    return out;
+  }
+
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) keys[i] = SearchSpace::to_index(archs[i]);
+
+  // Phase 1 (locked): resolve cache hits, collect one representative row
+  // per unique missing key. Duplicates of a miss within the batch count as
+  // hits — they are served without an extra prediction.
+  std::vector<std::size_t> miss_rows;
+  std::unordered_map<std::uint64_t, std::size_t> miss_slot;
+  std::vector<char> filled(n, 0);
+  std::uint64_t hits = 0;
+  {
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    auto& map = cache_->maps[which];
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto hit = map.find(keys[i]);
+      if (hit != map.end()) {
+        out[i] = hit->second;
+        filled[i] = 1;
+        ++hits;
+      } else if (miss_slot.emplace(keys[i], miss_rows.size()).second) {
+        miss_rows.push_back(i);
+      } else {
+        ++hits;
+      }
+    }
+  }
+  if (hits > 0) cache_->hits.fetch_add(hits, std::memory_order_relaxed);
+  if (miss_rows.empty()) return out;
+
+  // Phase 2 (unlocked): one batched prediction over the unique misses.
+  std::vector<double> pred(miss_rows.size());
+  predict_rows(miss_rows, pred);
+
+  // Phase 3 (locked): publish, then fan the predictions back out to every
+  // row — including in-batch duplicates of a miss.
+  {
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    auto& map = cache_->maps[which];
+    if (map.size() + pred.size() > kMaxCacheEntries) map.clear();
+    for (std::size_t m = 0; m < miss_rows.size(); ++m)
+      map.emplace(keys[miss_rows[m]], pred[m]);
+  }
+  cache_->misses.fetch_add(static_cast<std::uint64_t>(pred.size()),
+                           std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i)
+    if (filled[i] == 0) out[i] = pred[miss_slot.at(keys[i])];
+  return out;
+}
+
+void AccelNASBench::set_cache_enabled(bool enabled) {
+  if (cache_ != nullptr)
+    cache_->enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool AccelNASBench::cache_enabled() const {
+  return cache_ != nullptr && cache_->enabled.load(std::memory_order_relaxed);
+}
+
+void AccelNASBench::clear_cache() const {
+  if (cache_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  cache_->maps.clear();
+  cache_->hits.store(0, std::memory_order_relaxed);
+  cache_->misses.store(0, std::memory_order_relaxed);
+}
+
+QueryCacheStats AccelNASBench::cache_stats() const {
+  QueryCacheStats stats;
+  if (cache_ == nullptr) return stats;
+  stats.hits = cache_->hits.load(std::memory_order_relaxed);
+  stats.misses = cache_->misses.load(std::memory_order_relaxed);
+  return stats;
 }
 
 std::vector<std::pair<DeviceKind, PerfMetric>> AccelNASBench::perf_targets()

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <span>
 
 #include "anb/ir/model_ir.hpp"
 #include "anb/nas/evolution.hpp"
@@ -25,8 +26,12 @@ std::vector<TrajectoryComparison> compare_trajectories(
   EvalOracle true_oracle = [&](const Architecture& arch) {
     return sim.train(arch, p_star, /*run_seed=*/true_run_counter++).top1;
   };
-  EvalOracle sim_oracle = [&](const Architecture& arch) {
-    return bench.query_accuracy(arch);
+  // Benchmark-backed runs use the batched oracle: optimizers hand whole
+  // populations to query_accuracy_batch, which dedupes against the query
+  // cache and runs one vectorized prediction. Trajectories are identical
+  // to the scalar path (batched prediction is bit-identical).
+  BatchEvalOracle sim_oracle = [&](std::span<const Architecture> archs) {
+    return bench.query_accuracy_batch(archs);
   };
 
   std::vector<std::unique_ptr<NasOptimizer>> optimizers;
@@ -48,7 +53,7 @@ std::vector<TrajectoryComparison> compare_trajectories(
     for (int s = 0; s < config.n_sim_seeds; ++s) {
       Rng sim_rng(hash_combine(config.seed,
                                0x51A0 + static_cast<std::uint64_t>(s)));
-      auto traj = optimizer->run(sim_oracle, config.n_evals, sim_rng);
+      auto traj = optimizer->run_batched(sim_oracle, config.n_evals, sim_rng);
       for (std::size_t i = 0; i < traj.incumbent.size(); ++i)
         cmp.sim_mean_incumbent[i] += traj.incumbent[i];
       cmp.sim_incumbents.push_back(std::move(traj.incumbent));
@@ -97,11 +102,15 @@ ParetoOutcome pareto_search(const AccelNASBench& bench,
     Rng rng(hash_combine(config.seed, 0xB10 + static_cast<std::uint64_t>(t)));
     const auto traj =
         optimizer.run(reward_oracle, config.n_evals_per_target, rng);
-    for (const auto& arch : traj.archs) {
-      out.archs.push_back(arch);
-      out.accuracy.push_back(bench.query_accuracy(arch));
-      out.perf.push_back(
-          bench.query_perf(arch, config.device, config.metric));
+    // Batched re-scoring of the whole trajectory; every architecture was
+    // already queried inside reward_oracle, so these are pure cache hits.
+    const std::vector<double> accs = bench.query_accuracy_batch(traj.archs);
+    const std::vector<double> perfs =
+        bench.query_perf_batch(traj.archs, config.device, config.metric);
+    for (std::size_t i = 0; i < traj.archs.size(); ++i) {
+      out.archs.push_back(traj.archs[i]);
+      out.accuracy.push_back(accs[i]);
+      out.perf.push_back(perfs[i]);
     }
   }
 

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -10,6 +12,14 @@
 #include "anb/surrogate/surrogate.hpp"
 
 namespace anb {
+
+/// Hit/miss counters of the benchmark's architecture-keyed query cache.
+/// A miss is a query that ran a surrogate prediction; a hit was served
+/// from the cache (including repeats within one batched query).
+struct QueryCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
 
 /// On-device performance metrics offered by the benchmark (§3.3.2):
 /// throughput on every platform, latency on the FPGA DPUs. Energy is an
@@ -33,7 +43,12 @@ std::string dataset_name(DeviceKind kind, PerfMetric metric);
 /// against (Fig. 1).
 class AccelNASBench {
  public:
-  AccelNASBench() = default;
+  AccelNASBench();
+  ~AccelNASBench();
+  AccelNASBench(AccelNASBench&&) noexcept;
+  AccelNASBench& operator=(AccelNASBench&&) noexcept;
+  AccelNASBench(const AccelNASBench&) = delete;
+  AccelNASBench& operator=(const AccelNASBench&) = delete;
 
   /// Install the accuracy surrogate (predicts proxified top-1 under p*).
   void set_accuracy_surrogate(std::unique_ptr<Surrogate> surrogate);
@@ -65,6 +80,31 @@ class AccelNASBench {
   double query_perf(const Architecture& arch, DeviceKind kind,
                     PerfMetric metric) const;
 
+  /// Batched accuracy query for a whole population: encodes the cache
+  /// misses into one feature matrix, predicts them with the surrogate's
+  /// parallel batch path, and serves repeats from the cache. Element i
+  /// corresponds to archs[i] and equals query_accuracy(archs[i]) exactly
+  /// (batched prediction is bit-identical to scalar prediction).
+  std::vector<double> query_accuracy_batch(
+      std::span<const Architecture> archs) const;
+
+  /// Batched performance query; element i equals
+  /// query_perf(archs[i], kind, metric) exactly.
+  std::vector<double> query_perf_batch(std::span<const Architecture> archs,
+                                       DeviceKind kind,
+                                       PerfMetric metric) const;
+
+  /// Query-cache control. The cache keys on the canonical architecture
+  /// index (SearchSpace::to_index — a bijection, so no collisions) per
+  /// installed surrogate, and is enabled by default: the deterministic
+  /// surrogates make cached values exactly equal to recomputation.
+  /// Noisy ensemble queries (query_accuracy_noisy) always bypass it.
+  void set_cache_enabled(bool enabled);
+  bool cache_enabled() const;
+  void clear_cache() const;
+  /// Counters since construction / the last clear_cache().
+  QueryCacheStats cache_stats() const;
+
   /// All (device, metric) pairs with an installed surrogate.
   std::vector<std::pair<DeviceKind, PerfMetric>> perf_targets() const;
 
@@ -78,8 +118,17 @@ class AccelNASBench {
  private:
   static std::string perf_key(DeviceKind kind, PerfMetric metric);
 
+  struct CacheState;  // mutex-guarded maps + atomic counters (benchmark.cpp)
+
+  double cached_query(const Surrogate& surrogate, const std::string& which,
+                      const Architecture& arch) const;
+  std::vector<double> cached_query_batch(
+      const Surrogate& surrogate, const std::string& which,
+      std::span<const Architecture> archs) const;
+
   std::unique_ptr<Surrogate> accuracy_;
   std::map<std::string, std::unique_ptr<Surrogate>> perf_;
+  std::unique_ptr<CacheState> cache_;
 };
 
 }  // namespace anb

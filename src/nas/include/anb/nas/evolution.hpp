@@ -23,6 +23,11 @@ class RegularizedEvolution final : public NasOptimizer {
   std::string name() const override { return "RE"; }
   SearchTrajectory run(const EvalOracle& oracle, int n_evals,
                        Rng& rng) override;
+  /// The seed population is evaluated in one batched call (its samples
+  /// never depend on each other's scores); the evolution loop is
+  /// inherently sequential and proceeds in batches of one.
+  SearchTrajectory run_batched(const BatchEvalOracle& oracle, int n_evals,
+                               Rng& rng) override;
 
  private:
   RegularizedEvolutionParams params_;

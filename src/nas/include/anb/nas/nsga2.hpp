@@ -14,6 +14,12 @@ namespace anb {
 using BiObjectiveOracle =
     std::function<std::pair<double, double>(const Architecture&)>;
 
+/// Batched bi-objective oracle: scores a whole generation in one call;
+/// element i corresponds to archs[i]. Same purity contract as
+/// BatchEvalOracle: no RNG consumption, rows independent.
+using BiObjectiveBatchOracle = std::function<
+    std::vector<std::pair<double, double>>(std::span<const Architecture>)>;
+
 /// NSGA-II configuration.
 struct Nsga2Params {
   int population_size = 40;
@@ -42,6 +48,14 @@ class Nsga2 {
 
   /// Run for exactly `n_evals` oracle calls (population seeding included).
   Nsga2Result run(const BiObjectiveOracle& oracle, int n_evals, Rng& rng) const;
+
+  /// Generational batching: selection only ever reads the *parent*
+  /// population's ranks, so a whole generation of children is generated
+  /// first (consuming the RNG in the same order as run()) and then scored
+  /// in one oracle call. For any fixed seed the result is identical to
+  /// run() with the equivalent scalar oracle.
+  Nsga2Result run_batched(const BiObjectiveBatchOracle& oracle, int n_evals,
+                          Rng& rng) const;
 
   /// Fast non-dominated sort: returns front index (0 = best) per point.
   static std::vector<int> non_dominated_ranks(std::span<const double> obj1,

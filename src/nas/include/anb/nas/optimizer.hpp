@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,18 @@ namespace anb {
 /// benchmark surrogates ("simulated search") — the comparison between those
 /// two is the paper's Fig. 5.
 using EvalOracle = std::function<double(const Architecture&)>;
+
+/// Batched evaluation oracle: scores a whole population in one call;
+/// element i of the result corresponds to archs[i]. Implementations must
+/// be pure functions of the architecture (no RNG consumption, element i
+/// independent of the other rows) so that batching can never perturb a
+/// seeded trajectory — AccelNASBench::query_accuracy_batch satisfies this
+/// by construction (batched prediction is bit-identical to scalar).
+using BatchEvalOracle =
+    std::function<std::vector<double>(std::span<const Architecture>)>;
+
+/// Adapt a scalar oracle to the batched interface (evaluates row by row).
+BatchEvalOracle batch_from_scalar(EvalOracle oracle);
 
 /// Full record of one search run, in evaluation order.
 struct SearchTrajectory {
@@ -36,6 +49,14 @@ class NasOptimizer {
   /// Run for exactly `n_evals` oracle calls.
   virtual SearchTrajectory run(const EvalOracle& oracle, int n_evals,
                                Rng& rng) = 0;
+  /// Run against a batched oracle, evaluating exactly `n_evals`
+  /// architectures in total. The base implementation feeds batches of one
+  /// through run(); optimizers with natural population structure override
+  /// it to score whole populations per oracle call. Contract: for any
+  /// fixed seed the trajectory is identical to run() with the equivalent
+  /// scalar oracle (tests/nas/batched_determinism_test.cpp).
+  virtual SearchTrajectory run_batched(const BatchEvalOracle& oracle,
+                                       int n_evals, Rng& rng);
 };
 
 }  // namespace anb

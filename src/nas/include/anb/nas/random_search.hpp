@@ -15,6 +15,11 @@ class RandomSearchNas final : public NasOptimizer {
   std::string name() const override { return "RS"; }
   SearchTrajectory run(const EvalOracle& oracle, int n_evals,
                        Rng& rng) override;
+  /// Samples never depend on evaluations, so the whole run is one batched
+  /// oracle call. Sampling is hoisted ahead of evaluation; the oracle
+  /// consumes no RNG, so the architecture sequence matches run() exactly.
+  SearchTrajectory run_batched(const BatchEvalOracle& oracle, int n_evals,
+                               Rng& rng) override;
 };
 
 }  // namespace anb

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "anb/nas/optimizer.hpp"
@@ -16,6 +17,12 @@ struct BudgetedEval {
 };
 using BudgetedOracle =
     std::function<BudgetedEval(const Architecture&, int epochs)>;
+
+/// Batched variant: evaluate one round's whole surviving population at the
+/// same epoch budget in a single call; element i corresponds to archs[i].
+/// Same purity contract as BatchEvalOracle.
+using BudgetedBatchOracle = std::function<std::vector<BudgetedEval>(
+    std::span<const Architecture>, int epochs)>;
 
 /// Successive halving (the classic *training-proxy* method the paper cites
 /// in §3.2: "successive halving and hyperband ... use the model's
@@ -51,6 +58,12 @@ class SuccessiveHalving {
   explicit SuccessiveHalving(SuccessiveHalvingParams params = {});
 
   SuccessiveHalvingResult run(const BudgetedOracle& oracle, Rng& rng) const;
+
+  /// Each round's survivors are known before any of them is scored, so a
+  /// round is one batched oracle call. Identical result to run() for any
+  /// fixed seed.
+  SuccessiveHalvingResult run_batched(const BudgetedBatchOracle& oracle,
+                                      Rng& rng) const;
 
  private:
   SuccessiveHalvingParams params_;

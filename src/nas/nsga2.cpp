@@ -106,6 +106,43 @@ bool crowded_less(const Member& a, const Member& b) {
   return a.crowding > b.crowding;
 }
 
+/// One child via binary tournaments on (rank, crowding), uniform block
+/// crossover and per-decision mutation. Shared by run() and run_batched()
+/// so both consume the RNG in exactly the same order.
+Architecture make_child(const std::vector<Member>& population,
+                        const Nsga2Params& params, Rng& rng) {
+  auto tournament = [&]() -> const Member& {
+    const Member& a = population[rng.uniform_index(population.size())];
+    const Member& b = population[rng.uniform_index(population.size())];
+    return crowded_less(a, b) ? a : b;
+  };
+  const Member& p1 = tournament();
+  const Member& p2 = tournament();
+
+  Architecture child = p1.arch;
+  if (rng.bernoulli(params.crossover_prob)) {
+    // Uniform block-wise crossover.
+    for (int blk = 0; blk < kNumBlocks; ++blk) {
+      if (rng.bernoulli(0.5)) {
+        child.blocks[static_cast<std::size_t>(blk)] =
+            p2.arch.blocks[static_cast<std::size_t>(blk)];
+      }
+    }
+  }
+  // Per-decision mutation.
+  auto decisions = SearchSpace::to_decisions(child);
+  const auto sizes = SearchSpace::decision_sizes();
+  for (std::size_t d = 0; d < decisions.size(); ++d) {
+    if (!rng.bernoulli(params.mutation_prob)) continue;
+    const int size = sizes[d];
+    decisions[d] = (decisions[d] + 1 +
+                    static_cast<int>(rng.uniform_index(
+                        static_cast<std::uint64_t>(size - 1)))) %
+                   size;
+  }
+  return SearchSpace::from_decisions(decisions);
+}
+
 void assign_rank_and_crowding(std::vector<Member>& pop) {
   std::vector<double> o1, o2;
   o1.reserve(pop.size());
@@ -161,41 +198,70 @@ Nsga2Result Nsga2::run(const BiObjectiveOracle& oracle, int n_evals,
     const int n_children =
         std::min(params_.population_size, n_evals - evals);
     std::vector<Member> children;
-    for (int c = 0; c < n_children; ++c) {
-      auto tournament = [&]() -> const Member& {
-        const Member& a = population[rng.uniform_index(population.size())];
-        const Member& b = population[rng.uniform_index(population.size())];
-        return crowded_less(a, b) ? a : b;
-      };
-      const Member& p1 = tournament();
-      const Member& p2 = tournament();
-
-      Architecture child = p1.arch;
-      if (rng.bernoulli(params_.crossover_prob)) {
-        // Uniform block-wise crossover.
-        for (int blk = 0; blk < kNumBlocks; ++blk) {
-          if (rng.bernoulli(0.5)) {
-            child.blocks[static_cast<std::size_t>(blk)] =
-                p2.arch.blocks[static_cast<std::size_t>(blk)];
-          }
-        }
-      }
-      // Per-decision mutation.
-      auto decisions = SearchSpace::to_decisions(child);
-      const auto sizes = SearchSpace::decision_sizes();
-      for (std::size_t d = 0; d < decisions.size(); ++d) {
-        if (!rng.bernoulli(params_.mutation_prob)) continue;
-        const int size = sizes[d];
-        decisions[d] = (decisions[d] + 1 +
-                        static_cast<int>(rng.uniform_index(
-                            static_cast<std::uint64_t>(size - 1)))) %
-                       size;
-      }
-      children.push_back(evaluate(SearchSpace::from_decisions(decisions)));
-    }
+    for (int c = 0; c < n_children; ++c)
+      children.push_back(evaluate(make_child(population, params_, rng)));
     evals += n_children;
 
     // Environmental selection over parents + children.
+    population.insert(population.end(),
+                      std::make_move_iterator(children.begin()),
+                      std::make_move_iterator(children.end()));
+    assign_rank_and_crowding(population);
+    std::sort(population.begin(), population.end(), crowded_less);
+    population.resize(static_cast<std::size_t>(params_.population_size));
+  }
+
+  result.front = pareto_front(result.obj1, result.obj2);
+  return result;
+}
+
+Nsga2Result Nsga2::run_batched(const BiObjectiveBatchOracle& oracle,
+                               int n_evals, Rng& rng) const {
+  ANB_CHECK(static_cast<bool>(oracle), "Nsga2: missing oracle");
+  ANB_CHECK(n_evals >= params_.population_size,
+            "Nsga2: n_evals must cover at least one population");
+
+  Nsga2Result result;
+  auto evaluate_batch = [&](const std::vector<Architecture>& archs) {
+    const auto objs = oracle(archs);
+    ANB_CHECK(objs.size() == archs.size(),
+              "Nsga2: batched oracle returned wrong size");
+    std::vector<Member> members;
+    members.reserve(archs.size());
+    for (std::size_t i = 0; i < archs.size(); ++i) {
+      result.archs.push_back(archs[i]);
+      result.obj1.push_back(objs[i].first);
+      result.obj2.push_back(objs[i].second);
+      Member m;
+      m.arch = archs[i];
+      m.obj1 = objs[i].first;
+      m.obj2 = objs[i].second;
+      members.push_back(std::move(m));
+    }
+    return members;
+  };
+
+  // Seed generation: sample everything, then score in one call.
+  std::vector<Architecture> seeds;
+  seeds.reserve(static_cast<std::size_t>(params_.population_size));
+  for (int i = 0; i < params_.population_size; ++i)
+    seeds.push_back(SearchSpace::sample(rng));
+  std::vector<Member> population = evaluate_batch(seeds);
+  assign_rank_and_crowding(population);
+
+  int evals = params_.population_size;
+  while (evals < n_evals) {
+    // Selection reads only the parent population's (rank, crowding), which
+    // is fixed for the whole generation — so all children can be generated
+    // before any of them is scored, and batching changes nothing.
+    const int n_children = std::min(params_.population_size, n_evals - evals);
+    std::vector<Architecture> child_archs;
+    child_archs.reserve(static_cast<std::size_t>(n_children));
+    for (int c = 0; c < n_children; ++c)
+      child_archs.push_back(make_child(population, params_, rng));
+    std::vector<Member> children = evaluate_batch(child_archs);
+    evals += n_children;
+
     population.insert(population.end(),
                       std::make_move_iterator(children.begin()),
                       std::make_move_iterator(children.end()));

@@ -28,4 +28,27 @@ double SearchTrajectory::best_value() const {
   return incumbent.back();
 }
 
+BatchEvalOracle batch_from_scalar(EvalOracle oracle) {
+  ANB_CHECK(static_cast<bool>(oracle), "batch_from_scalar: missing oracle");
+  return [oracle = std::move(oracle)](std::span<const Architecture> archs) {
+    std::vector<double> out;
+    out.reserve(archs.size());
+    for (const Architecture& arch : archs) out.push_back(oracle(arch));
+    return out;
+  };
+}
+
+SearchTrajectory NasOptimizer::run_batched(const BatchEvalOracle& oracle,
+                                           int n_evals, Rng& rng) {
+  ANB_CHECK(static_cast<bool>(oracle), "NasOptimizer: missing oracle");
+  return run(
+      [&oracle](const Architecture& arch) {
+        const std::vector<double> values = oracle({&arch, 1});
+        ANB_CHECK(values.size() == 1,
+                  "NasOptimizer: batched oracle returned wrong size");
+        return values[0];
+      },
+      n_evals, rng);
+}
+
 }  // namespace anb

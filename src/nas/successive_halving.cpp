@@ -58,4 +58,53 @@ SuccessiveHalvingResult SuccessiveHalving::run(const BudgetedOracle& oracle,
   return result;
 }
 
+SuccessiveHalvingResult SuccessiveHalving::run_batched(
+    const BudgetedBatchOracle& oracle, Rng& rng) const {
+  ANB_CHECK(static_cast<bool>(oracle), "SuccessiveHalving: missing oracle");
+
+  struct Member {
+    Architecture arch;
+    double accuracy = 0.0;
+  };
+  std::vector<Member> population;
+  population.reserve(static_cast<std::size_t>(params_.initial_population));
+  for (int i = 0; i < params_.initial_population; ++i)
+    population.push_back({SearchSpace::sample(rng), 0.0});
+
+  SuccessiveHalvingResult result;
+  int epochs = params_.min_epochs;
+  while (true) {
+    ++result.rounds;
+    // One batched call scores the whole round: every survivor's budget is
+    // fixed before any of them is evaluated.
+    std::vector<Architecture> archs;
+    archs.reserve(population.size());
+    for (const auto& member : population) archs.push_back(member.arch);
+    const std::vector<BudgetedEval> evals = oracle(archs, epochs);
+    ANB_CHECK(evals.size() == population.size(),
+              "SuccessiveHalving: batched oracle returned wrong size");
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      population[i].accuracy = evals[i].accuracy;
+      result.total_cost_hours += evals[i].cost_hours;
+      result.evals.push_back({population[i].arch, evals[i].accuracy, epochs});
+    }
+    std::sort(population.begin(), population.end(),
+              [](const Member& a, const Member& b) {
+                return a.accuracy > b.accuracy;
+              });
+
+    const bool at_max_budget = epochs >= params_.max_epochs;
+    if (population.size() == 1 || at_max_budget) break;
+
+    const std::size_t keep = std::max<std::size_t>(
+        1, population.size() / static_cast<std::size_t>(params_.eta));
+    population.resize(keep);
+    epochs = std::min(params_.max_epochs, epochs * params_.eta);
+  }
+
+  result.best = population.front().arch;
+  result.best_accuracy = population.front().accuracy;
+  return result;
+}
+
 }  // namespace anb

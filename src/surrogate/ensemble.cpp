@@ -1,5 +1,6 @@
 #include "anb/surrogate/ensemble.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "anb/util/error.hpp"
@@ -48,6 +49,23 @@ void EnsembleSurrogate::fit(const Dataset& train, Rng& rng) {
 
 double EnsembleSurrogate::predict(std::span<const double> x) const {
   return predict_dist(x).first;
+}
+
+void EnsembleSurrogate::predict_batch(std::span<const double> rows,
+                                      std::size_t num_features,
+                                      std::span<double> out) const {
+  ANB_CHECK(!members_.empty(), "EnsembleSurrogate::predict_batch: not fitted");
+  ANB_CHECK(num_features > 0 && rows.size() == out.size() * num_features,
+            "EnsembleSurrogate::predict_batch: row matrix / output size "
+            "mismatch");
+  std::fill(out.begin(), out.end(), 0.0);
+  std::vector<double> tmp(out.size());
+  for (const auto& m : members_) {
+    m->predict_batch(rows, num_features, tmp);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += tmp[i];
+  }
+  const double n = static_cast<double>(members_.size());
+  for (double& v : out) v /= n;
 }
 
 std::pair<double, double> EnsembleSurrogate::predict_dist(

@@ -1,0 +1,193 @@
+#include "anb/surrogate/flat_forest.hpp"
+
+#include <algorithm>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+
+namespace {
+
+/// Rows per block of the tree-major traversal. 64 rows x 63 features x 8
+/// bytes ≈ 32 KB of features per block — small enough that the block plus
+/// one tree's nodes stay resident in L1/L2 while the tree is re-walked for
+/// every row of the block.
+constexpr std::size_t kRowBlock = 64;
+
+/// Advance one row one level. Leaves self-loop, so the step is uniform
+/// whether or not the row has reached its leaf — and "index unchanged" is
+/// exactly the leaf test (internal nodes never point at themselves; the
+/// constructor validates this).
+inline std::int32_t step(const FlatNode* nodes, std::int32_t at,
+                         const double* x) {
+  const FlatNode node = nodes[at];
+  return x[node.feature] < node.split ? node.left : node.right;
+}
+
+}  // namespace
+
+FlatForest::FlatForest(std::span<const RegressionTree> trees) {
+  std::size_t total = 0;
+  for (const auto& tree : trees) total += tree.nodes().size();
+  nodes_.reserve(total);
+  roots_.reserve(trees.size());
+
+  for (const auto& tree : trees) {
+    const auto& src = tree.nodes();
+    ANB_CHECK(!src.empty(), "FlatForest: tree with no nodes");
+    const auto base = static_cast<std::int32_t>(nodes_.size());
+    roots_.push_back(base);
+    const auto count = static_cast<std::int32_t>(src.size());
+    for (std::int32_t i = 0; i < count; ++i) {
+      const TreeNode& n = src[static_cast<std::size_t>(i)];
+      FlatNode fn;
+      if (n.feature >= 0) {
+        ANB_CHECK(n.left >= 0 && n.left < count && n.right >= 0 &&
+                      n.right < count,
+                  "FlatForest: dangling child index");
+        ANB_CHECK(n.left != i && n.right != i,
+                  "FlatForest: internal node is its own child");
+        fn.split = n.threshold;
+        fn.feature = n.feature;
+        fn.left = base + n.left;
+        fn.right = base + n.right;
+        max_feature_ = std::max(max_feature_, fn.feature);
+      } else {
+        // Leaf: value in the split slot, children self-loop. A row that
+        // has reached its leaf becomes a fixed point of step().
+        fn.split = n.value;
+        fn.feature = 0;
+        fn.left = base + i;
+        fn.right = base + i;
+      }
+      nodes_.push_back(fn);
+    }
+  }
+}
+
+void FlatForest::accumulate(std::span<const double> rows,
+                            std::size_t num_features, double scale,
+                            std::span<double> out) const {
+  ANB_CHECK(!roots_.empty(), "FlatForest::accumulate: empty forest");
+  ANB_CHECK(num_features > 0 &&
+                rows.size() == out.size() * num_features,
+            "FlatForest::accumulate: row matrix / output size mismatch");
+  ANB_CHECK(max_feature_ < static_cast<std::int32_t>(num_features),
+            "FlatForest::accumulate: feature index out of range");
+
+  const FlatNode* const nodes = nodes_.data();
+  const double* const data = rows.data();
+  const std::size_t n = out.size();
+
+  for (std::size_t begin = 0; begin < n; begin += kRowBlock) {
+    const std::size_t nb = std::min(n - begin, kRowBlock);
+    const double* const block = data + begin * num_features;
+    // Two consecutive trees walk four rows in lockstep: eight mutually
+    // independent pointer-chase chains overlap in flight (the scalar
+    // path's main stall is this chain's serial latency). Pairing trees
+    // instead of widening to eight rows keeps the settle waste small:
+    // the loop runs to the deeper of the two trees' four-row descents,
+    // and consecutive boosted trees have near-identical depths. The
+    // fixed point of step() (self-looping leaves) is the combined
+    // "everyone reached a leaf" test.
+    std::size_t t = 0;
+    for (; t + 2 <= roots_.size(); t += 2) {
+      const std::int32_t root0 = roots_[t];
+      const std::int32_t root1 = roots_[t + 1];
+      std::size_t i = 0;
+      for (; i + 4 <= nb; i += 4) {
+        const double* const x0 = block + i * num_features;
+        const double* const x1 = x0 + num_features;
+        const double* const x2 = x1 + num_features;
+        const double* const x3 = x2 + num_features;
+        std::int32_t a0 = root0, a1 = root0, a2 = root0, a3 = root0;
+        std::int32_t c0 = root1, c1 = root1, c2 = root1, c3 = root1;
+        while (true) {
+          const std::int32_t b0 = step(nodes, a0, x0);
+          const std::int32_t b1 = step(nodes, a1, x1);
+          const std::int32_t b2 = step(nodes, a2, x2);
+          const std::int32_t b3 = step(nodes, a3, x3);
+          const std::int32_t d0 = step(nodes, c0, x0);
+          const std::int32_t d1 = step(nodes, c1, x1);
+          const std::int32_t d2 = step(nodes, c2, x2);
+          const std::int32_t d3 = step(nodes, c3, x3);
+          const bool settled = (b0 == a0) & (b1 == a1) & (b2 == a2) &
+                               (b3 == a3) & (d0 == c0) & (d1 == c1) &
+                               (d2 == c2) & (d3 == c3);
+          a0 = b0;
+          a1 = b1;
+          a2 = b2;
+          a3 = b3;
+          c0 = d0;
+          c1 = d1;
+          c2 = d2;
+          c3 = d3;
+          if (settled) break;
+        }
+        // Per row, tree t's contribution is added before tree t+1's —
+        // the same accumulation order as the scalar loop.
+        out[begin + i] += scale * nodes[a0].split;
+        out[begin + i] += scale * nodes[c0].split;
+        out[begin + i + 1] += scale * nodes[a1].split;
+        out[begin + i + 1] += scale * nodes[c1].split;
+        out[begin + i + 2] += scale * nodes[a2].split;
+        out[begin + i + 2] += scale * nodes[c2].split;
+        out[begin + i + 3] += scale * nodes[a3].split;
+        out[begin + i + 3] += scale * nodes[c3].split;
+      }
+      for (; i < nb; ++i) {
+        const double* const x = block + i * num_features;
+        std::int32_t a = root0, c = root1;
+        while (true) {
+          const std::int32_t b = step(nodes, a, x);
+          const std::int32_t d = step(nodes, c, x);
+          const bool settled = (b == a) & (d == c);
+          a = b;
+          c = d;
+          if (settled) break;
+        }
+        out[begin + i] += scale * nodes[a].split;
+        out[begin + i] += scale * nodes[c].split;
+      }
+    }
+    for (; t < roots_.size(); ++t) {
+      const std::int32_t root = roots_[t];
+      std::size_t i = 0;
+      for (; i + 4 <= nb; i += 4) {
+        const double* const x0 = block + i * num_features;
+        const double* const x1 = x0 + num_features;
+        const double* const x2 = x1 + num_features;
+        const double* const x3 = x2 + num_features;
+        std::int32_t a0 = root, a1 = root, a2 = root, a3 = root;
+        while (true) {
+          const std::int32_t b0 = step(nodes, a0, x0);
+          const std::int32_t b1 = step(nodes, a1, x1);
+          const std::int32_t b2 = step(nodes, a2, x2);
+          const std::int32_t b3 = step(nodes, a3, x3);
+          const bool settled =
+              (b0 == a0) & (b1 == a1) & (b2 == a2) & (b3 == a3);
+          a0 = b0;
+          a1 = b1;
+          a2 = b2;
+          a3 = b3;
+          if (settled) break;
+        }
+        out[begin + i] += scale * nodes[a0].split;
+        out[begin + i + 1] += scale * nodes[a1].split;
+        out[begin + i + 2] += scale * nodes[a2].split;
+        out[begin + i + 3] += scale * nodes[a3].split;
+      }
+      for (; i < nb; ++i) {
+        const double* const x = block + i * num_features;
+        std::int32_t at = root;
+        for (std::int32_t next = step(nodes, at, x); next != at;
+             next = step(nodes, at, x)) {
+          at = next;
+        }
+        out[begin + i] += scale * nodes[at].split;
+      }
+    }
+  }
+}
+
+}  // namespace anb

@@ -269,13 +269,24 @@ void HistGbdt::fit(const Dataset& train, Rng& rng) {
       pred[i] += params_.learning_rate * tree.predict(train.row(i));
     trees_.push_back(std::move(tree));
   }
+  rebuild_flat();
 }
+
+void HistGbdt::rebuild_flat() { flat_ = FlatForest(trees_); }
 
 double HistGbdt::predict(std::span<const double> x) const {
   ANB_CHECK(!trees_.empty(), "HistGbdt::predict: model not fitted");
   double acc = base_score_;
   for (const auto& tree : trees_) acc += params_.learning_rate * tree.predict(x);
   return acc;
+}
+
+void HistGbdt::predict_batch(std::span<const double> rows,
+                             std::size_t num_features,
+                             std::span<double> out) const {
+  ANB_CHECK(!trees_.empty(), "HistGbdt::predict_batch: model not fitted");
+  std::fill(out.begin(), out.end(), base_score_);
+  flat_.accumulate(rows, num_features, params_.learning_rate, out);
 }
 
 Json HistGbdt::to_json() const {
@@ -317,6 +328,7 @@ std::unique_ptr<HistGbdt> HistGbdt::from_json(const Json& j) {
   model->base_score_ = j.at("base_score").as_number();
   for (const auto& jt : j.at("trees").as_array())
     model->trees_.push_back(RegressionTree::from_json(jt));
+  model->rebuild_flat();
   return model;
 }
 

@@ -29,6 +29,10 @@ class Dataset {
   double target(std::size_t i) const;
   std::span<const double> targets() const { return targets_; }
 
+  /// The whole feature matrix, row-major (size() * num_features() values).
+  /// This is the layout batched prediction consumes directly.
+  std::span<const double> features_flat() const { return features_; }
+
   /// Value of feature `f` for row `i`.
   double feature(std::size_t i, std::size_t f) const;
 

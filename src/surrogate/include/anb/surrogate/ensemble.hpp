@@ -33,6 +33,10 @@ class EnsembleSurrogate final : public Surrogate {
 
   void fit(const Dataset& train, Rng& rng) override;
   double predict(std::span<const double> x) const override;
+  /// Batched ensemble mean: members' batched predictions accumulated in
+  /// member order, matching the scalar predict_dist() mean bit for bit.
+  void predict_batch(std::span<const double> rows, std::size_t num_features,
+                     std::span<double> out) const override;
   std::string name() const override { return "ensemble"; }
   Json to_json() const override;
   static std::unique_ptr<EnsembleSurrogate> from_json(const Json& j);

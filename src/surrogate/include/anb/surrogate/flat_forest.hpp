@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "anb/surrogate/tree.hpp"
+
+namespace anb {
+
+/// One node of a flattened forest. Internal nodes route
+/// x[feature] < split to `left`, else `right`. Leaves reuse the `split`
+/// slot for the leaf value and point `left`/`right` at *themselves*
+/// (self-loop), so advancing a row one level is branch-free and uniform
+/// whether or not the row has already reached its leaf. 24 bytes instead
+/// of RegressionTree's 32; child indices address the forest-global array.
+struct FlatNode {
+  double split = 0.0;  ///< threshold (internal) or leaf value (leaf)
+  std::int32_t feature = 0;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+};
+
+/// A fitted tree ensemble flattened into one contiguous node array for
+/// batched prediction. Scalar prediction walks each RegressionTree's own
+/// heap vector per row — one pointer chase per tree per row, a bounds
+/// check per node visit, and a serial data-dependent load chain that
+/// leaves the core idle between levels. Flattening removes the first two;
+/// the interleaved descent in accumulate() removes the third: two
+/// consecutive trees each walk four rows in lockstep, so eight mutually
+/// independent node loads overlap in flight instead of serializing.
+/// Self-looping leaves make each step uniform and turn "all states
+/// stopped moving" into the combined leaf test, so unbalanced trees cost
+/// only the deepest descent of the group. Tree-major iteration over
+/// 64-row blocks keeps each tree's nodes cache-hot while the block is
+/// processed. This is where the serving-throughput win comes from
+/// (bench/query_throughput.cpp).
+///
+/// Exactness contract: each row reaches its leaf through exactly the same
+/// `x[feature] < split` comparisons as the scalar walk (self-loop passes
+/// compare but discard the result), and `out += scale * leaf` accumulates
+/// in the same tree order — so results are bit-identical
+/// (tests/surrogate/predict_batch_test.cpp enforces this for every
+/// surrogate family).
+class FlatForest {
+ public:
+  FlatForest() = default;
+
+  /// Flatten fitted trees. Validates child indices; throws anb::Error on
+  /// malformed trees.
+  explicit FlatForest(std::span<const RegressionTree> trees);
+
+  bool empty() const { return roots_.empty(); }
+  std::size_t num_trees() const { return roots_.size(); }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// For every row i of the row-major matrix `rows` (out.size() rows of
+  /// `num_features` columns): out[i] += scale * tree_t(x_i), accumulated
+  /// over trees t in order. Callers pre-fill `out` with the base score.
+  void accumulate(std::span<const double> rows, std::size_t num_features,
+                  double scale, std::span<double> out) const;
+
+ private:
+  std::vector<FlatNode> nodes_;        // all trees back to back
+  std::vector<std::int32_t> roots_;    // root index of each tree
+  std::int32_t max_feature_ = -1;      // for a once-per-batch range check
+};
+
+}  // namespace anb

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "anb/surrogate/flat_forest.hpp"
 #include "anb/surrogate/surrogate.hpp"
 #include "anb/surrogate/tree.hpp"
 
@@ -36,6 +37,8 @@ class Gbdt final : public Surrogate {
 
   void fit(const Dataset& train, Rng& rng) override;
   double predict(std::span<const double> x) const override;
+  void predict_batch(std::span<const double> rows, std::size_t num_features,
+                     std::span<double> out) const override;
   std::string name() const override { return "xgb"; }
   Json to_json() const override;
   static std::unique_ptr<Gbdt> from_json(const Json& j);
@@ -44,9 +47,12 @@ class Gbdt final : public Surrogate {
   std::size_t num_trees() const { return trees_.size(); }
 
  private:
+  void rebuild_flat();
+
   GbdtParams params_;
   double base_score_ = 0.0;
   std::vector<RegressionTree> trees_;
+  FlatForest flat_;  ///< rebuilt from trees_ after fit()/from_json()
 };
 
 }  // namespace anb

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "anb/surrogate/flat_forest.hpp"
 #include "anb/surrogate/surrogate.hpp"
 #include "anb/surrogate/tree.hpp"
 
@@ -38,6 +39,8 @@ class HistGbdt final : public Surrogate {
 
   void fit(const Dataset& train, Rng& rng) override;
   double predict(std::span<const double> x) const override;
+  void predict_batch(std::span<const double> rows, std::size_t num_features,
+                     std::span<double> out) const override;
   std::string name() const override { return "lgb"; }
   Json to_json() const override;
   static std::unique_ptr<HistGbdt> from_json(const Json& j);
@@ -46,9 +49,12 @@ class HistGbdt final : public Surrogate {
   std::size_t num_trees() const { return trees_.size(); }
 
  private:
+  void rebuild_flat();
+
   HistGbdtParams params_;
   double base_score_ = 0.0;
   std::vector<RegressionTree> trees_;
+  FlatForest flat_;  ///< rebuilt from trees_ after fit()/from_json()
 };
 
 }  // namespace anb

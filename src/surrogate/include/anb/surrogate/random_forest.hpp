@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "anb/surrogate/flat_forest.hpp"
 #include "anb/surrogate/surrogate.hpp"
 #include "anb/surrogate/tree.hpp"
 
@@ -32,6 +33,8 @@ class RandomForest final : public Surrogate {
 
   void fit(const Dataset& train, Rng& rng) override;
   double predict(std::span<const double> x) const override;
+  void predict_batch(std::span<const double> rows, std::size_t num_features,
+                     std::span<double> out) const override;
 
   /// Ensemble mean and standard deviation across trees — the predictive
   /// uncertainty SMAC-style Bayesian optimization needs for its acquisition
@@ -45,8 +48,11 @@ class RandomForest final : public Surrogate {
   std::size_t num_trees() const { return trees_.size(); }
 
  private:
+  void rebuild_flat();
+
   RandomForestParams params_;
   std::vector<RegressionTree> trees_;
+  FlatForest flat_;  ///< rebuilt from trees_ after fit()/from_json()
 };
 
 }  // namespace anb

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <span>
 #include <string>
@@ -39,7 +40,26 @@ class Surrogate {
   /// Serialize the fitted model (including hyperparameters).
   virtual Json to_json() const = 0;
 
-  /// Predict every row of a dataset.
+  /// Predict a batch of rows: `rows` is a row-major matrix of
+  /// out.size() rows by `num_features` columns; prediction for row i is
+  /// written to out[i]. Runs on the calling thread.
+  ///
+  /// Contract: the output is bit-identical to calling predict() on each
+  /// row (tests/surrogate/predict_batch_test.cpp). The base implementation
+  /// is exactly that scalar loop; tree ensembles and SVR override it with
+  /// vectorized paths (flattened-forest traversal, blocked kernel
+  /// expansion) that preserve per-row operation order.
+  virtual void predict_batch(std::span<const double> rows,
+                             std::size_t num_features,
+                             std::span<double> out) const;
+
+  /// Batched prediction parallelized over row chunks with anb::parallel_for
+  /// (chunking is a pure partition, so results are deterministic and equal
+  /// to predict_batch / per-row predict). This is the serving hot path.
+  void predict_matrix(std::span<const double> rows, std::size_t num_features,
+                      std::span<double> out) const;
+
+  /// Predict every row of a dataset (routed through predict_matrix).
   std::vector<double> predict_all(const Dataset& data) const;
 
   /// Evaluate on a labelled dataset.

@@ -41,7 +41,12 @@ class Svr final : public Surrogate {
   explicit Svr(SvrParams params = {});
 
   void fit(const Dataset& train, Rng& rng) override;
+  /// Scalar prediction is the one-row case of predict_batch (a single code
+  /// path, so batch and scalar results are identical by construction).
   double predict(std::span<const double> x) const override;
+  /// Blocked kernel expansion over a contiguous support-vector matrix.
+  void predict_batch(std::span<const double> rows, std::size_t num_features,
+                     std::span<double> out) const override;
   std::string name() const override {
     return params_.kind == SvrKind::kEpsilon ? "esvr" : "nusvr";
   }
@@ -61,6 +66,7 @@ class Svr final : public Surrogate {
   FitOutput solve_epsilon(const std::vector<std::vector<float>>& kernel,
                           std::span<const double> y, double epsilon) const;
   double gamma_value(std::size_t num_features) const;
+  void rebuild_flat();
 
   SvrParams params_;
   double effective_epsilon_ = 0.0;
@@ -71,6 +77,9 @@ class Svr final : public Surrogate {
   std::vector<std::vector<double>> support_vectors_;  // standardized
   std::vector<double> sv_coef_;
   double bias_ = 0.0;
+  /// support_vectors_ flattened row-major for the batched kernel expansion
+  /// (rebuilt after fit()/from_json(); not serialized).
+  std::vector<double> sv_flat_;
 };
 
 }  // namespace anb

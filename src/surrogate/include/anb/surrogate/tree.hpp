@@ -29,6 +29,14 @@ class RegressionTree {
   explicit RegressionTree(std::vector<TreeNode> nodes);
 
   double predict(std::span<const double> x) const;
+
+  /// Batched prediction over a row-major matrix (out.size() rows of
+  /// `num_features` columns). Performs the same comparisons as predict()
+  /// with the per-node bounds check hoisted to one check per call, so the
+  /// output is bit-identical to per-row predict().
+  void predict_batch(std::span<const double> rows, std::size_t num_features,
+                     std::span<double> out) const;
+
   const std::vector<TreeNode>& nodes() const { return nodes_; }
   int num_leaves() const;
 

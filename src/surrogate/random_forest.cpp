@@ -1,5 +1,6 @@
 #include "anb/surrogate/random_forest.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "anb/util/error.hpp"
@@ -47,13 +48,28 @@ void RandomForest::fit(const Dataset& train, Rng& rng) {
       weight[rng.uniform_index(n)] += 1.0;
     trees_.push_back(build_tree(train, columns, g, h, weight, tp, rng));
   }
+  rebuild_flat();
 }
+
+void RandomForest::rebuild_flat() { flat_ = FlatForest(trees_); }
 
 double RandomForest::predict(std::span<const double> x) const {
   ANB_CHECK(!trees_.empty(), "RandomForest::predict: model not fitted");
   double acc = 0.0;
   for (const auto& tree : trees_) acc += tree.predict(x);
   return acc / static_cast<double>(trees_.size());
+}
+
+void RandomForest::predict_batch(std::span<const double> rows,
+                                 std::size_t num_features,
+                                 std::span<double> out) const {
+  ANB_CHECK(!trees_.empty(), "RandomForest::predict_batch: model not fitted");
+  std::fill(out.begin(), out.end(), 0.0);
+  // Accumulating with scale 1.0 then dividing matches the scalar path's
+  // sum-then-divide exactly (1.0 * leaf is an exact multiplication).
+  flat_.accumulate(rows, num_features, 1.0, out);
+  const double n = static_cast<double>(trees_.size());
+  for (double& v : out) v /= n;
 }
 
 std::pair<double, double> RandomForest::predict_mean_std(
@@ -100,6 +116,7 @@ std::unique_ptr<RandomForest> RandomForest::from_json(const Json& j) {
   auto model = std::make_unique<RandomForest>(params);
   for (const auto& jt : j.at("trees").as_array())
     model->trees_.push_back(RegressionTree::from_json(jt));
+  model->rebuild_flat();
   return model;
 }
 

@@ -7,13 +7,43 @@
 #include "anb/surrogate/svr.hpp"
 #include "anb/util/error.hpp"
 #include "anb/util/metrics.hpp"
+#include "anb/util/parallel.hpp"
 
 namespace anb {
 
+namespace {
+/// Rows per parallel_for_chunks work item in predict_matrix. Large enough
+/// to amortize thread dispatch, small enough to spread a NAS population
+/// across workers.
+constexpr std::size_t kPredictChunk = 256;
+}  // namespace
+
+void Surrogate::predict_batch(std::span<const double> rows,
+                              std::size_t num_features,
+                              std::span<double> out) const {
+  ANB_CHECK(num_features > 0 && rows.size() == out.size() * num_features,
+            "Surrogate::predict_batch: row matrix / output size mismatch");
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = predict(rows.subspan(i * num_features, num_features));
+}
+
+void Surrogate::predict_matrix(std::span<const double> rows,
+                               std::size_t num_features,
+                               std::span<double> out) const {
+  ANB_CHECK(num_features > 0 && rows.size() == out.size() * num_features,
+            "Surrogate::predict_matrix: row matrix / output size mismatch");
+  parallel_for_chunks(out.size(), kPredictChunk,
+                      [&](std::size_t begin, std::size_t end) {
+                        predict_batch(
+                            rows.subspan(begin * num_features,
+                                         (end - begin) * num_features),
+                            num_features, out.subspan(begin, end - begin));
+                      });
+}
+
 std::vector<double> Surrogate::predict_all(const Dataset& data) const {
-  std::vector<double> out;
-  out.reserve(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) out.push_back(predict(data.row(i)));
+  std::vector<double> out(data.size());
+  predict_matrix(data.features_flat(), data.num_features(), out);
   return out;
 }
 

@@ -166,28 +166,68 @@ void Svr::fit(const Dataset& train, Rng& /*rng*/) {
   bias_ = fit_out.bias;
   ANB_CHECK(!sv_coef_.empty(),
             "Svr::fit: no support vectors (epsilon tube too wide?)");
+  rebuild_flat();
+}
+
+void Svr::rebuild_flat() {
+  sv_flat_.clear();
+  sv_flat_.reserve(support_vectors_.size() * feat_mean_.size());
+  for (const auto& sv : support_vectors_) {
+    ANB_CHECK(sv.size() == feat_mean_.size(),
+              "Svr: support vector dimension mismatch");
+    sv_flat_.insert(sv_flat_.end(), sv.begin(), sv.end());
+  }
 }
 
 double Svr::predict(std::span<const double> x) const {
-  ANB_CHECK(!sv_coef_.empty(), "Svr::predict: model not fitted");
-  ANB_CHECK(x.size() == feat_mean_.size(),
-            "Svr::predict: feature dimension mismatch");
-  const std::size_t d = x.size();
-  std::vector<double> xs(d);
-  for (std::size_t f = 0; f < d; ++f)
-    xs[f] = (x[f] - feat_mean_[f]) / feat_scale_[f];
+  double out = 0.0;
+  predict_batch(x, x.size(), {&out, 1});
+  return out;
+}
 
+void Svr::predict_batch(std::span<const double> rows,
+                        std::size_t num_features,
+                        std::span<double> out) const {
+  ANB_CHECK(!sv_coef_.empty(), "Svr::predict_batch: model not fitted");
+  ANB_CHECK(num_features == feat_mean_.size(),
+            "Svr::predict_batch: feature dimension mismatch");
+  ANB_CHECK(rows.size() == out.size() * num_features,
+            "Svr::predict_batch: row matrix / output size mismatch");
+  const std::size_t d = num_features;
   const double gamma = gamma_value(d);
-  double f_val = bias_;
-  for (std::size_t s = 0; s < support_vectors_.size(); ++s) {
-    double dist2 = 0.0;
-    for (std::size_t k = 0; k < d; ++k) {
-      const double diff = xs[k] - support_vectors_[s][k];
-      dist2 += diff * diff;
+  const std::size_t n_sv = sv_coef_.size();
+
+  // Row blocks keep the standardized block plus the support-vector matrix
+  // streaming through cache; per row the kernel terms accumulate in
+  // support-vector order, exactly as the one-row case.
+  constexpr std::size_t kBlock = 64;
+  std::vector<double> xs(kBlock * d);
+  for (std::size_t begin = 0; begin < out.size(); begin += kBlock) {
+    const std::size_t end = std::min(out.size(), begin + kBlock);
+    const std::size_t bn = end - begin;
+    for (std::size_t i = 0; i < bn; ++i) {
+      const double* x = rows.data() + (begin + i) * d;
+      double* row_xs = xs.data() + i * d;
+      for (std::size_t f = 0; f < d; ++f)
+        row_xs[f] = (x[f] - feat_mean_[f]) / feat_scale_[f];
     }
-    f_val += sv_coef_[s] * std::exp(-gamma * dist2);
+    for (std::size_t i = begin; i < end; ++i) out[i] = bias_;
+    for (std::size_t s = 0; s < n_sv; ++s) {
+      const double* sv = sv_flat_.data() + s * d;
+      const double coef = sv_coef_[s];
+      for (std::size_t i = 0; i < bn; ++i) {
+        const double* row_xs = xs.data() + i * d;
+        double dist2 = 0.0;
+        for (std::size_t k = 0; k < d; ++k) {
+          const double diff = row_xs[k] - sv[k];
+          dist2 += diff * diff;
+        }
+        out[begin + i] += coef * std::exp(-gamma * dist2);
+      }
+    }
+    for (std::size_t i = begin; i < end; ++i)
+      out[i] = out[i] * target_scale_ + target_mean_;
   }
-  return f_val * target_scale_ + target_mean_;
 }
 
 Json Svr::to_json() const {
@@ -237,6 +277,9 @@ std::unique_ptr<Svr> Svr::from_json(const Json& j) {
     model->support_vectors_.push_back(jsv.as_double_vector());
   ANB_CHECK(model->support_vectors_.size() == model->sv_coef_.size(),
             "Svr::from_json: coef/support-vector count mismatch");
+  ANB_CHECK(model->feat_mean_.size() == model->feat_scale_.size(),
+            "Svr::from_json: feature mean/scale size mismatch");
+  model->rebuild_flat();
   return model;
 }
 

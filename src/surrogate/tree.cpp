@@ -24,6 +24,29 @@ double RegressionTree::predict(std::span<const double> x) const {
   return nodes_[static_cast<std::size_t>(i)].value;
 }
 
+void RegressionTree::predict_batch(std::span<const double> rows,
+                                   std::size_t num_features,
+                                   std::span<double> out) const {
+  ANB_CHECK(!nodes_.empty(), "RegressionTree::predict_batch: tree not fitted");
+  ANB_CHECK(num_features > 0 && rows.size() == out.size() * num_features,
+            "RegressionTree::predict_batch: row matrix / output size "
+            "mismatch");
+  for (const auto& n : nodes_) {
+    ANB_CHECK(n.feature < static_cast<int>(num_features),
+              "RegressionTree::predict_batch: feature index out of range");
+  }
+  const TreeNode* const nodes = nodes_.data();
+  const double* x = rows.data();
+  for (std::size_t i = 0; i < out.size(); ++i, x += num_features) {
+    int at = 0;
+    while (nodes[at].feature >= 0) {
+      const TreeNode& n = nodes[at];
+      at = x[n.feature] < n.threshold ? n.left : n.right;
+    }
+    out[i] = nodes[at].value;
+  }
+}
+
 int RegressionTree::num_leaves() const {
   int leaves = 0;
   for (const auto& n : nodes_)

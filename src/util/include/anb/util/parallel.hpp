@@ -26,4 +26,15 @@ namespace anb {
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   unsigned num_threads = 0);
 
+/// Run `body(begin, end)` over [0, n) carved into half-open chunks of at
+/// most `chunk` items, across up to `num_threads` workers. The chunking is
+/// a pure partition of the index range — results must not depend on which
+/// worker runs which chunk, so any row-wise independent computation (e.g.
+/// batched surrogate prediction) is deterministic under it. Small inputs
+/// (a single chunk) run inline on the calling thread.
+void parallel_for_chunks(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    unsigned num_threads = 0);
+
 }  // namespace anb

@@ -52,4 +52,25 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void parallel_for_chunks(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    unsigned num_threads) {
+  ANB_CHECK(static_cast<bool>(body), "parallel_for_chunks: null body");
+  ANB_CHECK(chunk > 0, "parallel_for_chunks: chunk must be > 0");
+  if (n == 0) return;
+  if (n <= chunk) {
+    body(0, n);
+    return;
+  }
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+  parallel_for(
+      n_chunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * chunk;
+        body(begin, std::min(n, begin + chunk));
+      },
+      num_threads);
+}
+
 }  // namespace anb

@@ -1,0 +1,219 @@
+// Tests for AccelNASBench's architecture-keyed query cache: exact hit/miss
+// accounting for scalar and batched queries, in-batch duplicate semantics,
+// and determinism when hammered from parallel_for workers (the latter runs
+// under TSan in CI — the cache is the only shared mutable state in the
+// query path).
+
+#include "anb/anb/benchmark.hpp"
+
+#include <gtest/gtest.h>
+
+#include "anb/anb/tuning.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "anb/util/error.hpp"
+#include "anb/util/parallel.hpp"
+
+namespace anb {
+namespace {
+
+std::unique_ptr<Surrogate> fitted_model(std::uint64_t seed,
+                                        double scale = 1.0) {
+  Dataset ds(static_cast<std::size_t>(SearchSpace::feature_dim()));
+  Rng rng(seed);
+  for (int i = 0; i < 150; ++i) {
+    const Architecture a = SearchSpace::sample(rng);
+    const auto f = SearchSpace::features(a);
+    double y = 0.0;
+    for (double v : f) y += v;
+    ds.add(f, scale * y + rng.normal(0.0, 0.01));
+  }
+  auto model = make_default_surrogate(SurrogateKind::kXgb);
+  model->fit(ds, rng);
+  return model;
+}
+
+AccelNASBench make_bench() {
+  AccelNASBench bench;
+  bench.set_accuracy_surrogate(fitted_model(1));
+  bench.set_perf_surrogate(DeviceKind::kA100, PerfMetric::kThroughput,
+                           fitted_model(2, 100.0));
+  return bench;
+}
+
+/// `n` architectures with pairwise-distinct cache keys (to_index), so
+/// hit/miss counts can be asserted exactly.
+std::vector<Architecture> distinct_archs(std::size_t n, std::uint64_t seed) {
+  std::vector<Architecture> archs;
+  std::set<std::uint64_t> seen;
+  Rng rng(seed);
+  while (archs.size() < n) {
+    const Architecture a = SearchSpace::sample(rng);
+    if (seen.insert(SearchSpace::to_index(a)).second) archs.push_back(a);
+  }
+  return archs;
+}
+
+TEST(BenchmarkCacheTest, ScalarHitMissAccounting) {
+  const AccelNASBench bench = make_bench();
+  const auto archs = distinct_archs(10, 3);
+
+  std::vector<double> first;
+  for (const auto& a : archs) first.push_back(bench.query_accuracy(a));
+  QueryCacheStats stats = bench.cache_stats();
+  EXPECT_EQ(stats.misses, 10u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  for (std::size_t i = 0; i < archs.size(); ++i)
+    EXPECT_EQ(bench.query_accuracy(archs[i]), first[i]);
+  stats = bench.cache_stats();
+  EXPECT_EQ(stats.misses, 10u);
+  EXPECT_EQ(stats.hits, 10u);
+
+  // Accuracy and perf cache entries are keyed separately: perf queries on
+  // the same architectures are fresh misses.
+  for (const auto& a : archs)
+    bench.query_perf(a, DeviceKind::kA100, PerfMetric::kThroughput);
+  stats = bench.cache_stats();
+  EXPECT_EQ(stats.misses, 20u);
+  EXPECT_EQ(stats.hits, 10u);
+}
+
+TEST(BenchmarkCacheTest, BatchedQueryMatchesScalarAndCountsDuplicates) {
+  const AccelNASBench bench = make_bench();
+  const auto unique = distinct_archs(8, 4);
+
+  // Reference values via the scalar path on a second, cache-less bench.
+  AccelNASBench reference = make_bench();
+  reference.set_cache_enabled(false);
+  std::vector<double> expected;
+  for (const auto& a : unique) expected.push_back(reference.query_accuracy(a));
+
+  // Batch = each unique arch twice. Cold cache: one miss per unique arch,
+  // the in-batch repeat is served as a hit.
+  std::vector<Architecture> batch(unique);
+  batch.insert(batch.end(), unique.begin(), unique.end());
+  const std::vector<double> got = bench.query_accuracy_batch(batch);
+  ASSERT_EQ(got.size(), batch.size());
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "row " << i;
+    EXPECT_EQ(got[i + unique.size()], expected[i]) << "repeat row " << i;
+  }
+  const QueryCacheStats stats = bench.cache_stats();
+  EXPECT_EQ(stats.misses, unique.size());
+  EXPECT_EQ(stats.hits, unique.size());
+
+  // Warm batch: pure hits, and scalar queries agree with the batch.
+  const std::vector<double> warm = bench.query_accuracy_batch(batch);
+  EXPECT_EQ(warm, got);
+  EXPECT_EQ(bench.cache_stats().hits, unique.size() + batch.size());
+  for (std::size_t i = 0; i < unique.size(); ++i)
+    EXPECT_EQ(bench.query_accuracy(unique[i]), expected[i]);
+}
+
+TEST(BenchmarkCacheTest, PerfBatchMatchesScalar) {
+  const AccelNASBench bench = make_bench();
+  const auto archs = distinct_archs(12, 5);
+  const std::vector<double> batch = bench.query_perf_batch(
+      archs, DeviceKind::kA100, PerfMetric::kThroughput);
+  ASSERT_EQ(batch.size(), archs.size());
+  for (std::size_t i = 0; i < archs.size(); ++i)
+    EXPECT_EQ(batch[i], bench.query_perf(archs[i], DeviceKind::kA100,
+                                         PerfMetric::kThroughput));
+  EXPECT_THROW(bench.query_perf_batch(archs, DeviceKind::kRtx3090,
+                                      PerfMetric::kThroughput),
+               Error);
+}
+
+TEST(BenchmarkCacheTest, ParallelHammerIsDeterministic) {
+  const AccelNASBench bench = make_bench();
+  constexpr std::size_t kUnique = 16;
+  constexpr std::size_t kQueries = 512;
+  const auto archs = distinct_archs(kUnique, 6);
+
+  AccelNASBench reference = make_bench();
+  reference.set_cache_enabled(false);
+  std::vector<double> expected;
+  for (const auto& a : archs) expected.push_back(reference.query_accuracy(a));
+
+  // Hammer the cache from four workers (forced even on one-core hosts):
+  // every worker mixes scalar and batched queries over the same keys, so
+  // lookups, inserts, and the miss fan-out race on the shared state. Run
+  // under TSan in CI. Results must equal the cache-less reference exactly
+  // regardless of interleaving.
+  std::vector<double> scalar_got(kQueries);
+  std::vector<std::vector<double>> batch_got(kQueries / 64);
+  parallel_for(
+      kQueries,
+      [&](std::size_t q) {
+        scalar_got[q] = bench.query_accuracy(archs[q % kUnique]);
+        if (q % 64 == 0)
+          batch_got[q / 64] = bench.query_accuracy_batch(archs);
+      },
+      /*num_threads=*/4);
+
+  for (std::size_t q = 0; q < kQueries; ++q)
+    EXPECT_EQ(scalar_got[q], expected[q % kUnique]) << "query " << q;
+  for (const auto& batch : batch_got) {
+    ASSERT_EQ(batch.size(), kUnique);
+    for (std::size_t i = 0; i < kUnique; ++i) EXPECT_EQ(batch[i], expected[i]);
+  }
+
+  // Exact counts are racy by design (two workers can miss the same key
+  // before either publishes), but conservation holds: every query is
+  // counted exactly once, at least one miss per unique key, and no more
+  // misses than total queries minus the guaranteed warm repeats.
+  const QueryCacheStats stats = bench.cache_stats();
+  const std::uint64_t total =
+      kQueries + (kQueries / 64) * kUnique;
+  EXPECT_EQ(stats.hits + stats.misses, total);
+  EXPECT_GE(stats.misses, kUnique);
+  EXPECT_GT(stats.hits, 0u);
+}
+
+TEST(BenchmarkCacheTest, DisableAndClear) {
+  const AccelNASBench bench = make_bench();
+  const auto archs = distinct_archs(5, 7);
+
+  std::vector<double> cached;
+  for (const auto& a : archs) cached.push_back(bench.query_accuracy(a));
+  EXPECT_EQ(bench.cache_stats().misses, 5u);
+
+  AccelNASBench uncached = make_bench();
+  uncached.set_cache_enabled(false);
+  EXPECT_FALSE(uncached.cache_enabled());
+  for (std::size_t i = 0; i < archs.size(); ++i)
+    EXPECT_EQ(uncached.query_accuracy(archs[i]), cached[i]);
+  // Disabled cache neither counts nor stores.
+  QueryCacheStats stats = uncached.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+
+  // clear_cache drops entries and resets the counters: re-querying misses
+  // again and still returns the same values.
+  bench.clear_cache();
+  stats = bench.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  for (std::size_t i = 0; i < archs.size(); ++i)
+    EXPECT_EQ(bench.query_accuracy(archs[i]), cached[i]);
+  EXPECT_EQ(bench.cache_stats().misses, 5u);
+}
+
+TEST(BenchmarkCacheTest, EmptyBatchAndMissingSurrogate) {
+  const AccelNASBench bench = make_bench();
+  EXPECT_TRUE(bench.query_accuracy_batch({}).empty());
+  EXPECT_EQ(bench.cache_stats().hits + bench.cache_stats().misses, 0u);
+
+  const AccelNASBench empty;
+  const auto archs = distinct_archs(2, 8);
+  EXPECT_THROW(empty.query_accuracy_batch(archs), Error);
+}
+
+}  // namespace
+}  // namespace anb

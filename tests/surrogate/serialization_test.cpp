@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "anb/surrogate/ensemble.hpp"
 #include "anb/surrogate/gbdt.hpp"
 #include "anb/surrogate/hist_gbdt.hpp"
 #include "anb/surrogate/random_forest.hpp"
@@ -31,13 +37,24 @@ class SerializationTest : public ::testing::Test {
     const auto restored = surrogate_from_json(payload);
     EXPECT_EQ(restored->name(), model.name());
     Rng probe(3);
+    std::vector<double> probe_rows;
     for (int i = 0; i < 50; ++i) {
       const std::vector<double> x{probe.uniform(), probe.uniform(),
                                   probe.uniform(),
                                   static_cast<double>(probe.bernoulli(0.5))};
+      probe_rows.insert(probe_rows.end(), x.begin(), x.end());
       EXPECT_DOUBLE_EQ(restored->predict(x), model.predict(x))
           << model.name();
     }
+    // The restored model rebuilds its flattened forest from the decoded
+    // trees; its batched path must still match the original bit for bit.
+    std::vector<double> original_batch(50), restored_batch(50);
+    model.predict_batch(probe_rows, 4, original_batch);
+    restored->predict_batch(probe_rows, 4, restored_batch);
+    for (int i = 0; i < 50; ++i)
+      EXPECT_EQ(original_batch[static_cast<std::size_t>(i)],
+                restored_batch[static_cast<std::size_t>(i)])
+          << model.name() << " batch row " << i;
     // Text round trip too (what save/load does).
     const auto reparsed = surrogate_from_json(Json::parse(payload.dump()));
     const std::vector<double> x{0.1, 0.2, 0.3, 1.0};
@@ -100,6 +117,78 @@ TEST_F(SerializationTest, WrongTagRejectedByConcreteLoaders) {
   Json j = model.to_json();
   j["type"] = "rf";
   EXPECT_THROW(Gbdt::from_json(j), Error);
+}
+
+TEST_F(SerializationTest, EnsembleRoundTrips) {
+  GbdtParams member_params;
+  member_params.n_estimators = 10;
+  EnsembleSurrogate model(
+      [member_params] { return std::make_unique<Gbdt>(member_params); },
+      /*size=*/3);
+  round_trip_and_compare(model);
+}
+
+/// A fitted Gbdt payload with one tree node replaced by the given object.
+/// Lets the malformed-payload tests corrupt exactly one field at a time.
+Json gbdt_payload_with_node(const Json& node) {
+  GbdtParams p;
+  p.n_estimators = 3;
+  Gbdt model(p);
+  const Dataset train = make_dataset(50, 6);
+  Rng rng(7);
+  model.fit(train, rng);
+  Json j = model.to_json();
+  j["trees"].as_array()[0].as_array()[0] = node;
+  return j;
+}
+
+Json tree_node(int f, double t, int l, int r, double v) {
+  Json jn = Json::object();
+  jn["f"] = f;
+  jn["t"] = t;
+  jn["l"] = l;
+  jn["r"] = r;
+  jn["v"] = v;
+  return jn;
+}
+
+TEST_F(SerializationTest, DanglingChildIndexRejected) {
+  // Internal node pointing past the tree's node array.
+  EXPECT_THROW(
+      surrogate_from_json(gbdt_payload_with_node(
+          tree_node(/*f=*/0, /*t=*/0.5, /*l=*/9999, /*r=*/1, /*v=*/0.0))),
+      Error);
+  EXPECT_THROW(
+      surrogate_from_json(gbdt_payload_with_node(
+          tree_node(/*f=*/0, /*t=*/0.5, /*l=*/1, /*r=*/-3, /*v=*/0.0))),
+      Error);
+}
+
+TEST_F(SerializationTest, SelfChildRejectedByFlattening) {
+  // An internal node that is its own child passes the range check but
+  // would loop forever in traversal; the flattened-forest rebuild inside
+  // from_json must reject it (leaves are the only legal self-loops).
+  EXPECT_THROW(
+      surrogate_from_json(gbdt_payload_with_node(
+          tree_node(/*f=*/0, /*t=*/0.5, /*l=*/0, /*r=*/1, /*v=*/0.0))),
+      Error);
+}
+
+TEST_F(SerializationTest, MissingFieldsRejected) {
+  GbdtParams p;
+  p.n_estimators = 3;
+  Gbdt model(p);
+  const Dataset train = make_dataset(50, 8);
+  Rng rng(9);
+  model.fit(train, rng);
+
+  Json no_trees = model.to_json();
+  no_trees.as_object().erase("trees");
+  EXPECT_THROW(surrogate_from_json(no_trees), Error);
+
+  Json bad_node = model.to_json();
+  bad_node["trees"].as_array()[0].as_array()[0].as_object().erase("t");
+  EXPECT_THROW(surrogate_from_json(bad_node), Error);
 }
 
 }  // namespace
