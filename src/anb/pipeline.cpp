@@ -3,6 +3,7 @@
 #include "anb/surrogate/ensemble.hpp"
 
 #include "anb/util/error.hpp"
+#include "anb/util/parallel.hpp"
 
 namespace anb {
 
@@ -45,8 +46,12 @@ PipelineResult construct_benchmark(const PipelineOptions& options) {
   result.data = collector.collect(collection);
 
   // --- 3. surrogate fitting ----------------------------------------------
-  auto fit_one = [&](const Dataset& full, const std::string& name)
-      -> std::unique_ptr<Surrogate> {
+  // Every dataset x metric fit is independent: each derives its seeds from
+  // the task name alone, so the fitted models do not depend on evaluation
+  // order and the whole batch can fan out across threads. Results land in
+  // per-task slots and are assembled serially afterwards.
+  auto fit_one = [&](const Dataset& full, const std::string& name,
+                     FitMetrics& test_metrics) -> std::unique_ptr<Surrogate> {
     Rng split_rng(hash_combine(options.split_seed, name.size()));
     DatasetSplits splits =
         full.split(options.train_frac, options.val_frac, split_rng);
@@ -62,9 +67,52 @@ PipelineResult construct_benchmark(const PipelineOptions& options) {
       Rng fit_rng(hash_combine(options.world_seed, 0xF17 + name.size()));
       model->fit(splits.train, fit_rng);
     }
-    result.test_metrics[name] = model->evaluate(splits.test);
+    test_metrics = model->evaluate(splits.test);
     return model;
   };
+
+  struct FitTask {
+    Dataset data;  ///< materialized here (the accessors return by value)
+    std::string name;
+    bool is_accuracy = false;
+    DeviceKind device{};
+    PerfMetric metric{};
+  };
+  std::vector<FitTask> tasks;
+  if (!options.ensemble_accuracy) {
+    tasks.push_back(
+        {result.data.accuracy_dataset(), "ANB-Acc", true, {}, {}});
+  }
+  if (options.collect_perf) {
+    for (const auto& device : device_catalog()) {
+      std::vector<PerfMetric> metrics{PerfMetric::kThroughput};
+      if (device.supports_latency()) metrics.push_back(PerfMetric::kLatency);
+      if (options.collect_energy) metrics.push_back(PerfMetric::kEnergy);
+      for (PerfMetric metric : metrics) {
+        tasks.push_back({result.data.perf_dataset(device.kind(), metric),
+                         dataset_name(device.kind(), metric), false,
+                         device.kind(), metric});
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<Surrogate>> models(tasks.size());
+  std::vector<FitMetrics> task_metrics(tasks.size());
+  parallel_for(tasks.size(), [&](std::size_t i) {
+    models[i] = fit_one(tasks[i].data, tasks[i].name, task_metrics[i]);
+  });
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    ANB_CHECK(models[i] != nullptr,
+              "construct_benchmark: fit task '" + tasks[i].name +
+                  "' produced no model");
+    result.test_metrics[tasks[i].name] = task_metrics[i];
+    if (tasks[i].is_accuracy) {
+      result.bench.set_accuracy_surrogate(std::move(models[i]));
+    } else {
+      result.bench.set_perf_surrogate(tasks[i].device, tasks[i].metric,
+                                      std::move(models[i]));
+    }
+  }
 
   if (options.ensemble_accuracy) {
     // Bootstrap ensemble of XGBs: mean queries plus NB301-style noise.
@@ -78,22 +126,6 @@ PipelineResult construct_benchmark(const PipelineOptions& options) {
     ensemble->fit(splits.train, fit_rng);
     result.test_metrics["ANB-Acc"] = ensemble->evaluate(splits.test);
     result.bench.set_accuracy_surrogate(std::move(ensemble));
-  } else {
-    result.bench.set_accuracy_surrogate(
-        fit_one(result.data.accuracy_dataset(), "ANB-Acc"));
-  }
-  if (options.collect_perf) {
-    for (const auto& device : device_catalog()) {
-      std::vector<PerfMetric> metrics{PerfMetric::kThroughput};
-      if (device.supports_latency()) metrics.push_back(PerfMetric::kLatency);
-      if (options.collect_energy) metrics.push_back(PerfMetric::kEnergy);
-      for (PerfMetric metric : metrics) {
-        const std::string name = dataset_name(device.kind(), metric);
-        result.bench.set_perf_surrogate(
-            device.kind(), metric,
-            fit_one(result.data.perf_dataset(device.kind(), metric), name));
-      }
-    }
   }
   return result;
 }

@@ -7,6 +7,7 @@
 #include "anb/surrogate/hist_gbdt.hpp"
 #include "anb/surrogate/random_forest.hpp"
 #include "anb/surrogate/svr.hpp"
+#include "anb/surrogate/train_context.hpp"
 #include "anb/util/error.hpp"
 
 namespace anb {
@@ -174,12 +175,17 @@ TunedSurrogate tune_surrogate(SurrogateKind kind, const Dataset& train,
   }
 
   const ConfigSpace space = surrogate_config_space(kind);
+  // Shared per-dataset training structures (sorted columns, bin matrices
+  // keyed by max_bins) built once and reused across all trials. The context
+  // is internally synchronized and each trial derives its own rng from the
+  // config, so the objective is pure and safe to evaluate concurrently.
+  TrainContext tune_ctx(*tune_train);
   HpoObjective objective = [&](const Configuration& config) {
     auto model = make_surrogate(kind, config);
     Rng fit_rng(hash_combine(options.seed, config.to_string().size() * 31 +
                                                0xF17));
     try {
-      model->fit(*tune_train, fit_rng);
+      model->fit(*tune_train, tune_ctx, fit_rng);
     } catch (const Error&) {
       return 1e6;  // degenerate config (e.g. ε tube swallowing all points)
     }
@@ -189,6 +195,7 @@ TunedSurrogate tune_surrogate(SurrogateKind kind, const Dataset& train,
   SmacLite::Options smac;
   smac.n_trials = options.n_trials;
   smac.n_init = std::min(8, options.n_trials);
+  smac.parallel_objective = true;
   Rng rng(options.seed);
   const HpoResult result = SmacLite::run(space, objective, smac, rng);
 

@@ -56,6 +56,12 @@ class RandomSearchHpo {
 /// unit-cube encoding + expected-improvement acquisition, with interleaved
 /// random configurations (the paper tunes its benchmark surrogates with
 /// SMAC3, §3.3.3).
+///
+/// Configurations are always sampled and recorded on the calling thread in
+/// a fixed order, and EI candidates are scored concurrently against the
+/// (const) forest, so results are identical for any thread count. With
+/// `parallel_objective` the initial design's objective calls also run
+/// concurrently — identical results require the objective to be pure.
 class SmacLite {
  public:
   struct Options {
@@ -64,6 +70,10 @@ class SmacLite {
     int n_candidates = 500;    ///< EI candidate pool per iteration
     int random_interleave = 4; ///< every k-th trial is random
     std::function<bool(const Configuration&)> filter;
+    /// Evaluate the initial design's objective calls concurrently. Leave
+    /// false unless the objective is thread-safe and does not touch shared
+    /// mutable state (the filter always runs on the calling thread).
+    bool parallel_objective = false;
   };
 
   static HpoResult run(const ConfigSpace& space, const HpoObjective& objective,

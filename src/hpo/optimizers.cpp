@@ -6,6 +6,7 @@
 
 #include "anb/surrogate/random_forest.hpp"
 #include "anb/util/error.hpp"
+#include "anb/util/parallel.hpp"
 
 namespace anb {
 
@@ -32,6 +33,10 @@ double expected_improvement(double mean, double std, double f_best) {
   return (f_best - mean) * normal_cdf(z) + std * normal_pdf(z);
 }
 
+/// Candidates per work item when scoring the EI pool; each item walks the
+/// whole forest, so chunks amortize dispatch without starving workers.
+constexpr std::size_t kEiChunk = 64;
+
 }  // namespace
 
 HpoResult GridSearch::run(const ConfigSpace& space,
@@ -40,7 +45,9 @@ HpoResult GridSearch::run(const ConfigSpace& space,
   ANB_CHECK(static_cast<bool>(objective), "GridSearch: missing objective");
   HpoResult result;
   result.best_value = std::numeric_limits<double>::infinity();
-  for (auto& config : space.grid(options.points_per_range)) {
+  auto grid = space.grid(options.points_per_range);
+  result.history.reserve(grid.size());
+  for (auto& config : grid) {
     if (options.filter && !options.filter(config)) continue;
     const double value = objective(config);
     record(result, std::move(config), value);
@@ -58,6 +65,7 @@ HpoResult RandomSearchHpo::run(const ConfigSpace& space,
   ANB_CHECK(n_trials >= 1, "RandomSearchHpo: n_trials must be >= 1");
   HpoResult result;
   result.best_value = std::numeric_limits<double>::infinity();
+  result.history.reserve(static_cast<std::size_t>(n_trials));
   for (int t = 0; t < n_trials; ++t) {
     Configuration config = space.sample(rng);
     const double value = objective(config);
@@ -75,6 +83,7 @@ HpoResult SmacLite::run(const ConfigSpace& space,
 
   HpoResult result;
   result.best_value = std::numeric_limits<double>::infinity();
+  result.history.reserve(static_cast<std::size_t>(options.n_trials));
 
   auto sample_valid = [&]() {
     for (int attempt = 0; attempt < 1000; ++attempt) {
@@ -84,12 +93,23 @@ HpoResult SmacLite::run(const ConfigSpace& space,
     throw Error("SmacLite: filter rejected 1000 consecutive samples");
   };
 
-  // Initial random design.
+  // Initial random design: configurations sampled serially (they consume
+  // `rng`), objective calls optionally fanned out, results recorded in
+  // sample order — so a pure objective yields the same history either way.
   const int n_init = std::min(options.n_init, options.n_trials);
-  for (int t = 0; t < n_init; ++t) {
-    Configuration config = sample_valid();
-    const double value = objective(config);
-    record(result, std::move(config), value);
+  {
+    std::vector<Configuration> init;
+    init.reserve(static_cast<std::size_t>(n_init));
+    for (int t = 0; t < n_init; ++t) init.push_back(sample_valid());
+    std::vector<double> values(init.size());
+    auto eval = [&](std::size_t i) { values[i] = objective(init[i]); };
+    if (options.parallel_objective) {
+      parallel_for(init.size(), eval);
+    } else {
+      for (std::size_t i = 0; i < init.size(); ++i) eval(i);
+    }
+    for (std::size_t i = 0; i < init.size(); ++i)
+      record(result, std::move(init[i]), values[i]);
   }
 
   RandomForestParams rf_params;
@@ -97,6 +117,18 @@ HpoResult SmacLite::run(const ConfigSpace& space,
   rf_params.max_depth = 12;
   rf_params.min_samples_leaf = 1.0;
   rf_params.max_features_frac = 0.8;
+
+  // Observations grow with the history; appending the new trials each
+  // refit matches a from-scratch rebuild row-for-row without the
+  // quadratic re-encoding cost.
+  Dataset obs(space.num_params());
+  std::size_t obs_rows = 0;
+  auto sync_obs = [&]() {
+    for (; obs_rows < result.history.size(); ++obs_rows) {
+      const HpoTrial& trial = result.history[obs_rows];
+      obs.add(space.to_unit_vector(trial.config), trial.value);
+    }
+  };
 
   for (int t = n_init; t < options.n_trials; ++t) {
     Configuration next;
@@ -106,28 +138,43 @@ HpoResult SmacLite::run(const ConfigSpace& space,
       next = sample_valid();
     } else {
       // Fit the RF model on all observations so far.
-      Dataset obs(space.num_params());
-      for (const auto& trial : result.history)
-        obs.add(space.to_unit_vector(trial.config), trial.value);
+      sync_obs();
       RandomForest model(rf_params);
       Rng fit_rng = rng.fork();
       model.fit(obs, fit_rng);
 
       // Candidate pool: random configs plus neighbors of the incumbent.
-      double best_ei = -1.0;
+      // Generation and filtering stay on this thread (both consume `rng`
+      // or call user code); scoring against the now-const forest fans out,
+      // and the argmax scans in generation order with a strict `>`, so the
+      // selected candidate matches a serial scan exactly.
+      std::vector<Configuration> cands;
+      cands.reserve(static_cast<std::size_t>(options.n_candidates));
       for (int c = 0; c < options.n_candidates; ++c) {
         Configuration cand = c % 4 == 0
                                  ? space.neighbor(result.best, rng)
                                  : space.sample(rng);
         if (options.filter && !options.filter(cand)) continue;
-        const auto [mean, std] =
-            model.predict_mean_std(space.to_unit_vector(cand));
-        const double ei = expected_improvement(mean, std, result.best_value);
-        if (ei > best_ei) {
-          best_ei = ei;
-          next = std::move(cand);
+        cands.push_back(std::move(cand));
+      }
+      std::vector<double> ei(cands.size());
+      parallel_for_chunks(
+          cands.size(), kEiChunk, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              const auto [mean, std] =
+                  model.predict_mean_std(space.to_unit_vector(cands[i]));
+              ei[i] = expected_improvement(mean, std, result.best_value);
+            }
+          });
+      double best_ei = -1.0;
+      std::size_t best_idx = cands.size();
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (ei[i] > best_ei) {
+          best_ei = ei[i];
+          best_idx = i;
         }
       }
+      if (best_idx < cands.size()) next = std::move(cands[best_idx]);
       if (next.size() == 0) next = sample_valid();
     }
     const double value = objective(next);

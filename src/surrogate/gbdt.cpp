@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "anb/surrogate/train_context.hpp"
 #include "anb/util/error.hpp"
+#include "anb/util/parallel.hpp"
 #include "anb/util/stats.hpp"
 
 // GCC 12 at -O2 mis-attributes the std::vector destructor in fit() as
@@ -25,12 +27,29 @@ Gbdt::Gbdt(GbdtParams params) : params_(std::move(params)) {
             "Gbdt: colsample must be in (0, 1]");
 }
 
+namespace {
+/// Rows per chunk for the element-wise gradient / prediction-update loops.
+constexpr std::size_t kRowChunk = 2048;
+}  // namespace
+
 void Gbdt::fit(const Dataset& train, Rng& rng) {
   ANB_CHECK(train.size() >= 2, "Gbdt::fit: need at least 2 rows");
+  const ColumnIndex columns(train);
+  fit_impl(train, columns, rng);
+}
+
+void Gbdt::fit(const Dataset& train, TrainContext& ctx, Rng& rng) {
+  ANB_CHECK(&ctx.data() == &train,
+            "Gbdt::fit: context built for a different dataset");
+  ANB_CHECK(train.size() >= 2, "Gbdt::fit: need at least 2 rows");
+  fit_impl(train, ctx.columns(), rng);
+}
+
+void Gbdt::fit_impl(const Dataset& train, const ColumnIndex& columns,
+                    Rng& rng) {
   trees_.clear();
   const std::size_t n = train.size();
   const std::size_t d = train.num_features();
-  const ColumnIndex columns(train);
 
   base_score_ = mean(train.targets());
 
@@ -49,15 +68,21 @@ void Gbdt::fit(const Dataset& train, Rng& rng) {
   std::vector<double> pred(n, base_score_);
   std::vector<double> g(n), h(n, 1.0), weight(n, 1.0);
   for (int t = 0; t < params_.n_estimators; ++t) {
-    // Squared loss: g = prediction residual, constant hessian.
-    for (std::size_t i = 0; i < n; ++i) g[i] = pred[i] - train.target(i);
+    // Squared loss: g = prediction residual, constant hessian. Element-wise
+    // over rows, so the chunked parallel loop is bit-identical to serial.
+    parallel_for_chunks(n, kRowChunk, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i)
+        g[i] = pred[i] - train.target(i);
+    });
     if (params_.subsample < 1.0) {
       for (std::size_t i = 0; i < n; ++i)
         weight[i] = rng.bernoulli(params_.subsample) ? 1.0 : 0.0;
     }
     RegressionTree tree = build_tree(train, columns, g, h, weight, tp, rng);
-    for (std::size_t i = 0; i < n; ++i)
-      pred[i] += params_.learning_rate * tree.predict(train.row(i));
+    parallel_for_chunks(n, kRowChunk, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i)
+        pred[i] += params_.learning_rate * tree.predict(train.row(i));
+    });
     trees_.push_back(std::move(tree));
   }
   rebuild_flat();

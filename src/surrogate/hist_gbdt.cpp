@@ -5,49 +5,14 @@
 #include <limits>
 #include <queue>
 
+#include "anb/surrogate/train_context.hpp"
 #include "anb/util/error.hpp"
+#include "anb/util/parallel.hpp"
 #include "anb/util/stats.hpp"
 
 namespace anb {
 
 namespace {
-
-/// Quantile binning of one feature column. `edges[k]` separates bin k from
-/// bin k+1 (x goes to bin k iff x < edges[k] and x >= edges[k-1]).
-struct FeatureBins {
-  std::vector<double> edges;
-  int num_bins() const { return static_cast<int>(edges.size()) + 1; }
-  int bin_of(double x) const {
-    return static_cast<int>(
-        std::upper_bound(edges.begin(), edges.end(), x) - edges.begin());
-  }
-};
-
-FeatureBins make_bins(const Dataset& data, std::size_t f, int max_bins) {
-  std::vector<double> values(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) values[i] = data.feature(i, f);
-  std::sort(values.begin(), values.end());
-  values.erase(std::unique(values.begin(), values.end()), values.end());
-
-  FeatureBins bins;
-  if (static_cast<int>(values.size()) <= max_bins) {
-    for (std::size_t k = 0; k + 1 < values.size(); ++k)
-      bins.edges.push_back(0.5 * (values[k] + values[k + 1]));
-  } else {
-    // Quantile edges over distinct values.
-    for (int b = 1; b < max_bins; ++b) {
-      const auto pos = static_cast<std::size_t>(
-          static_cast<double>(b) * static_cast<double>(values.size()) /
-          max_bins);
-      const std::size_t at = std::min(pos, values.size() - 1);
-      const double edge =
-          at > 0 ? 0.5 * (values[at - 1] + values[at]) : values[0];
-      if (bins.edges.empty() || edge > bins.edges.back())
-        bins.edges.push_back(edge);
-    }
-  }
-  return bins;
-}
 
 struct HistCell {
   double g = 0.0, h = 0.0, w = 0.0;
@@ -72,6 +37,15 @@ struct Leaf {
   SplitCandidate best;
 };
 
+/// Minimum per-leaf work (cells touched) before histogram construction
+/// fans out across features. parallel_for spawns short-lived threads, so
+/// small leaves run inline; either path produces identical bits — each
+/// histogram cell receives its contributions in leaf-row order regardless.
+constexpr std::size_t kMinParallelHistWork = 1u << 16;
+
+/// Rows per chunk for the element-wise gradient / prediction-update loops.
+constexpr std::size_t kRowChunk = 2048;
+
 }  // namespace
 
 HistGbdt::HistGbdt(HistGbdtParams params) : params_(std::move(params)) {
@@ -89,75 +63,119 @@ HistGbdt::HistGbdt(HistGbdtParams params) : params_(std::move(params)) {
 
 void HistGbdt::fit(const Dataset& train, Rng& rng) {
   ANB_CHECK(train.size() >= 2, "HistGbdt::fit: need at least 2 rows");
+  const BinnedMatrix binned(train, params_.max_bins);
+  fit(train, binned, rng);
+}
+
+void HistGbdt::fit(const Dataset& train, TrainContext& ctx, Rng& rng) {
+  ANB_CHECK(&ctx.data() == &train,
+            "HistGbdt::fit: context built for a different dataset");
+  ANB_CHECK(train.size() >= 2, "HistGbdt::fit: need at least 2 rows");
+  fit(train, ctx.bins(params_.max_bins), rng);
+}
+
+void HistGbdt::fit(const Dataset& train, const BinnedMatrix& binned,
+                   Rng& rng) {
+  ANB_CHECK(train.size() >= 2, "HistGbdt::fit: need at least 2 rows");
+  ANB_CHECK(binned.num_rows() == train.size() &&
+                binned.num_features() == train.num_features(),
+            "HistGbdt::fit: bin matrix shape mismatch");
+  ANB_CHECK(binned.max_bins() == params_.max_bins,
+            "HistGbdt::fit: bin matrix built with a different max_bins");
   trees_.clear();
   const std::size_t n = train.size();
   const std::size_t d = train.num_features();
 
-  // --- one-time binning ---
-  std::vector<FeatureBins> bins;
-  bins.reserve(d);
-  int max_hist_bins = 1;
-  for (std::size_t f = 0; f < d; ++f) {
-    bins.push_back(make_bins(train, f, params_.max_bins));
-    max_hist_bins = std::max(max_hist_bins, bins.back().num_bins());
-  }
-  // Binned matrix, row-major.
-  std::vector<std::uint8_t> binned(n * d);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t f = 0; f < d; ++f)
-      binned[i * d + f] =
-          static_cast<std::uint8_t>(bins[f].bin_of(train.feature(i, f)));
+  const auto max_hist_bins = static_cast<std::size_t>(binned.max_hist_bins());
+  const std::size_t hist_size = d * max_hist_bins;
 
   base_score_ = mean(train.targets());
   std::vector<double> pred(n, base_score_);
   std::vector<double> g(n), h(n, 1.0);
 
-  const auto hist_size = d * static_cast<std::size_t>(max_hist_bins);
-
-  auto build_hist = [&](Leaf& leaf, const std::vector<char>& feat_ok) {
-    leaf.hist.assign(hist_size, HistCell{});
-    for (std::uint32_t row : leaf.rows) {
-      const std::uint8_t* rb = &binned[row * d];
-      for (std::size_t f = 0; f < d; ++f) {
-        if (!feat_ok[f]) continue;
-        auto& cell = leaf.hist[f * static_cast<std::size_t>(max_hist_bins) + rb[f]];
-        cell.g += g[row];
-        cell.h += h[row];
-        cell.w += 1.0;
-      }
+  // Per-feature split scan over a finished histogram. Bit-for-bit the same
+  // scan as a serial pass: bins ascend within the feature, ties keep the
+  // lowest bin (strict >).
+  auto scan_feature = [&](const Leaf& leaf, std::size_t f,
+                          double parent_gain) {
+    SplitCandidate best;
+    const int nb = binned.num_bins(f);
+    const HistCell* cells = leaf.hist.data() + f * max_hist_bins;
+    double gl = 0.0, hl = 0.0, wl = 0.0;
+    for (int b = 0; b + 1 < nb; ++b) {
+      const HistCell& cell = cells[b];
+      gl += cell.g;
+      hl += cell.h;
+      wl += cell.w;
+      const double gr = leaf.g - gl;
+      const double hr = leaf.h - hl;
+      if (hl < params_.min_child_weight || hr < params_.min_child_weight)
+        continue;
+      if (wl < 1.0 || leaf.w - wl < 1.0) continue;
+      const double gain = leaf_gain(gl, hl, params_.lambda) +
+                          leaf_gain(gr, hr, params_.lambda) - parent_gain;
+      if (gain > best.gain) best = {gain, static_cast<int>(f), b};
     }
+    return best;
   };
 
-  auto find_best = [&](Leaf& leaf, const std::vector<char>& feat_ok) {
-    leaf.best = SplitCandidate{};
-    const double parent = leaf_gain(leaf.g, leaf.h, params_.lambda);
-    for (std::size_t f = 0; f < d; ++f) {
-      if (!feat_ok[f]) continue;
-      const int nb = bins[f].num_bins();
-      double gl = 0.0, hl = 0.0, wl = 0.0;
-      for (int b = 0; b + 1 < nb; ++b) {
-        const auto& cell =
-            leaf.hist[f * static_cast<std::size_t>(max_hist_bins) +
-                      static_cast<std::size_t>(b)];
-        gl += cell.g;
-        hl += cell.h;
-        wl += cell.w;
-        const double gr = leaf.g - gl;
-        const double hr = leaf.h - hl;
-        if (hl < params_.min_child_weight || hr < params_.min_child_weight)
-          continue;
-        if (wl < 1.0 || leaf.w - wl < 1.0) continue;
-        const double gain = leaf_gain(gl, hl, params_.lambda) +
-                            leaf_gain(gr, hr, params_.lambda) - parent;
-        if (gain > leaf.best.gain) leaf.best = {gain, static_cast<int>(f), b};
+  // Reusable per-feature candidate slots for the parallel scan.
+  std::vector<SplitCandidate> feature_best(d);
+
+  // Builds `leaf`'s histogram and finds its best split in one pass over the
+  // features. With a parent, the histogram is derived by sibling
+  // subtraction (parent minus the already-built `sibling`); otherwise it is
+  // accumulated from the leaf's rows. Fans out across features when the
+  // work is large enough: feature slices are disjoint, and every cell sums
+  // its rows in leaf order, so the result is independent of thread count.
+  auto build_and_find = [&](Leaf& leaf, const Leaf* parent,
+                            const Leaf* sibling,
+                            const std::vector<char>& feat_ok) {
+    leaf.hist.assign(hist_size, HistCell{});
+    const double parent_gain = leaf_gain(leaf.g, leaf.h, params_.lambda);
+    auto body = [&](std::size_t f) {
+      feature_best[f] = SplitCandidate{};
+      if (!feat_ok[f]) return;
+      HistCell* cells = leaf.hist.data() + f * max_hist_bins;
+      if (parent != nullptr) {
+        const HistCell* pc = parent->hist.data() + f * max_hist_bins;
+        const HistCell* sc = sibling->hist.data() + f * max_hist_bins;
+        for (std::size_t b = 0; b < max_hist_bins; ++b) {
+          cells[b].g = pc[b].g - sc[b].g;
+          cells[b].h = pc[b].h - sc[b].h;
+          cells[b].w = pc[b].w - sc[b].w;
+        }
+      } else {
+        const std::uint8_t* codes = binned.codes(f).data();
+        for (std::uint32_t row : leaf.rows) {
+          HistCell& cell = cells[codes[row]];
+          cell.g += g[row];
+          cell.h += h[row];
+          cell.w += 1.0;
+        }
       }
+      feature_best[f] = scan_feature(leaf, f, parent_gain);
+    };
+    const std::size_t work =
+        parent != nullptr ? hist_size : leaf.rows.size() * d;
+    if (work >= kMinParallelHistWork) {
+      parallel_for(d, body);
+    } else {
+      for (std::size_t f = 0; f < d; ++f) body(f);
+    }
+    leaf.best = SplitCandidate{};
+    for (std::size_t f = 0; f < d; ++f) {
+      if (feature_best[f].gain > leaf.best.gain) leaf.best = feature_best[f];
     }
   };
 
   for (int t = 0; t < params_.n_estimators; ++t) {
-    for (std::size_t i = 0; i < n; ++i) g[i] = pred[i] - train.target(i);
+    parallel_for_chunks(n, kRowChunk, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i)
+        g[i] = pred[i] - train.target(i);
+    });
 
-    // Per-tree row bagging and feature sampling.
+    // Per-tree row bagging and feature sampling (serial: consumes `rng`).
     std::vector<std::uint32_t> root_rows;
     root_rows.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -190,8 +208,7 @@ void HistGbdt::fit(const Dataset& train, Rng& rng) {
 
     {
       Leaf root = make_leaf(0, std::move(root_rows));
-      build_hist(root, feat_ok);
-      find_best(root, feat_ok);
+      build_and_find(root, nullptr, nullptr, feat_ok);
       leaves.push_back(std::move(root));
     }
 
@@ -209,9 +226,11 @@ void HistGbdt::fit(const Dataset& train, Rng& rng) {
       const SplitCandidate split = leaf.best;
 
       // Partition rows on the binned feature.
+      const std::uint8_t* split_codes =
+          binned.codes(static_cast<std::size_t>(split.feature)).data();
       std::vector<std::uint32_t> left_rows, right_rows;
       for (std::uint32_t row : leaf.rows) {
-        const int b = binned[row * d + static_cast<std::size_t>(split.feature)];
+        const int b = split_codes[row];
         (b <= split.bin ? left_rows : right_rows).push_back(row);
       }
       ANB_ASSERT(!left_rows.empty() && !right_rows.empty(),
@@ -225,8 +244,7 @@ void HistGbdt::fit(const Dataset& train, Rng& rng) {
         TreeNode& parent = nodes[static_cast<std::size_t>(leaf.node_id)];
         parent.feature = split.feature;
         parent.threshold =
-            bins[static_cast<std::size_t>(split.feature)]
-                .edges[static_cast<std::size_t>(split.bin)];
+            binned.edge(static_cast<std::size_t>(split.feature), split.bin);
         parent.left = left_child;
         parent.right = left_child + 1;
       }
@@ -237,18 +255,12 @@ void HistGbdt::fit(const Dataset& train, Rng& rng) {
       Leaf big = make_leaf(left_child + 1, std::move(right_rows));
       if (small.rows.size() > big.rows.size()) std::swap(small, big);
 
-      // Histogram subtraction: build the smaller child, derive the sibling.
-      build_hist(small, feat_ok);
-      big.hist.resize(hist_size);
-      for (std::size_t c = 0; c < hist_size; ++c) {
-        big.hist[c].g = leaf.hist[c].g - small.hist[c].g;
-        big.hist[c].h = leaf.hist[c].h - small.hist[c].h;
-        big.hist[c].w = leaf.hist[c].w - small.hist[c].w;
-      }
+      // Histogram subtraction: build the smaller child, derive the sibling
+      // from the parent without a second accumulation pass.
+      build_and_find(small, nullptr, nullptr, feat_ok);
+      build_and_find(big, &leaf, &small, feat_ok);
       leaf.hist.clear();
       leaf.hist.shrink_to_fit();
-      find_best(small, feat_ok);
-      find_best(big, feat_ok);
 
       const std::size_t small_idx = li;  // reuse the parent's slot
       leaves[small_idx] = std::move(small);
@@ -265,8 +277,10 @@ void HistGbdt::fit(const Dataset& train, Rng& rng) {
       node.value = leaf.w > 0.0 ? -leaf.g / (leaf.h + params_.lambda) : 0.0;
     }
     RegressionTree tree(std::move(nodes));
-    for (std::size_t i = 0; i < n; ++i)
-      pred[i] += params_.learning_rate * tree.predict(train.row(i));
+    parallel_for_chunks(n, kRowChunk, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i)
+        pred[i] += params_.learning_rate * tree.predict(train.row(i));
+    });
     trees_.push_back(std::move(tree));
   }
   rebuild_flat();

@@ -31,6 +31,9 @@ class EnsembleSurrogate final : public Surrogate {
   /// Wrap already-fitted members (used by deserialization).
   explicit EnsembleSurrogate(std::vector<std::unique_ptr<Surrogate>> members);
 
+  // Overriding fit(train, rng) would otherwise hide the base-class
+  // context overload; re-export it (it falls back to the plain fit).
+  using Surrogate::fit;
   void fit(const Dataset& train, Rng& rng) override;
   double predict(std::span<const double> x) const override;
   /// Batched ensemble mean: members' batched predictions accumulated in

@@ -31,11 +31,17 @@ struct GbdtParams {
 /// XGBoost-style gradient boosted trees — the paper's best-performing
 /// surrogate family (Table 1: R²=0.984, τ=0.922 on ANB-Acc; Table 2 uses it
 /// for all device datasets).
+///
+/// Boosting is inherently sequential, so trees build one at a time; the
+/// element-wise gradient and prediction-update loops run in parallel row
+/// chunks (a pure partition — results are bit-identical at any thread
+/// count), and the context overload reuses a shared ColumnIndex.
 class Gbdt final : public Surrogate {
  public:
   explicit Gbdt(GbdtParams params = {});
 
   void fit(const Dataset& train, Rng& rng) override;
+  void fit(const Dataset& train, TrainContext& ctx, Rng& rng) override;
   double predict(std::span<const double> x) const override;
   void predict_batch(std::span<const double> rows, std::size_t num_features,
                      std::span<double> out) const override;
@@ -47,6 +53,7 @@ class Gbdt final : public Surrogate {
   std::size_t num_trees() const { return trees_.size(); }
 
  private:
+  void fit_impl(const Dataset& train, const ColumnIndex& columns, Rng& rng);
   void rebuild_flat();
 
   GbdtParams params_;

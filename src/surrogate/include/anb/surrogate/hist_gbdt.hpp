@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "anb/surrogate/binned_matrix.hpp"
 #include "anb/surrogate/flat_forest.hpp"
 #include "anb/surrogate/surrogate.hpp"
 #include "anb/surrogate/tree.hpp"
@@ -30,14 +31,25 @@ struct HistGbdtParams {
 
 /// Histogram-based gradient boosting with leaf-wise growth (the paper's
 /// "LGB" surrogate). Structurally different from Gbdt: feature values are
-/// bucketed into at most `max_bins` quantile bins once per fit, split search
-/// scans bin histograms (with the sibling-subtraction trick), and trees grow
-/// best-first until `max_leaves`.
+/// bucketed into at most `max_bins` quantile bins once per dataset (see
+/// BinnedMatrix), split search scans bin histograms (with the
+/// sibling-subtraction trick), and trees grow best-first until `max_leaves`.
+///
+/// Training is parallel and exactly deterministic: histogram construction
+/// and split scanning parallelize across *features* (each histogram cell
+/// receives its contributions in serial row order, so results are
+/// bit-identical at any thread count), and the gradient / prediction
+/// update loops parallelize element-wise over rows.
 class HistGbdt final : public Surrogate {
  public:
   explicit HistGbdt(HistGbdtParams params = {});
 
   void fit(const Dataset& train, Rng& rng) override;
+  void fit(const Dataset& train, TrainContext& ctx, Rng& rng) override;
+
+  /// Fit against a pre-built bin matrix (must be built from `train` with
+  /// this model's max_bins). The two-argument overloads route here.
+  void fit(const Dataset& train, const BinnedMatrix& binned, Rng& rng);
   double predict(std::span<const double> x) const override;
   void predict_batch(std::span<const double> rows, std::size_t num_features,
                      std::span<double> out) const override;

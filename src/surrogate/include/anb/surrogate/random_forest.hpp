@@ -27,11 +27,17 @@ struct RandomForestParams {
 /// Bagged variance-reduction trees (one of the paper's candidate surrogates;
 /// Table 1 shows it trailing the boosting methods on ANB-Acc, a gap this
 /// implementation reproduces).
+///
+/// Trees are fitted in parallel. The caller's `rng` is drawn from exactly
+/// once to derive a forest seed; tree t then runs on its own stream seeded
+/// with hash_combine(forest_seed, t), so the fitted forest is bit-identical
+/// for any thread count (and independent of scheduling order).
 class RandomForest final : public Surrogate {
  public:
   explicit RandomForest(RandomForestParams params = {});
 
   void fit(const Dataset& train, Rng& rng) override;
+  void fit(const Dataset& train, TrainContext& ctx, Rng& rng) override;
   double predict(std::span<const double> x) const override;
   void predict_batch(std::span<const double> rows, std::size_t num_features,
                      std::span<double> out) const override;
@@ -48,6 +54,7 @@ class RandomForest final : public Surrogate {
   std::size_t num_trees() const { return trees_.size(); }
 
  private:
+  void fit_impl(const Dataset& train, const ColumnIndex& columns, Rng& rng);
   void rebuild_flat();
 
   RandomForestParams params_;

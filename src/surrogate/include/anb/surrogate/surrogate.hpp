@@ -11,6 +11,8 @@
 
 namespace anb {
 
+class TrainContext;
+
 /// Fit-quality metrics used throughout the paper (Tables 1 & 2).
 struct FitMetrics {
   double r2 = 0.0;
@@ -30,6 +32,14 @@ class Surrogate {
 
   /// Fit on a training set. May be called again to refit from scratch.
   virtual void fit(const Dataset& train, Rng& rng) = 0;
+
+  /// Fit reusing the shared per-dataset index structures in `ctx`
+  /// (ColumnIndex, BinnedMatrix). `ctx.data()` must be `train`. Produces a
+  /// model bit-identical to fit(train, rng) — the context only removes
+  /// redundant preprocessing, it never changes the training computation.
+  /// Families without precomputable structure (SVR) fall back to the plain
+  /// fit; tree families override.
+  virtual void fit(const Dataset& train, TrainContext& ctx, Rng& rng);
 
   /// Predict one example; requires fit() to have been called.
   virtual double predict(std::span<const double> x) const = 0;

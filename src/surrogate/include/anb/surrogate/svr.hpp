@@ -40,6 +40,9 @@ class Svr final : public Surrogate {
  public:
   explicit Svr(SvrParams params = {});
 
+  // Overriding fit(train, rng) would otherwise hide the base-class
+  // context overload; re-export it (it falls back to the plain fit).
+  using Surrogate::fit;
   void fit(const Dataset& train, Rng& rng) override;
   /// Scalar prediction is the one-row case of predict_batch (a single code
   /// path, so batch and scalar results are identical by construction).

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "anb/surrogate/binned_matrix.hpp"
+#include "anb/surrogate/dataset.hpp"
+#include "anb/surrogate/tree.hpp"
+
+namespace anb {
+
+/// Per-dataset cache of the training-side index structures that are pure
+/// functions of the data: the sorted ColumnIndex (exact-greedy splits in
+/// Gbdt / RandomForest) and one BinnedMatrix per max_bins setting
+/// (HistGbdt). Both are O(n·d·log n)-ish to build and were previously
+/// recomputed on every fit; a tuning loop fitting dozens of trials on the
+/// same rows now pays for each exactly once.
+///
+/// Thread-safe: concurrent fits (e.g. SmacLite's parallel initial design)
+/// may share one context. Accessors build lazily under a mutex and return
+/// references owned by the context, which must outlive every fit using it.
+class TrainContext {
+ public:
+  explicit TrainContext(const Dataset& data) : data_(&data) {}
+
+  TrainContext(const TrainContext&) = delete;
+  TrainContext& operator=(const TrainContext&) = delete;
+
+  const Dataset& data() const { return *data_; }
+
+  /// Sorted per-feature column index; built on first use.
+  const ColumnIndex& columns();
+
+  /// Quantized bin matrix for the given max_bins; built on first use per
+  /// distinct setting.
+  const BinnedMatrix& bins(int max_bins);
+
+ private:
+  const Dataset* data_;
+  std::mutex mutex_;
+  std::unique_ptr<const ColumnIndex> columns_;
+  std::map<int, std::unique_ptr<const BinnedMatrix>> bins_;
+};
+
+}  // namespace anb

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
+#include "anb/surrogate/train_context.hpp"
 #include "anb/util/error.hpp"
+#include "anb/util/parallel.hpp"
 
 namespace anb {
 
@@ -17,14 +20,26 @@ RandomForest::RandomForest(RandomForestParams params)
 
 void RandomForest::fit(const Dataset& train, Rng& rng) {
   ANB_CHECK(train.size() >= 2, "RandomForest::fit: need at least 2 rows");
+  const ColumnIndex columns(train);
+  fit_impl(train, columns, rng);
+}
+
+void RandomForest::fit(const Dataset& train, TrainContext& ctx, Rng& rng) {
+  ANB_CHECK(&ctx.data() == &train,
+            "RandomForest::fit: context built for a different dataset");
+  ANB_CHECK(train.size() >= 2, "RandomForest::fit: need at least 2 rows");
+  fit_impl(train, ctx.columns(), rng);
+}
+
+void RandomForest::fit_impl(const Dataset& train, const ColumnIndex& columns,
+                            Rng& rng) {
   trees_.clear();
   const std::size_t n = train.size();
   const std::size_t d = train.num_features();
-  const ColumnIndex columns(train);
 
   // Variance-reduction splits: g = -y, h = 1, lambda = 0 reduces the
   // XGBoost gain to classic sum-of-squares reduction with mean-value leaves.
-  std::vector<double> g(n), h(n, 1.0), weight(n);
+  std::vector<double> g(n), h(n, 1.0);
   for (std::size_t i = 0; i < n; ++i) g[i] = -train.target(i);
 
   TreeParams tp;
@@ -41,12 +56,26 @@ void RandomForest::fit(const Dataset& train, Rng& rng) {
 
   const auto n_bootstrap = static_cast<std::size_t>(
       std::max(1.0, params_.bootstrap_frac * static_cast<double>(n)));
-  for (int t = 0; t < params_.n_trees; ++t) {
+
+  // Trees fit concurrently, each on its own seeded stream: one draw from the
+  // caller's rng fixes the whole forest, independent of thread count and of
+  // how much randomness each tree consumes (build_tree's consumption is
+  // data-dependent, so a shared stream could not be parallelized).
+  const std::uint64_t forest_seed = rng();
+  const auto n_trees = static_cast<std::size_t>(params_.n_trees);
+  std::vector<std::optional<RegressionTree>> slots(n_trees);
+  parallel_for(n_trees, [&](std::size_t t) {
+    Rng tree_rng(hash_combine(forest_seed, static_cast<std::uint64_t>(t)));
     // Bootstrap with replacement expressed as per-row multiplicities.
-    std::fill(weight.begin(), weight.end(), 0.0);
+    std::vector<double> weight(n, 0.0);
     for (std::size_t s = 0; s < n_bootstrap; ++s)
-      weight[rng.uniform_index(n)] += 1.0;
-    trees_.push_back(build_tree(train, columns, g, h, weight, tp, rng));
+      weight[tree_rng.uniform_index(n)] += 1.0;
+    slots[t] = build_tree(train, columns, g, h, weight, tp, tree_rng);
+  });
+  trees_.reserve(n_trees);
+  for (auto& slot : slots) {
+    ANB_ASSERT(slot.has_value(), "RandomForest::fit_impl: missing tree");
+    trees_.push_back(std::move(*slot));
   }
   rebuild_flat();
 }

@@ -5,11 +5,18 @@
 #include "anb/surrogate/hist_gbdt.hpp"
 #include "anb/surrogate/random_forest.hpp"
 #include "anb/surrogate/svr.hpp"
+#include "anb/surrogate/train_context.hpp"
 #include "anb/util/error.hpp"
 #include "anb/util/metrics.hpp"
 #include "anb/util/parallel.hpp"
 
 namespace anb {
+
+void Surrogate::fit(const Dataset& train, TrainContext& ctx, Rng& rng) {
+  ANB_CHECK(&ctx.data() == &train,
+            "Surrogate::fit: context built for a different dataset");
+  fit(train, rng);
+}
 
 namespace {
 /// Rows per parallel_for_chunks work item in predict_matrix. Large enough

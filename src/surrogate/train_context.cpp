@@ -1,0 +1,28 @@
+#include "anb/surrogate/train_context.hpp"
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+
+const ColumnIndex& TrainContext::columns() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!columns_) columns_ = std::make_unique<const ColumnIndex>(*data_);
+  return *columns_;
+}
+
+const BinnedMatrix& TrainContext::bins(int max_bins) {
+  ANB_CHECK(max_bins >= 2 && max_bins <= 256,
+            "TrainContext::bins: max_bins must be in [2, 256]");
+  // Built under the lock: a concurrent fit requesting the same setting
+  // waits instead of duplicating the (parallel_for-internal) build.
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = bins_.find(max_bins);
+  if (it == bins_.end()) {
+    it = bins_.emplace(max_bins,
+                       std::make_unique<const BinnedMatrix>(*data_, max_bins))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace anb

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "anb/util/error.hpp"
+#include "anb/util/parallel.hpp"
 
 namespace anb {
 
@@ -91,7 +92,9 @@ ColumnIndex::ColumnIndex(const Dataset& data)
   ANB_CHECK(num_rows_ > 0, "ColumnIndex: empty dataset");
   order_.resize(num_features_ * num_rows_);
   values_.resize(num_features_ * num_rows_);
-  for (std::size_t f = 0; f < num_features_; ++f) {
+  // Column slices are disjoint and each stable_sort is deterministic, so the
+  // parallel build is bit-identical to a serial one.
+  parallel_for(num_features_, [&](std::size_t f) {
     auto* begin = order_.data() + f * num_rows_;
     for (std::size_t i = 0; i < num_rows_; ++i)
       begin[i] = static_cast<std::uint32_t>(i);
@@ -102,7 +105,7 @@ ColumnIndex::ColumnIndex(const Dataset& data)
     auto* vals = values_.data() + f * num_rows_;
     for (std::size_t i = 0; i < num_rows_; ++i)
       vals[i] = data.feature(begin[i], f);
-  }
+  });
 }
 
 std::span<const double> ColumnIndex::sorted_values(std::size_t f) const {

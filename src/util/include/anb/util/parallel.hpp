@@ -5,8 +5,24 @@
 
 namespace anb {
 
+/// Number of worker threads `parallel_for` uses when a call site passes
+/// `num_threads = 0`. Resolution order: the value installed with
+/// set_default_num_threads() if non-zero, else the ANB_NUM_THREADS
+/// environment variable (read once at startup), else hardware concurrency.
+/// Always returns >= 1.
+///
+/// This is the one knob the training engine exposes: every deterministic
+/// parallel loop in the library produces bit-identical results at any
+/// setting, so it only trades wall-clock for CPU (see DESIGN.md "Parallel
+/// training & the binned matrix").
+unsigned default_num_threads();
+
+/// Install a process-wide thread-count override (0 = clear the override and
+/// fall back to ANB_NUM_THREADS / hardware concurrency). Thread-safe.
+void set_default_num_threads(unsigned num_threads);
+
 /// Run `body(i)` for every i in [0, n) across up to `num_threads` worker
-/// threads (0 = hardware concurrency). Blocks until all iterations finish.
+/// threads (0 = default_num_threads()). Blocks until all iterations finish.
 ///
 /// The body must be safe to run concurrently for distinct i and must not
 /// throw across the call boundary — exceptions are captured and the first

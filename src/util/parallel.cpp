@@ -1,6 +1,7 @@
 #include "anb/util/parallel.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -10,13 +11,42 @@
 
 namespace anb {
 
+namespace {
+
+/// ANB_NUM_THREADS, parsed once; 0 when unset/invalid.
+unsigned env_num_threads() {
+  static const unsigned value = [] {
+    const char* env = std::getenv("ANB_NUM_THREADS");
+    if (env == nullptr) return 0u;
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed <= 0 || parsed > 0xFFFF) return 0u;
+    return static_cast<unsigned>(parsed);
+  }();
+  return value;
+}
+
+std::atomic<unsigned> g_default_num_threads{0};
+
+}  // namespace
+
+unsigned default_num_threads() {
+  const unsigned installed =
+      g_default_num_threads.load(std::memory_order_relaxed);
+  if (installed != 0) return installed;
+  const unsigned env = env_num_threads();
+  if (env != 0) return env;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void set_default_num_threads(unsigned num_threads) {
+  g_default_num_threads.store(num_threads, std::memory_order_relaxed);
+}
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   unsigned num_threads) {
   ANB_CHECK(static_cast<bool>(body), "parallel_for: null body");
   if (n == 0) return;
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
+  if (num_threads == 0) num_threads = default_num_threads();
   num_threads = static_cast<unsigned>(
       std::min<std::size_t>(num_threads, n));
 
