@@ -8,6 +8,7 @@
 
 #include "anb/surrogate/ensemble.hpp"
 #include "anb/util/error.hpp"
+#include "anb/util/fault.hpp"
 
 namespace anb {
 
@@ -325,11 +326,34 @@ AccelNASBench AccelNASBench::from_json(const Json& j) {
 }
 
 void AccelNASBench::save(const std::string& path) const {
-  write_text_file(path, to_json().dump());
+  const std::string text = to_json().dump();
+  if (fault::any_armed()) {
+    if (const auto fire = fault::should_fire(kBenchmarkSaveFaultSite)) {
+      // Short write: a prefix of the payload reaches disk, then the write
+      // "fails". The truncated file must never load as a valid benchmark.
+      const auto cut =
+          static_cast<std::size_t>(fire->uniform() *
+                                   static_cast<double>(text.size()));
+      write_text_file(path, text.substr(0, cut));
+      throw Error("AccelNASBench::save: injected short write to " + path);
+    }
+  }
+  write_text_file(path, text);
 }
 
 AccelNASBench AccelNASBench::load(const std::string& path) {
-  return from_json(Json::parse(read_text_file(path)));
+  std::string text = read_text_file(path);
+  if (fault::any_armed()) {
+    if (const auto fire = fault::should_fire(kBenchmarkLoadFaultSite)) {
+      // Short read: only a prefix of the file arrives; the JSON parse of
+      // the truncated text throws anb::Error below.
+      const auto cut =
+          static_cast<std::size_t>(fire->uniform() *
+                                   static_cast<double>(text.size()));
+      text.resize(cut);
+    }
+  }
+  return from_json(Json::parse(text));
 }
 
 }  // namespace anb

@@ -36,6 +36,17 @@ std::string device_short_name(DeviceKind kind);
 /// Paper-style dataset id, e.g. "ANB-Acc", "ANB-ZCU-Thr".
 std::string dataset_name(DeviceKind kind, PerfMetric metric);
 
+/// Fault-injection sites in AccelNASBench::save/load (anb/util/fault.hpp).
+/// When the save site fires, only a prefix of the serialized benchmark
+/// reaches disk (length driven by the fire draw) and save throws
+/// anb::Error — simulating a short write / full disk. When the load site
+/// fires, only a prefix of the file is read, so the parse fails with
+/// anb::Error — simulating a short read / truncated download.
+inline constexpr const char* kBenchmarkSaveFaultSite =
+    "anb.benchmark.save.short_write";
+inline constexpr const char* kBenchmarkLoadFaultSite =
+    "anb.benchmark.load.short_read";
+
 /// The Accel-NASBench product: zero-cost queries for accuracy and on-device
 /// performance of any architecture in the MnasNet search space, backed by
 /// fitted surrogates. Query cost is microseconds instead of GPU-hours —

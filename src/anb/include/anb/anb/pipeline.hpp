@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "anb/anb/benchmark.hpp"
 #include "anb/anb/collection.hpp"
@@ -35,9 +36,15 @@ struct PipelineOptions {
 struct PipelineResult {
   TrainingScheme p_star;
   ProxySearchOutcome proxy;  ///< populated when the proxy search ran
-  CollectedData data;
+  CollectedData data;        ///< includes data.report (retry/quarantine)
   AccelNASBench bench;
   std::map<std::string, FitMetrics> test_metrics;  ///< per dataset id
+  /// dataset_name() of every device×metric surrogate that was NOT fitted
+  /// because its dataset failed collection (see CollectionReport
+  /// ::failed_datasets): the benchmark degrades gracefully — the remaining
+  /// surrogates are built and the gap is reported here instead of aborting
+  /// the whole construction.
+  std::vector<std::string> skipped_datasets;
 };
 
 /// A fixed, known-good proxy scheme close to what the grid search finds;

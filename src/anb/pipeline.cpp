@@ -89,9 +89,16 @@ PipelineResult construct_benchmark(const PipelineOptions& options) {
       if (device.supports_latency()) metrics.push_back(PerfMetric::kLatency);
       if (options.collect_energy) metrics.push_back(PerfMetric::kEnergy);
       for (PerfMetric metric : metrics) {
+        const std::string name = dataset_name(device.kind(), metric);
+        // A dataset the collector dropped (too many quarantined archs, see
+        // CollectionReport::failed_datasets) degrades gracefully: skip the
+        // fit and report the gap instead of aborting the construction.
+        if (result.data.perf.count(name) == 0) {
+          result.skipped_datasets.push_back(name);
+          continue;
+        }
         tasks.push_back({result.data.perf_dataset(device.kind(), metric),
-                         dataset_name(device.kind(), metric), false,
-                         device.kind(), metric});
+                         name, false, device.kind(), metric});
       }
     }
   }

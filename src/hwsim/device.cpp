@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "anb/util/error.hpp"
+#include "anb/util/fault.hpp"
 #include "anb/util/rng.hpp"
 
 namespace anb {
@@ -113,25 +114,65 @@ double Device::latency_ms(const ModelIR& ir) const {
   return batch_time_s(ir, 1) * 1e3;
 }
 
-double Device::measure(double expected, std::uint64_t seed) const {
+double Device::measure(double expected, std::uint64_t seed,
+                       std::uint64_t attempt, bool time_like) const {
+  const std::uint64_t mixed =
+      hash_combine(seed, static_cast<std::uint64_t>(spec_.kind) + 1);
+
+  // Injected fleet faults. The key is a pure function of (seed, device,
+  // attempt): the decision never depends on thread scheduling, and a retry
+  // (next attempt) re-rolls the fault while leaving the measurement value
+  // below — which is keyed by `mixed` alone — untouched.
+  double outlier_multiplier = 0.0;
+  if (fault::any_armed()) {
+    const std::uint64_t key = hash_combine(mixed, attempt);
+    if (fault::should_fire(kMeasureTransientFaultSite, key)) {
+      throw TransientError("Device::measure: injected transient failure on " +
+                           spec_.name);
+    }
+    if (fault::should_fire(kMeasureTimeoutFaultSite, key)) {
+      throw TimeoutError("Device::measure: injected timeout on " + spec_.name);
+    }
+    if (const auto f = fault::should_fire(kMeasureOutlierFaultSite, key)) {
+      // Heavy-tail (Pareto) slowdown: m = (1 + floor) * (1 - u)^(-1/alpha),
+      // alpha = 1.5. The floor keeps every injected spike well outside any
+      // reasonable outlier tolerance, so the median-of-k resolve always
+      // sees it as corrupt and the accepted value stays the clean reading.
+      constexpr double kAlpha = 1.5;
+      constexpr double kFloor = 0.25;
+      const double u = f->uniform();
+      outlier_multiplier =
+          std::min(1e3, (1.0 + kFloor) * std::pow(1.0 - u, -1.0 / kAlpha));
+    }
+  }
+
   // Warm-up runs (XLA graph compilation on TPUs, cudnn autotune on GPUs) are
   // discarded per the paper's protocol, so only steady-state noise remains.
-  Rng rng(hash_combine(seed, static_cast<std::uint64_t>(spec_.kind) + 1));
+  Rng rng(mixed);
   double acc = 0.0;
   for (int run = 0; run < spec_.timed_runs; ++run) {
     acc += expected * (1.0 + spec_.measurement_noise * rng.normal());
   }
-  return std::max(acc / spec_.timed_runs, expected * 0.5);
+  double value = std::max(acc / spec_.timed_runs, expected * 0.5);
+  if (outlier_multiplier > 0.0) {
+    value = time_like ? value * outlier_multiplier
+                      : value / outlier_multiplier;
+  }
+  return value;
 }
 
-double Device::measure_throughput(const ModelIR& ir, std::uint64_t seed) const {
-  return measure(throughput_fps(ir), hash_combine(seed, 0xA11CE));
+double Device::measure_throughput(const ModelIR& ir, std::uint64_t seed,
+                                  std::uint64_t attempt) const {
+  return measure(throughput_fps(ir), hash_combine(seed, 0xA11CE), attempt,
+                 /*time_like=*/false);
 }
 
-double Device::measure_latency(const ModelIR& ir, std::uint64_t seed) const {
+double Device::measure_latency(const ModelIR& ir, std::uint64_t seed,
+                               std::uint64_t attempt) const {
   ANB_CHECK(supports_latency(),
             "measure_latency: only FPGA DPU platforms report latency");
-  return measure(latency_ms(ir), hash_combine(seed, 0x1A7E2C));
+  return measure(latency_ms(ir), hash_combine(seed, 0x1A7E2C), attempt,
+                 /*time_like=*/true);
 }
 
 double Device::energy_mj_per_image(const ModelIR& ir) const {
@@ -151,8 +192,10 @@ double Device::energy_mj_per_image(const ModelIR& ir) const {
   return (static_j + switching_j) * 1e3;
 }
 
-double Device::measure_energy(const ModelIR& ir, std::uint64_t seed) const {
-  return measure(energy_mj_per_image(ir), hash_combine(seed, 0xE4E26F));
+double Device::measure_energy(const ModelIR& ir, std::uint64_t seed,
+                              std::uint64_t attempt) const {
+  return measure(energy_mj_per_image(ir), hash_combine(seed, 0xE4E26F),
+                 attempt, /*time_like=*/true);
 }
 
 Device make_device(DeviceKind kind) {

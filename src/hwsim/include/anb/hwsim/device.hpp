@@ -6,8 +6,41 @@
 #include <vector>
 
 #include "anb/ir/model_ir.hpp"
+#include "anb/util/error.hpp"
 
 namespace anb {
+
+/// A measurement failed in a way that a re-run may fix: the device dropped
+/// off the network, the runtime crashed, the job scheduler preempted the
+/// run. The collection pipeline retries these with a bounded budget.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
+/// A measurement exceeded its wall-clock budget. Retryable, like
+/// TransientError, but reported separately (persistent timeouts usually
+/// mean the model is pathological for the device, not that the fleet is
+/// flaky).
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// Fault-injection sites armed by tests to simulate fleet failures inside
+/// Device::measure_* (see anb/util/fault.hpp). All three are keyed by
+/// hash(metric-salted seed, device kind, attempt), so seeded-Bernoulli
+/// decisions are a pure function of the work item — thread-count invariant
+/// and reproducible. The measurement *value* never depends on the attempt
+/// number: a retry of a failed attempt returns exactly the fault-free
+/// reading, which is what makes robust collection bit-identical to a clean
+/// run for every architecture that survives.
+inline constexpr const char* kMeasureTransientFaultSite =
+    "hwsim.measure.transient";                 ///< throws TransientError
+inline constexpr const char* kMeasureTimeoutFaultSite =
+    "hwsim.measure.timeout";                   ///< throws TimeoutError
+inline constexpr const char* kMeasureOutlierFaultSite =
+    "hwsim.measure.outlier";  ///< heavy-tail spike on the reading
 
 /// The six accelerator platforms benchmarked in the paper (§3.3.2).
 enum class DeviceKind {
@@ -100,11 +133,18 @@ class Device {
   /// Expected single-image latency, milliseconds (one core, batch 1).
   double latency_ms(const ModelIR& ir) const;
 
-  /// Noisy measured throughput following the device protocol.
-  double measure_throughput(const ModelIR& ir, std::uint64_t seed) const;
+  /// Noisy measured throughput following the device protocol. `attempt`
+  /// distinguishes re-measurements of the same sample for fault injection
+  /// only — the returned value is identical for every attempt (the noise
+  /// stream is keyed by `seed` alone), so retries reproduce the fault-free
+  /// reading exactly. Throws TransientError/TimeoutError when the
+  /// corresponding fault site fires.
+  double measure_throughput(const ModelIR& ir, std::uint64_t seed,
+                            std::uint64_t attempt = 0) const;
 
   /// Noisy measured latency (FPGAs only; throws otherwise).
-  double measure_latency(const ModelIR& ir, std::uint64_t seed) const;
+  double measure_latency(const ModelIR& ir, std::uint64_t seed,
+                         std::uint64_t attempt = 0) const;
 
   /// Expected inference energy per image in millijoules at the measurement
   /// batch: static power x time + per-op switching + DRAM traffic. This is
@@ -112,11 +152,15 @@ class Device {
   double energy_mj_per_image(const ModelIR& ir) const;
 
   /// Noisy measured energy following the same protocol as throughput.
-  double measure_energy(const ModelIR& ir, std::uint64_t seed) const;
+  double measure_energy(const ModelIR& ir, std::uint64_t seed,
+                        std::uint64_t attempt = 0) const;
 
  private:
   double layer_time_s(const Layer& layer, int batch) const;
-  double measure(double expected, std::uint64_t seed) const;
+  /// `time_like` orients an injected outlier spike: slow timings inflate
+  /// time-like readings (latency, energy) and deflate throughput.
+  double measure(double expected, std::uint64_t seed, std::uint64_t attempt,
+                 bool time_like) const;
 
   DeviceSpec spec_;
 };

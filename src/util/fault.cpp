@@ -1,0 +1,190 @@
+#include "anb/util/fault.hpp"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "anb/util/rng.hpp"
+
+namespace anb::fault {
+
+namespace detail {
+std::atomic<int> g_armed_count{0};
+}  // namespace detail
+
+namespace {
+
+/// FNV-1a over the site name: stable across runs and platforms, so keyed
+/// Bernoulli decisions are reproducible everywhere.
+std::uint64_t site_hash(std::string_view site) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char ch : site) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct SiteState {
+  Policy policy;
+  std::uint64_t checks = 0;
+  std::uint64_t fires = 0;
+  bool one_shot_spent = false;
+};
+
+struct Registry {
+  std::mutex mu;
+  // std::less<> enables lookups from string_view without a temporary.
+  std::map<std::string, SiteState, std::less<>> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during exit
+  return *r;
+}
+
+}  // namespace
+
+Policy Policy::always() { return Policy{}; }
+
+Policy Policy::one_shot() {
+  Policy p;
+  p.trigger = Trigger::kOneShot;
+  return p;
+}
+
+Policy Policy::every_nth(std::uint64_t n) {
+  ANB_CHECK(n >= 1, "fault::Policy::every_nth: n must be >= 1");
+  Policy p;
+  p.trigger = Trigger::kEveryNth;
+  p.n = n;
+  return p;
+}
+
+Policy Policy::bernoulli(double probability, std::uint64_t seed) {
+  ANB_CHECK(probability >= 0.0 && probability <= 1.0,
+            "fault::Policy::bernoulli: probability must be in [0, 1]");
+  Policy p;
+  p.trigger = Trigger::kBernoulli;
+  p.probability = probability;
+  p.seed = seed;
+  return p;
+}
+
+double FireInfo::uniform() const {
+  return static_cast<double>(draw >> 11) * 0x1.0p-53;
+}
+
+void arm(const std::string& site, const Policy& policy) {
+  ANB_CHECK(!site.empty(), "fault::arm: empty site name");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.sites[site] = SiteState{policy};
+  detail::g_armed_count.store(static_cast<int>(r.sites.size()),
+                              std::memory_order_relaxed);
+}
+
+void disarm(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.sites.erase(site);
+  detail::g_armed_count.store(static_cast<int>(r.sites.size()),
+                              std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.sites.clear();
+  detail::g_armed_count.store(0, std::memory_order_relaxed);
+}
+
+bool is_armed(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.sites.count(site) > 0;
+}
+
+std::optional<Policy> armed_policy(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.sites.find(site);
+  if (it == r.sites.end()) return std::nullopt;
+  return it->second.policy;
+}
+
+std::uint64_t fire_count(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.fires;
+}
+
+std::uint64_t check_count(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.checks;
+}
+
+std::optional<FireInfo> should_fire(std::string_view site, std::uint64_t key) {
+  if (!any_armed()) return std::nullopt;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.sites.find(site);
+  if (it == r.sites.end()) return std::nullopt;
+  SiteState& st = it->second;
+  const Policy& p = st.policy;
+  ++st.checks;
+
+  // Deterministic per-(seed, site, key) stream: the first draw decides a
+  // Bernoulli trial, the second becomes the FireInfo draw. Counter-based
+  // triggers skip the first draw's decision but share the FireInfo stream.
+  std::uint64_t stream = hash_combine(hash_combine(p.seed, site_hash(site)), key);
+  const std::uint64_t decision_bits = splitmix64(stream);
+
+  bool fire = false;
+  switch (p.trigger) {
+    case Trigger::kAlways:
+      fire = true;
+      break;
+    case Trigger::kOneShot:
+      fire = !st.one_shot_spent;
+      st.one_shot_spent = true;
+      break;
+    case Trigger::kEveryNth:
+      fire = (st.checks % p.n) == 0;
+      break;
+    case Trigger::kBernoulli: {
+      const double u = static_cast<double>(decision_bits >> 11) * 0x1.0p-53;
+      fire = u < p.probability;
+      break;
+    }
+  }
+  if (!fire) return std::nullopt;
+  ++st.fires;
+  return FireInfo{splitmix64(stream)};
+}
+
+void maybe_throw(std::string_view site, std::uint64_t key) {
+  if (!any_armed()) return;
+  if (should_fire(site, key)) {
+    throw InjectedFault("injected fault at site '" + std::string(site) +
+                        "' (key " + std::to_string(key) + ")");
+  }
+}
+
+ScopedFault::ScopedFault(std::string site, const Policy& policy)
+    : site_(std::move(site)), prior_(armed_policy(site_)) {
+  arm(site_, policy);
+}
+
+ScopedFault::~ScopedFault() {
+  if (prior_) {
+    arm(site_, *prior_);
+  } else {
+    disarm(site_);
+  }
+}
+
+}  // namespace anb::fault

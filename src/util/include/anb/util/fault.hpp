@@ -1,0 +1,125 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "anb/util/error.hpp"
+
+namespace anb::fault {
+
+/// Deterministic fault-injection framework.
+///
+/// Production code declares *injection sites* — named points where a fault
+/// may be simulated — by calling should_fire()/maybe_throw() with the site
+/// name and a caller-chosen key. Tests arm sites with a Policy; unarmed
+/// sites cost a single relaxed atomic load (any_armed() below), so shipping
+/// the checks in hot paths is free.
+///
+/// Determinism contract: a kBernoulli site's decision is a pure function of
+/// (policy seed, site name, key) — independent of call order, thread count,
+/// and how often other sites are checked. Callers that fire from parallel
+/// loops must therefore derive the key from the work item (e.g. the
+/// architecture index and attempt number), never from shared counters.
+/// kOneShot and kEveryNth use a per-site counter and are only
+/// order-deterministic at serial call sites (e.g. file I/O).
+///
+/// The site catalogue lives in DESIGN.md ("Fault injection & robust
+/// collection"); site-name constants are declared next to the code that
+/// checks them (device.hpp, benchmark.hpp, parallel.hpp).
+
+namespace detail {
+/// Number of currently armed sites. Read on every injection check; only
+/// mutated (under the registry lock) by arm/disarm.
+extern std::atomic<int> g_armed_count;
+}  // namespace detail
+
+/// True when at least one site is armed. The fast path of every injection
+/// check: a single relaxed atomic load, no lock, no string hashing.
+inline bool any_armed() {
+  return detail::g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+/// When an armed site fires.
+enum class Trigger {
+  kAlways,     ///< every check fires
+  kOneShot,    ///< the first check fires, later checks never do
+  kEveryNth,   ///< checks n, 2n, 3n, ... fire (per-site counter)
+  kBernoulli,  ///< fires iff hash(seed, site, key) < probability
+};
+
+/// Per-site firing policy. Use the factories below.
+struct Policy {
+  Trigger trigger = Trigger::kAlways;
+  double probability = 1.0;  ///< kBernoulli success probability in [0, 1]
+  std::uint64_t n = 1;       ///< kEveryNth period (>= 1)
+  std::uint64_t seed = 0;    ///< kBernoulli decision seed
+
+  static Policy always();
+  static Policy one_shot();
+  static Policy every_nth(std::uint64_t n);
+  static Policy bernoulli(double probability, std::uint64_t seed);
+};
+
+/// Returned when a site fires: a deterministic 64-bit draw derived from
+/// (seed, site, key), for callers that need a fault *magnitude* (e.g. the
+/// heavy-tail outlier multiplier) and not just a fault *decision*.
+struct FireInfo {
+  std::uint64_t draw = 0;
+  /// The draw mapped to [0, 1).
+  double uniform() const;
+};
+
+/// Arm `site` with `policy` (replaces any existing policy and resets the
+/// site's counters). Thread-safe.
+void arm(const std::string& site, const Policy& policy);
+
+/// Disarm one site / all sites. Disarming an unarmed site is a no-op.
+void disarm(const std::string& site);
+void disarm_all();
+
+bool is_armed(const std::string& site);
+
+/// Currently armed policy of a site, if any.
+std::optional<Policy> armed_policy(const std::string& site);
+
+/// How many times the site fired / was checked since it was last armed.
+std::uint64_t fire_count(const std::string& site);
+std::uint64_t check_count(const std::string& site);
+
+/// The injection point: returns the FireInfo when `site` is armed and its
+/// policy fires for this check, std::nullopt otherwise. `key` identifies
+/// the work item for kBernoulli determinism (ignored by the decision of the
+/// other triggers, but still mixed into the draw).
+std::optional<FireInfo> should_fire(std::string_view site,
+                                    std::uint64_t key = 0);
+
+/// The exception maybe_throw() raises. Derives from anb::Error so existing
+/// error-propagation paths (parallel_for rethrow, ANB-style catch blocks)
+/// treat injected faults exactly like real ones.
+class InjectedFault : public Error {
+ public:
+  explicit InjectedFault(const std::string& what) : Error(what) {}
+};
+
+/// Convenience injection point: throws InjectedFault when the site fires.
+void maybe_throw(std::string_view site, std::uint64_t key = 0);
+
+/// RAII arming: arms `site` on construction and, on destruction, restores
+/// whatever policy was armed before (or disarms the site if none was).
+/// Counters do not survive the restore. Guards may nest.
+class ScopedFault {
+ public:
+  ScopedFault(std::string site, const Policy& policy);
+  ~ScopedFault();
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string site_;
+  std::optional<Policy> prior_;
+};
+
+}  // namespace anb::fault

@@ -5,6 +5,14 @@
 
 namespace anb {
 
+/// Fault-injection site checked once per parallel_for iteration (keyed by
+/// the iteration index, so seeded-Bernoulli arming is thread-count
+/// invariant): when it fires, the worker throws fault::InjectedFault
+/// instead of running the body, exercising the capture-and-rethrow error
+/// path under real concurrency. A no-op branch while the site is unarmed.
+inline constexpr const char* kParallelForWorkerFaultSite =
+    "util.parallel_for.worker";
+
 /// Number of worker threads `parallel_for` uses when a call site passes
 /// `num_threads = 0`. Resolution order: the value installed with
 /// set_default_num_threads() if non-zero, else the ANB_NUM_THREADS

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "anb/util/error.hpp"
+#include "anb/util/fault.hpp"
 
 namespace anb {
 
@@ -51,7 +52,10 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
       std::min<std::size_t>(num_threads, n));
 
   if (num_threads == 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fault::any_armed()) fault::maybe_throw(kParallelForWorkerFaultSite, i);
+      body(i);
+    }
     return;
   }
 
@@ -64,6 +68,8 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
+        if (fault::any_armed())
+          fault::maybe_throw(kParallelForWorkerFaultSite, i);
         body(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);

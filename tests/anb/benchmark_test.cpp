@@ -9,6 +9,7 @@
 #include "anb/anb/pipeline.hpp"
 #include "anb/anb/tuning.hpp"
 #include "anb/util/error.hpp"
+#include "anb/util/fault.hpp"
 
 namespace anb {
 namespace {
@@ -165,6 +166,60 @@ TEST(AccelNASBenchTest, FromJsonRejectsBadFormat) {
   j["format"] = "not-a-benchmark";
   j["perf"] = Json::object();
   EXPECT_THROW(AccelNASBench::from_json(j), Error);
+}
+
+TEST(BenchmarkNamingTest, ParsersRejectNearMissNames) {
+  // Exact-match contract: no case folding, no trimming, no prefixes.
+  EXPECT_THROW(perf_metric_from_name(""), Error);
+  EXPECT_THROW(perf_metric_from_name("thr"), Error);
+  EXPECT_THROW(perf_metric_from_name("Thr "), Error);
+  EXPECT_THROW(perf_metric_from_name(" Thr"), Error);
+  EXPECT_THROW(perf_metric_from_name("Throughput"), Error);
+  EXPECT_THROW(perf_metric_from_name("Enr2"), Error);
+  EXPECT_EQ(perf_metric_from_name(perf_metric_name(PerfMetric::kEnergy)),
+            PerfMetric::kEnergy);
+
+  EXPECT_THROW(device_kind_from_name(""), Error);
+  EXPECT_THROW(device_kind_from_name("A100"), Error);  // canonical is "a100"
+  EXPECT_THROW(device_kind_from_name("a100 "), Error);
+  EXPECT_THROW(device_kind_from_name("tpuv4"), Error);
+  // Round trip through the canonical names still works for all devices.
+  for (const auto& device : device_catalog())
+    EXPECT_EQ(device_kind_from_name(device_kind_name(device.kind())),
+              device.kind());
+}
+
+TEST(AccelNASBenchTest, InjectedShortWriteThrowsAndNeverLoads) {
+  AccelNASBench bench;
+  bench.set_accuracy_surrogate(tiny_model(30));
+  const std::string path = ::testing::TempDir() + "/anb_short_write.json";
+
+  {
+    fault::ScopedFault guard(kBenchmarkSaveFaultSite,
+                             fault::Policy::one_shot());
+    EXPECT_THROW(bench.save(path), Error);
+  }
+  // The truncated artifact on disk must never parse as a valid benchmark.
+  EXPECT_THROW(AccelNASBench::load(path), Error);
+  // A later fault-free save repairs the file in place.
+  bench.save(path);
+  EXPECT_TRUE(AccelNASBench::load(path).has_accuracy());
+  std::remove(path.c_str());
+}
+
+TEST(AccelNASBenchTest, InjectedShortReadThrowsWithoutCorruptingFile) {
+  AccelNASBench bench;
+  bench.set_accuracy_surrogate(tiny_model(31));
+  const std::string path = ::testing::TempDir() + "/anb_short_read.json";
+  bench.save(path);
+
+  {
+    fault::ScopedFault guard(kBenchmarkLoadFaultSite, fault::Policy::always());
+    EXPECT_THROW(AccelNASBench::load(path), Error);
+  }
+  // The fault was in the (simulated) read, not the file: a clean load works.
+  EXPECT_TRUE(AccelNASBench::load(path).has_accuracy());
+  std::remove(path.c_str());
 }
 
 }  // namespace

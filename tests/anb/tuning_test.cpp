@@ -77,5 +77,13 @@ TEST(TuningTest, TuneValidatesInputs) {
   EXPECT_THROW(tune_surrogate(SurrogateKind::kRf, tiny, tiny, options), Error);
 }
 
+TEST(TuningTest, UnknownSurrogateKindThrows) {
+  // An out-of-range enum value (e.g. from a corrupted config file) must be
+  // rejected, not fall through to an arbitrary family.
+  const auto bad = static_cast<SurrogateKind>(99);
+  EXPECT_THROW(make_default_surrogate(bad), Error);
+  EXPECT_THROW(make_surrogate(bad, Configuration{}), Error);
+}
+
 }  // namespace
 }  // namespace anb

@@ -145,5 +145,15 @@ TEST(SmacLiteTest, ValidatesArguments) {
   EXPECT_THROW(SmacLite::run(bowl_space(), nullptr, options, rng), Error);
 }
 
+TEST(SmacLiteTest, FilterRejectingEverythingThrows) {
+  // sample_valid gives up after 1000 consecutive rejections instead of
+  // spinning forever on an unsatisfiable filter.
+  SmacLite::Options options;
+  options.n_trials = 4;
+  options.filter = [](const Configuration&) { return false; };
+  Rng rng(12);
+  EXPECT_THROW(SmacLite::run(bowl_space(), bowl, options, rng), Error);
+}
+
 }  // namespace
 }  // namespace anb

@@ -3,8 +3,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "anb/anb/benchmark.hpp"
 #include "anb/surrogate/ensemble.hpp"
 #include "anb/surrogate/gbdt.hpp"
 #include "anb/surrogate/hist_gbdt.hpp"
@@ -189,6 +191,169 @@ TEST_F(SerializationTest, MissingFieldsRejected) {
   Json bad_node = model.to_json();
   bad_node["trees"].as_array()[0].as_array()[0].as_object().erase("t");
   EXPECT_THROW(surrogate_from_json(bad_node), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption fuzz corpus over saved AccelNASBench payloads: truncations,
+// structural bit-flips, and field-drops. Every corrupted file must fail to
+// load with anb::Error — never a crash, hang, or silent partial load. The
+// whole corpus is seeded and enumerated deterministically, and the suite
+// runs under ASan/UBSan in CI, so any out-of-bounds read or UB in the
+// parse/decode path is caught, not just wrong error types.
+
+/// One small benchmark (accuracy + two perf surrogates of different
+/// families), serialized once and shared by every fuzz case.
+const std::string& saved_benchmark_text() {
+  static const std::string text = [] {
+    const Dataset train = make_dataset(60, 11);
+    Rng rng(12);
+    const auto fitted = [&](std::unique_ptr<Surrogate> model) {
+      Rng fit_rng(13);
+      model->fit(train, fit_rng);
+      return model;
+    };
+    GbdtParams gp;
+    gp.n_estimators = 3;
+    SvrParams sp;
+    sp.gamma = 0.5;
+    AccelNASBench bench;
+    bench.set_accuracy_surrogate(fitted(std::make_unique<Gbdt>(gp)));
+    bench.set_perf_surrogate(DeviceKind::kA100, PerfMetric::kThroughput,
+                             fitted(std::make_unique<Gbdt>(gp)));
+    bench.set_perf_surrogate(DeviceKind::kZcu102, PerfMetric::kLatency,
+                             fitted(std::make_unique<Svr>(sp)));
+    return bench.to_json().dump();
+  }();
+  return text;
+}
+
+/// Walks the document in deterministic order and erases the `target`-th
+/// droppable object key. Keys whose removal legally yields a *valid*
+/// benchmark are not droppable: the optional top-level "accuracy" and the
+/// entries of the top-level "perf" map (each perf surrogate is optional).
+/// Returns true once a key was erased; `target` counts down in-place.
+bool drop_nth_key(Json& j, int& target, bool is_root, bool is_perf_map) {
+  if (j.is_array()) {
+    for (Json& elem : j.as_array()) {
+      if (drop_nth_key(elem, target, false, false)) return true;
+    }
+    return false;
+  }
+  if (!j.is_object()) return false;
+  for (auto& [key, child] : j.as_object()) {
+    const bool droppable =
+        !is_perf_map && !(is_root && key == "accuracy");
+    if (droppable && target-- == 0) {
+      j.as_object().erase(key);
+      return true;
+    }
+    if (drop_nth_key(child, target, false, is_root && key == "perf"))
+      return true;
+  }
+  return false;
+}
+
+class BenchmarkCorruptionFuzz : public ::testing::Test {
+ protected:
+  /// Writes `payload` to a scratch file and requires load() to reject it
+  /// with anb::Error specifically.
+  void expect_load_throws(const std::string& payload, const std::string& what) {
+    const std::string path =
+        ::testing::TempDir() + "anb_corruption_fuzz.json";
+    write_text_file(path, payload);
+    try {
+      AccelNASBench::load(path);
+      ADD_FAILURE() << "corrupted payload loaded successfully: " << what;
+    } catch (const Error&) {
+      // Expected: the anb::Error family, never std:: exceptions or UB.
+    }
+    ++cases_;
+  }
+
+  int cases_ = 0;
+};
+
+TEST_F(BenchmarkCorruptionFuzz, TruncationsAlwaysThrow) {
+  const std::string& text = saved_benchmark_text();
+  // 120 strict prefixes spread over the document, including the empty one.
+  const int kCuts = 120;
+  for (int i = 0; i < kCuts; ++i) {
+    const std::size_t cut = text.size() * static_cast<std::size_t>(i) /
+                            static_cast<std::size_t>(kCuts);
+    expect_load_throws(text.substr(0, cut),
+                       "truncation at " + std::to_string(cut));
+  }
+  EXPECT_EQ(cases_, kCuts);
+}
+
+TEST_F(BenchmarkCorruptionFuzz, StructuralBitFlipsAlwaysThrow) {
+  const std::string& text = saved_benchmark_text();
+  std::vector<std::size_t> structural;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (ch == '{' || ch == '}' || ch == '[' || ch == ']' || ch == ':')
+      structural.push_back(i);
+  }
+  ASSERT_GT(structural.size(), 10u);
+
+  Rng rng(0xF1A9);
+  const int kFlips = 60;
+  for (int i = 0; i < kFlips; ++i) {
+    const std::size_t pos = structural[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(structural.size()) - 1))];
+    const int bit = static_cast<int>(rng.uniform_int(0, 7));
+    std::string corrupted = text;
+    corrupted[pos] = static_cast<char>(
+        static_cast<unsigned char>(corrupted[pos]) ^ (1u << bit));
+    expect_load_throws(corrupted, "bit " + std::to_string(bit) + " at " +
+                                      std::to_string(pos));
+  }
+  EXPECT_EQ(cases_, kFlips);
+}
+
+TEST_F(BenchmarkCorruptionFuzz, FieldDropsAlwaysThrow) {
+  const Json parsed = Json::parse(saved_benchmark_text());
+  // Count droppable keys with a dry run of the same deterministic walk.
+  int total = 0;
+  while (true) {
+    Json probe = parsed;
+    int target = total;
+    if (!drop_nth_key(probe, target, true, false)) break;
+    ++total;
+  }
+  ASSERT_GE(total, 30);
+
+  for (int k = 0; k < total; ++k) {
+    Json corrupted = parsed;
+    int target = k;
+    ASSERT_TRUE(drop_nth_key(corrupted, target, true, false));
+    expect_load_throws(corrupted.dump(), "field drop #" + std::to_string(k));
+  }
+  EXPECT_EQ(cases_, total);
+}
+
+TEST_F(BenchmarkCorruptionFuzz, CorpusMeetsMinimumSize) {
+  // The three generators above enumerate deterministically; this guards
+  // the corpus floor the robustness contract promises (>= 200 cases).
+  const Json parsed = Json::parse(saved_benchmark_text());
+  int drops = 0;
+  while (true) {
+    Json probe = parsed;
+    int target = drops;
+    if (!drop_nth_key(probe, target, true, false)) break;
+    ++drops;
+  }
+  EXPECT_GE(120 + 60 + drops, 200);
+}
+
+TEST_F(BenchmarkCorruptionFuzz, UncorruptedPayloadStillLoads) {
+  // Control case: the corpus template itself round-trips, so every failure
+  // above is attributable to the injected corruption.
+  const std::string path = ::testing::TempDir() + "anb_fuzz_control.json";
+  write_text_file(path, saved_benchmark_text());
+  const AccelNASBench bench = AccelNASBench::load(path);
+  EXPECT_TRUE(bench.has_accuracy());
+  EXPECT_EQ(bench.perf_targets().size(), 2u);
 }
 
 }  // namespace

@@ -1,0 +1,248 @@
+#include "anb/util/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "anb/util/parallel.hpp"
+
+namespace anb {
+namespace {
+
+/// Every test restores the global registry to "nothing armed" so suites
+/// sharing the binary never see leaked fault state.
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::disarm_all(); }
+};
+
+TEST_F(FaultTest, NothingArmedByDefault) {
+  EXPECT_FALSE(fault::any_armed());
+  EXPECT_FALSE(fault::is_armed("some.site"));
+  EXPECT_FALSE(fault::should_fire("some.site").has_value());
+  EXPECT_NO_THROW(fault::maybe_throw("some.site"));
+  EXPECT_EQ(fault::fire_count("some.site"), 0u);
+  EXPECT_EQ(fault::check_count("some.site"), 0u);
+}
+
+TEST_F(FaultTest, ArmDisarmLifecycle) {
+  fault::arm("site.a", fault::Policy::always());
+  EXPECT_TRUE(fault::any_armed());
+  EXPECT_TRUE(fault::is_armed("site.a"));
+  EXPECT_FALSE(fault::is_armed("site.b"));
+
+  fault::arm("site.b", fault::Policy::one_shot());
+  EXPECT_TRUE(fault::is_armed("site.b"));
+
+  fault::disarm("site.a");
+  EXPECT_FALSE(fault::is_armed("site.a"));
+  EXPECT_TRUE(fault::any_armed());  // site.b still armed
+
+  fault::disarm_all();
+  EXPECT_FALSE(fault::any_armed());
+  EXPECT_FALSE(fault::is_armed("site.b"));
+}
+
+TEST_F(FaultTest, DisarmingUnarmedSiteIsANoOp) {
+  EXPECT_NO_THROW(fault::disarm("never.armed"));
+  EXPECT_FALSE(fault::any_armed());
+}
+
+TEST_F(FaultTest, AlwaysFiresOnEveryCheck) {
+  fault::arm("site", fault::Policy::always());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(fault::should_fire("site", i));
+  EXPECT_EQ(fault::check_count("site"), 5u);
+  EXPECT_EQ(fault::fire_count("site"), 5u);
+}
+
+TEST_F(FaultTest, OneShotFiresExactlyOnce) {
+  fault::arm("site", fault::Policy::one_shot());
+  EXPECT_TRUE(fault::should_fire("site"));
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(fault::should_fire("site"));
+  EXPECT_EQ(fault::fire_count("site"), 1u);
+  EXPECT_EQ(fault::check_count("site"), 5u);
+
+  // Re-arming resets the shot.
+  fault::arm("site", fault::Policy::one_shot());
+  EXPECT_EQ(fault::check_count("site"), 0u);
+  EXPECT_TRUE(fault::should_fire("site"));
+}
+
+TEST_F(FaultTest, EveryNthFiresOnMultiplesOfN) {
+  fault::arm("site", fault::Policy::every_nth(3));
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i)
+    fired.push_back(fault::should_fire("site").has_value());
+  const std::vector<bool> expected{false, false, true,  false, false,
+                                   true,  false, false, true};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(fault::fire_count("site"), 3u);
+}
+
+TEST_F(FaultTest, PolicyFactoriesValidate) {
+  EXPECT_THROW(fault::Policy::every_nth(0), Error);
+  EXPECT_THROW(fault::Policy::bernoulli(-0.1, 1), Error);
+  EXPECT_THROW(fault::Policy::bernoulli(1.5, 1), Error);
+  EXPECT_THROW(fault::arm("", fault::Policy::always()), Error);
+}
+
+TEST_F(FaultTest, BernoulliDecisionIsAPureFunctionOfSeedSiteKey) {
+  // Record the decision for a batch of keys, then re-check in a different
+  // order after re-arming: identical answers, per the determinism contract.
+  fault::arm("site", fault::Policy::bernoulli(0.3, 1234));
+  std::vector<bool> first;
+  for (std::uint64_t key = 0; key < 200; ++key)
+    first.push_back(fault::should_fire("site", key).has_value());
+
+  fault::arm("site", fault::Policy::bernoulli(0.3, 1234));
+  for (std::uint64_t key = 200; key-- > 0;) {
+    EXPECT_EQ(fault::should_fire("site", key).has_value(), first[key])
+        << "key " << key;
+  }
+}
+
+TEST_F(FaultTest, BernoulliRateIsRoughlyHonored) {
+  fault::arm("site", fault::Policy::bernoulli(0.2, 99));
+  int fires = 0;
+  const int kTrials = 2000;
+  for (int key = 0; key < kTrials; ++key)
+    fires += fault::should_fire("site", key).has_value() ? 1 : 0;
+  // 0.2 * 2000 = 400 expected; sigma ~ 18. A 5-sigma band never flakes.
+  EXPECT_GT(fires, 310);
+  EXPECT_LT(fires, 490);
+  EXPECT_EQ(fault::fire_count("site"), static_cast<std::uint64_t>(fires));
+}
+
+TEST_F(FaultTest, BernoulliDependsOnSeedAndSite) {
+  const auto decisions = [](const std::string& site, std::uint64_t seed) {
+    fault::arm(site, fault::Policy::bernoulli(0.5, seed));
+    std::vector<bool> out;
+    for (std::uint64_t key = 0; key < 128; ++key)
+      out.push_back(fault::should_fire(site, key).has_value());
+    fault::disarm(site);
+    return out;
+  };
+  const auto base = decisions("site.x", 7);
+  EXPECT_EQ(base, decisions("site.x", 7));
+  EXPECT_NE(base, decisions("site.x", 8));
+  EXPECT_NE(base, decisions("site.y", 7));
+}
+
+TEST_F(FaultTest, FireInfoDrawIsDeterministicAndUniformIsInRange) {
+  fault::arm("site", fault::Policy::always());
+  const auto a = fault::should_fire("site", 42);
+  ASSERT_TRUE(a.has_value());
+  const auto b = fault::should_fire("site", 42);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->draw, b->draw);
+  EXPECT_NE(a->draw, fault::should_fire("site", 43)->draw);
+
+  std::set<std::uint64_t> draws;
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    const auto f = fault::should_fire("site", key);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_GE(f->uniform(), 0.0);
+    EXPECT_LT(f->uniform(), 1.0);
+    draws.insert(f->draw);
+  }
+  EXPECT_GT(draws.size(), 95u);  // draws are essentially distinct
+}
+
+TEST_F(FaultTest, MaybeThrowRaisesInjectedFaultDerivedFromError) {
+  fault::arm("site", fault::Policy::one_shot());
+  EXPECT_THROW(fault::maybe_throw("site", 5), fault::InjectedFault);
+  EXPECT_NO_THROW(fault::maybe_throw("site", 5));  // shot spent
+  fault::arm("site", fault::Policy::always());
+  EXPECT_THROW(fault::maybe_throw("site"), Error);  // the anb::Error family
+}
+
+TEST_F(FaultTest, ScopedFaultDisarmsOnExit) {
+  {
+    fault::ScopedFault guard("site", fault::Policy::always());
+    EXPECT_TRUE(fault::is_armed("site"));
+    EXPECT_TRUE(fault::should_fire("site"));
+  }
+  EXPECT_FALSE(fault::is_armed("site"));
+  EXPECT_FALSE(fault::any_armed());
+}
+
+TEST_F(FaultTest, ScopedFaultRestoresPriorPolicy) {
+  fault::arm("site", fault::Policy::bernoulli(0.25, 77));
+  {
+    fault::ScopedFault guard("site", fault::Policy::always());
+    const auto p = fault::armed_policy("site");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->trigger, fault::Trigger::kAlways);
+  }
+  const auto restored = fault::armed_policy("site");
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->trigger, fault::Trigger::kBernoulli);
+  EXPECT_DOUBLE_EQ(restored->probability, 0.25);
+  EXPECT_EQ(restored->seed, 77u);
+}
+
+TEST_F(FaultTest, ScopedFaultsNest) {
+  fault::ScopedFault outer("site", fault::Policy::every_nth(2));
+  {
+    fault::ScopedFault inner("site", fault::Policy::always());
+    EXPECT_EQ(fault::armed_policy("site")->trigger, fault::Trigger::kAlways);
+  }
+  EXPECT_EQ(fault::armed_policy("site")->trigger, fault::Trigger::kEveryNth);
+}
+
+TEST_F(FaultTest, ParallelForWorkerInjectionPropagatesAsFirstError) {
+  // An armed worker site makes parallel_for rethrow the injected fault on
+  // the calling thread; iterations whose key does not fire still ran.
+  for (const unsigned threads : {1u, 4u}) {
+    fault::ScopedFault guard(kParallelForWorkerFaultSite,
+                             fault::Policy::every_nth(10));
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        parallel_for(
+            64, [&](std::size_t) { ran.fetch_add(1); }, threads),
+        fault::InjectedFault)
+        << "threads=" << threads;
+    EXPECT_LT(ran.load(), 64) << "threads=" << threads;
+  }
+}
+
+TEST_F(FaultTest, ParallelForBernoulliInjectionIsThreadCountInvariant) {
+  // With a keyed Bernoulli policy the set of failing iteration indices is a
+  // pure function of (seed, site, index). First record it via direct site
+  // queries, then check parallel_for against it at several thread counts.
+  fault::ScopedFault guard(kParallelForWorkerFaultSite,
+                           fault::Policy::bernoulli(0.3, 5));
+  std::vector<std::uint8_t> direct(128, 0);
+  for (std::uint64_t i = 0; i < 128; ++i)
+    direct[i] =
+        fault::should_fire(kParallelForWorkerFaultSite, i).has_value() ? 0 : 1;
+
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    fault::ScopedFault rearm(kParallelForWorkerFaultSite,
+                             fault::Policy::bernoulli(0.3, 5));
+    std::vector<std::uint8_t> ok(128, 0);
+    try {
+      parallel_for(
+          128, [&](std::size_t i) { ok[i] = 1; }, threads);
+      FAIL() << "expected at least one injected fault";
+    } catch (const fault::InjectedFault&) {
+    }
+    // Iterations that were dispatched before the failure completed iff the
+    // site did not fire for their index. Workers stop early after a throw,
+    // so only assert no *fired* index ever ran.
+    for (std::size_t i = 0; i < 128; ++i) {
+      if (direct[i] == 0) {
+        EXPECT_EQ(ok[i], 0) << "fired index " << i << " ran, threads="
+                            << threads;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anb
