@@ -6,10 +6,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
 
 #include "anb/anb/pipeline.hpp"
+#include "anb/obs/obs.hpp"
 
 namespace anb::bench {
 
@@ -53,6 +55,25 @@ inline DatasetSplits split_paper_style(const Dataset& data,
                                        std::uint64_t salt = 0) {
   Rng rng(hash_combine(13, salt));
   return data.split(0.8, 0.1, rng);
+}
+
+/// `--trace` turns on span recording for this run; `ANB_TRACE=path` does
+/// the same through the environment (and names the output file). Call at
+/// the top of a harness main().
+inline void parse_obs_flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) obs::set_trace_enabled(true);
+  }
+}
+
+/// Export the run's observability artifacts into results/: the registry
+/// counters as <stem>_metrics.csv always, plus the chrome://tracing JSON
+/// as <stem>_trace.json when tracing was on (--trace or ANB_TRACE; an
+/// ANB_TRACE path takes precedence). Call once at the end of main().
+inline void export_obs(const std::string& stem) {
+  obs::write_metrics_csv(results_path(stem + "_metrics.csv"));
+  if (obs::trace_enabled() && !obs::write_requested_trace())
+    obs::write_trace(results_path(stem + "_trace.json"));
 }
 
 inline void print_header(const char* experiment, const char* paper_ref) {

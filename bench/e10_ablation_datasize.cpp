@@ -16,7 +16,8 @@
 #include "anb/util/table.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  anb::bench::parse_obs_flags(argc, argv);
   using namespace anb;
   bench::print_header("E10: surrogate sample-efficiency", "DESIGN.md E10");
 
@@ -79,5 +80,6 @@ int main() {
               "knee (NB301-style 'unbiased surrogate' regime).\n");
   csv.save(bench::results_path("e10_ablation_datasize.csv"));
   std::printf("Series written to results/e10_ablation_datasize.csv\n");
+  anb::bench::export_obs("e10_ablation_datasize");
   return 0;
 }

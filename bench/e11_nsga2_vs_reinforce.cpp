@@ -18,7 +18,8 @@
 #include "anb/util/table.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  anb::bench::parse_obs_flags(argc, argv);
   using namespace anb;
   bench::print_header("E11: NSGA-II vs scalarized REINFORCE",
                       "DESIGN.md E11 (extends Fig. 4)");
@@ -38,8 +39,7 @@ int main() {
                             DeviceKind::kA100, DeviceKind::kTpuV3}) {
     // --- REINFORCE sweep (the paper's approach) -------------------------
     ParetoSearchConfig sweep;
-    sweep.device = device;
-    sweep.metric = PerfMetric::kThroughput;
+    sweep.key = {device, PerfMetric::kThroughput};
     sweep.n_targets = bench::fast_mode() ? 4 : 7;
     sweep.n_evals_per_target = budget / sweep.n_targets;
     sweep.seed = 9;
@@ -49,7 +49,7 @@ int main() {
     BiObjectiveOracle oracle = [&](const Architecture& arch) {
       return std::pair<double, double>{
           pipe.bench.query_accuracy(arch),
-          pipe.bench.query_perf(arch, device, PerfMetric::kThroughput)};
+          pipe.bench.query_perf(arch, MetricKey{device, PerfMetric::kThroughput})};
     };
     Nsga2 nsga;
     Rng rng(hash_combine(9, static_cast<std::uint64_t>(device)));
@@ -98,5 +98,6 @@ int main() {
               "benchmark's use for multi-objective optimizers.\n");
   csv.save(bench::results_path("e11_nsga2_vs_reinforce.csv"));
   std::printf("Rows written to results/e11_nsga2_vs_reinforce.csv\n");
+  anb::bench::export_obs("e11_nsga2_vs_reinforce");
   return 0;
 }

@@ -15,7 +15,8 @@
 #include "anb/util/table.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  anb::bench::parse_obs_flags(argc, argv);
   using namespace anb;
   bench::print_header("E12: energy extension", "DESIGN.md E12 (beyond paper)");
 
@@ -47,8 +48,7 @@ int main() {
 
   // --- accuracy-energy search on the edge FPGA ---------------------------
   ParetoSearchConfig config;
-  config.device = DeviceKind::kZcu102;
-  config.metric = PerfMetric::kEnergy;  // lower is better
+  config.key = {DeviceKind::kZcu102, PerfMetric::kEnergy};  // lower is better
   config.n_targets = bench::fast_mode() ? 3 : 6;
   config.n_evals_per_target = bench::fast_mode() ? 100 : 250;
   config.seed = 12;
@@ -76,5 +76,6 @@ int main() {
 
   csv.save(bench::results_path("e12_energy_front.csv"));
   std::printf("\nFront written to results/e12_energy_front.csv\n");
+  anb::bench::export_obs("e12_energy_extension");
   return 0;
 }

@@ -23,7 +23,8 @@
 #include "anb/util/table.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  anb::bench::parse_obs_flags(argc, argv);
   using namespace anb;
   bench::print_header("E13: FBNet-space generalizability",
                       "DESIGN.md E13 (paper §3.1 pointer)");
@@ -145,5 +146,6 @@ int main() {
 
   csv.save(bench::results_path("e13_generalizability.csv"));
   std::printf("\nSurrogate rows written to results/e13_generalizability.csv\n");
+  anb::bench::export_obs("e13_generalizability");
   return 0;
 }

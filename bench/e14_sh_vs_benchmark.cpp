@@ -18,7 +18,8 @@
 #include "anb/util/table.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  anb::bench::parse_obs_flags(argc, argv);
   using namespace anb;
   bench::print_header("E14: successive halving vs zero-cost search",
                       "DESIGN.md E14 (motivated by paper §3.2)");
@@ -101,5 +102,6 @@ int main() {
   std::printf("\nExpected shape: the benchmark-backed search matches or "
               "beats SH's winner while\nspending no marginal GPU-hours — "
               "the sustainability argument of the paper's title.\n");
+  anb::bench::export_obs("e14_sh_vs_benchmark");
   return 0;
 }

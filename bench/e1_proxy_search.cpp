@@ -15,7 +15,8 @@
 #include "anb/util/table.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  anb::bench::parse_obs_flags(argc, argv);
   using namespace anb;
   bench::print_header("E1: training-proxy search", "Section 3.2 / Eq. (1)");
 
@@ -71,5 +72,6 @@ int main() {
   }
   csv.save(bench::results_path("e1_proxy_search.csv"));
   std::printf("\nFull trial log written to results/e1_proxy_search.csv\n");
+  anb::bench::export_obs("e1_proxy_search");
   return 0;
 }

@@ -14,7 +14,8 @@
 #include "anb/util/table.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  anb::bench::parse_obs_flags(argc, argv);
   using namespace anb;
   bench::print_header("E9: t_spec and optimizer ablation", "DESIGN.md E9");
 
@@ -71,5 +72,6 @@ int main() {
   csv1.save(bench::results_path("e9_ablation_tspec.csv"));
   csv2.save(bench::results_path("e9_ablation_optimizers.csv"));
   std::printf("\nSeries written to results/e9_ablation_{tspec,optimizers}.csv\n");
+  anb::bench::export_obs("e9_ablation_tspec");
   return 0;
 }

@@ -14,7 +14,8 @@
 #include "anb/util/stats.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  anb::bench::parse_obs_flags(argc, argv);
   using namespace anb;
   bench::print_header("E2: validation of p* on unseen models", "Figure 3");
 
@@ -83,5 +84,6 @@ int main() {
 
   csv.save(bench::results_path("fig3_proxy_validation.csv"));
   std::printf("\nScatter data written to results/fig3_proxy_validation.csv\n");
+  anb::bench::export_obs("fig3_proxy_validation");
   return 0;
 }

@@ -14,7 +14,8 @@
 #include "anb/util/table.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  anb::bench::parse_obs_flags(argc, argv);
   using namespace anb;
   bench::print_header("E6: bi-objective REINFORCE search", "Figure 4");
 
@@ -47,8 +48,7 @@ int main() {
 
   for (const auto& panel : panels) {
     ParetoSearchConfig config;
-    config.device = panel.device;
-    config.metric = panel.metric;
+    config.key = {panel.device, panel.metric};
     config.n_targets = bench::fast_mode() ? 3 : 7;
     config.n_evals_per_target = bench::fast_mode() ? 100 : 250;
     config.n_picks = 3;
@@ -96,5 +96,6 @@ int main() {
 
   csv.save(bench::results_path("fig4_biobjective.csv"));
   std::printf("\nFronts written to results/fig4_biobjective.csv\n");
+  anb::bench::export_obs("fig4_biobjective");
   return 0;
 }

@@ -14,7 +14,8 @@
 #include "anb/util/table.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  anb::bench::parse_obs_flags(argc, argv);
   using namespace anb;
   bench::print_header("E5: uni-objective search trajectories", "Figure 5");
 
@@ -94,5 +95,6 @@ int main() {
   }
   csv.save(bench::results_path("fig5_trajectories.csv"));
   std::printf("\nCurves written to results/fig5_trajectories.csv\n");
+  anb::bench::export_obs("fig5_trajectories");
   return 0;
 }

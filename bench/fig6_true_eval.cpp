@@ -16,7 +16,8 @@
 #include "anb/util/table.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  anb::bench::parse_obs_flags(argc, argv);
   using namespace anb;
   bench::print_header("E7: true evaluation vs baselines", "Figure 6");
 
@@ -51,15 +52,14 @@ int main() {
 
   for (const auto& panel : panels) {
     ParetoSearchConfig config;
-    config.device = panel.device;
-    config.metric = panel.metric;
+    config.key = {panel.device, panel.metric};
     config.n_targets = bench::fast_mode() ? 3 : 7;
     config.n_evals_per_target = bench::fast_mode() ? 100 : 250;
     config.n_picks = 3;
     config.seed = hash_combine(5, static_cast<std::uint64_t>(panel.device) * 2 +
                                       static_cast<std::uint64_t>(panel.metric));
     const ParetoOutcome outcome = pareto_search(pipe.bench, config);
-    const auto rows = true_evaluation(outcome, sim, panel.device, panel.metric,
+    const auto rows = true_evaluation(outcome, sim, MetricKey{panel.device, panel.metric},
                                       panel.tag);
     const char* unit =
         panel.metric == PerfMetric::kThroughput ? "img/s" : "ms";
@@ -115,5 +115,6 @@ int main() {
               "throughput vs effnet-b0 on VCK190)\n");
   csv.save(bench::results_path("fig6_true_eval.csv"));
   std::printf("Rows written to results/fig6_true_eval.csv\n");
+  anb::bench::export_obs("fig6_true_eval");
   return 0;
 }

@@ -9,14 +9,17 @@
 // byte-identical to the single-threaded one — the determinism contract the
 // engine is built on.
 //
-// Usage: fit_throughput [n_rows]   (one size; default 1k/5k/20k sweep,
+// Usage: fit_throughput [n_rows] [--trace]
+//                                  (one size; default 1k/5k/20k sweep,
 //                                   ANB_FAST=1 -> 1000 only)
-// Output: results/fit_throughput.csv
+// Output: results/fit_throughput.csv + fit_throughput_metrics.csv
+//         (+ fit_throughput_trace.json with --trace / ANB_TRACE)
 
 #include <chrono>
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <span>
@@ -116,8 +119,9 @@ void print_row(const RowResult& r) {
 }
 
 int run(int argc, char** argv) {
+  parse_obs_flags(argc, argv);
   std::vector<int> sizes;
-  if (argc > 1) {
+  if (argc > 1 && std::strcmp(argv[1], "--trace") != 0) {
     sizes = {std::atoi(argv[1])};
   } else if (fast_mode()) {
     sizes = {1000};
@@ -178,6 +182,7 @@ int run(int argc, char** argv) {
   }
   write_text_file(path, csv);
   std::printf("wrote %s\n", path.c_str());
+  export_obs("fit_throughput");
 
   bool all_exact = true;
   for (const auto& r : results) all_exact = all_exact && r.bit_identical;

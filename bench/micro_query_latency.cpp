@@ -10,6 +10,7 @@
 
 #include "anb/anb/benchmark.hpp"
 #include "anb/anb/tuning.hpp"
+#include "anb/obs/obs.hpp"
 #include "anb/searchspace/space.hpp"
 #include "anb/trainsim/simulator.hpp"
 #include "anb/anb/pipeline.hpp"
@@ -81,6 +82,24 @@ void BM_BenchmarkEndToEndQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BenchmarkEndToEndQuery);
+
+// Overhead of the observability layer on the hot query path. The query
+// counters are armed by default; the acceptance budget is < 2% between
+// these two variants (compare their per-iteration times in the output).
+// range(0) == 1 runs with metrics armed, == 0 with the registry disarmed.
+void BM_QueryObsOverhead(benchmark::State& state) {
+  AccelNASBench bench;
+  bench.set_accuracy_surrogate(fitted(SurrogateKind::kXgb));
+  Rng rng(8);
+  const bool armed = state.range(0) != 0;
+  obs::set_metrics_enabled(armed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.query_accuracy(SearchSpace::sample(rng)));
+  }
+  obs::set_metrics_enabled(true);
+  state.SetLabel(armed ? "obs_enabled" : "obs_disabled");
+}
+BENCHMARK(BM_QueryObsOverhead)->Arg(1)->Arg(0);
 
 // Contrast: the cost this zero-cost path replaces (simulated training run).
 void BM_SimulatedTrainingEvaluation(benchmark::State& state) {

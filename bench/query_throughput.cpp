@@ -128,8 +128,10 @@ void print_row(const RowResult& r) {
 }
 
 int run(int argc, char** argv) {
-  const int n_rows = argc > 1 ? std::atoi(argv[1])
-                              : (fast_mode() ? 2000 : 20000);
+  parse_obs_flags(argc, argv);
+  const bool has_rows_arg = argc > 1 && std::strcmp(argv[1], "--trace") != 0;
+  const int n_rows = has_rows_arg ? std::atoi(argv[1])
+                                  : (fast_mode() ? 2000 : 20000);
   ANB_CHECK(n_rows >= 1, "query_throughput: n_rows must be >= 1");
   print_header("query throughput: scalar vs batched prediction",
                "batched query engine (this repo's extension)");
@@ -257,6 +259,13 @@ int run(int argc, char** argv) {
   }
   write_text_file(path, csv);
   std::printf("wrote %s\n", path.c_str());
+
+  // rows/sec gauges: timing lives in the bench (the library never reads
+  // the clock — see tools/anb_lint raw-timing rule), the registry carries
+  // the last measured value for the metrics CSV.
+  obs::gauge("anb.query.scalar_rows_per_sec").set(scalar_rps);
+  obs::gauge("anb.query.batched_rows_per_sec").set(warm.batched_rps);
+  export_obs("query_throughput");
 
   bool all_exact = true;
   for (const auto& r : results) all_exact = all_exact && r.bit_identical;

@@ -13,7 +13,8 @@
 #include "anb/util/table.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  anb::bench::parse_obs_flags(argc, argv);
   using namespace anb;
   bench::print_header("E3: accuracy-surrogate comparison", "Table 1");
 
@@ -70,5 +71,6 @@ int main() {
               "metrics.\n");
   csv.save(bench::results_path("table1_acc_surrogates.csv"));
   std::printf("Rows written to results/table1_acc_surrogates.csv\n");
+  anb::bench::export_obs("table1_acc_surrogates");
   return 0;
 }

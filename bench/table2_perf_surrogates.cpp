@@ -12,7 +12,8 @@
 #include "anb/util/table.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  anb::bench::parse_obs_flags(argc, argv);
   using namespace anb;
   bench::print_header("E4: device-performance surrogates (XGB)", "Table 2");
 
@@ -45,9 +46,10 @@ int main() {
   options.tuning_subsample = 800;
 
   for (const auto& row : paper) {
-    const std::string name = dataset_name(row.device, row.metric);
-    const DatasetSplits splits = bench::split_paper_style(
-        data.perf_dataset(row.device, row.metric), name.size());
+    const MetricKey key{row.device, row.metric};
+    const std::string name = dataset_name(key);
+    const DatasetSplits splits =
+        bench::split_paper_style(data.perf_dataset(key), name.size());
     options.seed = hash_combine(23, name.size() * 7);
     const TunedSurrogate tuned =
         tune_surrogate(SurrogateKind::kXgb, splits.train, splits.val, options);
@@ -70,5 +72,6 @@ int main() {
               "easier than batched throughput).\n");
   csv.save(bench::results_path("table2_perf_surrogates.csv"));
   std::printf("Rows written to results/table2_perf_surrogates.csv\n");
+  anb::bench::export_obs("table2_perf_surrogates");
   return 0;
 }

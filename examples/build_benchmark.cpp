@@ -10,8 +10,11 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <vector>
 
 #include "anb/anb/pipeline.hpp"
+#include "anb/obs/obs.hpp"
 
 int main(int argc, char** argv) {
   using namespace anb;
@@ -23,10 +26,13 @@ int main(int argc, char** argv) {
   options.run_proxy_search = true;
   options.proxy.n_models = fast ? 8 : 20;
   options.proxy.t_spec_hours = 3.0;
+  options.tune = true;  // SMAC-tune each surrogate before the final fit
   if (fast) {
     options.proxy.domains.batch_size = {512};
     options.proxy.domains.total_epochs = {15, 30, 50};
     options.proxy.domains.res_start = {160, 192};
+    options.tuning.n_trials = 4;
+    options.tuning.tuning_subsample = 300;
   }
 
   std::printf("[1/4] searching for the training proxy p*...\n");
@@ -49,12 +55,23 @@ int main(int argc, char** argv) {
   result.bench.save(path);
   const AccelNASBench reloaded = AccelNASBench::load(path);
   Rng rng(1);
-  const Architecture probe = SearchSpace::sample(rng);
-  std::printf("[4/4] saved + reloaded %s; probe query matches: %s\n",
+  std::vector<Architecture> probes;
+  for (int i = 0; i < 16; ++i) probes.push_back(SearchSpace::sample(rng));
+  std::printf("[4/4] saved + reloaded %s; probe queries match: %s\n",
               path.c_str(),
-              reloaded.query_accuracy(probe) ==
-                      result.bench.query_accuracy(probe)
+              reloaded.query_accuracy_batch(probes) ==
+                      result.bench.query_accuracy_batch(probes)
                   ? "yes"
                   : "NO");
+
+  // Observability artifacts: the registry counters always land in
+  // results/, and ANB_TRACE=<path> additionally dumps the span tree as
+  // chrome://tracing JSON covering the proxy-search, collection, fitting,
+  // and query phases above.
+  std::filesystem::create_directories("results");
+  obs::write_metrics_csv("results/build_benchmark_metrics.csv");
+  if (obs::write_requested_trace())
+    std::printf("trace written to %s (open in chrome://tracing)\n",
+                obs::requested_trace_path()->c_str());
   return 0;
 }

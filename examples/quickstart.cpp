@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "anb/anb/pipeline.hpp"
+#include "anb/obs/obs.hpp"
 #include "anb/searchspace/zoo.hpp"
 
 int main() {
@@ -36,12 +37,9 @@ int main() {
     std::printf("%-10s top-1(pred) = %.4f", name,
                 result.bench.query_accuracy(arch));
     std::printf("  | A100 %.0f img/s | TPUv3 %.0f img/s | ZCU102 %.2f ms\n",
-                result.bench.query_perf(arch, DeviceKind::kA100,
-                                        PerfMetric::kThroughput),
-                result.bench.query_perf(arch, DeviceKind::kTpuV3,
-                                        PerfMetric::kThroughput),
-                result.bench.query_perf(arch, DeviceKind::kZcu102,
-                                        PerfMetric::kLatency));
+                result.bench.query_perf(arch, MetricKey{DeviceKind::kA100, PerfMetric::kThroughput}),
+                result.bench.query_perf(arch, MetricKey{DeviceKind::kTpuV3, PerfMetric::kThroughput}),
+                result.bench.query_perf(arch, MetricKey{DeviceKind::kZcu102, PerfMetric::kLatency}));
   }
 
   // 4. What one of those queries would have cost without the benchmark.
@@ -50,5 +48,11 @@ int main() {
               "GPU-hours (proxy)\nor %.1f GPU-hours (reference scheme)\n",
               sim.training_cost_hours(my_arch, result.p_star),
               sim.training_cost_hours(my_arch, reference_scheme()));
+
+  // 5. ANB_TRACE=trace.json ./quickstart dumps the instrumented span tree
+  //    (collection, fitting, queries) as chrome://tracing JSON.
+  if (obs::write_requested_trace())
+    std::printf("\ntrace written to %s (open in chrome://tracing)\n",
+                obs::requested_trace_path()->c_str());
   return 0;
 }

@@ -27,8 +27,7 @@ int main() {
 
   // Bi-objective accuracy-latency search (REINFORCE over surrogates).
   ParetoSearchConfig config;
-  config.device = DeviceKind::kZcu102;
-  config.metric = PerfMetric::kLatency;
+  config.key = {DeviceKind::kZcu102, PerfMetric::kLatency};
   config.n_targets = 5;
   config.n_evals_per_target = 200;
   const ParetoOutcome outcome = pareto_search(result.bench, config);

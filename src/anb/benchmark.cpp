@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "anb/obs/registry.hpp"
+#include "anb/obs/span.hpp"
 #include "anb/surrogate/ensemble.hpp"
 #include "anb/util/error.hpp"
 #include "anb/util/fault.hpp"
@@ -20,26 +22,60 @@ namespace {
 /// optimizer budget in this repo, so eviction never fires in practice.
 constexpr std::size_t kMaxCacheEntries = std::size_t{1} << 20;
 
-/// Cache-map key for the accuracy surrogate. Performance surrogates are
-/// keyed by AccelNASBench::perf_key ("device/metric"), which always
-/// contains a '/', so "acc" cannot collide.
-const char kAccuracyKey[] = "acc";
+/// Process-wide query counters (see DESIGN.md "Observability"). The cache
+/// hit/miss counters back QueryCacheStats; per-instance accounting is
+/// recovered by baseline subtraction in CacheState.
+obs::Counter& query_count() {
+  static obs::Counter& c = obs::counter("anb.query.count");
+  return c;
+}
+obs::Counter& batch_count() {
+  static obs::Counter& c = obs::counter("anb.query.batch.count");
+  return c;
+}
+obs::Counter& batch_rows() {
+  static obs::Counter& c = obs::counter("anb.query.batch.rows");
+  return c;
+}
+obs::Histogram& batch_size_hist() {
+  static obs::Histogram& h = obs::histogram("anb.query.batch.size");
+  return h;
+}
+obs::Counter& cache_hits() {
+  static obs::Counter& c = obs::counter("anb.query.cache.hits");
+  return c;
+}
+obs::Counter& cache_misses() {
+  static obs::Counter& c = obs::counter("anb.query.cache.misses");
+  return c;
+}
 }  // namespace
 
 /// Architecture-keyed query cache. Values are keyed by
 /// SearchSpace::to_index(arch) — an exact bijection between architectures
-/// and integers, so two distinct architectures can never alias. The map is
-/// mutex-guarded; counters are atomics so hot-path hit accounting never
-/// serializes more than the lookup itself. Predictions run *outside* the
+/// and integers, so two distinct architectures can never alias. The maps
+/// are mutex-guarded; hit/miss counts go to the process-wide registry
+/// counters, with per-instance baselines captured here so cache_stats()
+/// keeps its since-construction semantics. Predictions run *outside* the
 /// lock: surrogates are deterministic, so two threads racing on the same
 /// miss compute the same value and the duplicate insert is a no-op.
 struct AccelNASBench::CacheState {
   std::mutex mu;
   std::atomic<bool> enabled{true};
-  std::atomic<std::uint64_t> hits{0};
-  std::atomic<std::uint64_t> misses{0};
-  std::unordered_map<std::string, std::unordered_map<std::uint64_t, double>>
-      maps;
+  std::uint64_t hits_baseline = 0;
+  std::uint64_t misses_baseline = 0;
+  std::unordered_map<std::uint64_t, double> accuracy_map;
+  std::unordered_map<MetricKey, std::unordered_map<std::uint64_t, double>>
+      perf_maps;
+
+  CacheState() {
+    hits_baseline = cache_hits().value();
+    misses_baseline = cache_misses().value();
+  }
+
+  std::unordered_map<std::uint64_t, double>& map_for(const MetricKey* key) {
+    return key == nullptr ? accuracy_map : perf_maps[*key];
+  }
 };
 
 AccelNASBench::AccelNASBench() : cache_(std::make_unique<CacheState>()) {}
@@ -75,12 +111,53 @@ std::string device_short_name(DeviceKind kind) {
   return "unknown";
 }
 
-std::string dataset_name(DeviceKind kind, PerfMetric metric) {
-  return "ANB-" + device_short_name(kind) + "-" + perf_metric_name(metric);
+DeviceKind device_from_short_name(const std::string& name) {
+  if (name == "TPUv2") return DeviceKind::kTpuV2;
+  if (name == "TPUv3") return DeviceKind::kTpuV3;
+  if (name == "A100") return DeviceKind::kA100;
+  if (name == "RTX") return DeviceKind::kRtx3090;
+  if (name == "ZCU") return DeviceKind::kZcu102;
+  if (name == "VCK") return DeviceKind::kVck190;
+  throw Error("device_from_short_name: unknown device '" + name + "'");
 }
 
-std::string AccelNASBench::perf_key(DeviceKind kind, PerfMetric metric) {
-  return std::string(device_kind_name(kind)) + "/" + perf_metric_name(metric);
+std::string MetricKey::to_string() const { return dataset_name(*this); }
+
+MetricKey MetricKey::parse(const std::string& name) {
+  // "ANB-<device>-<metric>"; the metric tag never contains '-', so split
+  // at the last dash.
+  const std::string prefix = "ANB-";
+  ANB_CHECK(name.rfind(prefix, 0) == 0,
+            "MetricKey::parse: expected 'ANB-' prefix in '" + name + "'");
+  const auto last_dash = name.rfind('-');
+  ANB_CHECK(last_dash != std::string::npos && last_dash > prefix.size(),
+            "MetricKey::parse: malformed dataset name '" + name + "'");
+  return MetricKey{
+      device_from_short_name(
+          name.substr(prefix.size(), last_dash - prefix.size())),
+      perf_metric_from_name(name.substr(last_dash + 1))};
+}
+
+std::string dataset_name(MetricKey key) {
+  return "ANB-" + device_short_name(key.device) + "-" +
+         perf_metric_name(key.metric);
+}
+
+std::string dataset_name(DeviceKind kind, PerfMetric metric) {
+  return dataset_name(MetricKey{kind, metric});
+}
+
+std::string AccelNASBench::perf_json_key(MetricKey key) {
+  return std::string(device_kind_name(key.device)) + "/" +
+         perf_metric_name(key.metric);
+}
+
+MetricKey AccelNASBench::perf_json_key_parse(const std::string& key) {
+  const auto slash = key.find('/');
+  ANB_CHECK(slash != std::string::npos,
+            "AccelNASBench: malformed perf key '" + key + "'");
+  return MetricKey{device_kind_from_name(key.substr(0, slash)),
+                   perf_metric_from_name(key.substr(slash + 1))};
 }
 
 void AccelNASBench::set_accuracy_surrogate(
@@ -89,29 +166,30 @@ void AccelNASBench::set_accuracy_surrogate(
   accuracy_ = std::move(surrogate);
 }
 
-void AccelNASBench::set_perf_surrogate(DeviceKind kind, PerfMetric metric,
+void AccelNASBench::set_perf_surrogate(MetricKey key,
                                        std::unique_ptr<Surrogate> surrogate) {
   ANB_CHECK(surrogate != nullptr, "AccelNASBench: null perf surrogate");
-  ANB_CHECK(metric != PerfMetric::kLatency || device_supports_latency(kind),
+  ANB_CHECK(key.metric != PerfMetric::kLatency ||
+                device_supports_latency(key.device),
             "AccelNASBench: latency is only offered for FPGA platforms");
-  perf_[perf_key(kind, metric)] = std::move(surrogate);
+  perf_[key] = std::move(surrogate);
 }
 
-bool AccelNASBench::has_perf(DeviceKind kind, PerfMetric metric) const {
-  return perf_.count(perf_key(kind, metric)) > 0;
+bool AccelNASBench::has_perf(MetricKey key) const {
+  return perf_.count(key) > 0;
 }
 
 double AccelNASBench::query_accuracy(const Architecture& arch) const {
   ANB_CHECK(accuracy_ != nullptr,
             "AccelNASBench: accuracy surrogate not installed");
-  return cached_query(*accuracy_, kAccuracyKey, arch);
+  return cached_query(*accuracy_, nullptr, arch);
 }
 
 std::vector<double> AccelNASBench::query_accuracy_batch(
     std::span<const Architecture> archs) const {
   ANB_CHECK(accuracy_ != nullptr,
             "AccelNASBench: accuracy surrogate not installed");
-  return cached_query_batch(*accuracy_, kAccuracyKey, archs);
+  return cached_query_batch(*accuracy_, nullptr, archs);
 }
 
 namespace {
@@ -142,57 +220,84 @@ std::pair<double, double> AccelNASBench::query_accuracy_dist(
   return ensemble->predict_dist(SearchSpace::features(arch));
 }
 
+double AccelNASBench::query_perf(const Architecture& arch,
+                                 MetricKey key) const {
+  const auto it = perf_.find(key);
+  ANB_CHECK(it != perf_.end(),
+            "AccelNASBench: no surrogate for " + dataset_name(key));
+  return cached_query(*it->second, &key, arch);
+}
+
+std::vector<double> AccelNASBench::query_perf_batch(
+    std::span<const Architecture> archs, MetricKey key) const {
+  const auto it = perf_.find(key);
+  ANB_CHECK(it != perf_.end(),
+            "AccelNASBench: no surrogate for " + dataset_name(key));
+  return cached_query_batch(*it->second, &key, archs);
+}
+
+// --- deprecated two-argument shims ---------------------------------------
+// The attribute lives on the declarations; silence it for the definitions.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+void AccelNASBench::set_perf_surrogate(DeviceKind kind, PerfMetric metric,
+                                       std::unique_ptr<Surrogate> surrogate) {
+  set_perf_surrogate(MetricKey{kind, metric}, std::move(surrogate));
+}
+
+bool AccelNASBench::has_perf(DeviceKind kind, PerfMetric metric) const {
+  return has_perf(MetricKey{kind, metric});
+}
+
 double AccelNASBench::query_perf(const Architecture& arch, DeviceKind kind,
                                  PerfMetric metric) const {
-  const auto it = perf_.find(perf_key(kind, metric));
-  ANB_CHECK(it != perf_.end(),
-            "AccelNASBench: no surrogate for " + dataset_name(kind, metric));
-  return cached_query(*it->second, it->first, arch);
+  return query_perf(arch, MetricKey{kind, metric});
 }
 
 std::vector<double> AccelNASBench::query_perf_batch(
     std::span<const Architecture> archs, DeviceKind kind,
     PerfMetric metric) const {
-  const auto it = perf_.find(perf_key(kind, metric));
-  ANB_CHECK(it != perf_.end(),
-            "AccelNASBench: no surrogate for " + dataset_name(kind, metric));
-  return cached_query_batch(*it->second, it->first, archs);
+  return query_perf_batch(archs, MetricKey{kind, metric});
 }
+#pragma GCC diagnostic pop
 
 double AccelNASBench::cached_query(const Surrogate& surrogate,
-                                   const std::string& which,
+                                   const MetricKey* key,
                                    const Architecture& arch) const {
+  query_count().add(1);
   if (cache_ == nullptr || !cache_->enabled.load(std::memory_order_relaxed))
     return surrogate.predict(SearchSpace::features(arch));
-  const std::uint64_t key = SearchSpace::to_index(arch);
+  const std::uint64_t cache_key = SearchSpace::to_index(arch);
   {
     std::lock_guard<std::mutex> lock(cache_->mu);
-    const auto map_it = cache_->maps.find(which);
-    if (map_it != cache_->maps.end()) {
-      const auto hit = map_it->second.find(key);
-      if (hit != map_it->second.end()) {
-        cache_->hits.fetch_add(1, std::memory_order_relaxed);
-        return hit->second;
-      }
+    const auto& map = cache_->map_for(key);
+    const auto hit = map.find(cache_key);
+    if (hit != map.end()) {
+      cache_hits().add(1);
+      return hit->second;
     }
   }
   const double value = surrogate.predict(SearchSpace::features(arch));
   {
     std::lock_guard<std::mutex> lock(cache_->mu);
-    auto& map = cache_->maps[which];
+    auto& map = cache_->map_for(key);
     if (map.size() >= kMaxCacheEntries) map.clear();
-    map.emplace(key, value);
+    map.emplace(cache_key, value);
   }
-  cache_->misses.fetch_add(1, std::memory_order_relaxed);
+  cache_misses().add(1);
   return value;
 }
 
 std::vector<double> AccelNASBench::cached_query_batch(
-    const Surrogate& surrogate, const std::string& which,
+    const Surrogate& surrogate, const MetricKey* key,
     std::span<const Architecture> archs) const {
   const std::size_t n = archs.size();
   std::vector<double> out(n);
   if (n == 0) return out;
+  ANB_SPAN("anb.query.batch");
+  batch_count().add(1);
+  batch_rows().add(n);
+  batch_size_hist().observe(n);
 
   // Encodes the rows listed in `rows_to_encode` into one flat feature
   // matrix and predicts them with the surrogate's parallel batch path.
@@ -231,7 +336,7 @@ std::vector<double> AccelNASBench::cached_query_batch(
   std::uint64_t hits = 0;
   {
     std::lock_guard<std::mutex> lock(cache_->mu);
-    auto& map = cache_->maps[which];
+    const auto& map = cache_->map_for(key);
     for (std::size_t i = 0; i < n; ++i) {
       const auto hit = map.find(keys[i]);
       if (hit != map.end()) {
@@ -245,7 +350,7 @@ std::vector<double> AccelNASBench::cached_query_batch(
       }
     }
   }
-  if (hits > 0) cache_->hits.fetch_add(hits, std::memory_order_relaxed);
+  if (hits > 0) cache_hits().add(hits);
   if (miss_rows.empty()) return out;
 
   // Phase 2 (unlocked): one batched prediction over the unique misses.
@@ -256,13 +361,12 @@ std::vector<double> AccelNASBench::cached_query_batch(
   // row — including in-batch duplicates of a miss.
   {
     std::lock_guard<std::mutex> lock(cache_->mu);
-    auto& map = cache_->maps[which];
+    auto& map = cache_->map_for(key);
     if (map.size() + pred.size() > kMaxCacheEntries) map.clear();
     for (std::size_t m = 0; m < miss_rows.size(); ++m)
       map.emplace(keys[miss_rows[m]], pred[m]);
   }
-  cache_->misses.fetch_add(static_cast<std::uint64_t>(pred.size()),
-                           std::memory_order_relaxed);
+  cache_misses().add(static_cast<std::uint64_t>(pred.size()));
   for (std::size_t i = 0; i < n; ++i)
     if (filled[i] == 0) out[i] = pred[miss_slot.at(keys[i])];
   return out;
@@ -280,27 +384,25 @@ bool AccelNASBench::cache_enabled() const {
 void AccelNASBench::clear_cache() const {
   if (cache_ == nullptr) return;
   std::lock_guard<std::mutex> lock(cache_->mu);
-  cache_->maps.clear();
-  cache_->hits.store(0, std::memory_order_relaxed);
-  cache_->misses.store(0, std::memory_order_relaxed);
+  cache_->accuracy_map.clear();
+  cache_->perf_maps.clear();
+  cache_->hits_baseline = cache_hits().value();
+  cache_->misses_baseline = cache_misses().value();
 }
 
 QueryCacheStats AccelNASBench::cache_stats() const {
   QueryCacheStats stats;
   if (cache_ == nullptr) return stats;
-  stats.hits = cache_->hits.load(std::memory_order_relaxed);
-  stats.misses = cache_->misses.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  stats.hits = cache_hits().value() - cache_->hits_baseline;
+  stats.misses = cache_misses().value() - cache_->misses_baseline;
   return stats;
 }
 
-std::vector<std::pair<DeviceKind, PerfMetric>> AccelNASBench::perf_targets()
-    const {
-  std::vector<std::pair<DeviceKind, PerfMetric>> out;
-  for (const auto& [key, surrogate] : perf_) {
-    const auto slash = key.find('/');
-    out.emplace_back(device_kind_from_name(key.substr(0, slash)),
-                     perf_metric_from_name(key.substr(slash + 1)));
-  }
+std::vector<MetricKey> AccelNASBench::perf_targets() const {
+  std::vector<MetricKey> out;
+  out.reserve(perf_.size());
+  for (const auto& [key, surrogate] : perf_) out.push_back(key);
   return out;
 }
 
@@ -309,7 +411,8 @@ Json AccelNASBench::to_json() const {
   j["format"] = "accel-nasbench-v1";
   if (accuracy_ != nullptr) j["accuracy"] = accuracy_->to_json();
   Json perf = Json::object();
-  for (const auto& [key, surrogate] : perf_) perf[key] = surrogate->to_json();
+  for (const auto& [key, surrogate] : perf_)
+    perf[perf_json_key(key)] = surrogate->to_json();
   j["perf"] = std::move(perf);
   return j;
 }
@@ -321,7 +424,7 @@ AccelNASBench AccelNASBench::from_json(const Json& j) {
   if (j.contains("accuracy"))
     bench.accuracy_ = surrogate_from_json(j.at("accuracy"));
   for (const auto& [key, payload] : j.at("perf").as_object())
-    bench.perf_[key] = surrogate_from_json(payload);
+    bench.perf_[perf_json_key_parse(key)] = surrogate_from_json(payload);
   return bench;
 }
 

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "anb/ir/model_ir.hpp"
+#include "anb/obs/registry.hpp"
+#include "anb/obs/span.hpp"
 #include "anb/util/error.hpp"
 #include "anb/util/parallel.hpp"
 
@@ -33,12 +35,19 @@ Dataset CollectedData::make_dataset(std::span<const double> labels) const {
   return out;
 }
 
-Dataset CollectedData::perf_dataset(DeviceKind kind, PerfMetric metric) const {
-  const auto it = perf.find(dataset_name(kind, metric));
-  ANB_CHECK(it != perf.end(), "CollectedData: no labels for " +
-                                  dataset_name(kind, metric));
+Dataset CollectedData::perf_dataset(MetricKey key) const {
+  const auto it = perf.find(dataset_name(key));
+  ANB_CHECK(it != perf.end(),
+            "CollectedData: no labels for " + dataset_name(key));
   return make_dataset(it->second);
 }
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+Dataset CollectedData::perf_dataset(DeviceKind kind, PerfMetric metric) const {
+  return perf_dataset(MetricKey{kind, metric});
+}
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -143,6 +152,7 @@ CollectedData DataCollector::collect(const CollectionConfig& config) const {
   ANB_CHECK(config.n_archs >= 1, "DataCollector: n_archs must be >= 1");
   config.scheme.validate();
   config.retry.validate();
+  ANB_SPAN("anb.collect");
 
   CollectedData data;
   Rng rng(config.seed);
@@ -160,12 +170,15 @@ CollectedData DataCollector::collect(const CollectionConfig& config) const {
   // bit-identical results (the paper used a 24-GPU cluster here).
   data.accuracy.resize(n);
   std::vector<double> gpu_hours(n, 0.0);
-  parallel_for(n, [&](std::size_t i) {
-    const TrainResult run =
-        sim_.train(data.archs[i], config.scheme, /*run_seed=*/i);
-    data.accuracy[i] = run.top1;
-    gpu_hours[i] = run.gpu_hours;
-  });
+  {
+    ANB_SPAN("anb.collect.accuracy");
+    parallel_for(n, [&](std::size_t i) {
+      const TrainResult run =
+          sim_.train(data.archs[i], config.scheme, /*run_seed=*/i);
+      data.accuracy[i] = run.top1;
+      gpu_hours[i] = run.gpu_hours;
+    });
+  }
   for (double h : gpu_hours) data.total_gpu_hours += h;
 
   // Performance labels: robust warm-up-and-average measurement per device
@@ -173,9 +186,12 @@ CollectedData DataCollector::collect(const CollectionConfig& config) const {
   // are shared across devices, built once up front.
   if (config.collect_perf) {
     std::vector<ModelIR> irs(n);
-    parallel_for(n, [&](std::size_t i) {
-      irs[i] = build_ir(data.archs[i], 224);
-    });
+    {
+      ANB_SPAN("anb.collect.ir_build");
+      parallel_for(n, [&](std::size_t i) {
+        irs[i] = build_ir(data.archs[i], 224);
+      });
+    }
 
     // Archs quarantined by a *kept* dataset; a dataset that fails as a
     // whole is dropped without poisoning the survivors.
@@ -184,6 +200,7 @@ CollectedData DataCollector::collect(const CollectionConfig& config) const {
     const auto measure_dataset =
         [&](const std::string& name,
             const std::function<double(std::size_t, std::uint64_t)>& read) {
+          ANB_SPAN("anb.collect.measure." + name);
           std::vector<double> values(n, 0.0);
           std::vector<SampleCounters> counters(n);
           parallel_for(n, [&](std::size_t i) {
@@ -220,20 +237,20 @@ CollectedData DataCollector::collect(const CollectionConfig& config) const {
       const auto seed_of = [&](std::size_t i) {
         return hash_combine(config.seed, i);
       };
-      measure_dataset(dataset_name(device.kind(), PerfMetric::kThroughput),
+      measure_dataset(dataset_name(MetricKey{device.kind(), PerfMetric::kThroughput}),
                       [&](std::size_t i, std::uint64_t attempt) {
                         return device.measure_throughput(irs[i], seed_of(i),
                                                          attempt);
                       });
       if (device.supports_latency()) {
-        measure_dataset(dataset_name(device.kind(), PerfMetric::kLatency),
+        measure_dataset(dataset_name(MetricKey{device.kind(), PerfMetric::kLatency}),
                         [&](std::size_t i, std::uint64_t attempt) {
                           return device.measure_latency(irs[i], seed_of(i),
                                                         attempt);
                         });
       }
       if (config.collect_energy) {
-        measure_dataset(dataset_name(device.kind(), PerfMetric::kEnergy),
+        measure_dataset(dataset_name(MetricKey{device.kind(), PerfMetric::kEnergy}),
                         [&](std::size_t i, std::uint64_t attempt) {
                           return device.measure_energy(irs[i], seed_of(i),
                                                        attempt);
@@ -254,6 +271,23 @@ CollectedData DataCollector::collect(const CollectionConfig& config) const {
         drop_quarantined(labels, quarantined);
     }
   }
+
+  // Export the run's failure accounting to the metrics registry, once, from
+  // the already thread-invariant CollectionReport — the counters inherit its
+  // determinism instead of re-deriving it.
+  obs::counter("anb.collect.archs").add(data.archs.size());
+  obs::counter("anb.collect.attempts").add(data.report.attempts);
+  obs::counter("anb.collect.retries").add(data.report.retries);
+  obs::counter("anb.collect.transient_errors")
+      .add(data.report.transient_errors);
+  obs::counter("anb.collect.timeouts").add(data.report.timeouts);
+  obs::counter("anb.collect.outlier_resolves")
+      .add(data.report.outlier_resolves);
+  obs::counter("anb.collect.rejected_outliers")
+      .add(data.report.rejected_outliers);
+  obs::counter("anb.collect.quarantined").add(data.report.quarantined.size());
+  obs::counter("anb.collect.failed_datasets")
+      .add(data.report.failed_datasets.size());
   return data;
 }
 

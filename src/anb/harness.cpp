@@ -23,16 +23,17 @@ std::vector<TrajectoryComparison> compare_trajectories(
 
   // True oracle: an actual (simulated) training run under p*.
   std::size_t true_run_counter = 0;
-  EvalOracle true_oracle = [&](const Architecture& arch) {
+  SearchOracle true_oracle = EvalOracle([&](const Architecture& arch) {
     return sim.train(arch, p_star, /*run_seed=*/true_run_counter++).top1;
-  };
+  });
   // Benchmark-backed runs use the batched oracle: optimizers hand whole
   // populations to query_accuracy_batch, which dedupes against the query
   // cache and runs one vectorized prediction. Trajectories are identical
   // to the scalar path (batched prediction is bit-identical).
-  BatchEvalOracle sim_oracle = [&](std::span<const Architecture> archs) {
-    return bench.query_accuracy_batch(archs);
-  };
+  SearchOracle sim_oracle =
+      BatchEvalOracle([&](std::span<const Architecture> archs) {
+        return bench.query_accuracy_batch(archs);
+      });
 
   std::vector<std::unique_ptr<NasOptimizer>> optimizers;
   optimizers.push_back(std::make_unique<RandomSearchNas>());
@@ -53,7 +54,7 @@ std::vector<TrajectoryComparison> compare_trajectories(
     for (int s = 0; s < config.n_sim_seeds; ++s) {
       Rng sim_rng(hash_combine(config.seed,
                                0x51A0 + static_cast<std::uint64_t>(s)));
-      auto traj = optimizer->run_batched(sim_oracle, config.n_evals, sim_rng);
+      auto traj = optimizer->run(sim_oracle, config.n_evals, sim_rng);
       for (std::size_t i = 0; i < traj.incumbent.size(); ++i)
         cmp.sim_mean_incumbent[i] += traj.incumbent[i];
       cmp.sim_incumbents.push_back(std::move(traj.incumbent));
@@ -67,19 +68,19 @@ std::vector<TrajectoryComparison> compare_trajectories(
 ParetoOutcome pareto_search(const AccelNASBench& bench,
                             const ParetoSearchConfig& config) {
   ANB_CHECK(bench.has_accuracy(), "pareto_search: missing accuracy surrogate");
-  ANB_CHECK(bench.has_perf(config.device, config.metric),
+  ANB_CHECK(bench.has_perf(config.key),
             "pareto_search: missing perf surrogate for the target device");
   ANB_CHECK(config.n_targets >= 1 && config.n_evals_per_target >= 1,
             "pareto_search: invalid budgets");
 
-  const bool higher_better = config.metric == PerfMetric::kThroughput;
+  const bool higher_better = config.key.metric == PerfMetric::kThroughput;
 
   // Estimate the device's performance range to place the reward targets.
   Rng range_rng(hash_combine(config.seed, 0xFA2));
   std::vector<double> sampled_perf;
   for (int i = 0; i < 256; ++i) {
-    sampled_perf.push_back(bench.query_perf(SearchSpace::sample(range_rng),
-                                            config.device, config.metric));
+    sampled_perf.push_back(
+        bench.query_perf(SearchSpace::sample(range_rng), config.key));
   }
 
   ParetoOutcome out;
@@ -91,12 +92,11 @@ ParetoOutcome pareto_search(const AccelNASBench& bench,
     const double target = std::max(1e-9, quantile(sampled_perf, q));
     const double w = higher_better ? config.weight : -config.weight;
 
-    EvalOracle reward_oracle = [&](const Architecture& arch) {
+    SearchOracle reward_oracle = EvalOracle([&](const Architecture& arch) {
       const double acc = bench.query_accuracy(arch);
-      const double perf =
-          bench.query_perf(arch, config.device, config.metric);
+      const double perf = bench.query_perf(arch, config.key);
       return mnasnet_reward(acc, std::max(perf, 1e-9), target, w);
-    };
+    });
 
     Reinforce optimizer;
     Rng rng(hash_combine(config.seed, 0xB10 + static_cast<std::uint64_t>(t)));
@@ -106,7 +106,7 @@ ParetoOutcome pareto_search(const AccelNASBench& bench,
     // already queried inside reward_oracle, so these are pure cache hits.
     const std::vector<double> accs = bench.query_accuracy_batch(traj.archs);
     const std::vector<double> perfs =
-        bench.query_perf_batch(traj.archs, config.device, config.metric);
+        bench.query_perf_batch(traj.archs, config.key);
     for (std::size_t i = 0; i < traj.archs.size(); ++i) {
       out.archs.push_back(traj.archs[i]);
       out.accuracy.push_back(accs[i]);
@@ -147,16 +147,15 @@ ParetoOutcome pareto_search(const AccelNASBench& bench,
 
 std::vector<TrueEvalRow> true_evaluation(const ParetoOutcome& outcome,
                                          const TrainingSimulator& sim,
-                                         DeviceKind device, PerfMetric metric,
-                                         const std::string& tag,
+                                         MetricKey key, const std::string& tag,
                                          std::uint64_t seed) {
-  const Device dev = make_device(device);
+  const Device dev = make_device(key.device);
   // FPGA DPUs run int8: the paper applies 8-bit post-training quantization
   // before deployment (§3.3.2), so reported accuracies take the PTQ hit.
-  const bool quantized = device_supports_latency(device);
+  const bool quantized = device_supports_latency(key.device);
   auto measure = [&](const Architecture& arch, std::uint64_t s) {
     const ModelIR ir = build_ir(arch, 224);
-    switch (metric) {
+    switch (key.metric) {
       case PerfMetric::kThroughput: return dev.measure_throughput(ir, s);
       case PerfMetric::kLatency: return dev.measure_latency(ir, s);
       case PerfMetric::kEnergy: return dev.measure_energy(ir, s);
@@ -191,5 +190,16 @@ std::vector<TrueEvalRow> true_evaluation(const ParetoOutcome& outcome,
   }
   return rows;
 }
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+std::vector<TrueEvalRow> true_evaluation(const ParetoOutcome& outcome,
+                                         const TrainingSimulator& sim,
+                                         DeviceKind device, PerfMetric metric,
+                                         const std::string& tag,
+                                         std::uint64_t seed) {
+  return true_evaluation(outcome, sim, MetricKey{device, metric}, tag, seed);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace anb

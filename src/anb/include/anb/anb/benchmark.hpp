@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
@@ -16,6 +18,12 @@ namespace anb {
 /// Hit/miss counters of the benchmark's architecture-keyed query cache.
 /// A miss is a query that ran a surrogate prediction; a hit was served
 /// from the cache (including repeats within one batched query).
+///
+/// Since the obs redesign these are a shim over the process-wide registry
+/// counters `anb.query.cache.hits` / `anb.query.cache.misses`: each
+/// AccelNASBench remembers the registry values at construction (and at
+/// clear_cache()) and reports the difference, so single-instance callers
+/// see exactly the old per-instance semantics.
 struct QueryCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -32,8 +40,30 @@ PerfMetric perf_metric_from_name(const std::string& name);
 
 /// Paper-style short device tag used in dataset names (ANB-ZCU-Thr, ...).
 std::string device_short_name(DeviceKind kind);
+DeviceKind device_from_short_name(const std::string& name);
+
+/// Typed address of one performance dataset: a (device, metric) pair.
+/// Hashable and totally ordered, with to_string()/parse() round-tripping
+/// through the paper-style dataset name ("ANB-ZCU-Thr"). This is the one
+/// currency for naming perf targets across the benchmark, collection,
+/// pipeline, and bench helpers — the loose two-argument
+/// (DeviceKind, PerfMetric) signatures survive only as deprecated shims.
+struct MetricKey {
+  DeviceKind device = DeviceKind::kZcu102;
+  PerfMetric metric = PerfMetric::kThroughput;
+
+  friend bool operator==(const MetricKey&, const MetricKey&) = default;
+  friend auto operator<=>(const MetricKey&, const MetricKey&) = default;
+
+  /// Paper-style dataset id, e.g. "ANB-ZCU-Thr".
+  std::string to_string() const;
+  /// Inverse of to_string(); throws anb::Error on malformed input.
+  static MetricKey parse(const std::string& name);
+};
 
 /// Paper-style dataset id, e.g. "ANB-Acc", "ANB-ZCU-Thr".
+std::string dataset_name(MetricKey key);
+[[deprecated("use dataset_name(MetricKey)")]]
 std::string dataset_name(DeviceKind kind, PerfMetric metric);
 
 /// Fault-injection sites in AccelNASBench::save/load (anb/util/fault.hpp).
@@ -64,12 +94,11 @@ class AccelNASBench {
   /// Install the accuracy surrogate (predicts proxified top-1 under p*).
   void set_accuracy_surrogate(std::unique_ptr<Surrogate> surrogate);
 
-  /// Install a performance surrogate for one (device, metric) pair.
-  void set_perf_surrogate(DeviceKind kind, PerfMetric metric,
-                          std::unique_ptr<Surrogate> surrogate);
+  /// Install a performance surrogate for one metric key.
+  void set_perf_surrogate(MetricKey key, std::unique_ptr<Surrogate> surrogate);
 
   bool has_accuracy() const { return accuracy_ != nullptr; }
-  bool has_perf(DeviceKind kind, PerfMetric metric) const;
+  bool has_perf(MetricKey key) const;
 
   /// Predicted top-1 accuracy in [0, 1] (under the proxy training scheme,
   /// as in the paper — rankings, not absolute values, are the contract).
@@ -88,8 +117,7 @@ class AccelNASBench {
   std::pair<double, double> query_accuracy_dist(const Architecture& arch) const;
 
   /// Predicted throughput (img/s) or latency (ms) on a device.
-  double query_perf(const Architecture& arch, DeviceKind kind,
-                    PerfMetric metric) const;
+  double query_perf(const Architecture& arch, MetricKey key) const;
 
   /// Batched accuracy query for a whole population: encodes the cache
   /// misses into one feature matrix, predicts them with the surrogate's
@@ -100,7 +128,21 @@ class AccelNASBench {
       std::span<const Architecture> archs) const;
 
   /// Batched performance query; element i equals
-  /// query_perf(archs[i], kind, metric) exactly.
+  /// query_perf(archs[i], key) exactly.
+  std::vector<double> query_perf_batch(std::span<const Architecture> archs,
+                                       MetricKey key) const;
+
+  /// Deprecated two-argument shims, kept for one release so downstream
+  /// callers migrate to MetricKey at their own pace.
+  [[deprecated("use set_perf_surrogate(MetricKey, ...)")]]
+  void set_perf_surrogate(DeviceKind kind, PerfMetric metric,
+                          std::unique_ptr<Surrogate> surrogate);
+  [[deprecated("use has_perf(MetricKey)")]]
+  bool has_perf(DeviceKind kind, PerfMetric metric) const;
+  [[deprecated("use query_perf(arch, MetricKey)")]]
+  double query_perf(const Architecture& arch, DeviceKind kind,
+                    PerfMetric metric) const;
+  [[deprecated("use query_perf_batch(archs, MetricKey)")]]
   std::vector<double> query_perf_batch(std::span<const Architecture> archs,
                                        DeviceKind kind,
                                        PerfMetric metric) const;
@@ -113,11 +155,13 @@ class AccelNASBench {
   void set_cache_enabled(bool enabled);
   bool cache_enabled() const;
   void clear_cache() const;
-  /// Counters since construction / the last clear_cache().
+  /// Counters since construction / the last clear_cache() — a shim over
+  /// the registry counters anb.query.cache.{hits,misses}, see
+  /// QueryCacheStats.
   QueryCacheStats cache_stats() const;
 
-  /// All (device, metric) pairs with an installed surrogate.
-  std::vector<std::pair<DeviceKind, PerfMetric>> perf_targets() const;
+  /// All metric keys with an installed surrogate, ascending.
+  std::vector<MetricKey> perf_targets() const;
 
   /// Serialization of the whole benchmark (all surrogates) to one JSON file.
   void save(const std::string& path) const;
@@ -127,19 +171,31 @@ class AccelNASBench {
   static AccelNASBench from_json(const Json& j);
 
  private:
-  static std::string perf_key(DeviceKind kind, PerfMetric metric);
+  /// On-disk JSON key ("device/metric"); distinct from MetricKey::to_string
+  /// so the serialized format predates — and survives — the key redesign.
+  static std::string perf_json_key(MetricKey key);
+  static MetricKey perf_json_key_parse(const std::string& key);
 
-  struct CacheState;  // mutex-guarded maps + atomic counters (benchmark.cpp)
+  struct CacheState;  // mutex-guarded maps + counter baselines (benchmark.cpp)
 
-  double cached_query(const Surrogate& surrogate, const std::string& which,
+  /// `key == nullptr` addresses the accuracy cache map.
+  double cached_query(const Surrogate& surrogate, const MetricKey* key,
                       const Architecture& arch) const;
   std::vector<double> cached_query_batch(
-      const Surrogate& surrogate, const std::string& which,
+      const Surrogate& surrogate, const MetricKey* key,
       std::span<const Architecture> archs) const;
 
   std::unique_ptr<Surrogate> accuracy_;
-  std::map<std::string, std::unique_ptr<Surrogate>> perf_;
+  std::map<MetricKey, std::unique_ptr<Surrogate>> perf_;
   std::unique_ptr<CacheState> cache_;
 };
 
 }  // namespace anb
+
+template <>
+struct std::hash<anb::MetricKey> {
+  std::size_t operator()(const anb::MetricKey& key) const noexcept {
+    return (static_cast<std::size_t>(key.device) << 8) ^
+           static_cast<std::size_t>(key.metric);
+  }
+};

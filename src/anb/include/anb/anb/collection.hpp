@@ -95,6 +95,8 @@ struct CollectedData {
   /// Feature-encoded dataset for a label vector.
   Dataset make_dataset(std::span<const double> labels) const;
   Dataset accuracy_dataset() const { return make_dataset(accuracy); }
+  Dataset perf_dataset(MetricKey key) const;
+  [[deprecated("use perf_dataset(MetricKey)")]]
   Dataset perf_dataset(DeviceKind kind, PerfMetric metric) const;
 };
 

@@ -40,8 +40,7 @@ std::vector<TrajectoryComparison> compare_trajectories(
 /// ---- Fig. 4: bi-objective REINFORCE search -------------------------------
 
 struct ParetoSearchConfig {
-  DeviceKind device = DeviceKind::kZcu102;
-  PerfMetric metric = PerfMetric::kThroughput;
+  MetricKey key{DeviceKind::kZcu102, PerfMetric::kThroughput};
   int n_targets = 7;             ///< reward-target sweep granularity
   int n_evals_per_target = 250;  ///< REINFORCE budget per target
   double weight = 0.07;          ///< MnasNet reward exponent |w|
@@ -76,6 +75,11 @@ struct TrueEvalRow {
 /// Train each picked architecture with the reference scheme `r` and measure
 /// it on the device, alongside the reference-zoo baselines
 /// (EfficientNet-B0, MobileNetV3, EdgeTPU-S, MnasNet-A1).
+std::vector<TrueEvalRow> true_evaluation(const ParetoOutcome& outcome,
+                                         const TrainingSimulator& sim,
+                                         MetricKey key, const std::string& tag,
+                                         std::uint64_t seed = 17);
+[[deprecated("use true_evaluation(outcome, sim, MetricKey, tag, seed)")]]
 std::vector<TrueEvalRow> true_evaluation(const ParetoOutcome& outcome,
                                          const TrainingSimulator& sim,
                                          DeviceKind device, PerfMetric metric,

@@ -1,5 +1,6 @@
 #include "anb/anb/pipeline.hpp"
 
+#include "anb/obs/span.hpp"
 #include "anb/surrogate/ensemble.hpp"
 
 #include "anb/util/error.hpp"
@@ -23,11 +24,13 @@ TrainingScheme canonical_p_star() {
 }
 
 PipelineResult construct_benchmark(const PipelineOptions& options) {
+  ANB_SPAN("anb.pipeline.construct");
   PipelineResult result;
   TrainingSimulator sim(options.world_seed);
 
   // --- 1. training-proxy scheme -----------------------------------------
   if (options.run_proxy_search) {
+    ANB_SPAN("anb.pipeline.proxy_search");
     ProxySearch search(sim);
     result.proxy = search.run_grid(options.proxy);
     result.p_star = result.proxy.best;
@@ -43,7 +46,10 @@ PipelineResult construct_benchmark(const PipelineOptions& options) {
   collection.collect_perf = options.collect_perf;
   collection.collect_energy = options.collect_energy;
   DataCollector collector(sim, device_catalog());
-  result.data = collector.collect(collection);
+  {
+    ANB_SPAN("anb.pipeline.collect");
+    result.data = collector.collect(collection);
+  }
 
   // --- 3. surrogate fitting ----------------------------------------------
   // Every dataset x metric fit is independent: each derives its seeds from
@@ -75,13 +81,11 @@ PipelineResult construct_benchmark(const PipelineOptions& options) {
     Dataset data;  ///< materialized here (the accessors return by value)
     std::string name;
     bool is_accuracy = false;
-    DeviceKind device{};
-    PerfMetric metric{};
+    MetricKey key{};
   };
   std::vector<FitTask> tasks;
   if (!options.ensemble_accuracy) {
-    tasks.push_back(
-        {result.data.accuracy_dataset(), "ANB-Acc", true, {}, {}});
+    tasks.push_back({result.data.accuracy_dataset(), "ANB-Acc", true, {}});
   }
   if (options.collect_perf) {
     for (const auto& device : device_catalog()) {
@@ -89,7 +93,8 @@ PipelineResult construct_benchmark(const PipelineOptions& options) {
       if (device.supports_latency()) metrics.push_back(PerfMetric::kLatency);
       if (options.collect_energy) metrics.push_back(PerfMetric::kEnergy);
       for (PerfMetric metric : metrics) {
-        const std::string name = dataset_name(device.kind(), metric);
+        const MetricKey key{device.kind(), metric};
+        const std::string name = dataset_name(key);
         // A dataset the collector dropped (too many quarantined archs, see
         // CollectionReport::failed_datasets) degrades gracefully: skip the
         // fit and report the gap instead of aborting the construction.
@@ -97,17 +102,19 @@ PipelineResult construct_benchmark(const PipelineOptions& options) {
           result.skipped_datasets.push_back(name);
           continue;
         }
-        tasks.push_back({result.data.perf_dataset(device.kind(), metric),
-                         name, false, device.kind(), metric});
+        tasks.push_back({result.data.perf_dataset(key), name, false, key});
       }
     }
   }
 
   std::vector<std::unique_ptr<Surrogate>> models(tasks.size());
   std::vector<FitMetrics> task_metrics(tasks.size());
-  parallel_for(tasks.size(), [&](std::size_t i) {
-    models[i] = fit_one(tasks[i].data, tasks[i].name, task_metrics[i]);
-  });
+  {
+    ANB_SPAN("anb.pipeline.fit");
+    parallel_for(tasks.size(), [&](std::size_t i) {
+      models[i] = fit_one(tasks[i].data, tasks[i].name, task_metrics[i]);
+    });
+  }
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     ANB_CHECK(models[i] != nullptr,
               "construct_benchmark: fit task '" + tasks[i].name +
@@ -116,13 +123,13 @@ PipelineResult construct_benchmark(const PipelineOptions& options) {
     if (tasks[i].is_accuracy) {
       result.bench.set_accuracy_surrogate(std::move(models[i]));
     } else {
-      result.bench.set_perf_surrogate(tasks[i].device, tasks[i].metric,
-                                      std::move(models[i]));
+      result.bench.set_perf_surrogate(tasks[i].key, std::move(models[i]));
     }
   }
 
   if (options.ensemble_accuracy) {
     // Bootstrap ensemble of XGBs: mean queries plus NB301-style noise.
+    ANB_SPAN("anb.pipeline.fit");
     Rng split_rng(hash_combine(options.split_seed, 7));
     DatasetSplits splits = result.data.accuracy_dataset().split(
         options.train_frac, options.val_frac, split_rng);

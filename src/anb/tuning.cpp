@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "anb/hpo/optimizers.hpp"
+#include "anb/obs/registry.hpp"
+#include "anb/obs/span.hpp"
 #include "anb/surrogate/gbdt.hpp"
 #include "anb/surrogate/hist_gbdt.hpp"
 #include "anb/surrogate/random_forest.hpp"
@@ -161,6 +163,10 @@ TunedSurrogate tune_surrogate(SurrogateKind kind, const Dataset& train,
   ANB_CHECK(train.size() >= 8 && val.size() >= 2,
             "tune_surrogate: train/val too small");
   ANB_CHECK(options.n_trials >= 1, "tune_surrogate: n_trials must be >= 1");
+  ANB_SPAN("anb.tune");
+  obs::counter("anb.tune.count").add(1);
+  obs::counter("anb.tune.trials")
+      .add(static_cast<std::uint64_t>(options.n_trials));
 
   // Optional row cap for the tuning loop (the final refit is full-size).
   const Dataset* tune_train = &train;

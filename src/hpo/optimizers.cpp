@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "anb/obs/registry.hpp"
+#include "anb/obs/span.hpp"
 #include "anb/surrogate/random_forest.hpp"
 #include "anb/util/error.hpp"
 #include "anb/util/parallel.hpp"
@@ -80,6 +82,10 @@ HpoResult SmacLite::run(const ConfigSpace& space,
   ANB_CHECK(static_cast<bool>(objective), "SmacLite: missing objective");
   ANB_CHECK(options.n_trials >= 1, "SmacLite: n_trials must be >= 1");
   ANB_CHECK(options.n_init >= 2, "SmacLite: n_init must be >= 2");
+  ANB_SPAN("anb.hpo.smac");
+  obs::counter("anb.hpo.smac.runs").add(1);
+  obs::counter("anb.hpo.smac.trials")
+      .add(static_cast<std::uint64_t>(options.n_trials));
 
   HpoResult result;
   result.best_value = std::numeric_limits<double>::infinity();

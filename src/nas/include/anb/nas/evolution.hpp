@@ -21,6 +21,7 @@ class RegularizedEvolution final : public NasOptimizer {
   explicit RegularizedEvolution(RegularizedEvolutionParams params = {});
 
   std::string name() const override { return "RE"; }
+  using NasOptimizer::run;
   SearchTrajectory run(const EvalOracle& oracle, int n_evals,
                        Rng& rng) override;
   /// The seed population is evaluated in one batched call (its samples

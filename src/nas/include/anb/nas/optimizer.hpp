@@ -28,6 +28,28 @@ using BatchEvalOracle =
 /// Adapt a scalar oracle to the batched interface (evaluates row by row).
 BatchEvalOracle batch_from_scalar(EvalOracle oracle);
 
+/// A search objective holding either a scalar or a batched oracle, so
+/// harnesses and benches can pass one value around without committing to a
+/// dispatch path. NasOptimizer::run(const SearchOracle&, ...) routes a
+/// scalar oracle through the virtual run() and a batched oracle through
+/// run_batched() — previously every call site made that choice by hand.
+class SearchOracle {
+ public:
+  /// Implicit by design: any call site with an existing oracle (or lambda)
+  /// can pass it straight to the unified run().
+  SearchOracle(EvalOracle oracle);             // NOLINT(google-explicit-constructor)
+  SearchOracle(BatchEvalOracle oracle);        // NOLINT(google-explicit-constructor)
+
+  bool is_batched() const { return static_cast<bool>(batched_); }
+  /// The underlying oracle; throws anb::Error if it is the other kind.
+  const EvalOracle& scalar() const;
+  const BatchEvalOracle& batched() const;
+
+ private:
+  EvalOracle scalar_;
+  BatchEvalOracle batched_;
+};
+
 /// Full record of one search run, in evaluation order.
 struct SearchTrajectory {
   std::vector<Architecture> archs;
@@ -57,6 +79,10 @@ class NasOptimizer {
   /// scalar oracle (tests/nas/batched_determinism_test.cpp).
   virtual SearchTrajectory run_batched(const BatchEvalOracle& oracle,
                                        int n_evals, Rng& rng);
+  /// Unified entry point: dispatches to run() or run_batched() according
+  /// to which oracle the SearchOracle holds. Also the instrumented path —
+  /// emits the "anb.nas.run" span and anb.nas.run.{count,evals} counters.
+  SearchTrajectory run(const SearchOracle& oracle, int n_evals, Rng& rng);
 };
 
 }  // namespace anb

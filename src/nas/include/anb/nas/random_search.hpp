@@ -13,6 +13,7 @@ namespace anb {
 class RandomSearchNas final : public NasOptimizer {
  public:
   std::string name() const override { return "RS"; }
+  using NasOptimizer::run;
   SearchTrajectory run(const EvalOracle& oracle, int n_evals,
                        Rng& rng) override;
   /// Samples never depend on evaluations, so the whole run is one batched

@@ -23,6 +23,7 @@ class Reinforce final : public NasOptimizer {
   explicit Reinforce(ReinforceParams params = {});
 
   std::string name() const override { return "REINFORCE"; }
+  using NasOptimizer::run;
   SearchTrajectory run(const EvalOracle& oracle, int n_evals,
                        Rng& rng) override;
 

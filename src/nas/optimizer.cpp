@@ -1,7 +1,10 @@
 #include "anb/nas/optimizer.hpp"
 
 #include <limits>
+#include <utility>
 
+#include "anb/obs/registry.hpp"
+#include "anb/obs/span.hpp"
 #include "anb/util/error.hpp"
 
 namespace anb {
@@ -36,6 +39,38 @@ BatchEvalOracle batch_from_scalar(EvalOracle oracle) {
     for (const Architecture& arch : archs) out.push_back(oracle(arch));
     return out;
   };
+}
+
+SearchOracle::SearchOracle(EvalOracle oracle) : scalar_(std::move(oracle)) {
+  ANB_CHECK(static_cast<bool>(scalar_), "SearchOracle: missing scalar oracle");
+}
+
+SearchOracle::SearchOracle(BatchEvalOracle oracle)
+    : batched_(std::move(oracle)) {
+  ANB_CHECK(static_cast<bool>(batched_),
+            "SearchOracle: missing batched oracle");
+}
+
+const EvalOracle& SearchOracle::scalar() const {
+  ANB_CHECK(static_cast<bool>(scalar_),
+            "SearchOracle: holds a batched oracle, not a scalar one");
+  return scalar_;
+}
+
+const BatchEvalOracle& SearchOracle::batched() const {
+  ANB_CHECK(static_cast<bool>(batched_),
+            "SearchOracle: holds a scalar oracle, not a batched one");
+  return batched_;
+}
+
+SearchTrajectory NasOptimizer::run(const SearchOracle& oracle, int n_evals,
+                                   Rng& rng) {
+  ANB_SPAN("anb.nas.run");
+  obs::counter("anb.nas.run.count").add(1);
+  obs::counter("anb.nas.run.evals")
+      .add(n_evals > 0 ? static_cast<std::uint64_t>(n_evals) : 0);
+  return oracle.is_batched() ? run_batched(oracle.batched(), n_evals, rng)
+                             : run(oracle.scalar(), n_evals, rng);
 }
 
 SearchTrajectory NasOptimizer::run_batched(const BatchEvalOracle& oracle,

@@ -1,0 +1,8 @@
+#pragma once
+
+/// Umbrella header for the anb::obs observability layer: metrics registry,
+/// RAII timing spans, and export sinks. See DESIGN.md "Observability".
+
+#include "anb/obs/registry.hpp"  // IWYU pragma: export
+#include "anb/obs/span.hpp"      // IWYU pragma: export
+#include "anb/obs/trace.hpp"     // IWYU pragma: export

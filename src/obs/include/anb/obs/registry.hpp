@@ -1,0 +1,141 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// anb::obs — deterministic metrics registry.
+///
+/// Counters and histograms accumulate into thread-local shards; reading a
+/// value merges the shards serially (retired threads first, then live
+/// shards in registration order — the same reduction discipline as
+/// CollectionReport). Because every cell is an unsigned 64-bit sum and
+/// addition is commutative and associative over uint64, counter values are
+/// bit-identical across thread counts. Span durations (anb/obs/span.hpp)
+/// are explicitly exempt from this contract; counters are not.
+///
+/// The disarmed fast path mirrors anb::fault: when metrics are disabled,
+/// every update is a single relaxed atomic load and a branch.
+///
+/// Handles returned by counter()/gauge()/histogram() are stable references
+/// into the process-wide registry; the registration itself takes a mutex,
+/// so call sites cache the handle:
+///
+///   static obs::Counter& hits = obs::counter("anb.query.cache.hits");
+///   hits.add(1);
+namespace anb::obs {
+
+namespace detail {
+struct RegistryImpl;
+extern std::atomic<int> g_metrics_enabled;  // 1 by default
+}  // namespace detail
+
+/// True when metric updates are recorded. A single relaxed atomic load —
+/// the disabled path costs one branch, like anb::fault::any_armed().
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed) != 0;
+}
+
+/// Enable/disable metric recording process-wide. Reads of already-recorded
+/// values are unaffected. Metrics are enabled by default.
+void set_metrics_enabled(bool enabled);
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* metric_kind_name(MetricKind kind);  // "counter"/"gauge"/"histogram"
+
+/// Monotonic unsigned sum. add() touches only the calling thread's shard;
+/// value() merges all shards under the registry mutex.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1);
+  void increment() { add(1); }
+  /// Merged value. Deterministic only at quiescence (no concurrent add()).
+  std::uint64_t value() const;
+  const std::string& name() const;
+
+ private:
+  friend struct detail::RegistryImpl;
+  Counter(std::size_t metric, std::size_t cell) : metric_(metric), cell_(cell) {}
+  std::size_t metric_;
+  std::size_t cell_;
+};
+
+/// Last-write-wins double. Gauges are process-global (one atomic slot, not
+/// sharded) — use them for point-in-time values like rows/sec, never for
+/// anything covered by the determinism contract.
+class Gauge {
+ public:
+  void set(double value);
+  double value() const;
+  const std::string& name() const;
+
+ private:
+  friend struct detail::RegistryImpl;
+  Gauge(std::size_t metric, std::atomic<std::uint64_t>* slot)
+      : metric_(metric), slot_(slot) {}
+  std::size_t metric_;
+  std::atomic<std::uint64_t>* slot_;
+};
+
+/// Number of log2 buckets in a histogram: bucket 0 counts zeros, bucket k
+/// (1 <= k <= 16) counts values in [2^(k-1), 2^k), bucket 17 is overflow.
+inline constexpr std::size_t kHistogramBuckets = 18;
+
+/// Log2-bucketed distribution of unsigned values plus an exact sum, all
+/// held in shard cells, so histogram counts obey the same thread-count
+/// invariance as counters.
+class Histogram {
+ public:
+  void observe(std::uint64_t value);
+  /// Merged per-bucket counts (size kHistogramBuckets), count and sum.
+  std::vector<std::uint64_t> buckets() const;
+  std::uint64_t count() const;
+  std::uint64_t sum() const;
+  const std::string& name() const;
+
+ private:
+  friend struct detail::RegistryImpl;
+  Histogram(std::size_t metric, std::size_t cell)
+      : metric_(metric), cell_(cell) {}
+  std::size_t metric_;
+  std::size_t cell_;
+};
+
+/// Look up or register a metric by name. Throws anb::Error if the name is
+/// already registered with a different kind. The returned reference is
+/// stable for the life of the process.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+/// One merged metric value, as produced by snapshot_metrics().
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t value = 0;               // counters: merged sum
+  double gauge_value = 0.0;              // gauges only
+  std::vector<std::uint64_t> buckets;    // histograms only
+  std::uint64_t sum = 0;                 // histograms only
+};
+
+/// Merged snapshot of every registered metric, sorted by name (registration
+/// order can differ across runs; name order cannot). Deterministic only at
+/// quiescence — callers snapshot after joins, never mid-parallel_for.
+std::vector<MetricValue> snapshot_metrics();
+
+/// Zero every counter/histogram cell and gauge slot. Callers must be
+/// quiescent (no concurrent updates); registrations are kept.
+void reset_metrics();
+
+/// CSV dump of snapshot_metrics(): header `metric,kind,value` followed by
+/// one row per counter/gauge and per-bucket rows for histograms.
+std::string metrics_csv_string();
+
+/// Write metrics_csv_string() to `path`, creating parent directories.
+void write_metrics_csv(const std::string& path);
+
+}  // namespace anb::obs

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+/// RAII timing spans. A Span records one wall-clock interval into the
+/// calling thread's event buffer; spans on the same thread nest by scope
+/// (the enclosing open span becomes the parent), and the buffers are
+/// exported by anb/obs/trace.hpp as chrome://tracing JSON or a hierarchical
+/// text report.
+///
+/// When tracing is disabled (the default unless ANB_TRACE is set in the
+/// environment or set_trace_enabled(true) is called), constructing a Span
+/// costs a single relaxed atomic load — the same disarmed fast path as
+/// anb::fault and the metrics registry.
+///
+/// Span durations are wall-clock and therefore nondeterministic; they are
+/// explicitly outside the determinism contract that covers counters.
+/// A Span must be destroyed on the thread that constructed it (guaranteed
+/// by scoped usage via ANB_SPAN).
+namespace anb::obs {
+
+namespace detail {
+struct EventBuffer;
+extern std::atomic<int> g_trace_enabled;  // 0 by default; 1 if ANB_TRACE set
+}  // namespace detail
+
+/// True when spans record events. A single relaxed atomic load.
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed) != 0;
+}
+
+/// Enable/disable span recording process-wide. Enabling mid-run is safe;
+/// spans opened while disabled simply record nothing.
+void set_trace_enabled(bool enabled);
+
+class Span {
+ public:
+  explicit Span(const char* name);
+  explicit Span(const std::string& name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&&) = delete;
+  Span& operator=(Span&&) = delete;
+
+  /// Attach a numeric argument to the event (shows under "args" in the
+  /// chrome trace). At most 2 per span; extras are dropped.
+  void arg(const char* key, double value);
+
+ private:
+  void open(const char* name, std::size_t length);
+  detail::EventBuffer* buffer_ = nullptr;
+  std::int64_t index_ = -1;
+};
+
+}  // namespace anb::obs
+
+// NOLINTBEGIN(cppcoreguidelines-macro-usage)
+#define ANB_OBS_CONCAT_INNER(a, b) a##b
+#define ANB_OBS_CONCAT(a, b) ANB_OBS_CONCAT_INNER(a, b)
+
+/// Open a scoped span: ANB_SPAN("anb.fit.histgbdt");
+#define ANB_SPAN(...) \
+  ::anb::obs::Span ANB_OBS_CONCAT(anb_obs_span_, __COUNTER__)(__VA_ARGS__)
+// NOLINTEND(cppcoreguidelines-macro-usage)

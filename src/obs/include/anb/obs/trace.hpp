@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+/// Export sinks for the span event buffers (anb/obs/span.hpp) and the
+/// metrics registry (anb/obs/registry.hpp):
+///
+///   - chrome://tracing JSON ("trace event format", phase "X" complete
+///     events) — load the file in chrome://tracing or https://ui.perfetto.dev
+///   - a plain-text hierarchical report (span tree + metric catalogue)
+///
+/// All exports require quiescence: call them after parallel work has
+/// joined, never while spans may still be open on other threads.
+namespace anb::obs {
+
+/// The value of the ANB_TRACE environment variable (read once at startup),
+/// or nullopt when unset/empty. When set, tracing starts enabled.
+std::optional<std::string> requested_trace_path();
+
+/// If ANB_TRACE was set, write the chrome trace there (creating parent
+/// directories) and return true; otherwise do nothing and return false.
+/// Call at the end of main() in binaries that support tracing.
+bool write_requested_trace();
+
+/// Chrome trace event format JSON for every recorded span.
+std::string trace_json_string();
+
+/// Write trace_json_string() to `path`, creating parent directories.
+void write_trace(const std::string& path);
+
+/// Drop all recorded events (live buffers and retired threads) and reset
+/// the dropped-event count. Requires quiescence and no open spans.
+void clear_trace_events();
+
+/// Number of recorded events across all threads (open spans included).
+std::size_t trace_event_count();
+
+/// Events dropped after the in-memory cap was reached. Kept as a plain
+/// atomic outside the registry so the cap cannot perturb the deterministic
+/// counter contract.
+std::uint64_t trace_dropped_count();
+
+struct ReportOptions {
+  /// Include wall-clock durations and gauges. Disable to get a
+  /// deterministic report (span structure + counts + counters only) —
+  /// this is what the golden-report test pins.
+  bool include_timing = true;
+};
+
+/// Plain-text hierarchical report: the span tree (children sorted by name,
+/// call counts, optionally total/mean durations) followed by the merged
+/// metric catalogue.
+std::string report_text(const ReportOptions& options = {});
+
+}  // namespace anb::obs

@@ -1,0 +1,396 @@
+#include "anb/obs/span.hpp"
+#include "anb/obs/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "anb/obs/registry.hpp"
+#include "anb/util/error.hpp"
+
+namespace anb::obs {
+
+namespace {
+
+/// Hard cap on retained events; spans beyond it are counted as dropped.
+/// ~1M events * ~100B keeps the worst case near 100MB.
+constexpr std::uint64_t kMaxEvents = 1'000'000;
+
+/// One recorded span. `parent` indexes the same event sequence (within a
+/// live buffer: that buffer; after retirement/export: the merged vector) —
+/// nesting is explicit, never reconstructed from timestamps.
+struct TraceEvent {
+  std::string name;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::int64_t parent = -1;
+  std::uint32_t tid = 0;
+  int n_args = 0;
+  std::array<std::pair<const char*, double>, 2> args{};
+};
+
+std::uint64_t now_ns() {
+  // The one sanctioned clock read: anb_lint's raw-timing check exempts
+  // src/obs so all other code has to time through spans.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_trace_enabled{[] {
+  const char* env = std::getenv("ANB_TRACE");
+  return (env != nullptr && *env != '\0') ? 1 : 0;
+}()};
+
+/// Per-thread event buffer. `stack` holds indices of currently open spans;
+/// the top is the parent of the next span opened on this thread.
+struct EventBuffer {
+  std::uint32_t tid = 0;
+  std::vector<TraceEvent> events;
+  std::vector<std::int64_t> stack;
+};
+
+}  // namespace detail
+
+namespace {
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<detail::EventBuffer*> live;
+  std::vector<TraceEvent> retired;  // parents remapped into this vector
+  std::vector<detail::EventBuffer*> free_buffers;
+  std::uint32_t next_tid = 1;
+  // Plain atomics, deliberately outside the metrics registry: the event
+  // cap depends on timing/thread interleaving, and a registry counter for
+  // it would break the bit-identical counter contract.
+  std::atomic<std::uint64_t> total_events{0};
+  std::atomic<std::uint64_t> dropped{0};
+
+  static TraceState& get() {
+    static TraceState* state = new TraceState();  // leaked like the registry
+    return *state;
+  }
+};
+
+struct TlsEventBuffer {
+  detail::EventBuffer* buffer = nullptr;
+
+  ~TlsEventBuffer() {
+    if (buffer == nullptr) return;
+    TraceState& t = TraceState::get();
+    std::lock_guard<std::mutex> lock(t.mu);
+    const std::int64_t base = static_cast<std::int64_t>(t.retired.size());
+    for (TraceEvent& e : buffer->events) {
+      if (e.parent >= 0) e.parent += base;
+      t.retired.push_back(std::move(e));
+    }
+    buffer->events.clear();
+    buffer->stack.clear();
+    t.live.erase(std::find(t.live.begin(), t.live.end(), buffer));
+    t.free_buffers.push_back(buffer);
+    buffer = nullptr;
+  }
+};
+
+thread_local TlsEventBuffer t_events;
+
+detail::EventBuffer& local_buffer() {
+  if (t_events.buffer == nullptr) {
+    TraceState& t = TraceState::get();
+    std::lock_guard<std::mutex> lock(t.mu);
+    if (!t.free_buffers.empty()) {
+      t_events.buffer = t.free_buffers.back();
+      t.free_buffers.pop_back();
+    } else {
+      t_events.buffer = new detail::EventBuffer();
+    }
+    t_events.buffer->tid = t.next_tid++;
+    t.live.push_back(t_events.buffer);
+  }
+  return *t_events.buffer;
+}
+
+/// All events, retired threads first then live buffers in registration
+/// order, parents remapped into the merged vector. Requires quiescence.
+std::vector<TraceEvent> collect_events() {
+  TraceState& t = TraceState::get();
+  std::lock_guard<std::mutex> lock(t.mu);
+  std::vector<TraceEvent> out = t.retired;
+  for (const detail::EventBuffer* buffer : t.live) {
+    const std::int64_t base = static_cast<std::int64_t>(out.size());
+    for (const TraceEvent& e : buffer->events) {
+      out.push_back(e);
+      if (out.back().parent >= 0) out.back().parent += base;
+    }
+  }
+  return out;
+}
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void set_trace_enabled(bool enabled) {
+  detail::g_trace_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+Span::Span(const char* name) {
+  if (!trace_enabled()) return;
+  open(name, 0);
+}
+
+Span::Span(const std::string& name) {
+  if (!trace_enabled()) return;
+  open(name.c_str(), name.size());
+}
+
+void Span::open(const char* name, std::size_t /*length*/) {
+  TraceState& t = TraceState::get();
+  if (t.total_events.load(std::memory_order_relaxed) >= kMaxEvents) {
+    t.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  t.total_events.fetch_add(1, std::memory_order_relaxed);
+  detail::EventBuffer& buffer = local_buffer();
+  TraceEvent event;
+  event.name = name;
+  event.ts_ns = now_ns();
+  event.tid = buffer.tid;
+  event.parent = buffer.stack.empty() ? -1 : buffer.stack.back();
+  index_ = static_cast<std::int64_t>(buffer.events.size());
+  buffer.events.push_back(std::move(event));
+  buffer.stack.push_back(index_);
+  buffer_ = &buffer;
+}
+
+Span::~Span() {
+  if (buffer_ == nullptr) return;
+  TraceEvent& event = buffer_->events[static_cast<std::size_t>(index_)];
+  event.dur_ns = now_ns() - event.ts_ns;
+  // Scoped spans close LIFO per thread, so the top of the stack is this
+  // span; tolerate out-of-order closes from non-scoped usage anyway.
+  auto& stack = buffer_->stack;
+  if (!stack.empty() && stack.back() == index_) {
+    stack.pop_back();
+  } else {
+    stack.erase(std::remove(stack.begin(), stack.end(), index_), stack.end());
+  }
+}
+
+void Span::arg(const char* key, double value) {
+  if (buffer_ == nullptr) return;
+  TraceEvent& event = buffer_->events[static_cast<std::size_t>(index_)];
+  if (event.n_args >= static_cast<int>(event.args.size())) return;
+  event.args[static_cast<std::size_t>(event.n_args++)] = {key, value};
+}
+
+std::optional<std::string> requested_trace_path() {
+  static const std::optional<std::string> path = [] {
+    const char* env = std::getenv("ANB_TRACE");
+    if (env == nullptr || *env == '\0') return std::optional<std::string>{};
+    return std::optional<std::string>{std::string(env)};
+  }();
+  return path;
+}
+
+bool write_requested_trace() {
+  const auto path = requested_trace_path();
+  if (!path) return false;
+  write_trace(*path);
+  return true;
+}
+
+std::string trace_json_string() {
+  const std::vector<TraceEvent> events = collect_events();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    char buf[128];
+    os << "{\"name\":\"";
+    json_escape(os, e.name);
+    // Chrome's trace viewer expects microseconds; keep ns resolution with
+    // fractional values.
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                  "\"tid\":%u",
+                  static_cast<double>(e.ts_ns) / 1e3,
+                  static_cast<double>(e.dur_ns) / 1e3, e.tid);
+    os << buf;
+    if (e.n_args > 0) {
+      os << ",\"args\":{";
+      for (int a = 0; a < e.n_args; ++a) {
+        if (a > 0) os << ",";
+        os << "\"";
+        json_escape(os, e.args[static_cast<std::size_t>(a)].first);
+        std::snprintf(buf, sizeof(buf), "\":%.17g",
+                      e.args[static_cast<std::size_t>(a)].second);
+        os << buf;
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+void write_trace(const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ANB_CHECK(out.good(), "obs: cannot open trace for writing: " + path);
+  out << trace_json_string();
+  out.flush();
+  ANB_CHECK(out.good(), "obs: failed writing trace: " + path);
+}
+
+void clear_trace_events() {
+  TraceState& t = TraceState::get();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.retired.clear();
+  for (detail::EventBuffer* buffer : t.live) {
+    ANB_CHECK(buffer->stack.empty(),
+              "obs: clear_trace_events() with a span still open");
+    buffer->events.clear();
+  }
+  t.total_events.store(0, std::memory_order_relaxed);
+  t.dropped.store(0, std::memory_order_relaxed);
+}
+
+std::size_t trace_event_count() {
+  TraceState& t = TraceState::get();
+  std::lock_guard<std::mutex> lock(t.mu);
+  std::size_t n = t.retired.size();
+  for (const detail::EventBuffer* buffer : t.live) n += buffer->events.size();
+  return n;
+}
+
+std::uint64_t trace_dropped_count() {
+  return TraceState::get().dropped.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Aggregation node for the text report: spans with the same name under
+/// the same parent path merge into one line.
+struct ReportNode {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::map<std::string, ReportNode> children;  // sorted by name
+};
+
+void print_node(std::ostringstream& os, const std::string& name,
+                const ReportNode& node, int depth, bool include_timing) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << name << "  count=" << node.count;
+  if (include_timing) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  total=%.3fms  mean=%.3fms",
+                  static_cast<double>(node.total_ns) / 1e6,
+                  node.count == 0
+                      ? 0.0
+                      : static_cast<double>(node.total_ns) / 1e6 /
+                            static_cast<double>(node.count));
+    os << buf;
+  }
+  os << "\n";
+  for (const auto& [child_name, child] : node.children) {
+    print_node(os, child_name, child, depth + 1, include_timing);
+  }
+}
+
+}  // namespace
+
+std::string report_text(const ReportOptions& options) {
+  const std::vector<TraceEvent> events = collect_events();
+  ReportNode root;
+  // A parent always precedes its children in the merged vector (spans open
+  // parent-first on one thread; retirement/collection preserve per-buffer
+  // order and parents never cross buffers), so one forward pass suffices.
+  std::vector<ReportNode*> node_of(events.size(), nullptr);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    ReportNode& parent =
+        e.parent < 0 ? root : *node_of[static_cast<std::size_t>(e.parent)];
+    ReportNode& node = parent.children[e.name];
+    node.count += 1;
+    node.total_ns += e.dur_ns;
+    node_of[i] = &node;
+  }
+
+  std::ostringstream os;
+  os << "== spans ==\n";
+  if (root.children.empty()) os << "(no spans recorded)\n";
+  for (const auto& [name, node] : root.children) {
+    print_node(os, name, node, 0, options.include_timing);
+  }
+  os << "== metrics ==\n";
+  for (const MetricValue& v : snapshot_metrics()) {
+    switch (v.kind) {
+      case MetricKind::kCounter:
+        os << v.name << " = " << v.value << "\n";
+        break;
+      case MetricKind::kGauge:
+        if (options.include_timing) {  // gauges are timing-derived
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "%.6g", v.gauge_value);
+          os << v.name << " = " << buf << "\n";
+        }
+        break;
+      case MetricKind::kHistogram: {
+        os << v.name << ": count=" << v.value << " sum=" << v.sum
+           << " buckets=[";
+        bool first = true;
+        for (std::size_t b = 0; b < v.buckets.size(); ++b) {
+          if (v.buckets[b] == 0) continue;
+          if (!first) os << " ";
+          first = false;
+          os << b << ":" << v.buckets[b];
+        }
+        os << "]\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace anb::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "anb/obs/span.hpp"
 #include "anb/util/error.hpp"
 #include "anb/util/parallel.hpp"
 
@@ -49,6 +50,7 @@ BinnedMatrix::BinnedMatrix(const Dataset& data, int max_bins)
   ANB_CHECK(max_bins >= 2 && max_bins <= 256,
             "BinnedMatrix: max_bins must be in [2, 256]");
   ANB_CHECK(num_rows_ >= 1, "BinnedMatrix: empty dataset");
+  ANB_SPAN("anb.fit.bin_build");
 
   edges_.resize(num_features_);
   codes_.resize(num_features_ * num_rows_);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "anb/obs/registry.hpp"
+#include "anb/obs/span.hpp"
 #include "anb/util/error.hpp"
 
 namespace anb {
@@ -32,6 +34,8 @@ void EnsembleSurrogate::fit(const Dataset& train, Rng& rng) {
             "EnsembleSurrogate::fit: wrapper built from fitted members has "
             "no factory to refit with");
   ANB_CHECK(train.size() >= 4, "EnsembleSurrogate::fit: dataset too small");
+  ANB_SPAN("anb.fit.ensemble");
+  obs::counter("anb.fit.ensemble.count").add(1);
   members_.clear();
   const auto subset_size = std::max<std::size_t>(
       2, static_cast<std::size_t>(bootstrap_frac_ *

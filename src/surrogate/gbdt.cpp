@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "anb/surrogate/train_context.hpp"
+#include "anb/obs/registry.hpp"
+#include "anb/obs/span.hpp"
 #include "anb/util/error.hpp"
 #include "anb/util/parallel.hpp"
 #include "anb/util/stats.hpp"
@@ -47,6 +49,8 @@ void Gbdt::fit(const Dataset& train, TrainContext& ctx, Rng& rng) {
 
 void Gbdt::fit_impl(const Dataset& train, const ColumnIndex& columns,
                     Rng& rng) {
+  ANB_SPAN("anb.fit.gbdt");
+  obs::counter("anb.fit.gbdt.count").add(1);
   trees_.clear();
   const std::size_t n = train.size();
   const std::size_t d = train.num_features();

@@ -6,6 +6,8 @@
 #include <queue>
 
 #include "anb/surrogate/train_context.hpp"
+#include "anb/obs/registry.hpp"
+#include "anb/obs/span.hpp"
 #include "anb/util/error.hpp"
 #include "anb/util/parallel.hpp"
 #include "anb/util/stats.hpp"
@@ -82,6 +84,8 @@ void HistGbdt::fit(const Dataset& train, const BinnedMatrix& binned,
             "HistGbdt::fit: bin matrix shape mismatch");
   ANB_CHECK(binned.max_bins() == params_.max_bins,
             "HistGbdt::fit: bin matrix built with a different max_bins");
+  ANB_SPAN("anb.fit.histgbdt");
+  obs::counter("anb.fit.histgbdt.count").add(1);
   trees_.clear();
   const std::size_t n = train.size();
   const std::size_t d = train.num_features();

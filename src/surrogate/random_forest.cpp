@@ -5,6 +5,8 @@
 #include <optional>
 
 #include "anb/surrogate/train_context.hpp"
+#include "anb/obs/registry.hpp"
+#include "anb/obs/span.hpp"
 #include "anb/util/error.hpp"
 #include "anb/util/parallel.hpp"
 
@@ -33,6 +35,8 @@ void RandomForest::fit(const Dataset& train, TrainContext& ctx, Rng& rng) {
 
 void RandomForest::fit_impl(const Dataset& train, const ColumnIndex& columns,
                             Rng& rng) {
+  ANB_SPAN("anb.fit.rf");
+  obs::counter("anb.fit.rf.count").add(1);
   trees_.clear();
   const std::size_t n = train.size();
   const std::size_t d = train.num_features();

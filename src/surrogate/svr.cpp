@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "anb/surrogate/smo.hpp"
+#include "anb/obs/registry.hpp"
+#include "anb/obs/span.hpp"
 #include "anb/util/error.hpp"
 #include "anb/util/stats.hpp"
 
@@ -65,6 +67,8 @@ Svr::FitOutput Svr::solve_epsilon(const std::vector<std::vector<float>>& kernel,
 }
 
 void Svr::fit(const Dataset& train, Rng& /*rng*/) {
+  ANB_SPAN("anb.fit.svr");
+  obs::counter("anb.fit.svr.count").add(1);
   const std::size_t n = train.size();
   const std::size_t d = train.num_features();
   ANB_CHECK(n >= 2, "Svr::fit: need at least 2 rows");

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <utility>
 
+#include "anb/obs/registry.hpp"
 #include "anb/util/rng.hpp"
 
 namespace anb::fault {
@@ -163,6 +164,10 @@ std::optional<FireInfo> should_fire(std::string_view site, std::uint64_t key) {
   }
   if (!fire) return std::nullopt;
   ++st.fires;
+  // Keyed decisions are reproducible, so the fire total is thread-count
+  // invariant and safe to expose as a registry counter.
+  static obs::Counter& fired = obs::counter("anb.fault.fired");
+  fired.add(1);
   return FireInfo{splitmix64(stream)};
 }
 

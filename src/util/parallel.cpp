@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "anb/obs/registry.hpp"
+#include "anb/obs/span.hpp"
 #include "anb/util/error.hpp"
 #include "anb/util/fault.hpp"
 
@@ -51,7 +53,15 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   num_threads = static_cast<unsigned>(
       std::min<std::size_t>(num_threads, n));
 
+  // Call/item counts depend only on the work submitted, never on the
+  // thread count — both are covered by the obs determinism contract.
+  static obs::Counter& calls = obs::counter("anb.parallel.calls");
+  static obs::Counter& items = obs::counter("anb.parallel.items");
+  calls.add(1);
+  items.add(n);
+
   if (num_threads == 1) {
+    ANB_SPAN("anb.parallel.worker");
     for (std::size_t i = 0; i < n; ++i) {
       if (fault::any_armed()) fault::maybe_throw(kParallelForWorkerFaultSite, i);
       body(i);
@@ -64,6 +74,9 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   std::mutex error_mutex;
 
   auto worker = [&] {
+    // Per-worker busy time: one span covering the worker's whole drain of
+    // the shared index. Durations are wall-clock and nondeterministic.
+    ANB_SPAN("anb.parallel.worker");
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;

@@ -41,7 +41,7 @@ std::unique_ptr<Surrogate> fitted_model(std::uint64_t seed,
 AccelNASBench make_bench() {
   AccelNASBench bench;
   bench.set_accuracy_surrogate(fitted_model(1));
-  bench.set_perf_surrogate(DeviceKind::kA100, PerfMetric::kThroughput,
+  bench.set_perf_surrogate(MetricKey{DeviceKind::kA100, PerfMetric::kThroughput},
                            fitted_model(2, 100.0));
   return bench;
 }
@@ -78,7 +78,7 @@ TEST(BenchmarkCacheTest, ScalarHitMissAccounting) {
   // Accuracy and perf cache entries are keyed separately: perf queries on
   // the same architectures are fresh misses.
   for (const auto& a : archs)
-    bench.query_perf(a, DeviceKind::kA100, PerfMetric::kThroughput);
+    bench.query_perf(a, MetricKey{DeviceKind::kA100, PerfMetric::kThroughput});
   stats = bench.cache_stats();
   EXPECT_EQ(stats.misses, 20u);
   EXPECT_EQ(stats.hits, 10u);
@@ -120,13 +120,11 @@ TEST(BenchmarkCacheTest, PerfBatchMatchesScalar) {
   const AccelNASBench bench = make_bench();
   const auto archs = distinct_archs(12, 5);
   const std::vector<double> batch = bench.query_perf_batch(
-      archs, DeviceKind::kA100, PerfMetric::kThroughput);
+      archs, MetricKey{DeviceKind::kA100, PerfMetric::kThroughput});
   ASSERT_EQ(batch.size(), archs.size());
   for (std::size_t i = 0; i < archs.size(); ++i)
-    EXPECT_EQ(batch[i], bench.query_perf(archs[i], DeviceKind::kA100,
-                                         PerfMetric::kThroughput));
-  EXPECT_THROW(bench.query_perf_batch(archs, DeviceKind::kRtx3090,
-                                      PerfMetric::kThroughput),
+    EXPECT_EQ(batch[i], bench.query_perf(archs[i], MetricKey{DeviceKind::kA100, PerfMetric::kThroughput}));
+  EXPECT_THROW(bench.query_perf_batch(archs, MetricKey{DeviceKind::kRtx3090, PerfMetric::kThroughput}),
                Error);
 }
 

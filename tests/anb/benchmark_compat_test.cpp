@@ -1,0 +1,88 @@
+// Compatibility coverage for the deprecated (DeviceKind, PerfMetric)
+// overloads kept for one release after the MetricKey redesign: each shim
+// must behave exactly like its MetricKey counterpart. This file is the one
+// sanctioned caller of the deprecated API.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+#include "anb/anb/benchmark.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "anb/anb/tuning.hpp"
+#include "anb/util/error.hpp"
+
+namespace anb {
+namespace {
+
+std::unique_ptr<Surrogate> tiny_model(std::uint64_t seed) {
+  auto model = make_default_surrogate(SurrogateKind::kLgb);
+  Dataset data(static_cast<std::size_t>(SearchSpace::feature_dim()));
+  Rng rng(seed);
+  for (int i = 0; i < 150; ++i) {
+    const Architecture a = SearchSpace::sample(rng);
+    data.add(SearchSpace::features(a), rng.uniform());
+  }
+  Rng fit_rng(seed + 1);
+  model->fit(data, fit_rng);
+  return model;
+}
+
+TEST(MetricKeyTest, RoundTripsThroughDatasetName) {
+  const MetricKey key{DeviceKind::kVck190, PerfMetric::kLatency};
+  EXPECT_EQ(key.to_string(), "ANB-VCK-Lat");
+  EXPECT_EQ(MetricKey::parse("ANB-VCK-Lat"), key);
+  EXPECT_EQ(dataset_name(key), key.to_string());
+  for (DeviceKind device :
+       {DeviceKind::kTpuV2, DeviceKind::kTpuV3, DeviceKind::kA100,
+        DeviceKind::kRtx3090, DeviceKind::kZcu102, DeviceKind::kVck190}) {
+    for (PerfMetric metric : {PerfMetric::kThroughput, PerfMetric::kLatency,
+                              PerfMetric::kEnergy}) {
+      const MetricKey k{device, metric};
+      EXPECT_EQ(MetricKey::parse(k.to_string()), k);
+    }
+  }
+  EXPECT_THROW(MetricKey::parse("ZCU-Thr"), Error);
+  EXPECT_THROW(MetricKey::parse("ANB-Nope-Thr"), Error);
+}
+
+TEST(MetricKeyTest, OrderedAndHashable) {
+  const MetricKey a{DeviceKind::kTpuV2, PerfMetric::kThroughput};
+  const MetricKey b{DeviceKind::kTpuV2, PerfMetric::kLatency};
+  const MetricKey c{DeviceKind::kA100, PerfMetric::kThroughput};
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_TRUE(a < c || c < a);
+  std::unordered_set<MetricKey> set{a, b, c, a};
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(BenchmarkCompatTest, TwoArgOverloadsMatchMetricKey) {
+  AccelNASBench bench;
+  // Install through the deprecated setter; read back through both APIs.
+  bench.set_perf_surrogate(DeviceKind::kA100, PerfMetric::kThroughput,
+                           tiny_model(11));
+  const MetricKey key{DeviceKind::kA100, PerfMetric::kThroughput};
+  EXPECT_TRUE(bench.has_perf(key));
+  EXPECT_TRUE(bench.has_perf(DeviceKind::kA100, PerfMetric::kThroughput));
+  EXPECT_FALSE(bench.has_perf(DeviceKind::kRtx3090, PerfMetric::kThroughput));
+
+  Rng rng(3);
+  std::vector<Architecture> archs;
+  for (int i = 0; i < 8; ++i) archs.push_back(SearchSpace::sample(rng));
+  for (const Architecture& a : archs) {
+    EXPECT_EQ(bench.query_perf(a, DeviceKind::kA100, PerfMetric::kThroughput),
+              bench.query_perf(a, key));
+  }
+  EXPECT_EQ(bench.query_perf_batch(archs, DeviceKind::kA100,
+                                   PerfMetric::kThroughput),
+            bench.query_perf_batch(archs, key));
+  EXPECT_EQ(dataset_name(DeviceKind::kA100, PerfMetric::kThroughput),
+            dataset_name(key));
+}
+
+}  // namespace
+}  // namespace anb
+
+#pragma GCC diagnostic pop

@@ -40,11 +40,11 @@ TEST(BenchmarkNamingTest, MetricAndDatasetNames) {
   EXPECT_STREQ(perf_metric_name(PerfMetric::kLatency), "Lat");
   EXPECT_EQ(perf_metric_from_name("Thr"), PerfMetric::kThroughput);
   EXPECT_THROW(perf_metric_from_name("Watts"), Error);
-  EXPECT_EQ(dataset_name(DeviceKind::kZcu102, PerfMetric::kThroughput),
+  EXPECT_EQ(dataset_name(MetricKey{DeviceKind::kZcu102, PerfMetric::kThroughput}),
             "ANB-ZCU-Thr");
-  EXPECT_EQ(dataset_name(DeviceKind::kTpuV3, PerfMetric::kThroughput),
+  EXPECT_EQ(dataset_name(MetricKey{DeviceKind::kTpuV3, PerfMetric::kThroughput}),
             "ANB-TPUv3-Thr");
-  EXPECT_EQ(dataset_name(DeviceKind::kVck190, PerfMetric::kLatency),
+  EXPECT_EQ(dataset_name(MetricKey{DeviceKind::kVck190, PerfMetric::kLatency}),
             "ANB-VCK-Lat");
 }
 
@@ -52,17 +52,16 @@ TEST(AccelNASBenchTest, QueriesRouteToSurrogates) {
   AccelNASBench bench;
   EXPECT_FALSE(bench.has_accuracy());
   bench.set_accuracy_surrogate(tiny_model(1));
-  bench.set_perf_surrogate(DeviceKind::kA100, PerfMetric::kThroughput,
+  bench.set_perf_surrogate(MetricKey{DeviceKind::kA100, PerfMetric::kThroughput},
                            tiny_model(2, 100.0));
   EXPECT_TRUE(bench.has_accuracy());
-  EXPECT_TRUE(bench.has_perf(DeviceKind::kA100, PerfMetric::kThroughput));
-  EXPECT_FALSE(bench.has_perf(DeviceKind::kRtx3090, PerfMetric::kThroughput));
+  EXPECT_TRUE(bench.has_perf(MetricKey{DeviceKind::kA100, PerfMetric::kThroughput}));
+  EXPECT_FALSE(bench.has_perf(MetricKey{DeviceKind::kRtx3090, PerfMetric::kThroughput}));
 
   Rng rng(3);
   const Architecture a = SearchSpace::sample(rng);
   const double acc = bench.query_accuracy(a);
-  const double thr = bench.query_perf(a, DeviceKind::kA100,
-                                      PerfMetric::kThroughput);
+  const double thr = bench.query_perf(a, MetricKey{DeviceKind::kA100, PerfMetric::kThroughput});
   EXPECT_TRUE(std::isfinite(acc));
   EXPECT_GT(thr, acc);  // scaled targets
 }
@@ -72,26 +71,25 @@ TEST(AccelNASBenchTest, MissingSurrogateThrows) {
   Rng rng(4);
   const Architecture a = SearchSpace::sample(rng);
   EXPECT_THROW(bench.query_accuracy(a), Error);
-  EXPECT_THROW(bench.query_perf(a, DeviceKind::kA100, PerfMetric::kThroughput),
+  EXPECT_THROW(bench.query_perf(a, MetricKey{DeviceKind::kA100, PerfMetric::kThroughput}),
                Error);
   EXPECT_THROW(bench.set_accuracy_surrogate(nullptr), Error);
 }
 
 TEST(AccelNASBenchTest, LatencyOnlyOnFpgas) {
   AccelNASBench bench;
-  EXPECT_THROW(bench.set_perf_surrogate(DeviceKind::kA100, PerfMetric::kLatency,
+  EXPECT_THROW(bench.set_perf_surrogate(MetricKey{DeviceKind::kA100, PerfMetric::kLatency},
                                         tiny_model(5)),
                Error);
-  EXPECT_NO_THROW(bench.set_perf_surrogate(DeviceKind::kZcu102,
-                                           PerfMetric::kLatency,
+  EXPECT_NO_THROW(bench.set_perf_surrogate(MetricKey{DeviceKind::kZcu102, PerfMetric::kLatency},
                                            tiny_model(6)));
 }
 
 TEST(AccelNASBenchTest, PerfTargetsEnumerates) {
   AccelNASBench bench;
-  bench.set_perf_surrogate(DeviceKind::kZcu102, PerfMetric::kLatency,
+  bench.set_perf_surrogate(MetricKey{DeviceKind::kZcu102, PerfMetric::kLatency},
                            tiny_model(7));
-  bench.set_perf_surrogate(DeviceKind::kTpuV2, PerfMetric::kThroughput,
+  bench.set_perf_surrogate(MetricKey{DeviceKind::kTpuV2, PerfMetric::kThroughput},
                            tiny_model(8));
   const auto targets = bench.perf_targets();
   EXPECT_EQ(targets.size(), 2u);
@@ -100,9 +98,9 @@ TEST(AccelNASBenchTest, PerfTargetsEnumerates) {
 TEST(AccelNASBenchTest, SaveLoadRoundTrip) {
   AccelNASBench bench;
   bench.set_accuracy_surrogate(tiny_model(9));
-  bench.set_perf_surrogate(DeviceKind::kVck190, PerfMetric::kThroughput,
+  bench.set_perf_surrogate(MetricKey{DeviceKind::kVck190, PerfMetric::kThroughput},
                            tiny_model(10, 1000.0));
-  bench.set_perf_surrogate(DeviceKind::kVck190, PerfMetric::kLatency,
+  bench.set_perf_surrogate(MetricKey{DeviceKind::kVck190, PerfMetric::kLatency},
                            tiny_model(11, 3.0));
 
   const std::string path = ::testing::TempDir() + "/anb_bench_test.json";
@@ -115,11 +113,11 @@ TEST(AccelNASBenchTest, SaveLoadRoundTrip) {
     const Architecture a = SearchSpace::sample(rng);
     EXPECT_DOUBLE_EQ(loaded.query_accuracy(a), bench.query_accuracy(a));
     EXPECT_DOUBLE_EQ(
-        loaded.query_perf(a, DeviceKind::kVck190, PerfMetric::kThroughput),
-        bench.query_perf(a, DeviceKind::kVck190, PerfMetric::kThroughput));
+        loaded.query_perf(a, MetricKey{DeviceKind::kVck190, PerfMetric::kThroughput}),
+        bench.query_perf(a, MetricKey{DeviceKind::kVck190, PerfMetric::kThroughput}));
     EXPECT_DOUBLE_EQ(
-        loaded.query_perf(a, DeviceKind::kVck190, PerfMetric::kLatency),
-        bench.query_perf(a, DeviceKind::kVck190, PerfMetric::kLatency));
+        loaded.query_perf(a, MetricKey{DeviceKind::kVck190, PerfMetric::kLatency}),
+        bench.query_perf(a, MetricKey{DeviceKind::kVck190, PerfMetric::kLatency}));
   }
 }
 

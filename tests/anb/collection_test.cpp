@@ -86,10 +86,9 @@ TEST_F(CollectionTest, DatasetConstruction) {
   EXPECT_EQ(acc.size(), 40u);
   EXPECT_EQ(acc.num_features(),
             static_cast<std::size_t>(SearchSpace::feature_dim()));
-  const Dataset lat = data.perf_dataset(DeviceKind::kZcu102,
-                                        PerfMetric::kLatency);
+  const Dataset lat = data.perf_dataset(MetricKey{DeviceKind::kZcu102, PerfMetric::kLatency});
   EXPECT_EQ(lat.size(), 40u);
-  EXPECT_THROW(data.perf_dataset(DeviceKind::kA100, PerfMetric::kLatency),
+  EXPECT_THROW(data.perf_dataset(MetricKey{DeviceKind::kA100, PerfMetric::kLatency}),
                Error);
 }
 

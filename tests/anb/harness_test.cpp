@@ -51,8 +51,7 @@ TEST(HarnessTest, TrajectoriesCompareTrueAndSimulated) {
 TEST(HarnessTest, ParetoSearchProducesFront) {
   const auto& pipe = small_pipeline();
   ParetoSearchConfig config;
-  config.device = DeviceKind::kVck190;
-  config.metric = PerfMetric::kThroughput;
+  config.key = {DeviceKind::kVck190, PerfMetric::kThroughput};
   config.n_targets = 3;
   config.n_evals_per_target = 60;
   const ParetoOutcome outcome = pareto_search(pipe.bench, config);
@@ -80,8 +79,7 @@ TEST(HarnessTest, ParetoSearchProducesFront) {
 TEST(HarnessTest, ParetoSearchLatencyDirection) {
   const auto& pipe = small_pipeline();
   ParetoSearchConfig config;
-  config.device = DeviceKind::kZcu102;
-  config.metric = PerfMetric::kLatency;
+  config.key = {DeviceKind::kZcu102, PerfMetric::kLatency};
   config.n_targets = 2;
   config.n_evals_per_target = 50;
   const ParetoOutcome outcome = pareto_search(pipe.bench, config);
@@ -105,14 +103,12 @@ TEST(HarnessTest, TrueEvaluationIncludesBaselines) {
   const auto& pipe = small_pipeline();
   TrainingSimulator sim(42);
   ParetoSearchConfig config;
-  config.device = DeviceKind::kVck190;
-  config.metric = PerfMetric::kThroughput;
+  config.key = {DeviceKind::kVck190, PerfMetric::kThroughput};
   config.n_targets = 2;
   config.n_evals_per_target = 50;
   config.n_picks = 2;
   const ParetoOutcome outcome = pareto_search(pipe.bench, config);
-  const auto rows = true_evaluation(outcome, sim, DeviceKind::kVck190,
-                                    PerfMetric::kThroughput, "vck190");
+  const auto rows = true_evaluation(outcome, sim, MetricKey{DeviceKind::kVck190, PerfMetric::kThroughput}, "vck190");
   // picks + 4 zoo baselines.
   EXPECT_EQ(rows.size(), outcome.picks.size() + 4u);
   int ours = 0;

@@ -29,11 +29,10 @@ TEST(PipelineTest, EnergyOptionAddsSurrogatesAndMetrics) {
   // 1 acc + 6 thr + 2 lat + 6 enr = 15 datasets.
   EXPECT_EQ(result.test_metrics.size(), 15u);
   EXPECT_TRUE(
-      result.bench.has_perf(DeviceKind::kA100, PerfMetric::kEnergy));
+      result.bench.has_perf(MetricKey{DeviceKind::kA100, PerfMetric::kEnergy}));
   Rng rng(2);
   const Architecture arch = SearchSpace::sample(rng);
-  EXPECT_GT(result.bench.query_perf(arch, DeviceKind::kZcu102,
-                                    PerfMetric::kEnergy),
+  EXPECT_GT(result.bench.query_perf(arch, MetricKey{DeviceKind::kZcu102, PerfMetric::kEnergy}),
             0.0);
 }
 

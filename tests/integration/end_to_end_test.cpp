@@ -51,14 +51,12 @@ TEST(EndToEndTest, FullBenchmarkConstructionAndUse) {
   // Bi-objective zero-cost search produces models that, when "actually"
   // trained and measured, sit at competitive accuracy/throughput.
   ParetoSearchConfig search;
-  search.device = DeviceKind::kZcu102;
-  search.metric = PerfMetric::kThroughput;
+  search.key = {DeviceKind::kZcu102, PerfMetric::kThroughput};
   search.n_targets = 2;
   search.n_evals_per_target = 60;
   search.n_picks = 2;
   const ParetoOutcome outcome = pareto_search(result.bench, search);
-  const auto rows = true_evaluation(outcome, sim, DeviceKind::kZcu102,
-                                    PerfMetric::kThroughput, "zcu102");
+  const auto rows = true_evaluation(outcome, sim, MetricKey{DeviceKind::kZcu102, PerfMetric::kThroughput}, "zcu102");
   double best_ours_acc = 0.0;
   double best_baseline_acc = 0.0;
   for (const auto& row : rows) {
@@ -91,8 +89,7 @@ TEST(EndToEndTest, ProxySearchFeedsPipeline) {
   EXPECT_LE(result.proxy.best_cost_hours, options.proxy.t_spec_hours);
   EXPECT_GT(result.proxy.speedup, 1.0);
   EXPECT_TRUE(result.bench.has_accuracy());
-  EXPECT_FALSE(result.bench.has_perf(DeviceKind::kA100,
-                                     PerfMetric::kThroughput));
+  EXPECT_FALSE(result.bench.has_perf(MetricKey{DeviceKind::kA100, PerfMetric::kThroughput}));
 }
 
 }  // namespace

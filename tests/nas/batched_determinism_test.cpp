@@ -54,7 +54,7 @@ std::unique_ptr<Surrogate> fitted_model(std::uint64_t seed,
 AccelNASBench make_bench() {
   AccelNASBench bench;
   bench.set_accuracy_surrogate(fitted_model(1));
-  bench.set_perf_surrogate(DeviceKind::kA100, PerfMetric::kThroughput,
+  bench.set_perf_surrogate(MetricKey{DeviceKind::kA100, PerfMetric::kThroughput},
                            fitted_model(2, 100.0));
   return bench;
 }
@@ -128,13 +128,13 @@ TEST(BatchedDeterminismTest, Nsga2GenerationalBatching) {
   const BiObjectiveOracle scalar = [&](const Architecture& a) {
     return std::make_pair(
         bench.query_accuracy(a),
-        bench.query_perf(a, DeviceKind::kA100, PerfMetric::kThroughput));
+        bench.query_perf(a, MetricKey{DeviceKind::kA100, PerfMetric::kThroughput}));
   };
   const BiObjectiveBatchOracle batched =
       [&](std::span<const Architecture> archs) {
         const std::vector<double> acc = bench.query_accuracy_batch(archs);
         const std::vector<double> thr = bench.query_perf_batch(
-            archs, DeviceKind::kA100, PerfMetric::kThroughput);
+            archs, MetricKey{DeviceKind::kA100, PerfMetric::kThroughput});
         std::vector<std::pair<double, double>> out(archs.size());
         for (std::size_t i = 0; i < archs.size(); ++i)
           out[i] = {acc[i], thr[i]};

@@ -1,0 +1,144 @@
+#include "anb/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "anb/obs/registry.hpp"
+#include "anb/obs/span.hpp"
+#include "anb/util/json.hpp"
+
+namespace anb {
+namespace {
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_trace_enabled(true);
+    obs::clear_trace_events();
+  }
+  void TearDown() override {
+    obs::clear_trace_events();
+    obs::set_trace_enabled(false);
+  }
+};
+
+TEST_F(ObsTraceTest, DisabledSpansRecordNothing) {
+  obs::set_trace_enabled(false);
+  {
+    ANB_SPAN("test.trace.disabled");
+  }
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST_F(ObsTraceTest, SpansRecordAndNest) {
+  {
+    obs::Span outer("test.trace.outer");
+    {
+      ANB_SPAN("test.trace.inner");
+    }
+  }
+  EXPECT_EQ(obs::trace_event_count(), 2u);
+  EXPECT_EQ(obs::trace_dropped_count(), 0u);
+}
+
+// The exported JSON must be loadable by chrome://tracing: a traceEvents
+// array of ph="X" complete events with name/ts/dur/pid/tid fields.
+TEST_F(ObsTraceTest, JsonMatchesChromeTracingSchema) {
+  {
+    obs::Span span("test.trace.schema");
+    span.arg("rows", 42.0);
+  }
+  const Json j = Json::parse(obs::trace_json_string());
+  ASSERT_TRUE(j.contains("traceEvents"));
+  const auto& events = j.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 1u);
+  const Json& e = events[0];
+  EXPECT_EQ(e.at("name").as_string(), "test.trace.schema");
+  EXPECT_EQ(e.at("ph").as_string(), "X");
+  EXPECT_EQ(e.at("pid").as_int(), 1);
+  EXPECT_GE(e.at("tid").as_int(), 1);
+  EXPECT_GE(e.at("ts").as_number(), 0.0);
+  EXPECT_GE(e.at("dur").as_number(), 0.0);
+  ASSERT_TRUE(e.contains("args"));
+  EXPECT_EQ(e.at("args").at("rows").as_number(), 42.0);
+}
+
+TEST_F(ObsTraceTest, NestedSpansOnOneThreadShareTid) {
+  {
+    obs::Span outer("test.trace.parent");
+    obs::Span inner("test.trace.child");
+  }
+  const Json j = Json::parse(obs::trace_json_string());
+  const auto& events = j.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("tid").as_int(), events[1].at("tid").as_int());
+  // The child opened after and closed before the parent.
+  const Json* parent = nullptr;
+  const Json* child = nullptr;
+  for (const Json& e : events) {
+    (e.at("name").as_string() == "test.trace.parent" ? parent : child) = &e;
+  }
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_GE(child->at("ts").as_number(), parent->at("ts").as_number());
+  EXPECT_LE(child->at("ts").as_number() + child->at("dur").as_number(),
+            parent->at("ts").as_number() + parent->at("dur").as_number() +
+                1e-3);
+}
+
+TEST_F(ObsTraceTest, ClearResetsEventCount) {
+  {
+    ANB_SPAN("test.trace.clear");
+  }
+  EXPECT_EQ(obs::trace_event_count(), 1u);
+  obs::clear_trace_events();
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+  EXPECT_EQ(Json::parse(obs::trace_json_string())
+                .at("traceEvents")
+                .as_array()
+                .size(),
+            0u);
+}
+
+// Tracing must not perturb the metrics contract: counters advance by the
+// same amounts whether or not spans are being recorded.
+TEST_F(ObsTraceTest, CountersIdenticalWithTracingOnAndOff) {
+  obs::Counter& c = obs::counter("test.trace.counter_parity");
+  auto workload = [&] {
+    for (int i = 0; i < 100; ++i) {
+      ANB_SPAN("test.trace.parity_span");
+      c.add(2);
+    }
+  };
+  obs::reset_metrics();
+  workload();
+  const std::uint64_t with_trace = c.value();
+
+  obs::set_trace_enabled(false);
+  obs::reset_metrics();
+  workload();
+  EXPECT_EQ(c.value(), with_trace);
+}
+
+TEST_F(ObsTraceTest, ReportListsSpansAndCounters) {
+  obs::reset_metrics();
+  obs::counter("test.trace.report_counter").add(7);
+  {
+    ANB_SPAN("test.trace.report_span");
+  }
+  const std::string report = obs::report_text();
+  EXPECT_NE(report.find("test.trace.report_span"), std::string::npos);
+  EXPECT_NE(report.find("count=1"), std::string::npos);
+  EXPECT_NE(report.find("test.trace.report_counter = 7"), std::string::npos);
+
+  // include_timing=false drops durations (and gauges) so the output is a
+  // pure function of the workload — the golden-report test relies on it.
+  const std::string stable =
+      obs::report_text(obs::ReportOptions{/*include_timing=*/false});
+  EXPECT_EQ(stable.find("total="), std::string::npos);
+  EXPECT_EQ(stable.find("mean="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anb

@@ -218,9 +218,9 @@ const std::string& saved_benchmark_text() {
     sp.gamma = 0.5;
     AccelNASBench bench;
     bench.set_accuracy_surrogate(fitted(std::make_unique<Gbdt>(gp)));
-    bench.set_perf_surrogate(DeviceKind::kA100, PerfMetric::kThroughput,
+    bench.set_perf_surrogate(MetricKey{DeviceKind::kA100, PerfMetric::kThroughput},
                              fitted(std::make_unique<Gbdt>(gp)));
-    bench.set_perf_surrogate(DeviceKind::kZcu102, PerfMetric::kLatency,
+    bench.set_perf_surrogate(MetricKey{DeviceKind::kZcu102, PerfMetric::kLatency},
                              fitted(std::make_unique<Svr>(sp)));
     return bench.to_json().dump();
   }();

@@ -134,6 +134,7 @@ class Linter {
       check_header_self_containment(f);
       check_no_using_namespace_in_headers(f);
       check_no_endl(f);
+      check_raw_timing(f);
       check_assertion_coverage(f);
     }
     report();
@@ -304,6 +305,33 @@ class Linter {
     for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
       if (f.code_lines[i].find("std::endl") != std::string::npos) {
         add(f, i + 1, "no-endl", "use '\\n' instead of std::endl");
+      }
+    }
+  }
+
+  /// Timing belongs to the observability layer: library and test code must
+  /// measure durations through obs::Span / ANB_SPAN so that spans nest, are
+  /// toggled by one switch, and export through one sink. Raw clock reads
+  /// are allowed only in src/obs (the layer itself) and bench/ (harnesses
+  /// that time phases the span tree does not model).
+  void check_raw_timing(const SourceFile& f) {
+    if (f.rel_path == "tools/anb_lint.cpp") return;  // self: patterns below
+    if (f.rel_path.rfind("src/obs/", 0) == 0) return;
+    if (f.rel_path.rfind("bench/", 0) == 0) return;
+    static const char* kClocks[] = {
+        "steady_clock::now",
+        "high_resolution_clock::now",
+        "system_clock::now",
+    };
+    for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+      for (const char* clock : kClocks) {
+        if (f.code_lines[i].find(clock) != std::string::npos) {
+          add(f, i + 1, "raw-timing",
+              std::string(clock) +
+                  ": time through obs::Span/ANB_SPAN (src/obs) instead of "
+                  "raw clock reads");
+          break;
+        }
       }
     }
   }

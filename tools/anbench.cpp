@@ -112,8 +112,8 @@ int cmd_info(const Args& args) {
               bench.has_accuracy() ? "installed" : "missing");
   const auto targets = bench.perf_targets();
   std::printf("performance surrogates (%zu):\n", targets.size());
-  for (const auto& [device, metric] : targets)
-    std::printf("  %s\n", dataset_name(device, metric).c_str());
+  for (const MetricKey key : targets)
+    std::printf("  %s\n", dataset_name(key).c_str());
   std::printf("search space: MnasNet, %llu architectures, %d one-hot "
               "features\n",
               static_cast<unsigned long long>(SearchSpace::cardinality()),
@@ -125,11 +125,10 @@ int cmd_query(const Args& args) {
   const AccelNASBench bench = AccelNASBench::load(args.require("bench"));
   const Architecture arch = Architecture::from_string(args.require("arch"));
   if (args.has("device")) {
-    const DeviceKind device = device_kind_from_name(args.require("device"));
-    const PerfMetric metric = perf_metric_from_name(args.get("metric", "Thr"));
-    std::printf("%s %s = %.4f\n", device_kind_name(device),
-                perf_metric_name(metric),
-                bench.query_perf(arch, device, metric));
+    const MetricKey key{device_kind_from_name(args.require("device")),
+                        perf_metric_from_name(args.get("metric", "Thr"))};
+    std::printf("%s %s = %.4f\n", device_kind_name(key.device),
+                perf_metric_name(key.metric), bench.query_perf(arch, key));
   } else {
     std::printf("top1 = %.4f\n", bench.query_accuracy(arch));
   }
@@ -139,8 +138,8 @@ int cmd_query(const Args& args) {
 int cmd_search(const Args& args) {
   const AccelNASBench bench = AccelNASBench::load(args.require("bench"));
   ParetoSearchConfig config;
-  config.device = device_kind_from_name(args.require("device"));
-  config.metric = perf_metric_from_name(args.get("metric", "Thr"));
+  config.key = MetricKey{device_kind_from_name(args.require("device")),
+                         perf_metric_from_name(args.get("metric", "Thr"))};
   const int budget = args.get_int("budget", 1000);
   config.n_targets = 5;
   config.n_evals_per_target = std::max(1, budget / config.n_targets);
