@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <cstddef>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
@@ -11,6 +10,8 @@
 #include "anb/surrogate/ensemble.hpp"
 #include "anb/util/error.hpp"
 #include "anb/util/fault.hpp"
+#include "anb/util/mutex.hpp"
+#include "anb/util/thread_annotations.hpp"
 
 namespace anb {
 
@@ -60,20 +61,21 @@ obs::Counter& cache_misses() {
 /// lock: surrogates are deterministic, so two threads racing on the same
 /// miss compute the same value and the duplicate insert is a no-op.
 struct AccelNASBench::CacheState {
-  std::mutex mu;
+  Mutex mu;
   std::atomic<bool> enabled{true};
-  std::uint64_t hits_baseline = 0;
-  std::uint64_t misses_baseline = 0;
-  std::unordered_map<std::uint64_t, double> accuracy_map;
+  std::uint64_t hits_baseline ANB_GUARDED_BY(mu) = 0;
+  std::uint64_t misses_baseline ANB_GUARDED_BY(mu) = 0;
+  std::unordered_map<std::uint64_t, double> accuracy_map ANB_GUARDED_BY(mu);
   std::unordered_map<MetricKey, std::unordered_map<std::uint64_t, double>>
-      perf_maps;
+      perf_maps ANB_GUARDED_BY(mu);
 
   CacheState() {
     hits_baseline = cache_hits().value();
     misses_baseline = cache_misses().value();
   }
 
-  std::unordered_map<std::uint64_t, double>& map_for(const MetricKey* key) {
+  std::unordered_map<std::uint64_t, double>& map_for(const MetricKey* key)
+      ANB_REQUIRES(mu) {
     return key == nullptr ? accuracy_map : perf_maps[*key];
   }
 };
@@ -141,10 +143,6 @@ MetricKey MetricKey::parse(const std::string& name) {
 std::string dataset_name(MetricKey key) {
   return "ANB-" + device_short_name(key.device) + "-" +
          perf_metric_name(key.metric);
-}
-
-std::string dataset_name(DeviceKind kind, PerfMetric metric) {
-  return dataset_name(MetricKey{kind, metric});
 }
 
 std::string AccelNASBench::perf_json_key(MetricKey key) {
@@ -236,31 +234,6 @@ std::vector<double> AccelNASBench::query_perf_batch(
   return cached_query_batch(*it->second, &key, archs);
 }
 
-// --- deprecated two-argument shims ---------------------------------------
-// The attribute lives on the declarations; silence it for the definitions.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-void AccelNASBench::set_perf_surrogate(DeviceKind kind, PerfMetric metric,
-                                       std::unique_ptr<Surrogate> surrogate) {
-  set_perf_surrogate(MetricKey{kind, metric}, std::move(surrogate));
-}
-
-bool AccelNASBench::has_perf(DeviceKind kind, PerfMetric metric) const {
-  return has_perf(MetricKey{kind, metric});
-}
-
-double AccelNASBench::query_perf(const Architecture& arch, DeviceKind kind,
-                                 PerfMetric metric) const {
-  return query_perf(arch, MetricKey{kind, metric});
-}
-
-std::vector<double> AccelNASBench::query_perf_batch(
-    std::span<const Architecture> archs, DeviceKind kind,
-    PerfMetric metric) const {
-  return query_perf_batch(archs, MetricKey{kind, metric});
-}
-#pragma GCC diagnostic pop
-
 double AccelNASBench::cached_query(const Surrogate& surrogate,
                                    const MetricKey* key,
                                    const Architecture& arch) const {
@@ -269,7 +242,7 @@ double AccelNASBench::cached_query(const Surrogate& surrogate,
     return surrogate.predict(SearchSpace::features(arch));
   const std::uint64_t cache_key = SearchSpace::to_index(arch);
   {
-    std::lock_guard<std::mutex> lock(cache_->mu);
+    MutexLock lock(cache_->mu);
     const auto& map = cache_->map_for(key);
     const auto hit = map.find(cache_key);
     if (hit != map.end()) {
@@ -279,7 +252,7 @@ double AccelNASBench::cached_query(const Surrogate& surrogate,
   }
   const double value = surrogate.predict(SearchSpace::features(arch));
   {
-    std::lock_guard<std::mutex> lock(cache_->mu);
+    MutexLock lock(cache_->mu);
     auto& map = cache_->map_for(key);
     if (map.size() >= kMaxCacheEntries) map.clear();
     map.emplace(cache_key, value);
@@ -335,7 +308,7 @@ std::vector<double> AccelNASBench::cached_query_batch(
   std::vector<char> filled(n, 0);
   std::uint64_t hits = 0;
   {
-    std::lock_guard<std::mutex> lock(cache_->mu);
+    MutexLock lock(cache_->mu);
     const auto& map = cache_->map_for(key);
     for (std::size_t i = 0; i < n; ++i) {
       const auto hit = map.find(keys[i]);
@@ -360,7 +333,7 @@ std::vector<double> AccelNASBench::cached_query_batch(
   // Phase 3 (locked): publish, then fan the predictions back out to every
   // row — including in-batch duplicates of a miss.
   {
-    std::lock_guard<std::mutex> lock(cache_->mu);
+    MutexLock lock(cache_->mu);
     auto& map = cache_->map_for(key);
     if (map.size() + pred.size() > kMaxCacheEntries) map.clear();
     for (std::size_t m = 0; m < miss_rows.size(); ++m)
@@ -383,7 +356,7 @@ bool AccelNASBench::cache_enabled() const {
 
 void AccelNASBench::clear_cache() const {
   if (cache_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(cache_->mu);
+  MutexLock lock(cache_->mu);
   cache_->accuracy_map.clear();
   cache_->perf_maps.clear();
   cache_->hits_baseline = cache_hits().value();
@@ -393,7 +366,7 @@ void AccelNASBench::clear_cache() const {
 QueryCacheStats AccelNASBench::cache_stats() const {
   QueryCacheStats stats;
   if (cache_ == nullptr) return stats;
-  std::lock_guard<std::mutex> lock(cache_->mu);
+  MutexLock lock(cache_->mu);
   stats.hits = cache_hits().value() - cache_->hits_baseline;
   stats.misses = cache_misses().value() - cache_->misses_baseline;
   return stats;

@@ -42,13 +42,6 @@ Dataset CollectedData::perf_dataset(MetricKey key) const {
   return make_dataset(it->second);
 }
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-Dataset CollectedData::perf_dataset(DeviceKind kind, PerfMetric metric) const {
-  return perf_dataset(MetricKey{kind, metric});
-}
-#pragma GCC diagnostic pop
-
 namespace {
 
 /// Per-sample failure accounting, filled independently for each work item

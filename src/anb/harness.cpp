@@ -191,15 +191,4 @@ std::vector<TrueEvalRow> true_evaluation(const ParetoOutcome& outcome,
   return rows;
 }
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-std::vector<TrueEvalRow> true_evaluation(const ParetoOutcome& outcome,
-                                         const TrainingSimulator& sim,
-                                         DeviceKind device, PerfMetric metric,
-                                         const std::string& tag,
-                                         std::uint64_t seed) {
-  return true_evaluation(outcome, sim, MetricKey{device, metric}, tag, seed);
-}
-#pragma GCC diagnostic pop
-
 }  // namespace anb

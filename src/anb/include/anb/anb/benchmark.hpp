@@ -46,8 +46,9 @@ DeviceKind device_from_short_name(const std::string& name);
 /// Hashable and totally ordered, with to_string()/parse() round-tripping
 /// through the paper-style dataset name ("ANB-ZCU-Thr"). This is the one
 /// currency for naming perf targets across the benchmark, collection,
-/// pipeline, and bench helpers — the loose two-argument
-/// (DeviceKind, PerfMetric) signatures survive only as deprecated shims.
+/// pipeline, and bench helpers. (The loose two-argument
+/// (DeviceKind, PerfMetric) shims served their one-release grace period
+/// and are gone.)
 struct MetricKey {
   DeviceKind device = DeviceKind::kZcu102;
   PerfMetric metric = PerfMetric::kThroughput;
@@ -63,8 +64,6 @@ struct MetricKey {
 
 /// Paper-style dataset id, e.g. "ANB-Acc", "ANB-ZCU-Thr".
 std::string dataset_name(MetricKey key);
-[[deprecated("use dataset_name(MetricKey)")]]
-std::string dataset_name(DeviceKind kind, PerfMetric metric);
 
 /// Fault-injection sites in AccelNASBench::save/load (anb/util/fault.hpp).
 /// When the save site fires, only a prefix of the serialized benchmark
@@ -131,21 +130,6 @@ class AccelNASBench {
   /// query_perf(archs[i], key) exactly.
   std::vector<double> query_perf_batch(std::span<const Architecture> archs,
                                        MetricKey key) const;
-
-  /// Deprecated two-argument shims, kept for one release so downstream
-  /// callers migrate to MetricKey at their own pace.
-  [[deprecated("use set_perf_surrogate(MetricKey, ...)")]]
-  void set_perf_surrogate(DeviceKind kind, PerfMetric metric,
-                          std::unique_ptr<Surrogate> surrogate);
-  [[deprecated("use has_perf(MetricKey)")]]
-  bool has_perf(DeviceKind kind, PerfMetric metric) const;
-  [[deprecated("use query_perf(arch, MetricKey)")]]
-  double query_perf(const Architecture& arch, DeviceKind kind,
-                    PerfMetric metric) const;
-  [[deprecated("use query_perf_batch(archs, MetricKey)")]]
-  std::vector<double> query_perf_batch(std::span<const Architecture> archs,
-                                       DeviceKind kind,
-                                       PerfMetric metric) const;
 
   /// Query-cache control. The cache keys on the canonical architecture
   /// index (SearchSpace::to_index — a bijection, so no collisions) per

@@ -96,8 +96,6 @@ struct CollectedData {
   Dataset make_dataset(std::span<const double> labels) const;
   Dataset accuracy_dataset() const { return make_dataset(accuracy); }
   Dataset perf_dataset(MetricKey key) const;
-  [[deprecated("use perf_dataset(MetricKey)")]]
-  Dataset perf_dataset(DeviceKind kind, PerfMetric metric) const;
 };
 
 /// Runs the Fig. 2 (bottom) pipeline: sample unique random architectures,

@@ -79,11 +79,5 @@ std::vector<TrueEvalRow> true_evaluation(const ParetoOutcome& outcome,
                                          const TrainingSimulator& sim,
                                          MetricKey key, const std::string& tag,
                                          std::uint64_t seed = 17);
-[[deprecated("use true_evaluation(outcome, sim, MetricKey, tag, seed)")]]
-std::vector<TrueEvalRow> true_evaluation(const ParetoOutcome& outcome,
-                                         const TrainingSimulator& sim,
-                                         DeviceKind device, PerfMetric metric,
-                                         const std::string& tag,
-                                         std::uint64_t seed = 17);
 
 }  // namespace anb

@@ -7,11 +7,12 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <utility>
 
 #include "anb/util/error.hpp"
+#include "anb/util/mutex.hpp"
+#include "anb/util/thread_annotations.hpp"
 
 namespace anb::obs {
 
@@ -47,25 +48,35 @@ namespace detail {
 
 /// Process-wide registry. Leaked on purpose (like fault.cpp's Registry) so
 /// metric updates from late-destroyed threads never race a destructor.
+/// Everything the mutex guards says so in its declaration; the *_locked
+/// helpers carry ANB_REQUIRES(mu), so a call path that forgets the lock is
+/// a compile error under -Wthread-safety.
 struct RegistryImpl {
-  std::mutex mu;
-  std::map<std::string, std::size_t, std::less<>> index;  // name -> meta id
-  std::vector<MetricMeta> metas;
-  std::size_t n_cells = 0;  // total shard cells handed out
+  Mutex mu;
+  // name -> meta id; std::less<> enables string_view lookups.
+  std::map<std::string, std::size_t, std::less<>> index ANB_GUARDED_BY(mu);
+  // A deque, not a vector: metric_name() hands out references to the names
+  // stored here, which must survive later registrations (a vector's
+  // reallocation would move the strings and dangle every handed-out name).
+  std::deque<MetricMeta> metas ANB_GUARDED_BY(mu);
+  std::size_t n_cells ANB_GUARDED_BY(mu) = 0;  // total shard cells handed out
 
   // Handles live in deques so references stay stable across registration.
-  std::deque<Counter> counters;
-  std::deque<Gauge> gauges;
-  std::deque<Histogram> histograms;
-  std::deque<std::atomic<std::uint64_t>> gauge_slots;
+  std::deque<Counter> counters ANB_GUARDED_BY(mu);
+  std::deque<Gauge> gauges ANB_GUARDED_BY(mu);
+  std::deque<Histogram> histograms ANB_GUARDED_BY(mu);
+  std::deque<std::atomic<std::uint64_t>> gauge_slots ANB_GUARDED_BY(mu);
 
   // Shard lifecycle: live shards in registration order, a serial
   // accumulation of dead threads' cells, and a freelist so the short-lived
   // workers parallel_for spawns per call recycle storage instead of
-  // growing it without bound.
-  std::vector<Shard*> live;
-  std::vector<std::uint64_t> retired;
-  std::vector<Shard*> free_shards;
+  // growing it without bound. The cells *inside* a live shard are written
+  // lock-free by their owning thread (that is the whole point of sharding)
+  // and only read by others under mu at merge time — so the pointers are
+  // guarded, the pointees deliberately are not.
+  std::vector<Shard*> live ANB_GUARDED_BY(mu);
+  std::vector<std::uint64_t> retired ANB_GUARDED_BY(mu);
+  std::vector<Shard*> free_shards ANB_GUARDED_BY(mu);
 
   static RegistryImpl& get() {
     static RegistryImpl* impl = new RegistryImpl();
@@ -76,7 +87,7 @@ struct RegistryImpl {
   /// registration order. Serial, so the reduction order is fixed (and for
   /// uint64 sums, order is irrelevant anyway — this mirrors the
   /// CollectionReport discipline for clarity, not correctness).
-  std::uint64_t merged_cell_locked(std::size_t cell) const {
+  std::uint64_t merged_cell_locked(std::size_t cell) const ANB_REQUIRES(mu) {
     std::uint64_t total = cell < retired.size() ? retired[cell] : 0;
     for (const Shard* shard : live) {
       if (cell < shard->cells.size()) total += shard->cells[cell];
@@ -85,13 +96,14 @@ struct RegistryImpl {
   }
 
   const std::string& metric_name(std::size_t metric) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return metas[metric].name;
   }
 
   /// Find-or-register under the lock; returns the meta index. Throws on a
   /// kind mismatch for an existing name.
-  std::size_t register_locked(std::string_view name, MetricKind kind) {
+  std::size_t register_locked(std::string_view name, MetricKind kind)
+      ANB_REQUIRES(mu) {
     ANB_CHECK(!name.empty(), "obs: metric name must be non-empty");
     auto it = index.find(name);
     if (it != index.end()) {
@@ -144,7 +156,7 @@ struct TlsShard {
   ~TlsShard() {
     if (shard == nullptr) return;
     RegistryImpl& r = RegistryImpl::get();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     if (r.retired.size() < shard->cells.size()) {
       r.retired.resize(shard->cells.size(), 0);
     }
@@ -163,7 +175,7 @@ thread_local TlsShard t_shard;
 Shard& local_shard() {
   if (t_shard.shard == nullptr) {
     RegistryImpl& r = RegistryImpl::get();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     if (!r.free_shards.empty()) {
       t_shard.shard = r.free_shards.back();
       r.free_shards.pop_back();
@@ -208,7 +220,7 @@ void Counter::add(std::uint64_t n) {
 
 std::uint64_t Counter::value() const {
   RegistryImpl& r = RegistryImpl::get();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   return r.merged_cell_locked(cell_);
 }
 
@@ -239,7 +251,7 @@ void Histogram::observe(std::uint64_t value) {
 
 std::vector<std::uint64_t> Histogram::buckets() const {
   RegistryImpl& r = RegistryImpl::get();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   std::vector<std::uint64_t> out(kHistogramBuckets, 0);
   for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
     out[b] = r.merged_cell_locked(cell_ + b);
@@ -249,7 +261,7 @@ std::vector<std::uint64_t> Histogram::buckets() const {
 
 std::uint64_t Histogram::count() const {
   RegistryImpl& r = RegistryImpl::get();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   std::uint64_t total = 0;
   for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
     total += r.merged_cell_locked(cell_ + b);
@@ -259,7 +271,7 @@ std::uint64_t Histogram::count() const {
 
 std::uint64_t Histogram::sum() const {
   RegistryImpl& r = RegistryImpl::get();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   return r.merged_cell_locked(cell_ + kHistogramBuckets);
 }
 
@@ -269,28 +281,28 @@ const std::string& Histogram::name() const {
 
 Counter& counter(std::string_view name) {
   RegistryImpl& r = RegistryImpl::get();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   const std::size_t id = r.register_locked(name, MetricKind::kCounter);
   return r.counters[r.metas[id].handle];
 }
 
 Gauge& gauge(std::string_view name) {
   RegistryImpl& r = RegistryImpl::get();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   const std::size_t id = r.register_locked(name, MetricKind::kGauge);
   return r.gauges[r.metas[id].handle];
 }
 
 Histogram& histogram(std::string_view name) {
   RegistryImpl& r = RegistryImpl::get();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   const std::size_t id = r.register_locked(name, MetricKind::kHistogram);
   return r.histograms[r.metas[id].handle];
 }
 
 std::vector<MetricValue> snapshot_metrics() {
   RegistryImpl& r = RegistryImpl::get();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   std::vector<MetricValue> out;
   out.reserve(r.metas.size());
   for (const MetricMeta& meta : r.metas) {
@@ -328,7 +340,7 @@ std::vector<MetricValue> snapshot_metrics() {
 
 void reset_metrics() {
   RegistryImpl& r = RegistryImpl::get();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   std::fill(r.retired.begin(), r.retired.end(), 0);
   for (Shard* shard : r.live) {
     std::fill(shard->cells.begin(), shard->cells.end(), 0);

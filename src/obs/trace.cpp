@@ -9,13 +9,14 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <utility>
 #include <vector>
 
 #include "anb/obs/registry.hpp"
 #include "anb/util/error.hpp"
+#include "anb/util/mutex.hpp"
+#include "anb/util/thread_annotations.hpp"
 
 namespace anb::obs {
 
@@ -70,11 +71,15 @@ struct EventBuffer {
 namespace {
 
 struct TraceState {
-  std::mutex mu;
-  std::vector<detail::EventBuffer*> live;
-  std::vector<TraceEvent> retired;  // parents remapped into this vector
-  std::vector<detail::EventBuffer*> free_buffers;
-  std::uint32_t next_tid = 1;
+  Mutex mu;
+  // Buffer *pointers* are guarded; the events inside a live buffer belong
+  // to its owning thread and are only read by others (collect_events)
+  // under mu at quiescence — same discipline as the registry's shards.
+  std::vector<detail::EventBuffer*> live ANB_GUARDED_BY(mu);
+  // Parents remapped into this vector at retirement.
+  std::vector<TraceEvent> retired ANB_GUARDED_BY(mu);
+  std::vector<detail::EventBuffer*> free_buffers ANB_GUARDED_BY(mu);
+  std::uint32_t next_tid ANB_GUARDED_BY(mu) = 1;
   // Plain atomics, deliberately outside the metrics registry: the event
   // cap depends on timing/thread interleaving, and a registry counter for
   // it would break the bit-identical counter contract.
@@ -93,7 +98,7 @@ struct TlsEventBuffer {
   ~TlsEventBuffer() {
     if (buffer == nullptr) return;
     TraceState& t = TraceState::get();
-    std::lock_guard<std::mutex> lock(t.mu);
+    MutexLock lock(t.mu);
     const std::int64_t base = static_cast<std::int64_t>(t.retired.size());
     for (TraceEvent& e : buffer->events) {
       if (e.parent >= 0) e.parent += base;
@@ -112,7 +117,7 @@ thread_local TlsEventBuffer t_events;
 detail::EventBuffer& local_buffer() {
   if (t_events.buffer == nullptr) {
     TraceState& t = TraceState::get();
-    std::lock_guard<std::mutex> lock(t.mu);
+    MutexLock lock(t.mu);
     if (!t.free_buffers.empty()) {
       t_events.buffer = t.free_buffers.back();
       t.free_buffers.pop_back();
@@ -129,7 +134,7 @@ detail::EventBuffer& local_buffer() {
 /// order, parents remapped into the merged vector. Requires quiescence.
 std::vector<TraceEvent> collect_events() {
   TraceState& t = TraceState::get();
-  std::lock_guard<std::mutex> lock(t.mu);
+  MutexLock lock(t.mu);
   std::vector<TraceEvent> out = t.retired;
   for (const detail::EventBuffer* buffer : t.live) {
     const std::int64_t base = static_cast<std::int64_t>(out.size());
@@ -284,7 +289,7 @@ void write_trace(const std::string& path) {
 
 void clear_trace_events() {
   TraceState& t = TraceState::get();
-  std::lock_guard<std::mutex> lock(t.mu);
+  MutexLock lock(t.mu);
   t.retired.clear();
   for (detail::EventBuffer* buffer : t.live) {
     ANB_CHECK(buffer->stack.empty(),
@@ -297,7 +302,7 @@ void clear_trace_events() {
 
 std::size_t trace_event_count() {
   TraceState& t = TraceState::get();
-  std::lock_guard<std::mutex> lock(t.mu);
+  MutexLock lock(t.mu);
   std::size_t n = t.retired.size();
   for (const detail::EventBuffer* buffer : t.live) n += buffer->events.size();
   return n;

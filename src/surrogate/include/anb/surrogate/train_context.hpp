@@ -2,11 +2,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "anb/surrogate/binned_matrix.hpp"
 #include "anb/surrogate/dataset.hpp"
 #include "anb/surrogate/tree.hpp"
+#include "anb/util/mutex.hpp"
+#include "anb/util/thread_annotations.hpp"
 
 namespace anb {
 
@@ -38,9 +39,10 @@ class TrainContext {
 
  private:
   const Dataset* data_;
-  std::mutex mutex_;
-  std::unique_ptr<const ColumnIndex> columns_;
-  std::map<int, std::unique_ptr<const BinnedMatrix>> bins_;
+  Mutex mutex_;
+  std::unique_ptr<const ColumnIndex> columns_ ANB_GUARDED_BY(mutex_);
+  std::map<int, std::unique_ptr<const BinnedMatrix>> bins_
+      ANB_GUARDED_BY(mutex_);
 };
 
 }  // namespace anb

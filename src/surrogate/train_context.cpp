@@ -5,7 +5,7 @@
 namespace anb {
 
 const ColumnIndex& TrainContext::columns() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!columns_) columns_ = std::make_unique<const ColumnIndex>(*data_);
   return *columns_;
 }
@@ -15,7 +15,7 @@ const BinnedMatrix& TrainContext::bins(int max_bins) {
             "TrainContext::bins: max_bins must be in [2, 256]");
   // Built under the lock: a concurrent fit requesting the same setting
   // waits instead of duplicating the (parallel_for-internal) build.
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = bins_.find(max_bins);
   if (it == bins_.end()) {
     it = bins_.emplace(max_bins,

@@ -1,11 +1,12 @@
 #include "anb/util/fault.hpp"
 
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "anb/obs/registry.hpp"
+#include "anb/util/mutex.hpp"
 #include "anb/util/rng.hpp"
+#include "anb/util/thread_annotations.hpp"
 
 namespace anb::fault {
 
@@ -34,9 +35,9 @@ struct SiteState {
 };
 
 struct Registry {
-  std::mutex mu;
+  Mutex mu;
   // std::less<> enables lookups from string_view without a temporary.
-  std::map<std::string, SiteState, std::less<>> sites;
+  std::map<std::string, SiteState, std::less<>> sites ANB_GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -79,7 +80,7 @@ double FireInfo::uniform() const {
 void arm(const std::string& site, const Policy& policy) {
   ANB_CHECK(!site.empty(), "fault::arm: empty site name");
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.sites[site] = SiteState{policy};
   detail::g_armed_count.store(static_cast<int>(r.sites.size()),
                               std::memory_order_relaxed);
@@ -87,7 +88,7 @@ void arm(const std::string& site, const Policy& policy) {
 
 void disarm(const std::string& site) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.sites.erase(site);
   detail::g_armed_count.store(static_cast<int>(r.sites.size()),
                               std::memory_order_relaxed);
@@ -95,20 +96,20 @@ void disarm(const std::string& site) {
 
 void disarm_all() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.sites.clear();
   detail::g_armed_count.store(0, std::memory_order_relaxed);
 }
 
 bool is_armed(const std::string& site) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   return r.sites.count(site) > 0;
 }
 
 std::optional<Policy> armed_policy(const std::string& site) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   const auto it = r.sites.find(site);
   if (it == r.sites.end()) return std::nullopt;
   return it->second.policy;
@@ -116,14 +117,14 @@ std::optional<Policy> armed_policy(const std::string& site) {
 
 std::uint64_t fire_count(const std::string& site) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   const auto it = r.sites.find(site);
   return it == r.sites.end() ? 0 : it->second.fires;
 }
 
 std::uint64_t check_count(const std::string& site) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   const auto it = r.sites.find(site);
   return it == r.sites.end() ? 0 : it->second.checks;
 }
@@ -131,7 +132,7 @@ std::uint64_t check_count(const std::string& site) {
 std::optional<FireInfo> should_fire(std::string_view site, std::uint64_t key) {
   if (!any_armed()) return std::nullopt;
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   const auto it = r.sites.find(site);
   if (it == r.sites.end()) return std::nullopt;
   SiteState& st = it->second;

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <mutex>  // the one sanctioned use; lock-hygiene exempts this file
+
+#include "anb/util/thread_annotations.hpp"
+
+namespace anb {
+
+/// std::mutex wearing Clang's `capability` attribute, so members declared
+/// ANB_GUARDED_BY(mu) are compile-time checked under -Wthread-safety.
+/// Drop-in for std::mutex everywhere in src/ (the lock-hygiene lint pass
+/// enforces the swap): same semantics, same cost, but the analysis can see
+/// it. Header-only so the bottom-of-DAG obs library can use it without
+/// linking anb_util.
+class ANB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ANB_ACQUIRE() { mu_.lock(); }
+  void unlock() ANB_RELEASE() { mu_.unlock(); }
+  bool try_lock() ANB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII critical section over anb::Mutex — the annotated replacement for
+/// std::lock_guard. A `scoped_capability`, so Clang treats the guard's
+/// lifetime as the extent over which the mutex is held.
+class ANB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ANB_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() ANB_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace anb

@@ -1,0 +1,81 @@
+#pragma once
+
+/// Clang thread-safety analysis annotations (the lock-discipline model from
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), spelled with an
+/// ANB_ prefix and compiled to nothing on other compilers. Annotating a
+/// member with ANB_GUARDED_BY(mu) turns "this field is protected by mu" from
+/// a comment into a compile-time proof: any access outside a critical
+/// section is a -Wthread-safety error under Clang (CI builds the whole tree
+/// with -Wthread-safety -Werror).
+///
+/// Use these through anb::Mutex / anb::MutexLock (anb/util/mutex.hpp) —
+/// std::mutex carries no capability attributes, so the analysis cannot see
+/// it (and the lock-hygiene lint pass rejects it in src/).
+///
+/// The macro set mirrors the canonical mutex.h from the Clang docs:
+///
+///   ANB_CAPABILITY(name)      — class is a lockable capability
+///   ANB_SCOPED_CAPABILITY     — RAII class that acquires/releases one
+///   ANB_GUARDED_BY(mu)        — field access requires holding mu
+///   ANB_PT_GUARDED_BY(mu)     — pointee access requires holding mu
+///   ANB_REQUIRES(mu...)       — caller must hold mu (function premise)
+///   ANB_ACQUIRE(mu...)        — function acquires mu, does not release
+///   ANB_RELEASE(mu...)        — function releases mu
+///   ANB_TRY_ACQUIRE(ok, mu)   — acquires mu iff the return value is `ok`
+///   ANB_EXCLUDES(mu...)       — caller must NOT hold mu (anti-deadlock)
+///   ANB_ASSERT_CAPABILITY(mu) — runtime assertion that mu is held
+///   ANB_RETURN_CAPABILITY(mu) — function returns a reference to mu
+///   ANB_NO_THREAD_SAFETY_ANALYSIS — opt a function out (rare; justify)
+
+#if defined(__clang__)
+#define ANB_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define ANB_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+#define ANB_CAPABILITY(x) ANB_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define ANB_SCOPED_CAPABILITY ANB_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define ANB_GUARDED_BY(x) ANB_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define ANB_PT_GUARDED_BY(x) ANB_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define ANB_ACQUIRED_BEFORE(...) \
+  ANB_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define ANB_ACQUIRED_AFTER(...) \
+  ANB_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define ANB_REQUIRES(...) \
+  ANB_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define ANB_REQUIRES_SHARED(...) \
+  ANB_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define ANB_ACQUIRE(...) \
+  ANB_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define ANB_ACQUIRE_SHARED(...) \
+  ANB_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define ANB_RELEASE(...) \
+  ANB_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define ANB_RELEASE_SHARED(...) \
+  ANB_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define ANB_TRY_ACQUIRE(...) \
+  ANB_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define ANB_EXCLUDES(...) \
+  ANB_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define ANB_ASSERT_CAPABILITY(x) \
+  ANB_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define ANB_RETURN_CAPABILITY(x) \
+  ANB_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define ANB_NO_THREAD_SAFETY_ANALYSIS \
+  ANB_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -3,7 +3,6 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -11,10 +10,31 @@
 #include "anb/obs/span.hpp"
 #include "anb/util/error.hpp"
 #include "anb/util/fault.hpp"
+#include "anb/util/mutex.hpp"
+#include "anb/util/thread_annotations.hpp"
 
 namespace anb {
 
 namespace {
+
+/// First exception thrown by any worker, captured under its own mutex so
+/// the rethrow on the calling thread is race-free (and provable so: the
+/// slot is ANB_GUARDED_BY the mutex).
+struct ErrorSlot {
+  Mutex mu;
+  std::exception_ptr first ANB_GUARDED_BY(mu);
+
+  void capture(std::exception_ptr error) {
+    MutexLock lock(mu);
+    if (!first) first = std::move(error);
+  }
+
+  /// Safe after all workers joined (the join is the happens-before edge).
+  void rethrow_if_set() {
+    MutexLock lock(mu);
+    if (first) std::rethrow_exception(first);
+  }
+};
 
 /// ANB_NUM_THREADS, parsed once; 0 when unset/invalid.
 unsigned env_num_threads() {
@@ -70,8 +90,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   }
 
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  ErrorSlot error;
 
   auto worker = [&] {
     // Per-worker busy time: one span covering the worker's whole drain of
@@ -85,8 +104,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
           fault::maybe_throw(kParallelForWorkerFaultSite, i);
         body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        error.capture(std::current_exception());
         // Drain remaining work quickly after a failure.
         next.store(n, std::memory_order_relaxed);
         return;
@@ -98,7 +116,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   threads.reserve(num_threads);
   for (unsigned t = 0; t < num_threads; ++t) threads.emplace_back(worker);
   for (auto& thread : threads) thread.join();
-  if (first_error) std::rethrow_exception(first_error);
+  error.rethrow_if_set();
 }
 
 void parallel_for_chunks(

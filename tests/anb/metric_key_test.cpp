@@ -1,0 +1,44 @@
+// MetricKey coverage: the (device, metric) value type is the single
+// currency for naming perf targets, so its string round-trip, ordering,
+// and hashing contracts each get pinned here.
+#include "anb/anb/benchmark.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "anb/util/error.hpp"
+
+namespace anb {
+namespace {
+
+TEST(MetricKeyTest, RoundTripsThroughDatasetName) {
+  const MetricKey key{DeviceKind::kVck190, PerfMetric::kLatency};
+  EXPECT_EQ(key.to_string(), "ANB-VCK-Lat");
+  EXPECT_EQ(MetricKey::parse("ANB-VCK-Lat"), key);
+  EXPECT_EQ(dataset_name(key), key.to_string());
+  for (DeviceKind device :
+       {DeviceKind::kTpuV2, DeviceKind::kTpuV3, DeviceKind::kA100,
+        DeviceKind::kRtx3090, DeviceKind::kZcu102, DeviceKind::kVck190}) {
+    for (PerfMetric metric : {PerfMetric::kThroughput, PerfMetric::kLatency,
+                              PerfMetric::kEnergy}) {
+      const MetricKey k{device, metric};
+      EXPECT_EQ(MetricKey::parse(k.to_string()), k);
+    }
+  }
+  EXPECT_THROW(MetricKey::parse("ZCU-Thr"), Error);
+  EXPECT_THROW(MetricKey::parse("ANB-Nope-Thr"), Error);
+}
+
+TEST(MetricKeyTest, OrderedAndHashable) {
+  const MetricKey a{DeviceKind::kTpuV2, PerfMetric::kThroughput};
+  const MetricKey b{DeviceKind::kTpuV2, PerfMetric::kLatency};
+  const MetricKey c{DeviceKind::kA100, PerfMetric::kThroughput};
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_TRUE(a < c || c < a);
+  std::unordered_set<MetricKey> set{a, b, c, a};
+  EXPECT_EQ(set.size(), 3u);
+}
+
+}  // namespace
+}  // namespace anb

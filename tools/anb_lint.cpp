@@ -1,393 +1,116 @@
-// anb_lint — repo-specific invariant linter.
+// anb_lint — repo-specific invariant linter, driver.
 //
 // Generic tools (clang-tidy, compiler warnings) cannot see this repo's
-// contracts: determinism of everything downstream of anb::Rng, the single
-// exception type anb::Error, assertion coverage at public API boundaries,
-// and header hygiene. This tool walks the source tree and enforces them.
+// contracts: determinism of everything downstream of anb::Rng, the
+// single exception type anb::Error, the thread-safety-annotation lock
+// discipline, layering of the src/ DAG, and header hygiene. The passes
+// that enforce them live in tools/lint/ (see tools/lint/include/
+// anb_lint/pass.hpp); this binary just loads the tree and runs them.
 // It builds as part of the normal build and runs as a ctest
-// (`ctest -R anb_lint`), so violations fail CI the same way a broken unit
-// test does.
+// (`ctest -R anb_lint`), so violations fail CI the same way a broken
+// unit test does.
 //
-// Usage: anb_lint <repo-root>
+// Usage: anb_lint [--json] [--pass <name>] [--list-passes] <repo-root>
 //
-// Waivers: a source line containing `anb-lint: allow(<check>)` in a comment
-// suppresses that check for that line. A line containing
-// `anb-lint-file: allow(<check>)` anywhere in a file suppresses the check
-// for the whole file. Waivers are meant to be rare and greppable.
+//   --json         print findings as a JSON array on stdout
+//   --pass <name>  run one pass instead of all of them
+//   --list-passes  print registered pass names and summaries, then exit
+//
+// Suppressions: a comment containing `ANB_LINT_ALLOW(<pass>)` on the
+// finding's line suppresses that pass for that line; a comment
+// containing `ANB_LINT_ALLOW_FILE(<pass>)` anywhere in a file
+// suppresses the pass for the whole file. Suppressions are meant to be
+// rare and greppable.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage error.
 
 #include <cstdio>
+#include <exception>
 #include <filesystem>
-#include <fstream>
-#include <optional>
 #include <string>
 #include <string_view>
-#include <vector>
+
+#include "anb_lint/pass.hpp"
+#include "anb_lint/tree.hpp"
 
 namespace fs = std::filesystem;
 
 namespace {
 
-struct Finding {
-  std::string path;   // repo-relative
-  std::size_t line;   // 1-based; 0 = whole file
-  std::string check;
-  std::string message;
-};
-
-struct SourceFile {
-  std::string rel_path;
-  std::vector<std::string> lines;       // raw text
-  std::vector<std::string> code_lines;  // comments and string literals blanked
-  bool is_header = false;
-  bool in_src = false;    // library code under src/
-  bool in_tests = false;  // under tests/
-};
-
-/// Replace the contents of string literals, char literals, // comments, and
-/// /* */ comments with spaces so the pattern checks only see code. Keeps
-/// line structure intact (one output line per input line).
-std::vector<std::string> strip_non_code(const std::vector<std::string>& lines) {
-  std::vector<std::string> out;
-  out.reserve(lines.size());
-  bool in_block_comment = false;
-  for (const std::string& line : lines) {
-    std::string code(line.size(), ' ');
-    bool in_string = false;
-    bool in_char = false;
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      const char c = line[i];
-      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-      if (in_block_comment) {
-        if (c == '*' && next == '/') {
-          in_block_comment = false;
-          ++i;
-        }
-        continue;
-      }
-      if (in_string) {
-        if (c == '\\') {
-          ++i;
-        } else if (c == '"') {
-          in_string = false;
-        }
-        continue;
-      }
-      if (in_char) {
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          in_char = false;
-        }
-        continue;
-      }
-      if (c == '/' && next == '/') break;  // rest of line is a comment
-      if (c == '/' && next == '*') {
-        in_block_comment = true;
-        ++i;
-        continue;
-      }
-      if (c == '"') {
-        in_string = true;
-        code[i] = c;  // keep the delimiter so includes still parse
-        continue;
-      }
-      // Only treat ' as a char literal opener when it cannot be a digit
-      // separator (C++14 1'000'000) or part of an identifier.
-      if (c == '\'') {
-        const char prev = i > 0 ? line[i - 1] : '\0';
-        const bool sep = (std::isalnum(static_cast<unsigned char>(prev)) != 0);
-        if (!sep) {
-          in_char = true;
-          continue;
-        }
-      }
-      code[i] = c;
-    }
-    out.push_back(std::move(code));
-  }
-  return out;
+int usage() {
+  std::fprintf(stderr,
+               "usage: anb_lint [--json] [--pass <name>] [--list-passes] "
+               "<repo-root>\n");
+  return 2;
 }
 
-bool line_waives(const std::string& raw_line, std::string_view check) {
-  const std::string tag = "anb-lint: allow(" + std::string(check) + ")";
-  return raw_line.find(tag) != std::string::npos;
+void print_findings(const std::vector<anb::lint::Finding>& findings,
+                    std::size_t files_scanned, std::size_t suppressed) {
+  for (const anb::lint::Finding& finding : findings) {
+    if (finding.line > 0) {
+      std::fprintf(stderr, "%s:%zu: [%s] %s\n", finding.path.c_str(),
+                   finding.line, finding.pass.c_str(),
+                   finding.message.c_str());
+    } else {
+      std::fprintf(stderr, "%s: [%s] %s\n", finding.path.c_str(),
+                   finding.pass.c_str(), finding.message.c_str());
+    }
+  }
+  std::fprintf(stderr,
+               "anb_lint: %zu file(s) scanned, %zu finding(s), %zu "
+               "suppressed\n",
+               files_scanned, findings.size(), suppressed);
 }
-
-bool file_waives(const SourceFile& f, std::string_view check) {
-  const std::string tag = "anb-lint-file: allow(" + std::string(check) + ")";
-  for (const std::string& line : f.lines) {
-    if (line.find(tag) != std::string::npos) return true;
-  }
-  return false;
-}
-
-class Linter {
- public:
-  explicit Linter(fs::path root) : root_(std::move(root)) {}
-
-  bool run() {
-    collect_files();
-    for (const SourceFile& f : files_) {
-      check_forbidden_randomness(f);
-      check_throw_discipline(f);
-      check_pragma_once(f);
-      check_header_self_containment(f);
-      check_no_using_namespace_in_headers(f);
-      check_no_endl(f);
-      check_raw_timing(f);
-      check_assertion_coverage(f);
-    }
-    report();
-    return findings_.empty();
-  }
-
- private:
-  void collect_files() {
-    static const char* kDirs[] = {"src", "tests", "bench", "examples",
-                                  "tools"};
-    for (const char* dir : kDirs) {
-      const fs::path base = root_ / dir;
-      if (!fs::exists(base)) continue;
-      for (const auto& entry : fs::recursive_directory_iterator(base)) {
-        if (!entry.is_regular_file()) continue;
-        const std::string ext = entry.path().extension().string();
-        if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
-        SourceFile f;
-        f.rel_path = fs::relative(entry.path(), root_).generic_string();
-        f.is_header = (ext != ".cpp");
-        f.in_src = f.rel_path.rfind("src/", 0) == 0;
-        f.in_tests = f.rel_path.rfind("tests/", 0) == 0;
-        std::ifstream in(entry.path());
-        std::string line;
-        while (std::getline(in, line)) f.lines.push_back(line);
-        f.code_lines = strip_non_code(f.lines);
-        files_.push_back(std::move(f));
-      }
-    }
-  }
-
-  void add(const SourceFile& f, std::size_t line_no, std::string check,
-           std::string message) {
-    if (line_no > 0 && line_waives(f.lines[line_no - 1], check)) return;
-    if (file_waives(f, check)) return;
-    findings_.push_back(
-        {f.rel_path, line_no, std::move(check), std::move(message)});
-  }
-
-  /// Everything in this repo must derive randomness from anb::Rng seeds so
-  /// that results are bit-reproducible. Wall-clock seeding and the global C
-  /// RNG break that contract; std::random_device breaks it silently.
-  void check_forbidden_randomness(const SourceFile& f) {
-    if (f.rel_path == "tools/anb_lint.cpp") return;  // self: patterns below
-    static const struct {
-      const char* pattern;
-      const char* why;
-    } kBanned[] = {
-        {"std::rand", "use anb::Rng (determinism contract)"},
-        {"std::srand", "use anb::Rng (determinism contract)"},
-        {"std::random_device",
-         "nondeterministic seed source; use anb::Rng with an explicit seed"},
-        {"random_device",
-         "nondeterministic seed source; use anb::Rng with an explicit seed"},
-        {"time(nullptr)", "wall-clock seeding breaks reproducibility"},
-        {"time(NULL)", "wall-clock seeding breaks reproducibility"},
-    };
-    for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
-      for (const auto& ban : kBanned) {
-        if (f.code_lines[i].find(ban.pattern) != std::string::npos) {
-          add(f, i + 1, "forbidden-randomness",
-              std::string(ban.pattern) + ": " + ban.why);
-          break;  // one finding per line is enough
-        }
-      }
-    }
-  }
-
-  /// Library code throws anb::Error (usually via ANB_CHECK / ANB_ASSERT),
-  /// never raw std exceptions — callers catch one type and error messages
-  /// uniformly carry file:line.
-  void check_throw_discipline(const SourceFile& f) {
-    if (!f.in_src) return;
-    if (f.rel_path == "src/util/include/anb/util/error.hpp") return;
-    for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
-      const std::string& code = f.code_lines[i];
-      if (code.find("throw std::") != std::string::npos) {
-        add(f, i + 1, "throw-discipline",
-            "library code must throw anb::Error (use ANB_CHECK/ANB_ASSERT)");
-      }
-    }
-  }
-
-  void check_pragma_once(const SourceFile& f) {
-    if (!f.is_header) return;
-    for (std::size_t i = 0; i < f.lines.size(); ++i) {
-      // First line that is neither blank nor comment must be #pragma once.
-      const std::string& code = f.code_lines[i];
-      const bool blank = code.find_first_not_of(" \t") == std::string::npos;
-      if (blank) continue;
-      if (f.lines[i].rfind("#pragma once", 0) != 0) {
-        add(f, i + 1, "pragma-once",
-            "headers must start with #pragma once");
-      }
-      return;
-    }
-    add(f, 0, "pragma-once", "empty header (missing #pragma once)");
-  }
-
-  /// Include-what-you-use basics: a library header that names a common std
-  /// vocabulary type must include its header itself instead of relying on
-  /// transitive includes. Keeps public headers self-contained.
-  void check_header_self_containment(const SourceFile& f) {
-    if (!f.is_header || !f.in_src) return;
-    static const struct {
-      const char* symbol;
-      const char* header;
-    } kNeeds[] = {
-        {"std::vector", "<vector>"},       {"std::string", "<string>"},
-        {"std::unordered_map", "<unordered_map>"},
-        {"std::map", "<map>"},             {"std::optional", "<optional>"},
-        {"std::function", "<functional>"}, {"std::unique_ptr", "<memory>"},
-        {"std::shared_ptr", "<memory>"},   {"std::array", "<array>"},
-        {"std::span", "<span>"},           {"std::mutex", "<mutex>"},
-        {"std::thread", "<thread>"},       {"std::size_t", "<cstddef>"},
-        {"std::uint64_t", "<cstdint>"},    {"std::int64_t", "<cstdint>"},
-        {"std::uint32_t", "<cstdint>"},    {"std::ostream", "<iosfwd>"},
-    };
-    std::string all_includes;
-    for (std::size_t i = 0; i < f.lines.size(); ++i) {
-      if (f.lines[i].rfind("#include", 0) == 0) {
-        all_includes += f.lines[i];
-        all_includes += '\n';
-      }
-    }
-    for (const auto& need : kNeeds) {
-      bool used = false;
-      std::size_t first_use = 0;
-      for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
-        if (f.code_lines[i].find(need.symbol) != std::string::npos) {
-          used = true;
-          first_use = i + 1;
-          break;
-        }
-      }
-      if (!used) continue;
-      bool satisfied = all_includes.find(need.header) != std::string::npos;
-      // <iosfwd> needs are also satisfied by the full <ostream>/<sstream>.
-      if (!satisfied && std::string_view(need.header) == "<iosfwd>") {
-        satisfied = all_includes.find("<ostream>") != std::string::npos ||
-                    all_includes.find("<sstream>") != std::string::npos ||
-                    all_includes.find("<iostream>") != std::string::npos;
-      }
-      // <cstddef>/<cstdint> are also provided by <cstdio>/<cstdlib> in
-      // practice, but we require the precise header for self-containment.
-      if (!satisfied) {
-        add(f, first_use, "iwyu-basics",
-            std::string(need.symbol) + " used but " + need.header +
-                " not included directly");
-      }
-    }
-  }
-
-  void check_no_using_namespace_in_headers(const SourceFile& f) {
-    if (!f.is_header) return;
-    for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
-      if (f.code_lines[i].find("using namespace") != std::string::npos) {
-        add(f, i + 1, "using-namespace-header",
-            "headers must not contain using-directives");
-      }
-    }
-  }
-
-  /// std::endl in library code forces a flush per line; hot CSV/table
-  /// export paths have been bitten by this before. Use '\n'.
-  void check_no_endl(const SourceFile& f) {
-    if (!f.in_src) return;
-    for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
-      if (f.code_lines[i].find("std::endl") != std::string::npos) {
-        add(f, i + 1, "no-endl", "use '\\n' instead of std::endl");
-      }
-    }
-  }
-
-  /// Timing belongs to the observability layer: library and test code must
-  /// measure durations through obs::Span / ANB_SPAN so that spans nest, are
-  /// toggled by one switch, and export through one sink. Raw clock reads
-  /// are allowed only in src/obs (the layer itself) and bench/ (harnesses
-  /// that time phases the span tree does not model).
-  void check_raw_timing(const SourceFile& f) {
-    if (f.rel_path == "tools/anb_lint.cpp") return;  // self: patterns below
-    if (f.rel_path.rfind("src/obs/", 0) == 0) return;
-    if (f.rel_path.rfind("bench/", 0) == 0) return;
-    static const char* kClocks[] = {
-        "steady_clock::now",
-        "high_resolution_clock::now",
-        "system_clock::now",
-    };
-    for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
-      for (const char* clock : kClocks) {
-        if (f.code_lines[i].find(clock) != std::string::npos) {
-          add(f, i + 1, "raw-timing",
-              std::string(clock) +
-                  ": time through obs::Span/ANB_SPAN (src/obs) instead of "
-                  "raw clock reads");
-          break;
-        }
-      }
-    }
-  }
-
-  /// Public API boundaries validate their inputs. Proxy: every
-  /// non-trivial library translation unit must contain at least one
-  /// ANB_CHECK or ANB_ASSERT. Trivial TUs (< kMinLines lines of code)
-  /// are exempt, as are files carrying an explicit file-level waiver.
-  void check_assertion_coverage(const SourceFile& f) {
-    static constexpr std::size_t kMinLines = 120;
-    if (f.is_header || !f.in_src) return;
-    if (f.lines.size() < kMinLines) return;
-    for (const std::string& code : f.code_lines) {
-      if (code.find("ANB_CHECK") != std::string::npos ||
-          code.find("ANB_ASSERT") != std::string::npos) {
-        return;
-      }
-    }
-    add(f, 0, "assert-coverage",
-        "no ANB_CHECK/ANB_ASSERT in a non-trivial library TU; validate "
-        "public-API inputs or waive with anb-lint-file: allow(...)");
-  }
-
-  void report() const {
-    for (const Finding& finding : findings_) {
-      if (finding.line > 0) {
-        std::fprintf(stderr, "%s:%zu: [%s] %s\n", finding.path.c_str(),
-                     finding.line, finding.check.c_str(),
-                     finding.message.c_str());
-      } else {
-        std::fprintf(stderr, "%s: [%s] %s\n", finding.path.c_str(),
-                     finding.check.c_str(), finding.message.c_str());
-      }
-    }
-    std::fprintf(stderr, "anb_lint: %zu file(s) scanned, %zu finding(s)\n",
-                 files_.size(), findings_.size());
-  }
-
-  fs::path root_;
-  std::vector<SourceFile> files_;
-  std::vector<Finding> findings_;
-};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: anb_lint <repo-root>\n");
-    return 2;
+  bool json = false;
+  std::string pass_name;
+  std::string root_arg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-passes") {
+      for (const auto& pass : anb::lint::passes()) {
+        std::fprintf(stdout, "%-26s %s\n", std::string(pass->name()).c_str(),
+                     std::string(pass->summary()).c_str());
+      }
+      return 0;
+    } else if (arg == "--pass") {
+      if (i + 1 >= argc) return usage();
+      pass_name = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (root_arg.empty()) {
+      root_arg = arg;
+    } else {
+      return usage();
+    }
   }
-  const fs::path root(argv[1]);
+  if (root_arg.empty()) return usage();
+
+  const fs::path root(root_arg);
   if (!fs::exists(root / "src")) {
     std::fprintf(stderr, "anb_lint: %s does not look like the repo root\n",
-                 argv[1]);
+                 root_arg.c_str());
     return 2;
   }
-  Linter linter(root);
-  return linter.run() ? 0 : 1;
+
+  try {
+    const anb::lint::Tree tree = anb::lint::Tree::from_disk(root);
+    const anb::lint::RunResult result =
+        pass_name.empty() ? anb::lint::run_all(tree)
+                          : anb::lint::run_pass(tree, pass_name);
+    if (json) {
+      const std::string out = anb::lint::to_json(result.findings);
+      std::fwrite(out.data(), 1, out.size(), stdout);
+    }
+    print_findings(result.findings, result.files_scanned, result.suppressed);
+    return result.findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 }

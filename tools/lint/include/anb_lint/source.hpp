@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// anb_lint source model: a lexed view of one translation unit.
+//
+// The old linter pattern-matched raw text with comments and string
+// literals blanked line-by-line; that broke on raw strings, backslash
+// line continuations, and anything token-shaped hiding in a literal.
+// This lexer produces three aligned views of a file:
+//
+//   lines       — the raw text, one entry per physical line (used for
+//                 suppression comments and reporting),
+//   code_lines  — the raw text with comments, string/char literal
+//                 *contents*, and raw strings blanked to spaces, with
+//                 line structure preserved (legacy substring checks),
+//   tokens      — a flat token stream over code_lines (identifier /
+//                 number / punctuation / string), each carrying its
+//                 1-based line, for the structural passes.
+//
+// Includes are parsed separately from the raw lines so the include
+// graph sees targets verbatim.
+
+namespace anb::lint {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kPunct,
+  kString,  // a (scrubbed) string literal; text is empty
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t line;  // 1-based physical line
+};
+
+struct Include {
+  std::size_t line;    // 1-based
+  std::string target;  // e.g. "anb/util/rng.hpp" or "vector"
+  bool angled;         // <...> vs "..."
+};
+
+struct SourceFile {
+  std::string rel_path;  // repo-relative, forward slashes
+  std::vector<std::string> lines;
+  std::vector<std::string> code_lines;
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  bool is_header = false;
+  bool in_src = false;
+  bool in_tests = false;
+  std::string layer;  // "util" for src/util/...; empty outside src/
+};
+
+/// Split text into physical lines ('\n' separators; a trailing newline
+/// does not produce an extra empty line).
+std::vector<std::string> split_lines(std::string_view text);
+
+/// Blank comments, string/char literal contents, and raw strings to
+/// spaces, preserving line structure. Handles /* */ across lines,
+/// R"delim(...)delim" across lines (with encoding prefixes u8/u/U/L),
+/// backslash continuations of // comments, escapes inside literals, and
+/// digit separators (1'000'000 does not open a char literal).
+std::vector<std::string> scrub(const std::vector<std::string>& lines);
+
+/// Lex scrubbed lines into a flat token stream. Multi-character
+/// operators (::, <<, >>, +=, -=, ->, ...) come out as single tokens;
+/// note that >> closing nested templates is one token.
+std::vector<Token> tokenize(const std::vector<std::string>& code_lines);
+
+/// Parse #include directives. Targets are read from the raw lines (the
+/// scrubber blanks quoted targets like any string literal), but a
+/// directive only counts when the scrubbed line still starts with '#',
+/// so commented-out includes are ignored.
+std::vector<Include> parse_includes(const std::vector<std::string>& lines,
+                                    const std::vector<std::string>& code_lines);
+
+/// Build the full lexed view for one file.
+SourceFile make_source_file(std::string rel_path, std::string_view content);
+
+}  // namespace anb::lint

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "anb_lint/source.hpp"
+
+// The Tree is the unit a lint run operates on: every lexed source file
+// plus the indexes the whole-tree passes need (path lookup, quoted
+// include resolution). Tests build Trees from in-memory fixtures;
+// the anb_lint driver builds one from the repo on disk.
+
+namespace anb::lint {
+
+struct FileSpec {
+  std::string rel_path;
+  std::string content;
+};
+
+class Tree {
+ public:
+  /// Build from in-memory fixtures (used by lint_test).
+  static Tree from_specs(const std::vector<FileSpec>& specs);
+
+  /// Scan src/, tests/, bench/, examples/, tools/ under the repo root
+  /// for .cpp/.hpp/.h files. Files are ordered by path so runs are
+  /// deterministic regardless of directory enumeration order.
+  static Tree from_disk(const std::filesystem::path& root);
+
+  const std::vector<SourceFile>& files() const { return files_; }
+
+  const SourceFile* find(std::string_view rel_path) const;
+
+  /// Resolve a quoted include target ("anb/util/rng.hpp") to the header
+  /// that provides it, i.e. the tree file whose path ends with
+  /// "include/<target>". Returns nullptr for system or out-of-tree
+  /// includes.
+  const SourceFile* resolve_include(std::string_view target) const;
+
+ private:
+  void index();
+
+  std::vector<SourceFile> files_;
+  std::map<std::string, std::size_t, std::less<>> by_rel_;
+  std::map<std::string, std::size_t, std::less<>> by_target_;
+};
+
+}  // namespace anb::lint

@@ -1,0 +1,322 @@
+// Determinism passes: the repo's core contract is that every result is
+// bit-reproducible from explicit seeds. forbidden-randomness and
+// raw-timing are ports from the original linter; deterministic-iteration
+// and float-reduction are new token-level passes that catch the two
+// nondeterminism sources the old substring scanner could not see —
+// unordered-container iteration order leaking into order-sensitive
+// sinks, and floating-point accumulation whose grouping depends on
+// thread interleaving.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "anb_lint/passes.hpp"
+
+namespace anb::lint {
+
+namespace {
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+/// Matches tokens[i..] against the identifier/punct sequence in `parts`.
+bool match_seq(const std::vector<Token>& tokens, std::size_t i,
+               std::initializer_list<const char*> parts) {
+  if (i + parts.size() > tokens.size()) return false;
+  std::size_t k = i;
+  for (const char* part : parts) {
+    if (tokens[k].text != part) return false;
+    ++k;
+  }
+  return true;
+}
+
+class ForbiddenRandomnessPass final : public FilePass {
+ public:
+  std::string_view name() const override { return "forbidden-randomness"; }
+  std::string_view summary() const override {
+    return "all randomness must flow through seeded anb::Rng";
+  }
+
+ private:
+  void check(const SourceFile& f, Diagnostics& diag) const override {
+    const std::vector<Token>& t = f.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (match_seq(t, i, {"std", "::", "rand"}) ||
+          match_seq(t, i, {"std", "::", "srand"})) {
+        diag.report(f, t[i].line,
+                    "std::" + t[i + 2].text +
+                        ": use anb::Rng (determinism contract)");
+      } else if (is_ident(t[i], "random_device")) {
+        diag.report(f, t[i].line,
+                    "random_device: nondeterministic seed source; use "
+                    "anb::Rng with an explicit seed");
+      } else if (match_seq(t, i, {"time", "(", "nullptr", ")"}) ||
+                 match_seq(t, i, {"time", "(", "NULL", ")"})) {
+        diag.report(f, t[i].line,
+                    "wall-clock seeding breaks reproducibility");
+      }
+    }
+  }
+};
+
+/// Timing belongs to the observability layer: library and test code must
+/// measure durations through obs::Span / ANB_SPAN so that spans nest, are
+/// toggled by one switch, and export through one sink. Raw clock reads
+/// are allowed only in src/obs (the layer itself) and bench/ (harnesses
+/// that time phases the span tree does not model).
+class RawTimingPass final : public FilePass {
+ public:
+  std::string_view name() const override { return "raw-timing"; }
+  std::string_view summary() const override {
+    return "time through obs::Span/ANB_SPAN, not raw clock reads";
+  }
+
+ private:
+  void check(const SourceFile& f, Diagnostics& diag) const override {
+    if (f.rel_path.rfind("src/obs/", 0) == 0) return;
+    if (f.rel_path.rfind("bench/", 0) == 0) return;
+    static const char* kClocks[] = {"steady_clock", "high_resolution_clock",
+                                    "system_clock"};
+    const std::vector<Token>& t = f.tokens;
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      for (const char* clock : kClocks) {
+        if (is_ident(t[i], clock) && t[i + 1].text == "::" &&
+            is_ident(t[i + 2], "now")) {
+          diag.report(f, t[i].line,
+                      std::string(clock) +
+                          "::now: time through obs::Span/ANB_SPAN (src/obs) "
+                          "instead of raw clock reads");
+        }
+      }
+    }
+  }
+};
+
+bool is_unordered_type(std::string_view text) {
+  return text == "unordered_map" || text == "unordered_set" ||
+         text == "unordered_multimap" || text == "unordered_multiset";
+}
+
+/// Names declared in this file with an unordered-container type: the
+/// identifier that follows the closing > of an unordered_* template id.
+/// (Function names returning unordered containers count too — iterating
+/// such a return value is just as order-unstable.)
+std::set<std::string> collect_unordered_names(const std::vector<Token>& t) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t[i], "unordered_map") && !is_unordered_type(t[i].text)) {
+      continue;
+    }
+    // Skip to the template argument list and balance it. `>>` closes two
+    // levels at once.
+    std::size_t j = i + 1;
+    if (j >= t.size() || t[j].text != "<") continue;
+    int depth = 0;
+    for (; j < t.size(); ++j) {
+      if (t[j].text == "<") depth += 1;
+      if (t[j].text == ">") depth -= 1;
+      if (t[j].text == ">>") depth -= 2;
+      if (depth <= 0) break;
+    }
+    // The next identifier (skipping &, *, const) is the declared name.
+    for (std::size_t k = j + 1; k < t.size() && k < j + 4; ++k) {
+      if (t[k].kind == TokenKind::kIdentifier && t[k].text != "const") {
+        names.insert(t[k].text);
+        break;
+      }
+      if (t[k].text != "&" && t[k].text != "*" && t[k].text != "const") break;
+    }
+  }
+  return names;
+}
+
+/// Range-for over an unordered container whose body feeds an
+/// order-sensitive sink (stream insertion, scalar accumulation,
+/// appends, seeding). The sanctioned collect-then-sort idiom stays
+/// clean: an append-only body followed shortly by a sort() is skipped.
+class DeterministicIterationPass final : public FilePass {
+ public:
+  std::string_view name() const override { return "deterministic-iteration"; }
+  std::string_view summary() const override {
+    return "no order-sensitive iteration over unordered containers";
+  }
+
+ private:
+  void check(const SourceFile& f, Diagnostics& diag) const override {
+    if (!f.in_src && f.rel_path.rfind("tools/", 0) != 0) return;
+    const std::vector<Token>& t = f.tokens;
+    const std::set<std::string> unordered_names = collect_unordered_names(t);
+
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (!is_ident(t[i], "for") || t[i + 1].text != "(") continue;
+      // Find the range-for ':' at parenthesis depth 1 and the closing ')'.
+      int depth = 0;
+      std::size_t colon = 0, close = 0;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (t[j].text == "(") depth += 1;
+        if (t[j].text == ")") {
+          depth -= 1;
+          if (depth == 0) {
+            close = j;
+            break;
+          }
+        }
+        if (t[j].text == ":" && depth == 1 && colon == 0) colon = j;
+      }
+      if (colon == 0 || close == 0) continue;  // classic for, or unclosed
+      // Is the range expression an unordered container?
+      bool unordered = false;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (is_unordered_type(t[j].text) ||
+            (t[j].kind == TokenKind::kIdentifier &&
+             unordered_names.count(t[j].text) > 0)) {
+          unordered = true;
+          break;
+        }
+      }
+      if (!unordered) continue;
+      // Body extent: a braced block or a single statement.
+      std::size_t body_begin = close + 1, body_end = body_begin;
+      if (body_begin < t.size() && t[body_begin].text == "{") {
+        int braces = 0;
+        for (std::size_t j = body_begin; j < t.size(); ++j) {
+          if (t[j].text == "{") braces += 1;
+          if (t[j].text == "}") {
+            braces -= 1;
+            if (braces == 0) {
+              body_end = j;
+              break;
+            }
+          }
+        }
+      } else {
+        while (body_end < t.size() && t[body_end].text != ";") ++body_end;
+      }
+      if (!has_order_sensitive_sink(t, body_begin, body_end)) continue;
+      // Collect-then-sort is the sanctioned idiom: an explicit sort right
+      // after the loop restores a deterministic order.
+      if (sorted_soon_after(t, body_end)) continue;
+      diag.report(f, t[i].line,
+                  "iteration over an unordered container feeds an "
+                  "order-sensitive sink; iterate a sorted copy or an "
+                  "ordered container");
+    }
+  }
+
+  static bool has_order_sensitive_sink(const std::vector<Token>& t,
+                                       std::size_t begin, std::size_t end) {
+    for (std::size_t j = begin; j < end && j < t.size(); ++j) {
+      const std::string& text = t[j].text;
+      if (text == "<<" || text == "+=" || text == "-=") return true;
+      if (t[j].kind != TokenKind::kIdentifier) continue;
+      if (text == "push_back" || text == "emplace_back" || text == "append" ||
+          text == "seed" || text == "Rng" || text == "hash_combine") {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static bool sorted_soon_after(const std::vector<Token>& t,
+                                std::size_t body_end) {
+    static constexpr std::size_t kWindow = 24;
+    for (std::size_t j = body_end; j < t.size() && j < body_end + kWindow;
+         ++j) {
+      if (is_ident(t[j], "sort") || is_ident(t[j], "stable_sort")) return true;
+    }
+    return false;
+  }
+};
+
+/// Floating-point reductions whose grouping depends on thread timing:
+/// std::atomic<double/float> anywhere, and scalar += / -= on a float
+/// declared outside a parallel_for extent from inside it. Deterministic
+/// alternatives: per-item slots merged serially, or thread-local shards
+/// merged in a fixed order (the obs registry pattern).
+class FloatReductionPass final : public FilePass {
+ public:
+  std::string_view name() const override { return "float-reduction"; }
+  std::string_view summary() const override {
+    return "no unordered parallel floating-point accumulation";
+  }
+
+ private:
+  void check(const SourceFile& f, Diagnostics& diag) const override {
+    if (!f.in_src) return;
+    const std::vector<Token>& t = f.tokens;
+
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      if (is_ident(t[i], "atomic") && t[i + 1].text == "<" &&
+          (is_ident(t[i + 2], "double") || is_ident(t[i + 2], "float"))) {
+        diag.report(f, t[i].line,
+                    "std::atomic<" + t[i + 2].text +
+                        ">: accumulation order is scheduling-dependent; "
+                        "use per-item slots merged serially");
+      }
+    }
+
+    // Token indices where a float scalar named X is declared.
+    std::map<std::string, std::vector<std::size_t>> float_decls;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if ((is_ident(t[i], "double") || is_ident(t[i], "float")) &&
+          t[i + 1].kind == TokenKind::kIdentifier) {
+        float_decls[t[i + 1].text].push_back(i + 1);
+      }
+    }
+
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (!is_ident(t[i], "parallel_for") &&
+          !is_ident(t[i], "parallel_for_chunks")) {
+        continue;
+      }
+      if (t[i + 1].text != "(") continue;
+      int depth = 0;
+      std::size_t close = i + 1;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (t[j].text == "(") depth += 1;
+        if (t[j].text == ")") {
+          depth -= 1;
+          if (depth == 0) {
+            close = j;
+            break;
+          }
+        }
+      }
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (t[j + 1].text != "+=" && t[j + 1].text != "-=") continue;
+        if (t[j].kind != TokenKind::kIdentifier) continue;
+        const auto decls = float_decls.find(t[j].text);
+        if (decls == float_decls.end()) continue;
+        // Outer-declared (before the call) and not shadowed inside it.
+        bool outer = false, shadowed = false;
+        for (const std::size_t d : decls->second) {
+          if (d < i) outer = true;
+          if (d > i && d < j) shadowed = true;
+        }
+        if (!outer || shadowed) continue;
+        diag.report(f, t[j].line,
+                    "'" + t[j].text +
+                        "' accumulates a float across parallel_for "
+                        "iterations; the reduction order is "
+                        "scheduling-dependent");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void register_determinism_passes(PassList& out) {
+  out.push_back(std::make_unique<ForbiddenRandomnessPass>());
+  out.push_back(std::make_unique<RawTimingPass>());
+  out.push_back(std::make_unique<DeterministicIterationPass>());
+  out.push_back(std::make_unique<FloatReductionPass>());
+}
+
+}  // namespace anb::lint

@@ -1,0 +1,155 @@
+// Error- and lock-discipline passes. throw-discipline and
+// assert-coverage are ports from the original linter; lock-hygiene is
+// new and enforces the thread-safety-annotation contract introduced
+// alongside anb::Mutex: library code locks only through the annotated
+// wrapper, and every wrapped mutex actually guards something Clang's
+// -Wthread-safety can check.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "anb_lint/passes.hpp"
+
+namespace anb::lint {
+
+namespace {
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+/// Library code throws anb::Error (usually via ANB_CHECK / ANB_ASSERT),
+/// never raw std exceptions — callers catch one type and error messages
+/// uniformly carry file:line.
+class ThrowDisciplinePass final : public FilePass {
+ public:
+  std::string_view name() const override { return "throw-discipline"; }
+  std::string_view summary() const override {
+    return "library code throws only anb::Error";
+  }
+
+ private:
+  void check(const SourceFile& f, Diagnostics& diag) const override {
+    if (!f.in_src) return;
+    if (f.rel_path == "src/util/include/anb/util/error.hpp") return;
+    const std::vector<Token>& t = f.tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (is_ident(t[i], "throw") && is_ident(t[i + 1], "std")) {
+        diag.report(f, t[i].line,
+                    "library code must throw anb::Error (use "
+                    "ANB_CHECK/ANB_ASSERT)");
+      }
+    }
+  }
+};
+
+/// Public API boundaries validate their inputs. Proxy: every
+/// non-trivial library translation unit must contain at least one
+/// ANB_CHECK or ANB_ASSERT. Trivial TUs (< kMinLines physical lines)
+/// are exempt, as are files carrying an explicit file-level allow.
+class AssertCoveragePass final : public FilePass {
+ public:
+  std::string_view name() const override { return "assert-coverage"; }
+  std::string_view summary() const override {
+    return "non-trivial library TUs must validate inputs";
+  }
+
+ private:
+  void check(const SourceFile& f, Diagnostics& diag) const override {
+    static constexpr std::size_t kMinLines = 120;
+    if (f.is_header || !f.in_src) return;
+    if (f.lines.size() < kMinLines) return;
+    for (const Token& t : f.tokens) {
+      if (is_ident(t, "ANB_CHECK") || is_ident(t, "ANB_ASSERT")) return;
+    }
+    diag.report(f, 0,
+                "no ANB_CHECK/ANB_ASSERT in a non-trivial library TU; "
+                "validate public-API inputs or add "
+                "ANB_LINT_ALLOW_FILE(assert-coverage)");
+  }
+};
+
+/// Lock hygiene under the thread-safety-annotation contract:
+///  (a) library code must not name the std locking vocabulary
+///      (std::mutex, std::lock_guard, ...) or include <mutex> — it uses
+///      anb::Mutex / anb::MutexLock so Clang's analysis can see every
+///      critical section;
+///  (b) a file that declares an anb::Mutex must also use
+///      ANB_GUARDED_BY / ANB_REQUIRES at least once — an unannotated
+///      mutex guards nothing the compiler can prove.
+/// The wrapper header itself is the one sanctioned user of <mutex>.
+class LockHygienePass final : public FilePass {
+ public:
+  std::string_view name() const override { return "lock-hygiene"; }
+  std::string_view summary() const override {
+    return "lock through annotated anb::Mutex, and annotate what it guards";
+  }
+
+ private:
+  void check(const SourceFile& f, Diagnostics& diag) const override {
+    if (!f.in_src) return;
+    if (f.rel_path == "src/util/include/anb/util/mutex.hpp") return;
+    const std::vector<Token>& t = f.tokens;
+
+    static const char* kStdLocking[] = {
+        "mutex",          "timed_mutex", "recursive_mutex",
+        "shared_mutex",   "lock_guard",  "unique_lock",
+        "shared_lock",    "scoped_lock", "condition_variable",
+        "condition_variable_any"};
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      if (!is_ident(t[i], "std") || t[i + 1].text != "::") continue;
+      for (const char* name : kStdLocking) {
+        if (is_ident(t[i + 2], name)) {
+          diag.report(f, t[i].line,
+                      "std::" + std::string(name) +
+                          ": use anb::Mutex/anb::MutexLock "
+                          "(anb/util/mutex.hpp) so -Wthread-safety can "
+                          "check the critical section");
+        }
+      }
+    }
+    for (const Include& inc : f.includes) {
+      if (inc.angled && (inc.target == "mutex" ||
+                         inc.target == "shared_mutex" ||
+                         inc.target == "condition_variable")) {
+        diag.report(f, inc.line,
+                    "<" + inc.target +
+                        ">: include anb/util/mutex.hpp instead");
+      }
+    }
+
+    bool has_annotation = false;
+    for (const Token& tok : t) {
+      if (is_ident(tok, "ANB_GUARDED_BY") ||
+          is_ident(tok, "ANB_PT_GUARDED_BY") || is_ident(tok, "ANB_REQUIRES")) {
+        has_annotation = true;
+        break;
+      }
+    }
+    if (has_annotation) return;
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      // `Mutex name ;` / `Mutex name ;`-with-initializer: a declared
+      // mutex in a file with zero guard annotations.
+      if (is_ident(t[i], "Mutex") &&
+          t[i + 1].kind == TokenKind::kIdentifier &&
+          (t[i + 2].text == ";" || t[i + 2].text == "{" ||
+           t[i + 2].text == "=")) {
+        diag.report(f, t[i].line,
+                    "anb::Mutex '" + t[i + 1].text +
+                        "' declared but nothing in this file is "
+                        "ANB_GUARDED_BY it; annotate the guarded members");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void register_discipline_passes(PassList& out) {
+  out.push_back(std::make_unique<ThrowDisciplinePass>());
+  out.push_back(std::make_unique<AssertCoveragePass>());
+  out.push_back(std::make_unique<LockHygienePass>());
+}
+
+}  // namespace anb::lint

@@ -1,0 +1,155 @@
+// Header and output hygiene, ported from the original single-file
+// linter onto the pass framework: pragma-once, using-namespace-header,
+// no-endl, and iwyu-basics.
+
+#include <string>
+#include <string_view>
+
+#include "anb_lint/passes.hpp"
+
+namespace anb::lint {
+
+namespace {
+
+class PragmaOncePass final : public FilePass {
+ public:
+  std::string_view name() const override { return "pragma-once"; }
+  std::string_view summary() const override {
+    return "headers must start with #pragma once";
+  }
+
+ private:
+  void check(const SourceFile& f, Diagnostics& diag) const override {
+    if (!f.is_header) return;
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      // First line that is neither blank nor comment must be the pragma.
+      const std::string& code = f.code_lines[i];
+      if (code.find_first_not_of(" \t") == std::string::npos) continue;
+      if (f.lines[i].rfind("#pragma once", 0) != 0) {
+        diag.report(f, i + 1, "headers must start with #pragma once");
+      }
+      return;
+    }
+    diag.report(f, 0, "empty header (missing #pragma once)");
+  }
+};
+
+class UsingNamespaceHeaderPass final : public FilePass {
+ public:
+  std::string_view name() const override { return "using-namespace-header"; }
+  std::string_view summary() const override {
+    return "headers must not contain using-directives";
+  }
+
+ private:
+  void check(const SourceFile& f, Diagnostics& diag) const override {
+    if (!f.is_header) return;
+    for (std::size_t i = 0; i + 1 < f.tokens.size(); ++i) {
+      if (f.tokens[i].kind == TokenKind::kIdentifier &&
+          f.tokens[i].text == "using" &&
+          f.tokens[i + 1].kind == TokenKind::kIdentifier &&
+          f.tokens[i + 1].text == "namespace") {
+        diag.report(f, f.tokens[i].line,
+                    "headers must not contain using-directives");
+      }
+    }
+  }
+};
+
+/// std::endl in library code forces a flush per line; hot CSV/table
+/// export paths have been bitten by this before. Use '\n'.
+class NoEndlPass final : public FilePass {
+ public:
+  std::string_view name() const override { return "no-endl"; }
+  std::string_view summary() const override {
+    return "library code must use '\\n' instead of std::endl";
+  }
+
+ private:
+  void check(const SourceFile& f, Diagnostics& diag) const override {
+    if (!f.in_src) return;
+    for (std::size_t i = 0; i + 2 < f.tokens.size(); ++i) {
+      if (f.tokens[i].text == "std" && f.tokens[i + 1].text == "::" &&
+          f.tokens[i + 2].text == "endl") {
+        diag.report(f, f.tokens[i].line, "use '\\n' instead of std::endl");
+      }
+    }
+  }
+};
+
+/// Include-what-you-use basics: a library header that names a common std
+/// vocabulary type must include its header itself instead of relying on
+/// transitive includes. Keeps public headers self-contained.
+class IwyuBasicsPass final : public FilePass {
+ public:
+  std::string_view name() const override { return "iwyu-basics"; }
+  std::string_view summary() const override {
+    return "library headers must directly include what they use";
+  }
+
+ private:
+  void check(const SourceFile& f, Diagnostics& diag) const override {
+    if (!f.is_header || !f.in_src) return;
+    static const struct {
+      const char* symbol;  // identifier after std::
+      const char* header;  // angled target, without <>
+    } kNeeds[] = {
+        {"vector", "vector"},
+        {"string", "string"},
+        {"unordered_map", "unordered_map"},
+        {"map", "map"},
+        {"optional", "optional"},
+        {"function", "functional"},
+        {"unique_ptr", "memory"},
+        {"shared_ptr", "memory"},
+        {"array", "array"},
+        {"span", "span"},
+        {"mutex", "mutex"},
+        {"thread", "thread"},
+        {"size_t", "cstddef"},
+        {"uint64_t", "cstdint"},
+        {"int64_t", "cstdint"},
+        {"uint32_t", "cstdint"},
+        {"ostream", "iosfwd"},
+    };
+    for (const auto& need : kNeeds) {
+      std::size_t first_use = 0;
+      for (std::size_t i = 0; i + 2 < f.tokens.size(); ++i) {
+        if (f.tokens[i].text == "std" && f.tokens[i + 1].text == "::" &&
+            f.tokens[i + 2].text == need.symbol) {
+          first_use = f.tokens[i].line;
+          break;
+        }
+      }
+      if (first_use == 0) continue;
+      if (includes_target(f, need.header)) continue;
+      // <iosfwd> needs are also satisfied by the full stream headers.
+      if (std::string_view(need.header) == "iosfwd" &&
+          (includes_target(f, "ostream") || includes_target(f, "sstream") ||
+           includes_target(f, "iostream"))) {
+        continue;
+      }
+      diag.report(f, first_use,
+                  "std::" + std::string(need.symbol) + " used but <" +
+                      need.header + "> not included directly");
+    }
+  }
+
+  static bool includes_target(const SourceFile& f, std::string_view target) {
+    for (const Include& inc : f.includes) {
+      if (inc.angled && inc.target == target) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+void register_style_passes(PassList& out) {
+  out.push_back(std::make_unique<PragmaOncePass>());
+  out.push_back(std::make_unique<UsingNamespaceHeaderPass>());
+  out.push_back(std::make_unique<NoEndlPass>());
+  out.push_back(std::make_unique<IwyuBasicsPass>());
+}
+
+}  // namespace anb::lint

@@ -1,0 +1,288 @@
+#include "anb_lint/source.hpp"
+
+#include <cctype>
+
+namespace anb::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Lexer state that survives a newline. Regular strings survive only via
+/// a backslash continuation; raw strings and block comments span lines
+/// freely.
+enum class Mode {
+  kCode,
+  kBlockComment,
+  kLineComment,  // only carried across lines by a trailing backslash
+  kString,       // ditto
+  kChar,         // ditto
+  kRawString,
+};
+
+/// True when the quote at lines[i] opens a raw string, i.e. the
+/// preceding characters are R with an optional u8/u/U/L encoding prefix
+/// not glued to a longer identifier.
+bool is_raw_string_open(const std::string& line, std::size_t quote) {
+  if (quote == 0 || line[quote - 1] != 'R') return false;
+  std::size_t p = quote - 1;  // index of 'R'
+  // Optional encoding prefix before R.
+  std::size_t start = p;
+  if (p >= 2 && line[p - 2] == 'u' && line[p - 1] == '8') {
+    start = p - 2;
+  } else if (p >= 1 &&
+             (line[p - 1] == 'u' || line[p - 1] == 'U' || line[p - 1] == 'L')) {
+    start = p - 1;
+  }
+  // The prefix must not be the tail of a longer identifier (e.g. FOOR").
+  return start == 0 || !ident_char(line[start - 1]);
+}
+
+}  // namespace
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      if (start < text.size()) lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::vector<std::string> scrub(const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  Mode mode = Mode::kCode;
+  std::string raw_delim;  // for kRawString: the ")delim\"" closer
+
+  for (const std::string& line : lines) {
+    std::string code(line.size(), ' ');
+    const bool ends_with_backslash = !line.empty() && line.back() == '\\';
+
+    // States carried in from the previous line that do NOT survive this
+    // one unless re-extended.
+    if (mode == Mode::kLineComment || mode == Mode::kString ||
+        mode == Mode::kChar) {
+      if (mode == Mode::kLineComment) {
+        // Whole line is still comment; extend only via trailing backslash.
+        if (!ends_with_backslash) mode = Mode::kCode;
+        out.push_back(std::move(code));
+        continue;
+      }
+      // kString / kChar fall through into the scan loop below.
+    }
+
+    std::size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (mode) {
+        case Mode::kBlockComment:
+          if (c == '*' && next == '/') {
+            mode = Mode::kCode;
+            ++i;
+          }
+          ++i;
+          break;
+        case Mode::kRawString:
+          if (line.compare(i, raw_delim.size(), raw_delim) == 0) {
+            i += raw_delim.size();
+            mode = Mode::kCode;
+          } else {
+            ++i;
+          }
+          break;
+        case Mode::kString:
+          if (c == '\\' && i + 1 < line.size()) {
+            i += 2;
+          } else if (c == '\\') {
+            ++i;  // trailing backslash: continuation, stay in kString
+          } else if (c == '"') {
+            code[i] = '"';
+            mode = Mode::kCode;
+            ++i;
+          } else {
+            ++i;
+          }
+          break;
+        case Mode::kChar:
+          if (c == '\\' && i + 1 < line.size()) {
+            i += 2;
+          } else if (c == '\'') {
+            mode = Mode::kCode;
+            ++i;
+          } else {
+            ++i;
+          }
+          break;
+        case Mode::kLineComment:
+          // Unreachable inside the scan loop (handled above), but keeps
+          // the switch exhaustive.
+          i = line.size();
+          break;
+        case Mode::kCode:
+          if (c == '/' && next == '/') {
+            mode = Mode::kLineComment;
+            i = line.size();
+          } else if (c == '/' && next == '*') {
+            mode = Mode::kBlockComment;
+            i += 2;
+          } else if (c == '"' && is_raw_string_open(line, i)) {
+            // R"delim( ... — blank the R too.
+            code[i - 1] = ' ';
+            std::size_t d = i + 1;
+            while (d < line.size() && line[d] != '(') ++d;
+            raw_delim = ")" + line.substr(i + 1, d - (i + 1)) + "\"";
+            mode = Mode::kRawString;
+            i = d + 1;
+          } else if (c == '"') {
+            code[i] = '"';
+            mode = Mode::kString;
+            ++i;
+          } else if (c == '\'') {
+            // Digit separator (1'000'000) or identifier-adjacent quote is
+            // not a char literal.
+            const char prev = i > 0 ? line[i - 1] : '\0';
+            if (ident_char(prev)) {
+              code[i] = c;
+              ++i;
+            } else {
+              mode = Mode::kChar;
+              ++i;
+            }
+          } else {
+            code[i] = c;
+            ++i;
+          }
+          break;
+      }
+    }
+
+    // End-of-line transitions: line comments and regular literals only
+    // continue past the newline via a trailing backslash.
+    if (mode == Mode::kLineComment && !ends_with_backslash) mode = Mode::kCode;
+    if ((mode == Mode::kString || mode == Mode::kChar) && !ends_with_backslash)
+      mode = Mode::kCode;
+
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+std::vector<Token> tokenize(const std::vector<std::string>& code_lines) {
+  static const char* kTwoCharOps[] = {"::", "<<", ">>", "+=", "-=", "*=",
+                                      "/=", "->", "==", "!=", "<=", ">=",
+                                      "&&", "||", "++", "--"};
+  std::vector<Token> tokens;
+  for (std::size_t ln = 0; ln < code_lines.size(); ++ln) {
+    const std::string& line = code_lines[ln];
+    const std::size_t line_no = ln + 1;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (c == ' ' || c == '\t') {
+        ++i;
+        continue;
+      }
+      if (ident_start(c)) {
+        std::size_t j = i + 1;
+        while (j < line.size() && ident_char(line[j])) ++j;
+        tokens.push_back(
+            {TokenKind::kIdentifier, line.substr(i, j - i), line_no});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        std::size_t j = i + 1;
+        while (j < line.size() &&
+               (ident_char(line[j]) || line[j] == '.' || line[j] == '\'')) {
+          ++j;
+        }
+        tokens.push_back({TokenKind::kNumber, line.substr(i, j - i), line_no});
+        i = j;
+        continue;
+      }
+      if (c == '"') {
+        // Scrubbed literal: contents are spaces; find the closing quote
+        // on this line (a continuation leaves it unclosed — tolerate).
+        std::size_t j = line.find('"', i + 1);
+        tokens.push_back({TokenKind::kString, std::string(), line_no});
+        i = (j == std::string::npos) ? line.size() : j + 1;
+        continue;
+      }
+      bool matched = false;
+      for (const char* op : kTwoCharOps) {
+        if (line.compare(i, 2, op) == 0) {
+          tokens.push_back({TokenKind::kPunct, op, line_no});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      tokens.push_back({TokenKind::kPunct, std::string(1, c), line_no});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+std::vector<Include> parse_includes(
+    const std::vector<std::string>& lines,
+    const std::vector<std::string>& code_lines) {
+  std::vector<Include> includes;
+  for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& line = lines[ln];
+    std::size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos || line[i] != '#') continue;
+    // Commented-out directives scrub to blanks; require the '#' to
+    // survive scrubbing before trusting the raw-line target.
+    if (ln >= code_lines.size()) continue;
+    const std::size_t ci = code_lines[ln].find_first_not_of(" \t");
+    if (ci == std::string::npos || code_lines[ln][ci] != '#') continue;
+    i = line.find_first_not_of(" \t", i + 1);
+    if (i == std::string::npos || line.compare(i, 7, "include") != 0) continue;
+    i = line.find_first_not_of(" \t", i + 7);
+    if (i == std::string::npos) continue;
+    const char open = line[i];
+    if (open != '<' && open != '"') continue;
+    const char close = open == '<' ? '>' : '"';
+    const std::size_t end = line.find(close, i + 1);
+    if (end == std::string::npos) continue;
+    includes.push_back(
+        {ln + 1, line.substr(i + 1, end - (i + 1)), open == '<'});
+  }
+  return includes;
+}
+
+SourceFile make_source_file(std::string rel_path, std::string_view content) {
+  SourceFile f;
+  f.rel_path = std::move(rel_path);
+  f.lines = split_lines(content);
+  f.code_lines = scrub(f.lines);
+  f.tokens = tokenize(f.code_lines);
+  f.includes = parse_includes(f.lines, f.code_lines);
+  f.is_header = f.rel_path.size() >= 4 &&
+                (f.rel_path.ends_with(".hpp") || f.rel_path.ends_with(".h"));
+  f.in_src = f.rel_path.rfind("src/", 0) == 0;
+  f.in_tests = f.rel_path.rfind("tests/", 0) == 0;
+  if (f.in_src) {
+    const std::size_t slash = f.rel_path.find('/', 4);
+    if (slash != std::string::npos) f.layer = f.rel_path.substr(4, slash - 4);
+  }
+  return f;
+}
+
+}  // namespace anb::lint

@@ -1,0 +1,71 @@
+#include "anb_lint/tree.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace anb::lint {
+
+namespace fs = std::filesystem;
+
+Tree Tree::from_specs(const std::vector<FileSpec>& specs) {
+  Tree tree;
+  tree.files_.reserve(specs.size());
+  for (const FileSpec& spec : specs) {
+    tree.files_.push_back(make_source_file(spec.rel_path, spec.content));
+  }
+  tree.index();
+  return tree;
+}
+
+Tree Tree::from_disk(const fs::path& root) {
+  static const char* kDirs[] = {"src", "tests", "bench", "examples", "tools"};
+  std::vector<FileSpec> specs;
+  for (const char* dir : kDirs) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+      std::ifstream in(entry.path());
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      specs.push_back({fs::relative(entry.path(), root).generic_string(),
+                       std::move(buf).str()});
+    }
+  }
+  std::sort(specs.begin(), specs.end(),
+            [](const FileSpec& a, const FileSpec& b) {
+              return a.rel_path < b.rel_path;
+            });
+  return from_specs(specs);
+}
+
+const SourceFile* Tree::find(std::string_view rel_path) const {
+  const auto it = by_rel_.find(rel_path);
+  return it == by_rel_.end() ? nullptr : &files_[it->second];
+}
+
+const SourceFile* Tree::resolve_include(std::string_view target) const {
+  const auto it = by_target_.find(target);
+  return it == by_target_.end() ? nullptr : &files_[it->second];
+}
+
+void Tree::index() {
+  by_rel_.clear();
+  by_target_.clear();
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    by_rel_.emplace(files_[i].rel_path, i);
+    // A header under .../include/<target> is includable as "<target>".
+    const std::string& rel = files_[i].rel_path;
+    const std::size_t pos = rel.find("include/");
+    if (files_[i].is_header && pos != std::string::npos &&
+        (pos == 0 || rel[pos - 1] == '/')) {
+      by_target_.emplace(rel.substr(pos + 8), i);
+    }
+  }
+}
+
+}  // namespace anb::lint
