@@ -49,7 +49,18 @@ int main() {
               sim.training_cost_hours(my_arch, result.p_star),
               sim.training_cost_hours(my_arch, reference_scheme()));
 
-  // 5. ANB_TRACE=trace.json ./quickstart dumps the instrumented span tree
+  // 5. Persist and reopen. The .anbb extension selects the zero-copy
+  //    binary container: open() mmaps the node arrays in place, so the
+  //    reload below costs milliseconds instead of a full JSON re-parse
+  //    (bench/load_latency measures ~40x at paper scale). open() sniffs
+  //    the magic, so the same call also reads JSON artifacts.
+  result.bench.save_binary("quickstart.anbb");
+  const AccelNASBench reopened = AccelNASBench::open("quickstart.anbb");
+  std::printf("\nreloaded quickstart.anbb: top-1(my_arch) = %.4f (identical "
+              "to the in-memory benchmark)\n",
+              reopened.query_accuracy(my_arch));
+
+  // 6. ANB_TRACE=trace.json ./quickstart dumps the instrumented span tree
   //    (collection, fitting, queries) as chrome://tracing JSON.
   if (obs::write_requested_trace())
     std::printf("\ntrace written to %s (open in chrome://tracing)\n",

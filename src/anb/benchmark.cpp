@@ -417,8 +417,7 @@ void AccelNASBench::save(const std::string& path) const {
   write_text_file(path, text);
 }
 
-AccelNASBench AccelNASBench::load(const std::string& path) {
-  std::string text = read_text_file(path);
+AccelNASBench AccelNASBench::load_text(std::string text) {
   if (fault::any_armed()) {
     if (const auto fire = fault::should_fire(kBenchmarkLoadFaultSite)) {
       // Short read: only a prefix of the file arrives; the JSON parse of
@@ -430,6 +429,15 @@ AccelNASBench AccelNASBench::load(const std::string& path) {
     }
   }
   return from_json(Json::parse(text));
+}
+
+AccelNASBench AccelNASBench::load(const std::string& path) {
+  try {
+    return load_text(read_text_file(path));
+  } catch (const Error& e) {
+    throw Error("AccelNASBench::load: cannot load '" + path +
+                "': " + e.what());
+  }
 }
 
 }  // namespace anb

@@ -1,0 +1,111 @@
+// Binary .anbb persistence of the whole benchmark: every surrogate's
+// arrays land in container sections (anb/util/binary.hpp) and a single
+// JSON meta section — written last — records the structure and the
+// section indices. The text format (benchmark.cpp) stays the
+// import/export interchange; this is the fast load path.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "anb/anb/benchmark.hpp"
+#include "anb/obs/span.hpp"
+#include "anb/util/binary.hpp"
+#include "anb/util/error.hpp"
+#include "anb/util/fault.hpp"
+
+namespace anb {
+
+void AccelNASBench::save_binary(const std::string& path) const {
+  ANB_SPAN("anb.benchmark.save_binary");
+  bin::Writer w;
+  Json meta = Json::object();
+  meta["format"] = "accel-nasbench-v1";
+  if (accuracy_ != nullptr) meta["accuracy"] = accuracy_->to_binary(w);
+  Json perf = Json::object();
+  // std::map iteration order makes the section layout — and thus the whole
+  // file — deterministic: save→load→save_binary is byte-stable.
+  for (const auto& [key, surrogate] : perf_)
+    perf[perf_json_key(key)] = surrogate->to_binary(w);
+  meta["perf"] = std::move(perf);
+  const std::string text = meta.dump();
+  w.add_section(bin::Tag::kMeta, {text.data(), text.size()}, 1);
+  const std::vector<char> file = w.finish();
+  if (fault::any_armed()) {
+    if (const auto fire = fault::should_fire(kBenchmarkSaveFaultSite)) {
+      // Short write: a prefix of the container reaches disk, then the
+      // write "fails". The header's file-size field and the checksum both
+      // reject the truncated file at load time.
+      const auto cut = static_cast<std::size_t>(
+          fire->uniform() * static_cast<double>(file.size()));
+      io::write_file(path, std::span<const char>(file).first(cut));
+      throw Error("AccelNASBench::save_binary: injected short write to " +
+                  path);
+    }
+  }
+  io::write_file(path, file);
+}
+
+AccelNASBench AccelNASBench::load_binary_buffer(
+    std::shared_ptr<const io::Buffer> buffer) {
+  ANB_CHECK(buffer != nullptr,
+            "AccelNASBench::load_binary: null buffer");
+  if (fault::any_armed()) {
+    if (const auto fire = fault::should_fire(kBenchmarkLoadFaultSite)) {
+      // Short read: only a prefix of the container arrives. A heap copy
+      // stands in for the truncated stream; the Reader's size check
+      // throws anb::Error below. (No zero-copy concern on a fault path.)
+      const auto cut = static_cast<std::size_t>(
+          fire->uniform() * static_cast<double>(buffer->size()));
+      buffer = io::Buffer::from_bytes(
+          std::vector<char>(buffer->data(), buffer->data() + cut));
+    }
+  }
+  const bin::Reader r(std::move(buffer));
+  ANB_CHECK(r.num_sections() >= 1, "AccelNASBench: empty binary artifact");
+  // The meta section is written last (after every surrogate's arrays).
+  const auto meta_index = static_cast<std::uint32_t>(r.num_sections() - 1);
+  const std::span<const char> meta_raw = r.section(meta_index, bin::Tag::kMeta);
+  const Json meta = Json::parse(std::string(meta_raw.data(), meta_raw.size()));
+  ANB_CHECK(meta.at("format").as_string() == "accel-nasbench-v1",
+            "AccelNASBench: unsupported format tag");
+  AccelNASBench bench;
+  if (meta.contains("accuracy"))
+    bench.accuracy_ = surrogate_from_binary(meta.at("accuracy"), r);
+  for (const auto& [key, payload] : meta.at("perf").as_object())
+    bench.perf_[perf_json_key_parse(key)] = surrogate_from_binary(payload, r);
+  return bench;
+}
+
+AccelNASBench AccelNASBench::load_binary(const std::string& path,
+                                         io::MapMode mode) {
+  ANB_SPAN("anb.benchmark.load_binary");
+  try {
+    auto buffer = mode == io::MapMode::kMap ? io::Buffer::map_file(path)
+                                            : io::Buffer::read_file(path);
+    return load_binary_buffer(std::move(buffer));
+  } catch (const Error& e) {
+    throw Error("AccelNASBench::load_binary: cannot load '" + path +
+                "': " + e.what());
+  }
+}
+
+AccelNASBench AccelNASBench::open(const std::string& path, io::MapMode mode) {
+  ANB_SPAN("anb.benchmark.open");
+  try {
+    auto buffer = mode == io::MapMode::kMap ? io::Buffer::map_file(path)
+                                            : io::Buffer::read_file(path);
+    if (bin::has_magic(buffer->bytes()))
+      return load_binary_buffer(std::move(buffer));
+    return load_text(std::string(buffer->data(), buffer->size()));
+  } catch (const Error& e) {
+    throw Error("AccelNASBench::open: cannot load '" + path + "': " +
+                e.what());
+  }
+}
+
+}  // namespace anb

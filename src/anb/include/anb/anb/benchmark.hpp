@@ -12,6 +12,7 @@
 #include "anb/hwsim/device.hpp"
 #include "anb/searchspace/space.hpp"
 #include "anb/surrogate/surrogate.hpp"
+#include "anb/util/io.hpp"
 
 namespace anb {
 
@@ -70,7 +71,8 @@ std::string dataset_name(MetricKey key);
 /// reaches disk (length driven by the fire draw) and save throws
 /// anb::Error — simulating a short write / full disk. When the load site
 /// fires, only a prefix of the file is read, so the parse fails with
-/// anb::Error — simulating a short read / truncated download.
+/// anb::Error — simulating a short read / truncated download. The binary
+/// paths (save_binary/load_binary/open) route through the same two sites.
 inline constexpr const char* kBenchmarkSaveFaultSite =
     "anb.benchmark.save.short_write";
 inline constexpr const char* kBenchmarkLoadFaultSite =
@@ -151,10 +153,39 @@ class AccelNASBench {
   void save(const std::string& path) const;
   static AccelNASBench load(const std::string& path);
 
+  /// Binary .anbb artifact: a versioned, checksummed container holding
+  /// every surrogate's arrays (forest nodes, support vectors) in their
+  /// in-memory layout — see DESIGN.md "Binary artifact format". The
+  /// reloaded benchmark's predictions are bit-identical to this one's for
+  /// every installed surrogate, and save→load→save_binary reproduces the
+  /// file byte for byte.
+  void save_binary(const std::string& path) const;
+
+  /// Reload a save_binary() artifact. MapMode::kMap (default) memory-maps
+  /// the file and uses the array sections in place without copying —
+  /// microsecond cold starts; kCopy reads it into heap memory. On
+  /// platforms without mmap, kMap silently degrades to a heap read. Any
+  /// corruption (truncation, bit-flips, table tampering) throws anb::Error
+  /// naming `path`; nothing is ever read past the end of the file.
+  static AccelNASBench load_binary(const std::string& path,
+                                   io::MapMode mode = io::MapMode::kMap);
+
+  /// Load either format: sniffs the .anbb magic and dispatches to the
+  /// binary or the text loader. The file is read/mapped once.
+  static AccelNASBench open(const std::string& path,
+                            io::MapMode mode = io::MapMode::kMap);
+
   Json to_json() const;
   static AccelNASBench from_json(const Json& j);
 
  private:
+  /// Shared tail of load()/open(): fault-injected truncation + JSON parse.
+  static AccelNASBench load_text(std::string text);
+  /// Shared tail of load_binary()/open(): fault-injected truncation +
+  /// container validation + surrogate reconstruction.
+  static AccelNASBench load_binary_buffer(
+      std::shared_ptr<const io::Buffer> buffer);
+
   /// On-disk JSON key ("device/metric"); distinct from MetricKey::to_string
   /// so the serialized format predates — and survives — the key redesign.
   static std::string perf_json_key(MetricKey key);

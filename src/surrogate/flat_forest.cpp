@@ -1,6 +1,7 @@
 #include "anb/surrogate/flat_forest.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "anb/util/error.hpp"
 
@@ -27,16 +28,18 @@ inline std::int32_t step(const FlatNode* nodes, std::int32_t at,
 }  // namespace
 
 FlatForest::FlatForest(std::span<const RegressionTree> trees) {
+  std::vector<FlatNode> nodes;
+  std::vector<std::int32_t> roots;
   std::size_t total = 0;
   for (const auto& tree : trees) total += tree.nodes().size();
-  nodes_.reserve(total);
-  roots_.reserve(trees.size());
+  nodes.reserve(total);
+  roots.reserve(trees.size());
 
   for (const auto& tree : trees) {
     const auto& src = tree.nodes();
     ANB_CHECK(!src.empty(), "FlatForest: tree with no nodes");
-    const auto base = static_cast<std::int32_t>(nodes_.size());
-    roots_.push_back(base);
+    const auto base = static_cast<std::int32_t>(nodes.size());
+    roots.push_back(base);
     const auto count = static_cast<std::int32_t>(src.size());
     for (std::int32_t i = 0; i < count; ++i) {
       const TreeNode& n = src[static_cast<std::size_t>(i)];
@@ -51,7 +54,6 @@ FlatForest::FlatForest(std::span<const RegressionTree> trees) {
         fn.feature = n.feature;
         fn.left = base + n.left;
         fn.right = base + n.right;
-        max_feature_ = std::max(max_feature_, fn.feature);
       } else {
         // Leaf: value in the split slot, children self-loop. A row that
         // has reached its leaf becomes a fixed point of step().
@@ -60,9 +62,100 @@ FlatForest::FlatForest(std::span<const RegressionTree> trees) {
         fn.left = base + i;
         fn.right = base + i;
       }
-      nodes_.push_back(fn);
+      nodes.push_back(fn);
     }
   }
+  nodes_ = io::ArrayRef<FlatNode>(std::move(nodes));
+  roots_ = io::ArrayRef<std::int32_t>(std::move(roots));
+  validate();
+}
+
+FlatForest::FlatForest(io::ArrayRef<FlatNode> nodes,
+                       io::ArrayRef<std::int32_t> roots)
+    : nodes_(std::move(nodes)), roots_(std::move(roots)) {
+  validate();
+}
+
+void FlatForest::validate() {
+  // Full structural audit: after this, accumulate()/predict_tree() may
+  // index nodes_ and x without per-step checks even when the arrays are
+  // untrusted views into a binary artifact.
+  max_feature_ = -1;
+  const std::size_t num_nodes = nodes_.size();
+  const std::size_t num_trees = roots_.size();
+  ANB_CHECK(num_nodes <= static_cast<std::size_t>(
+                             std::numeric_limits<std::int32_t>::max()),
+            "FlatForest: node count exceeds int32 indexing");
+  if (num_trees == 0) {
+    ANB_CHECK(num_nodes == 0, "FlatForest: nodes without any tree roots");
+    return;
+  }
+  ANB_CHECK(roots_[0] == 0, "FlatForest: first tree root must be 0");
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    const std::int32_t lo = roots_[t];
+    const std::int32_t hi = t + 1 < num_trees
+                                ? roots_[t + 1]
+                                : static_cast<std::int32_t>(num_nodes);
+    ANB_CHECK(lo < hi && hi <= static_cast<std::int32_t>(num_nodes),
+              "FlatForest: tree roots not ascending / tree empty");
+    for (std::int32_t i = lo; i < hi; ++i) {
+      const FlatNode& n = nodes_[static_cast<std::size_t>(i)];
+      ANB_CHECK(n.left >= lo && n.left < hi && n.right >= lo && n.right < hi,
+                "FlatForest: child index escapes its tree");
+      if (n.left == i && n.right == i) {
+        // Leaf. Canonical form pins the feature slot to 0 (step() still
+        // reads x[feature] on self-loop passes, so it must be in range;
+        // 0 also makes the binary round-trip byte-stable).
+        ANB_CHECK(n.feature == 0, "FlatForest: leaf feature slot must be 0");
+      } else {
+        ANB_CHECK(n.left != i && n.right != i,
+                  "FlatForest: internal node is its own child");
+        ANB_CHECK(n.feature >= 0, "FlatForest: negative feature index");
+        max_feature_ = std::max(max_feature_, n.feature);
+      }
+    }
+  }
+}
+
+double FlatForest::predict_tree(std::size_t t, std::span<const double> x) const {
+  ANB_CHECK(t < roots_.size(), "FlatForest::predict_tree: tree index out of "
+                               "range");
+  ANB_CHECK(max_feature_ < static_cast<std::int32_t>(x.size()),
+            "FlatForest::predict_tree: feature index out of range");
+  const FlatNode* const nodes = nodes_.data();
+  std::int32_t at = roots_[t];
+  for (std::int32_t next = step(nodes, at, x.data()); next != at;
+       next = step(nodes, at, x.data())) {
+    at = next;
+  }
+  return nodes[at].split;
+}
+
+std::vector<RegressionTree> FlatForest::to_trees() const {
+  std::vector<RegressionTree> out;
+  out.reserve(roots_.size());
+  for (std::size_t t = 0; t < roots_.size(); ++t) {
+    const std::int32_t lo = roots_[t];
+    const std::int32_t hi = t + 1 < roots_.size()
+                                ? roots_[t + 1]
+                                : static_cast<std::int32_t>(nodes_.size());
+    std::vector<TreeNode> nodes(static_cast<std::size_t>(hi - lo));
+    for (std::int32_t i = lo; i < hi; ++i) {
+      const FlatNode& fn = nodes_[static_cast<std::size_t>(i)];
+      TreeNode& n = nodes[static_cast<std::size_t>(i - lo)];
+      if (fn.left == i && fn.right == i) {
+        n.feature = -1;
+        n.value = fn.split;
+      } else {
+        n.feature = fn.feature;
+        n.threshold = fn.split;
+        n.left = fn.left - lo;
+        n.right = fn.right - lo;
+      }
+    }
+    out.emplace_back(std::move(nodes));
+  }
+  return out;
 }
 
 void FlatForest::accumulate(std::span<const double> rows,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "anb/surrogate/train_context.hpp"
+#include "anb/util/binary.hpp"
 #include "anb/obs/registry.hpp"
 #include "anb/obs/span.hpp"
 #include "anb/util/error.hpp"
@@ -95,38 +96,92 @@ void Gbdt::fit_impl(const Dataset& train, const ColumnIndex& columns,
 void Gbdt::rebuild_flat() { flat_ = FlatForest(trees_); }
 
 double Gbdt::predict(std::span<const double> x) const {
-  ANB_CHECK(!trees_.empty(), "Gbdt::predict: model not fitted");
+  // Walks flat_ so binary-loaded models (which never materialize trees_)
+  // share one code path; predict_tree performs the identical comparisons
+  // and the loop the identical accumulation order as the per-tree walk,
+  // so results are unchanged bit for bit.
+  ANB_CHECK(!flat_.empty(), "Gbdt::predict: model not fitted");
   double acc = base_score_;
-  for (const auto& tree : trees_) acc += params_.learning_rate * tree.predict(x);
+  for (std::size_t t = 0; t < flat_.num_trees(); ++t)
+    acc += params_.learning_rate * flat_.predict_tree(t, x);
   return acc;
 }
 
 void Gbdt::predict_batch(std::span<const double> rows,
                          std::size_t num_features,
                          std::span<double> out) const {
-  ANB_CHECK(!trees_.empty(), "Gbdt::predict_batch: model not fitted");
+  ANB_CHECK(!flat_.empty(), "Gbdt::predict_batch: model not fitted");
   std::fill(out.begin(), out.end(), base_score_);
   flat_.accumulate(rows, num_features, params_.learning_rate, out);
 }
+
+namespace {
+
+Json gbdt_params_json(const GbdtParams& p) {
+  Json params = Json::object();
+  params["n_estimators"] = p.n_estimators;
+  params["learning_rate"] = p.learning_rate;
+  params["max_depth"] = p.max_depth;
+  params["lambda"] = p.lambda;
+  params["gamma"] = p.gamma;
+  params["min_child_weight"] = p.min_child_weight;
+  params["subsample"] = p.subsample;
+  params["colsample"] = p.colsample;
+  return params;
+}
+
+}  // namespace
 
 Json Gbdt::to_json() const {
   Json j = Json::object();
   j["type"] = name();
   j["base_score"] = base_score_;
-  Json params = Json::object();
-  params["n_estimators"] = params_.n_estimators;
-  params["learning_rate"] = params_.learning_rate;
-  params["max_depth"] = params_.max_depth;
-  params["lambda"] = params_.lambda;
-  params["gamma"] = params_.gamma;
-  params["min_child_weight"] = params_.min_child_weight;
-  params["subsample"] = params_.subsample;
-  params["colsample"] = params_.colsample;
-  j["params"] = std::move(params);
+  j["params"] = gbdt_params_json(params_);
   Json trees = Json::array();
-  for (const auto& tree : trees_) trees.push_back(tree.to_json());
+  if (trees_.empty()) {
+    for (const auto& tree : flat_.to_trees()) trees.push_back(tree.to_json());
+  } else {
+    for (const auto& tree : trees_) trees.push_back(tree.to_json());
+  }
   j["trees"] = std::move(trees);
   return j;
+}
+
+Json Gbdt::to_binary(bin::Writer& w) const {
+  ANB_CHECK(!flat_.empty(), "Gbdt::to_binary: model not fitted");
+  Json j = Json::object();
+  j["type"] = name();
+  j["base_score"] = base_score_;
+  j["params"] = gbdt_params_json(params_);
+  j["nodes"] = static_cast<int>(w.add_array(bin::Tag::kFlatNode, flat_.nodes()));
+  j["roots"] = static_cast<int>(w.add_array(bin::Tag::kI32, flat_.roots()));
+  return j;
+}
+
+std::unique_ptr<Gbdt> Gbdt::from_binary(const Json& meta,
+                                        const bin::Reader& r) {
+  ANB_CHECK(meta.at("type").as_string() == "xgb",
+            "Gbdt::from_binary: wrong type tag");
+  const Json& p = meta.at("params");
+  GbdtParams params;
+  params.n_estimators = p.at("n_estimators").as_int();
+  params.learning_rate = p.at("learning_rate").as_number();
+  params.max_depth = p.at("max_depth").as_int();
+  params.lambda = p.at("lambda").as_number();
+  params.gamma = p.at("gamma").as_number();
+  params.min_child_weight = p.at("min_child_weight").as_number();
+  params.subsample = p.at("subsample").as_number();
+  params.colsample = p.at("colsample").as_number();
+  auto model = std::make_unique<Gbdt>(params);
+  model->base_score_ = meta.at("base_score").as_number();
+  model->flat_ = FlatForest(
+      r.array<FlatNode>(static_cast<std::uint32_t>(meta.at("nodes").as_int()),
+                        bin::Tag::kFlatNode),
+      r.array<std::int32_t>(
+          static_cast<std::uint32_t>(meta.at("roots").as_int()),
+          bin::Tag::kI32));
+  ANB_CHECK(!model->flat_.empty(), "Gbdt::from_binary: empty forest");
+  return model;
 }
 
 std::unique_ptr<Gbdt> Gbdt::from_json(const Json& j) {

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "anb/surrogate/train_context.hpp"
+#include "anb/util/binary.hpp"
 #include "anb/obs/registry.hpp"
 #include "anb/obs/span.hpp"
 #include "anb/util/error.hpp"
@@ -293,39 +294,92 @@ void HistGbdt::fit(const Dataset& train, const BinnedMatrix& binned,
 void HistGbdt::rebuild_flat() { flat_ = FlatForest(trees_); }
 
 double HistGbdt::predict(std::span<const double> x) const {
-  ANB_CHECK(!trees_.empty(), "HistGbdt::predict: model not fitted");
+  // Same flat_ walk as Gbdt::predict — one code path for fitted and
+  // binary-loaded models, bit-identical to the per-tree walk.
+  ANB_CHECK(!flat_.empty(), "HistGbdt::predict: model not fitted");
   double acc = base_score_;
-  for (const auto& tree : trees_) acc += params_.learning_rate * tree.predict(x);
+  for (std::size_t t = 0; t < flat_.num_trees(); ++t)
+    acc += params_.learning_rate * flat_.predict_tree(t, x);
   return acc;
 }
 
 void HistGbdt::predict_batch(std::span<const double> rows,
                              std::size_t num_features,
                              std::span<double> out) const {
-  ANB_CHECK(!trees_.empty(), "HistGbdt::predict_batch: model not fitted");
+  ANB_CHECK(!flat_.empty(), "HistGbdt::predict_batch: model not fitted");
   std::fill(out.begin(), out.end(), base_score_);
   flat_.accumulate(rows, num_features, params_.learning_rate, out);
 }
+
+namespace {
+
+Json hist_gbdt_params_json(const HistGbdtParams& p) {
+  Json params = Json::object();
+  params["n_estimators"] = p.n_estimators;
+  params["learning_rate"] = p.learning_rate;
+  params["max_leaves"] = p.max_leaves;
+  params["max_bins"] = p.max_bins;
+  params["lambda"] = p.lambda;
+  params["min_child_weight"] = p.min_child_weight;
+  params["min_split_gain"] = p.min_split_gain;
+  params["subsample"] = p.subsample;
+  params["colsample"] = p.colsample;
+  return params;
+}
+
+}  // namespace
 
 Json HistGbdt::to_json() const {
   Json j = Json::object();
   j["type"] = name();
   j["base_score"] = base_score_;
-  Json params = Json::object();
-  params["n_estimators"] = params_.n_estimators;
-  params["learning_rate"] = params_.learning_rate;
-  params["max_leaves"] = params_.max_leaves;
-  params["max_bins"] = params_.max_bins;
-  params["lambda"] = params_.lambda;
-  params["min_child_weight"] = params_.min_child_weight;
-  params["min_split_gain"] = params_.min_split_gain;
-  params["subsample"] = params_.subsample;
-  params["colsample"] = params_.colsample;
-  j["params"] = std::move(params);
+  j["params"] = hist_gbdt_params_json(params_);
   Json trees = Json::array();
-  for (const auto& tree : trees_) trees.push_back(tree.to_json());
+  if (trees_.empty()) {
+    for (const auto& tree : flat_.to_trees()) trees.push_back(tree.to_json());
+  } else {
+    for (const auto& tree : trees_) trees.push_back(tree.to_json());
+  }
   j["trees"] = std::move(trees);
   return j;
+}
+
+Json HistGbdt::to_binary(bin::Writer& w) const {
+  ANB_CHECK(!flat_.empty(), "HistGbdt::to_binary: model not fitted");
+  Json j = Json::object();
+  j["type"] = name();
+  j["base_score"] = base_score_;
+  j["params"] = hist_gbdt_params_json(params_);
+  j["nodes"] = static_cast<int>(w.add_array(bin::Tag::kFlatNode, flat_.nodes()));
+  j["roots"] = static_cast<int>(w.add_array(bin::Tag::kI32, flat_.roots()));
+  return j;
+}
+
+std::unique_ptr<HistGbdt> HistGbdt::from_binary(const Json& meta,
+                                                const bin::Reader& r) {
+  ANB_CHECK(meta.at("type").as_string() == "lgb",
+            "HistGbdt::from_binary: wrong type tag");
+  const Json& p = meta.at("params");
+  HistGbdtParams params;
+  params.n_estimators = p.at("n_estimators").as_int();
+  params.learning_rate = p.at("learning_rate").as_number();
+  params.max_leaves = p.at("max_leaves").as_int();
+  params.max_bins = p.at("max_bins").as_int();
+  params.lambda = p.at("lambda").as_number();
+  params.min_child_weight = p.at("min_child_weight").as_number();
+  params.min_split_gain = p.at("min_split_gain").as_number();
+  params.subsample = p.at("subsample").as_number();
+  params.colsample = p.at("colsample").as_number();
+  auto model = std::make_unique<HistGbdt>(params);
+  model->base_score_ = meta.at("base_score").as_number();
+  model->flat_ = FlatForest(
+      r.array<FlatNode>(static_cast<std::uint32_t>(meta.at("nodes").as_int()),
+                        bin::Tag::kFlatNode),
+      r.array<std::int32_t>(
+          static_cast<std::uint32_t>(meta.at("roots").as_int()),
+          bin::Tag::kI32));
+  ANB_CHECK(!model->flat_.empty(), "HistGbdt::from_binary: empty forest");
+  return model;
 }
 
 std::unique_ptr<HistGbdt> HistGbdt::from_json(const Json& j) {

@@ -42,7 +42,10 @@ class EnsembleSurrogate final : public Surrogate {
                      std::span<double> out) const override;
   std::string name() const override { return "ensemble"; }
   Json to_json() const override;
+  Json to_binary(bin::Writer& w) const override;
   static std::unique_ptr<EnsembleSurrogate> from_json(const Json& j);
+  static std::unique_ptr<EnsembleSurrogate> from_binary(const Json& meta,
+                                                        const bin::Reader& r);
 
   /// Ensemble mean and standard deviation.
   std::pair<double, double> predict_dist(std::span<const double> x) const;

@@ -3,9 +3,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "anb/surrogate/tree.hpp"
+#include "anb/util/io.hpp"
 
 namespace anb {
 
@@ -21,6 +23,12 @@ struct FlatNode {
   std::int32_t left = -1;
   std::int32_t right = -1;
 };
+
+// The binary artifact stores FlatNode arrays verbatim, so the layout is
+// part of the .anbb format contract.
+static_assert(sizeof(FlatNode) == 24, "FlatNode layout is serialized");
+static_assert(std::is_trivially_copyable_v<FlatNode>);
+static_assert(alignof(FlatNode) == 8);
 
 /// A fitted tree ensemble flattened into one contiguous node array for
 /// batched prediction. Scalar prediction walks each RegressionTree's own
@@ -51,6 +59,15 @@ class FlatForest {
   /// malformed trees.
   explicit FlatForest(std::span<const RegressionTree> trees);
 
+  /// Adopt pre-flattened arrays — the binary-artifact load path, where
+  /// both may be zero-copy views into an mmap. Performs full structural
+  /// validation (roots ascending from 0, every child inside its own
+  /// tree's range, internal nodes never self-referential, leaves
+  /// self-looping on both children, features non-negative); throws
+  /// anb::Error on any violation so a corrupted artifact can never drive
+  /// accumulate() out of bounds.
+  FlatForest(io::ArrayRef<FlatNode> nodes, io::ArrayRef<std::int32_t> roots);
+
   bool empty() const { return roots_.empty(); }
   std::size_t num_trees() const { return roots_.size(); }
   std::size_t num_nodes() const { return nodes_.size(); }
@@ -61,9 +78,25 @@ class FlatForest {
   void accumulate(std::span<const double> rows, std::size_t num_features,
                   double scale, std::span<double> out) const;
 
+  /// Scalar prediction of tree `t` for one row. Performs exactly the same
+  /// `x[feature] < split` comparisons as RegressionTree::predict, so the
+  /// result is bit-identical to walking the original tree.
+  double predict_tree(std::size_t t, std::span<const double> x) const;
+
+  /// Reconstruct the per-tree RegressionTree form (the text-export path
+  /// for binary-loaded models). FlatNode <-> TreeNode is a bijection
+  /// given each tree's base index: leaf iff both children self-loop.
+  std::vector<RegressionTree> to_trees() const;
+
+  /// Raw arrays in artifact layout (the binary-artifact save path).
+  std::span<const FlatNode> nodes() const { return nodes_.span(); }
+  std::span<const std::int32_t> roots() const { return roots_.span(); }
+
  private:
-  std::vector<FlatNode> nodes_;        // all trees back to back
-  std::vector<std::int32_t> roots_;    // root index of each tree
+  void validate();
+
+  io::ArrayRef<FlatNode> nodes_;       // all trees back to back
+  io::ArrayRef<std::int32_t> roots_;   // root index of each tree
   std::int32_t max_feature_ = -1;      // for a once-per-batch range check
 };
 

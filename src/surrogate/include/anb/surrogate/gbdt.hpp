@@ -47,10 +47,13 @@ class Gbdt final : public Surrogate {
                      std::span<double> out) const override;
   std::string name() const override { return "xgb"; }
   Json to_json() const override;
+  Json to_binary(bin::Writer& w) const override;
   static std::unique_ptr<Gbdt> from_json(const Json& j);
+  static std::unique_ptr<Gbdt> from_binary(const Json& meta,
+                                           const bin::Reader& r);
 
   const GbdtParams& params() const { return params_; }
-  std::size_t num_trees() const { return trees_.size(); }
+  std::size_t num_trees() const { return flat_.num_trees(); }
 
  private:
   void fit_impl(const Dataset& train, const ColumnIndex& columns, Rng& rng);
@@ -58,6 +61,8 @@ class Gbdt final : public Surrogate {
 
   GbdtParams params_;
   double base_score_ = 0.0;
+  /// Per-tree form; empty for binary-loaded models (flat_ is then the only
+  /// representation and to_json() reconstructs trees on demand).
   std::vector<RegressionTree> trees_;
   FlatForest flat_;  ///< rebuilt from trees_ after fit()/from_json()
 };

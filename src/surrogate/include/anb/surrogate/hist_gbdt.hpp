@@ -55,16 +55,21 @@ class HistGbdt final : public Surrogate {
                      std::span<double> out) const override;
   std::string name() const override { return "lgb"; }
   Json to_json() const override;
+  Json to_binary(bin::Writer& w) const override;
   static std::unique_ptr<HistGbdt> from_json(const Json& j);
+  static std::unique_ptr<HistGbdt> from_binary(const Json& meta,
+                                               const bin::Reader& r);
 
   const HistGbdtParams& params() const { return params_; }
-  std::size_t num_trees() const { return trees_.size(); }
+  std::size_t num_trees() const { return flat_.num_trees(); }
 
  private:
   void rebuild_flat();
 
   HistGbdtParams params_;
   double base_score_ = 0.0;
+  /// Per-tree form; empty for binary-loaded models (flat_ is then the only
+  /// representation and to_json() reconstructs trees on demand).
   std::vector<RegressionTree> trees_;
   FlatForest flat_;  ///< rebuilt from trees_ after fit()/from_json()
 };

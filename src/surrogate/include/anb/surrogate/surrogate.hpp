@@ -9,6 +9,11 @@
 #include "anb/surrogate/dataset.hpp"
 #include "anb/util/json.hpp"
 
+namespace anb::bin {
+class Writer;
+class Reader;
+}  // namespace anb::bin
+
 namespace anb {
 
 class TrainContext;
@@ -50,6 +55,13 @@ class Surrogate {
   /// Serialize the fitted model (including hyperparameters).
   virtual Json to_json() const = 0;
 
+  /// Serialize into a binary artifact: large arrays (forest nodes, support
+  /// vectors) are appended to `w` as raw sections in their in-memory
+  /// layout; the returned Json is the small meta record (type tag, params,
+  /// section indices) that surrogate_from_binary() consumes. Predictions of
+  /// the reloaded model are bit-identical to this model's.
+  virtual Json to_binary(bin::Writer& w) const = 0;
+
   /// Predict a batch of rows: `rows` is a row-major matrix of
   /// out.size() rows by `num_features` columns; prediction for row i is
   /// written to out[i]. Runs on the calling thread.
@@ -79,5 +91,13 @@ class Surrogate {
 /// Reconstruct a fitted surrogate from to_json() output. Dispatches on the
 /// "type" tag. Throws anb::Error for unknown types or malformed payloads.
 std::unique_ptr<Surrogate> surrogate_from_json(const Json& j);
+
+/// Reconstruct a fitted surrogate from a to_binary() meta record plus the
+/// artifact reader holding its array sections. Array data may be zero-copy
+/// views into the reader's buffer (mmap), which the surrogate keeps alive.
+/// Dispatches on the "type" tag; throws anb::Error on any malformed or
+/// corrupted payload.
+std::unique_ptr<Surrogate> surrogate_from_binary(const Json& meta,
+                                                 const bin::Reader& r);
 
 }  // namespace anb

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "anb/surrogate/surrogate.hpp"
+#include "anb/util/io.hpp"
 
 namespace anb {
 
@@ -54,7 +55,10 @@ class Svr final : public Surrogate {
     return params_.kind == SvrKind::kEpsilon ? "esvr" : "nusvr";
   }
   Json to_json() const override;
+  Json to_binary(bin::Writer& w) const override;
   static std::unique_ptr<Svr> from_json(const Json& j);
+  static std::unique_ptr<Svr> from_binary(const Json& meta,
+                                          const bin::Reader& r);
 
   const SvrParams& params() const { return params_; }
   std::size_t num_support_vectors() const { return sv_coef_.size(); }
@@ -69,20 +73,20 @@ class Svr final : public Surrogate {
   FitOutput solve_epsilon(const std::vector<std::vector<float>>& kernel,
                           std::span<const double> y, double epsilon) const;
   double gamma_value(std::size_t num_features) const;
-  void rebuild_flat();
 
   SvrParams params_;
   double effective_epsilon_ = 0.0;
 
   // Fitted state (standardization + sparse support-vector expansion).
-  std::vector<double> feat_mean_, feat_scale_;
+  // ArrayRef so binary-loaded models can view artifact sections in place
+  // (zero-copy mmap); fit()/from_json() store owned vectors.
+  io::ArrayRef<double> feat_mean_, feat_scale_;
   double target_mean_ = 0.0, target_scale_ = 1.0;
-  std::vector<std::vector<double>> support_vectors_;  // standardized
-  std::vector<double> sv_coef_;
+  io::ArrayRef<double> sv_coef_;
   double bias_ = 0.0;
-  /// support_vectors_ flattened row-major for the batched kernel expansion
-  /// (rebuilt after fit()/from_json(); not serialized).
-  std::vector<double> sv_flat_;
+  /// Standardized support vectors flattened row-major (num_support_vectors
+  /// by num_features) — the layout the batched kernel expansion streams.
+  io::ArrayRef<double> sv_flat_;
 };
 
 }  // namespace anb

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "anb/surrogate/train_context.hpp"
+#include "anb/util/binary.hpp"
 #include "anb/obs/registry.hpp"
 #include "anb/obs/span.hpp"
 #include "anb/util/error.hpp"
@@ -87,53 +88,101 @@ void RandomForest::fit_impl(const Dataset& train, const ColumnIndex& columns,
 void RandomForest::rebuild_flat() { flat_ = FlatForest(trees_); }
 
 double RandomForest::predict(std::span<const double> x) const {
-  ANB_CHECK(!trees_.empty(), "RandomForest::predict: model not fitted");
+  // Walks flat_ (one code path for fitted and binary-loaded models);
+  // same per-tree comparisons and sum-then-divide order as before, so
+  // results are unchanged bit for bit.
+  ANB_CHECK(!flat_.empty(), "RandomForest::predict: model not fitted");
   double acc = 0.0;
-  for (const auto& tree : trees_) acc += tree.predict(x);
-  return acc / static_cast<double>(trees_.size());
+  for (std::size_t t = 0; t < flat_.num_trees(); ++t)
+    acc += flat_.predict_tree(t, x);
+  return acc / static_cast<double>(flat_.num_trees());
 }
 
 void RandomForest::predict_batch(std::span<const double> rows,
                                  std::size_t num_features,
                                  std::span<double> out) const {
-  ANB_CHECK(!trees_.empty(), "RandomForest::predict_batch: model not fitted");
+  ANB_CHECK(!flat_.empty(), "RandomForest::predict_batch: model not fitted");
   std::fill(out.begin(), out.end(), 0.0);
   // Accumulating with scale 1.0 then dividing matches the scalar path's
   // sum-then-divide exactly (1.0 * leaf is an exact multiplication).
   flat_.accumulate(rows, num_features, 1.0, out);
-  const double n = static_cast<double>(trees_.size());
+  const double n = static_cast<double>(flat_.num_trees());
   for (double& v : out) v /= n;
 }
 
 std::pair<double, double> RandomForest::predict_mean_std(
     std::span<const double> x) const {
-  ANB_CHECK(!trees_.empty(), "RandomForest::predict_mean_std: not fitted");
+  ANB_CHECK(!flat_.empty(), "RandomForest::predict_mean_std: not fitted");
   double sum = 0.0, sum_sq = 0.0;
-  for (const auto& tree : trees_) {
-    const double v = tree.predict(x);
+  for (std::size_t t = 0; t < flat_.num_trees(); ++t) {
+    const double v = flat_.predict_tree(t, x);
     sum += v;
     sum_sq += v * v;
   }
-  const double n = static_cast<double>(trees_.size());
+  const double n = static_cast<double>(flat_.num_trees());
   const double m = sum / n;
   const double var = std::max(0.0, sum_sq / n - m * m);
   return {m, std::sqrt(var)};
 }
 
+namespace {
+
+Json random_forest_params_json(const RandomForestParams& p) {
+  Json params = Json::object();
+  params["n_trees"] = p.n_trees;
+  params["max_depth"] = p.max_depth;
+  params["min_samples_leaf"] = p.min_samples_leaf;
+  params["max_features_frac"] = p.max_features_frac;
+  params["bootstrap_frac"] = p.bootstrap_frac;
+  return params;
+}
+
+}  // namespace
+
 Json RandomForest::to_json() const {
   Json j = Json::object();
   j["type"] = name();
-  Json params = Json::object();
-  params["n_trees"] = params_.n_trees;
-  params["max_depth"] = params_.max_depth;
-  params["min_samples_leaf"] = params_.min_samples_leaf;
-  params["max_features_frac"] = params_.max_features_frac;
-  params["bootstrap_frac"] = params_.bootstrap_frac;
-  j["params"] = std::move(params);
+  j["params"] = random_forest_params_json(params_);
   Json trees = Json::array();
-  for (const auto& tree : trees_) trees.push_back(tree.to_json());
+  if (trees_.empty()) {
+    for (const auto& tree : flat_.to_trees()) trees.push_back(tree.to_json());
+  } else {
+    for (const auto& tree : trees_) trees.push_back(tree.to_json());
+  }
   j["trees"] = std::move(trees);
   return j;
+}
+
+Json RandomForest::to_binary(bin::Writer& w) const {
+  ANB_CHECK(!flat_.empty(), "RandomForest::to_binary: model not fitted");
+  Json j = Json::object();
+  j["type"] = name();
+  j["params"] = random_forest_params_json(params_);
+  j["nodes"] = static_cast<int>(w.add_array(bin::Tag::kFlatNode, flat_.nodes()));
+  j["roots"] = static_cast<int>(w.add_array(bin::Tag::kI32, flat_.roots()));
+  return j;
+}
+
+std::unique_ptr<RandomForest> RandomForest::from_binary(const Json& meta,
+                                                        const bin::Reader& r) {
+  ANB_CHECK(meta.at("type").as_string() == "rf",
+            "RandomForest::from_binary: wrong type tag");
+  const Json& p = meta.at("params");
+  RandomForestParams params;
+  params.n_trees = p.at("n_trees").as_int();
+  params.max_depth = p.at("max_depth").as_int();
+  params.min_samples_leaf = p.at("min_samples_leaf").as_number();
+  params.max_features_frac = p.at("max_features_frac").as_number();
+  params.bootstrap_frac = p.at("bootstrap_frac").as_number();
+  auto model = std::make_unique<RandomForest>(params);
+  model->flat_ = FlatForest(
+      r.array<FlatNode>(static_cast<std::uint32_t>(meta.at("nodes").as_int()),
+                        bin::Tag::kFlatNode),
+      r.array<std::int32_t>(
+          static_cast<std::uint32_t>(meta.at("roots").as_int()),
+          bin::Tag::kI32));
+  ANB_CHECK(!model->flat_.empty(), "RandomForest::from_binary: empty forest");
+  return model;
 }
 
 std::unique_ptr<RandomForest> RandomForest::from_json(const Json& j) {

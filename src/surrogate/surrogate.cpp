@@ -75,4 +75,15 @@ std::unique_ptr<Surrogate> surrogate_from_json(const Json& j) {
   throw Error("surrogate_from_json: unknown surrogate type '" + type + "'");
 }
 
+std::unique_ptr<Surrogate> surrogate_from_binary(const Json& meta,
+                                                 const bin::Reader& r) {
+  const std::string& type = meta.at("type").as_string();
+  if (type == "xgb") return Gbdt::from_binary(meta, r);
+  if (type == "lgb") return HistGbdt::from_binary(meta, r);
+  if (type == "rf") return RandomForest::from_binary(meta, r);
+  if (type == "esvr" || type == "nusvr") return Svr::from_binary(meta, r);
+  if (type == "ensemble") return EnsembleSurrogate::from_binary(meta, r);
+  throw Error("surrogate_from_binary: unknown surrogate type '" + type + "'");
+}
+
 }  // namespace anb

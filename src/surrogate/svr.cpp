@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "anb/surrogate/smo.hpp"
+#include "anb/util/binary.hpp"
 #include "anb/obs/registry.hpp"
 #include "anb/obs/span.hpp"
 #include "anb/util/error.hpp"
@@ -76,8 +77,8 @@ void Svr::fit(const Dataset& train, Rng& /*rng*/) {
             "Svr::fit: dense kernel solver supports at most 8000 rows");
 
   // --- standardize features and targets ---
-  feat_mean_.assign(d, 0.0);
-  feat_scale_.assign(d, 1.0);
+  std::vector<double> feat_mean(d, 0.0);
+  std::vector<double> feat_scale(d, 1.0);
   for (std::size_t f = 0; f < d; ++f) {
     double m = 0.0;
     for (std::size_t i = 0; i < n; ++i) m += train.feature(i, f);
@@ -88,8 +89,8 @@ void Svr::fit(const Dataset& train, Rng& /*rng*/) {
       ss += c * c;
     }
     const double sd = std::sqrt(ss / static_cast<double>(n));
-    feat_mean_[f] = m;
-    feat_scale_[f] = sd > 1e-12 ? sd : 1.0;
+    feat_mean[f] = m;
+    feat_scale[f] = sd > 1e-12 ? sd : 1.0;
   }
   target_mean_ = mean(train.targets());
   {
@@ -103,7 +104,7 @@ void Svr::fit(const Dataset& train, Rng& /*rng*/) {
   std::vector<double> y(n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t f = 0; f < d; ++f)
-      x[i][f] = (train.feature(i, f) - feat_mean_[f]) / feat_scale_[f];
+      x[i][f] = (train.feature(i, f) - feat_mean[f]) / feat_scale[f];
     y[i] = (train.target(i) - target_mean_) / target_scale_;
   }
 
@@ -158,29 +159,24 @@ void Svr::fit(const Dataset& train, Rng& /*rng*/) {
     fit_out = solve_epsilon(kernel, y, best_eps);
   }
 
-  // Keep only support vectors (nonzero dual coefficients).
-  support_vectors_.clear();
-  sv_coef_.clear();
+  // Keep only support vectors (nonzero dual coefficients), flattened
+  // row-major — the layout predict_batch streams and the binary artifact
+  // stores verbatim.
+  std::vector<double> sv_flat;
+  std::vector<double> sv_coef;
   for (std::size_t i = 0; i < n; ++i) {
     if (std::abs(fit_out.coef[i]) > 1e-12) {
-      support_vectors_.push_back(x[i]);
-      sv_coef_.push_back(fit_out.coef[i]);
+      sv_flat.insert(sv_flat.end(), x[i].begin(), x[i].end());
+      sv_coef.push_back(fit_out.coef[i]);
     }
   }
   bias_ = fit_out.bias;
-  ANB_CHECK(!sv_coef_.empty(),
+  ANB_CHECK(!sv_coef.empty(),
             "Svr::fit: no support vectors (epsilon tube too wide?)");
-  rebuild_flat();
-}
-
-void Svr::rebuild_flat() {
-  sv_flat_.clear();
-  sv_flat_.reserve(support_vectors_.size() * feat_mean_.size());
-  for (const auto& sv : support_vectors_) {
-    ANB_CHECK(sv.size() == feat_mean_.size(),
-              "Svr: support vector dimension mismatch");
-    sv_flat_.insert(sv_flat_.end(), sv.begin(), sv.end());
-  }
+  feat_mean_ = io::ArrayRef<double>(std::move(feat_mean));
+  feat_scale_ = io::ArrayRef<double>(std::move(feat_scale));
+  sv_coef_ = io::ArrayRef<double>(std::move(sv_coef));
+  sv_flat_ = io::ArrayRef<double>(std::move(sv_flat));
 }
 
 double Svr::predict(std::span<const double> x) const {
@@ -234,25 +230,51 @@ void Svr::predict_batch(std::span<const double> rows,
   }
 }
 
+namespace {
+
+Json svr_params_json(const SvrParams& p) {
+  Json params = Json::object();
+  params["c"] = p.c;
+  params["epsilon"] = p.epsilon;
+  params["nu"] = p.nu;
+  params["gamma"] = p.gamma;
+  params["tolerance"] = p.tolerance;
+  return params;
+}
+
+SvrParams svr_params_from_json(const std::string& type, const Json& p) {
+  SvrParams params;
+  params.kind = type == "esvr" ? SvrKind::kEpsilon : SvrKind::kNu;
+  params.c = p.at("c").as_number();
+  params.epsilon = p.at("epsilon").as_number();
+  params.nu = p.at("nu").as_number();
+  params.gamma = p.at("gamma").as_number();
+  params.tolerance = p.at("tolerance").as_number();
+  return params;
+}
+
+}  // namespace
+
 Json Svr::to_json() const {
   Json j = Json::object();
   j["type"] = name();
-  Json params = Json::object();
-  params["c"] = params_.c;
-  params["epsilon"] = params_.epsilon;
-  params["nu"] = params_.nu;
-  params["gamma"] = params_.gamma;
-  params["tolerance"] = params_.tolerance;
-  j["params"] = std::move(params);
+  j["params"] = svr_params_json(params_);
   j["effective_epsilon"] = effective_epsilon_;
-  j["feat_mean"] = Json::array_of(feat_mean_);
-  j["feat_scale"] = Json::array_of(feat_scale_);
+  j["feat_mean"] = Json::array_of(feat_mean_.to_vector());
+  j["feat_scale"] = Json::array_of(feat_scale_.to_vector());
   j["target_mean"] = target_mean_;
   j["target_scale"] = target_scale_;
   j["bias"] = bias_;
-  j["sv_coef"] = Json::array_of(sv_coef_);
+  j["sv_coef"] = Json::array_of(sv_coef_.to_vector());
+  // Nested per-vector rows (the text format) sliced back out of the flat
+  // row-major matrix.
+  const std::size_t d = feat_mean_.size();
   Json svs = Json::array();
-  for (const auto& sv : support_vectors_) svs.push_back(Json::array_of(sv));
+  for (std::size_t s = 0; s < sv_coef_.size(); ++s) {
+    svs.push_back(Json::array_of(std::vector<double>(
+        sv_flat_.begin() + static_cast<std::ptrdiff_t>(s * d),
+        sv_flat_.begin() + static_cast<std::ptrdiff_t>((s + 1) * d))));
+  }
   j["support_vectors"] = std::move(svs);
   return j;
 }
@@ -261,29 +283,78 @@ std::unique_ptr<Svr> Svr::from_json(const Json& j) {
   const std::string& type = j.at("type").as_string();
   ANB_CHECK(type == "esvr" || type == "nusvr",
             "Svr::from_json: wrong type tag");
-  const Json& p = j.at("params");
-  SvrParams params;
-  params.kind = type == "esvr" ? SvrKind::kEpsilon : SvrKind::kNu;
-  params.c = p.at("c").as_number();
-  params.epsilon = p.at("epsilon").as_number();
-  params.nu = p.at("nu").as_number();
-  params.gamma = p.at("gamma").as_number();
-  params.tolerance = p.at("tolerance").as_number();
-  auto model = std::make_unique<Svr>(params);
+  auto model = std::make_unique<Svr>(svr_params_from_json(type, j.at("params")));
   model->effective_epsilon_ = j.at("effective_epsilon").as_number();
-  model->feat_mean_ = j.at("feat_mean").as_double_vector();
-  model->feat_scale_ = j.at("feat_scale").as_double_vector();
+  std::vector<double> feat_mean = j.at("feat_mean").as_double_vector();
+  std::vector<double> feat_scale = j.at("feat_scale").as_double_vector();
   model->target_mean_ = j.at("target_mean").as_number();
   model->target_scale_ = j.at("target_scale").as_number();
   model->bias_ = j.at("bias").as_number();
-  model->sv_coef_ = j.at("sv_coef").as_double_vector();
-  for (const auto& jsv : j.at("support_vectors").as_array())
-    model->support_vectors_.push_back(jsv.as_double_vector());
-  ANB_CHECK(model->support_vectors_.size() == model->sv_coef_.size(),
-            "Svr::from_json: coef/support-vector count mismatch");
-  ANB_CHECK(model->feat_mean_.size() == model->feat_scale_.size(),
+  std::vector<double> sv_coef = j.at("sv_coef").as_double_vector();
+  ANB_CHECK(feat_mean.size() == feat_scale.size(),
             "Svr::from_json: feature mean/scale size mismatch");
-  model->rebuild_flat();
+  std::vector<double> sv_flat;
+  sv_flat.reserve(sv_coef.size() * feat_mean.size());
+  for (const auto& jsv : j.at("support_vectors").as_array()) {
+    const std::vector<double> sv = jsv.as_double_vector();
+    ANB_CHECK(sv.size() == feat_mean.size(),
+              "Svr::from_json: support vector dimension mismatch");
+    sv_flat.insert(sv_flat.end(), sv.begin(), sv.end());
+  }
+  ANB_CHECK(sv_flat.size() == sv_coef.size() * feat_mean.size(),
+            "Svr::from_json: coef/support-vector count mismatch");
+  ANB_CHECK(!sv_coef.empty(), "Svr::from_json: no support vectors");
+  model->feat_mean_ = io::ArrayRef<double>(std::move(feat_mean));
+  model->feat_scale_ = io::ArrayRef<double>(std::move(feat_scale));
+  model->sv_coef_ = io::ArrayRef<double>(std::move(sv_coef));
+  model->sv_flat_ = io::ArrayRef<double>(std::move(sv_flat));
+  return model;
+}
+
+Json Svr::to_binary(bin::Writer& w) const {
+  ANB_CHECK(!sv_coef_.empty(), "Svr::to_binary: model not fitted");
+  Json j = Json::object();
+  j["type"] = name();
+  j["params"] = svr_params_json(params_);
+  j["effective_epsilon"] = effective_epsilon_;
+  j["target_mean"] = target_mean_;
+  j["target_scale"] = target_scale_;
+  j["bias"] = bias_;
+  j["feat_mean"] =
+      static_cast<int>(w.add_array(bin::Tag::kF64, feat_mean_.span()));
+  j["feat_scale"] =
+      static_cast<int>(w.add_array(bin::Tag::kF64, feat_scale_.span()));
+  j["sv_coef"] =
+      static_cast<int>(w.add_array(bin::Tag::kF64, sv_coef_.span()));
+  j["sv_flat"] =
+      static_cast<int>(w.add_array(bin::Tag::kF64, sv_flat_.span()));
+  return j;
+}
+
+std::unique_ptr<Svr> Svr::from_binary(const Json& meta, const bin::Reader& r) {
+  const std::string& type = meta.at("type").as_string();
+  ANB_CHECK(type == "esvr" || type == "nusvr",
+            "Svr::from_binary: wrong type tag");
+  auto model =
+      std::make_unique<Svr>(svr_params_from_json(type, meta.at("params")));
+  model->effective_epsilon_ = meta.at("effective_epsilon").as_number();
+  model->target_mean_ = meta.at("target_mean").as_number();
+  model->target_scale_ = meta.at("target_scale").as_number();
+  model->bias_ = meta.at("bias").as_number();
+  auto f64 = [&](const char* key) {
+    return r.array<double>(
+        static_cast<std::uint32_t>(meta.at(key).as_int()), bin::Tag::kF64);
+  };
+  model->feat_mean_ = f64("feat_mean");
+  model->feat_scale_ = f64("feat_scale");
+  model->sv_coef_ = f64("sv_coef");
+  model->sv_flat_ = f64("sv_flat");
+  ANB_CHECK(model->feat_mean_.size() == model->feat_scale_.size(),
+            "Svr::from_binary: feature mean/scale size mismatch");
+  ANB_CHECK(!model->sv_coef_.empty(), "Svr::from_binary: no support vectors");
+  ANB_CHECK(model->sv_flat_.size() ==
+                model->sv_coef_.size() * model->feat_mean_.size(),
+            "Svr::from_binary: coef/support-vector count mismatch");
   return model;
 }
 

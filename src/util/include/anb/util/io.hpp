@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+// File-IO wrapper for the whole tree. Library code opens files only
+// through this layer (enforced by the anb_lint `raw-io` pass): it is the
+// one place that touches fopen/mmap/fstream, so short reads, partial
+// writes, and platform quirks are handled once. The obs sinks are the
+// single sanctioned exception — obs sits *below* util in the layer DAG
+// and cannot link back up to this wrapper.
+
+namespace anb::io {
+
+/// Whether this build can memory-map files (POSIX mmap). When false,
+/// Buffer::map_file transparently falls back to a heap read.
+bool mmap_supported();
+
+/// An immutable byte buffer: either heap-owned bytes or a live read-only
+/// file mapping. Shared (always held via shared_ptr) so zero-copy views
+/// into it — ArrayRef, the binary-artifact Reader — keep the backing
+/// storage alive for as long as any view exists. Heap-owned storage is
+/// max_align_t-aligned; mappings are page-aligned; both satisfy the
+/// alignment of any section payload the binary format emits.
+class Buffer {
+ public:
+  /// Heap buffer taking ownership of `bytes`.
+  static std::shared_ptr<const Buffer> from_bytes(std::vector<char> bytes);
+
+  /// Read a whole file into a heap buffer; throws anb::Error on failure.
+  static std::shared_ptr<const Buffer> read_file(const std::string& path);
+
+  /// Map a file read-only (zero-copy). Falls back to read_file() on
+  /// platforms without mmap. Throws anb::Error on failure. The mapping
+  /// reflects the file at open time; truncating the file on disk while a
+  /// mapping is live is outside the contract (POSIX would deliver SIGBUS
+  /// on a fault past the new end of file).
+  static std::shared_ptr<const Buffer> map_file(const std::string& path);
+
+  ~Buffer();
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  const char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::span<const char> bytes() const { return {data_, size_}; }
+  /// True when backed by a live file mapping rather than heap memory.
+  bool mapped() const { return mapped_; }
+
+ private:
+  Buffer() = default;
+
+  std::vector<char> owned_;  ///< heap storage (empty when mapped)
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  void* map_base_ = nullptr;  ///< munmap target (page-aligned)
+  std::size_t map_len_ = 0;
+};
+
+/// An owned-or-viewed immutable array. The owned form wraps a
+/// std::vector<T>; the view form wraps a span into a shared Buffer (the
+/// zero-copy mmap path) and pins the buffer alive. Copying an owned
+/// ArrayRef copies the elements; copying a view copies the pointer and
+/// the keepalive, never the payload.
+template <typename T>
+class ArrayRef {
+ public:
+  ArrayRef() = default;
+
+  /// Owning form.
+  explicit ArrayRef(std::vector<T> owned) : owned_(std::move(owned)) {}
+
+  /// Viewing form; `keepalive` pins the storage behind `view`. A null
+  /// keepalive is allowed when the caller guarantees the storage outlives
+  /// the ArrayRef (e.g. a view into another ArrayRef).
+  ArrayRef(std::span<const T> view, std::shared_ptr<const Buffer> keepalive)
+      : is_view_(true), view_(view), keepalive_(std::move(keepalive)) {}
+
+  bool is_view() const { return is_view_; }
+  const T* data() const { return is_view() ? view_.data() : owned_.data(); }
+  std::size_t size() const { return is_view() ? view_.size() : owned_.size(); }
+  bool empty() const { return size() == 0; }
+  std::span<const T> span() const { return {data(), size()}; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+
+  auto begin() const { return data(); }
+  auto end() const { return data() + size(); }
+
+  /// Materialize to an owned vector (copies a view; copies owned too).
+  std::vector<T> to_vector() const { return {begin(), end()}; }
+
+ private:
+  bool is_view_ = false;
+  std::vector<T> owned_;
+  std::span<const T> view_;
+  std::shared_ptr<const Buffer> keepalive_;
+};
+
+/// How to load a binary artifact from disk.
+enum class MapMode {
+  kCopy,  ///< read the whole file into heap memory
+  kMap,   ///< mmap and use array sections in place (fallback: kCopy)
+};
+
+/// Atomic-enough whole-file write: writes `content` and throws anb::Error
+/// on any failure (open, short write, flush).
+void write_file(const std::string& path, std::span<const char> content);
+
+}  // namespace anb::io

@@ -1,0 +1,104 @@
+#include "anb/util/io.hpp"
+
+#include <fstream>
+
+#include "anb/util/error.hpp"
+#include "anb/util/json.hpp"
+
+#if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
+#define ANB_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace anb::io {
+
+bool mmap_supported() {
+#if defined(ANB_HAS_MMAP)
+  return true;
+#else
+  return false;
+#endif
+}
+
+Buffer::~Buffer() {
+#if defined(ANB_HAS_MMAP)
+  if (mapped_ && map_base_ != nullptr) munmap(map_base_, map_len_);
+#endif
+}
+
+std::shared_ptr<const Buffer> Buffer::from_bytes(std::vector<char> bytes) {
+  auto buf = std::shared_ptr<Buffer>(new Buffer());
+  buf->owned_ = std::move(bytes);
+  buf->data_ = buf->owned_.data();
+  buf->size_ = buf->owned_.size();
+  return buf;
+}
+
+std::shared_ptr<const Buffer> Buffer::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ANB_CHECK(in.good(), "io::read_file: cannot open '" + path + "'");
+  std::vector<char> bytes{std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>()};
+  ANB_CHECK(!in.bad(), "io::read_file: read error on '" + path + "'");
+  return from_bytes(std::move(bytes));
+}
+
+std::shared_ptr<const Buffer> Buffer::map_file(const std::string& path) {
+#if defined(ANB_HAS_MMAP)
+  const int fd = ::open(path.c_str(), O_RDONLY);  // ANB_LINT_ALLOW(raw-io)
+  ANB_CHECK(fd >= 0, "io::map_file: cannot open '" + path + "'");
+  struct stat st{};
+  if (fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw Error("io::map_file: cannot stat '" + path + "'");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    // mmap of length 0 is invalid; an empty file is an empty heap buffer.
+    ::close(fd);
+    return from_bytes({});
+  }
+  void* base =
+      mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);  // ANB_LINT_ALLOW(raw-io)
+  ::close(fd);  // the mapping stays valid after close
+  ANB_CHECK(base != MAP_FAILED, "io::map_file: mmap failed for '" + path + "'");
+  auto buf = std::shared_ptr<Buffer>(new Buffer());
+  buf->data_ = static_cast<const char*>(base);
+  buf->size_ = size;
+  buf->mapped_ = true;
+  buf->map_base_ = base;
+  buf->map_len_ = size;
+  return buf;
+#else
+  return read_file(path);
+#endif
+}
+
+void write_file(const std::string& path, std::span<const char> content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ANB_CHECK(out.good(), "io::write_file: cannot open '" + path + "'");
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  ANB_CHECK(out.good(), "io::write_file: write error on '" + path + "'");
+}
+
+}  // namespace anb::io
+
+namespace anb {
+
+// read_text_file/write_text_file are declared in anb/util/json.hpp (they
+// predate the io wrapper); their implementations live here so every file
+// open in the library goes through this translation unit.
+std::string read_text_file(const std::string& path) {
+  const auto buf = io::Buffer::read_file(path);
+  return std::string(buf->data(), buf->size());
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  io::write_file(path, {content.data(), content.size()});
+}
+
+}  // namespace anb

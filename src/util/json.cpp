@@ -4,8 +4,6 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 
 namespace anb {
 
@@ -422,21 +420,7 @@ class Parser {
 
 Json Json::parse(const std::string& text) { return Parser(text).parse(); }
 
-std::string read_text_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  ANB_CHECK(in.good(), "read_text_file: cannot open '" + path + "'");
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  ANB_CHECK(!in.bad(), "read_text_file: read error on '" + path + "'");
-  return ss.str();
-}
-
-void write_text_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  ANB_CHECK(out.good(), "write_text_file: cannot open '" + path + "'");
-  out << content;
-  out.flush();
-  ANB_CHECK(out.good(), "write_text_file: write error on '" + path + "'");
-}
+// read_text_file / write_text_file are implemented in io.cpp (the one
+// sanctioned home of raw file IO; see anb/util/io.hpp).
 
 }  // namespace anb

@@ -2,8 +2,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "anb/anb/benchmark.hpp"
@@ -13,7 +16,9 @@
 #include "anb/surrogate/random_forest.hpp"
 #include "anb/surrogate/surrogate.hpp"
 #include "anb/surrogate/svr.hpp"
+#include "anb/util/binary.hpp"
 #include "anb/util/error.hpp"
+#include "anb/util/io.hpp"
 
 namespace anb {
 namespace {
@@ -202,28 +207,29 @@ TEST_F(SerializationTest, MissingFieldsRejected) {
 // parse/decode path is caught, not just wrong error types.
 
 /// One small benchmark (accuracy + two perf surrogates of different
-/// families), serialized once and shared by every fuzz case.
+/// families), shared by the text and binary fuzz corpora.
+AccelNASBench make_fuzz_benchmark() {
+  const Dataset train = make_dataset(60, 11);
+  const auto fitted = [&](std::unique_ptr<Surrogate> model) {
+    Rng fit_rng(13);
+    model->fit(train, fit_rng);
+    return model;
+  };
+  GbdtParams gp;
+  gp.n_estimators = 3;
+  SvrParams sp;
+  sp.gamma = 0.5;
+  AccelNASBench bench;
+  bench.set_accuracy_surrogate(fitted(std::make_unique<Gbdt>(gp)));
+  bench.set_perf_surrogate(MetricKey{DeviceKind::kA100, PerfMetric::kThroughput},
+                           fitted(std::make_unique<Gbdt>(gp)));
+  bench.set_perf_surrogate(MetricKey{DeviceKind::kZcu102, PerfMetric::kLatency},
+                           fitted(std::make_unique<Svr>(sp)));
+  return bench;
+}
+
 const std::string& saved_benchmark_text() {
-  static const std::string text = [] {
-    const Dataset train = make_dataset(60, 11);
-    Rng rng(12);
-    const auto fitted = [&](std::unique_ptr<Surrogate> model) {
-      Rng fit_rng(13);
-      model->fit(train, fit_rng);
-      return model;
-    };
-    GbdtParams gp;
-    gp.n_estimators = 3;
-    SvrParams sp;
-    sp.gamma = 0.5;
-    AccelNASBench bench;
-    bench.set_accuracy_surrogate(fitted(std::make_unique<Gbdt>(gp)));
-    bench.set_perf_surrogate(MetricKey{DeviceKind::kA100, PerfMetric::kThroughput},
-                             fitted(std::make_unique<Gbdt>(gp)));
-    bench.set_perf_surrogate(MetricKey{DeviceKind::kZcu102, PerfMetric::kLatency},
-                             fitted(std::make_unique<Svr>(sp)));
-    return bench.to_json().dump();
-  }();
+  static const std::string text = make_fuzz_benchmark().to_json().dump();
   return text;
 }
 
@@ -264,8 +270,11 @@ class BenchmarkCorruptionFuzz : public ::testing::Test {
     try {
       AccelNASBench::load(path);
       ADD_FAILURE() << "corrupted payload loaded successfully: " << what;
-    } catch (const Error&) {
-      // Expected: the anb::Error family, never std:: exceptions or UB.
+    } catch (const Error& e) {
+      // Expected: the anb::Error family, never std:: exceptions or UB —
+      // and the message must name the offending file.
+      EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+          << what << ": error does not name the offending path";
     }
     ++cases_;
   }
@@ -354,6 +363,250 @@ TEST_F(BenchmarkCorruptionFuzz, UncorruptedPayloadStillLoads) {
   const AccelNASBench bench = AccelNASBench::load(path);
   EXPECT_TRUE(bench.has_accuracy());
   EXPECT_EQ(bench.perf_targets().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Binary (.anbb) corruption fuzz corpus. Same contract as the text corpus
+// — every corrupted file throws anb::Error, never a crash or silent load —
+// but the attack surface is different: the container's header fields,
+// section table, and raw payloads. Corruptions come in two flavors:
+//
+//   - raw damage (truncations, bit-flips): the file-size field or the
+//     whole-file checksum must catch these before any offset is trusted;
+//   - *repatched* damage (tampered field + recomputed checksum): models a
+//     deliberately malformed file, so the structural validation itself —
+//     tag whitelist, power-of-two alignment, range/overlap/ordering checks
+//     — must reject it.
+//
+// Every case loads through both MapMode::kCopy and MapMode::kMap, so the
+// zero-copy mmap path proves it never dereferences an unvalidated offset
+// (the suite runs under ASan/UBSan in CI).
+
+std::uint32_t load_u32(const std::string& b, std::size_t at) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, b.data() + at, sizeof(v));
+  return v;
+}
+
+std::uint64_t load_u64(const std::string& b, std::size_t at) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, b.data() + at, sizeof(v));
+  return v;
+}
+
+void store_u32(std::string& b, std::size_t at, std::uint32_t v) {
+  std::memcpy(b.data() + at, &v, sizeof(v));
+}
+
+void store_u64(std::string& b, std::size_t at, std::uint64_t v) {
+  std::memcpy(b.data() + at, &v, sizeof(v));
+}
+
+/// Recompute the whole-file checksum after tampering, so the corruption
+/// reaches the structural validators instead of dying at the checksum.
+std::string repatch_checksum(std::string bytes) {
+  store_u64(bytes, bin::kChecksumOffset, 0);
+  store_u64(bytes, bin::kChecksumOffset,
+            bin::checksum64({bytes.data(), bytes.size()}));
+  return bytes;
+}
+
+struct TableEntry {
+  std::uint32_t tag = 0;
+  std::uint32_t align = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+};
+
+std::vector<TableEntry> parse_section_table(const std::string& bytes) {
+  const std::uint32_t count = load_u32(bytes, 16);
+  std::vector<TableEntry> entries(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t at = bin::kHeaderSize + i * bin::kSectionEntrySize;
+    entries[i] = {load_u32(bytes, at), load_u32(bytes, at + 4),
+                  load_u64(bytes, at + 8), load_u64(bytes, at + 16)};
+  }
+  return entries;
+}
+
+const std::string& saved_benchmark_anbb() {
+  static const std::string bytes = [] {
+    const std::string path = ::testing::TempDir() + "anb_fuzz_template.anbb";
+    make_fuzz_benchmark().save_binary(path);
+    const auto buf = io::Buffer::read_file(path);
+    return std::string(buf->data(), buf->size());
+  }();
+  return bytes;
+}
+
+/// The deterministic corpus: (label, corrupted file image) pairs.
+std::vector<std::pair<std::string, std::string>> binary_corruption_corpus() {
+  const std::string& good = saved_benchmark_anbb();
+  const std::vector<TableEntry> table = parse_section_table(good);
+  std::vector<std::pair<std::string, std::string>> corpus;
+
+  // --- Truncations: every header/table/section boundary (+-1 around the
+  // section edges) plus evenly spread cuts. All strict prefixes.
+  std::set<std::size_t> cuts{0,  1,  bin::kMagicSize, 23, 24, 31,
+                             32, 39, bin::kHeaderSize};
+  cuts.insert(bin::kHeaderSize + table.size() * bin::kSectionEntrySize);
+  for (const TableEntry& e : table) {
+    for (const std::size_t at : {e.offset, e.offset + e.size}) {
+      if (at > 0) cuts.insert(static_cast<std::size_t>(at) - 1);
+      cuts.insert(static_cast<std::size_t>(at));
+      cuts.insert(static_cast<std::size_t>(at) + 1);
+    }
+  }
+  const int kSpreadCuts = 90;
+  for (int i = 0; i < kSpreadCuts; ++i)
+    cuts.insert(good.size() * static_cast<std::size_t>(i) /
+                static_cast<std::size_t>(kSpreadCuts));
+  for (const std::size_t cut : cuts) {
+    if (cut >= good.size()) continue;
+    corpus.emplace_back("truncation at " + std::to_string(cut),
+                        good.substr(0, cut));
+  }
+
+  // --- Raw bit-flips anywhere in the file: the checksum (or an earlier
+  // header check) must reject every one.
+  Rng rng(0xB1A9);
+  const int kFlips = 64;
+  for (int i = 0; i < kFlips; ++i) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(good.size()) - 1));
+    const int bit = static_cast<int>(rng.uniform_int(0, 7));
+    std::string bad = good;
+    bad[pos] = static_cast<char>(static_cast<unsigned char>(bad[pos]) ^
+                                 (1u << bit));
+    corpus.emplace_back(
+        "bit flip " + std::to_string(bit) + " at " + std::to_string(pos), bad);
+  }
+
+  // --- Header tampering, checksum repatched: each field's own validator
+  // must reject it (or, for a zeroed section count, the benchmark loader's
+  // own "empty artifact" check).
+  {
+    std::string bad = good;
+    bad[3] = 'X';  // magic
+    corpus.emplace_back("magic corrupted", repatch_checksum(bad));
+  }
+  {
+    std::string bad = good;
+    store_u32(bad, 8, 0x04030201u);  // byte-swapped endian marker
+    corpus.emplace_back("endianness mismatch", repatch_checksum(bad));
+  }
+  for (const std::uint32_t version : {0u, 2u, 0xFFFFFFFFu}) {
+    std::string bad = good;
+    store_u32(bad, 12, version);
+    corpus.emplace_back("format version " + std::to_string(version),
+                        repatch_checksum(bad));
+  }
+  for (const std::uint32_t count : {0u, 0xFFFFu, 0xFFFFFFFFu}) {
+    std::string bad = good;
+    store_u32(bad, 16, count);
+    corpus.emplace_back("section count " + std::to_string(count),
+                        repatch_checksum(bad));
+  }
+  {
+    std::string bad = good;
+    store_u64(bad, 24, good.size() + 1);  // file-size field vs real size
+    corpus.emplace_back("file size field too large", repatch_checksum(bad));
+    store_u64(bad, 24, good.size() - 1);
+    corpus.emplace_back("file size field too small", repatch_checksum(bad));
+  }
+
+  // --- Section-table tampering, checksum repatched: structural validation
+  // (tag whitelist, power-of-two alignment, in-bounds ranges, ascending
+  // non-overlapping sections) must reject each mutation.
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const std::size_t at = bin::kHeaderSize + i * bin::kSectionEntrySize;
+    const auto tampered = [&](const char* what, auto&& mutate) {
+      std::string bad = good;
+      mutate(bad);
+      corpus.emplace_back(
+          "section " + std::to_string(i) + ": " + what,
+          repatch_checksum(std::move(bad)));
+    };
+    tampered("tag zero", [&](std::string& b) { store_u32(b, at, 0); });
+    tampered("tag unknown",
+             [&](std::string& b) { store_u32(b, at, 0xDEADu); });
+    tampered("alignment not a power of two",
+             [&](std::string& b) { store_u32(b, at + 4, 3); });
+    tampered("alignment zero",
+             [&](std::string& b) { store_u32(b, at + 4, 0); });
+    tampered("offset past end of file", [&](std::string& b) {
+      store_u64(b, at + 8, good.size());
+    });
+    tampered("misaligned / overlapping offset", [&](std::string& b) {
+      store_u64(b, at + 8, table[i].offset + 1);
+    });
+    tampered("size past end of file", [&](std::string& b) {
+      store_u64(b, at + 16, good.size());
+    });
+  }
+  // Swapped neighbors break the ascending-offset rule.
+  for (std::size_t i = 0; i + 1 < table.size(); ++i) {
+    const std::size_t a = bin::kHeaderSize + i * bin::kSectionEntrySize;
+    const std::size_t b = a + bin::kSectionEntrySize;
+    std::string bad = good;
+    store_u64(bad, a + 8, table[i + 1].offset);
+    store_u64(bad, a + 16, table[i + 1].size);
+    store_u64(bad, b + 8, table[i].offset);
+    store_u64(bad, b + 16, table[i].size);
+    store_u32(bad, a, table[i + 1].tag);
+    store_u32(bad, a + 4, table[i + 1].align);
+    store_u32(bad, b, table[i].tag);
+    store_u32(bad, b + 4, table[i].align);
+    corpus.emplace_back(
+        "sections " + std::to_string(i) + "/" + std::to_string(i + 1) +
+            " swapped out of order",
+        repatch_checksum(std::move(bad)));
+  }
+
+  return corpus;
+}
+
+class BinaryCorruptionFuzz : public ::testing::Test {
+ protected:
+  /// Writes the image to a scratch file and requires load_binary to reject
+  /// it with anb::Error — through the heap path and the mmap path — with
+  /// the offending path named in the message.
+  void expect_rejected(const std::string& label, const std::string& image) {
+    const std::string path = ::testing::TempDir() + "anb_corruption.anbb";
+    io::write_file(path, {image.data(), image.size()});
+    for (const io::MapMode mode : {io::MapMode::kCopy, io::MapMode::kMap}) {
+      try {
+        AccelNASBench::load_binary(path, mode);
+        ADD_FAILURE() << "corrupted artifact loaded: " << label;
+      } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+            << label << ": error does not name the offending path";
+      }
+    }
+  }
+};
+
+TEST_F(BinaryCorruptionFuzz, EveryCorruptionThrowsAnbError) {
+  for (const auto& [label, image] : binary_corruption_corpus())
+    expect_rejected(label, image);
+}
+
+TEST_F(BinaryCorruptionFuzz, CorpusMeetsMinimumSize) {
+  // The robustness contract promises >= 200 deterministic binary cases.
+  EXPECT_GE(binary_corruption_corpus().size(), 200u);
+}
+
+TEST_F(BinaryCorruptionFuzz, UncorruptedArtifactStillLoads) {
+  // Control: the template itself loads in both modes, so every rejection
+  // above is attributable to the injected corruption.
+  const std::string path = ::testing::TempDir() + "anb_fuzz_control.anbb";
+  const std::string& good = saved_benchmark_anbb();
+  io::write_file(path, {good.data(), good.size()});
+  for (const io::MapMode mode : {io::MapMode::kCopy, io::MapMode::kMap}) {
+    const AccelNASBench bench = AccelNASBench::load_binary(path, mode);
+    EXPECT_TRUE(bench.has_accuracy());
+    EXPECT_EQ(bench.perf_targets().size(), 2u);
+  }
 }
 
 }  // namespace

@@ -215,6 +215,43 @@ TEST(RawTimingPass, ExemptsObsAndBench) {
       run_on("raw-timing", {{"bench/harness.cpp", clock_use}}).empty());
 }
 
+TEST(RawIoPass, FlagsRawFileIoInSrcOnly) {
+  const std::string stream_use =
+      "#include <fstream>\n"
+      "void f() { std::ifstream in(\"x\"); }\n";
+  // Both the include and the stream type are findings in library code.
+  EXPECT_EQ(run_on("raw-io", {{"src/anb/bad.cpp", stream_use}}).size(), 2u);
+  const std::string cstdio_use =
+      "void f() { FILE* fp = fopen(\"x\", \"rb\"); (void)fp; }\n";
+  EXPECT_TRUE(has_finding(run_on("raw-io", {{"src/util/bad.cpp", cstdio_use}}),
+                          "src/util/bad.cpp", 1));
+  const std::string mmap_use =
+      "void g() { void* p = mmap(nullptr, 8, 1, 2, -1, 0); (void)p; }\n"
+      "int h() { return ::open(\"x\", 0); }\n";
+  EXPECT_EQ(run_on("raw-io", {{"src/surrogate/bad.cpp", mmap_use}}).size(),
+            2u);
+}
+
+TEST(RawIoPass, ExemptsWrapperObsTestsAndBench) {
+  const std::string stream_use =
+      "#include <fstream>\n"
+      "void f() { std::ofstream out(\"x\"); }\n";
+  EXPECT_TRUE(run_on("raw-io", {{"src/util/io.cpp", stream_use}}).empty());
+  EXPECT_TRUE(run_on("raw-io", {{"src/obs/trace.cpp", stream_use}}).empty());
+  EXPECT_TRUE(run_on("raw-io", {{"tests/anb/some_test.cpp", stream_use}})
+                  .empty());
+  EXPECT_TRUE(run_on("raw-io", {{"bench/harness.cpp", stream_use}}).empty());
+  // Member/scoped calls named open are not the libc ::open.
+  const std::string member_open =
+      "void f() { auto b = anb::AccelNASBench::open(\"x\"); (void)b; }\n";
+  EXPECT_TRUE(
+      run_on("raw-io", {{"src/anb/fine.cpp", member_open}}).empty());
+  // Line suppression works like every other pass.
+  const std::string allowed =
+      "void g() { fopen(\"x\", \"rb\"); }  // ANB_LINT_ALLOW(raw-io)\n";
+  EXPECT_TRUE(run_on("raw-io", {{"src/util/fine.cpp", allowed}}).empty());
+}
+
 TEST(DeterministicIterationPass, FlagsOrderSensitiveSinks) {
   const std::string streaming =
       "#include <unordered_map>\n"

@@ -2,7 +2,13 @@
 //
 //   anbench build  [--out FILE] [--archs N] [--tune] [--energy]
 //                  [--proxy-search] [--seed S]
-//       Construct a benchmark (Fig. 2 pipeline) and save it as JSON.
+//       Construct a benchmark (Fig. 2 pipeline) and save it. The output
+//       format follows the --out extension: .anbb writes the zero-copy
+//       binary container, anything else writes JSON.
+//
+//   anbench convert --bench FILE --out FILE
+//       Re-save a benchmark in the format implied by the --out extension
+//       (.anbb binary container <-> JSON text).
 //
 //   anbench info   --bench FILE
 //       List the surrogates a saved benchmark contains.
@@ -38,7 +44,8 @@ using namespace anb;
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
-               "usage: anbench <build|info|query|search|random> [options]\n"
+               "usage: anbench <build|convert|info|query|search|random> "
+               "[options]\n"
                "run with a command and no options for per-command help; see "
                "the header of tools/anbench.cpp for details.\n");
   std::exit(2);
@@ -80,6 +87,22 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
+/// True when `path` names the zero-copy binary container format.
+bool wants_binary(const std::string& path) {
+  const std::string ext = ".anbb";
+  return path.size() >= ext.size() &&
+         path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
+/// Save in the format the output extension asks for.
+void save_as(const AccelNASBench& bench, const std::string& out) {
+  if (wants_binary(out)) {
+    bench.save_binary(out);
+  } else {
+    bench.save(out);
+  }
+}
+
 int cmd_build(const Args& args) {
   PipelineOptions options;
   options.world_seed =
@@ -101,13 +124,23 @@ int cmd_build(const Args& args) {
     std::printf("  %-14s R2 %.3f tau %.3f MAE %.3g\n", name.c_str(),
                 metrics.r2, metrics.kendall_tau, metrics.mae);
   }
-  result.bench.save(out);
+  save_as(result.bench, out);
   std::printf("saved %s\n", out.c_str());
   return 0;
 }
 
+int cmd_convert(const Args& args) {
+  const std::string in = args.require("bench");
+  const std::string out = args.require("out");
+  const AccelNASBench bench = AccelNASBench::open(in);
+  save_as(bench, out);
+  std::printf("converted %s -> %s (%s)\n", in.c_str(), out.c_str(),
+              wants_binary(out) ? "binary .anbb" : "JSON text");
+  return 0;
+}
+
 int cmd_info(const Args& args) {
-  const AccelNASBench bench = AccelNASBench::load(args.require("bench"));
+  const AccelNASBench bench = AccelNASBench::open(args.require("bench"));
   std::printf("accuracy surrogate: %s\n",
               bench.has_accuracy() ? "installed" : "missing");
   const auto targets = bench.perf_targets();
@@ -122,7 +155,7 @@ int cmd_info(const Args& args) {
 }
 
 int cmd_query(const Args& args) {
-  const AccelNASBench bench = AccelNASBench::load(args.require("bench"));
+  const AccelNASBench bench = AccelNASBench::open(args.require("bench"));
   const Architecture arch = Architecture::from_string(args.require("arch"));
   if (args.has("device")) {
     const MetricKey key{device_kind_from_name(args.require("device")),
@@ -136,7 +169,7 @@ int cmd_query(const Args& args) {
 }
 
 int cmd_search(const Args& args) {
-  const AccelNASBench bench = AccelNASBench::load(args.require("bench"));
+  const AccelNASBench bench = AccelNASBench::open(args.require("bench"));
   ParetoSearchConfig config;
   config.key = MetricKey{device_kind_from_name(args.require("device")),
                          perf_metric_from_name(args.get("metric", "Thr"))};
@@ -172,6 +205,7 @@ int main(int argc, char** argv) {
   const Args args(argc, argv, 2);
   try {
     if (command == "build") return cmd_build(args);
+    if (command == "convert") return cmd_convert(args);
     if (command == "info") return cmd_info(args);
     if (command == "query") return cmd_query(args);
     if (command == "search") return cmd_search(args);

@@ -27,4 +27,7 @@ void register_discipline_passes(PassList& out);
 /// layering (include-graph DAG).
 void register_layering_pass(PassList& out);
 
+/// raw-io (file IO confined to anb::io / src/util/io.cpp).
+void register_io_pass(PassList& out);
+
 }  // namespace anb::lint

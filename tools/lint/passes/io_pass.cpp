@@ -1,0 +1,100 @@
+// raw-io: library file IO must flow through anb::io (anb/util/io.hpp).
+//
+// The io wrapper is the one place that owns file descriptors, mmap
+// lifetimes, and error wrapping (everything throws anb::Error with the
+// path in the message). Scattered fopen/ifstream/mmap call sites are
+// how short-read handling, EINTR retries, and SIGBUS-safe mapping rules
+// silently diverge — so inside src/ they are findings.
+//
+// Exemptions, by layer position rather than waiver comments:
+//   - src/util/io.cpp    — the sanctioned home of raw IO.
+//   - src/obs/           — the observability layer sits *below* util in
+//                          the include DAG and cannot link up to the
+//                          wrapper; its exporters keep their own streams.
+// Tests, bench harnesses, and tools are out of scope: they are free to
+// write fixtures and CSVs however they like.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "anb_lint/passes.hpp"
+
+namespace anb::lint {
+
+namespace {
+
+/// Could this token qualify a `::` that follows it? Keywords lex as
+/// identifiers, so `return ::open(...)` must not look qualified.
+bool is_qualifier(const Token& t) {
+  if (t.kind != TokenKind::kIdentifier) return false;
+  return t.text != "return" && t.text != "throw" && t.text != "co_return" &&
+         t.text != "co_yield";
+}
+
+class RawIoPass final : public FilePass {
+ public:
+  std::string_view name() const override { return "raw-io"; }
+  std::string_view summary() const override {
+    return "file IO through anb::io (src/util/io.cpp), not raw streams";
+  }
+
+ private:
+  void check(const SourceFile& f, Diagnostics& diag) const override {
+    if (!f.in_src) return;
+    if (f.rel_path == "src/util/io.cpp") return;
+    if (f.rel_path.rfind("src/obs/", 0) == 0) return;
+
+    for (const Include& inc : f.includes) {
+      if (inc.target == "fstream" || inc.target == "sys/mman.h" ||
+          inc.target == "fcntl.h") {
+        diag.report(f, inc.line,
+                    "#include <" + inc.target +
+                        ">: file IO belongs in anb::io (anb/util/io.hpp)");
+      }
+    }
+
+    const std::vector<Token>& t = f.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokenKind::kIdentifier) continue;
+      // #include lines tokenize too; they are already covered above.
+      const std::string& code_line = f.code_lines[t[i].line - 1];
+      const auto first = code_line.find_first_not_of(" \t");
+      if (first != std::string::npos && code_line[first] == '#') continue;
+      const std::string& text = t[i].text;
+      if (text == "ifstream" || text == "ofstream" || text == "fstream") {
+        diag.report(f, t[i].line,
+                    "std::" + text +
+                        ": read/write files through anb::io "
+                        "(Buffer::read_file / write_file)");
+        continue;
+      }
+      const bool is_call = i + 1 < t.size() && t[i + 1].text == "(";
+      if (!is_call) continue;
+      if (text == "fopen" || text == "freopen" || text == "fdopen") {
+        diag.report(f, t[i].line,
+                    text + ": use anb::io instead of C stdio streams");
+      } else if (text == "mmap" || text == "munmap") {
+        diag.report(f, t[i].line,
+                    text +
+                        ": map files through io::Buffer::map_file so the "
+                        "mapping's lifetime is owned by a Buffer");
+      } else if (text == "open" && i >= 1 && t[i - 1].text == "::" &&
+                 (i < 2 || !is_qualifier(t[i - 2]))) {
+        // Global-scope ::open( only — `AccelNASBench::open(` and plain
+        // member calls named open() are fine.
+        diag.report(f, t[i].line,
+                    "::open: open file descriptors through anb::io");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void register_io_pass(PassList& out) {
+  out.push_back(std::make_unique<RawIoPass>());
+}
+
+}  // namespace anb::lint
