@@ -8,12 +8,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
 #include "anb/anb/benchmark.hpp"
 #include "anb/anb/tuning.hpp"
 #include "anb/obs/obs.hpp"
 #include "anb/searchspace/space.hpp"
+#include "anb/surrogate/flat_forest.hpp"
 #include "anb/trainsim/simulator.hpp"
 #include "anb/anb/pipeline.hpp"
+#include "anb/util/simd.hpp"
+#include "common.hpp"
 
 namespace {
 
@@ -101,6 +106,40 @@ void BM_QueryObsOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryObsOverhead)->Arg(1)->Arg(0);
 
+// SIMD vs scalar batched descent (DESIGN.md "SIMD descent"): one fitted
+// hist-gbdt (masked-eligible by construction: max_leaves 8) predicts the
+// same 4096-row matrix under auto dispatch — the masked SIMD engine on
+// capable hosts — and under a pinned scalar target, where auto dispatch
+// falls back to the interleaved walk. items_per_second is rows/sec;
+// compare the two labels for the SIMD speedup on this host. The pair
+// also populates the anb.query.simd.{rows,dispatch_target} metrics that
+// main() exports below for the CI artifact.
+void BM_PredictBatchDescent(benchmark::State& state) {
+  const auto model = fitted(SurrogateKind::kLgb);
+  constexpr std::size_t kRows = 4096;
+  const auto d = static_cast<std::size_t>(SearchSpace::feature_dim());
+  Rng rng(9);
+  std::vector<double> rows;
+  rows.reserve(kRows * d);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    const auto x = SearchSpace::features(SearchSpace::sample(rng));
+    rows.insert(rows.end(), x.begin(), x.end());
+  }
+  std::vector<double> out(kRows);
+  const bool simd_on = state.range(0) != 0;
+  std::optional<simd::ScopedTarget> pin;
+  if (!simd_on) pin.emplace(simd::Target::kScalar);
+  for (auto _ : state) {
+    model->predict_batch(rows, d, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kRows));
+  state.SetLabel(simd_on ? "simd_auto" : "scalar_pinned");
+}
+BENCHMARK(BM_PredictBatchDescent)->Arg(1)->Arg(0);
+
 // Contrast: the cost this zero-cost path replaces (simulated training run).
 void BM_SimulatedTrainingEvaluation(benchmark::State& state) {
   TrainingSimulator sim(42);
@@ -113,3 +152,17 @@ void BM_SimulatedTrainingEvaluation(benchmark::State& state) {
 BENCHMARK(BM_SimulatedTrainingEvaluation);
 
 }  // namespace
+
+// Custom main instead of benchmark_main: after the run, export the obs
+// registry as a metrics CSV (anb.query.simd.{rows,dispatch_target} from
+// the batched-descent pair above, plus the query counters) so the CI
+// tier-1 job can upload it with the other bench observability artifacts.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  obs::write_metrics_csv(
+      anb::bench::results_path("micro_query_latency_metrics.csv"));
+  return 0;
+}

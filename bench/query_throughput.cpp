@@ -17,19 +17,24 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "anb/anb/benchmark.hpp"
 #include "anb/searchspace/space.hpp"
 #include "anb/surrogate/ensemble.hpp"
+#include "anb/surrogate/flat_forest.hpp"
 #include "anb/surrogate/gbdt.hpp"
 #include "anb/surrogate/hist_gbdt.hpp"
 #include "anb/surrogate/random_forest.hpp"
 #include "anb/surrogate/svr.hpp"
+#include "anb/util/error.hpp"
+#include "anb/util/simd.hpp"
 #include "common.hpp"
 
 namespace anb::bench {
@@ -119,6 +124,73 @@ RowResult bench_model(const std::string& name, const Surrogate& model,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Per-engine descent throughput (DESIGN.md "SIMD descent"). Each flat-
+// forest family runs serial predict_batch under every forced descent
+// engine; engines a fitted forest cannot support (shape outside the
+// quantized/masked eligibility rules) are reported as unavailable rather
+// than timed. Speedups are relative to the interleaved walk — the
+// pre-SIMD baseline — which keeps them comparable across hosts even
+// though absolute rows/sec are not.
+// ---------------------------------------------------------------------------
+
+struct PathResult {
+  std::string model;
+  std::string path;
+  bool available = false;
+  double rps = 0.0;
+  double speedup = 0.0;  ///< vs the interleaved walk on the same host
+  bool bit_identical = true;
+};
+
+std::vector<PathResult> bench_paths(const std::string& name,
+                                    const Surrogate& model,
+                                    std::span<const double> rows,
+                                    std::size_t num_features) {
+  const std::size_t n = rows.size() / num_features;
+  std::vector<double> ref(n), out(n);
+  {
+    ScopedDescentPath sp(DescentPath::kInterleaved);
+    model.predict_batch(rows, num_features, ref);
+  }
+  const DescentPath kPaths[] = {DescentPath::kInterleaved, DescentPath::kSimd,
+                                DescentPath::kQuantized, DescentPath::kMasked};
+  std::vector<PathResult> results;
+  for (const DescentPath path : kPaths) {
+    PathResult r;
+    r.model = name;
+    r.path = descent_path_name(path);
+    ScopedDescentPath sp(path);
+    try {
+      model.predict_batch(rows, num_features, out);  // availability probe
+    } catch (const Error&) {
+      results.push_back(r);
+      continue;
+    }
+    r.available = true;
+    const double secs = time_per_call(
+        [&] { model.predict_batch(rows, num_features, out); });
+    r.rps = static_cast<double>(n) / secs;
+    r.bit_identical =
+        std::memcmp(ref.data(), out.data(), n * sizeof(double)) == 0;
+    r.speedup = results.empty() ? 1.0 : r.rps / results.front().rps;
+    results.push_back(r);
+  }
+  return results;
+}
+
+void print_path_row(const PathResult& r) {
+  if (!r.available) {
+    std::printf("  %-14s %-12s unavailable (forest shape outside "
+                "eligibility)\n",
+                r.model.c_str(), r.path.c_str());
+    return;
+  }
+  std::printf("  %-14s %-12s %10.0f r/s  (%5.2fx interleaved)  exact=%s\n",
+              r.model.c_str(), r.path.c_str(), r.rps, r.speedup,
+              r.bit_identical ? "yes" : "NO");
+}
+
 void print_row(const RowResult& r) {
   std::printf("%-18s rows=%-6zu scalar=%10.0f r/s  batched=%10.0f r/s "
               "(%5.2fx)  parallel=%10.0f r/s (%5.2fx)  exact=%s\n",
@@ -188,6 +260,38 @@ int run(int argc, char** argv) {
   results.push_back(bench_model("ensemble_gbdt", ensemble, rows,
                                 num_features));
   for (const auto& r : results) print_row(r);
+
+  // Per-engine sweep over the flat-forest families (svr has no forest;
+  // the ensemble delegates to its gbdt members, already covered).
+  std::printf("\ndescent engines (forced, serial predict_batch, target=%s):\n",
+              simd::target_name(simd::active_target()));
+  const std::pair<const char*, const Surrogate*> kForestModels[] = {
+      {"gbdt", &gbdt}, {"hist_gbdt", &hist}, {"random_forest", &forest}};
+  std::vector<PathResult> path_results;
+  for (const auto& [pname, pmodel] : kForestModels) {
+    const std::vector<PathResult> rs =
+        bench_paths(pname, *pmodel, rows, num_features);
+    for (const PathResult& r : rs) print_path_row(r);
+    path_results.insert(path_results.end(), rs.begin(), rs.end());
+  }
+
+  // Perf gate: on AVX2 hardware at full size, the masked engine must beat
+  // the interleaved walk by >= 3x wherever it is available (the PR's
+  // acceptance floor; ~7x measured on dev hardware, so 3x leaves headroom
+  // for noisy CI neighbours). Skipped in fast/small runs where fixed
+  // costs dominate, and on non-AVX2 hosts, where auto dispatch falls back
+  // to the interleaved walk itself (>= 1x by construction).
+  bool gate_ok = true;
+  const bool gate_active = !fast_mode() && n_rows >= 4096 &&
+                           simd::cpu_supports(simd::Target::kAvx2);
+  for (const PathResult& r : path_results) {
+    if (!r.available || r.path != "masked" || !gate_active) continue;
+    if (r.speedup < 3.0) {
+      std::printf("FAILED: %s masked engine %.2fx interleaved (< 3x floor)\n",
+                  r.model.c_str(), r.speedup);
+      gate_ok = false;
+    }
+  }
 
   // End-to-end benchmark queries through the architecture-keyed cache:
   // scalar loop with the cache disabled, then a cold batched call (all
@@ -260,6 +364,28 @@ int run(int argc, char** argv) {
   write_text_file(path, csv);
   std::printf("wrote %s\n", path.c_str());
 
+  // Trajectory: append one row per (model, engine) so the committed CSV
+  // records how engine speedups evolve across revisions. CI gates on the
+  // speedup column — a same-host ratio, comparable across hardware —
+  // not absolute rows/sec (tools/check_throughput_trajectory.py).
+  const char* rev_env = std::getenv("ANB_GIT_REV");
+  const std::string rev = rev_env != nullptr ? rev_env : "unknown";
+  const std::string traj_path =
+      results_path("query_throughput_trajectory.csv");
+  std::string traj;
+  if (std::filesystem::exists(traj_path)) traj = read_text_file(traj_path);
+  if (traj.empty())
+    traj = "git_rev,model,path,rows_per_sec,speedup_vs_interleaved\n";
+  for (const PathResult& r : path_results) {
+    if (!r.available) continue;
+    char line[256];
+    std::snprintf(line, sizeof(line), "%s,%s,%s,%.0f,%.3f\n", rev.c_str(),
+                  r.model.c_str(), r.path.c_str(), r.rps, r.speedup);
+    traj += line;
+  }
+  write_text_file(traj_path, traj);
+  std::printf("appended %s (rev %s)\n", traj_path.c_str(), rev.c_str());
+
   // rows/sec gauges: timing lives in the bench (the library never reads
   // the clock — see tools/anb_lint raw-timing rule), the registry carries
   // the last measured value for the metrics CSV.
@@ -269,11 +395,12 @@ int run(int argc, char** argv) {
 
   bool all_exact = true;
   for (const auto& r : results) all_exact = all_exact && r.bit_identical;
+  for (const auto& r : path_results) all_exact = all_exact && r.bit_identical;
   if (!all_exact) {
     std::printf("FAILED: batched prediction diverged from the scalar path\n");
     return 1;
   }
-  return 0;
+  return gate_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -1,0 +1,32 @@
+// The one translation unit compiled with -mavx2 (plus -mno-fma
+// -ffp-contract=off so no mul+add ever fuses — bit-identity depends on
+// it). It instantiates the descent kernels for Avx2Isa and nothing else:
+// Avx2Isa is only defined under __AVX2__, and no other Isa is ever named
+// here, so the instantiation sets of this TU and flat_forest.cpp are
+// disjoint — the linker cannot substitute AVX2 code into baseline paths.
+// Callers reach these kernels only through avx2_descent_kernels(), and
+// FlatForest::accumulate only takes that pointer after the runtime CPU
+// probe (simd::cpu_supports) says AVX2 is safe to execute.
+//
+// On non-x86 toolchains (or compilers without -mavx2) CMake omits the
+// flag, __AVX2__ stays undefined, and this TU degrades to the nullptr
+// stub — dispatch then falls back to the scalar kernels.
+
+#include "descent_kernels.hpp"
+
+namespace anb::detail {
+
+#if defined(__AVX2__)
+
+const DescentKernels* avx2_descent_kernels() {
+  static const DescentKernels k = kernels::make_kernels<simd::Avx2Isa>();
+  return &k;
+}
+
+#else
+
+const DescentKernels* avx2_descent_kernels() { return nullptr; }
+
+#endif
+
+}  // namespace anb::detail

@@ -93,6 +93,10 @@ void Gbdt::fit_impl(const Dataset& train, const ColumnIndex& columns,
   rebuild_flat();
 }
 
+// Depth-capped boosting (default max_depth 3) keeps every tree at <= 8
+// leaves, so fitted models qualify for the masked SIMD descent engine
+// whenever their per-feature threshold counts fit the byte-code budget
+// (DESIGN.md "SIMD descent").
 void Gbdt::rebuild_flat() { flat_ = FlatForest(trees_); }
 
 double Gbdt::predict(std::span<const double> x) const {

@@ -1,15 +1,49 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <type_traits>
 #include <vector>
 
 #include "anb/surrogate/tree.hpp"
 #include "anb/util/io.hpp"
+#include "anb/util/mutex.hpp"
+#include "anb/util/thread_annotations.hpp"
 
 namespace anb {
+
+/// Which descent engine accumulate() runs. All engines are bit-identical
+/// by contract (tests/surrogate/simd_descent_test.cpp); they differ only
+/// in throughput and hardware/forest requirements.
+enum class DescentPath : int {
+  kAuto = 0,         ///< pick per active simd::Target (the default)
+  kInterleaved = 1,  ///< PR 2 scalar walk: 2 trees x 4 rows in lockstep
+  kSimd = 2,         ///< SoA gather descent on full-precision thresholds
+  kQuantized = 3,    ///< SoA gather descent on uint8 threshold codes
+  kMasked = 4,       ///< leaf-set masks over uint8 codes (<= 8 leaves/tree)
+};
+
+const char* descent_path_name(DescentPath p);
+
+/// Process-wide forced path (test/bench hook; kAuto clears). A forced
+/// kSimd/kQuantized/kMasked still honors the active simd::Target, so
+/// forcing target kScalar exercises the scalar-Isa kernels. Forcing
+/// kQuantized/kMasked on a forest where the engine is unavailable throws
+/// at accumulate time.
+void set_descent_path_override(DescentPath p);
+DescentPath descent_path_override();
+
+/// RAII force/restore of the descent path.
+class ScopedDescentPath {
+ public:
+  explicit ScopedDescentPath(DescentPath p) { set_descent_path_override(p); }
+  ~ScopedDescentPath() { set_descent_path_override(DescentPath::kAuto); }
+  ScopedDescentPath(const ScopedDescentPath&) = delete;
+  ScopedDescentPath& operator=(const ScopedDescentPath&) = delete;
+};
 
 /// One node of a flattened forest. Internal nodes route
 /// x[feature] < split to `left`, else `right`. Leaves reuse the `split`
@@ -53,7 +87,18 @@ static_assert(alignof(FlatNode) == 8);
 /// surrogate family).
 class FlatForest {
  public:
-  FlatForest() = default;
+  // Out of line: the cached-tables unique_ptr needs SimdTables complete
+  // (flat_forest.cpp) wherever a constructor or destructor is defined.
+  FlatForest();
+
+  // The cached SIMD tables hold raw pointers into themselves, so moves
+  // and copies transfer only the node arrays and let the destination
+  // rebuild its tables lazily on first use.
+  FlatForest(FlatForest&& other) noexcept;
+  FlatForest& operator=(FlatForest&& other) noexcept;
+  FlatForest(const FlatForest& other);
+  FlatForest& operator=(const FlatForest& other);
+  ~FlatForest();
 
   /// Flatten fitted trees. Validates child indices; throws anb::Error on
   /// malformed trees.
@@ -92,12 +137,41 @@ class FlatForest {
   std::span<const FlatNode> nodes() const { return nodes_.span(); }
   std::span<const std::int32_t> roots() const { return roots_.span(); }
 
+  /// True if the quantized descent can represent this forest: every
+  /// feature has <= 255 distinct finite thresholds, every tree fits
+  /// 16-bit local indexing, every feature index fits 16 bits. Builds the
+  /// SIMD tables on first call (lazily — never at load time, so the mmap
+  /// cold-start contract in bench/load_latency is untouched).
+  bool quantized_available() const;
+
+  /// True if the masked leaf-set engine can represent this forest:
+  /// quantized_available() plus every tree has <= 8 leaves (the leaf-set
+  /// mask is one byte). Holds for the default Gbdt (max_depth 3) and
+  /// HistGbdt (max_leaves 8) configurations; deep RandomForest trees
+  /// fall back. Builds the SIMD tables on first call.
+  bool masked_available() const;
+
+  /// Derived lookaside for the SIMD descent paths: SoA node arrays plus
+  /// the quantized node/threshold tables. Built once, on demand, from the
+  /// AoS nodes_ — the .anbb on-disk format stays AoS (DESIGN.md "SIMD
+  /// descent"). Defined (and only usable) in flat_forest.cpp.
+  struct SimdTables;
+
  private:
   void validate();
+  const SimdTables& simd_tables() const;
 
   io::ArrayRef<FlatNode> nodes_;       // all trees back to back
   io::ArrayRef<std::int32_t> roots_;   // root index of each tree
   std::int32_t max_feature_ = -1;      // for a once-per-batch range check
+
+  // Double-checked lazy init: the atomic is the fast path (acquire),
+  // simd_mu_ serializes the one build (release publish). Mutable because
+  // the tables are a cache derived from const state.
+  mutable std::atomic<const SimdTables*> simd_cache_{nullptr};
+  mutable Mutex simd_mu_;
+  mutable std::unique_ptr<const SimdTables> simd_owned_
+      ANB_GUARDED_BY(simd_mu_);
 };
 
 }  // namespace anb

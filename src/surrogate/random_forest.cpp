@@ -85,6 +85,10 @@ void RandomForest::fit_impl(const Dataset& train, const ColumnIndex& columns,
   rebuild_flat();
 }
 
+// Deep trees (default max_depth 14) usually exceed the masked engine's
+// 8-leaf cap, so batched prediction auto-dispatches to the interleaved
+// walk for fitted forests; the quantized/masked engines light up only
+// for unusually shallow fits (DESIGN.md "SIMD descent").
 void RandomForest::rebuild_flat() { flat_ = FlatForest(trees_); }
 
 double RandomForest::predict(std::span<const double> x) const {

@@ -17,10 +17,29 @@
 
 #include "anb/anb/pipeline.hpp"
 #include "anb/obs/obs.hpp"
+#include "anb/surrogate/flat_forest.hpp"
 #include "anb/util/parallel.hpp"
 
 namespace anb {
 namespace {
+
+/// Whether the SIMD descent engages (and thus whether anb.query.simd.*
+/// metrics exist) depends on the host CPU. Pinning the interleaved path
+/// keeps both the golden report and the cross-thread snapshots
+/// hardware-independent; the SIMD counters get their own coverage in
+/// tests/surrogate/simd_descent_test.cpp.
+class PinInterleavedEnv : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    set_descent_path_override(DescentPath::kInterleaved);
+  }
+  void TearDown() override {
+    set_descent_path_override(DescentPath::kAuto);
+  }
+};
+
+const ::testing::Environment* const kPinned =
+    ::testing::AddGlobalTestEnvironment(new PinInterleavedEnv);
 
 /// Collect + fit + scalar/batched queries, small enough for test time but
 /// crossing every instrumented layer (collection, fitting, queries, cache).

@@ -252,6 +252,52 @@ TEST(RawIoPass, ExemptsWrapperObsTestsAndBench) {
   EXPECT_TRUE(run_on("raw-io", {{"src/util/fine.cpp", allowed}}).empty());
 }
 
+TEST(RawSimdPass, FlagsIntrinsicsOutsideWrapper) {
+  // Header include and an x86 intrinsic call are two separate findings.
+  const std::string avx_use =
+      "#include <immintrin.h>\n"
+      "__m256i f(__m256i a) { return _mm256_add_epi32(a, a); }\n";
+  EXPECT_EQ(run_on("raw-simd", {{"src/anb/bad.cpp", avx_use}}).size(), 4u);
+  const std::string neon_use =
+      "#include <arm_neon.h>\n"
+      "int32x4_t g(int32x4_t a) { return vaddq_s32(a, a); }\n";
+  EXPECT_EQ(run_on("raw-simd", {{"src/surrogate/bad.cpp", neon_use}}).size(),
+            4u);
+  // Lane-reinterpret names (double lane suffix) still match.
+  EXPECT_TRUE(has_finding(
+      run_on("raw-simd",
+             {{"src/util/bad.cpp",
+               "auto h(auto v) { return vreinterpretq_s8_u8(v); }\n"}}),
+      "src/util/bad.cpp", 1));
+}
+
+TEST(RawSimdPass, ExemptsWrapperTestsAndBench) {
+  const std::string avx_use =
+      "#include <immintrin.h>\n"
+      "__m256i f(__m256i a) { return _mm256_add_epi32(a, a); }\n";
+  // The one sanctioned home for raw intrinsics.
+  EXPECT_TRUE(
+      run_on("raw-simd",
+             {{"src/util/include/anb/util/simd.hpp", avx_use}})
+          .empty());
+  // Out-of-src trees are out of scope like the other discipline passes.
+  EXPECT_TRUE(
+      run_on("raw-simd", {{"tests/util/simd_test.cpp", avx_use}}).empty());
+  EXPECT_TRUE(run_on("raw-simd", {{"bench/kernels.cpp", avx_use}}).empty());
+  // Ordinary identifiers that merely resemble NEON shapes do not match:
+  // no q_ marker, non-lane suffix, or no <digits>x<digits> layout.
+  const std::string lookalikes =
+      "int verify_s32(int a) { return a; }\n"
+      "int vq_total(int a) { return a; }\n"
+      "struct matrix_t { int m; };\n";
+  EXPECT_TRUE(
+      run_on("raw-simd", {{"src/anb/fine.cpp", lookalikes}}).empty());
+  // Line suppression works like every other pass.
+  const std::string allowed =
+      "using V = __m256i;  // ANB_LINT_ALLOW(raw-simd)\n";
+  EXPECT_TRUE(run_on("raw-simd", {{"src/util/fine.cpp", allowed}}).empty());
+}
+
 TEST(DeterministicIterationPass, FlagsOrderSensitiveSinks) {
   const std::string streaming =
       "#include <unordered_map>\n"

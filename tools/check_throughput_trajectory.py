@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate on descent-engine speedup regressions across revisions.
+
+Usage: check_throughput_trajectory.py <trajectory.csv> <current_git_rev>
+
+The query_throughput bench appends one row per (model, engine) to
+results/query_throughput_trajectory.csv, stamped with ANB_GIT_REV. This
+script compares every row belonging to <current_git_rev> against the most
+recent earlier row for the same (model, path) pair and fails (exit 1) on
+a drop of more than 10%.
+
+The gated column is speedup_vs_interleaved, not rows_per_sec: absolute
+throughput swings with whatever hardware CI lands on, while the speedup
+is a same-host ratio against the interleaved baseline walk and stays
+comparable across machines. rows_per_sec is recorded for trend reading
+only.
+"""
+
+import csv
+import sys
+
+REGRESSION_TOLERANCE = 0.10
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip().splitlines()[2])
+        return 2
+    path, current_rev = sys.argv[1], sys.argv[2]
+
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    if not rows:
+        print(f"{path}: no data rows")
+        return 2
+
+    # Last committed speedup per (model, path), taken from rows that
+    # precede the current revision's block in file order.
+    baseline = {}
+    current = []
+    for row in rows:
+        key = (row["model"], row["path"])
+        if row["git_rev"] == current_rev:
+            current.append((key, row))
+        else:
+            baseline[key] = row
+
+    if not current:
+        print(f"{path}: no rows for rev {current_rev} — "
+              "was the bench run with ANB_GIT_REV set?")
+        return 2
+
+    failed = False
+    for key, row in current:
+        new = float(row["speedup_vs_interleaved"])
+        prev_row = baseline.get(key)
+        if prev_row is None:
+            print(f"  {key[0]}/{key[1]}: {new:.3f}x (no prior row, recorded)")
+            continue
+        prev = float(prev_row["speedup_vs_interleaved"])
+        ratio = new / prev if prev > 0 else 1.0
+        status = "ok"
+        if ratio < 1.0 - REGRESSION_TOLERANCE:
+            status = "REGRESSION"
+            failed = True
+        print(f"  {key[0]}/{key[1]}: {prev:.3f}x -> {new:.3f}x "
+              f"({ratio:.2f} of prior, {status})")
+
+    if failed:
+        print(f"FAILED: engine speedup regressed more than "
+              f"{REGRESSION_TOLERANCE:.0%} vs last committed row")
+        return 1
+    print("trajectory gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,4 +30,7 @@ void register_layering_pass(PassList& out);
 /// raw-io (file IO confined to anb::io / src/util/io.cpp).
 void register_io_pass(PassList& out);
 
+/// raw-simd (vector intrinsics confined to anb/util/simd.hpp).
+void register_simd_pass(PassList& out);
+
 }  // namespace anb::lint

@@ -75,6 +75,7 @@ const std::vector<std::unique_ptr<Pass>>& passes() {
     register_discipline_passes(*list);
     register_layering_pass(*list);
     register_io_pass(*list);
+    register_simd_pass(*list);
     return list;
   }();
   return *kPasses;
