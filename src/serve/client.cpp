@@ -1,0 +1,114 @@
+#include "anb/serve/client.hpp"
+
+#include <utility>
+
+#include "anb/util/error.hpp"
+
+namespace anb::serve {
+
+Client::Client(const std::string& socket_path)
+    : socket_(net::Socket::connect_unix(socket_path)) {}
+
+void Client::hello(std::uint64_t client_id, std::uint32_t incarnation) {
+  const std::uint64_t id = next_request_id_++;
+  const Reply reply = call(encode_hello(id, client_id, incarnation), id);
+  ANB_CHECK(reply.type == MsgType::kHelloOk,
+            "unexpected hello reply: " + std::string(msg_type_name(reply.type)));
+}
+
+void Client::ping() {
+  const std::uint64_t id = next_request_id_++;
+  const Reply reply = call(encode_ping(id), id);
+  ANB_CHECK(reply.type == MsgType::kPong,
+            "unexpected ping reply: " + std::string(msg_type_name(reply.type)));
+}
+
+double Client::query_accuracy(std::uint64_t arch_index) {
+  const std::uint64_t id = next_request_id_++;
+  const Reply reply = call(encode_query_accuracy(id, arch_index), id);
+  ANB_CHECK(reply.type == MsgType::kValue,
+            "unexpected query reply: " + std::string(msg_type_name(reply.type)));
+  return reply.value;
+}
+
+double Client::query_perf(MetricKey key, std::uint64_t arch_index) {
+  const std::uint64_t id = next_request_id_++;
+  const Reply reply = call(encode_query_perf(id, key, arch_index), id);
+  ANB_CHECK(reply.type == MsgType::kValue,
+            "unexpected query reply: " + std::string(msg_type_name(reply.type)));
+  return reply.value;
+}
+
+std::vector<double> Client::query_accuracy_batch(
+    std::span<const std::uint64_t> arch_indices) {
+  const std::uint64_t id = next_request_id_++;
+  Reply reply = call(encode_query_accuracy_batch(id, arch_indices), id);
+  ANB_CHECK(reply.type == MsgType::kValueBatch,
+            "unexpected batch reply: " + std::string(msg_type_name(reply.type)));
+  ANB_CHECK(reply.values.size() == arch_indices.size(),
+            "batch reply row count mismatch");
+  return std::move(reply.values);
+}
+
+std::vector<double> Client::query_perf_batch(
+    MetricKey key, std::span<const std::uint64_t> arch_indices) {
+  const std::uint64_t id = next_request_id_++;
+  Reply reply = call(encode_query_perf_batch(id, key, arch_indices), id);
+  ANB_CHECK(reply.type == MsgType::kValueBatch,
+            "unexpected batch reply: " + std::string(msg_type_name(reply.type)));
+  ANB_CHECK(reply.values.size() == arch_indices.size(),
+            "batch reply row count mismatch");
+  return std::move(reply.values);
+}
+
+void Client::shutdown_server() {
+  const std::uint64_t id = next_request_id_++;
+  const Reply reply = call(encode_shutdown(id), id);
+  ANB_CHECK(reply.type == MsgType::kBye,
+            "unexpected shutdown reply: " +
+                std::string(msg_type_name(reply.type)));
+}
+
+Reply Client::call(std::span<const char> frame, std::uint64_t request_id) {
+  if (!socket_.send_all(frame)) {
+    throw Disconnected("server closed connection during send");
+  }
+  return read_reply(request_id);
+}
+
+Reply Client::recv_reply() {
+  char chunk[4096];
+  for (;;) {
+    const Decoded frame = decode_frame(buf_);
+    if (frame.status == DecodeStatus::kBad) {
+      throw Error("malformed reply frame from server: " + frame.message);
+    }
+    if (frame.status == DecodeStatus::kFrame) {
+      Reply reply = parse_reply(frame);
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(frame.consumed));
+      return reply;
+    }
+    const std::size_t n = socket_.recv_some(chunk);
+    if (n == 0) {
+      throw Disconnected("server closed connection while awaiting reply");
+    }
+    buf_.insert(buf_.end(), chunk, chunk + n);
+  }
+}
+
+Reply Client::read_reply(std::uint64_t expect_id) {
+  Reply reply = recv_reply();
+  // Single outstanding request: replies arrive in order, so an id
+  // mismatch means a protocol bug, not a race.
+  ANB_CHECK(reply.request_id == expect_id,
+            "reply id mismatch (pipelining through the blocking "
+            "client is not supported)");
+  if (reply.type == MsgType::kError) {
+    throw RemoteError(reply.code, reply.message);
+  }
+  if (reply.type == MsgType::kRetryLater) throw RetryLater();
+  return reply;
+}
+
+}  // namespace anb::serve

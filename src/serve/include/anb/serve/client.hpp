@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "anb/anb/benchmark.hpp"
+#include "anb/serve/protocol.hpp"
+#include "anb/util/net.hpp"
+
+// Blocking client for the anbd protocol: one request in flight at a time,
+// replies matched by echoed request id. This is the reference client the
+// tests, the bench, and `anbench query-remote` share; it is deliberately
+// synchronous — searcher loops issue one query per candidate, and the
+// server's coalescing exists precisely so many such simple clients still
+// fill SIMD batches.
+//
+// Not thread-safe: one Client per thread (they are cheap — a socket and a
+// buffer).
+
+namespace anb::serve {
+
+/// The server closed the connection mid-conversation (drop fault, server
+/// stop, or crash). Callers that retry should reconnect with a bumped
+/// incarnation so retried requests draw fresh fault decisions.
+class Disconnected : public Error {
+ public:
+  explicit Disconnected(const std::string& what) : Error(what) {}
+};
+
+/// The server answered kError; carries the typed code.
+class RemoteError : public Error {
+ public:
+  RemoteError(ErrorCode code, const std::string& what)
+      : Error(what), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// The server answered kRetryLater (admission control).
+class RetryLater : public Error {
+ public:
+  RetryLater() : Error("server queue full: retry later") {}
+};
+
+class Client {
+ public:
+  /// Connect to the server socket. Throws anb::Error on failure.
+  explicit Client(const std::string& socket_path);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Identify this client to the server. The (client_id, incarnation)
+  /// pair keys the server's per-client report rows and its fault-decision
+  /// hashes; tests re-hello with incarnation+1 after a Disconnected.
+  void hello(std::uint64_t client_id, std::uint32_t incarnation);
+
+  void ping();
+
+  /// Scalar queries return the response value bit-exactly as sent (raw
+  /// IEEE-754 transport — no text round-trip).
+  double query_accuracy(std::uint64_t arch_index);
+  double query_perf(MetricKey key, std::uint64_t arch_index);
+
+  std::vector<double> query_accuracy_batch(
+      std::span<const std::uint64_t> arch_indices);
+  std::vector<double> query_perf_batch(
+      MetricKey key, std::span<const std::uint64_t> arch_indices);
+
+  /// Ask the server to stop gracefully; returns after its kBye.
+  void shutdown_server();
+
+  /// Send a pre-encoded frame and wait for the matching reply — the
+  /// escape hatch the protocol-fuzz and fault tests use to speak frames
+  /// the typed API would never produce. Throws Disconnected on EOF,
+  /// RemoteError/RetryLater on those reply types.
+  Reply call(std::span<const char> frame, std::uint64_t request_id);
+
+  /// Receive the next reply frame as-is, whatever its request id or type
+  /// (kError/kRetryLater come back as Reply values, not exceptions). For
+  /// tests that pipeline several raw frames and match replies by echoed
+  /// id. Throws Disconnected on EOF.
+  Reply recv_reply();
+
+  /// Raw access for tests that need to send garbage or half-frames.
+  net::Socket& socket() { return socket_; }
+
+  std::uint64_t next_request_id() { return next_request_id_++; }
+
+ private:
+  Reply read_reply(std::uint64_t expect_id);
+
+  net::Socket socket_;
+  std::uint64_t next_request_id_ = 1;
+  std::vector<char> buf_;
+};
+
+}  // namespace anb::serve

@@ -1,0 +1,185 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "anb/anb/benchmark.hpp"
+#include "anb/util/error.hpp"
+
+// Wire protocol of the anbd benchmark server: length-prefixed binary
+// frames over a local stream socket. See DESIGN.md "Serving & micro-batch
+// coalescing" for the layout table and the validation order.
+//
+// Every frame is
+//
+//   u32 length     — byte count of the rest of the frame (header+payload);
+//                    must be in [kHeaderBytes, kMaxFrameBytes]
+//   u32 magic      — kFrameMagic ("ANBQ")
+//   u16 version    — kProtocolVersion, exact match required
+//   u16 type       — MsgType
+//   u64 request_id — echoed verbatim in the response
+//   payload        — type-specific, little-endian, fixed layout
+//
+// all little-endian. Malformed input never crashes the server: payload
+// errors (bad metric, out-of-range architecture index, short payload) get
+// a typed kError reply on the same connection; framing errors (bad magic,
+// bad version, oversized length) get a typed reply followed by connection
+// close, because the byte stream can no longer be trusted. The contract
+// is exercised by tests/serve/protocol_fuzz_test.cpp.
+
+namespace anb::serve {
+
+inline constexpr std::uint32_t kFrameMagic = 0x51424E41u;  // "ANBQ"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+/// Bytes of (magic, version, type, request_id) — the frame minus the
+/// length prefix and payload.
+inline constexpr std::uint32_t kHeaderBytes = 16;
+
+/// Upper bound on the length prefix: large enough for a maximal batch
+/// frame, small enough that a corrupted prefix cannot make the server
+/// allocate gigabytes. Checked before any allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Largest row count a single batch request may carry.
+inline constexpr std::uint32_t kMaxBatchRows = 4096;
+
+enum class MsgType : std::uint16_t {
+  // Requests.
+  kHello = 1,               ///< u64 client_id, u32 incarnation
+  kPing = 2,                ///< empty
+  kQueryAccuracy = 3,       ///< u64 arch_index
+  kQueryPerf = 4,           ///< u8 device, u8 metric, u64 arch_index
+  kQueryAccuracyBatch = 5,  ///< u32 count, count x u64 arch_index
+  kQueryPerfBatch = 6,      ///< u8 device, u8 metric, u32 count, count x u64
+  kShutdown = 7,            ///< empty; asks the server to stop gracefully
+
+  // Responses.
+  kHelloOk = 128,     ///< empty
+  kPong = 129,        ///< empty
+  kValue = 130,       ///< f64 (raw IEEE-754 bits — the determinism contract
+                      ///< compares these bit patterns)
+  kValueBatch = 131,  ///< u32 count, count x f64
+  kRetryLater = 132,  ///< empty; admission control rejected the request
+  kError = 133,       ///< u16 ErrorCode, u32 msg_len, msg bytes
+  kBye = 134,         ///< empty; graceful-shutdown acknowledgement
+};
+
+const char* msg_type_name(MsgType type);
+
+/// Typed error codes carried by kError replies.
+enum class ErrorCode : std::uint16_t {
+  kBadMagic = 1,
+  kBadVersion = 2,
+  kBadLength = 3,        ///< length prefix outside [kHeaderBytes, kMaxFrameBytes]
+  kBadPayload = 4,       ///< payload shorter/longer than the type demands
+  kUnknownType = 5,
+  kBadArchIndex = 6,     ///< index >= SearchSpace::cardinality()
+  kBadMetricKey = 7,     ///< device/metric byte outside the enum range
+  kBatchTooLarge = 8,    ///< count > kMaxBatchRows
+  kNoSurrogate = 9,      ///< benchmark has no model for the requested target
+  kShuttingDown = 10,    ///< server is draining; connection will close
+  kInternal = 11,        ///< unexpected server-side failure
+};
+
+const char* error_code_name(ErrorCode code);
+
+/// Thrown by parse_request() on a payload the frame header promised but
+/// cannot deliver; the server converts it into a kError reply.
+class ProtocolError : public Error {
+ public:
+  ProtocolError(ErrorCode code, const std::string& what)
+      : Error(what), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// A decoded request frame.
+struct Request {
+  MsgType type = MsgType::kPing;
+  std::uint64_t request_id = 0;
+  std::uint64_t client_id = 0;      ///< kHello
+  std::uint32_t incarnation = 0;    ///< kHello
+  MetricKey key;                    ///< kQueryPerf*
+  std::vector<std::uint64_t> archs; ///< query types; scalar queries hold one
+};
+
+/// A decoded response frame (client side).
+struct Reply {
+  MsgType type = MsgType::kError;
+  std::uint64_t request_id = 0;
+  double value = 0.0;                ///< kValue
+  std::vector<double> values;        ///< kValueBatch
+  ErrorCode code = ErrorCode::kInternal;  ///< kError
+  std::string message;               ///< kError
+};
+
+// --------------------------------------------------------------- encoding
+
+/// Assemble a full frame (length prefix + header + payload).
+std::vector<char> encode_frame(MsgType type, std::uint64_t request_id,
+                               std::span<const char> payload);
+
+std::vector<char> encode_hello(std::uint64_t request_id,
+                               std::uint64_t client_id,
+                               std::uint32_t incarnation);
+std::vector<char> encode_ping(std::uint64_t request_id);
+std::vector<char> encode_query_accuracy(std::uint64_t request_id,
+                                        std::uint64_t arch_index);
+std::vector<char> encode_query_perf(std::uint64_t request_id, MetricKey key,
+                                    std::uint64_t arch_index);
+std::vector<char> encode_query_accuracy_batch(
+    std::uint64_t request_id, std::span<const std::uint64_t> arch_indices);
+std::vector<char> encode_query_perf_batch(
+    std::uint64_t request_id, MetricKey key,
+    std::span<const std::uint64_t> arch_indices);
+std::vector<char> encode_shutdown(std::uint64_t request_id);
+
+std::vector<char> encode_empty_reply(MsgType type, std::uint64_t request_id);
+std::vector<char> encode_value(std::uint64_t request_id, double value);
+std::vector<char> encode_values(std::uint64_t request_id,
+                                std::span<const double> values);
+std::vector<char> encode_error(std::uint64_t request_id, ErrorCode code,
+                               const std::string& message);
+
+// --------------------------------------------------------------- decoding
+
+/// Outcome of scanning a receive buffer for one frame.
+enum class DecodeStatus {
+  kNeedMore,  ///< buffer holds a valid prefix of a frame; read more bytes
+  kFrame,     ///< one well-framed message decoded (header validated)
+  kBad,       ///< unrecoverable framing error; reply typed error and close
+};
+
+/// A decoded frame boundary: header fields plus a view of the payload
+/// bytes (into the caller's buffer) and the total bytes consumed.
+struct Decoded {
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  MsgType type = MsgType::kPing;
+  std::uint64_t request_id = 0;
+  std::span<const char> payload;
+  std::size_t consumed = 0;   ///< bytes of `buf` this frame occupied
+  ErrorCode code = ErrorCode::kInternal;  ///< kBad only
+  std::string message;                    ///< kBad only
+};
+
+/// Scan the front of `buf` for one frame. Validates length prefix, magic,
+/// and version — in that order — before trusting anything else. Never
+/// throws; framing problems come back as kBad with a typed code.
+Decoded decode_frame(std::span<const char> buf);
+
+/// Parse a validated frame into a Request. Throws ProtocolError on any
+/// payload violation (unknown type, short/long payload, bad metric bytes,
+/// out-of-range architecture index, oversized batch).
+Request parse_request(const Decoded& frame);
+
+/// Parse a validated frame into a Reply (client side). Throws
+/// ProtocolError on response payloads that do not match their type.
+Reply parse_reply(const Decoded& frame);
+
+}  // namespace anb::serve

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "anb/anb/benchmark.hpp"
+#include "anb/util/mutex.hpp"
+#include "anb/util/thread_annotations.hpp"
+
+// The coalescing micro-batch scheduler: the systems core of anbd. Many
+// concurrent scalar queries are worth little individually — FlatForest's
+// SIMD descent only pays off on wide batches (PR 8) — so the scheduler
+// queues incoming rows into per-target buckets and flushes each bucket
+// into a single AccelNASBench batched query when either threshold hits:
+//
+//   - the bucket reaches `batch_max` rows (a full SIMD batch), or
+//   - `coalesce_wait_us` elapses with rows pending (latency bound).
+//
+// Determinism contract: coalescing NEVER changes a response value. A
+// flushed batch runs through query_*_batch, which is bit-identical to
+// per-row scalar queries by the PR 2/8 contracts; rows of different
+// requests never mix arithmetically. So the same request multiset yields
+// bit-identical values regardless of arrival interleaving, batch cut
+// points, worker count, or whether coalescing is on at all — enforced by
+// tests/serve/serve_determinism_test.cpp.
+
+namespace anb::serve {
+
+/// Which surrogate a row targets: the accuracy model or one MetricKey.
+/// Rows only ever coalesce within a bucket.
+struct BucketKey {
+  bool accuracy = true;
+  MetricKey key;  ///< meaningful iff !accuracy
+
+  friend bool operator==(const BucketKey&, const BucketKey&) = default;
+  friend auto operator<=>(const BucketKey&, const BucketKey&) = default;
+
+  /// Dataset-style name: "ANB-Acc" or dataset_name(key).
+  std::string name() const;
+};
+
+struct SchedulerOptions {
+  /// Flush a bucket as soon as it holds this many rows.
+  std::uint32_t batch_max = 64;
+  /// Flush a non-empty bucket at most this long after rows arrive.
+  std::uint32_t coalesce_wait_us = 200;
+  /// Admission control: total rows pending across all buckets. A submit
+  /// that would exceed it is rejected (the server answers kRetryLater).
+  std::size_t queue_capacity = 4096;
+  /// Flush workers; 0 = anb::default_num_threads(). With >= 2 workers,
+  /// one in-flight flush never delays another bucket's deadline.
+  unsigned worker_threads = 0;
+};
+
+/// Counters of a scheduler's lifetime, for ServeReport. Sums only, so
+/// merge order cannot matter.
+struct SchedulerStats {
+  std::uint64_t batches = 0;
+  std::uint64_t rows = 0;
+  std::map<std::string, std::uint64_t> bucket_rows;  ///< by BucketKey::name()
+};
+
+/// Admission-control outcome of submit().
+enum class Admit {
+  kOk,         ///< rows queued; the callback will fire exactly once
+  kQueueFull,  ///< bounded queue would overflow — retry later
+  kStopped,    ///< scheduler is draining/stopped — no new work
+};
+
+class Scheduler {
+ public:
+  /// Called exactly once per admitted submission, on a worker thread.
+  /// `values[i]` answers `archs[i]` of the submission; `error` is empty on
+  /// success (non-empty means an unexpected benchmark failure — the values
+  /// are meaningless). Callbacks must not block: they run on the flush
+  /// workers, and a blocking callback would hold up other buckets.
+  using BatchCallback =
+      std::function<void(std::vector<double> values, std::string error)>;
+
+  /// `bench` must outlive the scheduler and have its surrogates installed
+  /// before start(); queries are const and thread-safe.
+  Scheduler(const AccelNASBench& bench, const SchedulerOptions& options);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  void start();
+
+  /// Drain: flush everything pending, run all callbacks, join workers.
+  /// Idempotent. After stop(), submit() returns kStopped.
+  void stop();
+
+  /// Queue `archs` (architecture indices) against `bucket`. The caller
+  /// must have verified the benchmark has a surrogate for the bucket.
+  Admit submit(const BucketKey& bucket, std::vector<std::uint64_t> archs,
+               BatchCallback done);
+
+  /// Hold all flushing (submissions still accepted until the queue
+  /// fills). Deterministic admission-control tests use this to fill the
+  /// queue to an exact level before any flush can race the count.
+  void pause();
+  void resume();
+
+  SchedulerStats stats() const;
+
+ private:
+  struct Group;
+  struct Row;
+  struct Bucket;
+  struct Flush;
+
+  void worker_loop();
+  /// Largest bucket first; ties broken by key order. Requires mu_ held.
+  Flush extract_flush() ANB_REQUIRES(mu_);
+  void execute_flush(Flush&& flush);
+
+  const AccelNASBench& bench_;
+  const SchedulerOptions options_;
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool started_ ANB_GUARDED_BY(mu_) = false;
+  bool draining_ ANB_GUARDED_BY(mu_) = false;
+  bool paused_ ANB_GUARDED_BY(mu_) = false;
+  std::size_t total_rows_ ANB_GUARDED_BY(mu_) = 0;
+  std::map<BucketKey, Bucket> buckets_ ANB_GUARDED_BY(mu_);
+  SchedulerStats stats_ ANB_GUARDED_BY(mu_);
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace anb::serve

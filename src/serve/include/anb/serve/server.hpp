@@ -1,0 +1,167 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "anb/anb/benchmark.hpp"
+#include "anb/serve/protocol.hpp"
+#include "anb/serve/scheduler.hpp"
+#include "anb/util/mutex.hpp"
+#include "anb/util/net.hpp"
+#include "anb/util/thread_annotations.hpp"
+
+// anbd's serving core: a Server open()s-once benchmark process that
+// answers protocol frames over a unix-domain socket. Each accepted
+// connection gets a reader thread (frame parsing, request handling,
+// scheduler submission) and a writer thread draining a bounded response
+// outbox — so a client that stops reading, or a fault-injected slow
+// write, can never hold up a scheduler worker or another connection.
+// See DESIGN.md "Serving & micro-batch coalescing".
+
+namespace anb::serve {
+
+/// Fault-injection sites on the connection paths (anb/util/fault.hpp).
+/// All three key their Bernoulli decision on
+/// hash(client_id, incarnation, request_id) — identity from the
+/// connection's kHello (a hello request keys under the identity it
+/// announces), request ids chosen by the client — so armed runs fire
+/// identically at any server thread count or interleaving: the
+/// ServeReport invariance contract of tests/serve/serve_fault_test.cpp.
+/// Clients with at most one request in flight get exact slow-write
+/// accounting too (response frames are keyed by the same request_id).
+///
+/// read.stall: the reader sleeps (fault-magnitude-scaled) before handling
+/// a request — a slow client occupying only its own connection threads.
+/// write.slow: the writer sleeps before a send.
+/// drop: the server closes the connection instead of answering — the
+/// client sees EOF mid-conversation and must reconnect (bumping its
+/// incarnation so retried requests draw fresh fault decisions).
+inline constexpr const char* kServeReadStallSite = "serve.conn.read.stall";
+inline constexpr const char* kServeWriteSlowSite = "serve.conn.write.slow";
+inline constexpr const char* kServeDropSite = "serve.conn.drop";
+
+/// client_id reported for connections that never sent kHello.
+inline constexpr std::uint64_t kAnonymousClient = ~std::uint64_t{0};
+
+struct ServeOptions {
+  /// Unix socket path; empty picks a fresh net::unique_socket_path.
+  std::string socket_path;
+  /// Coalesce concurrent scalar queries into batched predictions. When
+  /// off, every request is answered synchronously on its connection's
+  /// reader thread via the scalar query path (the bench's comparison
+  /// baseline).
+  bool coalescing = true;
+  SchedulerOptions scheduler;
+  /// Per-connection bound on queued-but-unsent responses. A client that
+  /// stops reading past this is forcibly disconnected (never blocks the
+  /// server).
+  std::size_t outbox_capacity = 1024;
+};
+
+/// Per-client accounting, keyed by the kHello client id. Counts request
+/// *outcomes* (a response was produced), which is what the determinism
+/// contract can promise — whether a response also reached a client that
+/// vanished mid-flight is the client's business. Conservation law:
+/// received == ok + error + retry_later + dropped.
+struct ClientReport {
+  std::uint64_t received = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t error = 0;
+  std::uint64_t retry_later = 0;
+  std::uint64_t dropped = 0;       ///< requests eaten by a drop fault
+  std::uint64_t stall_faults = 0;
+  std::uint64_t slow_faults = 0;
+
+  friend bool operator==(const ClientReport&, const ClientReport&) = default;
+};
+
+/// Whole-server accounting; totals are sums of the per-client rows plus
+/// anonymous traffic, scheduler stats come from the flush path. Exact and
+/// thread-invariant after quiescence (stop(), or all clients done).
+struct ServeReport {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests_received = 0;
+  std::uint64_t responses_ok = 0;
+  std::uint64_t responses_error = 0;
+  std::uint64_t retry_later = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t rows = 0;
+  std::map<std::uint64_t, ClientReport> clients;
+  std::map<std::string, std::uint64_t> bucket_rows;
+};
+
+class Server {
+ public:
+  /// `bench` must outlive the server; its surrogates must be installed
+  /// before start(). Queries on it are const and thread-safe.
+  explicit Server(const AccelNASBench& bench, ServeOptions options = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the socket, start the scheduler and the accept loop. The
+  /// socket path is available (and connectable) once start() returns.
+  void start();
+
+  /// Graceful stop: refuse new connections, drain the scheduler (every
+  /// admitted request still gets its response), flush outboxes, join all
+  /// threads, unlink the socket. Idempotent.
+  void stop();
+
+  bool running() const;
+  const std::string& socket_path() const;
+
+  /// Block until a client sends kShutdown or another thread calls
+  /// stop(); performs the stop before returning (daemon main loop).
+  void wait();
+
+  /// Merged accounting snapshot. Deterministic once quiescent.
+  ServeReport report() const;
+
+  /// The scheduler, for tests that pause/resume flushing to make
+  /// admission-control outcomes exact.
+  Scheduler& scheduler_for_test() { return scheduler_; }
+
+ private:
+  struct Connection;
+
+  /// Outcome of handling one decoded frame.
+  enum class HandleResult {
+    kKeep,   ///< keep reading from this connection
+    kClose,  ///< graceful close (drain outbox first)
+    kDrop,   ///< drop fault: abort without a reply
+  };
+
+  void accept_loop();
+  void handle_connection(std::shared_ptr<Connection> conn);
+  HandleResult handle_request(const std::shared_ptr<Connection>& conn,
+                              const Decoded& frame);
+  /// Fold a finished connection's counters into closed_clients_.
+  void absorb_connection(const Connection& conn) ANB_REQUIRES(mu_);
+
+  const AccelNASBench& bench_;
+  const ServeOptions options_;
+  Scheduler scheduler_;
+
+  mutable Mutex mu_;
+  CondVar shutdown_cv_;
+  bool running_ ANB_GUARDED_BY(mu_) = false;
+  bool stop_requested_ ANB_GUARDED_BY(mu_) = false;
+  std::uint64_t connections_accepted_ ANB_GUARDED_BY(mu_) = 0;
+  std::vector<std::shared_ptr<Connection>> connections_ ANB_GUARDED_BY(mu_);
+  /// Counters of reaped connections, merged by client id so report()
+  /// stays exact across connection churn.
+  std::map<std::uint64_t, ClientReport> closed_clients_ ANB_GUARDED_BY(mu_);
+
+  std::unique_ptr<net::Listener> listener_;
+  std::string socket_path_;
+  std::thread accept_thread_;
+};
+
+}  // namespace anb::serve

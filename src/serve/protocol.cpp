@@ -1,0 +1,376 @@
+#include "anb/serve/protocol.hpp"
+
+#include <cstring>
+
+#include "anb/searchspace/space.hpp"
+
+namespace anb::serve {
+
+namespace {
+
+// Little-endian scalar append/read. The protocol is only spoken over a
+// local socket, so both ends share byte order; fixing little-endian in
+// the spec keeps captures and fuzz corpora portable anyway.
+
+template <typename T>
+void put(std::vector<char>& out, T v) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T get(std::span<const char> buf, std::size_t offset) {
+  T v;
+  std::memcpy(&v, buf.data() + offset, sizeof(T));
+  return v;
+}
+
+/// Reads payload scalars left to right, throwing the typed short-payload
+/// error when the frame promised fewer bytes than the type needs.
+class PayloadReader {
+ public:
+  PayloadReader(std::span<const char> payload, MsgType type)
+      : payload_(payload), type_(type) {}
+
+  template <typename T>
+  T read() {
+    if (offset_ + sizeof(T) > payload_.size()) {
+      throw ProtocolError(
+          ErrorCode::kBadPayload,
+          std::string("truncated payload in ") + msg_type_name(type_) +
+              " frame: need " + std::to_string(offset_ + sizeof(T)) +
+              " bytes, have " + std::to_string(payload_.size()));
+    }
+    T v = get<T>(payload_, offset_);
+    offset_ += sizeof(T);
+    return v;
+  }
+
+  /// All payload bytes must be consumed: trailing garbage means the
+  /// length prefix and the type disagree about the layout.
+  void finish() {
+    if (offset_ != payload_.size()) {
+      throw ProtocolError(
+          ErrorCode::kBadPayload,
+          std::string("oversized payload in ") + msg_type_name(type_) +
+              " frame: " + std::to_string(payload_.size() - offset_) +
+              " trailing bytes");
+    }
+  }
+
+ private:
+  std::span<const char> payload_;
+  MsgType type_;
+  std::size_t offset_ = 0;
+};
+
+/// Shared validation of one architecture index.
+std::uint64_t checked_arch_index(std::uint64_t index) {
+  if (index >= SearchSpace::cardinality()) {
+    throw ProtocolError(ErrorCode::kBadArchIndex,
+                        "architecture index " + std::to_string(index) +
+                            " out of range (cardinality " +
+                            std::to_string(SearchSpace::cardinality()) + ")");
+  }
+  return index;
+}
+
+MetricKey checked_metric_key(std::uint8_t device, std::uint8_t metric) {
+  constexpr std::uint8_t kNumDevices =
+      static_cast<std::uint8_t>(DeviceKind::kVck190) + 1;
+  constexpr std::uint8_t kNumMetrics =
+      static_cast<std::uint8_t>(PerfMetric::kEnergy) + 1;
+  if (device >= kNumDevices || metric >= kNumMetrics) {
+    throw ProtocolError(ErrorCode::kBadMetricKey,
+                        "bad metric key bytes (device=" +
+                            std::to_string(device) +
+                            ", metric=" + std::to_string(metric) + ")");
+  }
+  return MetricKey{static_cast<DeviceKind>(device),
+                   static_cast<PerfMetric>(metric)};
+}
+
+std::vector<std::uint64_t> read_batch(PayloadReader& r) {
+  const std::uint32_t count = r.read<std::uint32_t>();
+  if (count > kMaxBatchRows) {
+    throw ProtocolError(ErrorCode::kBatchTooLarge,
+                        "batch of " + std::to_string(count) +
+                            " rows exceeds the limit of " +
+                            std::to_string(kMaxBatchRows));
+  }
+  std::vector<std::uint64_t> archs;
+  archs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    archs.push_back(checked_arch_index(r.read<std::uint64_t>()));
+  }
+  return archs;
+}
+
+}  // namespace
+
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "Hello";
+    case MsgType::kPing: return "Ping";
+    case MsgType::kQueryAccuracy: return "QueryAccuracy";
+    case MsgType::kQueryPerf: return "QueryPerf";
+    case MsgType::kQueryAccuracyBatch: return "QueryAccuracyBatch";
+    case MsgType::kQueryPerfBatch: return "QueryPerfBatch";
+    case MsgType::kShutdown: return "Shutdown";
+    case MsgType::kHelloOk: return "HelloOk";
+    case MsgType::kPong: return "Pong";
+    case MsgType::kValue: return "Value";
+    case MsgType::kValueBatch: return "ValueBatch";
+    case MsgType::kRetryLater: return "RetryLater";
+    case MsgType::kError: return "Error";
+    case MsgType::kBye: return "Bye";
+  }
+  return "unknown";
+}
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadMagic: return "BadMagic";
+    case ErrorCode::kBadVersion: return "BadVersion";
+    case ErrorCode::kBadLength: return "BadLength";
+    case ErrorCode::kBadPayload: return "BadPayload";
+    case ErrorCode::kUnknownType: return "UnknownType";
+    case ErrorCode::kBadArchIndex: return "BadArchIndex";
+    case ErrorCode::kBadMetricKey: return "BadMetricKey";
+    case ErrorCode::kBatchTooLarge: return "BatchTooLarge";
+    case ErrorCode::kNoSurrogate: return "NoSurrogate";
+    case ErrorCode::kShuttingDown: return "ShuttingDown";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "unknown";
+}
+
+std::vector<char> encode_frame(MsgType type, std::uint64_t request_id,
+                               std::span<const char> payload) {
+  ANB_CHECK(payload.size() <= kMaxFrameBytes - kHeaderBytes,
+            "encode_frame: payload too large");
+  std::vector<char> out;
+  out.reserve(4 + kHeaderBytes + payload.size());
+  put<std::uint32_t>(out,
+                     static_cast<std::uint32_t>(kHeaderBytes + payload.size()));
+  put<std::uint32_t>(out, kFrameMagic);
+  put<std::uint16_t>(out, kProtocolVersion);
+  put<std::uint16_t>(out, static_cast<std::uint16_t>(type));
+  put<std::uint64_t>(out, request_id);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<char> encode_hello(std::uint64_t request_id,
+                               std::uint64_t client_id,
+                               std::uint32_t incarnation) {
+  std::vector<char> payload;
+  put<std::uint64_t>(payload, client_id);
+  put<std::uint32_t>(payload, incarnation);
+  return encode_frame(MsgType::kHello, request_id, payload);
+}
+
+std::vector<char> encode_ping(std::uint64_t request_id) {
+  return encode_frame(MsgType::kPing, request_id, {});
+}
+
+std::vector<char> encode_query_accuracy(std::uint64_t request_id,
+                                        std::uint64_t arch_index) {
+  std::vector<char> payload;
+  put<std::uint64_t>(payload, arch_index);
+  return encode_frame(MsgType::kQueryAccuracy, request_id, payload);
+}
+
+std::vector<char> encode_query_perf(std::uint64_t request_id, MetricKey key,
+                                    std::uint64_t arch_index) {
+  std::vector<char> payload;
+  put<std::uint8_t>(payload, static_cast<std::uint8_t>(key.device));
+  put<std::uint8_t>(payload, static_cast<std::uint8_t>(key.metric));
+  put<std::uint64_t>(payload, arch_index);
+  return encode_frame(MsgType::kQueryPerf, request_id, payload);
+}
+
+std::vector<char> encode_query_accuracy_batch(
+    std::uint64_t request_id, std::span<const std::uint64_t> arch_indices) {
+  std::vector<char> payload;
+  put<std::uint32_t>(payload,
+                     static_cast<std::uint32_t>(arch_indices.size()));
+  for (std::uint64_t index : arch_indices) put<std::uint64_t>(payload, index);
+  return encode_frame(MsgType::kQueryAccuracyBatch, request_id, payload);
+}
+
+std::vector<char> encode_query_perf_batch(
+    std::uint64_t request_id, MetricKey key,
+    std::span<const std::uint64_t> arch_indices) {
+  std::vector<char> payload;
+  put<std::uint8_t>(payload, static_cast<std::uint8_t>(key.device));
+  put<std::uint8_t>(payload, static_cast<std::uint8_t>(key.metric));
+  put<std::uint32_t>(payload,
+                     static_cast<std::uint32_t>(arch_indices.size()));
+  for (std::uint64_t index : arch_indices) put<std::uint64_t>(payload, index);
+  return encode_frame(MsgType::kQueryPerfBatch, request_id, payload);
+}
+
+std::vector<char> encode_shutdown(std::uint64_t request_id) {
+  return encode_frame(MsgType::kShutdown, request_id, {});
+}
+
+std::vector<char> encode_empty_reply(MsgType type, std::uint64_t request_id) {
+  return encode_frame(type, request_id, {});
+}
+
+std::vector<char> encode_value(std::uint64_t request_id, double value) {
+  std::vector<char> payload;
+  put<double>(payload, value);
+  return encode_frame(MsgType::kValue, request_id, payload);
+}
+
+std::vector<char> encode_values(std::uint64_t request_id,
+                                std::span<const double> values) {
+  std::vector<char> payload;
+  put<std::uint32_t>(payload, static_cast<std::uint32_t>(values.size()));
+  for (double v : values) put<double>(payload, v);
+  return encode_frame(MsgType::kValueBatch, request_id, payload);
+}
+
+std::vector<char> encode_error(std::uint64_t request_id, ErrorCode code,
+                               const std::string& message) {
+  std::vector<char> payload;
+  put<std::uint16_t>(payload, static_cast<std::uint16_t>(code));
+  put<std::uint32_t>(payload, static_cast<std::uint32_t>(message.size()));
+  payload.insert(payload.end(), message.begin(), message.end());
+  return encode_frame(MsgType::kError, request_id, payload);
+}
+
+Decoded decode_frame(std::span<const char> buf) {
+  Decoded d;
+  if (buf.size() < 4) return d;  // kNeedMore
+  const std::uint32_t length = get<std::uint32_t>(buf, 0);
+  // The length prefix is validated before it sizes anything: a corrupt
+  // prefix must not drive an allocation or a long blocking read.
+  if (length < kHeaderBytes || length > kMaxFrameBytes) {
+    d.status = DecodeStatus::kBad;
+    d.code = ErrorCode::kBadLength;
+    d.message = "frame length " + std::to_string(length) +
+                " outside [" + std::to_string(kHeaderBytes) + ", " +
+                std::to_string(kMaxFrameBytes) + "]";
+    return d;
+  }
+  if (buf.size() < 4u + length) return d;  // kNeedMore
+  const std::uint32_t magic = get<std::uint32_t>(buf, 4);
+  if (magic != kFrameMagic) {
+    d.status = DecodeStatus::kBad;
+    d.code = ErrorCode::kBadMagic;
+    d.message = "bad frame magic";
+    return d;
+  }
+  const std::uint16_t version = get<std::uint16_t>(buf, 8);
+  if (version != kProtocolVersion) {
+    d.status = DecodeStatus::kBad;
+    d.code = ErrorCode::kBadVersion;
+    d.message = "protocol version " + std::to_string(version) +
+                " (this server speaks " + std::to_string(kProtocolVersion) +
+                ")";
+    return d;
+  }
+  d.status = DecodeStatus::kFrame;
+  d.type = static_cast<MsgType>(get<std::uint16_t>(buf, 10));
+  d.request_id = get<std::uint64_t>(buf, 12);
+  d.payload = buf.subspan(4 + kHeaderBytes, length - kHeaderBytes);
+  d.consumed = 4u + length;
+  return d;
+}
+
+Request parse_request(const Decoded& frame) {
+  ANB_ASSERT(frame.status == DecodeStatus::kFrame,
+             "parse_request on a non-frame");
+  Request req;
+  req.type = frame.type;
+  req.request_id = frame.request_id;
+  PayloadReader r(frame.payload, frame.type);
+  switch (frame.type) {
+    case MsgType::kHello:
+      req.client_id = r.read<std::uint64_t>();
+      req.incarnation = r.read<std::uint32_t>();
+      break;
+    case MsgType::kPing:
+    case MsgType::kShutdown:
+      break;
+    case MsgType::kQueryAccuracy:
+      req.archs.push_back(checked_arch_index(r.read<std::uint64_t>()));
+      break;
+    case MsgType::kQueryPerf: {
+      const auto device = r.read<std::uint8_t>();
+      const auto metric = r.read<std::uint8_t>();
+      req.key = checked_metric_key(device, metric);
+      req.archs.push_back(checked_arch_index(r.read<std::uint64_t>()));
+      break;
+    }
+    case MsgType::kQueryAccuracyBatch:
+      req.archs = read_batch(r);
+      break;
+    case MsgType::kQueryPerfBatch: {
+      const auto device = r.read<std::uint8_t>();
+      const auto metric = r.read<std::uint8_t>();
+      req.key = checked_metric_key(device, metric);
+      req.archs = read_batch(r);
+      break;
+    }
+    default:
+      throw ProtocolError(ErrorCode::kUnknownType,
+                          "unknown request type " +
+                              std::to_string(static_cast<unsigned>(
+                                  frame.type)));
+  }
+  r.finish();
+  return req;
+}
+
+Reply parse_reply(const Decoded& frame) {
+  ANB_ASSERT(frame.status == DecodeStatus::kFrame,
+             "parse_reply on a non-frame");
+  Reply reply;
+  reply.type = frame.type;
+  reply.request_id = frame.request_id;
+  PayloadReader r(frame.payload, frame.type);
+  switch (frame.type) {
+    case MsgType::kHelloOk:
+    case MsgType::kPong:
+    case MsgType::kRetryLater:
+    case MsgType::kBye:
+      break;
+    case MsgType::kValue:
+      reply.value = r.read<double>();
+      break;
+    case MsgType::kValueBatch: {
+      const std::uint32_t count = r.read<std::uint32_t>();
+      if (count > kMaxBatchRows) {
+        throw ProtocolError(ErrorCode::kBatchTooLarge,
+                            "reply batch too large");
+      }
+      reply.values.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        reply.values.push_back(r.read<double>());
+      }
+      break;
+    }
+    case MsgType::kError: {
+      reply.code = static_cast<ErrorCode>(r.read<std::uint16_t>());
+      const std::uint32_t len = r.read<std::uint32_t>();
+      for (std::uint32_t i = 0; i < len; ++i) {
+        reply.message.push_back(r.read<char>());
+      }
+      break;
+    }
+    default:
+      throw ProtocolError(ErrorCode::kUnknownType,
+                          "unknown response type " +
+                              std::to_string(static_cast<unsigned>(
+                                  frame.type)));
+  }
+  r.finish();
+  return reply;
+}
+
+}  // namespace anb::serve

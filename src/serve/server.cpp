@@ -1,0 +1,541 @@
+#include "anb/serve/server.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "anb/obs/registry.hpp"
+#include "anb/searchspace/space.hpp"
+#include "anb/serve/protocol.hpp"
+#include "anb/util/error.hpp"
+#include "anb/util/fault.hpp"
+#include "anb/util/rng.hpp"
+
+namespace anb::serve {
+
+namespace {
+
+obs::Counter& connections_counter() {
+  static obs::Counter& c = obs::counter("anb.serve.connections");
+  return c;
+}
+obs::Counter& requests_counter() {
+  static obs::Counter& c = obs::counter("anb.serve.requests");
+  return c;
+}
+obs::Counter& ok_counter() {
+  static obs::Counter& c = obs::counter("anb.serve.responses.ok");
+  return c;
+}
+obs::Counter& error_counter() {
+  static obs::Counter& c = obs::counter("anb.serve.responses.error");
+  return c;
+}
+obs::Counter& retry_counter() {
+  static obs::Counter& c = obs::counter("anb.serve.retry_later");
+  return c;
+}
+
+/// Fault-decision key for one request on one connection: pure in the
+/// client's self-declared identity and the request id, so an armed
+/// Bernoulli site fires on the same requests no matter how connections
+/// interleave or how many server threads run (the ServeReport invariance
+/// contract). Requests sent before kHello key under kAnonymousClient.
+std::uint64_t fault_key(std::uint64_t client_id, std::uint32_t incarnation,
+                        std::uint64_t request_id) {
+  return hash_combine(hash_combine(client_id, incarnation), request_id);
+}
+
+/// request_id sits at a fixed offset in every encoded frame (after the
+/// u32 length, u32 magic, u16 version, u16 type). The writer re-reads it
+/// from queued response frames to key the slow-write fault per response.
+std::uint64_t frame_request_id(const std::vector<char>& frame) {
+  std::uint64_t id = 0;
+  if (frame.size() >= 20) __builtin_memcpy(&id, frame.data() + 12, sizeof(id));
+  return id;
+}
+
+}  // namespace
+
+/// One accepted client connection. Owned jointly (shared_ptr) by the
+/// server's connection list, the reader/writer threads, and any pending
+/// scheduler callbacks — whoever finishes last frees it.
+///
+/// Threading: `socket` is used concurrently by the reader (recv) and
+/// writer (send); stream sockets permit that, and teardown only ever uses
+/// shutdown() from other threads, never close(), so no thread can observe
+/// a recycled descriptor. Identity fields are written by the reader
+/// (kHello) and read by the writer for fault keys, hence atomics. The
+/// outcome counters are relaxed atomics folded into ServeReport sums.
+struct Server::Connection {
+  net::Socket socket;
+  std::thread reader;
+  std::thread writer;
+
+  std::atomic<std::uint64_t> client_id{kAnonymousClient};
+  std::atomic<std::uint32_t> incarnation{0};
+
+  std::atomic<std::uint64_t> received{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> error{0};
+  std::atomic<std::uint64_t> retry_later{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> stall_faults{0};
+  std::atomic<std::uint64_t> slow_faults{0};
+
+  std::atomic<bool> reader_done{false};
+  std::atomic<bool> writer_done{false};
+
+  Mutex out_mu;
+  CondVar out_cv;
+  std::deque<std::vector<char>> outbox ANB_GUARDED_BY(out_mu);
+  bool closing ANB_GUARDED_BY(out_mu) = false;  ///< drain outbox, then exit
+  bool aborted ANB_GUARDED_BY(out_mu) = false;  ///< exit now, discard outbox
+  std::size_t outbox_capacity = 1024;
+
+  /// Queue a response frame for the writer. Returns false — discarding
+  /// the frame — once the connection is closing/aborted or the bounded
+  /// outbox is full (the latter also aborts the connection: a client that
+  /// stopped reading must never pin server memory). Never blocks, so
+  /// scheduler callbacks stay non-blocking.
+  bool enqueue(std::vector<char> frame) {
+    bool overflow = false;
+    {
+      MutexLock lock(out_mu);
+      if (closing || aborted) return false;
+      if (outbox.size() >= outbox_capacity) {
+        aborted = true;
+        overflow = true;
+      } else {
+        outbox.push_back(std::move(frame));
+      }
+    }
+    out_cv.notify_one();
+    if (overflow) socket.shutdown_both();  // wake the reader too
+    return !overflow;
+  }
+
+  /// Ask the writer to finish. With `abort` the outbox is discarded and
+  /// both socket directions are shut; without, the writer drains queued
+  /// responses first (graceful close — the fuzz contract requires the
+  /// typed error reply to reach the client before EOF).
+  void begin_close(bool abort) {
+    {
+      MutexLock lock(out_mu);
+      closing = true;
+      if (abort) aborted = true;
+    }
+    out_cv.notify_all();
+    if (abort) socket.shutdown_both();
+  }
+
+  void writer_loop() {
+    for (;;) {
+      std::deque<std::vector<char>> pending;
+      {
+        MutexLock lock(out_mu);
+        out_cv.wait(out_mu, [this]() ANB_REQUIRES(out_mu) {
+          return !outbox.empty() || closing || aborted;
+        });
+        if (aborted) break;
+        if (outbox.empty() && closing) break;
+        pending.swap(outbox);
+      }
+      bool alive = true;
+      for (std::vector<char>& frame : pending) {
+        if (fault::any_armed()) {
+          const std::uint64_t key =
+              fault_key(client_id.load(std::memory_order_relaxed),
+                        incarnation.load(std::memory_order_relaxed),
+                        frame_request_id(frame));
+          if (auto f = fault::should_fire(kServeWriteSlowSite, key)) {
+            slow_faults.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                200 + static_cast<long>(f->uniform() * 2000.0)));
+          }
+        }
+        if (!socket.send_all(frame)) {
+          alive = false;
+          break;
+        }
+      }
+      if (!alive) {
+        {
+          MutexLock lock(out_mu);
+          aborted = true;
+        }
+        socket.shutdown_both();  // reader sees EOF and exits
+        break;
+      }
+    }
+    // Writer owns the final half-close: everything queued before `closing`
+    // has been sent (or the connection aborted), so signalling EOF now is
+    // safe and lets well-behaved clients distinguish "server finished"
+    // from "server died".
+    socket.shutdown_both();
+    writer_done.store(true, std::memory_order_release);
+  }
+};
+
+Server::Server(const AccelNASBench& bench, ServeOptions options)
+    : bench_(bench),
+      options_(std::move(options)),
+      scheduler_(bench, options_.scheduler) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  MutexLock lock(mu_);
+  ANB_CHECK(!running_, "Server::start called twice");
+  ANB_CHECK(accept_thread_.joinable() == false, "Server already started");
+  socket_path_ = options_.socket_path.empty()
+                     ? net::unique_socket_path("anbd")
+                     : options_.socket_path;
+  listener_ = std::make_unique<net::Listener>(socket_path_);
+  if (options_.coalescing) scheduler_.start();
+  running_ = true;
+  stop_requested_ = false;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    stop_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+  if (listener_) listener_->interrupt();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Drain order matters: the scheduler finishes first so every admitted
+  // request's response lands in an outbox, then writers flush those
+  // outboxes, then readers are unblocked. Half-closing only the read side
+  // keeps queued responses deliverable.
+  if (options_.coalescing) scheduler_.stop();
+  {
+    MutexLock lock(mu_);
+    conns.swap(connections_);
+  }
+  for (auto& conn : conns) {
+    conn->begin_close(/*abort=*/false);
+    conn->socket.shutdown_read();
+  }
+  for (auto& conn : conns) {
+    if (conn->writer.joinable()) conn->writer.join();
+    if (conn->reader.joinable()) conn->reader.join();
+    conn->socket.close();
+  }
+  {
+    // Fold final counters into the same closed-connection aggregate the
+    // reaper uses, so report() is one code path.
+    MutexLock lock(mu_);
+    for (auto& conn : conns) absorb_connection(*conn);
+  }
+  listener_.reset();  // unlinks the socket path
+}
+
+bool Server::running() const {
+  MutexLock lock(mu_);
+  return running_;
+}
+
+const std::string& Server::socket_path() const { return socket_path_; }
+
+void Server::wait() {
+  {
+    MutexLock lock(mu_);
+    shutdown_cv_.wait(mu_, [this]() ANB_REQUIRES(mu_) {
+      return stop_requested_;
+    });
+  }
+  stop();
+}
+
+void Server::absorb_connection(const Connection& conn) {
+  ClientReport& row =
+      closed_clients_[conn.client_id.load(std::memory_order_relaxed)];
+  row.received += conn.received.load(std::memory_order_relaxed);
+  row.ok += conn.ok.load(std::memory_order_relaxed);
+  row.error += conn.error.load(std::memory_order_relaxed);
+  row.retry_later += conn.retry_later.load(std::memory_order_relaxed);
+  row.dropped += conn.dropped.load(std::memory_order_relaxed);
+  row.stall_faults += conn.stall_faults.load(std::memory_order_relaxed);
+  row.slow_faults += conn.slow_faults.load(std::memory_order_relaxed);
+}
+
+ServeReport Server::report() const {
+  ServeReport r;
+  {
+    MutexLock lock(mu_);
+    r.connections_accepted = connections_accepted_;
+    r.clients = closed_clients_;
+    for (const auto& conn : connections_) {
+      ClientReport& row =
+          r.clients[conn->client_id.load(std::memory_order_relaxed)];
+      row.received += conn->received.load(std::memory_order_relaxed);
+      row.ok += conn->ok.load(std::memory_order_relaxed);
+      row.error += conn->error.load(std::memory_order_relaxed);
+      row.retry_later += conn->retry_later.load(std::memory_order_relaxed);
+      row.dropped += conn->dropped.load(std::memory_order_relaxed);
+      row.stall_faults += conn->stall_faults.load(std::memory_order_relaxed);
+      row.slow_faults += conn->slow_faults.load(std::memory_order_relaxed);
+    }
+  }
+  for (const auto& [id, row] : r.clients) {
+    r.requests_received += row.received;
+    r.responses_ok += row.ok;
+    r.responses_error += row.error;
+    r.retry_later += row.retry_later;
+    r.dropped += row.dropped;
+  }
+  const SchedulerStats stats = scheduler_.stats();
+  r.batches = stats.batches;
+  r.rows = stats.rows;
+  r.bucket_rows = stats.bucket_rows;
+  return r;
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      if (stop_requested_) return;
+      // Reap finished connections so a long-lived daemon does not
+      // accumulate descriptors and thread objects; their counters move
+      // into the closed-connection aggregate first, keeping report()
+      // exact.
+      for (std::size_t i = 0; i < connections_.size();) {
+        auto& conn = connections_[i];
+        if (conn->reader_done.load(std::memory_order_acquire) &&
+            conn->writer_done.load(std::memory_order_acquire)) {
+          conn->reader.join();
+          conn->writer.join();
+          conn->socket.close();
+          absorb_connection(*conn);
+          connections_.erase(connections_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+    net::Socket sock = listener_->accept(/*timeout_ms=*/50);
+    if (!sock.valid()) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->socket = std::move(sock);
+    conn->outbox_capacity = options_.outbox_capacity;
+    {
+      MutexLock lock(mu_);
+      if (stop_requested_) return;  // Connection closes the socket
+      connections_.push_back(conn);
+      connections_accepted_ += 1;
+    }
+    connections_counter().add(1);
+    conn->writer = std::thread([conn] { conn->writer_loop(); });
+    conn->reader = std::thread([this, conn] { handle_connection(conn); });
+  }
+}
+
+Server::HandleResult Server::handle_request(
+    const std::shared_ptr<Connection>& conn, const Decoded& frame) {
+  conn->received.fetch_add(1, std::memory_order_relaxed);
+  requests_counter().add(1);
+
+  Request req;
+  try {
+    req = parse_request(frame);
+  } catch (const ProtocolError& e) {
+    conn->error.fetch_add(1, std::memory_order_relaxed);
+    error_counter().add(1);
+    conn->enqueue(encode_error(frame.request_id, e.code(), e.what()));
+    return HandleResult::kKeep;  // payload errors are per-request
+  }
+
+  // A kHello adopts its identity *before* the fault checks, so a dropped
+  // hello is keyed by the (client_id, incarnation) it announced — a
+  // reconnect with a bumped incarnation then draws a fresh decision.
+  // (Keyed under the stale identity, every client's first hello would
+  // share one key and a firing drop policy could sever hellos forever.)
+  if (req.type == MsgType::kHello) {
+    conn->client_id.store(req.client_id, std::memory_order_relaxed);
+    conn->incarnation.store(req.incarnation, std::memory_order_relaxed);
+  }
+
+  if (fault::any_armed()) {
+    const std::uint64_t key =
+        fault_key(conn->client_id.load(std::memory_order_relaxed),
+                  conn->incarnation.load(std::memory_order_relaxed),
+                  frame.request_id);
+    if (auto f = fault::should_fire(kServeReadStallSite, key)) {
+      conn->stall_faults.fetch_add(1, std::memory_order_relaxed);
+      // A stalled client: its reader thread sleeps, its own responses
+      // wait, and nothing else does — the isolation the fault tests pin.
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          200 + static_cast<long>(f->uniform() * 2000.0)));
+    }
+    if (fault::should_fire(kServeDropSite, key)) {
+      conn->dropped.fetch_add(1, std::memory_order_relaxed);
+      return HandleResult::kDrop;
+    }
+  }
+
+  switch (req.type) {
+    case MsgType::kHello:
+      conn->ok.fetch_add(1, std::memory_order_relaxed);
+      ok_counter().add(1);
+      conn->enqueue(encode_empty_reply(MsgType::kHelloOk, req.request_id));
+      return HandleResult::kKeep;
+    case MsgType::kPing:
+      conn->ok.fetch_add(1, std::memory_order_relaxed);
+      ok_counter().add(1);
+      conn->enqueue(encode_empty_reply(MsgType::kPong, req.request_id));
+      return HandleResult::kKeep;
+    case MsgType::kShutdown: {
+      conn->ok.fetch_add(1, std::memory_order_relaxed);
+      ok_counter().add(1);
+      conn->enqueue(encode_empty_reply(MsgType::kBye, req.request_id));
+      {
+        MutexLock lock(mu_);
+        stop_requested_ = true;
+      }
+      // The accept loop and wait() observe the flag; actually stopping
+      // must happen off this thread (stop() joins readers — us).
+      shutdown_cv_.notify_all();
+      return HandleResult::kKeep;
+    }
+    default:
+      break;  // query types below
+  }
+
+  const bool scalar = req.type == MsgType::kQueryAccuracy ||
+                      req.type == MsgType::kQueryPerf;
+  const bool accuracy = req.type == MsgType::kQueryAccuracy ||
+                        req.type == MsgType::kQueryAccuracyBatch;
+  const BucketKey bucket{accuracy, req.key};
+
+  // Surrogate presence is a per-request property, answered before any
+  // queueing so kNoSurrogate is deterministic and immediate.
+  const bool available =
+      accuracy ? bench_.has_accuracy() : bench_.has_perf(req.key);
+  if (!available) {
+    conn->error.fetch_add(1, std::memory_order_relaxed);
+    error_counter().add(1);
+    conn->enqueue(encode_error(
+        req.request_id, ErrorCode::kNoSurrogate,
+        "no surrogate installed for " + bucket.name()));
+    return HandleResult::kKeep;
+  }
+
+  if (!options_.coalescing) {
+    // Baseline path: answer synchronously on the reader thread via the
+    // scalar/batch query API. Identical values by the determinism
+    // contract; the bench compares its throughput against coalescing.
+    try {
+      std::vector<double> values;
+      values.reserve(req.archs.size());
+      for (std::uint64_t index : req.archs) {
+        const Architecture arch = SearchSpace::from_index(index);
+        values.push_back(accuracy ? bench_.query_accuracy(arch)
+                                  : bench_.query_perf(arch, req.key));
+      }
+      conn->ok.fetch_add(1, std::memory_order_relaxed);
+      ok_counter().add(1);
+      conn->enqueue(scalar ? encode_value(req.request_id, values[0])
+                           : encode_values(req.request_id, values));
+    } catch (const Error& e) {
+      conn->error.fetch_add(1, std::memory_order_relaxed);
+      error_counter().add(1);
+      conn->enqueue(
+          encode_error(req.request_id, ErrorCode::kInternal, e.what()));
+    }
+    return HandleResult::kKeep;
+  }
+
+  const std::uint64_t request_id = req.request_id;
+  const Admit admitted = scheduler_.submit(
+      bucket, std::move(req.archs),
+      [conn, request_id, scalar](std::vector<double> values,
+                                 std::string error) {
+        if (!error.empty()) {
+          conn->error.fetch_add(1, std::memory_order_relaxed);
+          error_counter().add(1);
+          conn->enqueue(
+              encode_error(request_id, ErrorCode::kInternal, error));
+          return;
+        }
+        conn->ok.fetch_add(1, std::memory_order_relaxed);
+        ok_counter().add(1);
+        conn->enqueue(scalar ? encode_value(request_id, values[0])
+                             : encode_values(request_id, values));
+      });
+  switch (admitted) {
+    case Admit::kOk:
+      break;
+    case Admit::kQueueFull:
+      conn->retry_later.fetch_add(1, std::memory_order_relaxed);
+      retry_counter().add(1);
+      conn->enqueue(encode_empty_reply(MsgType::kRetryLater, request_id));
+      break;
+    case Admit::kStopped:
+      conn->error.fetch_add(1, std::memory_order_relaxed);
+      error_counter().add(1);
+      conn->enqueue(encode_error(request_id, ErrorCode::kShuttingDown,
+                                 "server is draining"));
+      break;
+  }
+  return HandleResult::kKeep;
+}
+
+void Server::handle_connection(std::shared_ptr<Connection> conn) {
+  std::vector<char> buf;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    // Drain every complete frame currently buffered before reading more.
+    for (;;) {
+      const Decoded frame = decode_frame(buf);
+      if (frame.status == DecodeStatus::kNeedMore) break;
+      if (frame.status == DecodeStatus::kBad) {
+        // The stream framing is broken; a typed reply tells the client
+        // why, then the connection closes (the writer drains it out).
+        conn->received.fetch_add(1, std::memory_order_relaxed);
+        requests_counter().add(1);
+        conn->error.fetch_add(1, std::memory_order_relaxed);
+        error_counter().add(1);
+        conn->enqueue(encode_error(frame.request_id, frame.code,
+                                   frame.message));
+        conn->begin_close(/*abort=*/false);
+        open = false;
+        break;
+      }
+      const HandleResult result = handle_request(conn, frame);
+      buf.erase(buf.begin(),
+                buf.begin() + static_cast<std::ptrdiff_t>(frame.consumed));
+      if (result == HandleResult::kDrop) {
+        conn->begin_close(/*abort=*/true);
+        open = false;
+        break;
+      }
+      if (result == HandleResult::kClose) {
+        conn->begin_close(/*abort=*/false);
+        open = false;
+        break;
+      }
+    }
+    if (!open) break;
+    const std::size_t n = conn->socket.recv_some(chunk);
+    if (n == 0) {  // EOF (client finished or teardown shut the read side)
+      conn->begin_close(/*abort=*/false);
+      break;
+    }
+    buf.insert(buf.end(), chunk, chunk + n);
+  }
+  conn->reader_done.store(true, std::memory_order_release);
+}
+
+}  // namespace anb::serve

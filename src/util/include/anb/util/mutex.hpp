@@ -1,6 +1,11 @@
 #pragma once
 
-#include <mutex>  // the one sanctioned use; lock-hygiene exempts this file
+#include <chrono>
+
+// the one sanctioned use of the std locking vocabulary;
+// lock-hygiene exempts this file
+#include <condition_variable>
+#include <mutex>
 
 #include "anb/util/thread_annotations.hpp"
 
@@ -39,6 +44,41 @@ class ANB_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mu_;
+};
+
+/// Condition variable over anb::Mutex (std::condition_variable_any, which
+/// accepts any BasicLockable — anb::Mutex qualifies). The wait overloads
+/// take the Mutex itself and are annotated ANB_REQUIRES(mu): the caller
+/// must already hold the lock, exactly like std::condition_variable's
+/// unique_lock contract. The analysis cannot see the internal
+/// unlock/re-lock inside wait, which is fine — the lock is held again by
+/// the time wait returns, so the caller-visible capability state is
+/// unchanged.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Block until `pred()` is true; `mu` must be held (it is released while
+  /// waiting and re-acquired before return, as usual).
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) ANB_REQUIRES(mu) {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  /// wait() with a relative timeout: returns pred() (false on timeout).
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& dur,
+                Pred pred) ANB_REQUIRES(mu) {
+    return cv_.wait_for(mu, dur, std::move(pred));
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
 };
 
 }  // namespace anb

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+// Local-socket wrapper for the serving layer. Like file IO (anb/util/io.hpp),
+// raw socket system calls live in exactly one TU — src/util/net.cpp, the
+// sanctioned socket TU of the anb_lint `raw-io` pass — so EINTR retries,
+// partial send/recv handling, SIGPIPE suppression, and shutdown semantics
+// are implemented once. Everything above (the anb::serve protocol layer,
+// tools, benches) talks in whole byte spans against this interface.
+//
+// Only AF_UNIX stream sockets are offered: the benchmark server is a local
+// daemon (one warm process amortizing mmap'd artifacts across searchers on
+// the same host), and unix sockets keep the test matrix hermetic — no port
+// allocation, no firewall interaction, cleanup is an unlink.
+
+namespace anb::net {
+
+/// A connected stream socket (RAII over the file descriptor). Movable,
+/// not copyable; the destructor closes the descriptor. All operations
+/// throw anb::Error on unrecoverable failures and retry EINTR internally.
+class Socket {
+ public:
+  Socket() = default;
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connect to the unix-domain listener at `path`.
+  static Socket connect_unix(const std::string& path);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Send the whole span (looping over partial writes). Returns false —
+  /// without throwing — when the peer is gone (EPIPE/ECONNRESET) or the
+  /// socket was shut down; those are normal client-disconnect events for
+  /// a server, not errors.
+  bool send_all(std::span<const char> bytes);
+
+  /// Receive up to `buf.size()` bytes; returns the count, or 0 on orderly
+  /// peer shutdown / local shutdown(). Blocks until at least one byte is
+  /// available.
+  std::size_t recv_some(std::span<char> buf);
+
+  /// Receive exactly `buf.size()` bytes; returns false if the stream
+  /// ended first (a short read leaves the partial prefix in `buf`).
+  bool recv_exact(std::span<char> buf);
+
+  /// Wake any thread blocked in recv/send on this socket and make every
+  /// later operation fail/EOF. Safe to call from another thread while a
+  /// recv is in flight — this is how the server interrupts reader threads
+  /// on stop. Idempotent; no-op on an invalid socket.
+  void shutdown_both();
+
+  /// Half-close: wake/EOF the receive side only, leaving queued outbound
+  /// data deliverable (graceful server stop drains responses first).
+  void shutdown_read();
+
+  /// Half-close the send side: the peer sees EOF after consuming what was
+  /// already sent, while this end can keep receiving (how the fuzz tests
+  /// say "no more bytes coming" and still read the server's verdict).
+  void shutdown_write();
+
+  /// Close the descriptor now (also idempotent).
+  void close();
+
+ private:
+  explicit Socket(int fd) : fd_(fd) {}
+  friend class Listener;
+
+  int fd_ = -1;
+};
+
+/// A bound, listening unix-domain socket. Binds at construction (unlinking
+/// any stale socket file at `path` first) and unlinks the path again on
+/// destruction.
+class Listener {
+ public:
+  explicit Listener(const std::string& path);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Wait up to `timeout_ms` for a pending connection, then accept it.
+  /// Returns an invalid Socket on timeout or after interrupt(). The
+  /// timeout exists so an accept loop can poll its stop flag; it is not a
+  /// determinism-relevant quantity.
+  Socket accept(int timeout_ms);
+
+  /// Unblock pending/future accept() calls (they return invalid sockets).
+  void interrupt();
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// A fresh, process-unique socket path under the system temp directory
+/// (for tests and benches that stand up throwaway servers). The file is
+/// not created; the caller passes the path to Listener.
+std::string unique_socket_path(const std::string& tag);
+
+}  // namespace anb::net

@@ -1,0 +1,204 @@
+// The sanctioned socket TU (see the raw-io lint pass): every raw socket
+// system call in the library lives here, mirroring how src/util/io.cpp
+// owns file IO. Throws anb::Error with context on unrecoverable failures;
+// peer-disconnect conditions surface as values (false / 0-byte reads), not
+// exceptions, because a vanishing client is normal server load.
+
+#include "anb/util/net.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+
+#include "anb/util/error.hpp"
+
+namespace anb::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + ::strerror(errno));
+}
+
+/// sockaddr_un for `path`, validating the length limit.
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ANB_CHECK(path.size() + 1 <= sizeof(addr.sun_path),
+            "unix socket path too long: " + path);
+  ::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket Socket::connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  Socket sock(fd);
+  const sockaddr_un addr = make_addr(path);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) throw_errno("connect(" + path + ")");
+  return sock;
+}
+
+bool Socket::send_all(std::span<const char> bytes) {
+  ANB_CHECK(valid(), "send_all on closed socket");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a dead peer yields EPIPE instead of killing the
+    // process with SIGPIPE — essential for a daemon.
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET || errno == ENOTCONN ||
+          errno == EBADF) {
+        return false;  // peer gone / locally shut down
+      }
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::size_t Socket::recv_some(std::span<char> buf) {
+  ANB_CHECK(valid(), "recv_some on closed socket");
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET || errno == ENOTCONN || errno == EBADF) return 0;
+    throw_errno("recv");
+  }
+}
+
+bool Socket::recv_exact(std::span<char> buf) {
+  std::size_t got = 0;
+  while (got < buf.size()) {
+    const std::size_t n = recv_some(buf.subspan(got));
+    if (n == 0) return false;
+    got += n;
+  }
+  return true;
+}
+
+void Socket::shutdown_both() {
+  if (!valid()) return;
+  // Failure is fine (the peer may already be gone); the point is to wake
+  // any blocked recv/send.
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::shutdown_read() {
+  if (!valid()) return;
+  ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_write() {
+  if (!valid()) return;
+  ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::close() {
+  if (!valid()) return;
+  ::close(fd_);
+  fd_ = -1;
+}
+
+Listener::Listener(const std::string& path) : path_(path) {
+  ANB_CHECK(!path.empty(), "Listener: empty socket path");
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());  // stale socket file from a crashed server
+  const sockaddr_un addr = make_addr(path);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("bind(" + path + ")");
+  }
+  if (::listen(fd_, SOMAXCONN) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    ::unlink(path.c_str());
+    fd_ = -1;
+    errno = saved;
+    throw_errno("listen(" + path + ")");
+  }
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+Socket Listener::accept(int timeout_ms) {
+  if (fd_ < 0) return Socket();
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) throw_errno("poll(listener)");
+  if (rc == 0 || (pfd.revents & POLLIN) == 0) return Socket();
+  int cfd;
+  do {
+    cfd = ::accept(fd_, nullptr, nullptr);
+  } while (cfd < 0 && errno == EINTR);
+  if (cfd < 0) {
+    // The listener was shut down under us (interrupt()), or the pending
+    // client aborted between poll and accept; both mean "no connection".
+    if (errno == EINVAL || errno == EBADF || errno == ECONNABORTED) {
+      return Socket();
+    }
+    throw_errno("accept");
+  }
+  return Socket(cfd);
+}
+
+void Listener::interrupt() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+std::string unique_socket_path(const std::string& tag) {
+  // One counter per process keeps concurrent servers (parallel ctest
+  // shards, the bench's on/off pairs) from colliding; the pid isolates
+  // processes. sun_path is ~108 bytes, so keep it short.
+  static std::atomic<unsigned> counter{0};
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "/tmp/anb-%s-%d-%u.sock", tag.c_str(),
+                static_cast<int>(::getpid()),
+                counter.fetch_add(1, std::memory_order_relaxed));
+  return std::string(buf);
+}
+
+}  // namespace anb::net

@@ -1,0 +1,101 @@
+// The benchmark's query cache, exercised through the server: hit/miss
+// accounting stays exact when the hammering comes from concurrent socket
+// clients instead of in-process threads. The design is phased to keep the
+// counts provable: a serial prime phase (every key is a fresh miss, and
+// the blocking client guarantees no two flushes race the same key), a
+// quiesce, then a concurrent hammer phase where every key is already
+// published and so every lookup is a hit — at any scheduler thread count.
+
+#include "anb/serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "anb/serve/client.hpp"
+#include "serve_test_util.hpp"
+
+namespace anb {
+namespace {
+
+using namespace anb::serve;
+using namespace anb::serve_test;
+
+class ServeCacheTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ServeCacheTest, ExactHitMissAccountingThroughServer) {
+  const unsigned worker_threads = GetParam();
+  AccelNASBench bench = make_bench(71);
+  ASSERT_TRUE(bench.cache_enabled());
+  const auto pool = distinct_indices(10, 81);
+
+  ServeOptions options;
+  options.scheduler.worker_threads = worker_threads;
+  Server server(bench, options);
+  server.start();
+
+  // Phase 1 — prime: one client, one request in flight, every pool arch
+  // once for accuracy and once for perf. Serial flushes, distinct keys:
+  // exactly 2 * |pool| misses, zero hits.
+  std::vector<double> acc(pool.size());
+  std::vector<double> perf(pool.size());
+  {
+    Client client(server.socket_path());
+    client.hello(1, 0);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      acc[i] = client.query_accuracy(pool[i]);
+      perf[i] = client.query_perf(kA100Thr, pool[i]);
+    }
+  }
+  QueryCacheStats stats = bench.cache_stats();
+  EXPECT_EQ(stats.misses, 2 * pool.size());
+  EXPECT_EQ(stats.hits, 0u);
+
+  // Phase 2 — hammer: every key is published, so concurrent clients can
+  // only hit; the counters must come out exact, not racy-approximate.
+  constexpr std::size_t kClients = 5;
+  constexpr std::size_t kRounds = 8;
+  std::vector<std::thread> threads;
+  for (std::uint64_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(server.socket_path());
+      client.hello(10 + c, 0);
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        // Mix scalar and batch requests; values must be the primed ones
+        // bit-for-bit.
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+          EXPECT_EQ(client.query_accuracy(pool[i]), acc[i]);
+        }
+        const auto batch = client.query_perf_batch(kA100Thr, pool);
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+          EXPECT_EQ(batch[i], perf[i]);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.stop();
+
+  stats = bench.cache_stats();
+  EXPECT_EQ(stats.misses, 2 * pool.size());  // unchanged
+  EXPECT_EQ(stats.hits, kClients * kRounds * 2 * pool.size());
+
+  // Every request produced exactly one ok response.
+  const ServeReport report = server.report();
+  EXPECT_EQ(report.responses_ok,
+            report.requests_received);  // hellos + queries, no faults
+  EXPECT_EQ(report.responses_error, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ServeCacheTest,
+                         ::testing::Values(1u, 0u),
+                         [](const ::testing::TestParamInfo<unsigned>& param) {
+                           return param.param == 0 ? "HardwareThreads"
+                                                   : "OneThread";
+                         });
+
+}  // namespace
+}  // namespace anb

@@ -1,0 +1,62 @@
+#pragma once
+
+// Shared fixture helpers for the serve test suites: a small fitted
+// benchmark (accuracy + two performance targets), distinct-architecture
+// sampling, and the serial oracle the determinism tests compare against.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "anb/anb/benchmark.hpp"
+#include "anb/anb/tuning.hpp"
+
+namespace anb::serve_test {
+
+inline std::unique_ptr<Surrogate> fitted_model(std::uint64_t seed,
+                                               double scale = 1.0) {
+  Dataset ds(static_cast<std::size_t>(SearchSpace::feature_dim()));
+  Rng rng(seed);
+  for (int i = 0; i < 150; ++i) {
+    const Architecture a = SearchSpace::sample(rng);
+    const auto f = SearchSpace::features(a);
+    double y = 0.0;
+    for (double v : f) y += v;
+    ds.add(f, scale * y + rng.normal(0.0, 0.01));
+  }
+  auto model = make_default_surrogate(SurrogateKind::kXgb);
+  model->fit(ds, rng);
+  return model;
+}
+
+inline constexpr MetricKey kA100Thr{DeviceKind::kA100,
+                                    PerfMetric::kThroughput};
+inline constexpr MetricKey kZcuLat{DeviceKind::kZcu102, PerfMetric::kLatency};
+
+/// Accuracy + two perf targets, so requests spread over three scheduler
+/// buckets. Deterministic in `seed`.
+inline AccelNASBench make_bench(std::uint64_t seed = 1) {
+  AccelNASBench bench;
+  bench.set_accuracy_surrogate(fitted_model(seed));
+  bench.set_perf_surrogate(kA100Thr, fitted_model(seed + 1, 100.0));
+  bench.set_perf_surrogate(kZcuLat, fitted_model(seed + 2, 0.5));
+  return bench;
+}
+
+/// `n` pairwise-distinct architecture indices.
+inline std::vector<std::uint64_t> distinct_indices(std::size_t n,
+                                                   std::uint64_t seed) {
+  std::set<std::uint64_t> seen;
+  std::vector<std::uint64_t> out;
+  Rng rng(seed);
+  while (out.size() < n) {
+    const std::uint64_t index =
+        SearchSpace::to_index(SearchSpace::sample(rng));
+    if (seen.insert(index).second) out.push_back(index);
+  }
+  return out;
+}
+
+}  // namespace anb::serve_test

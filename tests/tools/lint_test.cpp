@@ -252,6 +252,30 @@ TEST(RawIoPass, ExemptsWrapperObsTestsAndBench) {
   EXPECT_TRUE(run_on("raw-io", {{"src/util/fine.cpp", allowed}}).empty());
 }
 
+TEST(RawIoPass, FlagsRawSocketsOutsideNetWrapper) {
+  // Socket headers and global-qualified socket syscalls are findings in
+  // library code (one per include, one per call here).
+  const std::string socket_use =
+      "#include <sys/socket.h>\n"
+      "#include <sys/un.h>\n"
+      "#include <poll.h>\n"
+      "int f() { return ::socket(1, 1, 0); }\n"
+      "int g(int fd) { return ::listen(fd, 8); }\n";
+  EXPECT_EQ(run_on("raw-io", {{"src/serve/bad.cpp", socket_use}}).size(), 5u);
+
+  // src/util/net.cpp is the sanctioned socket TU, exactly like io.cpp
+  // for file IO; and net::Socket methods named like the syscalls are
+  // not the libc calls.
+  EXPECT_TRUE(run_on("raw-io", {{"src/util/net.cpp", socket_use}}).empty());
+  const std::string wrapper_use =
+      "void f(anb::net::Socket& s, std::span<const char> b) {\n"
+      "  s.send_all(b);\n"
+      "  s.shutdown_both();\n"
+      "}\n"
+      "auto g(const std::string& p) { return net::Socket::connect_unix(p); }\n";
+  EXPECT_TRUE(run_on("raw-io", {{"src/serve/fine.cpp", wrapper_use}}).empty());
+}
+
 TEST(RawSimdPass, FlagsIntrinsicsOutsideWrapper) {
   // Header include and an x86 intrinsic call are two separate findings.
   const std::string avx_use =
@@ -470,6 +494,15 @@ TEST(LayeringPass, FlagsUpwardIncludes) {
   const std::string down_ok =
       "#include \"anb/obs/registry.hpp\"\nvoid f();\n";
   EXPECT_TRUE(run_on("layering", {{"src/util/fine.cpp", down_ok}}).empty());
+
+  // serve sits at the top: it may include anb, but nothing may include
+  // it back.
+  const std::string serve_down =
+      "#include \"anb/anb/benchmark.hpp\"\nvoid f();\n";
+  EXPECT_TRUE(run_on("layering", {{"src/serve/fine.cpp", serve_down}}).empty());
+  const std::string serve_up =
+      "#include \"anb/serve/server.hpp\"\nvoid f();\n";
+  EXPECT_EQ(run_on("layering", {{"src/anb/bad.cpp", serve_up}}).size(), 1u);
 
   // surrogate must not reach into hpo (hpo sits above it).
   const std::string upward =

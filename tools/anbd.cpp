@@ -1,0 +1,96 @@
+// anbd — the Accel-NASBench daemon.
+//
+//   anbd --bench FILE [--socket PATH] [--no-coalescing]
+//        [--batch-max N] [--wait-us N] [--queue N] [--workers N]
+//
+// Opens the benchmark artifact once (.anbb artifacts are memory-mapped,
+// so the surrogate tables are shared, page-cache-resident state) and
+// serves accuracy/performance queries to any number of local searcher
+// processes over a unix-domain socket — the paper's "benchmark as a
+// sustainable service" story: one warm process instead of N copies of
+// the forests.
+//
+// The daemon prints the socket path on stdout (so wrappers can discover
+// a --socket-less default) and blocks until a client sends the kShutdown
+// frame (`anbench query-remote --socket PATH --shutdown`).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "anb/anb/benchmark.hpp"
+#include "anb/serve/server.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: anbd --bench FILE [--socket PATH] [--no-coalescing]\n"
+               "            [--batch-max N] [--wait-us N] [--queue N] "
+               "[--workers N]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string bench_path;
+  anb::serve::ServeOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--bench") {
+      bench_path = value();
+    } else if (arg == "--socket") {
+      options.socket_path = value();
+    } else if (arg == "--no-coalescing") {
+      options.coalescing = false;
+    } else if (arg == "--batch-max") {
+      options.scheduler.batch_max =
+          static_cast<std::uint32_t>(std::atoi(value().c_str()));
+    } else if (arg == "--wait-us") {
+      options.scheduler.coalesce_wait_us =
+          static_cast<std::uint32_t>(std::atoi(value().c_str()));
+    } else if (arg == "--queue") {
+      options.scheduler.queue_capacity =
+          static_cast<std::size_t>(std::atoi(value().c_str()));
+    } else if (arg == "--workers") {
+      options.scheduler.worker_threads =
+          static_cast<unsigned>(std::atoi(value().c_str()));
+    } else {
+      usage(("unknown argument " + arg).c_str());
+    }
+  }
+  if (bench_path.empty()) usage("--bench is required");
+
+  try {
+    const anb::AccelNASBench bench = anb::AccelNASBench::open(bench_path);
+    anb::serve::Server server(bench, options);
+    server.start();
+    std::printf("%s\n", server.socket_path().c_str());
+    std::fflush(stdout);  // wrappers wait for the path line
+    server.wait();
+
+    const anb::serve::ServeReport report = server.report();
+    std::fprintf(stderr,
+                 "anbd: served %llu requests (%llu ok, %llu error, "
+                 "%llu retry) over %llu connections, %llu batches / %llu "
+                 "rows\n",
+                 static_cast<unsigned long long>(report.requests_received),
+                 static_cast<unsigned long long>(report.responses_ok),
+                 static_cast<unsigned long long>(report.responses_error),
+                 static_cast<unsigned long long>(report.retry_later),
+                 static_cast<unsigned long long>(report.connections_accepted),
+                 static_cast<unsigned long long>(report.batches),
+                 static_cast<unsigned long long>(report.rows));
+    return 0;
+  } catch (const anb::Error& e) {
+    std::fprintf(stderr, "anbd: error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -24,6 +24,15 @@
 //   anbench random --count N [--seed S]
 //       Sample random architectures (useful to pipe into query).
 //
+//   anbench serve  --bench FILE [--socket PATH] [--no-coalescing]
+//       Run the benchmark server in-process (thin wrapper over the anbd
+//       daemon's core; see tools/anbd.cpp for the full option set).
+//
+//   anbench query-remote --socket PATH (--arch SPEC [--device D]
+//                        [--metric M] | --shutdown)
+//       Query a running server instead of opening an artifact, or ask it
+//       to stop.
+//
 // Devices: tpuv2 tpuv3 a100 rtx3090 zcu102 vck190; metrics: Thr Lat Enr.
 
 #include <cstdio>
@@ -35,6 +44,8 @@
 
 #include "anb/anb/harness.hpp"
 #include "anb/anb/pipeline.hpp"
+#include "anb/serve/client.hpp"
+#include "anb/serve/server.hpp"
 #include "anb/util/table.hpp"
 
 namespace {
@@ -44,8 +55,8 @@ using namespace anb;
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
-               "usage: anbench <build|convert|info|query|search|random> "
-               "[options]\n"
+               "usage: anbench <build|convert|info|query|search|serve|"
+               "query-remote|random> [options]\n"
                "run with a command and no options for per-command help; see "
                "the header of tools/anbench.cpp for details.\n");
   std::exit(2);
@@ -189,6 +200,39 @@ int cmd_search(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  const AccelNASBench bench = AccelNASBench::open(args.require("bench"));
+  serve::ServeOptions options;
+  options.socket_path = args.get("socket", "");
+  options.coalescing = !args.has("no-coalescing");
+  serve::Server server(bench, options);
+  server.start();
+  std::printf("%s\n", server.socket_path().c_str());
+  std::fflush(stdout);
+  server.wait();
+  return 0;
+}
+
+int cmd_query_remote(const Args& args) {
+  serve::Client client(args.require("socket"));
+  if (args.has("shutdown")) {
+    client.shutdown_server();
+    std::printf("server shut down\n");
+    return 0;
+  }
+  const Architecture arch = Architecture::from_string(args.require("arch"));
+  const std::uint64_t index = SearchSpace::to_index(arch);
+  if (args.has("device")) {
+    const MetricKey key{device_kind_from_name(args.require("device")),
+                        perf_metric_from_name(args.get("metric", "Thr"))};
+    std::printf("%s %s = %.4f\n", device_kind_name(key.device),
+                perf_metric_name(key.metric), client.query_perf(key, index));
+  } else {
+    std::printf("top1 = %.4f\n", client.query_accuracy(index));
+  }
+  return 0;
+}
+
 int cmd_random(const Args& args) {
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
   const int count = args.get_int("count", 5);
@@ -209,6 +253,8 @@ int main(int argc, char** argv) {
     if (command == "info") return cmd_info(args);
     if (command == "query") return cmd_query(args);
     if (command == "search") return cmd_search(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "query-remote") return cmd_query_remote(args);
     if (command == "random") return cmd_random(args);
     usage(("unknown command " + command).c_str());
   } catch (const anb::Error& e) {

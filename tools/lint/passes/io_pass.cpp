@@ -1,13 +1,19 @@
-// raw-io: library file IO must flow through anb::io (anb/util/io.hpp).
+// raw-io: library file IO must flow through anb::io (anb/util/io.hpp),
+// and raw sockets through anb::net (anb/util/net.hpp).
 //
 // The io wrapper is the one place that owns file descriptors, mmap
 // lifetimes, and error wrapping (everything throws anb::Error with the
 // path in the message). Scattered fopen/ifstream/mmap call sites are
 // how short-read handling, EINTR retries, and SIGBUS-safe mapping rules
-// silently diverge — so inside src/ they are findings.
+// silently diverge — so inside src/ they are findings. The same logic
+// covers the socket syscalls the serving layer is built on: EINTR
+// loops, partial sends, MSG_NOSIGNAL, and EOF-vs-error mapping live in
+// exactly one TU, so every other library file speaks net::Socket /
+// net::Listener.
 //
 // Exemptions, by layer position rather than waiver comments:
-//   - src/util/io.cpp    — the sanctioned home of raw IO.
+//   - src/util/io.cpp    — the sanctioned home of raw file IO.
+//   - src/util/net.cpp   — the sanctioned home of raw socket IO.
 //   - src/obs/           — the observability layer sits *below* util in
 //                          the include DAG and cannot link up to the
 //                          wrapper; its exporters keep their own streams.
@@ -37,13 +43,15 @@ class RawIoPass final : public FilePass {
  public:
   std::string_view name() const override { return "raw-io"; }
   std::string_view summary() const override {
-    return "file IO through anb::io (src/util/io.cpp), not raw streams";
+    return "file IO through anb::io, sockets through anb::net, not raw "
+           "syscalls";
   }
 
  private:
   void check(const SourceFile& f, Diagnostics& diag) const override {
     if (!f.in_src) return;
     if (f.rel_path == "src/util/io.cpp") return;
+    if (f.rel_path == "src/util/net.cpp") return;
     if (f.rel_path.rfind("src/obs/", 0) == 0) return;
 
     for (const Include& inc : f.includes) {
@@ -52,6 +60,12 @@ class RawIoPass final : public FilePass {
         diag.report(f, inc.line,
                     "#include <" + inc.target +
                         ">: file IO belongs in anb::io (anb/util/io.hpp)");
+      } else if (inc.target == "sys/socket.h" || inc.target == "sys/un.h" ||
+                 inc.target == "poll.h") {
+        diag.report(f, inc.line,
+                    "#include <" + inc.target +
+                        ">: socket IO belongs in anb::net "
+                        "(anb/util/net.hpp)");
       }
     }
 
@@ -86,6 +100,18 @@ class RawIoPass final : public FilePass {
         // member calls named open() are fine.
         diag.report(f, t[i].line,
                     "::open: open file descriptors through anb::io");
+      } else if ((text == "socket" || text == "connect" || text == "bind" ||
+                  text == "listen" || text == "accept" || text == "send" ||
+                  text == "recv" || text == "poll" || text == "shutdown") &&
+                 i >= 1 && t[i - 1].text == "::" &&
+                 (i < 2 || !is_qualifier(t[i - 2]))) {
+        // Same rule for the socket family: only the global-qualified
+        // libc calls are findings — `net::Socket` methods and members
+        // named connect()/send()/... are the sanctioned replacements.
+        diag.report(f, t[i].line,
+                    "::" + text +
+                        ": socket syscalls belong in anb::net "
+                        "(src/util/net.cpp)");
       }
     }
   }

@@ -35,6 +35,9 @@ const std::map<std::string, std::set<std::string>, std::less<>>& allowed() {
           {"anb",
            {"nas", "hpo", "surrogate", "hwsim", "trainsim", "ir",
             "searchspace", "util", "obs"}},
+          {"serve",
+           {"anb", "nas", "hpo", "surrogate", "hwsim", "trainsim", "ir",
+            "searchspace", "util", "obs"}},
       };
   return kMap;
 }
