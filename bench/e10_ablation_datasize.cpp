@@ -59,7 +59,8 @@ int main(int argc, char** argv) {
     std::vector<double> acc, flops, params;
     Rng prng(hash_combine(bench::kWorldSeed, 0xBA5E));
     for (int i = 0; i < 400; ++i) {
-      const Architecture arch = SearchSpace::sample(prng);
+      const Architecture arch =
+          MnasSpace::to_blocks(MnasSpace::instance().sample(prng));
       acc.push_back(sim.train(arch, canonical_p_star(), 0).top1);
       const ModelIR ir = build_ir(arch, 224);
       flops.push_back(ir.gflops());

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     const ParetoOutcome reinforce = pareto_search(pipe.bench, sweep);
 
     // --- NSGA-II at the same budget --------------------------------------
-    BiObjectiveOracle oracle = [&](const Architecture& arch) {
+    BiObjectiveOracle oracle = [&](const Arch& arch) {
       return std::pair<double, double>{
           pipe.bench.query_accuracy(arch),
           pipe.bench.query_perf(arch, MetricKey{device, PerfMetric::kThroughput})};

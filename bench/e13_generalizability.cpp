@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   std::vector<double> ref_acc, proxy_acc;
   double proxy_cost = 0.0, ref_cost = 0.0;
   for (int i = 0; i < 120; ++i) {
-    const FbnetArchitecture arch = FbnetSpace::sample(rng);
+    const FbnetArchitecture arch = FbnetSpace::to_ops(FbnetSpace::instance().sample(rng));
     archs.push_back(arch);
     ref_acc.push_back(sim.train(arch, reference_scheme(), 0).top1);
     const TrainResult run = sim.train(arch, p_star, 0);
@@ -55,13 +55,13 @@ int main(int argc, char** argv) {
   // --- 2. accuracy-surrogate fidelity -------------------------------------
   std::printf("\n[2/4] accuracy surrogates on %d FBNet architectures:\n",
               n_archs);
-  Dataset acc_data(static_cast<std::size_t>(FbnetSpace::feature_dim()));
+  Dataset acc_data(static_cast<std::size_t>(FbnetSpace::instance().feature_dim()));
   std::vector<FbnetArchitecture> collected;
   {
     Rng crng(hash_combine(bench::kWorldSeed, 0xFB14));
     std::set<std::uint64_t> seen;
     while (static_cast<int>(collected.size()) < n_archs) {
-      const FbnetArchitecture arch = FbnetSpace::sample(crng);
+      const FbnetArchitecture arch = FbnetSpace::to_ops(FbnetSpace::instance().sample(crng));
       if (!seen.insert(arch.hash()).second) continue;
       collected.push_back(arch);
       acc_data.add(FbnetSpace::features(arch),
@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
   // --- 3. device surrogate (ZCU102 throughput) ---------------------------
   std::printf("\n[3/4] ZCU102 throughput surrogate on the FBNet space:\n");
   const Device zcu = make_device(DeviceKind::kZcu102);
-  Dataset thr_data(static_cast<std::size_t>(FbnetSpace::feature_dim()));
+  Dataset thr_data(static_cast<std::size_t>(FbnetSpace::instance().feature_dim()));
   for (std::size_t i = 0; i < collected.size(); ++i) {
     const ModelIR ir = build_fbnet_ir(collected[i], 224);
     thr_data.add(FbnetSpace::features(collected[i]),
@@ -109,8 +109,8 @@ int main(int argc, char** argv) {
   auto acc_model = make_default_surrogate(SurrogateKind::kXgb);
   Rng fit3(102);
   acc_model->fit(splits.train, fit3);
-  // Adapt the generic optimizers (MnasNet-typed) by searching directly with
-  // mutate/sample of the FBNet space.
+  // Hand-rolled RS/RE loop over the typed FbnetArchitecture view (the
+  // space-generic optimizers cover this path in bench/e14_cross_space).
   auto incumbent_curve = [&](bool evolutionary, std::uint64_t seed) {
     Rng search_rng(seed);
     std::vector<double> curve;
@@ -120,7 +120,7 @@ int main(int argc, char** argv) {
     for (int t = 0; t < budget; ++t) {
       FbnetArchitecture cand;
       if (!evolutionary || static_cast<int>(population.size()) < 30) {
-        cand = FbnetSpace::sample(search_rng);
+        cand = FbnetSpace::to_ops(FbnetSpace::instance().sample(search_rng));
       } else {
         const auto& parent = [&]() -> const auto& {
           const auto& a = population[search_rng.uniform_index(population.size())];

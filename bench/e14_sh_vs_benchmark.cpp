@@ -33,12 +33,13 @@ int main(int argc, char** argv) {
   sh_params.min_epochs = 5;
   sh_params.max_epochs = 45;
   SuccessiveHalving sh(sh_params);
-  BudgetedOracle oracle = [&](const Architecture& arch, int epochs) {
+  BudgetedOracle oracle = [&](const Arch& arch, int epochs) {
     TrainingScheme scheme = canonical_p_star();
     scheme.total_epochs = epochs;
     scheme.resize_finish_epoch =
         std::min(scheme.resize_finish_epoch, epochs);
-    const TrainResult run = sim.train(arch, scheme, /*run_seed=*/epochs);
+    const TrainResult run =
+        sim.train(MnasSpace::to_blocks(arch), scheme, /*run_seed=*/epochs);
     return BudgetedEval{run.top1, run.gpu_hours};
   };
   Rng sh_rng(hash_combine(bench::kWorldSeed, 0x5A));
@@ -50,13 +51,14 @@ int main(int argc, char** argv) {
 
   // --- (b) random search with the same GPU-hour budget -------------------
   Rng rs_rng(hash_combine(bench::kWorldSeed, 0x5B));
-  Architecture rs_best;
+  Arch rs_best;
   double rs_best_acc = -1.0;
   double rs_cost = 0.0;
   int rs_trainings = 0;
   while (rs_cost < sh_result.total_cost_hours) {
-    const Architecture arch = SearchSpace::sample(rs_rng);
-    const TrainResult run = sim.train(arch, canonical_p_star(), 0);
+    const Arch arch = MnasSpace::instance().sample(rs_rng);
+    const TrainResult run =
+        sim.train(MnasSpace::to_blocks(arch), canonical_p_star(), 0);
     rs_cost += run.gpu_hours;
     ++rs_trainings;
     if (run.top1 > rs_best_acc) {
@@ -76,7 +78,7 @@ int main(int argc, char** argv) {
   const PipelineResult pipe = construct_benchmark(options);
   RegularizedEvolution re;
   Rng re_rng(hash_combine(bench::kWorldSeed, 0x5C));
-  EvalOracle zero_cost = [&](const Architecture& arch) {
+  EvalOracle zero_cost = [&](const Arch& arch) {
     return pipe.bench.query_accuracy(arch);
   };
   const auto re_traj = re.run(zero_cost, bench::fast_mode() ? 400 : 1000,
@@ -86,8 +88,10 @@ int main(int argc, char** argv) {
               re_traj.size());
 
   // --- final fair comparison: reference-scheme retraining ------------------
-  auto final_accuracy = [&](const Architecture& arch) {
-    return sim.train(arch, reference_scheme(), /*run_seed=*/99).top1;
+  auto final_accuracy = [&](const Arch& arch) {
+    return sim.train(MnasSpace::to_blocks(arch), reference_scheme(),
+                     /*run_seed=*/99)
+        .top1;
   };
   TextTable table({"method", "search cost (GPU-h)", "winner top-1 (ref)"});
   table.add_row({"successive halving (true training)",

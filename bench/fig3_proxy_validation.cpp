@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
                  "acc_proxy_std"});
 
   for (int m = 0; m < n_models; ++m) {
-    const Architecture arch = SearchSpace::sample(rng);
+    const Architecture arch =
+        MnasSpace::to_blocks(MnasSpace::instance().sample(rng));
     std::vector<double> proxy_runs, ref_runs;
     for (int s = 0; s < n_seeds; ++s) {
       proxy_runs.push_back(

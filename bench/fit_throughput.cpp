@@ -60,7 +60,7 @@ Dataset make_dataset(int n, std::uint64_t seed, std::span<const double> w,
   Dataset ds(num_features);
   Rng rng(seed);
   for (int i = 0; i < n; ++i) {
-    const auto x = SearchSpace::features(SearchSpace::sample(rng));
+    const auto x = MnasSpace::instance().features(MnasSpace::instance().sample(rng));
     ds.add(x, synthetic_target(x, w));
   }
   return ds;
@@ -135,7 +135,7 @@ int run(int argc, char** argv) {
 
   Rng probe_rng(1);
   const std::size_t num_features =
-      SearchSpace::features(SearchSpace::sample(probe_rng)).size();
+      MnasSpace::instance().features(MnasSpace::instance().sample(probe_rng)).size();
   std::vector<double> w(num_features);
   Rng wrng(hash_combine(kWorldSeed, 0xBEEF));
   for (double& v : w) v = wrng.normal();

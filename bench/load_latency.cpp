@@ -67,11 +67,11 @@ std::string scratch_path(const std::string& name) {
 AccelNASBench make_benchmark() {
   Rng drng(hash_combine(kWorldSeed, 1));
   const std::size_t num_features =
-      SearchSpace::features(SearchSpace::sample(drng)).size();
+      MnasSpace::instance().features(MnasSpace::instance().sample(drng)).size();
   const int n_train = fast_mode() ? 300 : 1500;
   Dataset train(num_features);
   for (int i = 0; i < n_train; ++i) {
-    const auto x = SearchSpace::features(SearchSpace::sample(drng));
+    const auto x = MnasSpace::instance().features(MnasSpace::instance().sample(drng));
     double y = 0.0;
     for (std::size_t k = 0; k < x.size(); ++k)
       y += x[k] * (k % 3 == 0 ? 0.5 : -0.25);
@@ -112,14 +112,14 @@ AccelNASBench make_benchmark() {
 /// Bit-compares predictions of `a` and `b` on `archs` over every query
 /// path the benchmark offers.
 bool identical_predictions(const AccelNASBench& a, const AccelNASBench& b,
-                           std::span<const Architecture> archs) {
+                           std::span<const Arch> archs) {
   const auto batch_a = a.query_accuracy_batch(archs);
   const auto batch_b = b.query_accuracy_batch(archs);
   if (std::memcmp(batch_a.data(), batch_b.data(),
                   batch_a.size() * sizeof(double)) != 0) {
     return false;
   }
-  for (const Architecture& arch : archs) {
+  for (const Arch& arch : archs) {
     if (a.query_accuracy(arch) != b.query_accuracy(arch)) return false;
     for (const MetricKey key : a.perf_targets())
       if (a.query_perf(arch, key) != b.query_perf(arch, key)) return false;
@@ -174,10 +174,10 @@ int run(int argc, char** argv) {
 
   // Tri-modal differential check on freshly loaded instances.
   Rng prng(hash_combine(kWorldSeed, 3));
-  std::vector<Architecture> probes;
+  std::vector<Arch> probes;
   probes.reserve(static_cast<std::size_t>(n_probes));
   for (int i = 0; i < n_probes; ++i)
-    probes.push_back(SearchSpace::sample(prng));
+    probes.push_back(MnasSpace::instance().sample(prng));
   const AccelNASBench from_text = AccelNASBench::load(text_path);
   const AccelNASBench from_heap =
       AccelNASBench::load_binary(anbb_path, io::MapMode::kCopy);

@@ -27,14 +27,15 @@ using namespace anb;
 Dataset small_training_set() {
   TrainingSimulator sim(42);
   Rng rng(1);
-  Dataset ds(static_cast<std::size_t>(SearchSpace::feature_dim()));
+  Dataset ds(static_cast<std::size_t>(MnasSpace::instance().feature_dim()));
   for (int i = 0; i < 800; ++i) {
-    const Architecture a = SearchSpace::sample(rng);
-    ds.add(SearchSpace::features(a),
-           sim.train(a, canonical_p_star(), 0).top1);
+    const Arch a = MnasSpace::instance().sample(rng);
+    ds.add(MnasSpace::instance().features(a),
+           sim.train(MnasSpace::to_blocks(a), canonical_p_star(), 0).top1);
   }
   return ds;
 }
+
 
 std::unique_ptr<Surrogate> fitted(SurrogateKind kind) {
   static const Dataset train = small_training_set();
@@ -47,16 +48,16 @@ std::unique_ptr<Surrogate> fitted(SurrogateKind kind) {
 void BM_SampleArchitecture(benchmark::State& state) {
   Rng rng(3);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(SearchSpace::sample(rng));
+    benchmark::DoNotOptimize(MnasSpace::instance().sample(rng));
   }
 }
 BENCHMARK(BM_SampleArchitecture);
 
 void BM_EncodeFeatures(benchmark::State& state) {
   Rng rng(4);
-  const Architecture a = SearchSpace::sample(rng);
+  const Arch a = MnasSpace::instance().sample(rng);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(SearchSpace::features(a));
+    benchmark::DoNotOptimize(MnasSpace::instance().features(a));
   }
 }
 BENCHMARK(BM_EncodeFeatures);
@@ -65,7 +66,7 @@ void BM_QuerySurrogate(benchmark::State& state) {
   const auto kind = static_cast<SurrogateKind>(state.range(0));
   const auto model = fitted(kind);
   Rng rng(5);
-  const auto x = SearchSpace::features(SearchSpace::sample(rng));
+  const auto x = MnasSpace::instance().features(MnasSpace::instance().sample(rng));
   for (auto _ : state) {
     benchmark::DoNotOptimize(model->predict(x));
   }
@@ -83,7 +84,7 @@ void BM_BenchmarkEndToEndQuery(benchmark::State& state) {
   Rng rng(6);
   for (auto _ : state) {
     // Full zero-cost evaluation path: sample -> encode -> predict.
-    benchmark::DoNotOptimize(bench.query_accuracy(SearchSpace::sample(rng)));
+    benchmark::DoNotOptimize(bench.query_accuracy(MnasSpace::instance().sample(rng)));
   }
 }
 BENCHMARK(BM_BenchmarkEndToEndQuery);
@@ -99,7 +100,7 @@ void BM_QueryObsOverhead(benchmark::State& state) {
   const bool armed = state.range(0) != 0;
   obs::set_metrics_enabled(armed);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(bench.query_accuracy(SearchSpace::sample(rng)));
+    benchmark::DoNotOptimize(bench.query_accuracy(MnasSpace::instance().sample(rng)));
   }
   obs::set_metrics_enabled(true);
   state.SetLabel(armed ? "obs_enabled" : "obs_disabled");
@@ -117,12 +118,12 @@ BENCHMARK(BM_QueryObsOverhead)->Arg(1)->Arg(0);
 void BM_PredictBatchDescent(benchmark::State& state) {
   const auto model = fitted(SurrogateKind::kLgb);
   constexpr std::size_t kRows = 4096;
-  const auto d = static_cast<std::size_t>(SearchSpace::feature_dim());
+  const auto d = static_cast<std::size_t>(MnasSpace::instance().feature_dim());
   Rng rng(9);
   std::vector<double> rows;
   rows.reserve(kRows * d);
   for (std::size_t i = 0; i < kRows; ++i) {
-    const auto x = SearchSpace::features(SearchSpace::sample(rng));
+    const auto x = MnasSpace::instance().features(MnasSpace::instance().sample(rng));
     rows.insert(rows.end(), x.begin(), x.end());
   }
   std::vector<double> out(kRows);
@@ -146,7 +147,9 @@ void BM_SimulatedTrainingEvaluation(benchmark::State& state) {
   Rng rng(7);
   const TrainingScheme p = canonical_p_star();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim.train(SearchSpace::sample(rng), p, 0));
+    benchmark::DoNotOptimize(
+        sim.train(MnasSpace::to_blocks(MnasSpace::instance().sample(rng)),
+                  p, 0));
   }
 }
 BENCHMARK(BM_SimulatedTrainingEvaluation);

@@ -78,7 +78,7 @@ Dataset make_dataset(int n, std::uint64_t seed, std::span<const double> w,
   Dataset ds(num_features);
   Rng rng(seed);
   for (int i = 0; i < n; ++i) {
-    const auto x = SearchSpace::features(SearchSpace::sample(rng));
+    const auto x = MnasSpace::instance().features(MnasSpace::instance().sample(rng));
     ds.add(x, synthetic_target(x, w));
   }
   return ds;
@@ -212,7 +212,7 @@ int run(int argc, char** argv) {
   // we measure, so a modest train set keeps setup fast.
   Rng probe_rng(1);
   const std::size_t num_features =
-      SearchSpace::features(SearchSpace::sample(probe_rng)).size();
+      MnasSpace::instance().features(MnasSpace::instance().sample(probe_rng)).size();
   std::vector<double> w(num_features);
   Rng wrng(hash_combine(kWorldSeed, 0xBEEF));
   for (double& v : w) v = wrng.normal();
@@ -242,13 +242,13 @@ int run(int argc, char** argv) {
 
   // Query matrix: n_rows freshly sampled architectures.
   Rng qrng(hash_combine(kWorldSeed, 4));
-  std::vector<Architecture> archs;
+  std::vector<Arch> archs;
   archs.reserve(static_cast<std::size_t>(n_rows));
   std::vector<double> rows;
   rows.reserve(static_cast<std::size_t>(n_rows) * num_features);
   for (int i = 0; i < n_rows; ++i) {
-    archs.push_back(SearchSpace::sample(qrng));
-    const auto x = SearchSpace::features(archs.back());
+    archs.push_back(MnasSpace::instance().sample(qrng));
+    const auto x = MnasSpace::instance().features(archs.back());
     rows.insert(rows.end(), x.begin(), x.end());
   }
 

@@ -50,12 +50,12 @@ namespace {
 AccelNASBench make_served_bench() {
   Rng probe_rng(1);
   const std::size_t num_features =
-      SearchSpace::features(SearchSpace::sample(probe_rng)).size();
+      MnasSpace::instance().features(MnasSpace::instance().sample(probe_rng)).size();
   Dataset train(num_features);
   Rng rng(hash_combine(kWorldSeed, 0x5EF));
   const int n_train = fast_mode() ? 200 : 600;
   for (int i = 0; i < n_train; ++i) {
-    const auto x = SearchSpace::features(SearchSpace::sample(rng));
+    const auto x = MnasSpace::instance().features(MnasSpace::instance().sample(rng));
     double y = 0.0;
     for (std::size_t j = 0; j < x.size(); ++j) y += (j % 7 == 0 ? 2.0 : 0.5) * x[j];
     train.add(x, y + rng.normal(0.0, 0.01));
@@ -179,8 +179,8 @@ int run(int argc, char** argv) {
   std::vector<double> expected;
   Rng rng(hash_combine(kWorldSeed, 0xA9C));
   while (pool.size() < pool_size) {
-    const Architecture arch = SearchSpace::sample(rng);
-    pool.push_back(SearchSpace::to_index(arch));
+    const Arch arch = MnasSpace::instance().sample(rng);
+    pool.push_back(MnasSpace::instance().to_index(arch));
     expected.push_back(bench.query_accuracy(arch));
   }
 

@@ -55,8 +55,8 @@ int main(int argc, char** argv) {
   result.bench.save(path);
   const AccelNASBench reloaded = AccelNASBench::load(path);
   Rng rng(1);
-  std::vector<Architecture> probes;
-  for (int i = 0; i < 16; ++i) probes.push_back(SearchSpace::sample(rng));
+  std::vector<Arch> probes;
+  for (int i = 0; i < 16; ++i) probes.push_back(MnasSpace::instance().sample(rng));
   std::printf("[4/4] saved + reloaded %s; probe queries match: %s\n",
               path.c_str(),
               reloaded.query_accuracy_batch(probes) ==

@@ -27,12 +27,12 @@ class GreedyLocalSearch final : public NasOptimizer {
   SearchTrajectory run(const EvalOracle& oracle, int n_evals,
                        Rng& rng) override {
     SearchTrajectory traj;
-    Architecture current = SearchSpace::sample(rng);
+    Arch current = space().sample(rng);
     double current_value = oracle(current);
     traj.add(current, current_value);
     int stale = 0;
     while (static_cast<int>(traj.size()) < n_evals) {
-      const Architecture candidate = SearchSpace::mutate(current, rng);
+      const Arch candidate = space().mutate(current, rng);
       const double value = oracle(candidate);
       traj.add(candidate, value);
       if (value > current_value) {
@@ -40,7 +40,7 @@ class GreedyLocalSearch final : public NasOptimizer {
         current_value = value;
         stale = 0;
       } else if (++stale > 40) {  // restart when the neighborhood is dry
-        current = SearchSpace::sample(rng);
+        current = space().sample(rng);
         if (static_cast<int>(traj.size()) >= n_evals) break;
         current_value = oracle(current);
         traj.add(current, current_value);
@@ -61,7 +61,7 @@ int main() {
   options.collect_perf = false;
   const PipelineResult result = construct_benchmark(options);
 
-  EvalOracle oracle = [&](const Architecture& arch) {
+  EvalOracle oracle = [&](const Arch& arch) {
     return result.bench.query_accuracy(arch);
   };
 

@@ -43,7 +43,7 @@ int main() {
     std::printf("no front member met the budget — relax it or search more\n");
     return 1;
   }
-  const Architecture winner = outcome.archs[*best];
+  const Architecture winner = MnasSpace::to_blocks(outcome.archs[*best]);
   std::printf("winner: %s\n", winner.to_string().c_str());
   std::printf("  predicted: top-1 %.4f (proxy scale), latency %.2f ms\n",
               outcome.accuracy[*best], outcome.perf[*best]);

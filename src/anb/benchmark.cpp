@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "anb/fbnet/fbnet_space.hpp"
 #include "anb/obs/registry.hpp"
 #include "anb/obs/span.hpp"
 #include "anb/surrogate/ensemble.hpp"
@@ -90,6 +91,7 @@ const char* perf_metric_name(PerfMetric metric) {
     case PerfMetric::kThroughput: return "Thr";
     case PerfMetric::kLatency: return "Lat";
     case PerfMetric::kEnergy: return "Enr";
+    case PerfMetric::kPeakMemory: return "Mem";
   }
   return "unknown";
 }
@@ -98,6 +100,7 @@ PerfMetric perf_metric_from_name(const std::string& name) {
   if (name == "Thr") return PerfMetric::kThroughput;
   if (name == "Lat") return PerfMetric::kLatency;
   if (name == "Enr") return PerfMetric::kEnergy;
+  if (name == "Mem") return PerfMetric::kPeakMemory;
   throw Error("perf_metric_from_name: unknown metric '" + name + "'");
 }
 
@@ -109,6 +112,8 @@ std::string device_short_name(DeviceKind kind) {
     case DeviceKind::kRtx3090: return "RTX";
     case DeviceKind::kZcu102: return "ZCU";
     case DeviceKind::kVck190: return "VCK";
+    case DeviceKind::kMobileNpu: return "NPU";
+    case DeviceKind::kServerCpu: return "CPU";
   }
   return "unknown";
 }
@@ -120,6 +125,8 @@ DeviceKind device_from_short_name(const std::string& name) {
   if (name == "RTX") return DeviceKind::kRtx3090;
   if (name == "ZCU") return DeviceKind::kZcu102;
   if (name == "VCK") return DeviceKind::kVck190;
+  if (name == "NPU") return DeviceKind::kMobileNpu;
+  if (name == "CPU") return DeviceKind::kServerCpu;
   throw Error("device_from_short_name: unknown device '" + name + "'");
 }
 
@@ -158,6 +165,23 @@ MetricKey AccelNASBench::perf_json_key_parse(const std::string& key) {
                    perf_metric_from_name(key.substr(slash + 1))};
 }
 
+const SearchSpace& AccelNASBench::space_obj() const { return anb::space(space_); }
+
+void AccelNASBench::check_space(const Arch& arch) const {
+  ANB_CHECK(arch.space == space_,
+            std::string("AccelNASBench: genotype is from space '") +
+                space_name(arch.space) + "' but this benchmark serves '" +
+                space_name(space_) + "'");
+}
+
+void AccelNASBench::set_space(SpaceId space) {
+  ANB_CHECK(accuracy_ == nullptr && perf_.empty(),
+            "AccelNASBench::set_space: surrogates already installed");
+  register_builtin_spaces();
+  anb::space(space);  // throws for unregistered ids
+  space_ = space;
+}
+
 void AccelNASBench::set_accuracy_surrogate(
     std::unique_ptr<Surrogate> surrogate) {
   ANB_CHECK(surrogate != nullptr, "AccelNASBench: null accuracy surrogate");
@@ -177,17 +201,38 @@ bool AccelNASBench::has_perf(MetricKey key) const {
   return perf_.count(key) > 0;
 }
 
-double AccelNASBench::query_accuracy(const Architecture& arch) const {
+namespace {
+/// MnasNet convenience overloads funnel through here.
+std::vector<Arch> to_genotypes(std::span<const Architecture> archs) {
+  std::vector<Arch> out;
+  out.reserve(archs.size());
+  for (const Architecture& arch : archs)
+    out.push_back(MnasSpace::from_blocks(arch));
+  return out;
+}
+}  // namespace
+
+double AccelNASBench::query_accuracy(const Arch& arch) const {
   ANB_CHECK(accuracy_ != nullptr,
             "AccelNASBench: accuracy surrogate not installed");
   return cached_query(*accuracy_, nullptr, arch);
 }
 
+double AccelNASBench::query_accuracy(const Architecture& arch) const {
+  return query_accuracy(MnasSpace::from_blocks(arch));
+}
+
 std::vector<double> AccelNASBench::query_accuracy_batch(
-    std::span<const Architecture> archs) const {
+    std::span<const Arch> archs) const {
   ANB_CHECK(accuracy_ != nullptr,
             "AccelNASBench: accuracy surrogate not installed");
   return cached_query_batch(*accuracy_, nullptr, archs);
+}
+
+std::vector<double> AccelNASBench::query_accuracy_batch(
+    std::span<const Architecture> archs) const {
+  const std::vector<Arch> genotypes = to_genotypes(archs);
+  return query_accuracy_batch(std::span<const Arch>(genotypes));
 }
 
 namespace {
@@ -200,47 +245,70 @@ bool AccelNASBench::has_noisy_accuracy() const {
   return as_ensemble(accuracy_.get()) != nullptr;
 }
 
-double AccelNASBench::query_accuracy_noisy(const Architecture& arch,
-                                           Rng& rng) const {
+double AccelNASBench::query_accuracy_noisy(const Arch& arch, Rng& rng) const {
   const auto* ensemble = as_ensemble(accuracy_.get());
   ANB_CHECK(ensemble != nullptr,
             "AccelNASBench: noisy queries need an ensemble accuracy "
             "surrogate (PipelineOptions::ensemble_accuracy)");
-  return ensemble->sample(SearchSpace::features(arch), rng);
+  check_space(arch);
+  return ensemble->sample(space_obj().features(arch), rng);
+}
+
+double AccelNASBench::query_accuracy_noisy(const Architecture& arch,
+                                           Rng& rng) const {
+  return query_accuracy_noisy(MnasSpace::from_blocks(arch), rng);
 }
 
 std::pair<double, double> AccelNASBench::query_accuracy_dist(
-    const Architecture& arch) const {
+    const Arch& arch) const {
   const auto* ensemble = as_ensemble(accuracy_.get());
   ANB_CHECK(ensemble != nullptr,
             "AccelNASBench: predictive distributions need an ensemble "
             "accuracy surrogate (PipelineOptions::ensemble_accuracy)");
-  return ensemble->predict_dist(SearchSpace::features(arch));
+  check_space(arch);
+  return ensemble->predict_dist(space_obj().features(arch));
 }
 
-double AccelNASBench::query_perf(const Architecture& arch,
-                                 MetricKey key) const {
+std::pair<double, double> AccelNASBench::query_accuracy_dist(
+    const Architecture& arch) const {
+  return query_accuracy_dist(MnasSpace::from_blocks(arch));
+}
+
+double AccelNASBench::query_perf(const Arch& arch, MetricKey key) const {
   const auto it = perf_.find(key);
   ANB_CHECK(it != perf_.end(),
             "AccelNASBench: no surrogate for " + dataset_name(key));
   return cached_query(*it->second, &key, arch);
 }
 
+double AccelNASBench::query_perf(const Architecture& arch,
+                                 MetricKey key) const {
+  return query_perf(MnasSpace::from_blocks(arch), key);
+}
+
 std::vector<double> AccelNASBench::query_perf_batch(
-    std::span<const Architecture> archs, MetricKey key) const {
+    std::span<const Arch> archs, MetricKey key) const {
   const auto it = perf_.find(key);
   ANB_CHECK(it != perf_.end(),
             "AccelNASBench: no surrogate for " + dataset_name(key));
   return cached_query_batch(*it->second, &key, archs);
 }
 
+std::vector<double> AccelNASBench::query_perf_batch(
+    std::span<const Architecture> archs, MetricKey key) const {
+  const std::vector<Arch> genotypes = to_genotypes(archs);
+  return query_perf_batch(std::span<const Arch>(genotypes), key);
+}
+
 double AccelNASBench::cached_query(const Surrogate& surrogate,
                                    const MetricKey* key,
-                                   const Architecture& arch) const {
+                                   const Arch& arch) const {
+  check_space(arch);
+  const SearchSpace& sp = space_obj();
   query_count().add(1);
   if (cache_ == nullptr || !cache_->enabled.load(std::memory_order_relaxed))
-    return surrogate.predict(SearchSpace::features(arch));
-  const std::uint64_t cache_key = SearchSpace::to_index(arch);
+    return surrogate.predict(sp.features(arch));
+  const std::uint64_t cache_key = sp.to_index(arch);
   {
     MutexLock lock(cache_->mu);
     const auto& map = cache_->map_for(key);
@@ -250,7 +318,7 @@ double AccelNASBench::cached_query(const Surrogate& surrogate,
       return hit->second;
     }
   }
-  const double value = surrogate.predict(SearchSpace::features(arch));
+  const double value = surrogate.predict(sp.features(arch));
   {
     MutexLock lock(cache_->mu);
     auto& map = cache_->map_for(key);
@@ -263,10 +331,12 @@ double AccelNASBench::cached_query(const Surrogate& surrogate,
 
 std::vector<double> AccelNASBench::cached_query_batch(
     const Surrogate& surrogate, const MetricKey* key,
-    std::span<const Architecture> archs) const {
+    std::span<const Arch> archs) const {
   const std::size_t n = archs.size();
   std::vector<double> out(n);
   if (n == 0) return out;
+  for (const Arch& arch : archs) check_space(arch);
+  const SearchSpace& sp = space_obj();
   ANB_SPAN("anb.query.batch");
   batch_count().add(1);
   batch_rows().add(n);
@@ -280,15 +350,13 @@ std::vector<double> AccelNASBench::cached_query_batch(
   // per-arch scalar walks, at identical (bit-for-bit) results.
   const auto predict_rows = [&](std::span<const std::size_t> rows_to_encode,
                                 std::span<double> pred) {
-    const std::vector<double> first =
-        SearchSpace::features(archs[rows_to_encode[0]]);
+    const std::vector<double> first = sp.features(archs[rows_to_encode[0]]);
     const std::size_t num_features = first.size();
     std::vector<double> rows;
     rows.reserve(rows_to_encode.size() * num_features);
     rows.insert(rows.end(), first.begin(), first.end());
     for (std::size_t m = 1; m < rows_to_encode.size(); ++m) {
-      const std::vector<double> f =
-          SearchSpace::features(archs[rows_to_encode[m]]);
+      const std::vector<double> f = sp.features(archs[rows_to_encode[m]]);
       rows.insert(rows.end(), f.begin(), f.end());
     }
     surrogate.predict_matrix(rows, num_features, pred);
@@ -302,7 +370,7 @@ std::vector<double> AccelNASBench::cached_query_batch(
   }
 
   std::vector<std::uint64_t> keys(n);
-  for (std::size_t i = 0; i < n; ++i) keys[i] = SearchSpace::to_index(archs[i]);
+  for (std::size_t i = 0; i < n; ++i) keys[i] = sp.to_index(archs[i]);
 
   // Phase 1 (locked): resolve cache hits, collect one representative row
   // per unique missing key. Duplicates of a miss within the batch count as
@@ -386,6 +454,9 @@ std::vector<MetricKey> AccelNASBench::perf_targets() const {
 Json AccelNASBench::to_json() const {
   Json j = Json::object();
   j["format"] = "accel-nasbench-v1";
+  // The space key is always written; pre-interface artifacts lack it and
+  // load as MnasNet (the only space that existed when they were saved).
+  j["space"] = space_name(space_);
   if (accuracy_ != nullptr) j["accuracy"] = accuracy_->to_json();
   Json perf = Json::object();
   for (const auto& [key, surrogate] : perf_)
@@ -398,6 +469,8 @@ AccelNASBench AccelNASBench::from_json(const Json& j) {
   ANB_CHECK(j.at("format").as_string() == "accel-nasbench-v1",
             "AccelNASBench: unsupported format tag");
   AccelNASBench bench;
+  if (j.contains("space"))
+    bench.set_space(space_id_from_name(j.at("space").as_string()));
   if (j.contains("accuracy"))
     bench.accuracy_ = surrogate_from_json(j.at("accuracy"));
   for (const auto& [key, payload] : j.at("perf").as_object())

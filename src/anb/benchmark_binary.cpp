@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <span>
 #include <string>
@@ -20,9 +21,29 @@
 
 namespace anb {
 
+namespace {
+/// Layout of the Tag::kSpace section: a tiny versioned descriptor. The
+/// section version covers this struct alone, so the space record can grow
+/// without bumping the container's format version; a reader rejects
+/// section versions it does not know. Artifacts written before the
+/// multi-space redesign have no kSpace section and load as MnasNet.
+inline constexpr std::uint32_t kSpaceSectionVersion = 1;
+struct SpaceSection {
+  std::uint32_t version = kSpaceSectionVersion;
+  std::uint32_t space_id = 0;
+};
+static_assert(sizeof(SpaceSection) == 8);
+}  // namespace
+
 void AccelNASBench::save_binary(const std::string& path) const {
   ANB_SPAN("anb.benchmark.save_binary");
   bin::Writer w;
+  const SpaceSection space_record{kSpaceSectionVersion,
+                                  static_cast<std::uint32_t>(space_)};
+  w.add_section(bin::Tag::kSpace,
+                {reinterpret_cast<const char*>(&space_record),
+                 sizeof(space_record)},
+                alignof(SpaceSection));
   Json meta = Json::object();
   meta["format"] = "accel-nasbench-v1";
   if (accuracy_ != nullptr) meta["accuracy"] = accuracy_->to_binary(w);
@@ -74,6 +95,25 @@ AccelNASBench AccelNASBench::load_binary_buffer(
   ANB_CHECK(meta.at("format").as_string() == "accel-nasbench-v1",
             "AccelNASBench: unsupported format tag");
   AccelNASBench bench;
+  // Space section: optional for backward compatibility (absent ⇒ MnasNet,
+  // the only space that existed before the section was introduced).
+  for (std::uint32_t i = 0; i < meta_index; ++i) {
+    if (r.tag(i) != bin::Tag::kSpace) continue;
+    const std::span<const char> raw = r.section(i, bin::Tag::kSpace);
+    ANB_CHECK(raw.size() == sizeof(SpaceSection),
+              "AccelNASBench: malformed space section");
+    SpaceSection record;
+    std::memcpy(&record, raw.data(), sizeof(record));
+    ANB_CHECK(record.version == kSpaceSectionVersion,
+              "AccelNASBench: unsupported space section version " +
+                  std::to_string(record.version));
+    ANB_CHECK(record.space_id == static_cast<std::uint32_t>(SpaceId::kMnasNet) ||
+                  record.space_id == static_cast<std::uint32_t>(SpaceId::kFbnet),
+              "AccelNASBench: unknown space id " +
+                  std::to_string(record.space_id) + " in artifact");
+    bench.set_space(static_cast<SpaceId>(record.space_id));
+    break;
+  }
   if (meta.contains("accuracy"))
     bench.accuracy_ = surrogate_from_binary(meta.at("accuracy"), r);
   for (const auto& [key, payload] : meta.at("perf").as_object())

@@ -29,9 +29,10 @@ void RetryPolicy::validate() const {
 Dataset CollectedData::make_dataset(std::span<const double> labels) const {
   ANB_CHECK(labels.size() == archs.size(),
             "CollectedData::make_dataset: label/arch count mismatch");
-  Dataset out(static_cast<std::size_t>(SearchSpace::feature_dim()));
+  const SearchSpace& sp = anb::space(space);
+  Dataset out(static_cast<std::size_t>(sp.feature_dim()));
   for (std::size_t i = 0; i < archs.size(); ++i)
-    out.add(SearchSpace::features(archs[i]), labels[i]);
+    out.add(sp.features(archs[i]), labels[i]);
   return out;
 }
 
@@ -137,9 +138,14 @@ void drop_quarantined(std::vector<T>& v,
 
 }  // namespace
 
+DataCollector::DataCollector(const SpaceSim& sim, std::vector<Device> devices)
+    : sim_(&sim), devices_(std::move(devices)) {}
+
 DataCollector::DataCollector(const TrainingSimulator& simulator,
                              std::vector<Device> devices)
-    : sim_(simulator), devices_(std::move(devices)) {}
+    : owned_(std::make_unique<MnasSpaceSim>(simulator)),
+      sim_(owned_.get()),
+      devices_(std::move(devices)) {}
 
 CollectedData DataCollector::collect(const CollectionConfig& config) const {
   ANB_CHECK(config.n_archs >= 1, "DataCollector: n_archs must be >= 1");
@@ -147,13 +153,15 @@ CollectedData DataCollector::collect(const CollectionConfig& config) const {
   config.retry.validate();
   ANB_SPAN("anb.collect");
 
+  const SearchSpace& sp = sim_->space();
   CollectedData data;
+  data.space = sp.id();
   Rng rng(config.seed);
   std::set<std::uint64_t> seen;
   data.archs.reserve(static_cast<std::size_t>(config.n_archs));
   while (static_cast<int>(data.archs.size()) < config.n_archs) {
-    Architecture arch = SearchSpace::sample(rng);
-    if (!seen.insert(SearchSpace::to_index(arch)).second) continue;
+    Arch arch = sp.sample(rng);
+    if (!seen.insert(sp.to_index(arch)).second) continue;
     data.archs.push_back(arch);
   }
   const std::size_t n = data.archs.size();
@@ -167,7 +175,7 @@ CollectedData DataCollector::collect(const CollectionConfig& config) const {
     ANB_SPAN("anb.collect.accuracy");
     parallel_for(n, [&](std::size_t i) {
       const TrainResult run =
-          sim_.train(data.archs[i], config.scheme, /*run_seed=*/i);
+          sim_->train(data.archs[i], config.scheme, /*run_seed=*/i);
       data.accuracy[i] = run.top1;
       gpu_hours[i] = run.gpu_hours;
     });
@@ -182,7 +190,7 @@ CollectedData DataCollector::collect(const CollectionConfig& config) const {
     {
       ANB_SPAN("anb.collect.ir_build");
       parallel_for(n, [&](std::size_t i) {
-        irs[i] = build_ir(data.archs[i], 224);
+        irs[i] = sim_->lower(data.archs[i], 224);
       });
     }
 
@@ -247,6 +255,13 @@ CollectedData DataCollector::collect(const CollectionConfig& config) const {
                         [&](std::size_t i, std::uint64_t attempt) {
                           return device.measure_energy(irs[i], seed_of(i),
                                                        attempt);
+                        });
+      }
+      if (config.collect_peak_memory) {
+        measure_dataset(dataset_name(MetricKey{device.kind(), PerfMetric::kPeakMemory}),
+                        [&](std::size_t i, std::uint64_t attempt) {
+                          return device.measure_peak_memory(irs[i], seed_of(i),
+                                                            attempt);
                         });
       }
     }

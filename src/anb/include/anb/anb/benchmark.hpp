@@ -31,12 +31,14 @@ struct QueryCacheStats {
 };
 
 /// On-device performance metrics offered by the benchmark (§3.3.2):
-/// throughput on every platform, latency on the FPGA DPUs. Energy is an
-/// extension beyond the paper's dataset matrix (HW-NAS-Bench offers it;
-/// Accel-NASBench does not) — see DESIGN.md E12.
-enum class PerfMetric { kThroughput, kLatency, kEnergy };
+/// throughput on every platform, latency on the FPGA DPUs. Energy and
+/// peak memory are extensions beyond the paper's dataset matrix
+/// (HW-NAS-Bench offers them; Accel-NASBench does not) — see DESIGN.md
+/// E12 and the peak-memory model in anb/hwsim/device.hpp.
+enum class PerfMetric { kThroughput, kLatency, kEnergy, kPeakMemory };
 
-const char* perf_metric_name(PerfMetric metric);  // "Thr" / "Lat" / "Enr"
+// "Thr" / "Lat" / "Enr" / "Mem"
+const char* perf_metric_name(PerfMetric metric);
 PerfMetric perf_metric_from_name(const std::string& name);
 
 /// Paper-style short device tag used in dataset names (ANB-ZCU-Thr, ...).
@@ -79,10 +81,16 @@ inline constexpr const char* kBenchmarkLoadFaultSite =
     "anb.benchmark.load.short_read";
 
 /// The Accel-NASBench product: zero-cost queries for accuracy and on-device
-/// performance of any architecture in the MnasNet search space, backed by
-/// fitted surrogates. Query cost is microseconds instead of GPU-hours —
-/// this is the object a NAS researcher downloads and runs optimizers
-/// against (Fig. 1).
+/// performance of any architecture in one search space, backed by fitted
+/// surrogates. Query cost is microseconds instead of GPU-hours — this is
+/// the object a NAS researcher downloads and runs optimizers against
+/// (Fig. 1).
+///
+/// Each instance serves exactly one space (default: MnasNet, the paper's).
+/// Genotypes are space-tagged Arch values; every query validates the tag
+/// against space() and the cache keys on (space, to_index) — the stable
+/// architecture address shared with the .anbb artifact and the serve
+/// protocol. Typed Architecture overloads remain as MnasNet conveniences.
 class AccelNASBench {
  public:
   AccelNASBench();
@@ -91,6 +99,13 @@ class AccelNASBench {
   AccelNASBench& operator=(AccelNASBench&&) noexcept;
   AccelNASBench(const AccelNASBench&) = delete;
   AccelNASBench& operator=(const AccelNASBench&) = delete;
+
+  /// The search space this benchmark answers queries for.
+  SpaceId space() const { return space_; }
+  /// Retarget the benchmark to another registered space. Only allowed
+  /// before any surrogate is installed (surrogates are fitted to one
+  /// space's feature encoding); throws anb::Error afterwards.
+  void set_space(SpaceId space);
 
   /// Install the accuracy surrogate (predicts proxified top-1 under p*).
   void set_accuracy_surrogate(std::unique_ptr<Surrogate> surrogate);
@@ -103,6 +118,8 @@ class AccelNASBench {
 
   /// Predicted top-1 accuracy in [0, 1] (under the proxy training scheme,
   /// as in the paper — rankings, not absolute values, are the contract).
+  /// Throws anb::Error when arch's space tag differs from space().
+  double query_accuracy(const Arch& arch) const;
   double query_accuracy(const Architecture& arch) const;
 
   /// Whether the accuracy surrogate is an ensemble (supports noisy queries).
@@ -112,12 +129,16 @@ class AccelNASBench {
   /// distribution, emulating the seed-to-seed variance of a real training
   /// run. Requires an EnsembleSurrogate accuracy model (see
   /// PipelineOptions::ensemble_accuracy); throws otherwise.
+  double query_accuracy_noisy(const Arch& arch, Rng& rng) const;
   double query_accuracy_noisy(const Architecture& arch, Rng& rng) const;
 
   /// Ensemble mean + std of the accuracy prediction (ensemble only).
+  std::pair<double, double> query_accuracy_dist(const Arch& arch) const;
   std::pair<double, double> query_accuracy_dist(const Architecture& arch) const;
 
-  /// Predicted throughput (img/s) or latency (ms) on a device.
+  /// Predicted throughput (img/s), latency (ms), energy (mJ/image) or
+  /// peak memory (MB) on a device.
+  double query_perf(const Arch& arch, MetricKey key) const;
   double query_perf(const Architecture& arch, MetricKey key) const;
 
   /// Batched accuracy query for a whole population: encodes the cache
@@ -125,19 +146,23 @@ class AccelNASBench {
   /// parallel batch path, and serves repeats from the cache. Element i
   /// corresponds to archs[i] and equals query_accuracy(archs[i]) exactly
   /// (batched prediction is bit-identical to scalar prediction).
+  std::vector<double> query_accuracy_batch(std::span<const Arch> archs) const;
   std::vector<double> query_accuracy_batch(
       std::span<const Architecture> archs) const;
 
   /// Batched performance query; element i equals
   /// query_perf(archs[i], key) exactly.
+  std::vector<double> query_perf_batch(std::span<const Arch> archs,
+                                       MetricKey key) const;
   std::vector<double> query_perf_batch(std::span<const Architecture> archs,
                                        MetricKey key) const;
 
-  /// Query-cache control. The cache keys on the canonical architecture
-  /// index (SearchSpace::to_index — a bijection, so no collisions) per
-  /// installed surrogate, and is enabled by default: the deterministic
-  /// surrogates make cached values exactly equal to recomputation.
-  /// Noisy ensemble queries (query_accuracy_noisy) always bypass it.
+  /// Query-cache control. The cache keys on (space(), to_index(arch)) —
+  /// to_index is a bijection within a space and the instance serves one
+  /// space, so two distinct architectures can never alias. Enabled by
+  /// default: the deterministic surrogates make cached values exactly
+  /// equal to recomputation. Noisy ensemble queries
+  /// (query_accuracy_noisy) always bypass it.
   void set_cache_enabled(bool enabled);
   bool cache_enabled() const;
   void clear_cache() const;
@@ -193,13 +218,18 @@ class AccelNASBench {
 
   struct CacheState;  // mutex-guarded maps + counter baselines (benchmark.cpp)
 
+  /// The registered SearchSpace for space(); validates `arch` against it.
+  const SearchSpace& space_obj() const;
+  void check_space(const Arch& arch) const;
+
   /// `key == nullptr` addresses the accuracy cache map.
   double cached_query(const Surrogate& surrogate, const MetricKey* key,
-                      const Architecture& arch) const;
-  std::vector<double> cached_query_batch(
-      const Surrogate& surrogate, const MetricKey* key,
-      std::span<const Architecture> archs) const;
+                      const Arch& arch) const;
+  std::vector<double> cached_query_batch(const Surrogate& surrogate,
+                                         const MetricKey* key,
+                                         std::span<const Arch> archs) const;
 
+  SpaceId space_ = SpaceId::kMnasNet;
   std::unique_ptr<Surrogate> accuracy_;
   std::map<MetricKey, std::unique_ptr<Surrogate>> perf_;
   std::unique_ptr<CacheState> cache_;

@@ -6,7 +6,10 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "anb/anb/benchmark.hpp"
+#include "anb/anb/space_sim.hpp"
 #include "anb/hwsim/device.hpp"
 #include "anb/surrogate/dataset.hpp"
 #include "anb/trainsim/scheme.hpp"
@@ -50,6 +53,8 @@ struct CollectionConfig {
   bool collect_perf = true;  ///< also run the 6-device measurement pipeline
   /// Also collect per-device energy (extension beyond the paper, E12).
   bool collect_energy = false;
+  /// Also collect per-device peak memory (second extension metric).
+  bool collect_peak_memory = false;
   RetryPolicy retry;
 };
 
@@ -70,7 +75,7 @@ struct CollectionReport {
   std::vector<std::string> failed_datasets;
   /// Architectures dropped because some reading in a *kept* dataset
   /// exhausted its retry budget, in collection (index) order.
-  std::vector<Architecture> quarantined;
+  std::vector<Arch> quarantined;
 
   /// True when nothing failed: no retries, no outlier resolves, no
   /// quarantined architecture, no dropped dataset.
@@ -82,7 +87,8 @@ struct CollectionReport {
 
 /// The raw collected data: architectures plus their measured labels.
 struct CollectedData {
-  std::vector<Architecture> archs;
+  SpaceId space = SpaceId::kMnasNet;  ///< the space `archs` came from
+  std::vector<Arch> archs;
   std::vector<double> accuracy;  ///< ANB-Acc labels (proxified top-1)
   /// ANB-{device}-{metric} labels, keyed by dataset_name(). Datasets that
   /// failed as a whole (see RetryPolicy) are absent.
@@ -101,16 +107,21 @@ struct CollectedData {
 /// Runs the Fig. 2 (bottom) pipeline: sample unique random architectures,
 /// train each with the proxy scheme, and measure throughput/latency on the
 /// accelerator fleet (int8-quantized DPU runs on the FPGAs are modelled by
-/// the device specs). Deterministic given the config seed.
+/// the device specs). Deterministic given the config seed. Space-generic:
+/// sampling, training, and IR lowering all route through the SpaceSim.
 class DataCollector {
  public:
+  DataCollector(const SpaceSim& sim, std::vector<Device> devices);
+
+  /// MnasNet convenience: wraps the simulator in a MnasSpaceSim.
   DataCollector(const TrainingSimulator& simulator,
                 std::vector<Device> devices);
 
   CollectedData collect(const CollectionConfig& config) const;
 
  private:
-  const TrainingSimulator& sim_;
+  std::unique_ptr<SpaceSim> owned_;  ///< set by the compat constructor
+  const SpaceSim* sim_;
   std::vector<Device> devices_;
 };
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "anb/anb/benchmark.hpp"
+#include "anb/anb/space_sim.hpp"
 #include "anb/nas/optimizer.hpp"
 #include "anb/trainsim/simulator.hpp"
 
@@ -30,9 +31,15 @@ struct TrajectoryConfig {
   std::uint64_t seed = 3;
 };
 
-/// Run RS / RE / REINFORCE against (a) the training simulator with scheme
-/// `p_star` ("true") and (b) the benchmark's accuracy surrogate
-/// ("simulated").
+/// Run RS / RE / REINFORCE against (a) the space's training simulator with
+/// scheme `p_star` ("true") and (b) the benchmark's accuracy surrogate
+/// ("simulated"). Space-generic: the optimizers search sim.space(), which
+/// must match the benchmark's space.
+std::vector<TrajectoryComparison> compare_trajectories(
+    const AccelNASBench& bench, const SpaceSim& sim,
+    const TrainingScheme& p_star, const TrajectoryConfig& config);
+
+/// MnasNet convenience: wraps the simulator in a MnasSpaceSim.
 std::vector<TrajectoryComparison> compare_trajectories(
     const AccelNASBench& bench, const TrainingSimulator& sim,
     const TrainingScheme& p_star, const TrajectoryConfig& config);
@@ -50,7 +57,7 @@ struct ParetoSearchConfig {
 
 /// All evaluations of a bi-objective search plus the resulting front.
 struct ParetoOutcome {
-  std::vector<Architecture> archs;
+  std::vector<Arch> archs;
   std::vector<double> accuracy;   ///< surrogate accuracy per arch
   std::vector<double> perf;       ///< surrogate throughput/latency per arch
   std::vector<std::size_t> front; ///< indices of the non-dominated subset
@@ -59,7 +66,8 @@ struct ParetoOutcome {
 
 /// REINFORCE with the scalarized MnasNet reward acc·(perf/target)^±w,
 /// sweeping `n_targets` targets across the device's performance range to
-/// trace the front (zero-cost: only surrogate queries).
+/// trace the front (zero-cost: only surrogate queries). Runs over the
+/// benchmark's own search space.
 ParetoOutcome pareto_search(const AccelNASBench& bench,
                             const ParetoSearchConfig& config);
 
@@ -73,8 +81,15 @@ struct TrueEvalRow {
 };
 
 /// Train each picked architecture with the reference scheme `r` and measure
-/// it on the device, alongside the reference-zoo baselines
-/// (EfficientNet-B0, MobileNetV3, EdgeTPU-S, MnasNet-A1).
+/// it on the device. On the MnasNet space the reference-zoo baselines
+/// (EfficientNet-B0, MobileNetV3, EdgeTPU-S, MnasNet-A1) are appended for
+/// comparison; other spaces report only the searched models.
+std::vector<TrueEvalRow> true_evaluation(const ParetoOutcome& outcome,
+                                         const SpaceSim& sim, MetricKey key,
+                                         const std::string& tag,
+                                         std::uint64_t seed = 17);
+
+/// MnasNet convenience: wraps the simulator in a MnasSpaceSim.
 std::vector<TrueEvalRow> true_evaluation(const ParetoOutcome& outcome,
                                          const TrainingSimulator& sim,
                                          MetricKey key, const std::string& tag,

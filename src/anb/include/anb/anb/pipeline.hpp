@@ -15,13 +15,23 @@ namespace anb {
 /// End-to-end benchmark-construction options (Fig. 2's full pipeline).
 struct PipelineOptions {
   std::uint64_t world_seed = 42;
+  /// Search space the whole construction runs over. Every stage — proxy
+  /// search, collection, surrogate fit, the assembled benchmark — is
+  /// space-generic; MnasNet is the paper's space, FBNet the
+  /// generalizability space (§4.2).
+  SpaceId space = SpaceId::kMnasNet;
   int n_archs = 5200;           ///< architectures to collect (paper: ~5.2k)
   bool run_proxy_search = false;  ///< search for p* vs use the canonical one
   ProxySearchConfig proxy;      ///< used when run_proxy_search is true
   bool tune = false;            ///< SMAC-tune surrogates vs use defaults
   TuneOptions tuning;
   bool collect_perf = true;     ///< include the 6-device measurement pipeline
+  /// Device fleet to measure on; empty means the paper's six-device
+  /// catalog. The extension platforms (npu-mobile, cpu-server) are
+  /// included by listing them here.
+  std::vector<DeviceKind> devices;
   bool collect_energy = false;  ///< also build energy surrogates (E12 ext.)
+  bool collect_peak_memory = false;  ///< also build peak-memory surrogates
   /// Fit the accuracy surrogate as a bootstrap ensemble of XGBs, enabling
   /// NB301-style noisy queries (AccelNASBench::query_accuracy_noisy).
   bool ensemble_accuracy = false;

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "anb/anb/space_sim.hpp"
 #include "anb/hpo/configspace.hpp"
 #include "anb/trainsim/scheme.hpp"
 #include "anb/trainsim/simulator.hpp"
@@ -44,19 +46,23 @@ struct ProxySearchOutcome {
   std::vector<ProxyTrial> trials;
 };
 
-/// Driver for the training-proxy search over the six scheme hyperparameters.
+/// Driver for the training-proxy search over the six scheme
+/// hyperparameters. Space-generic: the model grid, training runs, and IR
+/// statistics all route through the SpaceSim.
 class ProxySearch {
  public:
+  explicit ProxySearch(const SpaceSim& sim);
+  /// MnasNet convenience: wraps the simulator in a MnasSpaceSim.
   explicit ProxySearch(const TrainingSimulator& simulator);
 
   /// The paper's stratified model grid: a pool of random architectures
   /// bucketed by FLOPs, picking per bucket the model whose parameter count
   /// is most spread out — an even coverage of the complexity range.
-  static std::vector<Architecture> stratified_models(int n, Rng& rng);
+  std::vector<Arch> stratified_models(int n, Rng& rng) const;
 
   /// Evaluate one candidate scheme against the reference ranking.
   ProxyTrial evaluate_scheme(const TrainingScheme& scheme,
-                             const std::vector<Architecture>& models,
+                             const std::vector<Arch>& models,
                              std::span<const double> reference_acc,
                              double t_spec_hours) const;
 
@@ -78,9 +84,10 @@ class ProxySearch {
 
  private:
   ProxySearchOutcome finalize(std::vector<ProxyTrial> trials,
-                              const std::vector<Architecture>& models) const;
+                              const std::vector<Arch>& models) const;
 
-  const TrainingSimulator& sim_;
+  std::unique_ptr<SpaceSim> owned_;  ///< set by the compat constructor
+  const SpaceSim* sim_;
 };
 
 }  // namespace anb

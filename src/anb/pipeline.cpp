@@ -26,12 +26,13 @@ TrainingScheme canonical_p_star() {
 PipelineResult construct_benchmark(const PipelineOptions& options) {
   ANB_SPAN("anb.pipeline.construct");
   PipelineResult result;
-  TrainingSimulator sim(options.world_seed);
+  const std::unique_ptr<SpaceSim> sim =
+      make_space_sim(options.space, options.world_seed);
 
   // --- 1. training-proxy scheme -----------------------------------------
   if (options.run_proxy_search) {
     ANB_SPAN("anb.pipeline.proxy_search");
-    ProxySearch search(sim);
+    ProxySearch search(*sim);
     result.proxy = search.run_grid(options.proxy);
     result.p_star = result.proxy.best;
   } else {
@@ -45,11 +46,19 @@ PipelineResult construct_benchmark(const PipelineOptions& options) {
   collection.scheme = result.p_star;
   collection.collect_perf = options.collect_perf;
   collection.collect_energy = options.collect_energy;
-  DataCollector collector(sim, device_catalog());
+  collection.collect_peak_memory = options.collect_peak_memory;
+  std::vector<Device> devices;
+  if (options.devices.empty()) {
+    devices = device_catalog();
+  } else {
+    for (DeviceKind kind : options.devices) devices.push_back(make_device(kind));
+  }
+  DataCollector collector(*sim, devices);
   {
     ANB_SPAN("anb.pipeline.collect");
     result.data = collector.collect(collection);
   }
+  result.bench.set_space(options.space);
 
   // --- 3. surrogate fitting ----------------------------------------------
   // Every dataset x metric fit is independent: each derives its seeds from
@@ -88,10 +97,12 @@ PipelineResult construct_benchmark(const PipelineOptions& options) {
     tasks.push_back({result.data.accuracy_dataset(), "ANB-Acc", true, {}});
   }
   if (options.collect_perf) {
-    for (const auto& device : device_catalog()) {
+    for (const auto& device : devices) {
       std::vector<PerfMetric> metrics{PerfMetric::kThroughput};
       if (device.supports_latency()) metrics.push_back(PerfMetric::kLatency);
       if (options.collect_energy) metrics.push_back(PerfMetric::kEnergy);
+      if (options.collect_peak_memory)
+        metrics.push_back(PerfMetric::kPeakMemory);
       for (PerfMetric metric : metrics) {
         const MetricKey key{device.kind(), metric};
         const std::string name = dataset_name(key);

@@ -13,25 +13,28 @@
 
 namespace anb {
 
-ProxySearch::ProxySearch(const TrainingSimulator& simulator)
-    : sim_(simulator) {}
+ProxySearch::ProxySearch(const SpaceSim& sim) : sim_(&sim) {}
 
-std::vector<Architecture> ProxySearch::stratified_models(int n, Rng& rng) {
+ProxySearch::ProxySearch(const TrainingSimulator& simulator)
+    : owned_(std::make_unique<MnasSpaceSim>(simulator)), sim_(owned_.get()) {}
+
+std::vector<Arch> ProxySearch::stratified_models(int n, Rng& rng) const {
   ANB_CHECK(n >= 2, "ProxySearch::stratified_models: n must be >= 2");
   // Draw a pool, dedupe, then stratify by FLOPs into n quantile buckets and
   // pick the params-median model of each bucket (even FLOPs x params spread).
+  const SearchSpace& sp = sim_->space();
   const int pool_size = std::max(40 * n, 400);
   struct PoolEntry {
-    Architecture arch;
+    Arch arch;
     double macs;
     double params;
   };
   std::vector<PoolEntry> pool;
   std::set<std::uint64_t> seen;
   while (static_cast<int>(pool.size()) < pool_size) {
-    Architecture arch = SearchSpace::sample(rng);
-    if (!seen.insert(SearchSpace::to_index(arch)).second) continue;
-    const ModelIR ir = build_ir(arch, 224);
+    Arch arch = sp.sample(rng);
+    if (!seen.insert(sp.to_index(arch)).second) continue;
+    const ModelIR ir = sim_->lower(arch, 224);
     pool.push_back({arch, static_cast<double>(ir.total_macs()),
                     static_cast<double>(ir.total_params())});
   }
@@ -40,7 +43,7 @@ std::vector<Architecture> ProxySearch::stratified_models(int n, Rng& rng) {
               return a.macs < b.macs;
             });
 
-  std::vector<Architecture> models;
+  std::vector<Arch> models;
   models.reserve(static_cast<std::size_t>(n));
   const std::size_t bucket = pool.size() / static_cast<std::size_t>(n);
   for (int b = 0; b < n; ++b) {
@@ -59,14 +62,14 @@ std::vector<Architecture> ProxySearch::stratified_models(int n, Rng& rng) {
 }
 
 ProxyTrial ProxySearch::evaluate_scheme(
-    const TrainingScheme& scheme, const std::vector<Architecture>& models,
+    const TrainingScheme& scheme, const std::vector<Arch>& models,
     std::span<const double> reference_acc, double t_spec_hours) const {
   ANB_CHECK(models.size() == reference_acc.size(),
             "ProxySearch::evaluate_scheme: model/reference size mismatch");
   std::vector<double> acc(models.size());
   double cost = 0.0;
   for (std::size_t i = 0; i < models.size(); ++i) {
-    const TrainResult run = sim_.train(models[i], scheme, /*run_seed=*/0);
+    const TrainResult run = sim_->train(models[i], scheme, /*run_seed=*/0);
     acc[i] = run.top1;
     cost += run.gpu_hours;
   }
@@ -80,7 +83,7 @@ ProxyTrial ProxySearch::evaluate_scheme(
 
 ProxySearchOutcome ProxySearch::finalize(
     std::vector<ProxyTrial> trials,
-    const std::vector<Architecture>& models) const {
+    const std::vector<Arch>& models) const {
   ANB_CHECK(!trials.empty(), "ProxySearch: no trials evaluated");
   const ProxyTrial* best = nullptr;
   for (const auto& t : trials) {
@@ -96,7 +99,7 @@ ProxySearchOutcome ProxySearch::finalize(
   out.best_cost_hours = best->cost_hours;
   double ref_cost = 0.0;
   for (const auto& m : models)
-    ref_cost += sim_.training_cost_hours(m, reference_scheme());
+    ref_cost += sim_->training_cost_hours(m, reference_scheme());
   out.reference_cost_hours = ref_cost / static_cast<double>(models.size());
   out.speedup = out.reference_cost_hours / out.best_cost_hours;
   out.trials = std::move(trials);
@@ -108,7 +111,7 @@ ProxySearchOutcome ProxySearch::run_grid(const ProxySearchConfig& config) const 
   const auto models = stratified_models(config.n_models, rng);
   std::vector<double> ref_acc(models.size());
   for (std::size_t i = 0; i < models.size(); ++i)
-    ref_acc[i] = sim_.train(models[i], reference_scheme(), 0).top1;
+    ref_acc[i] = sim_->train(models[i], reference_scheme(), 0).top1;
 
   std::vector<ProxyTrial> trials;
   for (const auto& scheme : config.domains.enumerate_valid()) {
@@ -164,7 +167,7 @@ ProxySearchOutcome ProxySearch::run_with(const std::string& optimizer,
   const auto models = stratified_models(config.n_models, rng);
   std::vector<double> ref_acc(models.size());
   for (std::size_t i = 0; i < models.size(); ++i)
-    ref_acc[i] = sim_.train(models[i], reference_scheme(), 0).top1;
+    ref_acc[i] = sim_->train(models[i], reference_scheme(), 0).top1;
 
   std::vector<ProxyTrial> trials;
   // Minimized objective: -τ, with an infeasibility penalty proportional to

@@ -1,0 +1,140 @@
+#include "anb/anb/space_sim.hpp"
+
+#include <utility>
+
+#include "anb/fbnet/fbnet_sim.hpp"
+#include "anb/fbnet/fbnet_space.hpp"
+#include "anb/util/error.hpp"
+
+namespace anb {
+
+MnasSpaceSim::MnasSpaceSim(const TrainingSimulator& sim) : sim_(sim) {}
+
+const SearchSpace& MnasSpaceSim::space() const { return MnasSpace::instance(); }
+
+TrainResult MnasSpaceSim::train(const Arch& arch, const TrainingScheme& scheme,
+                                std::uint64_t run_seed) const {
+  return sim_.train(MnasSpace::to_blocks(arch), scheme, run_seed);
+}
+
+double MnasSpaceSim::reference_accuracy(const Arch& arch) const {
+  return sim_.reference_accuracy(MnasSpace::to_blocks(arch));
+}
+
+double MnasSpaceSim::expected_accuracy(const Arch& arch,
+                                       const TrainingScheme& scheme) const {
+  return sim_.expected_accuracy(MnasSpace::to_blocks(arch), scheme);
+}
+
+double MnasSpaceSim::training_cost_hours(const Arch& arch,
+                                         const TrainingScheme& scheme) const {
+  return sim_.training_cost_hours(MnasSpace::to_blocks(arch), scheme);
+}
+
+double MnasSpaceSim::int8_accuracy_drop(const Arch& arch) const {
+  return sim_.int8_accuracy_drop(MnasSpace::to_blocks(arch));
+}
+
+ModelIR MnasSpaceSim::lower(const Arch& arch, int resolution) const {
+  return build_ir(MnasSpace::to_blocks(arch), resolution);
+}
+
+namespace {
+
+/// Owning MnasNet stack for make_space_sim.
+class OwnedMnasSpaceSim final : public SpaceSim {
+ public:
+  explicit OwnedMnasSpaceSim(std::uint64_t world_seed)
+      : sim_(world_seed), facade_(sim_) {}
+
+  const SearchSpace& space() const override { return facade_.space(); }
+  TrainResult train(const Arch& arch, const TrainingScheme& scheme,
+                    std::uint64_t run_seed) const override {
+    return facade_.train(arch, scheme, run_seed);
+  }
+  double reference_accuracy(const Arch& arch) const override {
+    return facade_.reference_accuracy(arch);
+  }
+  double expected_accuracy(const Arch& arch,
+                           const TrainingScheme& scheme) const override {
+    return facade_.expected_accuracy(arch, scheme);
+  }
+  double training_cost_hours(const Arch& arch,
+                             const TrainingScheme& scheme) const override {
+    return facade_.training_cost_hours(arch, scheme);
+  }
+  double int8_accuracy_drop(const Arch& arch) const override {
+    return facade_.int8_accuracy_drop(arch);
+  }
+  ModelIR lower(const Arch& arch, int resolution) const override {
+    return facade_.lower(arch, resolution);
+  }
+
+ private:
+  TrainingSimulator sim_;
+  MnasSpaceSim facade_;
+};
+
+class FbnetSpaceSim final : public SpaceSim {
+ public:
+  explicit FbnetSpaceSim(std::uint64_t world_seed) : sim_(world_seed) {}
+
+  const SearchSpace& space() const override {
+    return FbnetSpace::instance();
+  }
+  TrainResult train(const Arch& arch, const TrainingScheme& scheme,
+                    std::uint64_t run_seed) const override {
+    return sim_.train(FbnetSpace::to_ops(arch), scheme, run_seed);
+  }
+  double reference_accuracy(const Arch& arch) const override {
+    return sim_.reference_accuracy(FbnetSpace::to_ops(arch));
+  }
+  double expected_accuracy(const Arch& arch,
+                           const TrainingScheme& scheme) const override {
+    return sim_.expected_accuracy(FbnetSpace::to_ops(arch), scheme);
+  }
+  double training_cost_hours(const Arch& arch,
+                             const TrainingScheme& scheme) const override {
+    return sim_.training_cost_hours(FbnetSpace::to_ops(arch), scheme);
+  }
+  double int8_accuracy_drop(const Arch& arch) const override {
+    // The FBNet simulator has no quantization model; use the same
+    // qualitative structure as MnasNet's: a small base drop that grows
+    // with expansion-6 layers (wider activation ranges quantize worse)
+    // and shrinks with skip connections (fewer quantized layers).
+    const FbnetArchitecture fb = FbnetSpace::to_ops(arch);
+    int wide = 0;
+    int skips = 0;
+    for (FbnetOp op : fb.ops) {
+      if (op == FbnetOp::kE6K3 || op == FbnetOp::kE6K5) ++wide;
+      if (op == FbnetOp::kSkip) ++skips;
+    }
+    return 0.002 + 0.0003 * wide - 0.0001 * skips;
+  }
+  ModelIR lower(const Arch& arch, int resolution) const override {
+    return build_fbnet_ir(FbnetSpace::to_ops(arch), resolution);
+  }
+
+ private:
+  FbnetTrainingSimulator sim_;
+};
+
+}  // namespace
+
+std::unique_ptr<SpaceSim> make_space_sim(SpaceId id,
+                                         std::uint64_t world_seed) {
+  register_builtin_spaces();
+  ANB_CHECK(space_registered(id),
+            "make_space_sim: unknown space id " +
+                std::to_string(static_cast<int>(id)));
+  switch (id) {
+    case SpaceId::kMnasNet:
+      return std::make_unique<OwnedMnasSpaceSim>(world_seed);
+    case SpaceId::kFbnet:
+      return std::make_unique<FbnetSpaceSim>(world_seed);
+  }
+  throw Error("make_space_sim: unknown space id " +
+              std::to_string(static_cast<int>(id)));
+}
+
+}  // namespace anb

@@ -92,6 +92,11 @@ std::uint64_t FbnetArchitecture::hash() const {
   return h;
 }
 
+const FbnetSpace& FbnetSpace::instance() {
+  static const FbnetSpace space;
+  return space;
+}
+
 const std::array<FbnetSpace::LayerSlot, kFbnetNumLayers>& FbnetSpace::slots() {
   // FBNet macro: per-stage (layers, channels, stride of the first layer):
   // (1,16,1) (4,24,2) (4,32,2) (4,64,2) (4,112,1) (4,184,2) (1,352,1).
@@ -157,13 +162,60 @@ bool FbnetSpace::is_valid(const FbnetArchitecture& arch) {
   }
 }
 
-FbnetArchitecture FbnetSpace::sample(Rng& rng) {
-  FbnetArchitecture arch;
+Arch FbnetSpace::from_ops(const FbnetArchitecture& ops) {
+  validate(ops);
+  Arch arch;
+  arch.space = SpaceId::kFbnet;
+  arch.n = kFbnetNumLayers;
   for (int i = 0; i < kFbnetNumLayers; ++i) {
-    arch.ops[static_cast<std::size_t>(i)] = static_cast<FbnetOp>(
+    arch.d[static_cast<std::size_t>(i)] =
+        static_cast<std::int8_t>(ops.ops[static_cast<std::size_t>(i)]);
+  }
+  return arch;
+}
+
+FbnetArchitecture FbnetSpace::to_ops(const Arch& arch) {
+  instance().validate(arch);
+  FbnetArchitecture out;
+  for (int i = 0; i < kFbnetNumLayers; ++i) {
+    out.ops[static_cast<std::size_t>(i)] =
+        static_cast<FbnetOp>(arch.d[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+const std::vector<int>& FbnetSpace::decision_sizes() const {
+  static const std::vector<int> sizes = [] {
+    std::vector<int> out;
+    out.reserve(kFbnetNumLayers);
+    for (int i = 0; i < kFbnetNumLayers; ++i) out.push_back(num_ops(i));
+    return out;
+  }();
+  return sizes;
+}
+
+Arch FbnetSpace::sample(Rng& rng) const {
+  // One option pick per layer, in layer order — the draw pattern of the
+  // pre-interface static sampler, so pinned-seed fbnet experiments (e13)
+  // reproduce bit-identically.
+  Arch arch = make_arch();
+  for (int i = 0; i < kFbnetNumLayers; ++i) {
+    arch.d[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(
         rng.uniform_index(static_cast<std::uint64_t>(num_ops(i))));
   }
   return arch;
+}
+
+std::vector<double> FbnetSpace::features(const Arch& arch) const {
+  return features(to_ops(arch));
+}
+
+std::string FbnetSpace::arch_to_string(const Arch& arch) const {
+  return to_ops(arch).to_string();
+}
+
+Arch FbnetSpace::arch_from_string(const std::string& s) const {
+  return from_ops(FbnetArchitecture::from_string(s));
 }
 
 FbnetArchitecture FbnetSpace::mutate(const FbnetArchitecture& arch, Rng& rng) {
@@ -181,11 +233,10 @@ FbnetArchitecture FbnetSpace::mutate(const FbnetArchitecture& arch, Rng& rng) {
   return out;
 }
 
-int FbnetSpace::feature_dim() { return kFbnetNumLayers * kFbnetNumOps; }
-
 std::vector<double> FbnetSpace::features(const FbnetArchitecture& arch) {
   validate(arch);
-  std::vector<double> f(static_cast<std::size_t>(feature_dim()), 0.0);
+  std::vector<double> f(
+      static_cast<std::size_t>(kFbnetNumLayers * kFbnetNumOps), 0.0);
   for (int i = 0; i < kFbnetNumLayers; ++i) {
     f[static_cast<std::size_t>(i * kFbnetNumOps +
                                static_cast<int>(arch.ops[static_cast<std::size_t>(i)]))] =
@@ -219,5 +270,7 @@ ModelIR build_fbnet_ir(const FbnetArchitecture& arch, int resolution) {
   ir.layers = b.take();
   return ir;
 }
+
+void register_builtin_spaces() { register_space(FbnetSpace::instance()); }
 
 }  // namespace anb

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "anb/ir/model_ir.hpp"
+#include "anb/searchspace/space.hpp"
 #include "anb/util/rng.hpp"
 
 namespace anb {
@@ -41,20 +42,27 @@ struct FbnetArchitecture {
 
 /// The layer-wise generalizability search space (paper §3.1: "for
 /// experiments with additional search spaces ... see our GitHub"; FBNet [17]
-/// is the space HW-NAS-Bench also covers).
+/// is the space HW-NAS-Bench also covers), registered as SpaceId::kFbnet.
 ///
 /// Macro-skeleton (fixed): stem 16ch s2, then 22 searchable TBS layers over
 /// stages with channels (16,24,32,64,112,184,352) and per-stage layer counts
 /// (1,4,4,4,4,4,1); head 1504ch, 1000 classes. Identity skip is legal only
 /// on layers whose input and output shapes match (never the first layer of
-/// a strided or channel-changing stage). Cardinality ~ 6^7 * 7^15 ~ 1e18.
-class FbnetSpace {
+/// a strided or channel-changing stage) — the genotype encodes that by
+/// giving skip-legal layers 7 options and the rest 6, so every in-range
+/// decision vector is a legal architecture and the index bijection is
+/// gap-free. Cardinality 6^7 · 7^15 ≈ 1.3×10^18 (fits std::uint64_t).
+class FbnetSpace final : public SearchSpace {
  public:
   struct LayerSlot {
     int out_c = 16;
     int stride = 1;
     bool skip_allowed = false;
   };
+
+  /// The process-wide instance. Resolvable through the registry only
+  /// after register_builtin_spaces() (or an explicit register_space).
+  static const FbnetSpace& instance();
 
   static const std::array<LayerSlot, kFbnetNumLayers>& slots();
   static constexpr int kStemChannels = 16;
@@ -64,21 +72,45 @@ class FbnetSpace {
   static int num_ops(int layer);
   static double log10_cardinality();
 
+  /// Typed conversions between the opaque genotype (decision i = op index
+  /// of layer i) and the op view the simulator/IR consume. from_ops throws
+  /// on illegal skips; to_ops throws on a non-FBNet genotype.
+  static Arch from_ops(const FbnetArchitecture& arch);
+  static FbnetArchitecture to_ops(const Arch& arch);
+
+  /// Typed legacy helpers over FbnetArchitecture, kept alongside the
+  /// interface overloads (the base Arch versions remain visible).
+  using SearchSpace::features;
+  using SearchSpace::is_valid;
+  using SearchSpace::mutate;
+  using SearchSpace::validate;
   static void validate(const FbnetArchitecture& arch);
   static bool is_valid(const FbnetArchitecture& arch);
-
-  static FbnetArchitecture sample(Rng& rng);
   /// Change exactly one layer's op to a different legal one.
   static FbnetArchitecture mutate(const FbnetArchitecture& arch, Rng& rng);
-
   /// One-hot encoding, kFbnetNumLayers x kFbnetNumOps = 154 dims (illegal
   /// skip positions simply never activate their last column).
-  static int feature_dim();
   static std::vector<double> features(const FbnetArchitecture& arch);
+
+  SpaceId id() const override { return SpaceId::kFbnet; }
+  int num_decisions() const override { return kFbnetNumLayers; }
+  const std::vector<int>& decision_sizes() const override;
+  int feature_dim() const override { return kFbnetNumLayers * kFbnetNumOps; }
+  Arch sample(Rng& rng) const override;
+  std::vector<double> features(const Arch& arch) const override;
+  std::string arch_to_string(const Arch& arch) const override;
+  Arch arch_from_string(const std::string& s) const override;
 };
 
 /// Lower to the same ModelIR the device models consume. Skip ops contribute
 /// no layers. `ModelIR::arch` is left default (this is not a MnasNet arch).
 ModelIR build_fbnet_ir(const FbnetArchitecture& arch, int resolution = 224);
+
+/// Register every in-tree space (currently FbnetSpace; MnasSpace is always
+/// resolvable) with the searchspace registry. Idempotent and thread-safe;
+/// call before resolving SpaceId::kFbnet through anb::space(). Linking
+/// anb_fbnet alone does not register — static initialization order and
+/// linker dead-stripping make that unreliable, so registration is explicit.
+void register_builtin_spaces();
 
 }  // namespace anb

@@ -17,6 +17,8 @@ const char* device_kind_name(DeviceKind kind) {
     case DeviceKind::kRtx3090: return "rtx3090";
     case DeviceKind::kZcu102: return "zcu102";
     case DeviceKind::kVck190: return "vck190";
+    case DeviceKind::kMobileNpu: return "npu-mobile";
+    case DeviceKind::kServerCpu: return "cpu-server";
   }
   return "unknown";
 }
@@ -24,7 +26,8 @@ const char* device_kind_name(DeviceKind kind) {
 DeviceKind device_kind_from_name(const std::string& name) {
   for (DeviceKind kind :
        {DeviceKind::kTpuV2, DeviceKind::kTpuV3, DeviceKind::kA100,
-        DeviceKind::kRtx3090, DeviceKind::kZcu102, DeviceKind::kVck190}) {
+        DeviceKind::kRtx3090, DeviceKind::kZcu102, DeviceKind::kVck190,
+        DeviceKind::kMobileNpu, DeviceKind::kServerCpu}) {
     if (name == device_kind_name(kind)) return kind;
   }
   throw Error("device_kind_from_name: unknown device '" + name + "'");
@@ -198,6 +201,36 @@ double Device::measure_energy(const ModelIR& ir, std::uint64_t seed,
                  attempt, /*time_like=*/true);
 }
 
+double Device::peak_memory_mb(const ModelIR& ir) const {
+  ANB_CHECK(!ir.layers.empty(), "Device::peak_memory_mb: empty model");
+  const double b = spec_.measure_batch;
+  double max_working_set = 0.0;
+  double resident_weights = 0.0;
+  for (const auto& layer : ir.layers) {
+    const double act_bytes =
+        b * spec_.bytes_per_elem *
+        static_cast<double>(layer.input_elems + layer.output_elems);
+    const double weight_bytes =
+        spec_.bytes_per_elem * static_cast<double>(layer.weight_elems);
+    if (spec_.weights_resident) {
+      resident_weights += weight_bytes;
+      max_working_set = std::max(max_working_set, act_bytes);
+    } else {
+      // Streaming runtimes tile one layer's weights at a time, so the peak
+      // is the worst single-layer (activations + weights) footprint.
+      max_working_set = std::max(max_working_set, act_bytes + weight_bytes);
+    }
+  }
+  return spec_.mem_overhead_mb +
+         (resident_weights + max_working_set) / (1024.0 * 1024.0);
+}
+
+double Device::measure_peak_memory(const ModelIR& ir, std::uint64_t seed,
+                                   std::uint64_t attempt) const {
+  return measure(peak_memory_mb(ir), hash_combine(seed, 0x3E30B1),
+                 attempt, /*time_like=*/true);
+}
+
 Device make_device(DeviceKind kind) {
   DeviceSpec s;
   s.kind = kind;
@@ -331,6 +364,57 @@ Device make_device(DeviceKind kind) {
       s.energy_per_flop_j = 0.2e-12;
       s.energy_per_byte_j = 25e-12;
       break;
+    case DeviceKind::kMobileNpu:
+      // Mobile-SoC NPU (Hexagon/ANE-class, int8, batch 1). The inverted op
+      // economics vs matrix engines: a native depthwise engine runs dwconv
+      // at a HIGHER fraction of peak than regular conv, while SE's
+      // pool/FC/scale bounce to the DSP with a harsh per-layer penalty and
+      // LPDDR bandwidth is shared with the host. Depthwise-heavy SE-free
+      // models win here — the Pareto front reorders relative to every GPU.
+      s.peak_flops = 3.5e12;
+      s.mem_bandwidth = 25e9;
+      s.bytes_per_elem = 1.0;
+      s.measure_batch = 1;
+      s.conv_eff = 0.45;
+      s.dwconv_eff = 0.50;
+      s.fc_eff = 0.30;
+      s.elementwise_eff = 0.35;
+      s.channel_align = 32.0;
+      s.layer_overhead_s = 5e-6;
+      s.fallback_overhead_s = 1.2e-4;
+      s.base_overhead_s = 3e-4;
+      s.measurement_noise = 0.020;  // thermal throttling jitter
+      s.timed_runs = 5;
+      s.idle_power_w = 2.0;
+      s.energy_per_flop_j = 0.15e-12;
+      s.energy_per_byte_j = 40e-12;
+      s.mem_overhead_mb = 8.0;
+      s.weights_resident = false;  // tiled weight streaming
+      break;
+    case DeviceKind::kServerCpu:
+      // AVX-512 VNNI server CPU (int8). No systolic array means no
+      // channel-alignment cliff and near-conv depthwise throughput, and
+      // SE runs natively in cache (zero fallback) — so SE-heavy thin
+      // models that matrix engines punish come out ahead, reordering the
+      // front in the opposite direction from the NPU.
+      s.peak_flops = 3.0e12;
+      s.mem_bandwidth = 0.10e12;
+      s.bytes_per_elem = 1.0;
+      s.measure_batch = 16;
+      s.conv_eff = 0.35;
+      s.dwconv_eff = 0.30;
+      s.fc_eff = 0.40;
+      s.elementwise_eff = 0.80;
+      s.channel_align = 4.0;
+      s.layer_overhead_s = 0.5e-6;
+      s.base_overhead_s = 5e-6;
+      s.measurement_noise = 0.020;  // OS scheduling noise
+      s.timed_runs = 5;
+      s.idle_power_w = 150.0;
+      s.energy_per_flop_j = 5e-12;
+      s.energy_per_byte_j = 60e-12;
+      s.mem_overhead_mb = 64.0;
+      break;
   }
   return Device(std::move(s));
 }
@@ -342,6 +426,13 @@ std::vector<Device> device_catalog() {
         DeviceKind::kRtx3090, DeviceKind::kZcu102, DeviceKind::kVck190}) {
     devices.push_back(make_device(kind));
   }
+  return devices;
+}
+
+std::vector<Device> extended_device_catalog() {
+  std::vector<Device> devices = device_catalog();
+  devices.push_back(make_device(DeviceKind::kMobileNpu));
+  devices.push_back(make_device(DeviceKind::kServerCpu));
   return devices;
 }
 

@@ -42,14 +42,19 @@ inline constexpr const char* kMeasureTimeoutFaultSite =
 inline constexpr const char* kMeasureOutlierFaultSite =
     "hwsim.measure.outlier";  ///< heavy-tail spike on the reading
 
-/// The six accelerator platforms benchmarked in the paper (§3.3.2).
+/// The six accelerator platforms benchmarked in the paper (§3.3.2), plus
+/// two extension platforms (mobile NPU, server CPU) whose op-efficiency
+/// profiles differ enough from the matrix engines to reorder Pareto fronts
+/// (depthwise and SE cost structure flips relative to GPUs/TPUs).
 enum class DeviceKind {
-  kTpuV2,    ///< Google Cloud TPUv2 (bf16, Torch/XLA)
-  kTpuV3,    ///< Google Cloud TPUv3
-  kA100,     ///< NVIDIA A100 (fp16 tensor cores)
-  kRtx3090,  ///< NVIDIA RTX 3090
-  kZcu102,   ///< Xilinx Zynq UltraScale+ ZCU102, Vitis-AI DPU (int8)
-  kVck190,   ///< Xilinx Versal AI Core VCK190, Vitis-AI DPU (int8)
+  kTpuV2,      ///< Google Cloud TPUv2 (bf16, Torch/XLA)
+  kTpuV3,      ///< Google Cloud TPUv3
+  kA100,       ///< NVIDIA A100 (fp16 tensor cores)
+  kRtx3090,    ///< NVIDIA RTX 3090
+  kZcu102,     ///< Xilinx Zynq UltraScale+ ZCU102, Vitis-AI DPU (int8)
+  kVck190,     ///< Xilinx Versal AI Core VCK190, Vitis-AI DPU (int8)
+  kMobileNpu,  ///< Mobile-SoC NPU (int8, native depthwise engine)
+  kServerCpu,  ///< AVX-512 server CPU (int8 VNNI, no matrix-engine bias)
 };
 
 const char* device_kind_name(DeviceKind kind);
@@ -107,6 +112,13 @@ struct DeviceSpec {
   double idle_power_w = 50.0;     ///< board/baseline power while busy
   double energy_per_flop_j = 1e-12;   ///< switching energy per op
   double energy_per_byte_j = 20e-12;  ///< DRAM access energy per byte
+
+  // --- peak-memory model (second extension metric, PerfMetric::kPeakMemory)
+  /// Fixed runtime/allocator footprint (code, workspace, descriptors), MB.
+  double mem_overhead_mb = 16.0;
+  /// Whether all weights stay resident in device memory for the whole run
+  /// (GPUs/TPUs/CPU) or stream per layer (DPUs / mobile NPU tiling).
+  bool weights_resident = true;
 };
 
 /// Per-layer roofline accelerator model.
@@ -155,6 +167,15 @@ class Device {
   double measure_energy(const ModelIR& ir, std::uint64_t seed,
                         std::uint64_t attempt = 0) const;
 
+  /// Expected peak device-memory footprint at the measurement batch, MB:
+  /// runtime overhead + weights (all resident, or streamed per layer) +
+  /// the largest per-layer activation working set.
+  double peak_memory_mb(const ModelIR& ir) const;
+
+  /// Noisy measured peak memory (allocator jitter), same protocol.
+  double measure_peak_memory(const ModelIR& ir, std::uint64_t seed,
+                             std::uint64_t attempt = 0) const;
+
  private:
   double layer_time_s(const Layer& layer, int batch) const;
   /// `time_like` orients an injected outlier spike: slow timings inflate
@@ -165,10 +186,16 @@ class Device {
   DeviceSpec spec_;
 };
 
-/// Factory for the paper's six platforms with calibrated spec numbers.
+/// Factory for the paper's six platforms (plus the two extension
+/// platforms) with calibrated spec numbers.
 Device make_device(DeviceKind kind);
 
-/// All six devices in the paper's order (TPUv2, TPUv3, A100, RTX, ZCU, VCK).
+/// The paper's six devices in the paper's order (TPUv2, TPUv3, A100, RTX,
+/// ZCU, VCK). Intentionally excludes the extension platforms so datasets
+/// collected against the paper matrix stay bit-identical.
 std::vector<Device> device_catalog();
+
+/// device_catalog() plus the extension platforms (mobile NPU, server CPU).
+std::vector<Device> extended_device_catalog();
 
 }  // namespace anb

@@ -64,7 +64,7 @@ double ModelIR::mparams() const {
 }
 
 ModelIR build_ir(const Architecture& arch, int resolution) {
-  SearchSpace::validate(arch);
+  MnasSpace::from_blocks(arch);  // throws on out-of-space option values
   ANB_CHECK(resolution >= 32 && resolution <= 1024,
             "build_ir: resolution must be in [32, 1024]");
 

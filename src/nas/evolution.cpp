@@ -8,8 +8,9 @@
 
 namespace anb {
 
-RegularizedEvolution::RegularizedEvolution(RegularizedEvolutionParams params)
-    : params_(params) {
+RegularizedEvolution::RegularizedEvolution(RegularizedEvolutionParams params,
+                                           const SearchSpace& space)
+    : NasOptimizer(space), params_(params) {
   ANB_CHECK(params_.population_size >= 2,
             "RegularizedEvolution: population_size must be >= 2");
   ANB_CHECK(params_.sample_size >= 1 &&
@@ -24,7 +25,7 @@ SearchTrajectory RegularizedEvolution::run(const EvalOracle& oracle,
   ANB_CHECK(n_evals >= 1, "RegularizedEvolution: n_evals must be >= 1");
 
   struct Member {
-    Architecture arch;
+    Arch arch;
     double value;
   };
   std::deque<Member> population;
@@ -33,7 +34,7 @@ SearchTrajectory RegularizedEvolution::run(const EvalOracle& oracle,
   // Seed with random architectures (up to the evaluation budget).
   const int n_seed = std::min(params_.population_size, n_evals);
   for (int t = 0; t < n_seed; ++t) {
-    const Architecture arch = SearchSpace::sample(rng);
+    const Arch arch = space().sample(rng);
     const double value = oracle(arch);
     traj.add(arch, value);
     population.push_back({arch, value});
@@ -47,7 +48,7 @@ SearchTrajectory RegularizedEvolution::run(const EvalOracle& oracle,
       if (parent == nullptr || candidate.value > parent->value)
         parent = &candidate;
     }
-    const Architecture child = SearchSpace::mutate(parent->arch, rng);
+    const Arch child = space().mutate(parent->arch, rng);
     const double value = oracle(child);
     traj.add(child, value);
     population.push_back({child, value});
@@ -62,7 +63,7 @@ SearchTrajectory RegularizedEvolution::run_batched(
   ANB_CHECK(n_evals >= 1, "RegularizedEvolution: n_evals must be >= 1");
 
   struct Member {
-    Architecture arch;
+    Arch arch;
     double value;
   };
   std::deque<Member> population;
@@ -72,9 +73,9 @@ SearchTrajectory RegularizedEvolution::run_batched(
   // evaluation; seeds never depend on each other's scores and the oracle
   // consumes no RNG, so the sequence matches run() exactly.
   const int n_seed = std::min(params_.population_size, n_evals);
-  std::vector<Architecture> seeds;
+  std::vector<Arch> seeds;
   seeds.reserve(static_cast<std::size_t>(n_seed));
-  for (int t = 0; t < n_seed; ++t) seeds.push_back(SearchSpace::sample(rng));
+  for (int t = 0; t < n_seed; ++t) seeds.push_back(space().sample(rng));
   const std::vector<double> seed_values = oracle(seeds);
   ANB_CHECK(seed_values.size() == seeds.size(),
             "RegularizedEvolution: batched oracle returned wrong size");
@@ -92,7 +93,7 @@ SearchTrajectory RegularizedEvolution::run_batched(
       if (parent == nullptr || candidate.value > parent->value)
         parent = &candidate;
     }
-    const Architecture child = SearchSpace::mutate(parent->arch, rng);
+    const Arch child = space().mutate(parent->arch, rng);
     const std::vector<double> child_value = oracle({&child, 1});
     ANB_CHECK(child_value.size() == 1,
               "RegularizedEvolution: batched oracle returned wrong size");

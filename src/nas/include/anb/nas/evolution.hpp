@@ -18,7 +18,8 @@ struct RegularizedEvolutionParams {
 
 class RegularizedEvolution final : public NasOptimizer {
  public:
-  explicit RegularizedEvolution(RegularizedEvolutionParams params = {});
+  explicit RegularizedEvolution(RegularizedEvolutionParams params = {},
+                                const SearchSpace& space = MnasSpace::instance());
 
   std::string name() const override { return "RE"; }
   using NasOptimizer::run;

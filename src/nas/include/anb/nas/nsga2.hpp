@@ -12,13 +12,13 @@ namespace anb {
 /// Bi-objective oracle: architecture -> (objective1, objective2), both
 /// already oriented so that larger is better (negate latencies).
 using BiObjectiveOracle =
-    std::function<std::pair<double, double>(const Architecture&)>;
+    std::function<std::pair<double, double>(const Arch&)>;
 
 /// Batched bi-objective oracle: scores a whole generation in one call;
 /// element i corresponds to archs[i]. Same purity contract as
 /// BatchEvalOracle: no RNG consumption, rows independent.
 using BiObjectiveBatchOracle = std::function<
-    std::vector<std::pair<double, double>>(std::span<const Architecture>)>;
+    std::vector<std::pair<double, double>>(std::span<const Arch>)>;
 
 /// NSGA-II configuration.
 struct Nsga2Params {
@@ -29,22 +29,27 @@ struct Nsga2Params {
 
 /// Result of an NSGA-II run: every evaluation plus the final front.
 struct Nsga2Result {
-  std::vector<Architecture> archs;  ///< all evaluated, in order
+  std::vector<Arch> archs;          ///< all evaluated, in order
   std::vector<double> obj1;
   std::vector<double> obj2;
   std::vector<std::size_t> front;   ///< indices of the final non-dominated set
 };
 
-/// Deb et al.'s NSGA-II adapted to the MnasNet space: fast non-dominated
+/// Deb et al.'s NSGA-II over any registered space: fast non-dominated
 /// sorting + crowding distance selection, binary tournaments on
-/// (rank, crowding), uniform per-block crossover and per-decision mutation.
+/// (rank, crowding), uniform group-wise crossover (the space's
+/// crossover_groups — per block on MnasNet) and per-decision mutation.
 ///
 /// This is the natural *true* multi-objective alternative to the paper's
 /// scalarized REINFORCE sweep (§4.2); the bench/e11 ablation compares the
 /// hypervolume of the fronts both approaches find at equal budget.
 class Nsga2 {
  public:
-  explicit Nsga2(Nsga2Params params = {});
+  explicit Nsga2(Nsga2Params params = {},
+                 const SearchSpace& space = MnasSpace::instance());
+
+  /// The space this optimizer searches.
+  const SearchSpace& space() const { return *space_; }
 
   /// Run for exactly `n_evals` oracle calls (population seeding included).
   Nsga2Result run(const BiObjectiveOracle& oracle, int n_evals, Rng& rng) const;
@@ -68,6 +73,7 @@ class Nsga2 {
 
  private:
   Nsga2Params params_;
+  const SearchSpace* space_;
 };
 
 }  // namespace anb

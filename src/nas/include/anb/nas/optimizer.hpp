@@ -13,8 +13,9 @@ namespace anb {
 /// Scalar evaluation oracle: architecture -> objective (higher is better).
 /// Backed either by the real training simulator ("true search") or by the
 /// benchmark surrogates ("simulated search") — the comparison between those
-/// two is the paper's Fig. 5.
-using EvalOracle = std::function<double(const Architecture&)>;
+/// two is the paper's Fig. 5. Genotypes are space-tagged, so one oracle
+/// type serves every registered space.
+using EvalOracle = std::function<double(const Arch&)>;
 
 /// Batched evaluation oracle: scores a whole population in one call;
 /// element i of the result corresponds to archs[i]. Implementations must
@@ -23,7 +24,7 @@ using EvalOracle = std::function<double(const Architecture&)>;
 /// seeded trajectory — AccelNASBench::query_accuracy_batch satisfies this
 /// by construction (batched prediction is bit-identical to scalar).
 using BatchEvalOracle =
-    std::function<std::vector<double>(std::span<const Architecture>)>;
+    std::function<std::vector<double>(std::span<const Arch>)>;
 
 /// Adapt a scalar oracle to the batched interface (evaluates row by row).
 BatchEvalOracle batch_from_scalar(EvalOracle oracle);
@@ -52,22 +53,31 @@ class SearchOracle {
 
 /// Full record of one search run, in evaluation order.
 struct SearchTrajectory {
-  std::vector<Architecture> archs;
+  std::vector<Arch> archs;
   std::vector<double> values;
   std::vector<double> incumbent;  ///< running best value
 
-  Architecture best_arch() const;
+  Arch best_arch() const;
   double best_value() const;
-  void add(const Architecture& arch, double value);
+  void add(const Arch& arch, double value);
   std::size_t size() const { return values.size(); }
 };
 
 /// Common interface of the discrete NAS optimizers evaluated in the paper
 /// (§4.1): Random Search, Regularized Evolution, REINFORCE.
+///
+/// Every optimizer searches one space, fixed at construction (defaulting
+/// to MnasNet, the paper's space); sampling, mutation, and genotype
+/// construction all route through that SearchSpace, so the same optimizer
+/// instance code runs unchanged over any registered space.
 class NasOptimizer {
  public:
+  explicit NasOptimizer(const SearchSpace& space = MnasSpace::instance())
+      : space_(&space) {}
   virtual ~NasOptimizer() = default;
   virtual std::string name() const = 0;
+  /// The space this optimizer searches.
+  const SearchSpace& space() const { return *space_; }
   /// Run for exactly `n_evals` oracle calls.
   virtual SearchTrajectory run(const EvalOracle& oracle, int n_evals,
                                Rng& rng) = 0;
@@ -83,6 +93,9 @@ class NasOptimizer {
   /// to which oracle the SearchOracle holds. Also the instrumented path —
   /// emits the "anb.nas.run" span and anb.nas.run.{count,evals} counters.
   SearchTrajectory run(const SearchOracle& oracle, int n_evals, Rng& rng);
+
+ private:
+  const SearchSpace* space_;
 };
 
 }  // namespace anb

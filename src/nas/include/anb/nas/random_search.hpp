@@ -12,6 +12,8 @@ namespace anb {
 /// makes exploration without exploitation inefficient.
 class RandomSearchNas final : public NasOptimizer {
  public:
+  using NasOptimizer::NasOptimizer;
+
   std::string name() const override { return "RS"; }
   using NasOptimizer::run;
   SearchTrajectory run(const EvalOracle& oracle, int n_evals,

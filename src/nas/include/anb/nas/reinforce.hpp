@@ -7,9 +7,10 @@
 
 namespace anb {
 
-/// REINFORCE policy-gradient search (Zoph & Le [19]) over the factorized
-/// MnasNet decision space: an independent categorical softmax per decision
-/// (7 blocks × {expansion, kernel, layers, se} = 28 heads). Updates use the
+/// REINFORCE policy-gradient search (Zoph & Le [19]) over a factorized
+/// decision space: an independent categorical softmax per decision (28
+/// heads on MnasNet, 22 on FBNet — the heads come from the search space's
+/// decision_sizes()). Updates use the
 /// score-function estimator with an exponential-moving-average baseline and
 /// an entropy bonus that decays exploration over time.
 struct ReinforceParams {
@@ -20,7 +21,8 @@ struct ReinforceParams {
 
 class Reinforce final : public NasOptimizer {
  public:
-  explicit Reinforce(ReinforceParams params = {});
+  explicit Reinforce(ReinforceParams params = {},
+                     const SearchSpace& space = MnasSpace::instance());
 
   std::string name() const override { return "REINFORCE"; }
   using NasOptimizer::run;

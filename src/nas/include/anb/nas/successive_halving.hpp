@@ -15,14 +15,13 @@ struct BudgetedEval {
   double accuracy = 0.0;
   double cost_hours = 0.0;
 };
-using BudgetedOracle =
-    std::function<BudgetedEval(const Architecture&, int epochs)>;
+using BudgetedOracle = std::function<BudgetedEval(const Arch&, int epochs)>;
 
 /// Batched variant: evaluate one round's whole surviving population at the
 /// same epoch budget in a single call; element i corresponds to archs[i].
 /// Same purity contract as BatchEvalOracle.
 using BudgetedBatchOracle = std::function<std::vector<BudgetedEval>(
-    std::span<const Architecture>, int epochs)>;
+    std::span<const Arch>, int epochs)>;
 
 /// Successive halving (the classic *training-proxy* method the paper cites
 /// in §3.2: "successive halving and hyperband ... use the model's
@@ -40,13 +39,13 @@ struct SuccessiveHalvingParams {
 };
 
 struct SuccessiveHalvingResult {
-  Architecture best;
+  Arch best;
   double best_accuracy = 0.0;   ///< at the final (largest) budget
   double total_cost_hours = 0.0;
   int rounds = 0;
   /// All (arch, accuracy, epochs) evaluations in order.
   struct Eval {
-    Architecture arch;
+    Arch arch;
     double accuracy;
     int epochs;
   };
@@ -55,7 +54,11 @@ struct SuccessiveHalvingResult {
 
 class SuccessiveHalving {
  public:
-  explicit SuccessiveHalving(SuccessiveHalvingParams params = {});
+  explicit SuccessiveHalving(SuccessiveHalvingParams params = {},
+                             const SearchSpace& space = MnasSpace::instance());
+
+  /// The space this optimizer searches.
+  const SearchSpace& space() const { return *space_; }
 
   SuccessiveHalvingResult run(const BudgetedOracle& oracle, Rng& rng) const;
 
@@ -67,6 +70,7 @@ class SuccessiveHalving {
 
  private:
   SuccessiveHalvingParams params_;
+  const SearchSpace* space_;
 };
 
 }  // namespace anb

@@ -8,7 +8,8 @@
 
 namespace anb {
 
-Nsga2::Nsga2(Nsga2Params params) : params_(params) {
+Nsga2::Nsga2(Nsga2Params params, const SearchSpace& space)
+    : params_(params), space_(&space) {
   ANB_CHECK(params_.population_size >= 4,
             "Nsga2: population_size must be >= 4");
   ANB_CHECK(params_.crossover_prob >= 0.0 && params_.crossover_prob <= 1.0,
@@ -94,7 +95,7 @@ std::vector<double> Nsga2::crowding_distance(
 namespace {
 
 struct Member {
-  Architecture arch;
+  Arch arch;
   double obj1 = 0.0, obj2 = 0.0;
   int rank = 0;
   double crowding = 0.0;
@@ -109,8 +110,9 @@ bool crowded_less(const Member& a, const Member& b) {
 /// One child via binary tournaments on (rank, crowding), uniform block
 /// crossover and per-decision mutation. Shared by run() and run_batched()
 /// so both consume the RNG in exactly the same order.
-Architecture make_child(const std::vector<Member>& population,
-                        const Nsga2Params& params, Rng& rng) {
+Arch make_child(const std::vector<Member>& population,
+                const Nsga2Params& params, const SearchSpace& space,
+                Rng& rng) {
   auto tournament = [&]() -> const Member& {
     const Member& a = population[rng.uniform_index(population.size())];
     const Member& b = population[rng.uniform_index(population.size())];
@@ -119,28 +121,30 @@ Architecture make_child(const std::vector<Member>& population,
   const Member& p1 = tournament();
   const Member& p2 = tournament();
 
-  Architecture child = p1.arch;
+  Arch child = p1.arch;
   if (rng.bernoulli(params.crossover_prob)) {
-    // Uniform block-wise crossover.
-    for (int blk = 0; blk < kNumBlocks; ++blk) {
+    // Uniform group-wise crossover (whole blocks on MnasNet).
+    for (const auto& [lo, hi] : space.crossover_groups()) {
       if (rng.bernoulli(0.5)) {
-        child.blocks[static_cast<std::size_t>(blk)] =
-            p2.arch.blocks[static_cast<std::size_t>(blk)];
+        for (int d = lo; d < hi; ++d)
+          child.d[static_cast<std::size_t>(d)] =
+              p2.arch.d[static_cast<std::size_t>(d)];
       }
     }
   }
   // Per-decision mutation.
-  auto decisions = SearchSpace::to_decisions(child);
-  const auto sizes = SearchSpace::decision_sizes();
-  for (std::size_t d = 0; d < decisions.size(); ++d) {
+  const auto& sizes = space.decision_sizes();
+  for (std::size_t d = 0; d < static_cast<std::size_t>(child.n); ++d) {
     if (!rng.bernoulli(params.mutation_prob)) continue;
     const int size = sizes[d];
-    decisions[d] = (decisions[d] + 1 +
-                    static_cast<int>(rng.uniform_index(
-                        static_cast<std::uint64_t>(size - 1)))) %
-                   size;
+    child.d[d] = static_cast<std::int8_t>(
+        (child.d[d] + 1 +
+         static_cast<int>(rng.uniform_index(
+             static_cast<std::uint64_t>(size - 1)))) %
+        size);
   }
-  return SearchSpace::from_decisions(decisions);
+  space.validate(child);
+  return child;
 }
 
 void assign_rank_and_crowding(std::vector<Member>& pop) {
@@ -174,7 +178,7 @@ Nsga2Result Nsga2::run(const BiObjectiveOracle& oracle, int n_evals,
             "Nsga2: n_evals must cover at least one population");
 
   Nsga2Result result;
-  auto evaluate = [&](const Architecture& arch) {
+  auto evaluate = [&](const Arch& arch) {
     const auto [o1, o2] = oracle(arch);
     result.archs.push_back(arch);
     result.obj1.push_back(o1);
@@ -188,7 +192,7 @@ Nsga2Result Nsga2::run(const BiObjectiveOracle& oracle, int n_evals,
 
   std::vector<Member> population;
   for (int i = 0; i < params_.population_size; ++i)
-    population.push_back(evaluate(SearchSpace::sample(rng)));
+    population.push_back(evaluate(space_->sample(rng)));
   assign_rank_and_crowding(population);
 
   int evals = params_.population_size;
@@ -199,7 +203,8 @@ Nsga2Result Nsga2::run(const BiObjectiveOracle& oracle, int n_evals,
         std::min(params_.population_size, n_evals - evals);
     std::vector<Member> children;
     for (int c = 0; c < n_children; ++c)
-      children.push_back(evaluate(make_child(population, params_, rng)));
+      children.push_back(
+          evaluate(make_child(population, params_, *space_, rng)));
     evals += n_children;
 
     // Environmental selection over parents + children.
@@ -222,7 +227,7 @@ Nsga2Result Nsga2::run_batched(const BiObjectiveBatchOracle& oracle,
             "Nsga2: n_evals must cover at least one population");
 
   Nsga2Result result;
-  auto evaluate_batch = [&](const std::vector<Architecture>& archs) {
+  auto evaluate_batch = [&](const std::vector<Arch>& archs) {
     const auto objs = oracle(archs);
     ANB_CHECK(objs.size() == archs.size(),
               "Nsga2: batched oracle returned wrong size");
@@ -242,10 +247,10 @@ Nsga2Result Nsga2::run_batched(const BiObjectiveBatchOracle& oracle,
   };
 
   // Seed generation: sample everything, then score in one call.
-  std::vector<Architecture> seeds;
+  std::vector<Arch> seeds;
   seeds.reserve(static_cast<std::size_t>(params_.population_size));
   for (int i = 0; i < params_.population_size; ++i)
-    seeds.push_back(SearchSpace::sample(rng));
+    seeds.push_back(space_->sample(rng));
   std::vector<Member> population = evaluate_batch(seeds);
   assign_rank_and_crowding(population);
 
@@ -255,10 +260,10 @@ Nsga2Result Nsga2::run_batched(const BiObjectiveBatchOracle& oracle,
     // is fixed for the whole generation — so all children can be generated
     // before any of them is scored, and batching changes nothing.
     const int n_children = std::min(params_.population_size, n_evals - evals);
-    std::vector<Architecture> child_archs;
+    std::vector<Arch> child_archs;
     child_archs.reserve(static_cast<std::size_t>(n_children));
     for (int c = 0; c < n_children; ++c)
-      child_archs.push_back(make_child(population, params_, rng));
+      child_archs.push_back(make_child(population, params_, *space_, rng));
     std::vector<Member> children = evaluate_batch(child_archs);
     evals += n_children;
 

@@ -9,7 +9,7 @@
 
 namespace anb {
 
-void SearchTrajectory::add(const Architecture& arch, double value) {
+void SearchTrajectory::add(const Arch& arch, double value) {
   archs.push_back(arch);
   values.push_back(value);
   const double prev =
@@ -18,7 +18,7 @@ void SearchTrajectory::add(const Architecture& arch, double value) {
   incumbent.push_back(std::max(prev, value));
 }
 
-Architecture SearchTrajectory::best_arch() const {
+Arch SearchTrajectory::best_arch() const {
   ANB_CHECK(!values.empty(), "SearchTrajectory: empty trajectory");
   std::size_t best = 0;
   for (std::size_t i = 1; i < values.size(); ++i)
@@ -33,10 +33,10 @@ double SearchTrajectory::best_value() const {
 
 BatchEvalOracle batch_from_scalar(EvalOracle oracle) {
   ANB_CHECK(static_cast<bool>(oracle), "batch_from_scalar: missing oracle");
-  return [oracle = std::move(oracle)](std::span<const Architecture> archs) {
+  return [oracle = std::move(oracle)](std::span<const Arch> archs) {
     std::vector<double> out;
     out.reserve(archs.size());
-    for (const Architecture& arch : archs) out.push_back(oracle(arch));
+    for (const Arch& arch : archs) out.push_back(oracle(arch));
     return out;
   };
 }
@@ -77,7 +77,7 @@ SearchTrajectory NasOptimizer::run_batched(const BatchEvalOracle& oracle,
                                            int n_evals, Rng& rng) {
   ANB_CHECK(static_cast<bool>(oracle), "NasOptimizer: missing oracle");
   return run(
-      [&oracle](const Architecture& arch) {
+      [&oracle](const Arch& arch) {
         const std::vector<double> values = oracle({&arch, 1});
         ANB_CHECK(values.size() == 1,
                   "NasOptimizer: batched oracle returned wrong size");

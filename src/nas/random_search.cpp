@@ -13,7 +13,7 @@ SearchTrajectory RandomSearchNas::run(const EvalOracle& oracle, int n_evals,
   ANB_CHECK(n_evals >= 1, "RandomSearchNas: n_evals must be >= 1");
   SearchTrajectory traj;
   for (int t = 0; t < n_evals; ++t) {
-    const Architecture arch = SearchSpace::sample(rng);
+    const Arch arch = space().sample(rng);
     traj.add(arch, oracle(arch));
   }
   return traj;
@@ -23,9 +23,9 @@ SearchTrajectory RandomSearchNas::run_batched(const BatchEvalOracle& oracle,
                                               int n_evals, Rng& rng) {
   ANB_CHECK(static_cast<bool>(oracle), "RandomSearchNas: missing oracle");
   ANB_CHECK(n_evals >= 1, "RandomSearchNas: n_evals must be >= 1");
-  std::vector<Architecture> archs;
+  std::vector<Arch> archs;
   archs.reserve(static_cast<std::size_t>(n_evals));
-  for (int t = 0; t < n_evals; ++t) archs.push_back(SearchSpace::sample(rng));
+  for (int t = 0; t < n_evals; ++t) archs.push_back(space().sample(rng));
   const std::vector<double> values = oracle(archs);
   ANB_CHECK(values.size() == archs.size(),
             "RandomSearchNas: batched oracle returned wrong size");

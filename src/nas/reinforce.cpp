@@ -7,7 +7,8 @@
 
 namespace anb {
 
-Reinforce::Reinforce(ReinforceParams params) : params_(params) {
+Reinforce::Reinforce(ReinforceParams params, const SearchSpace& space)
+    : NasOptimizer(space), params_(params) {
   ANB_CHECK(params_.learning_rate > 0.0, "Reinforce: learning_rate must be > 0");
   ANB_CHECK(params_.baseline_decay >= 0.0 && params_.baseline_decay < 1.0,
             "Reinforce: baseline_decay must be in [0, 1)");
@@ -20,7 +21,7 @@ SearchTrajectory Reinforce::run(const EvalOracle& oracle, int n_evals,
   ANB_CHECK(static_cast<bool>(oracle), "Reinforce: missing oracle");
   ANB_CHECK(n_evals >= 1, "Reinforce: n_evals must be >= 1");
 
-  const auto sizes = SearchSpace::decision_sizes();
+  const auto& sizes = space().decision_sizes();
   const auto num_decisions = sizes.size();
   // Per-decision logits, initialized uniform.
   std::vector<std::vector<double>> logits(num_decisions);
@@ -55,7 +56,7 @@ SearchTrajectory Reinforce::run(const EvalOracle& oracle, int n_evals,
       probs[d] = softmax(logits[d]);
       decisions[d] = static_cast<int>(rng.weighted_index(probs[d]));
     }
-    const Architecture arch = SearchSpace::from_decisions(decisions);
+    const Arch arch = space().from_decisions(decisions);
     const double reward = oracle(arch);
     traj.add(arch, reward);
 

@@ -6,8 +6,9 @@
 
 namespace anb {
 
-SuccessiveHalving::SuccessiveHalving(SuccessiveHalvingParams params)
-    : params_(params) {
+SuccessiveHalving::SuccessiveHalving(SuccessiveHalvingParams params,
+                                     const SearchSpace& space)
+    : params_(params), space_(&space) {
   ANB_CHECK(params_.initial_population >= 2,
             "SuccessiveHalving: initial_population must be >= 2");
   ANB_CHECK(params_.eta >= 2, "SuccessiveHalving: eta must be >= 2");
@@ -21,13 +22,13 @@ SuccessiveHalvingResult SuccessiveHalving::run(const BudgetedOracle& oracle,
   ANB_CHECK(static_cast<bool>(oracle), "SuccessiveHalving: missing oracle");
 
   struct Member {
-    Architecture arch;
+    Arch arch;
     double accuracy = 0.0;
   };
   std::vector<Member> population;
   population.reserve(static_cast<std::size_t>(params_.initial_population));
   for (int i = 0; i < params_.initial_population; ++i)
-    population.push_back({SearchSpace::sample(rng), 0.0});
+    population.push_back({space_->sample(rng), 0.0});
 
   SuccessiveHalvingResult result;
   int epochs = params_.min_epochs;
@@ -63,13 +64,13 @@ SuccessiveHalvingResult SuccessiveHalving::run_batched(
   ANB_CHECK(static_cast<bool>(oracle), "SuccessiveHalving: missing oracle");
 
   struct Member {
-    Architecture arch;
+    Arch arch;
     double accuracy = 0.0;
   };
   std::vector<Member> population;
   population.reserve(static_cast<std::size_t>(params_.initial_population));
   for (int i = 0; i < params_.initial_population; ++i)
-    population.push_back({SearchSpace::sample(rng), 0.0});
+    population.push_back({space_->sample(rng), 0.0});
 
   SuccessiveHalvingResult result;
   int epochs = params_.min_epochs;
@@ -77,7 +78,7 @@ SuccessiveHalvingResult SuccessiveHalving::run_batched(
     ++result.rounds;
     // One batched call scores the whole round: every survivor's budget is
     // fixed before any of them is evaluated.
-    std::vector<Architecture> archs;
+    std::vector<Arch> archs;
     archs.reserve(population.size());
     for (const auto& member : population) archs.push_back(member.arch);
     const std::vector<BudgetedEval> evals = oracle(archs, epochs);

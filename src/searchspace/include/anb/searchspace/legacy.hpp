@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "anb/searchspace/space.hpp"
+#include "anb/util/rng.hpp"
+
+// Deprecated compatibility facade for the pre-interface, all-static
+// `anb::SearchSpace` API (removed when the class became polymorphic).
+// Every entry point is a thin wrapper over MnasSpace::instance(), typed on
+// the MnasNet `Architecture` exactly as the old statics were. Kept for one
+// release, mirroring the PR 5 MetricKey shim playbook; the sanctioned
+// caller is tests/searchspace/legacy_compat_test.cpp and nothing else —
+// new code resolves a space and uses the interface.
+//
+// The statics cannot live on anb::SearchSpace itself: a static
+// `sample(Rng&)` cannot overload the virtual `sample(Rng&) const`
+// ([over.load] forbids overloading on static-ness alone), so the facade
+// lives in anb::legacy under the old class name.
+
+namespace anb::legacy {
+
+struct SearchSpace {
+  [[deprecated("use MnasSpace::expansion_options()")]]
+  static const std::vector<int>& expansion_options() {
+    return MnasSpace::expansion_options();
+  }
+
+  [[deprecated("use MnasSpace::kernel_options()")]]
+  static const std::vector<int>& kernel_options() {
+    return MnasSpace::kernel_options();
+  }
+
+  [[deprecated("use MnasSpace::layer_options()")]]
+  static const std::vector<int>& layer_options() {
+    return MnasSpace::layer_options();
+  }
+
+  static constexpr int kNumDecisions = MnasSpace::kNumDecisions;
+
+  [[deprecated("use MnasSpace::instance().decision_sizes()")]]
+  static std::vector<int> decision_sizes() {
+    return MnasSpace::instance().decision_sizes();
+  }
+
+  [[deprecated("use MnasSpace::instance().cardinality()")]]
+  static std::uint64_t cardinality() {
+    return MnasSpace::instance().cardinality();
+  }
+
+  [[deprecated("use MnasSpace::instance().feature_dim()")]]
+  static int feature_dim() { return MnasSpace::instance().feature_dim(); }
+
+  [[deprecated("use MnasSpace::instance().validate(Arch)")]]
+  static void validate(const Architecture& arch) {
+    MnasSpace::from_blocks(arch);  // throws on out-of-space options
+  }
+
+  [[deprecated("use MnasSpace::instance().is_valid(Arch)")]]
+  static bool is_valid(const Architecture& arch) {
+    try {
+      MnasSpace::from_blocks(arch);
+      return true;
+    } catch (const Error&) {
+      return false;
+    }
+  }
+
+  [[deprecated("use MnasSpace::instance().sample(rng)")]]
+  static Architecture sample(Rng& rng) {
+    return MnasSpace::to_blocks(MnasSpace::instance().sample(rng));
+  }
+
+  [[deprecated("use MnasSpace::instance().mutate(arch, rng)")]]
+  static Architecture mutate(const Architecture& arch, Rng& rng) {
+    return MnasSpace::to_blocks(
+        MnasSpace::instance().mutate(MnasSpace::from_blocks(arch), rng));
+  }
+
+  [[deprecated("use MnasSpace::instance().neighbors(arch)")]]
+  static std::vector<Architecture> neighbors(const Architecture& arch) {
+    std::vector<Architecture> out;
+    for (const Arch& a :
+         MnasSpace::instance().neighbors(MnasSpace::from_blocks(arch)))
+      out.push_back(MnasSpace::to_blocks(a));
+    return out;
+  }
+
+  [[deprecated("use MnasSpace::instance().to_index(arch)")]]
+  static std::uint64_t to_index(const Architecture& arch) {
+    return MnasSpace::instance().to_index(MnasSpace::from_blocks(arch));
+  }
+
+  [[deprecated("use MnasSpace::instance().from_index(index)")]]
+  static Architecture from_index(std::uint64_t index) {
+    return MnasSpace::to_blocks(MnasSpace::instance().from_index(index));
+  }
+
+  [[deprecated("the Arch decision bytes are the flat genotype")]]
+  static std::vector<int> to_decisions(const Architecture& arch) {
+    const Arch a = MnasSpace::from_blocks(arch);
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(a.n));
+    for (int i = 0; i < a.n; ++i)
+      out.push_back(a.d[static_cast<std::size_t>(i)]);
+    return out;
+  }
+
+  [[deprecated("the Arch decision bytes are the flat genotype")]]
+  static Architecture from_decisions(const std::vector<int>& decisions) {
+    ANB_CHECK(decisions.size() == static_cast<std::size_t>(kNumDecisions),
+              "SearchSpace::from_decisions: wrong length");
+    Arch a;
+    a.space = SpaceId::kMnasNet;
+    a.n = kNumDecisions;
+    for (std::size_t i = 0; i < decisions.size(); ++i) {
+      ANB_CHECK(decisions[i] >= 0 && decisions[i] < 127,
+                "SearchSpace::from_decisions: option index out of range");
+      a.d[i] = static_cast<std::int8_t>(decisions[i]);
+    }
+    return MnasSpace::to_blocks(a);  // validates ranges per decision
+  }
+
+  [[deprecated("use MnasSpace::instance().features(arch)")]]
+  static std::vector<double> features(const Architecture& arch) {
+    return MnasSpace::instance().features(MnasSpace::from_blocks(arch));
+  }
+};
+
+}  // namespace anb::legacy

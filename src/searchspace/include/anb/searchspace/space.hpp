@@ -1,27 +1,111 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "anb/searchspace/architecture.hpp"
+#include "anb/searchspace/genotype.hpp"
 #include "anb/util/rng.hpp"
 
 namespace anb {
+
+/// A searchable architecture space: the polymorphic interface every
+/// space-generic layer programs against (NAS optimizers, proxy search,
+/// collection, surrogate feature encoding, benchmark query/cache, serve).
+///
+/// Implementations are stateless singletons registered under a stable
+/// SpaceId (see register_space / space()). All operations are const and
+/// thread-safe; genotypes are space-tagged `Arch` values and every method
+/// taking one validates that the tag matches this space.
+///
+/// The base class supplies the canonical mixed-radix index bijection,
+/// neighbor enumeration, and the mutate operator generically from
+/// `decision_sizes()`; spaces override behavior only where their native
+/// semantics differ (sampling draw order, feature encodings, string forms).
+class SearchSpace {
+ public:
+  virtual ~SearchSpace() = default;
+
+  /// Stable registry identity (persisted in artifacts and on the wire).
+  virtual SpaceId id() const = 0;
+
+  /// Canonical name, equal to space_name(id()).
+  const char* name() const { return space_name(id()); }
+
+  /// Number of flat categorical decisions in a genotype.
+  virtual int num_decisions() const = 0;
+
+  /// Option count per decision, length num_decisions(). This is the
+  /// genotype the REINFORCE policy samples.
+  virtual const std::vector<int>& decision_sizes() const = 0;
+
+  /// Total number of unique architectures (must fit std::uint64_t).
+  std::uint64_t cardinality() const;
+
+  /// Dimensionality of the feature encoding consumed by the surrogates.
+  virtual int feature_dim() const = 0;
+
+  /// Throws anb::Error if the genotype is not a member of this space
+  /// (wrong space tag, wrong length, option index out of range, or
+  /// nonzero padding past n).
+  void validate(const Arch& arch) const;
+  bool is_valid(const Arch& arch) const;
+
+  /// Uniform random architecture.
+  virtual Arch sample(Rng& rng) const = 0;
+
+  /// Mutate exactly one decision to a different allowed value (the RE
+  /// mutation operator). The result always differs from the input.
+  virtual Arch mutate(const Arch& arch, Rng& rng) const;
+
+  /// All architectures at Hamming distance 1 (one decision changed).
+  virtual std::vector<Arch> neighbors(const Arch& arch) const;
+
+  /// Canonical bijection with [0, cardinality()). Mixed-radix in decision
+  /// order. Together with the space id this is the stable address of an
+  /// architecture: caches key on (SpaceId, to_index) and the serve
+  /// protocol ships exactly that pair.
+  virtual std::uint64_t to_index(const Arch& arch) const;
+  virtual Arch from_index(std::uint64_t index) const;
+
+  /// Build a (validated) genotype from a flat decision vector — the
+  /// constructor policy-gradient searchers use.
+  Arch from_decisions(const std::vector<int>& decisions) const;
+
+  /// Half-open decision ranges forming semantically coherent crossover
+  /// units (MnasNet: one per block; default: one per decision). NSGA-II's
+  /// uniform crossover swaps whole groups between parents.
+  virtual std::vector<std::pair<int, int>> crossover_groups() const;
+
+  /// Feature vector for surrogate input: pure architectural properties,
+  /// no FLOPs/params leakage (paper §2.1).
+  virtual std::vector<double> features(const Arch& arch) const = 0;
+
+  /// Native human-readable form and its exact inverse.
+  virtual std::string arch_to_string(const Arch& arch) const = 0;
+  virtual Arch arch_from_string(const std::string& s) const = 0;
+
+ protected:
+  /// Genotype skeleton tagged for this space (n set, decisions zero).
+  Arch make_arch() const;
+};
 
 /// The MnasNet hierarchical block-based search space (paper §3.1).
 ///
 /// Seven sequential blocks, each with four categorical decisions:
 /// expansion ∈ {1,4,6}, kernel ∈ {3,5}, layers ∈ {1,2,3}, se ∈ {no,yes}.
 /// Cardinality (3·2·3·2)^7 = 36^7 ≈ 7.8×10^10 ≈ 10^11 unique models,
-/// matching the paper's figure.
-///
-/// The class provides every space-level operation the rest of the system
-/// needs: validation, uniform sampling, mutation (for regularized
-/// evolution), canonical integer index <-> architecture bijection, the
-/// flat decision view used by the REINFORCE policy, and the one-hot
-/// feature encoding consumed by the surrogates.
-class SearchSpace {
+/// matching the paper's figure. Decision order is block-major
+/// (block0: e,k,L,se, block1: e,k,L,se, ...), which keeps to_index
+/// bit-compatible with the pre-interface static encoding.
+class MnasSpace final : public SearchSpace {
  public:
+  /// The process-wide instance (stateless; auto-registered on first
+  /// registry lookup).
+  static const MnasSpace& instance();
+
   /// Allowed option values, in canonical order.
   static const std::vector<int>& expansion_options();
   static const std::vector<int>& kernel_options();
@@ -31,44 +115,43 @@ class SearchSpace {
   /// Number of flat categorical decisions (7 blocks × 4 = 28).
   static constexpr int kNumDecisions = kNumBlocks * 4;
 
-  /// Option count for each flat decision, in block-major order
-  /// (block0: e,k,L,se, block1: e,k,L,se, ...). Sizes are {3,2,3,2} repeated.
-  static std::vector<int> decision_sizes();
+  /// Typed conversions between the opaque genotype and the block view the
+  /// IR/training layers consume. from_blocks throws on option values
+  /// outside the space; to_blocks throws on a non-MnasNet genotype.
+  static Arch from_blocks(const Architecture& arch);
+  static Architecture to_blocks(const Arch& arch);
 
-  /// Total number of unique architectures (36^7).
-  static std::uint64_t cardinality();
-
-  /// Dimensionality of the one-hot feature encoding (7 × (3+2+3+1) = 63).
-  static int feature_dim();
-
-  /// Throws anb::Error if any block option is outside the space.
-  static void validate(const Architecture& arch);
-  static bool is_valid(const Architecture& arch);
-
-  /// Uniform random architecture.
-  static Architecture sample(Rng& rng);
-
-  /// Mutate exactly one decision to a different allowed value (the RE
-  /// mutation operator). The result always differs from the input.
-  static Architecture mutate(const Architecture& arch, Rng& rng);
-
-  /// All architectures at Hamming distance 1 (one decision changed).
-  static std::vector<Architecture> neighbors(const Architecture& arch);
-
-  /// Canonical bijection with [0, cardinality()). Mixed-radix in
-  /// block-major, decision-major order.
-  static std::uint64_t to_index(const Architecture& arch);
-  static Architecture from_index(std::uint64_t index);
-
-  /// Flat categorical decision vector (28 option indices) and its inverse.
-  /// This is the genotype the REINFORCE policy samples.
-  static std::vector<int> to_decisions(const Architecture& arch);
-  static Architecture from_decisions(const std::vector<int>& decisions);
-
-  /// One-hot feature vector (63 dims: e 3 + k 2 + L 3 + se 1 per block).
-  /// This is the surrogate input representation: pure architectural
-  /// properties, no FLOPs/params leakage (paper §2.1).
-  static std::vector<double> features(const Architecture& arch);
+  SpaceId id() const override { return SpaceId::kMnasNet; }
+  int num_decisions() const override { return kNumDecisions; }
+  const std::vector<int>& decision_sizes() const override;
+  /// One crossover group per block (4 decisions each).
+  std::vector<std::pair<int, int>> crossover_groups() const override;
+  int feature_dim() const override;  ///< 7 × (3+2+3+1) = 63 one-hot dims
+  Arch sample(Rng& rng) const override;
+  std::vector<double> features(const Arch& arch) const override;
+  std::string arch_to_string(const Arch& arch) const override;
+  Arch arch_from_string(const std::string& s) const override;
 };
+
+/// Register a space implementation under its id(). Idempotent for the
+/// same instance; throws anb::Error if a different instance already owns
+/// the id. `space` must have static storage duration.
+void register_space(const SearchSpace& space);
+
+/// Resolve a registered space. MnasSpace is always available (registered
+/// lazily); other spaces must have been registered — linking a library
+/// is not enough, call its registration hook (anb::register_builtin_spaces
+/// covers every in-tree space). Throws anb::Error naming the id when the
+/// space is unknown.
+const SearchSpace& space(SpaceId id);
+
+/// space() by canonical name; exact-match contract, throws anb::Error.
+const SearchSpace& space_from_name(const std::string& name);
+
+/// True when `id` resolves without throwing.
+bool space_registered(SpaceId id);
+
+/// Ids of all currently registered spaces, ascending.
+std::vector<SpaceId> registered_spaces();
 
 }  // namespace anb

@@ -1,8 +1,11 @@
 #include "anb/searchspace/space.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "anb/util/error.hpp"
+#include "anb/util/mutex.hpp"
+#include "anb/util/thread_annotations.hpp"
 
 namespace anb {
 
@@ -12,59 +15,109 @@ template <typename T>
 int option_index(const std::vector<T>& options, T value, const char* what) {
   auto it = std::find(options.begin(), options.end(), value);
   ANB_CHECK(it != options.end(),
-            std::string("SearchSpace: invalid ") + what + " value");
+            std::string("MnasSpace: invalid ") + what + " value");
   return static_cast<int>(it - options.begin());
+}
+
+/// Registry state: spaces have static storage duration, so bare pointers
+/// are safe. Guarded for concurrent first-use registration (servers
+/// resolve spaces from reader threads).
+struct Registry {
+  Mutex mu;
+  std::map<SpaceId, const SearchSpace*> spaces ANB_GUARDED_BY(mu);
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// MnasNet is the format's original, implicit space: make it resolvable
+/// without any registration call (lazily, under the registry lock).
+void ensure_mnas_registered(Registry& r) ANB_REQUIRES(r.mu) {
+  const SpaceId id = SpaceId::kMnasNet;
+  if (r.spaces.find(id) == r.spaces.end())
+    r.spaces.emplace(id, &MnasSpace::instance());
 }
 
 }  // namespace
 
-const std::vector<int>& SearchSpace::expansion_options() {
-  static const std::vector<int> opts{1, 4, 6};
-  return opts;
-}
+// --- SpaceId ---------------------------------------------------------------
 
-const std::vector<int>& SearchSpace::kernel_options() {
-  static const std::vector<int> opts{3, 5};
-  return opts;
-}
-
-const std::vector<int>& SearchSpace::layer_options() {
-  static const std::vector<int> opts{1, 2, 3};
-  return opts;
-}
-
-std::vector<int> SearchSpace::decision_sizes() {
-  std::vector<int> sizes;
-  sizes.reserve(kNumDecisions);
-  for (int b = 0; b < kNumBlocks; ++b) {
-    sizes.push_back(static_cast<int>(expansion_options().size()));
-    sizes.push_back(static_cast<int>(kernel_options().size()));
-    sizes.push_back(static_cast<int>(layer_options().size()));
-    sizes.push_back(2);  // se
+const char* space_name(SpaceId id) {
+  switch (id) {
+    case SpaceId::kMnasNet:
+      return "mnasnet";
+    case SpaceId::kFbnet:
+      return "fbnet";
   }
-  return sizes;
+  throw Error("space_name: unknown SpaceId " +
+              std::to_string(static_cast<unsigned>(id)));
 }
 
-std::uint64_t SearchSpace::cardinality() {
+SpaceId space_id_from_name(const std::string& name) {
+  if (name == "mnasnet") return SpaceId::kMnasNet;
+  if (name == "fbnet") return SpaceId::kFbnet;
+  throw Error("space_id_from_name: unknown space name '" + name + "'");
+}
+
+// --- Arch ------------------------------------------------------------------
+
+Arch::Arch(const Architecture& mnas) { *this = MnasSpace::from_blocks(mnas); }
+
+Architecture Arch::mnas() const { return MnasSpace::to_blocks(*this); }
+
+std::uint64_t Arch::hash() const {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a 64 offset basis
+  const auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ULL;  // FNV-1a 64 prime
+  };
+  const auto id = static_cast<std::uint16_t>(space);
+  mix(static_cast<std::uint8_t>(id & 0xFF));
+  mix(static_cast<std::uint8_t>(id >> 8));
+  mix(n);
+  for (int i = 0; i < n; ++i) mix(static_cast<std::uint8_t>(d[static_cast<std::size_t>(i)]));
+  return h;
+}
+
+std::string Arch::to_string() const {
+  return anb::space(space).arch_to_string(*this);
+}
+
+// --- SearchSpace base ------------------------------------------------------
+
+Arch SearchSpace::make_arch() const {
+  Arch arch;
+  arch.space = id();
+  arch.n = static_cast<std::uint8_t>(num_decisions());
+  return arch;
+}
+
+std::uint64_t SearchSpace::cardinality() const {
   std::uint64_t card = 1;
   for (int s : decision_sizes()) card *= static_cast<std::uint64_t>(s);
   return card;
 }
 
-int SearchSpace::feature_dim() {
-  // One-hot per block: expansion 3 + kernel 2 + layers 3 + se 1 (binary).
-  return kNumBlocks * (3 + 2 + 3 + 1);
-}
-
-void SearchSpace::validate(const Architecture& arch) {
-  for (const auto& blk : arch.blocks) {
-    option_index(expansion_options(), blk.expansion, "expansion");
-    option_index(kernel_options(), blk.kernel, "kernel");
-    option_index(layer_options(), blk.layers, "layers");
+void SearchSpace::validate(const Arch& arch) const {
+  ANB_CHECK(arch.space == id(),
+            std::string(name()) + ": genotype belongs to a different space");
+  ANB_CHECK(arch.n == num_decisions(),
+            std::string(name()) + ": genotype has wrong decision count");
+  const auto& sizes = decision_sizes();
+  for (int i = 0; i < arch.n; ++i) {
+    const int v = arch.d[static_cast<std::size_t>(i)];
+    ANB_CHECK(v >= 0 && v < sizes[static_cast<std::size_t>(i)],
+              std::string(name()) + ": option index out of range");
+  }
+  for (int i = arch.n; i < kMaxDecisions; ++i) {
+    ANB_CHECK(arch.d[static_cast<std::size_t>(i)] == 0,
+              std::string(name()) + ": nonzero padding past n");
   }
 }
 
-bool SearchSpace::is_valid(const Architecture& arch) {
+bool SearchSpace::is_valid(const Arch& arch) const {
   try {
     validate(arch);
     return true;
@@ -73,115 +126,181 @@ bool SearchSpace::is_valid(const Architecture& arch) {
   }
 }
 
-Architecture SearchSpace::sample(Rng& rng) {
-  Architecture arch;
-  for (auto& blk : arch.blocks) {
-    blk.expansion = rng.pick(expansion_options());
-    blk.kernel = rng.pick(kernel_options());
-    blk.layers = rng.pick(layer_options());
-    blk.se = rng.bernoulli(0.5);
-  }
-  return arch;
-}
-
-Architecture SearchSpace::mutate(const Architecture& arch, Rng& rng) {
+Arch SearchSpace::mutate(const Arch& arch, Rng& rng) const {
   validate(arch);
-  Architecture out = arch;
-  const auto sizes = decision_sizes();
-  // Pick a decision whose domain has >1 option (all do here) and move it to
-  // a different value.
-  const int d = static_cast<int>(rng.uniform_index(kNumDecisions));
-  auto decisions = to_decisions(arch);
-  const int size = sizes[static_cast<std::size_t>(d)];
-  int offset = 1 + static_cast<int>(rng.uniform_index(
-                       static_cast<std::uint64_t>(size - 1)));
-  decisions[static_cast<std::size_t>(d)] =
-      (decisions[static_cast<std::size_t>(d)] + offset) % size;
-  out = from_decisions(decisions);
+  const auto& sizes = decision_sizes();
+  // Pick a decision whose domain has >1 option (all in-tree spaces
+  // guarantee this) and move it to a different value.
+  const auto d = static_cast<std::size_t>(
+      rng.uniform_index(static_cast<std::uint64_t>(num_decisions())));
+  const int size = sizes[d];
+  const int offset = 1 + static_cast<int>(rng.uniform_index(
+                             static_cast<std::uint64_t>(size - 1)));
+  Arch out = arch;
+  out.d[d] = static_cast<std::int8_t>((out.d[d] + offset) % size);
   ANB_ASSERT(!(out == arch), "mutate produced an identical architecture");
   return out;
 }
 
-std::vector<Architecture> SearchSpace::neighbors(const Architecture& arch) {
+std::vector<Arch> SearchSpace::neighbors(const Arch& arch) const {
   validate(arch);
-  const auto sizes = decision_sizes();
-  const auto base = to_decisions(arch);
-  std::vector<Architecture> out;
-  for (int d = 0; d < kNumDecisions; ++d) {
+  const auto& sizes = decision_sizes();
+  std::vector<Arch> out;
+  for (int d = 0; d < num_decisions(); ++d) {
     for (int v = 0; v < sizes[static_cast<std::size_t>(d)]; ++v) {
-      if (v == base[static_cast<std::size_t>(d)]) continue;
-      auto decisions = base;
-      decisions[static_cast<std::size_t>(d)] = v;
-      out.push_back(from_decisions(decisions));
+      if (v == arch.d[static_cast<std::size_t>(d)]) continue;
+      Arch next = arch;
+      next.d[static_cast<std::size_t>(d)] = static_cast<std::int8_t>(v);
+      out.push_back(next);
     }
   }
   return out;
 }
 
-std::uint64_t SearchSpace::to_index(const Architecture& arch) {
+std::uint64_t SearchSpace::to_index(const Arch& arch) const {
   validate(arch);
-  const auto sizes = decision_sizes();
-  const auto decisions = to_decisions(arch);
+  const auto& sizes = decision_sizes();
   std::uint64_t index = 0;
-  for (int d = 0; d < kNumDecisions; ++d) {
+  for (int d = 0; d < num_decisions(); ++d) {
     index = index * static_cast<std::uint64_t>(sizes[static_cast<std::size_t>(d)]) +
-            static_cast<std::uint64_t>(decisions[static_cast<std::size_t>(d)]);
+            static_cast<std::uint64_t>(arch.d[static_cast<std::size_t>(d)]);
   }
   return index;
 }
 
-Architecture SearchSpace::from_index(std::uint64_t index) {
-  ANB_CHECK(index < cardinality(), "SearchSpace::from_index: out of range");
-  const auto sizes = decision_sizes();
-  std::vector<int> decisions(kNumDecisions, 0);
-  for (int d = kNumDecisions - 1; d >= 0; --d) {
+std::vector<std::pair<int, int>> SearchSpace::crossover_groups() const {
+  std::vector<std::pair<int, int>> groups;
+  groups.reserve(static_cast<std::size_t>(num_decisions()));
+  for (int d = 0; d < num_decisions(); ++d) groups.emplace_back(d, d + 1);
+  return groups;
+}
+
+Arch SearchSpace::from_decisions(const std::vector<int>& decisions) const {
+  ANB_CHECK(decisions.size() == static_cast<std::size_t>(num_decisions()),
+            std::string(name()) + ": from_decisions wrong length");
+  Arch arch = make_arch();
+  for (std::size_t i = 0; i < decisions.size(); ++i)
+    arch.d[i] = static_cast<std::int8_t>(decisions[i]);
+  validate(arch);
+  return arch;
+}
+
+Arch SearchSpace::from_index(std::uint64_t index) const {
+  ANB_CHECK(index < cardinality(),
+            std::string(name()) + ": from_index out of range");
+  const auto& sizes = decision_sizes();
+  Arch arch = make_arch();
+  for (int d = num_decisions() - 1; d >= 0; --d) {
     const auto size = static_cast<std::uint64_t>(sizes[static_cast<std::size_t>(d)]);
-    decisions[static_cast<std::size_t>(d)] = static_cast<int>(index % size);
+    arch.d[static_cast<std::size_t>(d)] = static_cast<std::int8_t>(index % size);
     index /= size;
-  }
-  return from_decisions(decisions);
-}
-
-std::vector<int> SearchSpace::to_decisions(const Architecture& arch) {
-  std::vector<int> decisions;
-  decisions.reserve(kNumDecisions);
-  for (const auto& blk : arch.blocks) {
-    decisions.push_back(option_index(expansion_options(), blk.expansion,
-                                     "expansion"));
-    decisions.push_back(option_index(kernel_options(), blk.kernel, "kernel"));
-    decisions.push_back(option_index(layer_options(), blk.layers, "layers"));
-    decisions.push_back(blk.se ? 1 : 0);
-  }
-  return decisions;
-}
-
-Architecture SearchSpace::from_decisions(const std::vector<int>& decisions) {
-  ANB_CHECK(decisions.size() == static_cast<std::size_t>(kNumDecisions),
-            "SearchSpace::from_decisions: wrong length");
-  const auto sizes = decision_sizes();
-  for (int d = 0; d < kNumDecisions; ++d) {
-    ANB_CHECK(decisions[static_cast<std::size_t>(d)] >= 0 &&
-                  decisions[static_cast<std::size_t>(d)] <
-                      sizes[static_cast<std::size_t>(d)],
-              "SearchSpace::from_decisions: option index out of range");
-  }
-  Architecture arch;
-  std::size_t i = 0;
-  for (auto& blk : arch.blocks) {
-    blk.expansion =
-        expansion_options()[static_cast<std::size_t>(decisions[i++])];
-    blk.kernel = kernel_options()[static_cast<std::size_t>(decisions[i++])];
-    blk.layers = layer_options()[static_cast<std::size_t>(decisions[i++])];
-    blk.se = decisions[i++] == 1;
   }
   return arch;
 }
 
-std::vector<double> SearchSpace::features(const Architecture& arch) {
-  validate(arch);
+// --- MnasSpace -------------------------------------------------------------
+
+const MnasSpace& MnasSpace::instance() {
+  static const MnasSpace space;
+  return space;
+}
+
+const std::vector<int>& MnasSpace::expansion_options() {
+  static const std::vector<int> opts{1, 4, 6};
+  return opts;
+}
+
+const std::vector<int>& MnasSpace::kernel_options() {
+  static const std::vector<int> opts{3, 5};
+  return opts;
+}
+
+const std::vector<int>& MnasSpace::layer_options() {
+  static const std::vector<int> opts{1, 2, 3};
+  return opts;
+}
+
+const std::vector<int>& MnasSpace::decision_sizes() const {
+  static const std::vector<int> sizes = [] {
+    std::vector<int> out;
+    out.reserve(kNumDecisions);
+    for (int b = 0; b < kNumBlocks; ++b) {
+      out.push_back(static_cast<int>(expansion_options().size()));
+      out.push_back(static_cast<int>(kernel_options().size()));
+      out.push_back(static_cast<int>(layer_options().size()));
+      out.push_back(2);  // se
+    }
+    return out;
+  }();
+  return sizes;
+}
+
+std::vector<std::pair<int, int>> MnasSpace::crossover_groups() const {
+  std::vector<std::pair<int, int>> groups;
+  groups.reserve(kNumBlocks);
+  for (int b = 0; b < kNumBlocks; ++b) groups.emplace_back(4 * b, 4 * b + 4);
+  return groups;
+}
+
+int MnasSpace::feature_dim() const {
+  // One-hot per block: expansion 3 + kernel 2 + layers 3 + se 1 (binary).
+  return kNumBlocks * (3 + 2 + 3 + 1);
+}
+
+Arch MnasSpace::from_blocks(const Architecture& blocks) {
+  Arch arch;
+  arch.space = SpaceId::kMnasNet;
+  arch.n = kNumDecisions;
+  std::size_t i = 0;
+  for (const auto& blk : blocks.blocks) {
+    arch.d[i++] = static_cast<std::int8_t>(
+        option_index(expansion_options(), blk.expansion, "expansion"));
+    arch.d[i++] = static_cast<std::int8_t>(
+        option_index(kernel_options(), blk.kernel, "kernel"));
+    arch.d[i++] = static_cast<std::int8_t>(
+        option_index(layer_options(), blk.layers, "layers"));
+    arch.d[i++] = blk.se ? 1 : 0;
+  }
+  return arch;
+}
+
+Architecture MnasSpace::to_blocks(const Arch& arch) {
+  instance().validate(arch);
+  Architecture out;
+  std::size_t i = 0;
+  for (auto& blk : out.blocks) {
+    blk.expansion =
+        expansion_options()[static_cast<std::size_t>(arch.d[i++])];
+    blk.kernel = kernel_options()[static_cast<std::size_t>(arch.d[i++])];
+    blk.layers = layer_options()[static_cast<std::size_t>(arch.d[i++])];
+    blk.se = arch.d[i++] == 1;
+  }
+  return out;
+}
+
+Arch MnasSpace::sample(Rng& rng) const {
+  // Draw order matches the pre-interface static sampler exactly (an
+  // option pick per decision, a Bernoulli for se) so pinned-seed
+  // trajectories and golden checksums survive the redesign.
+  Arch arch = make_arch();
+  std::size_t i = 0;
+  for (int b = 0; b < kNumBlocks; ++b) {
+    arch.d[i++] = static_cast<std::int8_t>(
+        rng.uniform_index(expansion_options().size()));
+    arch.d[i++] = static_cast<std::int8_t>(
+        rng.uniform_index(kernel_options().size()));
+    arch.d[i++] = static_cast<std::int8_t>(
+        rng.uniform_index(layer_options().size()));
+    arch.d[i++] = rng.bernoulli(0.5) ? 1 : 0;
+  }
+  return arch;
+}
+
+std::vector<double> MnasSpace::features(const Arch& arch) const {
+  const Architecture blocks = to_blocks(arch);
   std::vector<double> f;
   f.reserve(static_cast<std::size_t>(feature_dim()));
-  for (const auto& blk : arch.blocks) {
+  for (const auto& blk : blocks.blocks) {
     for (int opt : expansion_options()) f.push_back(blk.expansion == opt);
     for (int opt : kernel_options()) f.push_back(blk.kernel == opt);
     for (int opt : layer_options()) f.push_back(blk.layers == opt);
@@ -190,6 +309,58 @@ std::vector<double> SearchSpace::features(const Architecture& arch) {
   ANB_ASSERT(f.size() == static_cast<std::size_t>(feature_dim()),
              "feature vector size mismatch");
   return f;
+}
+
+std::string MnasSpace::arch_to_string(const Arch& arch) const {
+  return to_blocks(arch).to_string();
+}
+
+Arch MnasSpace::arch_from_string(const std::string& s) const {
+  return from_blocks(Architecture::from_string(s));
+}
+
+// --- Registry --------------------------------------------------------------
+
+void register_space(const SearchSpace& sp) {
+  Registry& r = registry();
+  const MutexLock lock(r.mu);
+  ensure_mnas_registered(r);
+  const auto [it, inserted] = r.spaces.emplace(sp.id(), &sp);
+  ANB_CHECK(inserted || it->second == &sp,
+            std::string("register_space: SpaceId of '") + sp.name() +
+                "' already registered to a different instance");
+}
+
+const SearchSpace& space(SpaceId id) {
+  Registry& r = registry();
+  const MutexLock lock(r.mu);
+  ensure_mnas_registered(r);
+  const auto it = r.spaces.find(id);
+  ANB_CHECK(it != r.spaces.end(),
+            "space: SpaceId " + std::to_string(static_cast<unsigned>(id)) +
+                " is not registered (call register_builtin_spaces())");
+  return *it->second;
+}
+
+const SearchSpace& space_from_name(const std::string& name) {
+  return space(space_id_from_name(name));
+}
+
+bool space_registered(SpaceId id) {
+  Registry& r = registry();
+  const MutexLock lock(r.mu);
+  ensure_mnas_registered(r);
+  return r.spaces.find(id) != r.spaces.end();
+}
+
+std::vector<SpaceId> registered_spaces() {
+  Registry& r = registry();
+  const MutexLock lock(r.mu);
+  ensure_mnas_registered(r);
+  std::vector<SpaceId> out;
+  out.reserve(r.spaces.size());
+  for (const auto& [id, sp] : r.spaces) out.push_back(id);
+  return out;
 }
 
 }  // namespace anb

@@ -9,7 +9,7 @@ namespace {
 
 Architecture make(std::array<BlockConfig, kNumBlocks> blocks) {
   Architecture arch{blocks};
-  SearchSpace::validate(arch);
+  MnasSpace::from_blocks(arch);  // throws on out-of-space option values
   return arch;
 }
 

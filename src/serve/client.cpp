@@ -23,26 +23,27 @@ void Client::ping() {
             "unexpected ping reply: " + std::string(msg_type_name(reply.type)));
 }
 
-double Client::query_accuracy(std::uint64_t arch_index) {
+double Client::query_accuracy(std::uint64_t arch_index, SpaceId space) {
   const std::uint64_t id = next_request_id_++;
-  const Reply reply = call(encode_query_accuracy(id, arch_index), id);
+  const Reply reply = call(encode_query_accuracy(id, arch_index, space), id);
   ANB_CHECK(reply.type == MsgType::kValue,
             "unexpected query reply: " + std::string(msg_type_name(reply.type)));
   return reply.value;
 }
 
-double Client::query_perf(MetricKey key, std::uint64_t arch_index) {
+double Client::query_perf(MetricKey key, std::uint64_t arch_index,
+                          SpaceId space) {
   const std::uint64_t id = next_request_id_++;
-  const Reply reply = call(encode_query_perf(id, key, arch_index), id);
+  const Reply reply = call(encode_query_perf(id, key, arch_index, space), id);
   ANB_CHECK(reply.type == MsgType::kValue,
             "unexpected query reply: " + std::string(msg_type_name(reply.type)));
   return reply.value;
 }
 
 std::vector<double> Client::query_accuracy_batch(
-    std::span<const std::uint64_t> arch_indices) {
+    std::span<const std::uint64_t> arch_indices, SpaceId space) {
   const std::uint64_t id = next_request_id_++;
-  Reply reply = call(encode_query_accuracy_batch(id, arch_indices), id);
+  Reply reply = call(encode_query_accuracy_batch(id, arch_indices, space), id);
   ANB_CHECK(reply.type == MsgType::kValueBatch,
             "unexpected batch reply: " + std::string(msg_type_name(reply.type)));
   ANB_CHECK(reply.values.size() == arch_indices.size(),
@@ -51,9 +52,10 @@ std::vector<double> Client::query_accuracy_batch(
 }
 
 std::vector<double> Client::query_perf_batch(
-    MetricKey key, std::span<const std::uint64_t> arch_indices) {
+    MetricKey key, std::span<const std::uint64_t> arch_indices,
+    SpaceId space) {
   const std::uint64_t id = next_request_id_++;
-  Reply reply = call(encode_query_perf_batch(id, key, arch_indices), id);
+  Reply reply = call(encode_query_perf_batch(id, key, arch_indices, space), id);
   ANB_CHECK(reply.type == MsgType::kValueBatch,
             "unexpected batch reply: " + std::string(msg_type_name(reply.type)));
   ANB_CHECK(reply.values.size() == arch_indices.size(),

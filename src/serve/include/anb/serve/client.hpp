@@ -62,14 +62,20 @@ class Client {
   void ping();
 
   /// Scalar queries return the response value bit-exactly as sent (raw
-  /// IEEE-754 transport — no text round-trip).
-  double query_accuracy(std::uint64_t arch_index);
-  double query_perf(MetricKey key, std::uint64_t arch_index);
+  /// IEEE-754 transport — no text round-trip). `space` tags the indices'
+  /// search space (protocol v2); it must match the space the server's
+  /// benchmark was built over, else the server answers kUnknownSpace.
+  double query_accuracy(std::uint64_t arch_index,
+                        SpaceId space = SpaceId::kMnasNet);
+  double query_perf(MetricKey key, std::uint64_t arch_index,
+                    SpaceId space = SpaceId::kMnasNet);
 
   std::vector<double> query_accuracy_batch(
-      std::span<const std::uint64_t> arch_indices);
+      std::span<const std::uint64_t> arch_indices,
+      SpaceId space = SpaceId::kMnasNet);
   std::vector<double> query_perf_batch(
-      MetricKey key, std::span<const std::uint64_t> arch_indices);
+      MetricKey key, std::span<const std::uint64_t> arch_indices,
+      SpaceId space = SpaceId::kMnasNet);
 
   /// Ask the server to stop gracefully; returns after its kBye.
   void shutdown_server();

@@ -33,7 +33,11 @@
 namespace anb::serve {
 
 inline constexpr std::uint32_t kFrameMagic = 0x51424E41u;  // "ANBQ"
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// v1 spoke MnasNet-only queries; v2 prefixes every query payload with a
+/// u16 search-space id (SpaceId numeric value) so one daemon protocol
+/// covers all registered spaces. Exact match is still required — a v1
+/// client gets a typed kBadVersion reply, not silent misdecoding.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 
 /// Bytes of (magic, version, type, request_id) — the frame minus the
 /// length prefix and payload.
@@ -51,10 +55,11 @@ enum class MsgType : std::uint16_t {
   // Requests.
   kHello = 1,               ///< u64 client_id, u32 incarnation
   kPing = 2,                ///< empty
-  kQueryAccuracy = 3,       ///< u64 arch_index
-  kQueryPerf = 4,           ///< u8 device, u8 metric, u64 arch_index
-  kQueryAccuracyBatch = 5,  ///< u32 count, count x u64 arch_index
-  kQueryPerfBatch = 6,      ///< u8 device, u8 metric, u32 count, count x u64
+  kQueryAccuracy = 3,       ///< u16 space, u64 arch_index
+  kQueryPerf = 4,           ///< u16 space, u8 device, u8 metric, u64 arch_index
+  kQueryAccuracyBatch = 5,  ///< u16 space, u32 count, count x u64 arch_index
+  kQueryPerfBatch = 6,      ///< u16 space, u8 device, u8 metric, u32 count,
+                            ///< count x u64
   kShutdown = 7,            ///< empty; asks the server to stop gracefully
 
   // Responses.
@@ -77,12 +82,13 @@ enum class ErrorCode : std::uint16_t {
   kBadLength = 3,        ///< length prefix outside [kHeaderBytes, kMaxFrameBytes]
   kBadPayload = 4,       ///< payload shorter/longer than the type demands
   kUnknownType = 5,
-  kBadArchIndex = 6,     ///< index >= SearchSpace::cardinality()
+  kBadArchIndex = 6,     ///< index >= the space's cardinality()
   kBadMetricKey = 7,     ///< device/metric byte outside the enum range
   kBatchTooLarge = 8,    ///< count > kMaxBatchRows
   kNoSurrogate = 9,      ///< benchmark has no model for the requested target
   kShuttingDown = 10,    ///< server is draining; connection will close
   kInternal = 11,        ///< unexpected server-side failure
+  kUnknownSpace = 12,    ///< space id not registered, or not this server's
 };
 
 const char* error_code_name(ErrorCode code);
@@ -105,6 +111,7 @@ struct Request {
   std::uint64_t request_id = 0;
   std::uint64_t client_id = 0;      ///< kHello
   std::uint32_t incarnation = 0;    ///< kHello
+  SpaceId space = SpaceId::kMnasNet;  ///< query types
   MetricKey key;                    ///< kQueryPerf*
   std::vector<std::uint64_t> archs; ///< query types; scalar queries hold one
 };
@@ -130,14 +137,18 @@ std::vector<char> encode_hello(std::uint64_t request_id,
                                std::uint32_t incarnation);
 std::vector<char> encode_ping(std::uint64_t request_id);
 std::vector<char> encode_query_accuracy(std::uint64_t request_id,
-                                        std::uint64_t arch_index);
+                                        std::uint64_t arch_index,
+                                        SpaceId space = SpaceId::kMnasNet);
 std::vector<char> encode_query_perf(std::uint64_t request_id, MetricKey key,
-                                    std::uint64_t arch_index);
+                                    std::uint64_t arch_index,
+                                    SpaceId space = SpaceId::kMnasNet);
 std::vector<char> encode_query_accuracy_batch(
-    std::uint64_t request_id, std::span<const std::uint64_t> arch_indices);
+    std::uint64_t request_id, std::span<const std::uint64_t> arch_indices,
+    SpaceId space = SpaceId::kMnasNet);
 std::vector<char> encode_query_perf_batch(
     std::uint64_t request_id, MetricKey key,
-    std::span<const std::uint64_t> arch_indices);
+    std::span<const std::uint64_t> arch_indices,
+    SpaceId space = SpaceId::kMnasNet);
 std::vector<char> encode_shutdown(std::uint64_t request_id);
 
 std::vector<char> encode_empty_reply(MsgType type, std::uint64_t request_id);

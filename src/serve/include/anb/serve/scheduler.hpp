@@ -32,16 +32,19 @@
 
 namespace anb::serve {
 
-/// Which surrogate a row targets: the accuracy model or one MetricKey.
-/// Rows only ever coalesce within a bucket.
+/// Which surrogate a row targets: the accuracy model or one MetricKey,
+/// within one search space. Rows only ever coalesce within a bucket, so
+/// rows of different spaces can never mix in one batched query.
 struct BucketKey {
+  SpaceId space = SpaceId::kMnasNet;
   bool accuracy = true;
   MetricKey key;  ///< meaningful iff !accuracy
 
   friend bool operator==(const BucketKey&, const BucketKey&) = default;
   friend auto operator<=>(const BucketKey&, const BucketKey&) = default;
 
-  /// Dataset-style name: "ANB-Acc" or dataset_name(key).
+  /// Dataset-style name: "ANB-Acc" or dataset_name(key); non-MnasNet
+  /// buckets carry a "<space>:" prefix so report rows stay unambiguous.
   std::string name() const;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "anb/fbnet/fbnet_space.hpp"
 #include "anb/searchspace/space.hpp"
 
 namespace anb::serve {
@@ -65,22 +66,35 @@ class PayloadReader {
   std::size_t offset_ = 0;
 };
 
+/// Validation of the u16 space id: it must name a registered space.
+/// Returns the resolved space, which then bounds the arch indices.
+const SearchSpace& checked_space(std::uint16_t raw) {
+  register_builtin_spaces();
+  if (raw == static_cast<std::uint16_t>(SpaceId::kMnasNet) ||
+      raw == static_cast<std::uint16_t>(SpaceId::kFbnet)) {
+    return anb::space(static_cast<SpaceId>(raw));
+  }
+  throw ProtocolError(ErrorCode::kUnknownSpace,
+                      "unknown search-space id " + std::to_string(raw));
+}
+
 /// Shared validation of one architecture index.
-std::uint64_t checked_arch_index(std::uint64_t index) {
-  if (index >= SearchSpace::cardinality()) {
+std::uint64_t checked_arch_index(const SearchSpace& sp, std::uint64_t index) {
+  if (index >= sp.cardinality()) {
     throw ProtocolError(ErrorCode::kBadArchIndex,
                         "architecture index " + std::to_string(index) +
                             " out of range (cardinality " +
-                            std::to_string(SearchSpace::cardinality()) + ")");
+                            std::to_string(sp.cardinality()) + " in space " +
+                            sp.name() + ")");
   }
   return index;
 }
 
 MetricKey checked_metric_key(std::uint8_t device, std::uint8_t metric) {
   constexpr std::uint8_t kNumDevices =
-      static_cast<std::uint8_t>(DeviceKind::kVck190) + 1;
+      static_cast<std::uint8_t>(DeviceKind::kServerCpu) + 1;
   constexpr std::uint8_t kNumMetrics =
-      static_cast<std::uint8_t>(PerfMetric::kEnergy) + 1;
+      static_cast<std::uint8_t>(PerfMetric::kPeakMemory) + 1;
   if (device >= kNumDevices || metric >= kNumMetrics) {
     throw ProtocolError(ErrorCode::kBadMetricKey,
                         "bad metric key bytes (device=" +
@@ -91,7 +105,8 @@ MetricKey checked_metric_key(std::uint8_t device, std::uint8_t metric) {
                    static_cast<PerfMetric>(metric)};
 }
 
-std::vector<std::uint64_t> read_batch(PayloadReader& r) {
+std::vector<std::uint64_t> read_batch(const SearchSpace& sp,
+                                      PayloadReader& r) {
   const std::uint32_t count = r.read<std::uint32_t>();
   if (count > kMaxBatchRows) {
     throw ProtocolError(ErrorCode::kBatchTooLarge,
@@ -102,7 +117,7 @@ std::vector<std::uint64_t> read_batch(PayloadReader& r) {
   std::vector<std::uint64_t> archs;
   archs.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    archs.push_back(checked_arch_index(r.read<std::uint64_t>()));
+    archs.push_back(checked_arch_index(sp, r.read<std::uint64_t>()));
   }
   return archs;
 }
@@ -142,6 +157,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kNoSurrogate: return "NoSurrogate";
     case ErrorCode::kShuttingDown: return "ShuttingDown";
     case ErrorCode::kInternal: return "Internal";
+    case ErrorCode::kUnknownSpace: return "UnknownSpace";
   }
   return "unknown";
 }
@@ -176,15 +192,18 @@ std::vector<char> encode_ping(std::uint64_t request_id) {
 }
 
 std::vector<char> encode_query_accuracy(std::uint64_t request_id,
-                                        std::uint64_t arch_index) {
+                                        std::uint64_t arch_index,
+                                        SpaceId space) {
   std::vector<char> payload;
+  put<std::uint16_t>(payload, static_cast<std::uint16_t>(space));
   put<std::uint64_t>(payload, arch_index);
   return encode_frame(MsgType::kQueryAccuracy, request_id, payload);
 }
 
 std::vector<char> encode_query_perf(std::uint64_t request_id, MetricKey key,
-                                    std::uint64_t arch_index) {
+                                    std::uint64_t arch_index, SpaceId space) {
   std::vector<char> payload;
+  put<std::uint16_t>(payload, static_cast<std::uint16_t>(space));
   put<std::uint8_t>(payload, static_cast<std::uint8_t>(key.device));
   put<std::uint8_t>(payload, static_cast<std::uint8_t>(key.metric));
   put<std::uint64_t>(payload, arch_index);
@@ -192,8 +211,10 @@ std::vector<char> encode_query_perf(std::uint64_t request_id, MetricKey key,
 }
 
 std::vector<char> encode_query_accuracy_batch(
-    std::uint64_t request_id, std::span<const std::uint64_t> arch_indices) {
+    std::uint64_t request_id, std::span<const std::uint64_t> arch_indices,
+    SpaceId space) {
   std::vector<char> payload;
+  put<std::uint16_t>(payload, static_cast<std::uint16_t>(space));
   put<std::uint32_t>(payload,
                      static_cast<std::uint32_t>(arch_indices.size()));
   for (std::uint64_t index : arch_indices) put<std::uint64_t>(payload, index);
@@ -202,8 +223,9 @@ std::vector<char> encode_query_accuracy_batch(
 
 std::vector<char> encode_query_perf_batch(
     std::uint64_t request_id, MetricKey key,
-    std::span<const std::uint64_t> arch_indices) {
+    std::span<const std::uint64_t> arch_indices, SpaceId space) {
   std::vector<char> payload;
+  put<std::uint16_t>(payload, static_cast<std::uint16_t>(space));
   put<std::uint8_t>(payload, static_cast<std::uint8_t>(key.device));
   put<std::uint8_t>(payload, static_cast<std::uint8_t>(key.metric));
   put<std::uint32_t>(payload,
@@ -297,24 +319,34 @@ Request parse_request(const Decoded& frame) {
     case MsgType::kPing:
     case MsgType::kShutdown:
       break;
-    case MsgType::kQueryAccuracy:
-      req.archs.push_back(checked_arch_index(r.read<std::uint64_t>()));
-      break;
-    case MsgType::kQueryPerf: {
-      const auto device = r.read<std::uint8_t>();
-      const auto metric = r.read<std::uint8_t>();
-      req.key = checked_metric_key(device, metric);
-      req.archs.push_back(checked_arch_index(r.read<std::uint64_t>()));
+    case MsgType::kQueryAccuracy: {
+      const SearchSpace& sp = checked_space(r.read<std::uint16_t>());
+      req.space = sp.id();
+      req.archs.push_back(checked_arch_index(sp, r.read<std::uint64_t>()));
       break;
     }
-    case MsgType::kQueryAccuracyBatch:
-      req.archs = read_batch(r);
-      break;
-    case MsgType::kQueryPerfBatch: {
+    case MsgType::kQueryPerf: {
+      const SearchSpace& sp = checked_space(r.read<std::uint16_t>());
+      req.space = sp.id();
       const auto device = r.read<std::uint8_t>();
       const auto metric = r.read<std::uint8_t>();
       req.key = checked_metric_key(device, metric);
-      req.archs = read_batch(r);
+      req.archs.push_back(checked_arch_index(sp, r.read<std::uint64_t>()));
+      break;
+    }
+    case MsgType::kQueryAccuracyBatch: {
+      const SearchSpace& sp = checked_space(r.read<std::uint16_t>());
+      req.space = sp.id();
+      req.archs = read_batch(sp, r);
+      break;
+    }
+    case MsgType::kQueryPerfBatch: {
+      const SearchSpace& sp = checked_space(r.read<std::uint16_t>());
+      req.space = sp.id();
+      const auto device = r.read<std::uint8_t>();
+      const auto metric = r.read<std::uint8_t>();
+      req.key = checked_metric_key(device, metric);
+      req.archs = read_batch(sp, r);
       break;
     }
     default:

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <deque>
+#include <span>
 #include <utility>
 
 #include "anb/obs/registry.hpp"
@@ -32,7 +33,9 @@ obs::Histogram& batch_size_hist() {
 }  // namespace
 
 std::string BucketKey::name() const {
-  return accuracy ? "ANB-Acc" : dataset_name(key);
+  const std::string base = accuracy ? "ANB-Acc" : dataset_name(key);
+  if (space == SpaceId::kMnasNet) return base;  // v1-compatible names
+  return std::string(space_name(space)) + ":" + base;
 }
 
 /// One admitted submission: result slots for each of its rows plus the
@@ -262,18 +265,20 @@ void Scheduler::execute_flush(Flush&& flush) {
     obs::counter("anb.serve.rows." + flush.bucket.name()).add(n);
   }
 
-  std::vector<Architecture> archs;
+  const SearchSpace& sp = anb::space(flush.bucket.space);
+  std::vector<Arch> archs;
   archs.reserve(n);
   for (const Row& row : flush.rows) {
-    archs.push_back(SearchSpace::from_index(row.arch_index));
+    archs.push_back(sp.from_index(row.arch_index));
   }
 
   std::vector<double> values;
   std::string error;
   try {
     values = flush.bucket.accuracy
-                 ? bench_.query_accuracy_batch(archs)
-                 : bench_.query_perf_batch(archs, flush.bucket.key);
+                 ? bench_.query_accuracy_batch(std::span<const Arch>(archs))
+                 : bench_.query_perf_batch(std::span<const Arch>(archs),
+                                           flush.bucket.key);
   } catch (const Error& e) {
     error = e.what();
   }

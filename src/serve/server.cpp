@@ -416,7 +416,21 @@ Server::HandleResult Server::handle_request(
                       req.type == MsgType::kQueryPerf;
   const bool accuracy = req.type == MsgType::kQueryAccuracy ||
                         req.type == MsgType::kQueryAccuracyBatch;
-  const BucketKey bucket{accuracy, req.key};
+  const BucketKey bucket{req.space, accuracy, req.key};
+
+  // The space id parsed as *registered*; it must also be the one this
+  // server's benchmark was built over. Answered before any queueing so
+  // the typed error is deterministic and immediate.
+  if (req.space != bench_.space()) {
+    conn->error.fetch_add(1, std::memory_order_relaxed);
+    error_counter().add(1);
+    conn->enqueue(encode_error(
+        req.request_id, ErrorCode::kUnknownSpace,
+        std::string("this server serves space '") +
+            space_name(bench_.space()) + "', request targeted '" +
+            space_name(req.space) + "'"));
+    return HandleResult::kKeep;
+  }
 
   // Surrogate presence is a per-request property, answered before any
   // queueing so kNoSurrogate is deterministic and immediate.
@@ -436,10 +450,11 @@ Server::HandleResult Server::handle_request(
     // scalar/batch query API. Identical values by the determinism
     // contract; the bench compares its throughput against coalescing.
     try {
+      const SearchSpace& sp = anb::space(req.space);
       std::vector<double> values;
       values.reserve(req.archs.size());
       for (std::uint64_t index : req.archs) {
-        const Architecture arch = SearchSpace::from_index(index);
+        const Arch arch = sp.from_index(index);
         values.push_back(accuracy ? bench_.query_accuracy(arch)
                                   : bench_.query_perf(arch, req.key));
       }

@@ -67,7 +67,7 @@ TrainingSimulator::TrainingSimulator(std::uint64_t world_seed)
     : world_seed_(world_seed) {
   // Deterministic motif table: sparse conjunctions over the 28 decisions.
   Rng rng(hash_combine(world_seed_, 0x307F1F5ULL));
-  const auto sizes = SearchSpace::decision_sizes();
+  const auto& sizes = MnasSpace::instance().decision_sizes();
   motifs_.reserve(kNumMotifs);
   for (int m = 0; m < kNumMotifs; ++m) {
     Motif motif;
@@ -91,7 +91,7 @@ double TrainingSimulator::arch_noise_unit(const Architecture& arch,
 }
 
 double TrainingSimulator::latent_quality(const Architecture& arch) const {
-  SearchSpace::validate(arch);
+  const Arch genotype = MnasSpace::from_blocks(arch);  // validates
   double q = 0.0;
   for (int s = 0; s < kNumBlocks; ++s) {
     const auto& blk = arch.blocks[static_cast<std::size_t>(s)];
@@ -121,7 +121,7 @@ double TrainingSimulator::latent_quality(const Architecture& arch) const {
 
   // Motif effects: sparse conjunctions of specific option choices. These
   // carry real (learnable) signal with discrete interaction structure.
-  const auto decisions = SearchSpace::to_decisions(arch);
+  const auto& decisions = genotype.d;
   for (const auto& motif : motifs_) {
     bool active = true;
     for (int a = 0; a < motif.arity && active; ++a) {
@@ -143,8 +143,7 @@ double TrainingSimulator::reference_accuracy(const Architecture& arch) const {
 }
 
 double TrainingSimulator::int8_accuracy_drop(const Architecture& arch) const {
-  SearchSpace::validate(arch);
-  const ModelIR ir = build_ir(arch, 224);
+  const ModelIR ir = build_ir(arch, 224);  // validates
   const double log_macs = std::log(static_cast<double>(ir.total_macs()));
   const double size_factor = std::clamp(
       (log_macs - kLogMacsMin) / (kLogMacsMax - kLogMacsMin), 0.0, 1.0);

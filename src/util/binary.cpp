@@ -45,13 +45,14 @@ const char* tag_name(Tag t) {
     case Tag::kU8: return "u8";
     case Tag::kU64: return "u64";
     case Tag::kFlatNode: return "flat_node";
+    case Tag::kSpace: return "space";
   }
   return "unknown";
 }
 
 bool valid_tag(std::uint32_t raw) {
   return raw >= static_cast<std::uint32_t>(Tag::kMeta) &&
-         raw <= static_cast<std::uint32_t>(Tag::kFlatNode);
+         raw <= static_cast<std::uint32_t>(Tag::kSpace);
 }
 
 }  // namespace

@@ -66,6 +66,7 @@ enum class Tag : std::uint32_t {
   kU8 = 4,        ///< uint8[]
   kU64 = 5,       ///< uint64[]
   kFlatNode = 6,  ///< FlatForest node records (24-byte PODs)
+  kSpace = 7,     ///< search-space descriptor (2 u32: section version, id)
 };
 
 /// Assembles a .anbb file in memory. Sections are laid out in add order;

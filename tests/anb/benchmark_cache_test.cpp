@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "anb/util/error.hpp"
@@ -24,11 +25,11 @@ namespace {
 
 std::unique_ptr<Surrogate> fitted_model(std::uint64_t seed,
                                         double scale = 1.0) {
-  Dataset ds(static_cast<std::size_t>(SearchSpace::feature_dim()));
+  Dataset ds(static_cast<std::size_t>(MnasSpace::instance().feature_dim()));
   Rng rng(seed);
   for (int i = 0; i < 150; ++i) {
-    const Architecture a = SearchSpace::sample(rng);
-    const auto f = SearchSpace::features(a);
+    const Arch a = MnasSpace::instance().sample(rng);
+    const auto f = MnasSpace::instance().features(a);
     double y = 0.0;
     for (double v : f) y += v;
     ds.add(f, scale * y + rng.normal(0.0, 0.01));
@@ -48,13 +49,13 @@ AccelNASBench make_bench() {
 
 /// `n` architectures with pairwise-distinct cache keys (to_index), so
 /// hit/miss counts can be asserted exactly.
-std::vector<Architecture> distinct_archs(std::size_t n, std::uint64_t seed) {
-  std::vector<Architecture> archs;
+std::vector<Arch> distinct_archs(std::size_t n, std::uint64_t seed) {
+  std::vector<Arch> archs;
   std::set<std::uint64_t> seen;
   Rng rng(seed);
   while (archs.size() < n) {
-    const Architecture a = SearchSpace::sample(rng);
-    if (seen.insert(SearchSpace::to_index(a)).second) archs.push_back(a);
+    const Arch a = MnasSpace::instance().sample(rng);
+    if (seen.insert(MnasSpace::instance().to_index(a)).second) archs.push_back(a);
   }
   return archs;
 }
@@ -96,7 +97,7 @@ TEST(BenchmarkCacheTest, BatchedQueryMatchesScalarAndCountsDuplicates) {
 
   // Batch = each unique arch twice. Cold cache: one miss per unique arch,
   // the in-batch repeat is served as a hit.
-  std::vector<Architecture> batch(unique);
+  std::vector<Arch> batch(unique);
   batch.insert(batch.end(), unique.begin(), unique.end());
   const std::vector<double> got = bench.query_accuracy_batch(batch);
   ASSERT_EQ(got.size(), batch.size());
@@ -205,7 +206,7 @@ TEST(BenchmarkCacheTest, DisableAndClear) {
 
 TEST(BenchmarkCacheTest, EmptyBatchAndMissingSurrogate) {
   const AccelNASBench bench = make_bench();
-  EXPECT_TRUE(bench.query_accuracy_batch({}).empty());
+  EXPECT_TRUE(bench.query_accuracy_batch(std::span<const Arch>{}).empty());
   EXPECT_EQ(bench.cache_stats().hits + bench.cache_stats().misses, 0u);
 
   const AccelNASBench empty;

@@ -15,11 +15,11 @@ namespace anb {
 namespace {
 
 Dataset tiny_arch_dataset(std::uint64_t seed, double scale = 1.0) {
-  Dataset ds(static_cast<std::size_t>(SearchSpace::feature_dim()));
+  Dataset ds(static_cast<std::size_t>(MnasSpace::instance().feature_dim()));
   Rng rng(seed);
   for (int i = 0; i < 150; ++i) {
-    const Architecture a = SearchSpace::sample(rng);
-    const auto f = SearchSpace::features(a);
+    const Arch a = MnasSpace::instance().sample(rng);
+    const auto f = MnasSpace::instance().features(a);
     double y = 0.0;
     for (double v : f) y += v;
     ds.add(f, scale * y + rng.normal(0.0, 0.01));
@@ -59,7 +59,7 @@ TEST(AccelNASBenchTest, QueriesRouteToSurrogates) {
   EXPECT_FALSE(bench.has_perf(MetricKey{DeviceKind::kRtx3090, PerfMetric::kThroughput}));
 
   Rng rng(3);
-  const Architecture a = SearchSpace::sample(rng);
+  const Arch a = MnasSpace::instance().sample(rng);
   const double acc = bench.query_accuracy(a);
   const double thr = bench.query_perf(a, MetricKey{DeviceKind::kA100, PerfMetric::kThroughput});
   EXPECT_TRUE(std::isfinite(acc));
@@ -69,7 +69,7 @@ TEST(AccelNASBenchTest, QueriesRouteToSurrogates) {
 TEST(AccelNASBenchTest, MissingSurrogateThrows) {
   AccelNASBench bench;
   Rng rng(4);
-  const Architecture a = SearchSpace::sample(rng);
+  const Arch a = MnasSpace::instance().sample(rng);
   EXPECT_THROW(bench.query_accuracy(a), Error);
   EXPECT_THROW(bench.query_perf(a, MetricKey{DeviceKind::kA100, PerfMetric::kThroughput}),
                Error);
@@ -110,7 +110,7 @@ TEST(AccelNASBenchTest, SaveLoadRoundTrip) {
 
   Rng rng(12);
   for (int i = 0; i < 20; ++i) {
-    const Architecture a = SearchSpace::sample(rng);
+    const Arch a = MnasSpace::instance().sample(rng);
     EXPECT_DOUBLE_EQ(loaded.query_accuracy(a), bench.query_accuracy(a));
     EXPECT_DOUBLE_EQ(
         loaded.query_perf(a, MetricKey{DeviceKind::kVck190, PerfMetric::kThroughput}),
@@ -125,7 +125,7 @@ TEST(AccelNASBenchTest, NoisyQueriesNeedEnsemble) {
   AccelNASBench plain;
   plain.set_accuracy_surrogate(tiny_model(20));
   Rng rng(21);
-  const Architecture a = SearchSpace::sample(rng);
+  const Arch a = MnasSpace::instance().sample(rng);
   EXPECT_FALSE(plain.has_noisy_accuracy());
   EXPECT_THROW(plain.query_accuracy_noisy(a, rng), Error);
   EXPECT_THROW(plain.query_accuracy_dist(a), Error);
@@ -140,7 +140,7 @@ TEST(AccelNASBenchTest, EnsemblePipelineEnablesNoisyQueries) {
   const PipelineResult result = construct_benchmark(options);
   EXPECT_TRUE(result.bench.has_noisy_accuracy());
   Rng rng(22);
-  const Architecture a = SearchSpace::sample(rng);
+  const Arch a = MnasSpace::instance().sample(rng);
   const auto [mean, std] = result.bench.query_accuracy_dist(a);
   EXPECT_DOUBLE_EQ(mean, result.bench.query_accuracy(a));
   EXPECT_GE(std, 0.0);

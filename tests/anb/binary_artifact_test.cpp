@@ -37,10 +37,10 @@ std::string scratch(const std::string& name) {
 
 Dataset make_dataset(int n, std::uint64_t seed) {
   Rng rng(seed);
-  Dataset ds(static_cast<std::size_t>(SearchSpace::feature_dim()));
+  Dataset ds(static_cast<std::size_t>(MnasSpace::instance().feature_dim()));
   for (int i = 0; i < n; ++i) {
-    const Architecture arch = SearchSpace::sample(rng);
-    const std::vector<double> x = SearchSpace::features(arch);
+    const Arch arch = MnasSpace::instance().sample(rng);
+    const std::vector<double> x = MnasSpace::instance().features(arch);
     double y = 0.0;
     for (std::size_t k = 0; k < x.size(); ++k)
       y += x[k] * (k % 3 == 0 ? 0.5 : -0.25);
@@ -93,11 +93,11 @@ AccelNASBench make_full_benchmark() {
   return bench;
 }
 
-std::vector<Architecture> make_probes(int n, std::uint64_t seed) {
+std::vector<Arch> make_probes(int n, std::uint64_t seed) {
   Rng rng(seed);
-  std::vector<Architecture> archs;
+  std::vector<Arch> archs;
   archs.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) archs.push_back(SearchSpace::sample(rng));
+  for (int i = 0; i < n; ++i) archs.push_back(MnasSpace::instance().sample(rng));
   return archs;
 }
 
@@ -106,9 +106,9 @@ std::vector<Architecture> make_probes(int n, std::uint64_t seed) {
 /// tolerance.
 void expect_identical(const AccelNASBench& a, const AccelNASBench& b,
                       const std::string& what) {
-  const std::vector<Architecture> probes = make_probes(40, 23);
+  const std::vector<Arch> probes = make_probes(40, 23);
   ASSERT_EQ(a.perf_targets(), b.perf_targets()) << what;
-  for (const Architecture& arch : probes) {
+  for (const Arch& arch : probes) {
     EXPECT_EQ(a.query_accuracy(arch), b.query_accuracy(arch)) << what;
     const auto [mean_a, std_a] = a.query_accuracy_dist(arch);
     const auto [mean_b, std_b] = b.query_accuracy_dist(arch);
@@ -127,7 +127,7 @@ void expect_identical(const AccelNASBench& a, const AccelNASBench& b,
   // Noisy queries draw from the same distribution state: identical seeds
   // must give identical draws.
   Rng noise_a(31), noise_b(31);
-  for (const Architecture& arch : probes)
+  for (const Arch& arch : probes)
     EXPECT_EQ(a.query_accuracy_noisy(arch, noise_a),
               b.query_accuracy_noisy(arch, noise_b))
         << what;
@@ -178,8 +178,8 @@ TEST_F(BinaryArtifactTest, MappedBenchmarkSurvivesUnlink) {
   const AccelNASBench mapped =
       AccelNASBench::load_binary(anbb_path_, io::MapMode::kMap);
   ASSERT_EQ(std::remove(anbb_path_.c_str()), 0);
-  const std::vector<Architecture> probes = make_probes(5, 29);
-  for (const Architecture& arch : probes)
+  const std::vector<Arch> probes = make_probes(5, 29);
+  for (const Arch& arch : probes)
     EXPECT_TRUE(std::isfinite(mapped.query_accuracy(arch)));
 }
 

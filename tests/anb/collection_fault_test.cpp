@@ -167,14 +167,14 @@ TEST_F(CollectionFaultTest, RetryExhaustionQuarantinesTheArchitecture) {
 
   // Quarantined archs are really gone from the survivors.
   std::set<std::uint64_t> kept;
-  for (const auto& a : data.archs) kept.insert(SearchSpace::to_index(a));
+  for (const auto& a : data.archs) kept.insert(MnasSpace::instance().to_index(a));
   for (const auto& a : data.report.quarantined)
-    EXPECT_FALSE(kept.count(SearchSpace::to_index(a)));
+    EXPECT_FALSE(kept.count(MnasSpace::instance().to_index(a)));
 
   // Survivors keep their fault-free values (same seed => same readings).
   std::size_t ci = 0;
   for (std::size_t i = 0; i < 30u; ++i) {
-    const auto idx = SearchSpace::to_index(clean.archs[i]);
+    const auto idx = MnasSpace::instance().to_index(clean.archs[i]);
     if (kept.count(idx) == 0) continue;
     EXPECT_TRUE(clean.archs[i] == data.archs[ci]);
     for (const auto& [name, labels] : data.perf)

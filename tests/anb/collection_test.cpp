@@ -34,7 +34,7 @@ TEST_F(CollectionTest, CollectsRequestedCount) {
 TEST_F(CollectionTest, ArchitecturesAreUnique) {
   const CollectedData data = collect(200, /*perf=*/false);
   std::set<std::uint64_t> unique;
-  for (const auto& a : data.archs) unique.insert(SearchSpace::to_index(a));
+  for (const auto& a : data.archs) unique.insert(MnasSpace::instance().to_index(a));
   EXPECT_EQ(unique.size(), data.archs.size());
 }
 
@@ -85,7 +85,7 @@ TEST_F(CollectionTest, DatasetConstruction) {
   const Dataset acc = data.accuracy_dataset();
   EXPECT_EQ(acc.size(), 40u);
   EXPECT_EQ(acc.num_features(),
-            static_cast<std::size_t>(SearchSpace::feature_dim()));
+            static_cast<std::size_t>(MnasSpace::instance().feature_dim()));
   const Dataset lat = data.perf_dataset(MetricKey{DeviceKind::kZcu102, PerfMetric::kLatency});
   EXPECT_EQ(lat.size(), 40u);
   EXPECT_THROW(data.perf_dataset(MetricKey{DeviceKind::kA100, PerfMetric::kLatency}),

@@ -30,6 +30,28 @@ TEST(MetricKeyTest, RoundTripsThroughDatasetName) {
   EXPECT_THROW(MetricKey::parse("ANB-Nope-Thr"), Error);
 }
 
+TEST(MetricKeyTest, ExtensionDevicesAndPeakMemoryRoundTrip) {
+  const MetricKey npu{DeviceKind::kMobileNpu, PerfMetric::kThroughput};
+  EXPECT_EQ(npu.to_string(), "ANB-NPU-Thr");
+  EXPECT_EQ(MetricKey::parse("ANB-NPU-Thr"), npu);
+  const MetricKey cpu_mem{DeviceKind::kServerCpu, PerfMetric::kPeakMemory};
+  EXPECT_EQ(cpu_mem.to_string(), "ANB-CPU-Mem");
+  EXPECT_EQ(MetricKey::parse("ANB-CPU-Mem"), cpu_mem);
+  EXPECT_EQ(perf_metric_from_name("Mem"), PerfMetric::kPeakMemory);
+}
+
+TEST(MetricKeyTest, ParsersAreExactMatch) {
+  // The short names are a wire/dataset format: exact match only, so a
+  // stale or misspelled dataset id fails loudly instead of aliasing.
+  for (const char* bad : {"mem", "MEM", "Memory", "Mem ", "Thrp"}) {
+    EXPECT_THROW(perf_metric_from_name(bad), Error) << bad;
+  }
+  for (const char* bad :
+       {"ANB-npu-Thr", "ANB-Npu-Thr", "ANB-CPU2-Mem", "ANB-CPU-mem"}) {
+    EXPECT_THROW(MetricKey::parse(bad), Error) << bad;
+  }
+}
+
 TEST(MetricKeyTest, OrderedAndHashable) {
   const MetricKey a{DeviceKind::kTpuV2, PerfMetric::kThroughput};
   const MetricKey b{DeviceKind::kTpuV2, PerfMetric::kLatency};

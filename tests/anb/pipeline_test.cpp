@@ -14,7 +14,8 @@ TEST(PipelineTest, CanonicalPStarIsValidAndCheap) {
   EXPECT_NO_THROW(p.validate());
   TrainingSimulator sim(42);
   Rng rng(1);
-  const Architecture arch = SearchSpace::sample(rng);
+  const Architecture arch =
+      MnasSpace::to_blocks(MnasSpace::instance().sample(rng));
   const double proxy_cost = sim.training_cost_hours(arch, p);
   const double ref_cost = sim.training_cost_hours(arch, reference_scheme());
   EXPECT_GT(ref_cost / proxy_cost, 4.0);
@@ -31,7 +32,7 @@ TEST(PipelineTest, EnergyOptionAddsSurrogatesAndMetrics) {
   EXPECT_TRUE(
       result.bench.has_perf(MetricKey{DeviceKind::kA100, PerfMetric::kEnergy}));
   Rng rng(2);
-  const Architecture arch = SearchSpace::sample(rng);
+  const Arch arch = MnasSpace::instance().sample(rng);
   EXPECT_GT(result.bench.query_perf(arch, MetricKey{DeviceKind::kZcu102, PerfMetric::kEnergy}),
             0.0);
 }
@@ -44,7 +45,7 @@ TEST(PipelineTest, DeterministicAcrossRuns) {
   const PipelineResult b = construct_benchmark(options);
   Rng rng(3);
   for (int i = 0; i < 10; ++i) {
-    const Architecture arch = SearchSpace::sample(rng);
+    const Arch arch = MnasSpace::instance().sample(rng);
     EXPECT_DOUBLE_EQ(a.bench.query_accuracy(arch),
                      b.bench.query_accuracy(arch));
   }
@@ -62,7 +63,7 @@ TEST(PipelineTest, WorldSeedChangesBenchmark) {
   Rng rng(4);
   int diffs = 0;
   for (int i = 0; i < 10; ++i) {
-    const Architecture arch = SearchSpace::sample(rng);
+    const Arch arch = MnasSpace::instance().sample(rng);
     diffs += a.bench.query_accuracy(arch) != b.bench.query_accuracy(arch);
   }
   EXPECT_GT(diffs, 5);

@@ -32,27 +32,29 @@ class ProxySearchTest : public ::testing::Test {
 
 TEST_F(ProxySearchTest, StratifiedModelsSpreadOverComplexity) {
   Rng rng(1);
-  const auto models = ProxySearch::stratified_models(20, rng);
+  const auto models = search_.stratified_models(20, rng);
   ASSERT_EQ(models.size(), 20u);
   std::set<std::uint64_t> unique;
   std::vector<double> macs;
   for (const auto& m : models) {
-    unique.insert(SearchSpace::to_index(m));
-    macs.push_back(static_cast<double>(build_ir(m, 224).total_macs()));
+    unique.insert(MnasSpace::instance().to_index(m));
+    macs.push_back(static_cast<double>(
+        build_ir(MnasSpace::to_blocks(m), 224).total_macs()));
   }
   EXPECT_EQ(unique.size(), models.size());
   // Coverage: largest at least 3x the smallest.
   const auto [lo, hi] = std::minmax_element(macs.begin(), macs.end());
   EXPECT_GT(*hi / *lo, 3.0);
-  EXPECT_THROW(ProxySearch::stratified_models(1, rng), Error);
+  EXPECT_THROW(search_.stratified_models(1, rng), Error);
 }
 
 TEST_F(ProxySearchTest, EvaluateSchemeComputesTauAndCost) {
   Rng rng(2);
-  const auto models = ProxySearch::stratified_models(12, rng);
+  const auto models = search_.stratified_models(12, rng);
   std::vector<double> ref;
   for (const auto& m : models)
-    ref.push_back(sim_.train(m, reference_scheme(), 0).top1);
+    ref.push_back(
+        sim_.train(MnasSpace::to_blocks(m), reference_scheme(), 0).top1);
 
   const auto trial = search_.evaluate_scheme(canonical_p_star(), models, ref,
                                              /*t_spec=*/5.0);

@@ -27,7 +27,7 @@ class FbnetSimTest : public ::testing::Test {
 
 TEST_F(FbnetSimTest, Deterministic) {
   FbnetTrainingSimulator other(42);
-  const FbnetArchitecture arch = FbnetSpace::sample(rng_);
+  const FbnetArchitecture arch = FbnetSpace::to_ops(FbnetSpace::instance().sample(rng_));
   EXPECT_DOUBLE_EQ(sim_.train(arch, reference_scheme(), 3).top1,
                    other.train(arch, reference_scheme(), 3).top1);
 }
@@ -35,7 +35,7 @@ TEST_F(FbnetSimTest, Deterministic) {
 TEST_F(FbnetSimTest, AccuracyRangeRealistic) {
   std::vector<double> accs;
   for (int i = 0; i < 150; ++i)
-    accs.push_back(sim_.reference_accuracy(FbnetSpace::sample(rng_)));
+    accs.push_back(sim_.reference_accuracy(FbnetSpace::to_ops(FbnetSpace::instance().sample(rng_))));
   EXPECT_GT(min_value(accs), 0.45);
   EXPECT_LT(max_value(accs), 0.85);
   EXPECT_GT(stddev(accs), 0.015);  // meaningful spread for ranking studies
@@ -56,7 +56,7 @@ TEST_F(FbnetSimTest, CapacityImprovesQuality) {
 
 TEST_F(FbnetSimTest, MoreEpochsHigherAccuracy) {
   for (int i = 0; i < 10; ++i) {
-    const FbnetArchitecture arch = FbnetSpace::sample(rng_);
+    const FbnetArchitecture arch = FbnetSpace::to_ops(FbnetSpace::instance().sample(rng_));
     EXPECT_LT(sim_.expected_accuracy(arch, quick_scheme(15)),
               sim_.expected_accuracy(arch, quick_scheme(60)));
   }
@@ -66,7 +66,7 @@ TEST_F(FbnetSimTest, ProxyPreservesRankings) {
   // The generalizability claim: the paper's proxy methodology carries over.
   std::vector<double> ref, prox;
   for (int i = 0; i < 150; ++i) {
-    const FbnetArchitecture arch = FbnetSpace::sample(rng_);
+    const FbnetArchitecture arch = FbnetSpace::to_ops(FbnetSpace::instance().sample(rng_));
     ref.push_back(sim_.train(arch, reference_scheme(), 0).top1);
     prox.push_back(sim_.train(arch, quick_scheme(30), 0).top1);
   }
@@ -88,7 +88,7 @@ TEST_F(FbnetSimTest, CostScalesWithSize) {
 
 TEST_F(FbnetSimTest, TraitsWellFormed) {
   for (int i = 0; i < 30; ++i) {
-    const ArchTraits traits = sim_.traits(FbnetSpace::sample(rng_));
+    const ArchTraits traits = sim_.traits(FbnetSpace::to_ops(FbnetSpace::instance().sample(rng_)));
     EXPECT_GE(traits.size_factor, 0.0);
     EXPECT_LE(traits.size_factor, 1.0);
     EXPECT_GE(traits.depth_norm, 0.0);
@@ -103,7 +103,7 @@ TEST_F(FbnetSimTest, WorldSeedMatters) {
   FbnetTrainingSimulator other(99);
   int diffs = 0;
   for (int i = 0; i < 20; ++i) {
-    const FbnetArchitecture arch = FbnetSpace::sample(rng_);
+    const FbnetArchitecture arch = FbnetSpace::to_ops(FbnetSpace::instance().sample(rng_));
     diffs +=
         std::abs(sim_.latent_quality(arch) - other.latent_quality(arch)) >
         1e-6;

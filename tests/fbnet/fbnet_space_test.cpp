@@ -53,7 +53,7 @@ TEST(FbnetSpaceTest, SampleValidAndVaried) {
   Rng rng(1);
   std::set<std::uint64_t> unique;
   for (int i = 0; i < 300; ++i) {
-    const FbnetArchitecture arch = FbnetSpace::sample(rng);
+    const FbnetArchitecture arch = FbnetSpace::to_ops(FbnetSpace::instance().sample(rng));
     FbnetSpace::validate(arch);
     unique.insert(arch.hash());
   }
@@ -63,7 +63,7 @@ TEST(FbnetSpaceTest, SampleValidAndVaried) {
 TEST(FbnetSpaceTest, MutateChangesOneLayer) {
   Rng rng(2);
   for (int i = 0; i < 200; ++i) {
-    const FbnetArchitecture arch = FbnetSpace::sample(rng);
+    const FbnetArchitecture arch = FbnetSpace::to_ops(FbnetSpace::instance().sample(rng));
     const FbnetArchitecture mutant = FbnetSpace::mutate(arch, rng);
     FbnetSpace::validate(mutant);
     int diffs = 0;
@@ -77,7 +77,7 @@ TEST(FbnetSpaceTest, MutateChangesOneLayer) {
 TEST(FbnetSpaceTest, StringRoundTrip) {
   Rng rng(3);
   for (int i = 0; i < 50; ++i) {
-    const FbnetArchitecture arch = FbnetSpace::sample(rng);
+    const FbnetArchitecture arch = FbnetSpace::to_ops(FbnetSpace::instance().sample(rng));
     EXPECT_EQ(FbnetArchitecture::from_string(arch.to_string()), arch);
   }
   EXPECT_THROW(FbnetArchitecture::from_string("e1k3"), Error);
@@ -89,9 +89,9 @@ TEST(FbnetSpaceTest, StringRoundTrip) {
 }
 
 TEST(FbnetSpaceTest, FeaturesOneHot) {
-  EXPECT_EQ(FbnetSpace::feature_dim(), 154);
+  EXPECT_EQ(FbnetSpace::instance().feature_dim(), 154);
   Rng rng(4);
-  const FbnetArchitecture arch = FbnetSpace::sample(rng);
+  const FbnetArchitecture arch = FbnetSpace::to_ops(FbnetSpace::instance().sample(rng));
   const auto f = FbnetSpace::features(arch);
   ASSERT_EQ(f.size(), 154u);
   double total = 0.0;
@@ -109,6 +109,95 @@ TEST(FbnetSpaceTest, OpHelpers) {
   EXPECT_THROW(fbnet_op_expansion(FbnetOp::kSkip), Error);
   EXPECT_THROW(fbnet_op_kernel(FbnetOp::kSkip), Error);
   EXPECT_STREQ(fbnet_op_name(FbnetOp::kSkip), "skip");
+}
+
+// --- Interface contract ----------------------------------------------------
+// FbnetSpace as seen through the polymorphic SearchSpace interface: the
+// same contracts space_test.cpp pins for MnasSpace, at the points where
+// FBNet differs (mixed per-layer radix from skip legality).
+
+const SearchSpace& sp() { return FbnetSpace::instance(); }
+
+TEST(FbnetSpaceContract, RegistryResolvesFbnet) {
+  register_builtin_spaces();
+  EXPECT_EQ(&space(SpaceId::kFbnet), &FbnetSpace::instance());
+  EXPECT_EQ(&space_from_name("fbnet"), &FbnetSpace::instance());
+  EXPECT_THROW(space_from_name("FBNet"), Error);  // exact-match only
+}
+
+TEST(FbnetSpaceContract, CardinalityMatchesDecisionSizes) {
+  const std::vector<int>& sizes = sp().decision_sizes();
+  ASSERT_EQ(sizes.size(), static_cast<std::size_t>(kFbnetNumLayers));
+  std::uint64_t want = 1;
+  for (int i = 0; i < kFbnetNumLayers; ++i) {
+    EXPECT_EQ(sizes[static_cast<std::size_t>(i)], FbnetSpace::num_ops(i));
+    want *= static_cast<std::uint64_t>(sizes[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(sp().cardinality(), want);
+}
+
+TEST(FbnetSpaceContract, IndexBijectionAtBounds) {
+  // First and last points of the mixed-radix enumeration round-trip, and
+  // one past the end is rejected.
+  const std::uint64_t last = sp().cardinality() - 1;
+  for (const std::uint64_t index : {std::uint64_t{0}, std::uint64_t{1}, last}) {
+    const Arch arch = sp().from_index(index);
+    EXPECT_TRUE(sp().is_valid(arch)) << index;
+    EXPECT_EQ(sp().to_index(arch), index);
+  }
+  EXPECT_THROW(sp().from_index(sp().cardinality()), Error);
+}
+
+TEST(FbnetSpaceContract, IndexBijectionAtRandomPoints) {
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    const Arch arch = sp().sample(rng);
+    const std::uint64_t index = sp().to_index(arch);
+    EXPECT_LT(index, sp().cardinality());
+    EXPECT_EQ(sp().to_index(sp().from_index(index)), index);
+  }
+}
+
+TEST(FbnetSpaceContract, SkipLegalityHoldsThroughTheInterface) {
+  // Every decision byte below the layer's radix is in-space by
+  // construction: skip is only enumerable where it is legal, so NO valid
+  // genotype decodes to a skip on a strided layer.
+  Rng rng(32);
+  for (int i = 0; i < 100; ++i) {
+    const FbnetArchitecture arch = FbnetSpace::to_ops(sp().sample(rng));
+    const auto& slots = FbnetSpace::slots();
+    for (int l = 0; l < kFbnetNumLayers; ++l) {
+      if (arch.ops[static_cast<std::size_t>(l)] == FbnetOp::kSkip)
+        EXPECT_TRUE(slots[static_cast<std::size_t>(l)].skip_allowed) << l;
+    }
+  }
+  // And a genotype forged to skip on a strided layer is invalid.
+  Arch forged = sp().sample(rng);
+  forged.d[0] = static_cast<std::int8_t>(FbnetSpace::num_ops(0));
+  EXPECT_FALSE(sp().is_valid(forged));
+}
+
+TEST(FbnetSpaceContract, MutateAlwaysDiffers) {
+  Rng rng(33);
+  for (int i = 0; i < 200; ++i) {
+    const Arch arch = sp().sample(rng);
+    const Arch mutant = sp().mutate(arch, rng);
+    EXPECT_TRUE(sp().is_valid(mutant));
+    EXPECT_NE(sp().to_index(mutant), sp().to_index(arch));
+  }
+}
+
+TEST(FbnetSpaceContract, FeaturesAreDeterministic) {
+  Rng rng(34);
+  for (int i = 0; i < 50; ++i) {
+    const Arch arch = sp().sample(rng);
+    const std::vector<double> once = sp().features(arch);
+    ASSERT_EQ(once.size(), static_cast<std::size_t>(sp().feature_dim()));
+    EXPECT_EQ(once, sp().features(arch));  // pure function of the genotype
+    // And identical through a string round-trip of the genotype.
+    EXPECT_EQ(once, sp().features(sp().arch_from_string(
+                        sp().arch_to_string(arch))));
+  }
 }
 
 TEST(FbnetIrTest, LoweringShapesAndComplexity) {

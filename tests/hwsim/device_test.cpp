@@ -31,6 +31,34 @@ TEST(DeviceTest, KindNameRoundTrip) {
   EXPECT_THROW(device_kind_from_name("h100"), Error);
 }
 
+TEST(DeviceTest, ExtendedCatalogAppendsTheTwoExtensionPlatforms) {
+  const auto devices = extended_device_catalog();
+  ASSERT_EQ(devices.size(), 8u);
+  // The paper's six stay in the paper's order (dataset layout stability),
+  // the extension platforms are strictly appended.
+  const auto paper = device_catalog();
+  for (std::size_t i = 0; i < paper.size(); ++i)
+    EXPECT_EQ(devices[i].kind(), paper[i].kind());
+  EXPECT_EQ(devices[6].kind(), DeviceKind::kMobileNpu);
+  EXPECT_EQ(devices[6].name(), "npu-mobile");
+  EXPECT_EQ(devices[7].kind(), DeviceKind::kServerCpu);
+  EXPECT_EQ(devices[7].name(), "cpu-server");
+  // Extension platforms are throughput-only, like the other non-FPGAs.
+  EXPECT_FALSE(device_supports_latency(DeviceKind::kMobileNpu));
+  EXPECT_FALSE(device_supports_latency(DeviceKind::kServerCpu));
+}
+
+TEST(DeviceTest, ExtensionPlatformNamesAreExactMatch) {
+  EXPECT_EQ(device_kind_from_name("npu-mobile"), DeviceKind::kMobileNpu);
+  EXPECT_EQ(device_kind_from_name("cpu-server"), DeviceKind::kServerCpu);
+  // No fuzzy matching: case, truncation, and word-order variants all
+  // throw, so a typo can never silently resolve to a different fleet.
+  for (const char* bad : {"NPU-Mobile", "npu", "mobile-npu", "npu-mobile ",
+                          "Cpu-Server", "cpu", "server-cpu", "cpuserver"}) {
+    EXPECT_THROW(device_kind_from_name(bad), Error) << bad;
+  }
+}
+
 TEST(DeviceTest, OnlyFpgasReportLatency) {
   EXPECT_TRUE(device_supports_latency(DeviceKind::kZcu102));
   EXPECT_TRUE(device_supports_latency(DeviceKind::kVck190));
@@ -104,7 +132,7 @@ TEST(DeviceTest, DeviceRankingsDiverge) {
   const Device zcu = make_device(DeviceKind::kZcu102);
   const Device tpu = make_device(DeviceKind::kTpuV3);
   for (int i = 0; i < 150; ++i) {
-    const ModelIR ir = build_ir(SearchSpace::sample(rng), 224);
+    const ModelIR ir = build_ir(MnasSpace::to_blocks(MnasSpace::instance().sample(rng)), 224);
     zcu_thr.push_back(zcu.throughput_fps(ir));
     tpu_thr.push_back(tpu.throughput_fps(ir));
     inv_flops.push_back(1.0 / ir.gflops());
@@ -169,7 +197,7 @@ class DeviceProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(DeviceProperty, AllMeasurementsPositiveFinite) {
   Rng rng(static_cast<std::uint64_t>(GetParam()) + 1200);
-  const ModelIR ir = build_ir(SearchSpace::sample(rng), 224);
+  const ModelIR ir = build_ir(MnasSpace::to_blocks(MnasSpace::instance().sample(rng)), 224);
   for (const auto& device : device_catalog()) {
     const double thr = device.measure_throughput(ir, 99);
     EXPECT_TRUE(std::isfinite(thr));

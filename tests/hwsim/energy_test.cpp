@@ -72,7 +72,7 @@ TEST(EnergyTest, StaticPlusSwitchingStructure) {
   const Device dev = make_device(DeviceKind::kA100);
   double min_share = 1.0, max_share = 0.0;
   for (int i = 0; i < 40; ++i) {
-    const ModelIR ir = build_ir(SearchSpace::sample(rng), 224);
+    const ModelIR ir = build_ir(MnasSpace::to_blocks(MnasSpace::instance().sample(rng)), 224);
     const int batch = dev.spec().measure_batch;
     const double static_mj = dev.spec().idle_power_w *
                              dev.batch_time_s(ir, batch) /

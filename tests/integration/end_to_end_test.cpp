@@ -33,7 +33,7 @@ TEST(EndToEndTest, FullBenchmarkConstructionAndUse) {
   const AccelNASBench loaded = AccelNASBench::load(path);
   std::remove(path.c_str());
   Rng rng(5);
-  const Architecture probe = SearchSpace::sample(rng);
+  const Arch probe = MnasSpace::instance().sample(rng);
   EXPECT_DOUBLE_EQ(loaded.query_accuracy(probe),
                    result.bench.query_accuracy(probe));
 
@@ -42,9 +42,10 @@ TEST(EndToEndTest, FullBenchmarkConstructionAndUse) {
   TrainingSimulator sim(options.world_seed);
   std::vector<double> predicted, actual;
   for (int i = 0; i < 120; ++i) {
-    const Architecture a = SearchSpace::sample(rng);
+    const Arch a = MnasSpace::instance().sample(rng);
     predicted.push_back(result.bench.query_accuracy(a));
-    actual.push_back(sim.train(a, result.p_star, 1).top1);
+    actual.push_back(
+        sim.train(MnasSpace::to_blocks(a), result.p_star, 1).top1);
   }
   EXPECT_GT(kendall_tau(predicted, actual), 0.7);
 

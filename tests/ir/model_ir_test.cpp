@@ -48,7 +48,7 @@ TEST(ModelIrTest, StemAndHeadStructure) {
 TEST(ModelIrTest, ShapesChainCorrectly) {
   Rng rng(1);
   for (int i = 0; i < 30; ++i) {
-    const ModelIR ir = build_ir(SearchSpace::sample(rng), 224);
+    const ModelIR ir = build_ir(MnasSpace::to_blocks(MnasSpace::instance().sample(rng)), 224);
     for (std::size_t l = 1; l < ir.layers.size(); ++l) {
       const Layer& prev = ir.layers[l - 1];
       const Layer& cur = ir.layers[l];
@@ -62,7 +62,7 @@ TEST(ModelIrTest, ShapesChainCorrectly) {
 
 TEST(ModelIrTest, SpatialDownsamplingBy32) {
   Rng rng(2);
-  const ModelIR ir = build_ir(SearchSpace::sample(rng), 224);
+  const ModelIR ir = build_ir(MnasSpace::to_blocks(MnasSpace::instance().sample(rng)), 224);
   // Stem s2 + four s2 stages -> 224 / 32 = 7 before head pooling.
   const Layer& pool = ir.layers[ir.layers.size() - 2];
   EXPECT_EQ(pool.in_h, 7);
@@ -129,7 +129,7 @@ TEST(ModelIrTest, MacsScaleWithOptions) {
 
 TEST(ModelIrTest, MacsScaleQuadraticallyWithResolution) {
   Rng rng(3);
-  const Architecture a = SearchSpace::sample(rng);
+  const Architecture a = MnasSpace::to_blocks(MnasSpace::instance().sample(rng));
   const auto m224 = static_cast<double>(build_ir(a, 224).total_macs());
   const auto m112 = static_cast<double>(build_ir(a, 112).total_macs());
   // FC/SE layers are resolution-independent, so the ratio is slightly
@@ -140,7 +140,7 @@ TEST(ModelIrTest, MacsScaleQuadraticallyWithResolution) {
 
 TEST(ModelIrTest, ParamsIndependentOfResolution) {
   Rng rng(4);
-  const Architecture a = SearchSpace::sample(rng);
+  const Architecture a = MnasSpace::to_blocks(MnasSpace::instance().sample(rng));
   EXPECT_EQ(build_ir(a, 224).total_params(), build_ir(a, 160).total_params());
 }
 
@@ -158,7 +158,7 @@ TEST(ModelIrTest, RejectsBadInputs) {
   bad.blocks[0].expansion = 2;
   EXPECT_THROW(build_ir(bad, 224), Error);
   Rng rng(5);
-  const Architecture ok = SearchSpace::sample(rng);
+  const Architecture ok = MnasSpace::to_blocks(MnasSpace::instance().sample(rng));
   EXPECT_THROW(build_ir(ok, 16), Error);
   EXPECT_THROW(build_ir(ok, 2048), Error);
 }
@@ -174,7 +174,7 @@ TEST(ModelIrTest, OpKindNamesComplete) {
 
 TEST(ModelIrTest, GflopsCountsTwoPerMac) {
   Rng rng(6);
-  const ModelIR ir = build_ir(SearchSpace::sample(rng), 224);
+  const ModelIR ir = build_ir(MnasSpace::to_blocks(MnasSpace::instance().sample(rng)), 224);
   EXPECT_NEAR(ir.gflops(),
               2.0 * static_cast<double>(ir.total_macs()) / 1e9, 1e-9);
 }
@@ -184,7 +184,7 @@ class IrLayerProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(IrLayerProperty, LayerAccountingConsistent) {
   Rng rng(static_cast<std::uint64_t>(GetParam()) + 900);
-  const ModelIR ir = build_ir(SearchSpace::sample(rng), 224);
+  const ModelIR ir = build_ir(MnasSpace::to_blocks(MnasSpace::instance().sample(rng)), 224);
   for (const auto& layer : ir.layers) {
     EXPECT_GT(layer.output_elems, 0u) << layer.name;
     EXPECT_GT(layer.input_elems, 0u) << layer.name;

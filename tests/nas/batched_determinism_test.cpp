@@ -24,8 +24,11 @@
 namespace anb {
 namespace {
 
+const SearchSpace& sp() { return MnasSpace::instance(); }
+
 /// Deterministic synthetic objective (no surrogate, no RNG).
-double synthetic_objective(const Architecture& arch) {
+double synthetic_objective(const Arch& genotype) {
+  const Architecture arch = MnasSpace::to_blocks(genotype);
   double score = 0.0;
   for (const auto& blk : arch.blocks) {
     score += blk.expansion == 6 ? 1.0 : 0.0;
@@ -37,11 +40,11 @@ double synthetic_objective(const Architecture& arch) {
 
 std::unique_ptr<Surrogate> fitted_model(std::uint64_t seed,
                                         double scale = 1.0) {
-  Dataset ds(static_cast<std::size_t>(SearchSpace::feature_dim()));
+  Dataset ds(static_cast<std::size_t>(sp().feature_dim()));
   Rng rng(seed);
   for (int i = 0; i < 150; ++i) {
-    const Architecture a = SearchSpace::sample(rng);
-    const auto f = SearchSpace::features(a);
+    const Arch a = sp().sample(rng);
+    const auto f = sp().features(a);
     double y = 0.0;
     for (double v : f) y += v;
     ds.add(f, scale * y + rng.normal(0.0, 0.01));
@@ -63,8 +66,8 @@ void expect_same_trajectory(const SearchTrajectory& scalar,
                             const SearchTrajectory& batched) {
   ASSERT_EQ(scalar.size(), batched.size());
   for (std::size_t i = 0; i < scalar.size(); ++i) {
-    EXPECT_EQ(SearchSpace::to_index(scalar.archs[i]),
-              SearchSpace::to_index(batched.archs[i]))
+    EXPECT_EQ(sp().to_index(scalar.archs[i]),
+              sp().to_index(batched.archs[i]))
         << "arch " << i;
     EXPECT_EQ(scalar.values[i], batched.values[i]) << "value " << i;
     EXPECT_EQ(scalar.incumbent[i], batched.incumbent[i]) << "incumbent " << i;
@@ -87,10 +90,10 @@ void check_optimizer(NasOptimizer& optimizer, int n_evals,
   }
   {
     const AccelNASBench bench = make_bench();
-    const EvalOracle scalar = [&](const Architecture& a) {
+    const EvalOracle scalar = [&](const Arch& a) {
       return bench.query_accuracy(a);
     };
-    const BatchEvalOracle batched = [&](std::span<const Architecture> archs) {
+    const BatchEvalOracle batched = [&](std::span<const Arch> archs) {
       return bench.query_accuracy_batch(archs);
     };
     Rng rng_a(seed), rng_b(seed);
@@ -125,13 +128,13 @@ TEST(BatchedDeterminismTest, ReinforceViaBaseClassWrap) {
 
 TEST(BatchedDeterminismTest, Nsga2GenerationalBatching) {
   const AccelNASBench bench = make_bench();
-  const BiObjectiveOracle scalar = [&](const Architecture& a) {
+  const BiObjectiveOracle scalar = [&](const Arch& a) {
     return std::make_pair(
         bench.query_accuracy(a),
         bench.query_perf(a, MetricKey{DeviceKind::kA100, PerfMetric::kThroughput}));
   };
   const BiObjectiveBatchOracle batched =
-      [&](std::span<const Architecture> archs) {
+      [&](std::span<const Arch> archs) {
         const std::vector<double> acc = bench.query_accuracy_batch(archs);
         const std::vector<double> thr = bench.query_perf_batch(
             archs, MetricKey{DeviceKind::kA100, PerfMetric::kThroughput});
@@ -151,8 +154,8 @@ TEST(BatchedDeterminismTest, Nsga2GenerationalBatching) {
 
   ASSERT_EQ(res_scalar.archs.size(), res_batched.archs.size());
   for (std::size_t i = 0; i < res_scalar.archs.size(); ++i) {
-    EXPECT_EQ(SearchSpace::to_index(res_scalar.archs[i]),
-              SearchSpace::to_index(res_batched.archs[i]))
+    EXPECT_EQ(sp().to_index(res_scalar.archs[i]),
+              sp().to_index(res_batched.archs[i]))
         << "arch " << i;
     EXPECT_EQ(res_scalar.obj1[i], res_batched.obj1[i]) << "obj1 " << i;
     EXPECT_EQ(res_scalar.obj2[i], res_batched.obj2[i]) << "obj2 " << i;
@@ -163,7 +166,7 @@ TEST(BatchedDeterminismTest, Nsga2GenerationalBatching) {
 TEST(BatchedDeterminismTest, SuccessiveHalvingRoundBatching) {
   // Deterministic budget-aware oracle: accuracy approaches the synthetic
   // objective as epochs grow, cost is linear in epochs.
-  const BudgetedOracle scalar = [](const Architecture& a, int epochs) {
+  const BudgetedOracle scalar = [](const Arch& a, int epochs) {
     BudgetedEval e;
     const double maturity =
         static_cast<double>(epochs) / (10.0 + static_cast<double>(epochs));
@@ -172,7 +175,7 @@ TEST(BatchedDeterminismTest, SuccessiveHalvingRoundBatching) {
     return e;
   };
   const BudgetedBatchOracle batched =
-      [&scalar](std::span<const Architecture> archs, int epochs) {
+      [&scalar](std::span<const Arch> archs, int epochs) {
         std::vector<BudgetedEval> out;
         out.reserve(archs.size());
         for (const auto& a : archs) out.push_back(scalar(a, epochs));
@@ -186,15 +189,15 @@ TEST(BatchedDeterminismTest, SuccessiveHalvingRoundBatching) {
   const SuccessiveHalvingResult res_scalar = sh.run(scalar, rng_a);
   const SuccessiveHalvingResult res_batched = sh.run_batched(batched, rng_b);
 
-  EXPECT_EQ(SearchSpace::to_index(res_scalar.best),
-            SearchSpace::to_index(res_batched.best));
+  EXPECT_EQ(sp().to_index(res_scalar.best),
+            sp().to_index(res_batched.best));
   EXPECT_EQ(res_scalar.best_accuracy, res_batched.best_accuracy);
   EXPECT_EQ(res_scalar.total_cost_hours, res_batched.total_cost_hours);
   EXPECT_EQ(res_scalar.rounds, res_batched.rounds);
   ASSERT_EQ(res_scalar.evals.size(), res_batched.evals.size());
   for (std::size_t i = 0; i < res_scalar.evals.size(); ++i) {
-    EXPECT_EQ(SearchSpace::to_index(res_scalar.evals[i].arch),
-              SearchSpace::to_index(res_batched.evals[i].arch));
+    EXPECT_EQ(sp().to_index(res_scalar.evals[i].arch),
+              sp().to_index(res_batched.evals[i].arch));
     EXPECT_EQ(res_scalar.evals[i].accuracy, res_batched.evals[i].accuracy);
     EXPECT_EQ(res_scalar.evals[i].epochs, res_batched.evals[i].epochs);
   }
@@ -203,8 +206,8 @@ TEST(BatchedDeterminismTest, SuccessiveHalvingRoundBatching) {
 TEST(BatchedDeterminismTest, BatchFromScalarAdapter) {
   const BatchEvalOracle adapted = batch_from_scalar(synthetic_objective);
   Rng rng(16);
-  std::vector<Architecture> archs;
-  for (int i = 0; i < 7; ++i) archs.push_back(SearchSpace::sample(rng));
+  std::vector<Arch> archs;
+  for (int i = 0; i < 7; ++i) archs.push_back(sp().sample(rng));
   const std::vector<double> got = adapted(archs);
   ASSERT_EQ(got.size(), archs.size());
   for (std::size_t i = 0; i < archs.size(); ++i)

@@ -26,8 +26,11 @@
 namespace anb {
 namespace {
 
+const SearchSpace& sp() { return MnasSpace::instance(); }
+
 /// Deterministic objective over exact binary fractions (see header note).
-double golden_objective(const Architecture& arch) {
+double golden_objective(const Arch& genotype) {
+  const Architecture arch = MnasSpace::to_blocks(genotype);
   double score = 0.0;
   for (const auto& blk : arch.blocks) {
     score += blk.expansion == 6 ? 1.0 : 0.0;
@@ -39,7 +42,8 @@ double golden_objective(const Architecture& arch) {
 
 /// Second objective for the bi-objective run: prefers shallow, narrow
 /// models (a stand-in for -latency), also an exact binary fraction.
-double golden_objective2(const Architecture& arch) {
+double golden_objective2(const Arch& genotype) {
+  const Architecture arch = MnasSpace::to_blocks(genotype);
   double score = 0.0;
   for (const auto& blk : arch.blocks) {
     score -= 0.5 * blk.layers + (blk.expansion == 6 ? 1.0 : 0.0) +
@@ -50,7 +54,7 @@ double golden_objective2(const Architecture& arch) {
 
 class Checksum {
  public:
-  void add_arch(const Architecture& arch) { mix(SearchSpace::to_index(arch)); }
+  void add_arch(const Arch& arch) { mix(sp().to_index(arch)); }
   void add_value(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
   void add_index(std::size_t i) { mix(static_cast<std::uint64_t>(i)); }
   std::uint64_t value() const { return h_; }
@@ -70,9 +74,9 @@ std::string summarize(const SearchTrajectory& t) {
     sum.add_value(t.incumbent[i]);
   }
   std::ostringstream os;
-  os << "n=" << t.size() << " first=" << SearchSpace::to_index(t.archs.front())
+  os << "n=" << t.size() << " first=" << sp().to_index(t.archs.front())
      << ":" << std::hexfloat << t.values.front() << std::defaultfloat
-     << " last=" << SearchSpace::to_index(t.archs.back()) << ":"
+     << " last=" << sp().to_index(t.archs.back()) << ":"
      << std::hexfloat << t.values.back() << std::defaultfloat << " sum=0x"
      << std::hex << sum.value();
   return os.str();
@@ -108,7 +112,7 @@ TEST(GoldenTrajectoryTest, Nsga2) {
   const Nsga2 nsga2(p);
   Rng rng(2027);
   const Nsga2Result r = nsga2.run(
-      [](const Architecture& a) {
+      [](const Arch& a) {
         return std::make_pair(golden_objective(a), golden_objective2(a));
       },
       60, rng);
@@ -122,8 +126,8 @@ TEST(GoldenTrajectoryTest, Nsga2) {
   for (const std::size_t i : r.front) sum.add_index(i);
   std::ostringstream os;
   os << "n=" << r.archs.size() << " front=" << r.front.size() << " first="
-     << SearchSpace::to_index(r.archs.front()) << " last="
-     << SearchSpace::to_index(r.archs.back()) << " sum=0x" << std::hex
+     << sp().to_index(r.archs.front()) << " last="
+     << sp().to_index(r.archs.back()) << " sum=0x" << std::hex
      << sum.value();
   EXPECT_EQ(os.str(), "n=60 front=11 first=4679502362 last=43390218165 sum=0xc83fb80b180c01a4");
 }
@@ -131,7 +135,7 @@ TEST(GoldenTrajectoryTest, Nsga2) {
 TEST(GoldenTrajectoryTest, SuccessiveHalving) {
   // Budget-aware oracle in exact binary fractions: maturity ramps in
   // steps of 1/64 per epoch (capped at 1), cost is 1/64 hour per epoch.
-  const BudgetedOracle oracle = [](const Architecture& a, int epochs) {
+  const BudgetedOracle oracle = [](const Arch& a, int epochs) {
     BudgetedEval e;
     const double maturity = std::min(1.0, static_cast<double>(epochs) / 64.0);
     e.accuracy = golden_objective(a) * maturity;
@@ -152,7 +156,7 @@ TEST(GoldenTrajectoryTest, SuccessiveHalving) {
   }
   std::ostringstream os;
   os << "evals=" << r.evals.size() << " rounds=" << r.rounds << " best="
-     << SearchSpace::to_index(r.best) << ":" << std::hexfloat
+     << sp().to_index(r.best) << ":" << std::hexfloat
      << r.best_accuracy << " cost=" << r.total_cost_hours << std::defaultfloat
      << " sum=0x" << std::hex << sum.value();
   EXPECT_EQ(os.str(), "evals=39 rounds=3 best=72322762493:0x1.c2p+2 cost=0x1.95p+2 sum=0x8956a719740406dd");

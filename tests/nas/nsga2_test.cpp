@@ -12,7 +12,8 @@ namespace {
 
 /// Synthetic conflicting objectives: "accuracy" rewards capacity,
 /// "speed" rewards its absence — a clean trade-off with a wide front.
-std::pair<double, double> conflicting_objectives(const Architecture& arch) {
+std::pair<double, double> conflicting_objectives(const Arch& genotype) {
+  const Architecture arch = MnasSpace::to_blocks(genotype);
   double capacity = 0.0;
   for (const auto& blk : arch.blocks) {
     capacity += blk.expansion + 2.0 * blk.layers + (blk.se ? 1.5 : 0.0) +
@@ -89,7 +90,7 @@ TEST(Nsga2Test, BeatsRandomSamplingOnHypervolume) {
     Rng rrng(seed + 20);
     std::vector<double> o1, o2;
     for (int i = 0; i < 250; ++i) {
-      const auto [a, b] = conflicting_objectives(SearchSpace::sample(rrng));
+      const auto [a, b] = conflicting_objectives(MnasSpace::instance().sample(rrng));
       o1.push_back(a);
       o2.push_back(b);
     }

@@ -10,8 +10,11 @@
 namespace anb {
 namespace {
 
+const SearchSpace& sp() { return MnasSpace::instance(); }
+
 /// Deterministic synthetic objective: rewards expansion-6 + SE + depth.
-double synthetic_objective(const Architecture& arch) {
+double synthetic_objective(const Arch& genotype) {
+  const Architecture arch = MnasSpace::to_blocks(genotype);
   double score = 0.0;
   for (const auto& blk : arch.blocks) {
     score += blk.expansion == 6 ? 1.0 : (blk.expansion == 4 ? 0.5 : 0.0);
@@ -27,7 +30,7 @@ constexpr double kMaxObjective = 7.0 * (1.0 + 0.5 + 0.6 + 0.1);
 TEST(SearchTrajectoryTest, IncumbentIsRunningMax) {
   SearchTrajectory traj;
   Rng rng(1);
-  const Architecture a = SearchSpace::sample(rng);
+  const Arch a = sp().sample(rng);
   traj.add(a, 1.0);
   traj.add(a, 0.5);
   traj.add(a, 2.0);
@@ -38,10 +41,10 @@ TEST(SearchTrajectoryTest, IncumbentIsRunningMax) {
 TEST(SearchTrajectoryTest, BestArchMatchesBestValue) {
   SearchTrajectory traj;
   Rng rng(2);
-  Architecture best;
+  Arch best;
   double best_value = -1.0;
   for (int i = 0; i < 20; ++i) {
-    const Architecture a = SearchSpace::sample(rng);
+    const Arch a = sp().sample(rng);
     const double v = synthetic_objective(a);
     traj.add(a, v);
     if (v > best_value) {
@@ -58,7 +61,7 @@ TEST(RandomSearchNasTest, BudgetRespectedAndValid) {
   Rng rng(3);
   const auto traj = optimizer.run(synthetic_objective, 100, rng);
   EXPECT_EQ(traj.size(), 100u);
-  for (const auto& arch : traj.archs) SearchSpace::validate(arch);
+  for (const auto& arch : traj.archs) sp().validate(arch);
   EXPECT_EQ(optimizer.name(), "RS");
 }
 
@@ -125,7 +128,7 @@ TEST(ReinforceTest, PolicySnapshotIsDistribution) {
   Rng rng(7);
   optimizer.run(synthetic_objective, 50, rng);
   const auto& policy = optimizer.last_policy();
-  ASSERT_EQ(policy.size(), static_cast<std::size_t>(SearchSpace::kNumDecisions));
+  ASSERT_EQ(policy.size(), static_cast<std::size_t>(MnasSpace::kNumDecisions));
   for (const auto& p : policy) {
     double total = 0.0;
     for (double v : p) {

@@ -12,7 +12,8 @@ namespace {
 /// Synthetic budgeted oracle: true quality + noise that shrinks with epochs;
 /// cost proportional to epochs.
 BudgetedOracle synthetic_oracle() {
-  return [](const Architecture& arch, int epochs) {
+  return [](const Arch& genotype, int epochs) {
+    const Architecture arch = MnasSpace::to_blocks(genotype);
     double quality = 0.0;
     for (const auto& blk : arch.blocks)
       quality += blk.expansion * 0.1 + blk.layers * 0.05 + (blk.se ? 0.1 : 0);

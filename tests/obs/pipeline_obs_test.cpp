@@ -49,10 +49,10 @@ void run_mini_pipeline() {
   const PipelineResult result = construct_benchmark(options);
 
   Rng rng(7);
-  std::vector<Architecture> archs;
-  for (int i = 0; i < 32; ++i) archs.push_back(SearchSpace::sample(rng));
+  std::vector<Arch> archs;
+  for (int i = 0; i < 32; ++i) archs.push_back(MnasSpace::instance().sample(rng));
   result.bench.query_accuracy_batch(archs);
-  for (const Architecture& a : archs) result.bench.query_accuracy(a);
+  for (const Arch& a : archs) result.bench.query_accuracy(a);
   result.bench.query_perf_batch(
       archs, MetricKey{DeviceKind::kA100, PerfMetric::kThroughput});
 }

@@ -28,8 +28,9 @@ TEST(ArchitectureTest, ToStringFormat) {
 
 TEST(ArchitectureTest, FromStringRoundTrip) {
   Rng rng(3);
+  const SearchSpace& sp = MnasSpace::instance();
   for (int i = 0; i < 50; ++i) {
-    const Architecture a = SearchSpace::sample(rng);
+    const Architecture a = MnasSpace::to_blocks(sp.sample(rng));
     EXPECT_EQ(Architecture::from_string(a.to_string()), a);
   }
 }
@@ -59,13 +60,14 @@ TEST(ArchitectureTest, HashEqualityConsistent) {
 
 TEST(ArchitectureTest, HashDiscriminates) {
   Rng rng(5);
+  const SearchSpace& sp = MnasSpace::instance();
   // Distinct architectures should essentially never collide.
   std::set<std::uint64_t> hashes;
   std::set<std::uint64_t> indices;
   for (int i = 0; i < 2000; ++i) {
-    const Architecture a = SearchSpace::sample(rng);
-    if (indices.insert(SearchSpace::to_index(a)).second) {
-      hashes.insert(a.hash());
+    const Arch a = sp.sample(rng);
+    if (indices.insert(sp.to_index(a)).second) {
+      hashes.insert(MnasSpace::to_blocks(a).hash());
     }
   }
   EXPECT_EQ(hashes.size(), indices.size());

@@ -1,0 +1,96 @@
+// The ONE sanctioned caller of the deprecated anb::legacy::SearchSpace
+// facade (see the header's removal note). Pins that every legacy static
+// forwards to MnasSpace::instance() with identical results, so code still
+// on the old all-static API keeps working — byte for byte — until the
+// facade is deleted. New code must not copy these call patterns; resolve a
+// space and use the interface.
+
+#include "anb/searchspace/legacy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "anb/util/error.hpp"
+
+// Sanctioned exemption: this suite exists to exercise the deprecated
+// facade, so the deprecation warnings it triggers are expected.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace anb {
+namespace {
+
+using Legacy = legacy::SearchSpace;
+
+TEST(LegacyCompatTest, OptionTablesForwardToMnasSpace) {
+  EXPECT_EQ(Legacy::expansion_options(), MnasSpace::expansion_options());
+  EXPECT_EQ(Legacy::kernel_options(), MnasSpace::kernel_options());
+  EXPECT_EQ(Legacy::layer_options(), MnasSpace::layer_options());
+  EXPECT_EQ(Legacy::kNumDecisions, MnasSpace::kNumDecisions);
+  EXPECT_EQ(Legacy::decision_sizes(), MnasSpace::instance().decision_sizes());
+  EXPECT_EQ(Legacy::cardinality(), MnasSpace::instance().cardinality());
+  EXPECT_EQ(Legacy::feature_dim(), MnasSpace::instance().feature_dim());
+}
+
+TEST(LegacyCompatTest, SamplingMatchesInterfaceStream) {
+  // Same seed, same RNG discipline: the legacy static consumes the stream
+  // exactly like the interface, so the sequences are identical.
+  Rng legacy_rng(99);
+  Rng iface_rng(99);
+  for (int i = 0; i < 20; ++i) {
+    const Architecture a = Legacy::sample(legacy_rng);
+    const Architecture b =
+        MnasSpace::to_blocks(MnasSpace::instance().sample(iface_rng));
+    EXPECT_EQ(Legacy::to_index(a), MnasSpace::instance().to_index(
+                                       MnasSpace::from_blocks(b)));
+  }
+}
+
+TEST(LegacyCompatTest, RoundTripsAndQueriesAgree) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    const Architecture arch = Legacy::sample(rng);
+    const Arch genotype = MnasSpace::from_blocks(arch);
+
+    EXPECT_TRUE(Legacy::is_valid(arch));
+    EXPECT_NO_THROW(Legacy::validate(arch));
+
+    const std::uint64_t index = Legacy::to_index(arch);
+    EXPECT_EQ(index, MnasSpace::instance().to_index(genotype));
+    EXPECT_EQ(Legacy::to_index(Legacy::from_index(index)), index);
+
+    EXPECT_EQ(Legacy::features(arch),
+              MnasSpace::instance().features(genotype));
+
+    const std::vector<int> decisions = Legacy::to_decisions(arch);
+    ASSERT_EQ(decisions.size(),
+              static_cast<std::size_t>(Legacy::kNumDecisions));
+    EXPECT_EQ(Legacy::to_index(Legacy::from_decisions(decisions)), index);
+
+    EXPECT_EQ(Legacy::neighbors(arch).size(),
+              MnasSpace::instance().neighbors(genotype).size());
+  }
+}
+
+TEST(LegacyCompatTest, MutateStaysInSpaceAndDiffers) {
+  Rng rng(13);
+  const Architecture arch = Legacy::sample(rng);
+  for (int i = 0; i < 10; ++i) {
+    const Architecture mutant = Legacy::mutate(arch, rng);
+    EXPECT_TRUE(Legacy::is_valid(mutant));
+    EXPECT_NE(Legacy::to_index(mutant), Legacy::to_index(arch));
+  }
+}
+
+TEST(LegacyCompatTest, ValidationStillRejectsBadOptions) {
+  Rng rng(21);
+  Architecture bad = Legacy::sample(rng);
+  bad.blocks[0].kernel = 7;  // not a MnasNet kernel option
+  EXPECT_FALSE(Legacy::is_valid(bad));
+  EXPECT_THROW(Legacy::validate(bad), Error);
+  EXPECT_THROW(Legacy::from_decisions({1, 2, 3}), Error);  // wrong length
+}
+
+}  // namespace
+}  // namespace anb
+
+#pragma GCC diagnostic pop

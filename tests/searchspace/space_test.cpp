@@ -9,13 +9,23 @@
 namespace anb {
 namespace {
 
+const SearchSpace& sp() { return MnasSpace::instance(); }
+
 TEST(SearchSpaceTest, CardinalityMatchesPaper) {
   // (3 * 2 * 3 * 2)^7 = 36^7 ~ 7.8e10 ~ "roughly 10^11 unique models".
-  EXPECT_EQ(SearchSpace::cardinality(), 78364164096ULL);
+  EXPECT_EQ(sp().cardinality(), 78364164096ULL);
+}
+
+TEST(SearchSpaceTest, RegistryResolvesMnasNet) {
+  EXPECT_EQ(&space(SpaceId::kMnasNet), &MnasSpace::instance());
+  EXPECT_EQ(&space_from_name("mnasnet"), &MnasSpace::instance());
+  EXPECT_THROW(space_from_name("MnasNet"), Error);  // exact-match contract
+  EXPECT_THROW(space_from_name(""), Error);
+  EXPECT_TRUE(space_registered(SpaceId::kMnasNet));
 }
 
 TEST(SearchSpaceTest, DecisionSizes) {
-  const auto sizes = SearchSpace::decision_sizes();
+  const auto& sizes = sp().decision_sizes();
   ASSERT_EQ(sizes.size(), 28u);
   for (int b = 0; b < kNumBlocks; ++b) {
     EXPECT_EQ(sizes[static_cast<std::size_t>(4 * b)], 3);      // expansion
@@ -26,35 +36,49 @@ TEST(SearchSpaceTest, DecisionSizes) {
 }
 
 TEST(SearchSpaceTest, ValidationAcceptsAllOptionCombos) {
-  for (int e : SearchSpace::expansion_options())
-    for (int k : SearchSpace::kernel_options())
-      for (int L : SearchSpace::layer_options())
+  for (int e : MnasSpace::expansion_options())
+    for (int k : MnasSpace::kernel_options())
+      for (int L : MnasSpace::layer_options())
         for (bool se : {false, true}) {
           Architecture a;
           for (auto& b : a.blocks) b = BlockConfig{e, k, L, se};
-          EXPECT_TRUE(SearchSpace::is_valid(a));
+          EXPECT_TRUE(sp().is_valid(MnasSpace::from_blocks(a)));
         }
 }
 
 TEST(SearchSpaceTest, ValidationRejectsBadOptions) {
   Architecture a;  // default valid
   a.blocks[0].expansion = 3;
-  EXPECT_FALSE(SearchSpace::is_valid(a));
+  EXPECT_THROW(MnasSpace::from_blocks(a), Error);
   a.blocks[0].expansion = 1;
   a.blocks[2].kernel = 7;
-  EXPECT_FALSE(SearchSpace::is_valid(a));
+  EXPECT_THROW(MnasSpace::from_blocks(a), Error);
   a.blocks[2].kernel = 3;
   a.blocks[6].layers = 4;
-  EXPECT_FALSE(SearchSpace::is_valid(a));
+  EXPECT_THROW(MnasSpace::from_blocks(a), Error);
+}
+
+TEST(SearchSpaceTest, ValidationRejectsForeignGenotypes) {
+  Rng rng(11);
+  Arch a = sp().sample(rng);
+  a.space = SpaceId::kFbnet;  // right bytes, wrong tag
+  EXPECT_FALSE(sp().is_valid(a));
+  EXPECT_THROW(sp().validate(a), Error);
+  Arch b = sp().sample(rng);
+  b.d[0] = 3;  // expansion option index out of range
+  EXPECT_FALSE(sp().is_valid(b));
+  Arch c = sp().sample(rng);
+  c.d[static_cast<std::size_t>(c.n)] = 1;  // nonzero padding past n
+  EXPECT_FALSE(sp().is_valid(c));
 }
 
 TEST(SearchSpaceTest, SampleIsValidAndVaried) {
   Rng rng(1);
   std::set<std::uint64_t> unique;
   for (int i = 0; i < 200; ++i) {
-    const Architecture a = SearchSpace::sample(rng);
-    SearchSpace::validate(a);
-    unique.insert(SearchSpace::to_index(a));
+    const Arch a = sp().sample(rng);
+    sp().validate(a);
+    unique.insert(sp().to_index(a));
   }
   EXPECT_GT(unique.size(), 195u);  // collisions in 7.8e10 are ~impossible
 }
@@ -64,7 +88,7 @@ TEST(SearchSpaceTest, SampleMarginalsRoughlyUniform) {
   int e_counts[3] = {0, 0, 0};
   const int n = 30000;
   for (int i = 0; i < n; ++i) {
-    const Architecture a = SearchSpace::sample(rng);
+    const Architecture a = MnasSpace::to_blocks(sp().sample(rng));
     for (const auto& b : a.blocks) {
       if (b.expansion == 1) ++e_counts[0];
       if (b.expansion == 4) ++e_counts[1];
@@ -78,28 +102,29 @@ TEST(SearchSpaceTest, SampleMarginalsRoughlyUniform) {
 TEST(SearchSpaceTest, MutateChangesExactlyOneDecision) {
   Rng rng(3);
   for (int i = 0; i < 200; ++i) {
-    const Architecture a = SearchSpace::sample(rng);
-    const Architecture m = SearchSpace::mutate(a, rng);
+    const Arch a = sp().sample(rng);
+    const Arch m = sp().mutate(a, rng);
     EXPECT_NE(a, m);
-    const auto da = SearchSpace::to_decisions(a);
-    const auto dm = SearchSpace::to_decisions(m);
     int diffs = 0;
-    for (std::size_t d = 0; d < da.size(); ++d) diffs += da[d] != dm[d];
+    for (int d = 0; d < sp().num_decisions(); ++d) {
+      diffs += a.d[static_cast<std::size_t>(d)] !=
+               m.d[static_cast<std::size_t>(d)];
+    }
     EXPECT_EQ(diffs, 1);
-    SearchSpace::validate(m);
+    sp().validate(m);
   }
 }
 
 TEST(SearchSpaceTest, NeighborsCountAndDistance) {
   Rng rng(4);
-  const Architecture a = SearchSpace::sample(rng);
-  const auto neighbors = SearchSpace::neighbors(a);
+  const Arch a = sp().sample(rng);
+  const auto neighbors = sp().neighbors(a);
   // Sum over decisions of (options - 1) = 7 * (2 + 1 + 2 + 1) = 42.
   EXPECT_EQ(neighbors.size(), 42u);
   std::set<std::uint64_t> unique;
   for (const auto& n : neighbors) {
     EXPECT_NE(n, a);
-    unique.insert(SearchSpace::to_index(n));
+    unique.insert(sp().to_index(n));
   }
   EXPECT_EQ(unique.size(), neighbors.size());
 }
@@ -107,40 +132,51 @@ TEST(SearchSpaceTest, NeighborsCountAndDistance) {
 TEST(SearchSpaceTest, IndexRoundTripSamples) {
   Rng rng(5);
   for (int i = 0; i < 500; ++i) {
-    const Architecture a = SearchSpace::sample(rng);
-    EXPECT_EQ(SearchSpace::from_index(SearchSpace::to_index(a)), a);
+    const Arch a = sp().sample(rng);
+    EXPECT_EQ(sp().from_index(sp().to_index(a)), a);
   }
 }
 
 TEST(SearchSpaceTest, IndexBoundsChecked) {
-  EXPECT_NO_THROW(SearchSpace::from_index(0));
-  EXPECT_NO_THROW(SearchSpace::from_index(SearchSpace::cardinality() - 1));
-  EXPECT_THROW(SearchSpace::from_index(SearchSpace::cardinality()), Error);
+  EXPECT_NO_THROW(sp().from_index(0));
+  EXPECT_NO_THROW(sp().from_index(sp().cardinality() - 1));
+  EXPECT_THROW(sp().from_index(sp().cardinality()), Error);
 }
 
 TEST(SearchSpaceTest, DecisionsRoundTrip) {
   Rng rng(6);
   for (int i = 0; i < 200; ++i) {
-    const Architecture a = SearchSpace::sample(rng);
-    EXPECT_EQ(SearchSpace::from_decisions(SearchSpace::to_decisions(a)), a);
+    const Arch a = sp().sample(rng);
+    std::vector<int> decisions;
+    for (int d = 0; d < sp().num_decisions(); ++d)
+      decisions.push_back(a.d[static_cast<std::size_t>(d)]);
+    EXPECT_EQ(sp().from_decisions(decisions), a);
   }
 }
 
 TEST(SearchSpaceTest, FromDecisionsValidatesShape) {
-  EXPECT_THROW(SearchSpace::from_decisions({0, 1, 2}), Error);
+  EXPECT_THROW(sp().from_decisions({0, 1, 2}), Error);
   std::vector<int> decisions(28, 0);
   decisions[0] = 5;  // expansion index out of range
-  EXPECT_THROW(SearchSpace::from_decisions(decisions), Error);
+  EXPECT_THROW(sp().from_decisions(decisions), Error);
   decisions[0] = -1;
-  EXPECT_THROW(SearchSpace::from_decisions(decisions), Error);
+  EXPECT_THROW(sp().from_decisions(decisions), Error);
+}
+
+TEST(SearchSpaceTest, BlockConversionRoundTrips) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    const Arch a = sp().sample(rng);
+    EXPECT_EQ(MnasSpace::from_blocks(MnasSpace::to_blocks(a)), a);
+  }
 }
 
 TEST(SearchSpaceTest, FeaturesOneHotStructure) {
-  EXPECT_EQ(SearchSpace::feature_dim(), 63);
+  EXPECT_EQ(sp().feature_dim(), 63);
   Rng rng(7);
   for (int i = 0; i < 100; ++i) {
-    const Architecture a = SearchSpace::sample(rng);
-    const auto f = SearchSpace::features(a);
+    const Arch a = sp().sample(rng);
+    const auto f = sp().features(a);
     ASSERT_EQ(f.size(), 63u);
     for (int b = 0; b < kNumBlocks; ++b) {
       const std::size_t base = static_cast<std::size_t>(b) * 9;
@@ -155,9 +191,9 @@ TEST(SearchSpaceTest, FeaturesOneHotStructure) {
 
 TEST(SearchSpaceTest, FeaturesInjective) {
   Rng rng(8);
-  const Architecture a = SearchSpace::sample(rng);
-  const Architecture b = SearchSpace::mutate(a, rng);
-  EXPECT_NE(SearchSpace::features(a), SearchSpace::features(b));
+  const Arch a = sp().sample(rng);
+  const Arch b = sp().mutate(a, rng);
+  EXPECT_NE(sp().features(a), sp().features(b));
 }
 
 // Index bijection property over random raw indices (not just sampled archs).
@@ -166,10 +202,10 @@ class IndexBijection : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(IndexBijection, RoundTripsFromRawIndex) {
   // Map the parameter into the index range deterministically.
   std::uint64_t state = GetParam() + 12345;
-  const std::uint64_t index = splitmix64(state) % SearchSpace::cardinality();
-  const Architecture a = SearchSpace::from_index(index);
-  SearchSpace::validate(a);
-  EXPECT_EQ(SearchSpace::to_index(a), index);
+  const std::uint64_t index = splitmix64(state) % sp().cardinality();
+  const Arch a = sp().from_index(index);
+  sp().validate(a);
+  EXPECT_EQ(sp().to_index(a), index);
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomIndices, IndexBijection,

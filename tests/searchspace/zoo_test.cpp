@@ -10,19 +10,22 @@ namespace anb {
 namespace {
 
 TEST(ZooTest, AllReferenceModelsAreInTheSpace) {
+  const SearchSpace& sp = MnasSpace::instance();
   for (const auto& model : reference_zoo()) {
-    EXPECT_TRUE(SearchSpace::is_valid(model.arch)) << model.name;
+    // from_blocks validates; is_valid double-checks the lifted genotype.
+    EXPECT_TRUE(sp.is_valid(MnasSpace::from_blocks(model.arch))) << model.name;
     EXPECT_FALSE(model.name.empty());
   }
 }
 
 TEST(ZooTest, ZooHasFourDistinctBaselines) {
+  const SearchSpace& sp = MnasSpace::instance();
   const auto zoo = reference_zoo();
   EXPECT_EQ(zoo.size(), 4u);
   std::set<std::uint64_t> unique;
   std::set<std::string> names;
   for (const auto& model : zoo) {
-    unique.insert(SearchSpace::to_index(model.arch));
+    unique.insert(sp.to_index(MnasSpace::from_blocks(model.arch)));
     names.insert(model.name);
   }
   EXPECT_EQ(unique.size(), zoo.size());

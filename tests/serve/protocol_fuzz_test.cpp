@@ -75,7 +75,7 @@ class ProtocolFuzzTest : public ::testing::Test {
   void expect_alive() {
     Client client(server_->socket_path());
     EXPECT_EQ(client.query_accuracy(arch_),
-              bench_->query_accuracy(SearchSpace::from_index(arch_)));
+              bench_->query_accuracy(MnasSpace::instance().from_index(arch_)));
   }
 
   static int cases_;
@@ -133,8 +133,8 @@ TEST_F(ProtocolFuzzTest, BadMagicAndVersion) {
     EXPECT_EQ(reply->type, MsgType::kError);
     EXPECT_EQ(reply->code, ErrorCode::kBadMagic);
   }
-  for (const std::uint16_t version : {std::uint16_t{0}, std::uint16_t{2},
-                                      std::uint16_t{0xFFFF}}) {
+  for (const std::uint16_t version : {std::uint16_t{0}, std::uint16_t{1},
+                                      std::uint16_t{3}, std::uint16_t{0xFFFF}}) {
     std::vector<char> bytes = good;
     std::memcpy(bytes.data() + 8, &version, 2);
     const auto reply = poke(bytes);
@@ -142,6 +142,47 @@ TEST_F(ProtocolFuzzTest, BadMagicAndVersion) {
     EXPECT_EQ(reply->type, MsgType::kError);
     EXPECT_EQ(reply->code, ErrorCode::kBadVersion);
   }
+  expect_alive();
+}
+
+TEST_F(ProtocolFuzzTest, V1FrameVersionSkew) {
+  // A faithful protocol-v1 query frame (version 1, no space field, bare
+  // u64 index payload): the version gate must reject it as kBadVersion
+  // before the payload is ever decoded — a v1 payload parsed with v2
+  // offsets would misread the index.
+  std::vector<char> frame(4 + kHeaderBytes + 8, 0);
+  const std::uint32_t length = kHeaderBytes + 8;
+  const std::uint32_t magic = 0x51424E41u;  // "ANBQ"
+  const std::uint16_t version = 1;
+  const std::uint16_t type =
+      static_cast<std::uint16_t>(MsgType::kQueryAccuracy);
+  const std::uint64_t request_id = 77;
+  std::memcpy(frame.data(), &length, 4);
+  std::memcpy(frame.data() + 4, &magic, 4);
+  std::memcpy(frame.data() + 8, &version, 2);
+  std::memcpy(frame.data() + 10, &type, 2);
+  std::memcpy(frame.data() + 12, &request_id, 8);
+  std::memcpy(frame.data() + 20, &arch_, 8);
+  const auto reply = poke(frame);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, MsgType::kError);
+  EXPECT_EQ(reply->code, ErrorCode::kBadVersion);
+  expect_alive();
+}
+
+TEST_F(ProtocolFuzzTest, RegisteredButMismatchedSpace) {
+  // FBNet is a registered space, so the frame parses — but this server's
+  // benchmark is MnasNet-backed, and the server must answer a typed
+  // kUnknownSpace (not serve a value from the wrong space's surrogates).
+  ++cases_;
+  Client client(server_->socket_path());
+  const std::vector<char> frame =
+      encode_query_accuracy(21, arch_, SpaceId::kFbnet);
+  ASSERT_TRUE(client.socket().send_all(frame));
+  const Reply reply = client.recv_reply();
+  EXPECT_EQ(reply.type, MsgType::kError);
+  EXPECT_EQ(reply.code, ErrorCode::kUnknownSpace);
+  client.ping();  // connection stays usable
   expect_alive();
 }
 
@@ -181,60 +222,90 @@ TEST_F(ProtocolFuzzTest, PayloadViolations) {
     std::vector<char> f = encode_frame(static_cast<MsgType>(type), 5, {});
     cases.push_back({std::move(f), ErrorCode::kUnknownType});
   }
-  // Short / long payloads for every typed request.
+  // Short / long payloads for every typed request (v2 payloads lead with
+  // a u16 space id; a valid one keeps these cases pure size violations).
+  const std::uint16_t mnas = static_cast<std::uint16_t>(SpaceId::kMnasNet);
   cases.push_back({encode_frame(MsgType::kQueryAccuracy, 6, {}),
                    ErrorCode::kBadPayload});
   {
-    std::vector<char> tail(4, 0);
+    std::vector<char> tail(6, 0);
+    std::memcpy(tail.data(), &mnas, 2);
     cases.push_back({encode_frame(MsgType::kQueryAccuracy, 7, tail),
                      ErrorCode::kBadPayload});
-    std::vector<char> fat(12, 0);
+    std::vector<char> fat(14, 0);
+    std::memcpy(fat.data(), &mnas, 2);
     cases.push_back({encode_frame(MsgType::kQueryAccuracy, 8, fat),
                      ErrorCode::kBadPayload});
     std::vector<char> hello_short(4, 0);
     cases.push_back({encode_frame(MsgType::kHello, 9, hello_short),
                      ErrorCode::kBadPayload});
     std::vector<char> perf_short(2, 0);
+    std::memcpy(perf_short.data(), &mnas, 2);
     cases.push_back({encode_frame(MsgType::kQueryPerf, 10, perf_short),
                      ErrorCode::kBadPayload});
   }
   // Out-of-range architecture index.
   {
-    const std::uint64_t bad = SearchSpace::cardinality();
-    std::vector<char> payload(8);
-    std::memcpy(payload.data(), &bad, 8);
+    const std::uint64_t bad = MnasSpace::instance().cardinality();
+    std::vector<char> payload(10);
+    std::memcpy(payload.data(), &mnas, 2);
+    std::memcpy(payload.data() + 2, &bad, 8);
     cases.push_back({encode_frame(MsgType::kQueryAccuracy, 11, payload),
                      ErrorCode::kBadArchIndex});
   }
-  // Bad device / metric bytes.
-  for (const int device : {6, 7, 255}) {
-    std::vector<char> payload(10, 0);
-    payload[0] = static_cast<char>(device);
-    std::memcpy(payload.data() + 2, &arch_, 8);
+  // Bad device / metric bytes (device 6 and 7 became npu-mobile and
+  // cpu-server; metric 3 became Mem — 8 and 4 are the new fences).
+  for (const int device : {8, 9, 255}) {
+    std::vector<char> payload(12, 0);
+    std::memcpy(payload.data(), &mnas, 2);
+    payload[2] = static_cast<char>(device);
+    std::memcpy(payload.data() + 4, &arch_, 8);
     cases.push_back({encode_frame(MsgType::kQueryPerf, 12, payload),
                      ErrorCode::kBadMetricKey});
   }
   {
-    std::vector<char> payload(10, 0);
-    payload[1] = 3;  // metric out of range
-    std::memcpy(payload.data() + 2, &arch_, 8);
+    std::vector<char> payload(12, 0);
+    std::memcpy(payload.data(), &mnas, 2);
+    payload[3] = 4;  // metric out of range
+    std::memcpy(payload.data() + 4, &arch_, 8);
     cases.push_back({encode_frame(MsgType::kQueryPerf, 13, payload),
                      ErrorCode::kBadMetricKey});
+  }
+  // Unknown space ids on every query shape: typed kUnknownSpace, checked
+  // before the index so a wild id cannot reach space-specific decoding.
+  for (const std::uint16_t space : {std::uint16_t{0}, std::uint16_t{3},
+                                    std::uint16_t{0xFFFF}}) {
+    std::vector<char> payload(10, 0);
+    std::memcpy(payload.data(), &space, 2);
+    std::memcpy(payload.data() + 2, &arch_, 8);
+    cases.push_back({encode_frame(MsgType::kQueryAccuracy, 17, payload),
+                     ErrorCode::kUnknownSpace});
+    std::vector<char> perf(12, 0);
+    std::memcpy(perf.data(), &space, 2);
+    std::memcpy(perf.data() + 4, &arch_, 8);
+    cases.push_back({encode_frame(MsgType::kQueryPerf, 18, perf),
+                     ErrorCode::kUnknownSpace});
+    std::vector<char> batch(6, 0);
+    std::memcpy(batch.data(), &space, 2);
+    cases.push_back({encode_frame(MsgType::kQueryAccuracyBatch, 19, batch),
+                     ErrorCode::kUnknownSpace});
   }
   // Batch count lies: count larger than the rows present, and a count
   // over kMaxBatchRows with no rows at all.
   {
-    std::vector<char> payload(4 + 8);
+    std::vector<char> payload(2 + 4 + 8);
     const std::uint32_t count = 5;  // but only one row follows
-    std::memcpy(payload.data(), &count, 4);
-    std::memcpy(payload.data() + 4, &arch_, 8);
+    std::memcpy(payload.data(), &mnas, 2);
+    std::memcpy(payload.data() + 2, &count, 4);
+    std::memcpy(payload.data() + 6, &arch_, 8);
     cases.push_back({encode_frame(MsgType::kQueryAccuracyBatch, 14, payload),
                      ErrorCode::kBadPayload});
   }
   {
-    std::vector<char> payload(4);
+    std::vector<char> payload(6);
     const std::uint32_t count = kMaxBatchRows + 1;
-    std::memcpy(payload.data(), &count, 4);
+    std::memcpy(payload.data(), &mnas, 2);
+    std::memcpy(payload.data() + 2, &count, 4);
     cases.push_back({encode_frame(MsgType::kQueryAccuracyBatch, 15, payload),
                      ErrorCode::kBatchTooLarge});
   }

@@ -63,12 +63,13 @@ std::vector<Op> make_script(std::uint64_t seed,
 
 /// Serial oracle: scalar queries on a cache-less bench, no server at all.
 std::vector<std::vector<double>> oracle(const AccelNASBench& bench,
-                                        const std::vector<Op>& script) {
+                                        const std::vector<Op>& script,
+                                        const SearchSpace& sp) {
   std::vector<std::vector<double>> out;
   for (const Op& op : script) {
     std::vector<double> values;
     for (std::uint64_t index : op.archs) {
-      const Architecture arch = SearchSpace::from_index(index);
+      const Arch arch = sp.from_index(index);
       values.push_back(op.accuracy ? bench.query_accuracy(arch)
                                    : bench.query_perf(arch, op.key));
     }
@@ -80,20 +81,21 @@ std::vector<std::vector<double>> oracle(const AccelNASBench& bench,
 /// Replay `script` through a client connection; returns per-op values.
 std::vector<std::vector<double>> replay(const std::string& socket_path,
                                         std::uint64_t client_id,
-                                        const std::vector<Op>& script) {
+                                        const std::vector<Op>& script,
+                                        SpaceId space) {
   Client client(socket_path);
   client.hello(client_id, 0);
   std::vector<std::vector<double>> out;
   for (const Op& op : script) {
     if (op.archs.size() == 1) {
-      const double v = op.accuracy
-                           ? client.query_accuracy(op.archs[0])
-                           : client.query_perf(op.key, op.archs[0]);
+      const double v =
+          op.accuracy ? client.query_accuracy(op.archs[0], space)
+                      : client.query_perf(op.key, op.archs[0], space);
       out.push_back({v});
     } else {
       out.push_back(op.accuracy
-                        ? client.query_accuracy_batch(op.archs)
-                        : client.query_perf_batch(op.key, op.archs));
+                        ? client.query_accuracy_batch(op.archs, space)
+                        : client.query_perf_batch(op.key, op.archs, space));
     }
   }
   return out;
@@ -101,13 +103,19 @@ std::vector<std::vector<double>> replay(const std::string& socket_path,
 
 class ServeDeterminismTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    bench_ = make_bench(11);
+  void SetUp() override { init(MnasSpace::instance()); }
+
+  /// Space-generic fixture body: the FBNet suite below re-enters it with
+  /// the other registered space.
+  void init(const SearchSpace& sp) {
+    register_builtin_spaces();
+    space_ = sp.id();
+    bench_ = make_bench(11, sp);
     bench_.set_cache_enabled(false);  // determinism must not lean on it
-    pool_ = distinct_indices(16, 21);
+    pool_ = distinct_indices(16, 21, sp);
     for (std::uint64_t c = 0; c < kClients; ++c) {
       scripts_.push_back(make_script(100 + c, pool_));
-      expected_.push_back(oracle(bench_, scripts_.back()));
+      expected_.push_back(oracle(bench_, scripts_.back(), sp));
     }
   }
 
@@ -126,7 +134,7 @@ class ServeDeterminismTest : public ::testing::Test {
     std::vector<std::thread> threads;
     for (std::uint64_t c = 0; c < kClients; ++c) {
       threads.emplace_back([this, &server, &got, c] {
-        got[c] = replay(server.socket_path(), c, scripts_[c]);
+        got[c] = replay(server.socket_path(), c, scripts_[c], space_);
       });
     }
     for (auto& t : threads) t.join();
@@ -149,6 +157,7 @@ class ServeDeterminismTest : public ::testing::Test {
   }
 
   static constexpr std::uint64_t kClients = 6;
+  SpaceId space_ = SpaceId::kMnasNet;
   AccelNASBench bench_;
   std::vector<std::uint64_t> pool_;
   std::vector<std::vector<Op>> scripts_;
@@ -195,6 +204,22 @@ TEST_F(ServeDeterminismTest, ReportIsExactAndConserved) {
   EXPECT_EQ(bucket_total, want_rows);
 }
 
+/// The acceptance contract holds per space: an FBNet-backed server must
+/// be just as bit-identical across thread counts and coalescing settings
+/// as the MnasNet one (same scripts, FBNet index pool and genotypes).
+class FbnetServeDeterminismTest : public ServeDeterminismTest {
+ protected:
+  void SetUp() override { init(FbnetSpace::instance()); }
+};
+
+TEST_F(FbnetServeDeterminismTest, BitIdenticalAcrossThreadCountsAndCoalescing) {
+  run_config(/*coalescing=*/true, /*worker_threads=*/1, /*batch_max=*/64);
+  run_config(/*coalescing=*/true, /*worker_threads=*/2, /*batch_max=*/64);
+  run_config(/*coalescing=*/true, /*worker_threads=*/0, /*batch_max=*/64);
+  run_config(/*coalescing=*/true, /*worker_threads=*/2, /*batch_max=*/3);
+  run_config(/*coalescing=*/false, /*worker_threads=*/1, /*batch_max=*/64);
+}
+
 TEST_F(ServeDeterminismTest, BackpressureIsDeterministicUnderPause) {
   // With a tiny queue and flushing paused, admissions are exact: the
   // first `queue_capacity` rows are admitted, every later submit gets
@@ -235,7 +260,7 @@ TEST_F(ServeDeterminismTest, BackpressureIsDeterministicUnderPause) {
       ASSERT_EQ(reply.type, MsgType::kValue);
       EXPECT_EQ(reply.value,
                 oracle_bench.query_accuracy(
-                    SearchSpace::from_index(arch_by_id.at(reply.request_id))));
+                    MnasSpace::instance().from_index(arch_by_id.at(reply.request_id))));
       ++ok;
     }
   }

@@ -41,7 +41,7 @@ class ServeFaultTest : public ::testing::Test {
     pool_ = distinct_indices(12, 61);
     for (std::uint64_t index : pool_) {
       expected_.push_back(
-          bench_.query_accuracy(SearchSpace::from_index(index)));
+          bench_.query_accuracy(MnasSpace::instance().from_index(index)));
     }
   }
 
@@ -171,7 +171,7 @@ TEST_F(ServeFaultTest, StalledClientDoesNotBlockOtherBuckets) {
     client.hello(100, 0);
     for (std::uint64_t index : pool_) {
       EXPECT_EQ(client.query_accuracy(index),
-                bench_.query_accuracy(SearchSpace::from_index(index)));
+                bench_.query_accuracy(MnasSpace::instance().from_index(index)));
     }
   });
 
@@ -184,7 +184,7 @@ TEST_F(ServeFaultTest, StalledClientDoesNotBlockOtherBuckets) {
         const auto values = client.query_perf_batch(kA100Thr, pool_);
         for (std::size_t i = 0; i < pool_.size(); ++i) {
           EXPECT_EQ(values[i],
-                    bench_.query_perf(SearchSpace::from_index(pool_[i]),
+                    bench_.query_perf(MnasSpace::instance().from_index(pool_[i]),
                                       kA100Thr));
         }
       }

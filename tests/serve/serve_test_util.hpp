@@ -12,16 +12,18 @@
 
 #include "anb/anb/benchmark.hpp"
 #include "anb/anb/tuning.hpp"
+#include "anb/fbnet/fbnet_space.hpp"
 
 namespace anb::serve_test {
 
-inline std::unique_ptr<Surrogate> fitted_model(std::uint64_t seed,
-                                               double scale = 1.0) {
-  Dataset ds(static_cast<std::size_t>(SearchSpace::feature_dim()));
+inline std::unique_ptr<Surrogate> fitted_model(
+    std::uint64_t seed, double scale = 1.0,
+    const SearchSpace& sp = MnasSpace::instance()) {
+  Dataset ds(static_cast<std::size_t>(sp.feature_dim()));
   Rng rng(seed);
   for (int i = 0; i < 150; ++i) {
-    const Architecture a = SearchSpace::sample(rng);
-    const auto f = SearchSpace::features(a);
+    const Arch a = sp.sample(rng);
+    const auto f = sp.features(a);
     double y = 0.0;
     for (double v : f) y += v;
     ds.add(f, scale * y + rng.normal(0.0, 0.01));
@@ -36,24 +38,28 @@ inline constexpr MetricKey kA100Thr{DeviceKind::kA100,
 inline constexpr MetricKey kZcuLat{DeviceKind::kZcu102, PerfMetric::kLatency};
 
 /// Accuracy + two perf targets, so requests spread over three scheduler
-/// buckets. Deterministic in `seed`.
-inline AccelNASBench make_bench(std::uint64_t seed = 1) {
+/// buckets. Deterministic in `seed`; serves the given space's genotypes
+/// (MnasNet by default, matching the pre-multi-space suites).
+inline AccelNASBench make_bench(std::uint64_t seed = 1,
+                                const SearchSpace& sp =
+                                    MnasSpace::instance()) {
   AccelNASBench bench;
-  bench.set_accuracy_surrogate(fitted_model(seed));
-  bench.set_perf_surrogate(kA100Thr, fitted_model(seed + 1, 100.0));
-  bench.set_perf_surrogate(kZcuLat, fitted_model(seed + 2, 0.5));
+  bench.set_space(sp.id());
+  bench.set_accuracy_surrogate(fitted_model(seed, 1.0, sp));
+  bench.set_perf_surrogate(kA100Thr, fitted_model(seed + 1, 100.0, sp));
+  bench.set_perf_surrogate(kZcuLat, fitted_model(seed + 2, 0.5, sp));
   return bench;
 }
 
-/// `n` pairwise-distinct architecture indices.
-inline std::vector<std::uint64_t> distinct_indices(std::size_t n,
-                                                   std::uint64_t seed) {
+/// `n` pairwise-distinct architecture indices in the given space.
+inline std::vector<std::uint64_t> distinct_indices(
+    std::size_t n, std::uint64_t seed,
+    const SearchSpace& sp = MnasSpace::instance()) {
   std::set<std::uint64_t> seen;
   std::vector<std::uint64_t> out;
   Rng rng(seed);
   while (out.size() < n) {
-    const std::uint64_t index =
-        SearchSpace::to_index(SearchSpace::sample(rng));
+    const std::uint64_t index = sp.to_index(sp.sample(rng));
     if (seen.insert(index).second) out.push_back(index);
   }
   return out;

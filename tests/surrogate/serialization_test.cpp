@@ -235,8 +235,10 @@ const std::string& saved_benchmark_text() {
 
 /// Walks the document in deterministic order and erases the `target`-th
 /// droppable object key. Keys whose removal legally yields a *valid*
-/// benchmark are not droppable: the optional top-level "accuracy" and the
-/// entries of the top-level "perf" map (each perf surrogate is optional).
+/// benchmark are not droppable: the optional top-level "accuracy", the
+/// entries of the top-level "perf" map (each perf surrogate is optional),
+/// and the top-level "space" tag (absent in pre-multi-space artifacts,
+/// which load as MnasNet).
 /// Returns true once a key was erased; `target` counts down in-place.
 bool drop_nth_key(Json& j, int& target, bool is_root, bool is_perf_map) {
   if (j.is_array()) {
@@ -248,7 +250,8 @@ bool drop_nth_key(Json& j, int& target, bool is_root, bool is_perf_map) {
   if (!j.is_object()) return false;
   for (auto& [key, child] : j.as_object()) {
     const bool droppable =
-        !is_perf_map && !(is_root && key == "accuracy");
+        !is_perf_map &&
+        !(is_root && (key == "accuracy" || key == "space"));
     if (droppable && target-- == 0) {
       j.as_object().erase(key);
       return true;
@@ -561,6 +564,34 @@ std::vector<std::pair<std::string, std::string>> binary_corruption_corpus() {
         "sections " + std::to_string(i) + "/" + std::to_string(i + 1) +
             " swapped out of order",
         repatch_checksum(std::move(bad)));
+  }
+
+  // --- Space-section payload tampering, checksum repatched: the artifact
+  // carries a Tag::kSpace descriptor (section version u32 + space id u32);
+  // the benchmark loader must reject unknown section versions, unknown
+  // space ids, and a descriptor of the wrong size.
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table[i].tag != static_cast<std::uint32_t>(bin::Tag::kSpace))
+      continue;
+    const auto payload = static_cast<std::size_t>(table[i].offset);
+    for (const std::uint32_t version : {0u, 2u, 0xFFFFFFFFu}) {
+      std::string bad = good;
+      store_u32(bad, payload, version);
+      corpus.emplace_back(
+          "space section version " + std::to_string(version),
+          repatch_checksum(std::move(bad)));
+    }
+    for (const std::uint32_t id : {0u, 3u, 0xFFFFu, 0xFFFFFFFFu}) {
+      std::string bad = good;
+      store_u32(bad, payload + 4, id);
+      corpus.emplace_back("space id " + std::to_string(id),
+                          repatch_checksum(std::move(bad)));
+    }
+    // In-bounds but wrong-size descriptor (half the struct).
+    std::string bad = good;
+    store_u64(bad, bin::kHeaderSize + i * bin::kSectionEntrySize + 16, 4);
+    corpus.emplace_back("space section truncated to 4 bytes",
+                        repatch_checksum(std::move(bad)));
   }
 
   return corpus;

@@ -29,7 +29,7 @@ class SimulatorTest : public ::testing::Test {
 
 TEST_F(SimulatorTest, DeterministicAcrossInstances) {
   TrainingSimulator other(42);
-  const Architecture a = SearchSpace::sample(rng_);
+  const Architecture a = MnasSpace::to_blocks(MnasSpace::instance().sample(rng_));
   const auto r1 = sim_.train(a, reference_scheme(), 3);
   const auto r2 = other.train(a, reference_scheme(), 3);
   EXPECT_DOUBLE_EQ(r1.top1, r2.top1);
@@ -41,14 +41,14 @@ TEST_F(SimulatorTest, WorldSeedChangesLandscape) {
   // Latent quality differs between worlds for at least some architectures.
   int diffs = 0;
   for (int i = 0; i < 20; ++i) {
-    const Architecture a = SearchSpace::sample(rng_);
+    const Architecture a = MnasSpace::to_blocks(MnasSpace::instance().sample(rng_));
     diffs += std::abs(sim_.latent_quality(a) - other.latent_quality(a)) > 1e-6;
   }
   EXPECT_GT(diffs, 15);
 }
 
 TEST_F(SimulatorTest, SeedNoiseIsSmallAndZeroMeanIsh) {
-  const Architecture a = SearchSpace::sample(rng_);
+  const Architecture a = MnasSpace::to_blocks(MnasSpace::instance().sample(rng_));
   const double expected = sim_.expected_accuracy(a, reference_scheme());
   std::vector<double> runs;
   for (int s = 0; s < 40; ++s)
@@ -60,7 +60,7 @@ TEST_F(SimulatorTest, SeedNoiseIsSmallAndZeroMeanIsh) {
 
 TEST_F(SimulatorTest, MoreEpochsMeansHigherAccuracy) {
   for (int i = 0; i < 10; ++i) {
-    const Architecture a = SearchSpace::sample(rng_);
+    const Architecture a = MnasSpace::to_blocks(MnasSpace::instance().sample(rng_));
     const double a10 = sim_.expected_accuracy(a, proxy_scheme(10, 224));
     const double a50 = sim_.expected_accuracy(a, proxy_scheme(50, 224));
     const double a200 = sim_.expected_accuracy(a, proxy_scheme(200, 224));
@@ -71,14 +71,14 @@ TEST_F(SimulatorTest, MoreEpochsMeansHigherAccuracy) {
 
 TEST_F(SimulatorTest, HigherResolutionMeansHigherAccuracy) {
   for (int i = 0; i < 10; ++i) {
-    const Architecture a = SearchSpace::sample(rng_);
+    const Architecture a = MnasSpace::to_blocks(MnasSpace::instance().sample(rng_));
     EXPECT_LT(sim_.expected_accuracy(a, proxy_scheme(30, 160)),
               sim_.expected_accuracy(a, proxy_scheme(30, 224)));
   }
 }
 
 TEST_F(SimulatorTest, HugeBatchCostsAccuracy) {
-  const Architecture a = SearchSpace::sample(rng_);
+  const Architecture a = MnasSpace::to_blocks(MnasSpace::instance().sample(rng_));
   auto big = proxy_scheme(30, 224);
   big.batch_size = 4096;
   EXPECT_LT(sim_.expected_accuracy(a, big),
@@ -87,7 +87,7 @@ TEST_F(SimulatorTest, HugeBatchCostsAccuracy) {
 
 TEST_F(SimulatorTest, AccuracyInValidRange) {
   for (int i = 0; i < 50; ++i) {
-    const Architecture a = SearchSpace::sample(rng_);
+    const Architecture a = MnasSpace::to_blocks(MnasSpace::instance().sample(rng_));
     const double acc = sim_.train(a, proxy_scheme(10, 160), i).top1;
     EXPECT_GT(acc, 0.0);
     EXPECT_LT(acc, 1.0);
@@ -97,7 +97,7 @@ TEST_F(SimulatorTest, AccuracyInValidRange) {
 TEST_F(SimulatorTest, ReferenceAccuracyRealisticRange) {
   // ImageNet top-1 for this space: roughly 55-80%.
   for (int i = 0; i < 100; ++i) {
-    const Architecture a = SearchSpace::sample(rng_);
+    const Architecture a = MnasSpace::to_blocks(MnasSpace::instance().sample(rng_));
     const double acc = sim_.reference_accuracy(a);
     EXPECT_GT(acc, 0.50);
     EXPECT_LT(acc, 0.85);
@@ -114,7 +114,7 @@ TEST_F(SimulatorTest, CapacityImprovesQuality) {
 }
 
 TEST_F(SimulatorTest, TrainingCostScalesWithEpochsAndResolution) {
-  const Architecture a = SearchSpace::sample(rng_);
+  const Architecture a = MnasSpace::to_blocks(MnasSpace::instance().sample(rng_));
   const double c10 = sim_.training_cost_hours(a, proxy_scheme(10, 224));
   const double c20 = sim_.training_cost_hours(a, proxy_scheme(20, 224));
   EXPECT_NEAR(c20 / c10, 2.0, 1e-9);
@@ -123,7 +123,7 @@ TEST_F(SimulatorTest, TrainingCostScalesWithEpochsAndResolution) {
 }
 
 TEST_F(SimulatorTest, ProgressiveResizingSavesTime) {
-  const Architecture a = SearchSpace::sample(rng_);
+  const Architecture a = MnasSpace::to_blocks(MnasSpace::instance().sample(rng_));
   TrainingScheme ramp = proxy_scheme(30, 224);
   ramp.res_start = 128;
   ramp.resize_finish_epoch = 20;
@@ -152,7 +152,7 @@ TEST_F(SimulatorTest, ProxyPreservesRankingsApproximately) {
   // The central premise (Eq. 1): a sane proxy keeps tau high.
   std::vector<double> ref, prox;
   for (int i = 0; i < 150; ++i) {
-    const Architecture a = SearchSpace::sample(rng_);
+    const Architecture a = MnasSpace::to_blocks(MnasSpace::instance().sample(rng_));
     ref.push_back(sim_.train(a, reference_scheme(), 0).top1);
     prox.push_back(sim_.train(a, proxy_scheme(30, 224), 0).top1);
   }
@@ -162,7 +162,7 @@ TEST_F(SimulatorTest, ProxyPreservesRankingsApproximately) {
 TEST_F(SimulatorTest, AggressiveProxyDegradesRankings) {
   std::vector<double> ref, gentle, harsh;
   for (int i = 0; i < 150; ++i) {
-    const Architecture a = SearchSpace::sample(rng_);
+    const Architecture a = MnasSpace::to_blocks(MnasSpace::instance().sample(rng_));
     ref.push_back(sim_.expected_accuracy(a, reference_scheme()));
     gentle.push_back(sim_.train(a, proxy_scheme(50, 224), 0).top1);
     harsh.push_back(sim_.train(a, proxy_scheme(10, 160), 0).top1);
@@ -176,7 +176,7 @@ TEST_F(SimulatorTest, InvalidInputsThrow) {
   EXPECT_THROW(sim_.latent_quality(bad), Error);
   TrainingScheme s = proxy_scheme(10, 224);
   s.resize_finish_epoch = 20;  // > total
-  const Architecture ok = SearchSpace::sample(rng_);
+  const Architecture ok = MnasSpace::to_blocks(MnasSpace::instance().sample(rng_));
   EXPECT_THROW(sim_.train(ok, s, 0), Error);
 }
 
@@ -188,7 +188,7 @@ TEST_F(SimulatorTest, Int8DropSmallAndStructured) {
   const double d_all_se = sim_.int8_accuracy_drop(all_se);
   EXPECT_GT(d_all_se, d_no_se);  // SE gates quantize poorly
   for (int i = 0; i < 30; ++i) {
-    const double d = sim_.int8_accuracy_drop(SearchSpace::sample(rng_));
+    const double d = sim_.int8_accuracy_drop(MnasSpace::to_blocks(MnasSpace::instance().sample(rng_)));
     EXPECT_GT(d, 0.0);
     EXPECT_LT(d, 0.02);  // PTQ on convnets: well under 2 points
   }
@@ -207,7 +207,7 @@ class EpochMonotonicity : public ::testing::TestWithParam<int> {};
 TEST_P(EpochMonotonicity, AccuracyNonDecreasingInEpochs) {
   TrainingSimulator sim(42);
   Rng rng(static_cast<std::uint64_t>(GetParam()) + 500);
-  const Architecture a = SearchSpace::sample(rng);
+  const Architecture a = MnasSpace::to_blocks(MnasSpace::instance().sample(rng));
   double prev = 0.0;
   for (int epochs : {10, 15, 20, 30, 50, 100, 200}) {
     const double acc = sim.expected_accuracy(a, proxy_scheme(epochs, 224));

@@ -15,8 +15,9 @@
 //
 //   anbench query  --bench FILE --arch SPEC [--device D] [--metric M]
 //       Zero-cost accuracy (default) or device-performance query.
-//       SPEC uses the compact format, e.g.
+//       SPEC uses the space's native compact format; for MnasNet e.g.
 //       e1k3L1s0-e6k3L2s0-e6k5L2s1-e6k3L3s1-e6k5L3s1-e6k5L3s1-e6k3L1s1
+//       and for FBNet a dash-separated op list (e.g. e6k3-skip-...).
 //
 //   anbench search --bench FILE --device D --metric M [--budget N]
 //       Bi-objective REINFORCE search over the surrogates; prints the front.
@@ -33,7 +34,12 @@
 //       Query a running server instead of opening an artifact, or ask it
 //       to stop.
 //
-// Devices: tpuv2 tpuv3 a100 rtx3090 zcu102 vck190; metrics: Thr Lat Enr.
+// Every subcommand that touches architectures takes --space
+// {mnasnet,fbnet} (default mnasnet); query/search/serve validate it
+// against the artifact's space.
+//
+// Devices: tpuv2 tpuv3 a100 rtx3090 zcu102 vck190 npu-mobile cpu-server;
+// metrics: Thr Lat Enr Mem.
 
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +50,7 @@
 
 #include "anb/anb/harness.hpp"
 #include "anb/anb/pipeline.hpp"
+#include "anb/fbnet/fbnet_space.hpp"
 #include "anb/serve/client.hpp"
 #include "anb/serve/server.hpp"
 #include "anb/util/table.hpp"
@@ -98,6 +105,12 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
+/// Resolve the --space flag (default mnasnet; exact-match names).
+const SearchSpace& space_arg(const Args& args) {
+  register_builtin_spaces();
+  return space_from_name(args.get("space", "mnasnet"));
+}
+
 /// True when `path` names the zero-copy binary container format.
 bool wants_binary(const std::string& path) {
   const std::string ext = ".anbb";
@@ -118,16 +131,24 @@ int cmd_build(const Args& args) {
   PipelineOptions options;
   options.world_seed =
       static_cast<std::uint64_t>(args.get_int("seed", 42));
+  options.space = space_arg(args).id();
   options.n_archs = args.get_int("archs", 2600);
   options.tune = args.has("tune");
   options.collect_energy = args.has("energy");
+  options.collect_peak_memory = args.has("memory");
   options.run_proxy_search = args.has("proxy-search");
+  if (args.has("extended-devices")) {
+    for (const Device& device : extended_device_catalog())
+      options.devices.push_back(device.kind());
+  }
   const std::string out = args.get("out", "accel_nasbench.json");
 
-  std::printf("building benchmark: %d archs, tune=%s, energy=%s, "
-              "proxy-search=%s\n",
-              options.n_archs, options.tune ? "yes" : "no",
+  std::printf("building benchmark: space=%s, %d archs, tune=%s, energy=%s, "
+              "memory=%s, proxy-search=%s\n",
+              space_name(options.space), options.n_archs,
+              options.tune ? "yes" : "no",
               options.collect_energy ? "yes" : "no",
+              options.collect_peak_memory ? "yes" : "no",
               options.run_proxy_search ? "yes" : "no");
   const PipelineResult result = construct_benchmark(options);
   std::printf("p* = %s\n", result.p_star.to_string().c_str());
@@ -158,16 +179,25 @@ int cmd_info(const Args& args) {
   std::printf("performance surrogates (%zu):\n", targets.size());
   for (const MetricKey key : targets)
     std::printf("  %s\n", dataset_name(key).c_str());
-  std::printf("search space: MnasNet, %llu architectures, %d one-hot "
+  register_builtin_spaces();
+  const SearchSpace& sp = anb::space(bench.space());
+  std::printf("search space: %s, %llu architectures, %d one-hot "
               "features\n",
-              static_cast<unsigned long long>(SearchSpace::cardinality()),
-              SearchSpace::feature_dim());
+              sp.name(), static_cast<unsigned long long>(sp.cardinality()),
+              sp.feature_dim());
   return 0;
 }
 
 int cmd_query(const Args& args) {
   const AccelNASBench bench = AccelNASBench::open(args.require("bench"));
-  const Architecture arch = Architecture::from_string(args.require("arch"));
+  const SearchSpace& sp = space_arg(args);
+  if (sp.id() != bench.space()) {
+    usage(("--space " + std::string(sp.name()) +
+           " does not match the artifact's space " +
+           space_name(bench.space()))
+              .c_str());
+  }
+  const Arch arch = sp.arch_from_string(args.require("arch"));
   if (args.has("device")) {
     const MetricKey key{device_kind_from_name(args.require("device")),
                         perf_metric_from_name(args.get("metric", "Thr"))};
@@ -181,6 +211,11 @@ int cmd_query(const Args& args) {
 
 int cmd_search(const Args& args) {
   const AccelNASBench bench = AccelNASBench::open(args.require("bench"));
+  register_builtin_spaces();
+  if (args.has("space") && space_arg(args).id() != bench.space()) {
+    usage("--space does not match the artifact's space");
+  }
+  const SearchSpace& sp = anb::space(bench.space());
   ParetoSearchConfig config;
   config.key = MetricKey{device_kind_from_name(args.require("device")),
                          perf_metric_from_name(args.get("metric", "Thr"))};
@@ -194,7 +229,7 @@ int cmd_search(const Args& args) {
   for (std::size_t idx : outcome.front) {
     table.add_row({TextTable::num(outcome.accuracy[idx], 4),
                    TextTable::num(outcome.perf[idx], 2),
-                   outcome.archs[idx].to_string()});
+                   sp.arch_to_string(outcome.archs[idx])});
   }
   table.print(std::cout);
   return 0;
@@ -202,6 +237,9 @@ int cmd_search(const Args& args) {
 
 int cmd_serve(const Args& args) {
   const AccelNASBench bench = AccelNASBench::open(args.require("bench"));
+  if (args.has("space") && space_arg(args).id() != bench.space()) {
+    usage("--space does not match the artifact's space");
+  }
   serve::ServeOptions options;
   options.socket_path = args.get("socket", "");
   options.coalescing = !args.has("no-coalescing");
@@ -220,24 +258,27 @@ int cmd_query_remote(const Args& args) {
     std::printf("server shut down\n");
     return 0;
   }
-  const Architecture arch = Architecture::from_string(args.require("arch"));
-  const std::uint64_t index = SearchSpace::to_index(arch);
+  const SearchSpace& sp = space_arg(args);
+  const Arch arch = sp.arch_from_string(args.require("arch"));
+  const std::uint64_t index = sp.to_index(arch);
   if (args.has("device")) {
     const MetricKey key{device_kind_from_name(args.require("device")),
                         perf_metric_from_name(args.get("metric", "Thr"))};
     std::printf("%s %s = %.4f\n", device_kind_name(key.device),
-                perf_metric_name(key.metric), client.query_perf(key, index));
+                perf_metric_name(key.metric),
+                client.query_perf(key, index, sp.id()));
   } else {
-    std::printf("top1 = %.4f\n", client.query_accuracy(index));
+    std::printf("top1 = %.4f\n", client.query_accuracy(index, sp.id()));
   }
   return 0;
 }
 
 int cmd_random(const Args& args) {
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const SearchSpace& sp = space_arg(args);
   const int count = args.get_int("count", 5);
   for (int i = 0; i < count; ++i)
-    std::printf("%s\n", SearchSpace::sample(rng).to_string().c_str());
+    std::printf("%s\n", sp.arch_to_string(sp.sample(rng)).c_str());
   return 0;
 }
 

@@ -32,12 +32,16 @@ const std::map<std::string, std::set<std::string>, std::less<>>& allowed() {
           {"hpo", {"surrogate", "util", "obs"}},
           {"nas", {"searchspace", "util", "obs"}},
           {"fbnet", {"trainsim", "ir", "searchspace", "util", "obs"}},
+          // Space-registry edges: fbnet (the FBNet space implementation)
+          // is reachable only from the pipeline layers that resolve spaces
+          // (anb, serve) — never from util/obs/searchspace, which must stay
+          // space-implementation-agnostic.
           {"anb",
-           {"nas", "hpo", "surrogate", "hwsim", "trainsim", "ir",
+           {"fbnet", "nas", "hpo", "surrogate", "hwsim", "trainsim", "ir",
             "searchspace", "util", "obs"}},
           {"serve",
-           {"anb", "nas", "hpo", "surrogate", "hwsim", "trainsim", "ir",
-            "searchspace", "util", "obs"}},
+           {"anb", "fbnet", "nas", "hpo", "surrogate", "hwsim", "trainsim",
+            "ir", "searchspace", "util", "obs"}},
       };
   return kMap;
 }
